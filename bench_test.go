@@ -1,0 +1,269 @@
+// Benchmarks: one per experiment in DESIGN.md's index (E1-E12). The paper
+// (ICDCS '93) has no measurement tables — its figures are protocol
+// diagrams — so each benchmark times the executable scenario that
+// reproduces the corresponding figure or claim and reports the shape
+// metric (divergence count, availability, probes, abort rate) via
+// b.ReportMetric. Absolute times are simulator-relative; the shapes are
+// the reproduction target (see EXPERIMENTS.md).
+package main
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/replica"
+)
+
+// BenchmarkE1Divergence — Figure 1: reply loss to a replica group, naive
+// vs sequencer-ordered multicast.
+func BenchmarkE1Divergence(b *testing.B) {
+	var naive, ordered int
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE1(experiments.E1Config{Replicas: 3, Trials: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive += r.NaiveDiverged
+		ordered += r.OrderedDiverged
+	}
+	b.ReportMetric(float64(naive)/float64(b.N), "naive-divergences/op")
+	b.ReportMetric(float64(ordered)/float64(b.N), "ordered-divergences/op")
+}
+
+func benchAvailability(b *testing.B, cfg experiments.AvailConfig) {
+	committed, total := 0, 0
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		r, err := experiments.RunAvailability(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed += r.Committed
+		total += r.Committed + r.Aborted
+		if r.InconsistentStores != 0 {
+			b.Fatalf("store consistency violated %d times", r.InconsistentStores)
+		}
+	}
+	b.ReportMetric(float64(committed)/float64(total), "availability")
+}
+
+// BenchmarkE2Unreplicated — Figure 2: |Sv|=|St|=1 at p=0.3.
+func BenchmarkE2Unreplicated(b *testing.B) {
+	benchAvailability(b, experiments.AvailConfig{
+		Servers: 1, Stores: 1, Policy: replica.SingleCopyPassive,
+		CrashProb: 0.3, Trials: 20,
+	})
+}
+
+// BenchmarkE3StateReplication — Figure 3: |Sv|=1, |St|=3 at p=0.3.
+func BenchmarkE3StateReplication(b *testing.B) {
+	benchAvailability(b, experiments.AvailConfig{
+		Servers: 1, Stores: 3, Policy: replica.SingleCopyPassive,
+		CrashProb: 0.3, Trials: 20,
+	})
+}
+
+// BenchmarkE4ServerReplication — Figure 4: |Sv|=3, |St|=1, one replica
+// crashed mid-action (masked by active replication).
+func BenchmarkE4ServerReplication(b *testing.B) {
+	benchAvailability(b, experiments.AvailConfig{
+		Servers: 3, Stores: 1, Policy: replica.Active,
+		CrashProb: 0, CrashDuring: true, Trials: 20,
+	})
+}
+
+// BenchmarkE5General — Figure 5: |Sv|=3, |St|=3 at p=0.3.
+func BenchmarkE5General(b *testing.B) {
+	benchAvailability(b, experiments.AvailConfig{
+		Servers: 3, Stores: 3, Policy: replica.Active,
+		CrashProb: 0.3, Trials: 20,
+	})
+}
+
+func benchScheme(b *testing.B, scheme core.Scheme) {
+	probesAfter := 0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunScheme(experiments.SchemeConfig{
+			Scheme: scheme, Servers: 2, Stores: 1, Clients: 4,
+			ActionsPerClient: 4, CrashAfter: 4, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Aborted != 0 {
+			b.Fatalf("aborts: %d", r.Aborted)
+		}
+		probesAfter += r.ProbesAfter
+	}
+	b.ReportMetric(float64(probesAfter)/float64(b.N), "post-crash-probes/op")
+}
+
+// BenchmarkE6StandardScheme — Figure 6: static Sv, every client probes the
+// dead server.
+func BenchmarkE6StandardScheme(b *testing.B) { benchScheme(b, core.SchemeStandard) }
+
+// BenchmarkE7IndependentScheme — Figure 7: independent top-level DB
+// actions repair Sv; only the first client probes.
+func BenchmarkE7IndependentScheme(b *testing.B) { benchScheme(b, core.SchemeIndependent) }
+
+// BenchmarkE8NestedTopLevel — Figure 8: nested top-level DB actions.
+func BenchmarkE8NestedTopLevel(b *testing.B) { benchScheme(b, core.SchemeNestedTopLevel) }
+
+// BenchmarkE9ExcludeLock — §4.2.1: commit-time Exclude under 4 concurrent
+// readers, exclude-write lock vs read→write promotion.
+func BenchmarkE9ExcludeLock(b *testing.B) {
+	ewAborts, wlAborts := 0, 0
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE9(experiments.E9Config{Readers: 4, Trials: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ewAborts += r.ExcludeWriteAborts
+		wlAborts += r.WriteLockAborts
+	}
+	b.ReportMetric(float64(ewAborts)/float64(b.N), "exclude-write-aborts/op")
+	b.ReportMetric(float64(wlAborts)/float64(b.N), "write-lock-aborts/op")
+}
+
+// BenchmarkE10ReadOptimisation — §4.1.2: read-only binding vs full
+// enhanced-scheme binding.
+func BenchmarkE10ReadOptimisation(b *testing.B) {
+	var opt, full float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE10(experiments.E10Config{
+			Servers: 3, Readers: 4, ReadsPerClient: 5,
+			Latency: 50 * time.Microsecond, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt += r.OptimisedMillis
+		full += r.FullBindMillis
+	}
+	b.ReportMetric(opt/float64(b.N), "optimised-ms/op")
+	b.ReportMetric(full/float64(b.N), "fullbind-ms/op")
+}
+
+// BenchmarkE11StoreRecovery — §4.2: crash, Exclude window, catch-up,
+// Include.
+func BenchmarkE11StoreRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE11(experiments.E11Config{
+			Stores: 3, ActionsBefore: 2, ActionsDuring: 2, ActionsAfter: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.CaughtUp || !r.FinalConsist {
+			b.Fatalf("recovery failed: caughtUp=%v consistent=%v", r.CaughtUp, r.FinalConsist)
+		}
+	}
+}
+
+// BenchmarkE12NonAtomicNameServer — §5 extension: Sv in a non-atomic name
+// server, St database carries binding consistency alone.
+func BenchmarkE12NonAtomicNameServer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunE12(experiments.E12Config{
+			Servers: 2, Stores: 2, Actions: 10, CrashEvery: 4, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.NonAtomicConsistent {
+			b.Fatal("non-atomic variant violated store consistency")
+		}
+	}
+}
+
+// BenchmarkActionThroughput measures raw end-to-end action cost on the
+// simulator (bind → invoke → 2PC commit) for each replication policy — an
+// ablation for DESIGN.md's commit-processing design notes.
+func BenchmarkActionThroughput(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		policy replica.Policy
+		deg    int
+	}{
+		{"single-copy", replica.SingleCopyPassive, 1},
+		{"active-3", replica.Active, 0},
+		{"coordinator-cohort-3", replica.CoordinatorCohort, 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			w, err := harness.New(harness.Options{Servers: 3, Stores: 2, Clients: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bd := w.Binder("c1", core.SchemeStandard, tc.policy, tc.deg)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := w.RunCounterAction(ctx, bd, 0, 1)
+				if !r.Committed {
+					b.Fatalf("action failed: %v", r.Err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMulticastAblation measures the ordered-vs-naive multicast cost
+// (the price of the Figure 1 guarantee) at a fixed group size.
+func BenchmarkMulticastAblation(b *testing.B) {
+	var orderedSum, naiveSum float64
+	for i := 0; i < b.N; i++ {
+		tb, err := experiments.RunMulticastCost([]int{3}, 10, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Row: [members, ordered, naive]
+		var ord, nai float64
+		if _, err := fmt.Sscanf(tb.Rows[0][1], "%f", &ord); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fmt.Sscanf(tb.Rows[0][2], "%f", &nai); err != nil {
+			b.Fatal(err)
+		}
+		orderedSum += ord
+		naiveSum += nai
+	}
+	b.ReportMetric(orderedSum/float64(b.N), "ordered-us/msg")
+	b.ReportMetric(naiveSum/float64(b.N), "naive-us/msg")
+}
+
+// BenchmarkBindOnly measures the naming-and-binding round per scheme with
+// no failures — the direct cost comparison of Figures 6-8.
+func BenchmarkBindOnly(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		scheme core.Scheme
+	}{
+		{"standard", core.SchemeStandard},
+		{"independent", core.SchemeIndependent},
+		{"nested-top-level", core.SchemeNestedTopLevel},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			w, err := harness.New(harness.Options{Servers: 2, Stores: 2, Clients: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bd := w.Binder("c1", tc.scheme, replica.SingleCopyPassive, 1)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				act := bd.Actions.BeginTop()
+				if _, err := bd.Bind(ctx, act, w.Objects[0]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := act.Commit(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

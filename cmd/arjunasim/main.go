@@ -1,0 +1,165 @@
+// Command arjunasim is an interactive console over a simulated deployment:
+// crash and recover nodes, run actions against a replicated counter
+// through the naming and binding service, and inspect the Sv/St views and
+// use lists as the protocols maintain them.
+//
+// Usage:
+//
+//	arjunasim [-servers N] [-stores N] [-scheme standard|independent|nested] [-policy single|active|cohort]
+//
+// Commands (stdin, one per line):
+//
+//	add N        run an action adding N to the counter
+//	get          run a read-only action
+//	crash NODE   fail-silence a node (sv1, st2, ...)
+//	recover NODE recover a node (runs the §4.1.2/§4.2 recovery protocols)
+//	sv | st      print the current Sv / St view
+//	sweep        run the use-list janitor
+//	status       print activated objects per server node
+//	quit
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/replica"
+	"repro/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "arjunasim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	servers := flag.Int("servers", 2, "number of object-server nodes")
+	stores := flag.Int("stores", 2, "number of object-store nodes")
+	schemeName := flag.String("scheme", "independent", "db access scheme: standard | independent | nested")
+	policyName := flag.String("policy", "single", "replication policy: single | active | cohort")
+	flag.Parse()
+
+	var scheme core.Scheme
+	switch *schemeName {
+	case "standard":
+		scheme = core.SchemeStandard
+	case "independent":
+		scheme = core.SchemeIndependent
+	case "nested":
+		scheme = core.SchemeNestedTopLevel
+	default:
+		return fmt.Errorf("unknown scheme %q", *schemeName)
+	}
+	var policy replica.Policy
+	switch *policyName {
+	case "single":
+		policy = replica.SingleCopyPassive
+	case "active":
+		policy = replica.Active
+	case "cohort":
+		policy = replica.CoordinatorCohort
+	default:
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+
+	w, err := harness.New(harness.Options{Servers: *servers, Stores: *stores, Clients: 1})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	degree := 1
+	if policy != replica.SingleCopyPassive {
+		degree = 0 // all
+	}
+	b := w.Binder("c1", scheme, policy, degree)
+	janitor := core.NewJanitor(w.DB)
+
+	fmt.Printf("cluster: db + %d servers + %d stores; object %v (scheme=%v, policy=%v)\n",
+		*servers, *stores, w.Objects[0], scheme, policy)
+	fmt.Println("type 'help' for commands")
+
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !scanner.Scan() {
+			return scanner.Err()
+		}
+		fields := strings.Fields(scanner.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "help":
+			fmt.Println("add N | get | crash NODE | recover NODE | sv | st | sweep | status | quit")
+		case "quit", "exit":
+			return nil
+		case "add":
+			if len(fields) != 2 {
+				fmt.Println("usage: add N")
+				continue
+			}
+			// Reuse the harness counter action with a parsed delta.
+			r := runAdd(ctx, w, b, fields[1])
+			fmt.Printf("committed=%v probes=%d excluded=%d err=%v\n", r.Committed, r.Probes, r.ExcludedStores, r.Err)
+		case "get":
+			r := w.RunReadAction(ctx, b, 0)
+			fmt.Printf("committed=%v err=%v\n", r.Committed, r.Err)
+		case "crash", "recover":
+			if len(fields) != 2 {
+				fmt.Printf("usage: %s NODE\n", fields[0])
+				continue
+			}
+			node := w.Cluster.Node(transport.Addr(fields[1]))
+			if node == nil {
+				fmt.Println("unknown node", fields[1])
+				continue
+			}
+			if fields[0] == "crash" {
+				node.Crash()
+				fmt.Println(fields[1], "crashed")
+				continue
+			}
+			node.Recover(nil)
+			var rerr error
+			if strings.HasPrefix(fields[1], "st") {
+				rerr = core.RecoverStoreNode(ctx, node, "db", w.Objects)
+			} else if strings.HasPrefix(fields[1], "sv") {
+				rerr = core.RecoverServerNode(ctx, node, "db", w.Objects)
+			}
+			fmt.Printf("%s recovered (protocol err=%v)\n", fields[1], rerr)
+		case "sv":
+			view, err := w.CurrentSvView(ctx, 0)
+			fmt.Printf("Sv = %v (err=%v)\n", view, err)
+		case "st":
+			view, err := w.CurrentStView(ctx, 0)
+			fmt.Printf("St = %v (err=%v)\n", view, err)
+		case "sweep":
+			rep := janitor.Sweep(ctx)
+			fmt.Printf("dead=%v abortedActions=%d clearedCounters=%d\n", rep.DeadClients, rep.AbortedActions, rep.ClearedCounters)
+		case "status":
+			for i := 0; i < *servers; i++ {
+				name := transport.Addr(fmt.Sprintf("sv%d", i+1))
+				n := w.Cluster.Node(name)
+				fmt.Printf("%s up=%v epoch=%d\n", name, n.Up(), n.Epoch())
+			}
+		default:
+			fmt.Println("unknown command; try 'help'")
+		}
+	}
+}
+
+func runAdd(ctx context.Context, w *harness.World, b *core.Binder, deltaStr string) harness.ActionResult {
+	var delta int
+	if _, err := fmt.Sscanf(deltaStr, "%d", &delta); err != nil {
+		return harness.ActionResult{Err: fmt.Errorf("bad delta %q", deltaStr)}
+	}
+	return w.RunCounterAction(ctx, b, 0, delta)
+}

@@ -1,0 +1,475 @@
+// Package action implements the Atomic Action service of the paper (§2.2):
+// nested atomic actions with the properties of serialisability, failure
+// atomicity and permanence of effect, in the style of Arjuna.
+//
+// Three structuring forms from §4.1 are supported:
+//
+//   - standard nested actions — Begin(parent) creates a child whose effects
+//     commit *into* the parent (locks and participants are inherited) and
+//     become permanent only when the top-level action commits;
+//   - independent top-level actions — BeginTop() with no enclosing action;
+//   - nested top-level actions — BeginTop() invoked from within another
+//     action; it commits independently of the enclosing action, which is
+//     precisely the semantics Figure 8 relies on.
+//
+// Top-level commitment runs two-phase commit over the enlisted
+// Participants; the commit point is a record in the coordinator's
+// OutcomeLog, which recovering participants consult (presumed abort).
+package action
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/lockmgr"
+	"repro/internal/store"
+	"repro/internal/uid"
+)
+
+// Status is an action's lifecycle state.
+type Status int
+
+// Action statuses.
+const (
+	StatusRunning Status = iota + 1
+	StatusPreparing
+	StatusCommitted
+	StatusAborted
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusRunning:
+		return "running"
+	case StatusPreparing:
+		return "preparing"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Errors reported by action lifecycle operations.
+var (
+	// ErrNotRunning reports a Commit/Abort on an action that already ended,
+	// or beginning a child under an ended parent.
+	ErrNotRunning = errors.New("action: not running")
+	// ErrChildrenActive reports a Commit attempted while nested children
+	// are still running.
+	ErrChildrenActive = errors.New("action: children still active")
+	// ErrPrepareFailed reports that two-phase commit aborted because a
+	// participant could not prepare.
+	ErrPrepareFailed = errors.New("action: participant failed to prepare")
+)
+
+// Participant is a resource that takes part in two-phase commit of a
+// top-level action. tx is the top-level action's ID (the commit record
+// key). Abort may be invoked for a tx that never prepared; it must be a
+// no-op then.
+type Participant interface {
+	Name() string
+	Prepare(ctx context.Context, tx string) error
+	Commit(ctx context.Context, tx string) error
+	Abort(ctx context.Context, tx string) error
+}
+
+// Ancestry is the lockmgr ancestry induced by the action ID scheme: a
+// child's ID is its parent's ID plus a "/"-separated suffix.
+var Ancestry lockmgr.Ancestry = lockmgr.AncestryFunc(func(a, d lockmgr.Owner) bool {
+	return len(a) < len(d) && strings.HasPrefix(string(d), string(a)+"/")
+})
+
+// Log records and reports transaction outcomes; it is the commit-record
+// service of the 2PC coordinator.
+type Log interface {
+	Record(tx string, o store.Outcome)
+	store.OutcomeLog
+}
+
+// MemLog is an in-memory Log. The zero value is ready to use. In the
+// simulation the log conceptually lives on the coordinator's stable store.
+type MemLog struct {
+	mu sync.Mutex
+	m  map[string]store.Outcome
+}
+
+// NewMemLog returns an empty log.
+func NewMemLog() *MemLog { return &MemLog{m: make(map[string]store.Outcome)} }
+
+// Record implements Log.
+func (l *MemLog) Record(tx string, o store.Outcome) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.m == nil {
+		l.m = make(map[string]store.Outcome)
+	}
+	l.m[tx] = o
+}
+
+// Lookup implements store.OutcomeLog.
+func (l *MemLog) Lookup(tx string) store.Outcome {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.m[tx]
+}
+
+// Manager creates actions for one client/node.
+type Manager struct {
+	gen *uid.Generator
+	log Log
+}
+
+// NewManager returns a manager minting action IDs from origin; log may be
+// nil, in which case a fresh MemLog is used.
+func NewManager(origin string, log Log) *Manager {
+	if log == nil {
+		log = NewMemLog()
+	}
+	return &Manager{gen: uid.NewGenerator(origin, 1), log: log}
+}
+
+// Log returns the manager's outcome log.
+func (m *Manager) Log() Log { return m.log }
+
+// Action is one atomic action. Use Manager.BeginTop or Begin to create.
+type Action struct {
+	mgr    *Manager
+	id     string
+	parent *Action
+
+	mu           sync.Mutex
+	status       Status
+	children     int
+	childSeq     int
+	participants []Participant
+	mergeHooks   []func(parent *Action)
+	resolveHooks []func(committed bool)
+	stash        map[string]any
+}
+
+// BeginTop starts a top-level action. Called from within another action's
+// dynamic extent, it is a *nested top-level action* (Figure 8): it commits
+// or aborts independently of the enclosing action.
+func (m *Manager) BeginTop() *Action {
+	return &Action{mgr: m, id: m.gen.New().String(), status: StatusRunning}
+}
+
+// Begin starts a nested action under parent; with a nil parent it is
+// equivalent to BeginTop.
+func (m *Manager) Begin(parent *Action) (*Action, error) {
+	if parent == nil {
+		return m.BeginTop(), nil
+	}
+	parent.mu.Lock()
+	defer parent.mu.Unlock()
+	if parent.status != StatusRunning {
+		return nil, fmt.Errorf("begin under %s (%s): %w", parent.id, parent.status, ErrNotRunning)
+	}
+	parent.childSeq++
+	parent.children++
+	return &Action{
+		mgr:    m,
+		id:     parent.id + "/" + strconv.Itoa(parent.childSeq),
+		parent: parent,
+		status: StatusRunning,
+	}, nil
+}
+
+// ID returns the action's hierarchical identifier.
+func (a *Action) ID() string { return a.id }
+
+// Owner returns the action's lock-owner identity.
+func (a *Action) Owner() lockmgr.Owner { return lockmgr.Owner(a.id) }
+
+// Parent returns the enclosing action, or nil for a top-level action.
+func (a *Action) Parent() *Action { return a.parent }
+
+// Top returns the top-level ancestor (itself if top-level).
+func (a *Action) Top() *Action {
+	t := a
+	for t.parent != nil {
+		t = t.parent
+	}
+	return t
+}
+
+// IsTopLevel reports whether the action has no parent.
+func (a *Action) IsTopLevel() bool { return a.parent == nil }
+
+// Status returns the current lifecycle state.
+func (a *Action) Status() Status {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.status
+}
+
+// Enlist registers a two-phase-commit participant. On nested commit the
+// participant is inherited by the parent; 2PC runs only at top level.
+func (a *Action) Enlist(p Participant) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.status != StatusRunning {
+		return fmt.Errorf("enlist %s in %s (%s): %w", p.Name(), a.id, a.status, ErrNotRunning)
+	}
+	a.participants = append(a.participants, p)
+	return nil
+}
+
+// OnMerge registers a hook invoked when this (nested) action commits into
+// its parent — e.g. lock inheritance. Never invoked for top-level commits.
+func (a *Action) OnMerge(f func(parent *Action)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mergeHooks = append(a.mergeHooks, f)
+}
+
+// OnResolve registers a hook invoked when the action's fate is decided at
+// its own level: nested abort (false), top-level commit (true) or abort
+// (false). A nested commit transfers nothing to resolve hooks — the work
+// moves to the parent via OnMerge.
+func (a *Action) OnResolve(f func(committed bool)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.resolveHooks = append(a.resolveHooks, f)
+}
+
+// StashOnce stores v under key if the key is empty and reports whether it
+// stored. It lets per-action resources (e.g. lock trackers) register
+// exactly once.
+func (a *Action) StashOnce(key string, v any) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stash == nil {
+		a.stash = make(map[string]any)
+	}
+	if _, ok := a.stash[key]; ok {
+		return false
+	}
+	a.stash[key] = v
+	return true
+}
+
+// Stashed returns the value stored under key, if any.
+func (a *Action) Stashed(key string) (any, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v, ok := a.stash[key]
+	return v, ok
+}
+
+// Commit ends the action successfully.
+//
+// Nested: effects, participants, and merge hooks transfer to the parent.
+// Top-level: two-phase commit over all participants; the commit record is
+// written to the manager's log between the phases. A prepare failure
+// aborts the action and returns ErrPrepareFailed. Phase-two failures do
+// not undo the commit — crashed participants learn the outcome from the
+// log at recovery; such errors are reported via the returned CommitReport.
+func (a *Action) Commit(ctx context.Context) (*CommitReport, error) {
+	a.mu.Lock()
+	if a.status != StatusRunning {
+		st := a.status
+		a.mu.Unlock()
+		return nil, fmt.Errorf("commit %s (%s): %w", a.id, st, ErrNotRunning)
+	}
+	if a.children > 0 {
+		n := a.children
+		a.mu.Unlock()
+		return nil, fmt.Errorf("commit %s with %d running children: %w", a.id, n, ErrChildrenActive)
+	}
+	if a.parent != nil {
+		return a.commitNestedLocked(ctx)
+	}
+	return a.commitTopLocked(ctx)
+}
+
+// commitNestedLocked finishes a nested commit; a.mu is held on entry.
+func (a *Action) commitNestedLocked(_ context.Context) (*CommitReport, error) {
+	a.status = StatusCommitted
+	participants := a.participants
+	mergeHooks := a.mergeHooks
+	resolveHooks := a.resolveHooks
+	a.participants = nil
+	a.mergeHooks = nil
+	a.resolveHooks = nil
+	parent := a.parent
+	a.mu.Unlock()
+
+	parent.mu.Lock()
+	parentRunning := parent.status == StatusRunning
+	if parentRunning {
+		parent.participants = append(parent.participants, participants...)
+		parent.resolveHooks = append(parent.resolveHooks, resolveHooks...)
+		parent.children--
+	}
+	parent.mu.Unlock()
+	if !parentRunning {
+		// The parent ended while the child was committing — a programming
+		// error in callers; treat the child's work as aborted.
+		for _, f := range resolveHooks {
+			f(false)
+		}
+		return nil, fmt.Errorf("commit %s: parent %s already ended: %w", a.id, parent.id, ErrNotRunning)
+	}
+	for _, f := range mergeHooks {
+		f(parent)
+	}
+	return &CommitReport{}, nil
+}
+
+// CommitReport describes the aftermath of a commit.
+type CommitReport struct {
+	// PhaseTwoErrors lists participants whose Commit call failed after the
+	// commit point. The action IS committed; these participants recover
+	// via the outcome log.
+	PhaseTwoErrors []error
+}
+
+// commitTopLocked runs two-phase commit; a.mu is held on entry.
+func (a *Action) commitTopLocked(ctx context.Context) (*CommitReport, error) {
+	a.status = StatusPreparing
+	participants := a.participants
+	resolveHooks := a.resolveHooks
+	a.mu.Unlock()
+
+	// Read-only fast path: nothing to prepare.
+	if len(participants) == 0 {
+		a.mu.Lock()
+		a.status = StatusCommitted
+		a.mu.Unlock()
+		for _, f := range resolveHooks {
+			f(true)
+		}
+		return &CommitReport{}, nil
+	}
+
+	// Phase one.
+	for i, p := range participants {
+		if err := p.Prepare(ctx, a.id); err != nil {
+			// Roll everyone back, including the failed participant (its
+			// prepare may have half-happened, e.g. a lost reply).
+			for _, q := range participants[:i+1] {
+				_ = q.Abort(ctx, a.id)
+			}
+			a.mgr.log.Record(a.id, store.OutcomeAborted)
+			a.mu.Lock()
+			a.status = StatusAborted
+			a.mu.Unlock()
+			for _, f := range resolveHooks {
+				f(false)
+			}
+			return nil, fmt.Errorf("%s: %s: %v: %w", a.id, p.Name(), err, ErrPrepareFailed)
+		}
+	}
+
+	// Commit point.
+	a.mgr.log.Record(a.id, store.OutcomeCommitted)
+	a.mu.Lock()
+	a.status = StatusCommitted
+	a.mu.Unlock()
+
+	// Phase two: best effort; failures are survivable.
+	report := &CommitReport{}
+	for _, p := range participants {
+		if err := p.Commit(ctx, a.id); err != nil {
+			report.PhaseTwoErrors = append(report.PhaseTwoErrors,
+				fmt.Errorf("phase-2 commit at %s: %w", p.Name(), err))
+		}
+	}
+	for _, f := range resolveHooks {
+		f(true)
+	}
+	return report, nil
+}
+
+// Abort ends the action, undoing its effects. Active children are aborted
+// first (outermost call wins).
+func (a *Action) Abort(ctx context.Context) error {
+	a.mu.Lock()
+	if a.status != StatusRunning {
+		st := a.status
+		a.mu.Unlock()
+		return fmt.Errorf("abort %s (%s): %w", a.id, st, ErrNotRunning)
+	}
+	a.status = StatusAborted
+	participants := a.participants
+	resolveHooks := a.resolveHooks
+	a.participants = nil
+	a.mergeHooks = nil
+	a.resolveHooks = nil
+	parent := a.parent
+	a.mu.Unlock()
+
+	for _, p := range participants {
+		_ = p.Abort(ctx, a.Top().id)
+	}
+	if parent == nil {
+		a.mgr.log.Record(a.id, store.OutcomeAborted)
+	} else {
+		parent.mu.Lock()
+		if parent.status == StatusRunning {
+			parent.children--
+		}
+		parent.mu.Unlock()
+	}
+	for _, f := range resolveHooks {
+		f(false)
+	}
+	return nil
+}
+
+// TrackLocks ties lock ownership on lm to the action's lifecycle:
+// locks inherited by the parent on nested commit, released on abort and at
+// top-level completion. Safe to call repeatedly; registration happens once
+// per (action, manager) pair.
+func TrackLocks(a *Action, lm *lockmgr.Manager) {
+	key := fmt.Sprintf("lockmgr:%p", lm)
+	if !a.StashOnce(key, lm) {
+		return
+	}
+	a.OnMerge(func(parent *Action) {
+		lm.Inherit(a.Owner(), parent.Owner())
+		TrackLocks(parent, lm)
+	})
+	a.OnResolve(func(bool) {
+		lm.ReleaseAll(a.Owner())
+	})
+}
+
+// StoreParticipant adapts a (possibly remote) object store to the
+// Participant interface. Writes is evaluated at prepare time so that the
+// final object state of the action is captured.
+type StoreParticipant struct {
+	// Label names the participant in errors (typically the store node).
+	Label string
+	// Remote is the store being driven.
+	Remote store.RemoteStore
+	// Writes yields the object versions to install.
+	Writes func() []store.Write
+}
+
+// Name implements Participant.
+func (p *StoreParticipant) Name() string { return p.Label }
+
+// Prepare implements Participant.
+func (p *StoreParticipant) Prepare(ctx context.Context, tx string) error {
+	return p.Remote.Prepare(ctx, tx, p.Writes())
+}
+
+// Commit implements Participant.
+func (p *StoreParticipant) Commit(ctx context.Context, tx string) error {
+	return p.Remote.Commit(ctx, tx)
+}
+
+// Abort implements Participant.
+func (p *StoreParticipant) Abort(ctx context.Context, tx string) error {
+	return p.Remote.Abort(ctx, tx)
+}

@@ -1,0 +1,492 @@
+package action
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/lockmgr"
+	"repro/internal/rpc"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// fakeParticipant records lifecycle calls and can be told to fail prepare.
+type fakeParticipant struct {
+	name        string
+	failPrepare bool
+
+	mu       sync.Mutex
+	prepares []string
+	commits  []string
+	aborts   []string
+}
+
+func (p *fakeParticipant) Name() string { return p.name }
+
+func (p *fakeParticipant) Prepare(_ context.Context, tx string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.prepares = append(p.prepares, tx)
+	if p.failPrepare {
+		return errors.New("refusing to prepare")
+	}
+	return nil
+}
+
+func (p *fakeParticipant) Commit(_ context.Context, tx string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.commits = append(p.commits, tx)
+	return nil
+}
+
+func (p *fakeParticipant) Abort(_ context.Context, tx string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.aborts = append(p.aborts, tx)
+	return nil
+}
+
+func counts(p *fakeParticipant) (int, int, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.prepares), len(p.commits), len(p.aborts)
+}
+
+func TestTopLevelCommitRunsTwoPhase(t *testing.T) {
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	p1 := &fakeParticipant{name: "s1"}
+	p2 := &fakeParticipant{name: "s2"}
+	if err := a.Enlist(p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Enlist(p2); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := a.Commit(context.Background())
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if len(rep.PhaseTwoErrors) != 0 {
+		t.Fatalf("phase-2 errors: %v", rep.PhaseTwoErrors)
+	}
+	for _, p := range []*fakeParticipant{p1, p2} {
+		pr, cm, ab := counts(p)
+		if pr != 1 || cm != 1 || ab != 0 {
+			t.Fatalf("%s lifecycle = %d/%d/%d, want 1/1/0", p.name, pr, cm, ab)
+		}
+	}
+	if m.Log().Lookup(a.ID()) != store.OutcomeCommitted {
+		t.Fatal("commit record missing")
+	}
+	if a.Status() != StatusCommitted {
+		t.Fatalf("status = %v", a.Status())
+	}
+}
+
+func TestPrepareFailureAbortsAll(t *testing.T) {
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	good := &fakeParticipant{name: "good"}
+	bad := &fakeParticipant{name: "bad", failPrepare: true}
+	_ = a.Enlist(good)
+	_ = a.Enlist(bad)
+	_, err := a.Commit(context.Background())
+	if !errors.Is(err, ErrPrepareFailed) {
+		t.Fatalf("err = %v, want ErrPrepareFailed", err)
+	}
+	if a.Status() != StatusAborted {
+		t.Fatalf("status = %v", a.Status())
+	}
+	_, gc, ga := counts(good)
+	if gc != 0 || ga != 1 {
+		t.Fatalf("good commits=%d aborts=%d, want 0/1", gc, ga)
+	}
+	_, _, ba := counts(bad)
+	if ba != 1 {
+		t.Fatalf("bad aborts=%d, want 1", ba)
+	}
+	if m.Log().Lookup(a.ID()) != store.OutcomeAborted {
+		t.Fatal("abort record missing")
+	}
+}
+
+func TestReadOnlyCommitSkipsTwoPhase(t *testing.T) {
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	resolved := false
+	a.OnResolve(func(committed bool) { resolved = committed })
+	if _, err := a.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !resolved {
+		t.Fatal("resolve hook not fired with commit=true")
+	}
+	// Read-only actions leave no record (presumed abort makes this safe).
+	if m.Log().Lookup(a.ID()) != store.OutcomeUnknown {
+		t.Fatal("read-only commit should not write a record")
+	}
+}
+
+func TestNestedCommitTransfersToParent(t *testing.T) {
+	m := NewManager("client", nil)
+	top := m.BeginTop()
+	child, err := m.Begin(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &fakeParticipant{name: "s"}
+	_ = child.Enlist(p)
+	merged := false
+	child.OnMerge(func(parent *Action) {
+		if parent != top {
+			t.Errorf("merge parent = %s", parent.ID())
+		}
+		merged = true
+	})
+	if _, err := child.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !merged {
+		t.Fatal("merge hook not fired")
+	}
+	// The participant has not prepared yet.
+	pr, _, _ := counts(p)
+	if pr != 0 {
+		t.Fatal("nested commit must not run 2PC")
+	}
+	// Top-level commit drives it, keyed by the top-level ID.
+	if _, err := top.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.prepares) != 1 || p.prepares[0] != top.ID() {
+		t.Fatalf("prepares = %v, want [%s]", p.prepares, top.ID())
+	}
+}
+
+func TestNestedAbortDoesNotTouchParent(t *testing.T) {
+	m := NewManager("client", nil)
+	top := m.BeginTop()
+	child, _ := m.Begin(top)
+	p := &fakeParticipant{name: "s"}
+	_ = child.Enlist(p)
+	resolvedFalse := false
+	child.OnResolve(func(c bool) { resolvedFalse = !c })
+	if err := child.Abort(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !resolvedFalse {
+		t.Fatal("child resolve(false) not fired")
+	}
+	_, _, ab := counts(p)
+	if ab != 1 {
+		t.Fatal("child participant not aborted")
+	}
+	// Parent can still commit with no participants.
+	if _, err := top.Commit(context.Background()); err != nil {
+		t.Fatalf("parent commit after child abort: %v", err)
+	}
+}
+
+func TestCommitWithRunningChildrenRefused(t *testing.T) {
+	m := NewManager("client", nil)
+	top := m.BeginTop()
+	if _, err := m.Begin(top); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := top.Commit(context.Background()); !errors.Is(err, ErrChildrenActive) {
+		t.Fatalf("err = %v, want ErrChildrenActive", err)
+	}
+}
+
+func TestDoubleEndRefused(t *testing.T) {
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	if _, err := a.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Commit(context.Background()); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("second commit: %v", err)
+	}
+	if err := a.Abort(context.Background()); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("abort after commit: %v", err)
+	}
+}
+
+func TestBeginUnderEndedParentRefused(t *testing.T) {
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	_ = a.Abort(context.Background())
+	if _, err := m.Begin(a); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEnlistAfterEndRefused(t *testing.T) {
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	_ = a.Abort(context.Background())
+	if err := a.Enlist(&fakeParticipant{name: "x"}); !errors.Is(err, ErrNotRunning) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNestedTopLevelActionIndependent(t *testing.T) {
+	// Figure 8: a top-level action begun inside another commits even if
+	// the enclosing action later aborts.
+	m := NewManager("client", nil)
+	outer := m.BeginTop()
+	inner := m.BeginTop() // nested top-level: structurally independent
+	p := &fakeParticipant{name: "db"}
+	_ = inner.Enlist(p)
+	if _, err := inner.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := outer.Abort(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, cm, ab := counts(p)
+	if cm != 1 || ab != 0 {
+		t.Fatalf("inner effects disturbed by outer abort: commits=%d aborts=%d", cm, ab)
+	}
+	if m.Log().Lookup(inner.ID()) != store.OutcomeCommitted {
+		t.Fatal("inner commit record missing")
+	}
+}
+
+func TestAncestryMatchesIDScheme(t *testing.T) {
+	m := NewManager("client", nil)
+	top := m.BeginTop()
+	c1, _ := m.Begin(top)
+	c2, _ := m.Begin(c1)
+	other := m.BeginTop()
+	if !Ancestry.IsAncestorOf(top.Owner(), c1.Owner()) {
+		t.Fatal("top should be ancestor of child")
+	}
+	if !Ancestry.IsAncestorOf(top.Owner(), c2.Owner()) {
+		t.Fatal("top should be ancestor of grandchild")
+	}
+	if !Ancestry.IsAncestorOf(c1.Owner(), c2.Owner()) {
+		t.Fatal("child should be ancestor of grandchild")
+	}
+	if Ancestry.IsAncestorOf(c2.Owner(), c1.Owner()) {
+		t.Fatal("descendant is not an ancestor")
+	}
+	if Ancestry.IsAncestorOf(top.Owner(), other.Owner()) {
+		t.Fatal("unrelated tops are not ancestors")
+	}
+	if Ancestry.IsAncestorOf(top.Owner(), top.Owner()) {
+		t.Fatal("self is not a proper ancestor")
+	}
+}
+
+func TestTrackLocksLifecycle(t *testing.T) {
+	m := NewManager("client", nil)
+	lm := lockmgr.New(Ancestry)
+	ctx := context.Background()
+
+	// Nested commit inherits locks to the parent.
+	top := m.BeginTop()
+	child, _ := m.Begin(top)
+	if err := lm.Acquire(ctx, child.Owner(), "entry", lockmgr.Write); err != nil {
+		t.Fatal(err)
+	}
+	TrackLocks(child, lm)
+	TrackLocks(child, lm) // idempotent
+	if _, err := child.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !lm.Holds(top.Owner(), "entry", lockmgr.Write) {
+		t.Fatal("lock not inherited by parent")
+	}
+	// Top-level commit releases.
+	if _, err := top.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := lm.TryAcquire("stranger", "entry", lockmgr.Write); err != nil {
+		t.Fatalf("lock not released at top commit: %v", err)
+	}
+
+	// Abort releases immediately.
+	a2 := m.BeginTop()
+	lm.ReleaseAll("stranger")
+	if err := lm.Acquire(ctx, a2.Owner(), "entry", lockmgr.Write); err != nil {
+		t.Fatal(err)
+	}
+	TrackLocks(a2, lm)
+	_ = a2.Abort(ctx)
+	if err := lm.TryAcquire("stranger2", "entry", lockmgr.Write); err != nil {
+		t.Fatalf("lock not released at abort: %v", err)
+	}
+}
+
+func TestStoreParticipantAgainstRealStore(t *testing.T) {
+	net := transport.NewMem(transport.MemOptions{}, nil)
+	srv := rpc.NewServer()
+	st := store.New("beta")
+	store.RegisterService(srv, st)
+	net.Register("beta", srv.Handler())
+
+	gen := uid.NewGenerator("obj", 1)
+	id := gen.New()
+	st.Put(id, []byte("v0"), 1)
+
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	part := &StoreParticipant{
+		Label:  "beta",
+		Remote: store.RemoteStore{Client: rpc.Client{Net: net, From: "client"}, Node: "beta"},
+		Writes: func() []store.Write {
+			return []store.Write{{UID: id, Data: []byte("v1"), Seq: 2}}
+		},
+	}
+	_ = a.Enlist(part)
+	if _, err := a.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	v, err := st.Read(id)
+	if err != nil || string(v.Data) != "v1" || v.Seq != 2 {
+		t.Fatalf("store after commit: %+v err=%v", v, err)
+	}
+}
+
+func TestCrashBeforePhaseTwoRecoversViaLog(t *testing.T) {
+	// The classic 2PC recovery flow: participant prepares, coordinator
+	// records commit, participant "crashes" before phase 2 (we simply do
+	// not deliver the Commit), then recovery applies it from the log.
+	net := transport.NewMem(transport.MemOptions{}, nil)
+	srv := rpc.NewServer()
+	st := store.New("beta")
+	store.RegisterService(srv, st)
+	net.Register("beta", srv.Handler())
+
+	gen := uid.NewGenerator("obj", 1)
+	id := gen.New()
+	st.Put(id, []byte("v0"), 1)
+
+	m := NewManager("client", nil)
+	RegisterLogService(srv, m.Log())
+	a := m.BeginTop()
+	part := &StoreParticipant{
+		Label:  "beta",
+		Remote: store.RemoteStore{Client: rpc.Client{Net: net, From: "client"}, Node: "beta"},
+		Writes: func() []store.Write {
+			return []store.Write{{UID: id, Data: []byte("v1"), Seq: 2}}
+		},
+	}
+	_ = a.Enlist(part)
+	// Drop the phase-2 Commit request: store keeps its intention.
+	net.Faults().DropRequests(1, func(req transport.Request) bool {
+		return req.Service == store.ServiceName && req.Method == store.MethodCommit
+	})
+	rep, err := a.Commit(context.Background())
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if len(rep.PhaseTwoErrors) != 1 {
+		t.Fatalf("expected one phase-2 error, got %v", rep.PhaseTwoErrors)
+	}
+	// Intention still pending, state unchanged.
+	if v, _ := st.Read(id); string(v.Data) != "v0" {
+		t.Fatal("state should be unchanged before recovery")
+	}
+	// Recovery consults the (remote) log and applies.
+	rlog := RemoteLog{Client: rpc.Client{Net: net, From: "beta"}, Node: "beta"}
+	applied, aborted := st.Recover(rlog)
+	if len(applied) != 1 || len(aborted) != 0 {
+		t.Fatalf("recover applied=%v aborted=%v", applied, aborted)
+	}
+	if v, _ := st.Read(id); string(v.Data) != "v1" {
+		t.Fatal("recovery did not apply committed intention")
+	}
+}
+
+func TestChildIDsUnique(t *testing.T) {
+	m := NewManager("client", nil)
+	top := m.BeginTop()
+	seen := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		c, err := m.Begin(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[c.ID()] {
+			t.Fatalf("duplicate child id %s", c.ID())
+		}
+		seen[c.ID()] = true
+		_ = c.Abort(context.Background())
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusRunning:   "running",
+		StatusPreparing: "preparing",
+		StatusCommitted: "committed",
+		StatusAborted:   "aborted",
+		Status(0):       "status(0)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestConcurrentChildren(t *testing.T) {
+	m := NewManager("client", nil)
+	top := m.BeginTop()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := m.Begin(top)
+			if err != nil {
+				t.Errorf("begin: %v", err)
+				return
+			}
+			if i%2 == 0 {
+				if _, err := c.Commit(context.Background()); err != nil {
+					t.Errorf("commit: %v", err)
+				}
+			} else if err := c.Abort(context.Background()); err != nil {
+				t.Errorf("abort: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if _, err := top.Commit(context.Background()); err != nil {
+		t.Fatalf("top commit after children: %v", err)
+	}
+}
+
+func TestMemLogZeroValue(t *testing.T) {
+	var l MemLog
+	l.Record("t", store.OutcomeCommitted)
+	if l.Lookup("t") != store.OutcomeCommitted {
+		t.Fatal("zero-value MemLog should work")
+	}
+	if l.Lookup("unknown") != store.OutcomeUnknown {
+		t.Fatal("unknown tx should be OutcomeUnknown")
+	}
+}
+
+func ExampleManager_nested() {
+	m := NewManager("demo", nil)
+	top := m.BeginTop()
+	child, _ := m.Begin(top)
+	fmt.Println(Ancestry.IsAncestorOf(top.Owner(), child.Owner()))
+	_, _ = child.Commit(context.Background())
+	_, _ = top.Commit(context.Background())
+	fmt.Println(top.Status())
+	// Output:
+	// true
+	// committed
+}

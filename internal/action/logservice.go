@@ -1,0 +1,50 @@
+package action
+
+import (
+	"context"
+
+	"repro/internal/rpc"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+// LogServiceName is the RPC service name for outcome-log lookups.
+const LogServiceName = "outcomelog"
+
+// LogMethodLookup is the lookup method name.
+const LogMethodLookup = "Lookup"
+
+// LookupReq asks for the outcome of a transaction.
+type LookupReq struct{ Tx string }
+
+// LookupResp carries an outcome.
+type LookupResp struct{ Outcome int }
+
+// RegisterLogService exposes log lookups over RPC so that recovering store
+// nodes can resolve their pending intentions (presumed abort).
+func RegisterLogService(srv *rpc.Server, log Log) {
+	srv.Handle(LogServiceName, LogMethodLookup, rpc.Method(func(ctx context.Context, from transport.Addr, req LookupReq) (LookupResp, error) {
+		return LookupResp{Outcome: int(log.Lookup(req.Tx))}, nil
+	}))
+}
+
+// RemoteLog queries a log on another node. It implements store.OutcomeLog;
+// lookup failures are reported as OutcomeUnknown, which recovery treats as
+// abort (presumed abort is safe: an unreachable coordinator means the
+// transaction cannot have been acknowledged as committed to the client
+// without a commit record surviving somewhere we can eventually read).
+type RemoteLog struct {
+	Client rpc.Client
+	Node   transport.Addr
+}
+
+var _ store.OutcomeLog = RemoteLog{}
+
+// Lookup implements store.OutcomeLog.
+func (r RemoteLog) Lookup(tx string) store.Outcome {
+	resp, err := rpc.Invoke[LookupReq, LookupResp](context.Background(), r.Client, r.Node, LogServiceName, LogMethodLookup, LookupReq{Tx: tx})
+	if err != nil {
+		return store.OutcomeUnknown
+	}
+	return store.Outcome(resp.Outcome)
+}

@@ -1,0 +1,430 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/action"
+	"repro/internal/replica"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// Scheme selects how database accesses are structured with respect to the
+// application action (§4.1.2–§4.1.3).
+type Scheme int
+
+// The three access schemes of the paper.
+const (
+	// SchemeStandard — Figure 6: GetServer/GetView run as nested actions
+	// of the client action; their read locks are held until the top-level
+	// action ends. Sv is static: clients never repair it, so each client
+	// rediscovers dead servers "the hard way".
+	SchemeStandard Scheme = iota + 1
+	// SchemeIndependent — Figure 7: an independent top-level action reads
+	// Sv plus use lists under a write lock, removes failed servers, and
+	// increments use counts; after the client action terminates another
+	// top-level action decrements them. Sv stays current.
+	SchemeIndependent
+	// SchemeNestedTopLevel — Figure 8: functionally SchemeIndependent, but
+	// the database actions are nested top-level actions begun from inside
+	// the client action.
+	SchemeNestedTopLevel
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeStandard:
+		return "standard"
+	case SchemeIndependent:
+		return "independent-top-level"
+	case SchemeNestedTopLevel:
+		return "nested-top-level"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Binder binds client actions to replicated objects through the group view
+// database, according to a scheme and a replication policy.
+type Binder struct {
+	// DB addresses the group view database.
+	DB Client
+	// Actions creates the client's atomic actions.
+	Actions *action.Manager
+	// ClientNode is the client's own address (use-list identity).
+	ClientNode transport.Addr
+	// Scheme selects the database access structure.
+	Scheme Scheme
+	// Policy is the replication policy for bound objects.
+	Policy replica.Policy
+	// Degree is the desired |Sv'| (0 = all of Sv).
+	Degree int
+	// ReadOnly applies the §4.1.2 read optimisation: the client binds to
+	// any one convenient server and never updates use lists.
+	ReadOnly bool
+	// UseWriteLockForExclude selects the §4.2.1 problem baseline: commit-
+	// time Exclude promotes the St read lock to a full write lock instead
+	// of the read-compatible exclude-write lock.
+	UseWriteLockForExclude bool
+	// NameServer, when set, enables the §5 extension: Sv is read from (and
+	// repaired in) a traditional non-atomic name server, while the atomic
+	// Object State database alone guarantees consistent binding. The
+	// Scheme field is ignored for the Sv side; St handling follows the
+	// standard scheme.
+	NameServer *NSClient
+}
+
+// Binding is one client action's binding to one replicated object. It is
+// the action's participant: commit processing writes object state to the
+// stores, excludes failed store nodes from St, and maintains use lists per
+// the scheme.
+type Binding struct {
+	binder *Binder
+	act    *action.Action
+	id     uid.UID
+	handle *replica.Handle
+	// bound is Sv' as successfully activated at bind time.
+	bound []transport.Addr
+	// stView is St as read at bind time.
+	stView []transport.Addr
+}
+
+// Bind resolves the object's UID through the naming and binding service
+// and returns a Binding ready for Invoke. It must be called inside a
+// running client action. Binding errors mean the client action must abort.
+func (b *Binder) Bind(ctx context.Context, act *action.Action, id uid.UID) (*Binding, error) {
+	if act == nil || act.Status() != action.StatusRunning {
+		return nil, errors.New("core: Bind requires a running client action")
+	}
+	if b.NameServer != nil {
+		return b.bindNonAtomicSv(ctx, act, id)
+	}
+	switch b.Scheme {
+	case SchemeStandard:
+		return b.bindStandard(ctx, act, id)
+	case SchemeIndependent, SchemeNestedTopLevel:
+		return b.bindEnhanced(ctx, act, id)
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %v", b.Scheme)
+	}
+}
+
+// bindStandard implements Figure 6.
+func (b *Binder) bindStandard(ctx context.Context, act *action.Action, id uid.UID) (*Binding, error) {
+	top := act.Top().ID()
+
+	// GetServer as a nested action of the client action; if the operation
+	// fails the nested action aborts and so must the client action.
+	nested, err := b.Actions.Begin(act)
+	if err != nil {
+		return nil, err
+	}
+	sv, _, err := b.DB.GetServer(ctx, top, id, false, false)
+	if err != nil {
+		_ = nested.Abort(ctx)
+		return nil, fmt.Errorf("core: GetServer(%v): %w", id, err)
+	}
+	st, class, err := b.DB.GetView(ctx, top, id)
+	if err != nil {
+		_ = nested.Abort(ctx)
+		return nil, fmt.Errorf("core: GetView(%v): %w", id, err)
+	}
+	if _, err := nested.Commit(ctx); err != nil {
+		return nil, err
+	}
+
+	candidates := b.selectServers(sv, nil)
+	return b.finishBind(ctx, act, id, class, candidates, st)
+}
+
+// bindEnhanced implements Figures 7 and 8: the database work runs in its
+// own top-level action (independent, or begun from within the client
+// action — structurally identical here), under a write lock, keeping Sv
+// current.
+func (b *Binder) bindEnhanced(ctx context.Context, act *action.Action, id uid.UID) (*Binding, error) {
+	bindAct := b.Actions.BeginTop()
+	owner := bindAct.ID()
+	abortBind := func() {
+		_ = b.DB.EndAction(context.Background(), owner, false)
+		_ = bindAct.Abort(context.Background())
+	}
+
+	wantUse := !b.ReadOnly
+	forUpdate := !b.ReadOnly
+	sv, use, err := b.DB.GetServer(ctx, owner, id, wantUse, forUpdate)
+	if err != nil {
+		abortBind()
+		return nil, fmt.Errorf("core: GetServer(%v): %w", id, err)
+	}
+	st, class, err := b.DB.GetView(ctx, owner, id)
+	if err != nil {
+		abortBind()
+		return nil, fmt.Errorf("core: GetView(%v): %w", id, err)
+	}
+
+	candidates := b.selectServers(sv, use)
+	bd, err := b.activate(ctx, act, id, class, candidates, st)
+	if err != nil {
+		abortBind()
+		return nil, err
+	}
+
+	if !b.ReadOnly {
+		// Remove failed servers from Sv so later clients do not pay the
+		// discovery cost (§4.1.3(i)); we already hold the write lock.
+		for _, dead := range bd.handle.Broken() {
+			if err := b.DB.Remove(ctx, owner, id, dead, false); err != nil {
+				abortBind()
+				return nil, fmt.Errorf("core: Remove(%v,%s): %w", id, dead, err)
+			}
+		}
+		bound := bd.handle.Bound()
+		if err := b.DB.Increment(ctx, owner, id, b.ClientNode, bound); err != nil {
+			abortBind()
+			return nil, fmt.Errorf("core: Increment(%v): %w", id, err)
+		}
+	}
+	if err := b.DB.EndAction(ctx, owner, true); err != nil {
+		abortBind()
+		return nil, err
+	}
+	if _, err := bindAct.Commit(ctx); err != nil {
+		return nil, err
+	}
+	bd.enlist()
+	return bd, nil
+}
+
+// bindNonAtomicSv implements the §5 extension: Sv comes from the
+// non-atomic name server (no locks, no actions); failed servers are
+// repaired there immediately. The St side keeps full atomic-action
+// discipline — it alone guarantees that the client binds to the latest
+// mutually consistent state.
+func (b *Binder) bindNonAtomicSv(ctx context.Context, act *action.Action, id uid.UID) (*Binding, error) {
+	top := act.Top().ID()
+	sv, err := b.NameServer.Get(ctx, id)
+	if err != nil {
+		return nil, fmt.Errorf("core: name server Get(%v): %w", id, err)
+	}
+	if len(sv) == 0 {
+		return nil, fmt.Errorf("core: name server has no servers for %v", id)
+	}
+	st, class, err := b.DB.GetView(ctx, top, id)
+	if err != nil {
+		return nil, fmt.Errorf("core: GetView(%v): %w", id, err)
+	}
+	bd, err := b.activate(ctx, act, id, class, b.selectServers(sv, nil), st)
+	if err != nil {
+		return nil, err
+	}
+	// Repair Sv in the name server right away — cheap, since there is no
+	// lock protocol; the price is that concurrent readers may observe the
+	// update mid-action, and a recovering server can re-insert itself with
+	// no quiescence check.
+	for _, dead := range bd.handle.Broken() {
+		if err := b.NameServer.Remove(ctx, id, dead); err != nil {
+			return nil, err
+		}
+	}
+	bd.enlist()
+	return bd, nil
+}
+
+// selectServers applies the client's fixed selection algorithm to Sv.
+func (b *Binder) selectServers(sv []transport.Addr, use map[transport.Addr]map[transport.Addr]int) []transport.Addr {
+	if len(sv) == 0 {
+		return nil
+	}
+	if b.ReadOnly {
+		// Read optimisation: any convenient node — spread read-only
+		// clients across Sv deterministically by client name.
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(b.ClientNode))
+		i := int(h.Sum32()) % len(sv)
+		return []transport.Addr{sv[i]}
+	}
+	if use != nil {
+		// §4.1.3(i): if any use list is non-empty, bind to the servers
+		// with non-zero counters (the object is already activated there).
+		var active []transport.Addr
+		for _, host := range sv {
+			for _, n := range use[host] {
+				if n > 0 {
+					active = append(active, host)
+					break
+				}
+			}
+		}
+		if len(active) > 0 {
+			sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+			return active
+		}
+	}
+	return sv
+}
+
+// finishBind activates and enlists for the standard scheme.
+func (b *Binder) finishBind(ctx context.Context, act *action.Action, id uid.UID, class string, candidates, st []transport.Addr) (*Binding, error) {
+	bd, err := b.activate(ctx, act, id, class, candidates, st)
+	if err != nil {
+		return nil, err
+	}
+	bd.enlist()
+	return bd, nil
+}
+
+func (b *Binder) activate(ctx context.Context, act *action.Action, id uid.UID, class string, candidates, st []transport.Addr) (*Binding, error) {
+	handle, err := replica.New(replica.Config{
+		UID:     id,
+		Class:   class,
+		Policy:  b.Policy,
+		Servers: candidates,
+		Degree:  b.Degree,
+		StNodes: st,
+		Client:  b.DB.RPC,
+	})
+	if err != nil {
+		return nil, err
+	}
+	handle.DisableAutoEnlist()
+	if err := handle.Activate(ctx); err != nil {
+		return nil, err
+	}
+	return &Binding{
+		binder: b,
+		act:    act,
+		id:     id,
+		handle: handle,
+		bound:  handle.Bound(),
+		stView: append([]transport.Addr(nil), st...),
+	}, nil
+}
+
+// enlist registers the binding as the client action's participant, once.
+func (bd *Binding) enlist() {
+	top := bd.act.Top()
+	if top.StashOnce("core.binding:"+bd.id.String(), bd) {
+		_ = top.Enlist(bd)
+	}
+}
+
+// UID returns the bound object's identifier.
+func (bd *Binding) UID() uid.UID { return bd.id }
+
+// Servers returns the live server bindings.
+func (bd *Binding) Servers() []transport.Addr { return bd.handle.Bound() }
+
+// Invoke calls a method on the bound object under the binding's action.
+func (bd *Binding) Invoke(ctx context.Context, method string, args []byte) ([]byte, error) {
+	return bd.handle.Invoke(ctx, bd.act, method, args)
+}
+
+// --- action.Participant ---
+
+var _ action.Participant = (*Binding)(nil)
+
+// Name implements action.Participant.
+func (bd *Binding) Name() string {
+	return fmt.Sprintf("binding(%v,%v)", bd.id, bd.binder.Scheme)
+}
+
+// Prepare implements action.Participant: the servers copy the new object
+// state to the St nodes; any store whose copy failed is then excluded from
+// St_A in the same commit processing (§4.2). A refused exclude lock aborts
+// the action (§4.2.1).
+func (bd *Binding) Prepare(ctx context.Context, tx string) error {
+	if err := bd.handle.Prepare(ctx, tx); err != nil {
+		return err
+	}
+	failed := bd.handle.FailedStores()
+	if len(failed) == 0 {
+		return nil
+	}
+	err := bd.binder.DB.Exclude(ctx, tx, []ExcludePair{{UID: bd.id, Hosts: failed}}, bd.binder.UseWriteLockForExclude)
+	if err != nil {
+		return fmt.Errorf("core: Exclude(%v,%v): %w", bd.id, failed, err)
+	}
+	return nil
+}
+
+// Commit implements action.Participant: phase two at the servers, then the
+// database action ends (releasing its locks and committing any Exclude),
+// and finally — for the enhanced schemes — the use-list Decrement runs in
+// its own top-level action.
+func (bd *Binding) Commit(ctx context.Context, tx string) error {
+	err := bd.handle.Commit(ctx, tx)
+	if dbErr := bd.binder.DB.EndAction(ctx, tx, true); err == nil {
+		err = dbErr
+	}
+	bd.decrementUse(ctx)
+	return err
+}
+
+// Abort implements action.Participant. Use counts still drop: the binding
+// existed regardless of the action's outcome.
+func (bd *Binding) Abort(ctx context.Context, tx string) error {
+	err := bd.handle.Abort(ctx, tx)
+	if dbErr := bd.binder.DB.EndAction(ctx, tx, false); err == nil {
+		err = dbErr
+	}
+	bd.decrementUse(ctx)
+	return err
+}
+
+// decrementUse runs the §4.1.3 Decrement in its own top-level action after
+// the client action has terminated (the last shaded action of Figure 7).
+func (bd *Binding) decrementUse(ctx context.Context) {
+	b := bd.binder
+	if b.ReadOnly || b.Scheme == SchemeStandard || len(bd.bound) == 0 {
+		return
+	}
+	decAct := b.Actions.BeginTop()
+	owner := decAct.ID()
+	if err := b.DB.Decrement(ctx, owner, bd.id, b.ClientNode, bd.bound); err != nil {
+		_ = b.DB.EndAction(context.Background(), owner, false)
+		_ = decAct.Abort(context.Background())
+		return
+	}
+	if err := b.DB.EndAction(ctx, owner, true); err != nil {
+		_ = decAct.Abort(context.Background())
+		return
+	}
+	_, _ = decAct.Commit(ctx)
+}
+
+// FailedStores exposes the stores excluded during commit, for experiments.
+func (bd *Binding) FailedStores() []transport.Addr { return bd.handle.FailedStores() }
+
+// BrokenServers exposes the bindings broken during the action.
+func (bd *Binding) BrokenServers() []transport.Addr { return bd.handle.Broken() }
+
+// CreateObject installs a new persistent object: its initial state is
+// written to every St node's object store, then the object is registered
+// in the group view database under a top-level action.
+func CreateObject(ctx context.Context, db Client, actions *action.Manager, id uid.UID, class string, initState []byte, svNodes, stNodes []transport.Addr) error {
+	for _, st := range stNodes {
+		remote := store.RemoteStore{Client: db.RPC, Node: st}
+		if err := remote.Put(ctx, id, initState, 1); err != nil {
+			return fmt.Errorf("core: install state at %s: %w", st, err)
+		}
+	}
+	act := actions.BeginTop()
+	owner := act.ID()
+	if err := db.Register(ctx, owner, id, class, svNodes, stNodes); err != nil {
+		_ = db.EndAction(context.Background(), owner, false)
+		_ = act.Abort(context.Background())
+		return err
+	}
+	if err := db.EndAction(ctx, owner, true); err != nil {
+		_ = act.Abort(context.Background())
+		return err
+	}
+	_, err := act.Commit(ctx)
+	return err
+}

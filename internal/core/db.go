@@ -1,0 +1,381 @@
+// Package core implements the paper's primary contribution: the naming and
+// binding service for persistent replicated objects (§3–§4).
+//
+// For every persistent object A the service maintains two sets of
+// node-related data (§3.1):
+//
+//   - Sv_A — nodes capable of running a server for A, kept by the Object
+//     Server database together with per-node *use lists* <client, count>
+//     (§4.1.3);
+//   - St_A — nodes whose object stores hold A's (mutually consistent,
+//     latest) state, kept by the Object State database (§4.2).
+//
+// Following the Arjuna implementation the paper reports (§5), both
+// databases are realised as a single persistent object — the *group view
+// database* (DB) — whose entries are concurrency-controlled independently
+// with read, write, and exclude-write locks, and whose operations execute
+// under atomic actions. The database object lives on one node: its
+// committed image is in that node's stable store and survives crashes;
+// locks and uncommitted mutations are volatile and die with the node.
+//
+// Lock ownership simplification: lock owners are top-level action IDs.
+// Arjuna's nested actions would let a subaction hold the lock until it
+// commits into its parent; since every scheme in the paper holds database
+// locks until the *top-level* action ends (Figure 6) or uses separate
+// top-level actions entirely (Figures 7–8), top-level ownership preserves
+// every behaviour under study. Binder (binder.go) implements the three
+// access schemes; recovery.go the §4.1.2/§4.2 recovery protocols;
+// janitor.go the failure-detection cleanup the paper sketches in §4.1.3.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/lockmgr"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// Application error codes for DB operations.
+const (
+	// CodeUnknownObject reports an operation on an unregistered UID.
+	CodeUnknownObject = "unknown-object"
+	// CodeLockRefused reports a refused lock acquire or promotion — per
+	// §4.2.1 the client action must abort.
+	CodeLockRefused = "lock-refused"
+	// CodeNotQuiescent reports an Insert attempted while the object's use
+	// lists are non-empty (§4.1.3: quiescent means every use list is
+	// empty). The write lock guards against clients of the standard
+	// scheme; the use-list check guards against clients of the enhanced
+	// schemes, whose locks are released between bind and decrement.
+	CodeNotQuiescent = "not-quiescent"
+)
+
+// UseList is the wire/state form of one server node's use list: how many
+// bindings each client node holds against that server (§4.1.3).
+type UseList struct {
+	Host    transport.Addr
+	Clients map[transport.Addr]int
+}
+
+// serverEntry is the Object Server database record for one object.
+type serverEntry struct {
+	// Nodes is Sv_A in preference order.
+	Nodes []transport.Addr
+	// Use maps server node → client node → count.
+	Use map[transport.Addr]map[transport.Addr]int
+}
+
+// stateEntry is the Object State database record for one object.
+type stateEntry struct {
+	// Nodes is St_A.
+	Nodes []transport.Addr
+	// Class records the object's class so that recovering nodes and
+	// binders can activate without out-of-band knowledge.
+	Class string
+}
+
+func (e *serverEntry) clone() *serverEntry {
+	cp := &serverEntry{
+		Nodes: append([]transport.Addr(nil), e.Nodes...),
+		Use:   make(map[transport.Addr]map[transport.Addr]int, len(e.Use)),
+	}
+	for host, clients := range e.Use {
+		m := make(map[transport.Addr]int, len(clients))
+		for c, n := range clients {
+			m[c] = n
+		}
+		cp.Use[host] = m
+	}
+	return cp
+}
+
+func (e *stateEntry) clone() *stateEntry {
+	return &stateEntry{Nodes: append([]transport.Addr(nil), e.Nodes...), Class: e.Class}
+}
+
+// snapshotSet records pre-images of entries an action has mutated, for
+// abort.
+type snapshotSet struct {
+	servers map[uid.UID]*serverEntry // nil value = entry did not exist
+	states  map[uid.UID]*stateEntry
+}
+
+// DB is the group view database: the naming and binding service state on
+// its home node.
+type DB struct {
+	node  *sim.Node
+	locks *lockmgr.Manager
+	// imageUID names the database's own persistent state in the node's
+	// stable store — the database is itself a persistent object (§3.1).
+	imageUID uid.UID
+
+	mu       sync.Mutex
+	servers  map[uid.UID]*serverEntry
+	states   map[uid.UID]*stateEntry
+	imageSeq uint64
+	// pending maps an in-flight action to its undo snapshots.
+	pending map[string]*snapshotSet
+	// clients maps an in-flight action to the node it came from, for the
+	// janitor's failure detection.
+	clients map[string]transport.Addr
+}
+
+// NewDB installs the group view database on node and registers its RPC
+// service. The database reloads its committed image from the node's stable
+// store, both at creation and whenever the node recovers from a crash.
+func NewDB(node *sim.Node) *DB {
+	db := &DB{
+		node:     node,
+		imageUID: uid.UID{Origin: "groupviewdb", Epoch: 1, Seq: 1},
+	}
+	db.resetVolatile()
+	db.loadImage()
+	node.OnRecover(func(*sim.Node) {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		db.resetVolatileLocked()
+		db.loadImageLocked()
+	})
+	registerService(node.Server(), db)
+	return db
+}
+
+// Node returns the database's home node.
+func (db *DB) Node() *sim.Node { return db.node }
+
+// Addr returns the database's network address.
+func (db *DB) Addr() transport.Addr { return db.node.Name() }
+
+func (db *DB) resetVolatile() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.resetVolatileLocked()
+}
+
+func (db *DB) resetVolatileLocked() {
+	db.locks = lockmgr.New(lockmgr.NoNesting)
+	db.servers = make(map[uid.UID]*serverEntry)
+	db.states = make(map[uid.UID]*stateEntry)
+	db.pending = make(map[string]*snapshotSet)
+	db.clients = make(map[string]transport.Addr)
+}
+
+// --- persistence ---
+
+// image is the gob-serialised committed database state.
+type image struct {
+	Servers map[string]imageServerEntry
+	States  map[string]imageStateEntry
+}
+
+type imageServerEntry struct {
+	Nodes []string
+	Use   map[string]map[string]int
+}
+
+type imageStateEntry struct {
+	Nodes []string
+	Class string
+}
+
+func (db *DB) loadImage() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.loadImageLocked()
+}
+
+func (db *DB) loadImageLocked() {
+	v, err := db.node.Store().Read(db.imageUID)
+	if err != nil {
+		return // no committed image yet
+	}
+	var img image
+	if err := rpc.Decode(v.Data, &img); err != nil {
+		// A corrupt stable image would be a catastrophic simulator bug;
+		// fail loudly rather than run with silent data loss.
+		panic(fmt.Sprintf("core: corrupt db image: %v", err))
+	}
+	db.imageSeq = v.Seq
+	db.servers = make(map[uid.UID]*serverEntry, len(img.Servers))
+	for k, e := range img.Servers {
+		id, err := uid.Parse(k)
+		if err != nil {
+			panic(fmt.Sprintf("core: corrupt db image key %q: %v", k, err))
+		}
+		se := &serverEntry{Use: make(map[transport.Addr]map[transport.Addr]int)}
+		for _, n := range e.Nodes {
+			se.Nodes = append(se.Nodes, transport.Addr(n))
+		}
+		for host, clients := range e.Use {
+			m := make(map[transport.Addr]int, len(clients))
+			for c, n := range clients {
+				m[transport.Addr(c)] = n
+			}
+			se.Use[transport.Addr(host)] = m
+		}
+		db.servers[id] = se
+	}
+	db.states = make(map[uid.UID]*stateEntry, len(img.States))
+	for k, e := range img.States {
+		id, err := uid.Parse(k)
+		if err != nil {
+			panic(fmt.Sprintf("core: corrupt db image key %q: %v", k, err))
+		}
+		st := &stateEntry{Class: e.Class}
+		for _, n := range e.Nodes {
+			st.Nodes = append(st.Nodes, transport.Addr(n))
+		}
+		db.states[id] = st
+	}
+}
+
+// persistLocked writes the committed image to stable storage; db.mu held.
+func (db *DB) persistLocked() {
+	img := image{
+		Servers: make(map[string]imageServerEntry, len(db.servers)),
+		States:  make(map[string]imageStateEntry, len(db.states)),
+	}
+	for id, e := range db.servers {
+		ie := imageServerEntry{Use: make(map[string]map[string]int, len(e.Use))}
+		for _, n := range e.Nodes {
+			ie.Nodes = append(ie.Nodes, string(n))
+		}
+		for host, clients := range e.Use {
+			m := make(map[string]int, len(clients))
+			for c, n := range clients {
+				m[string(c)] = n
+			}
+			ie.Use[string(host)] = m
+		}
+		img.Servers[id.String()] = ie
+	}
+	for id, e := range db.states {
+		ie := imageStateEntry{Class: e.Class}
+		for _, n := range e.Nodes {
+			ie.Nodes = append(ie.Nodes, string(n))
+		}
+		img.States[id.String()] = ie
+	}
+	data, err := rpc.Encode(&img)
+	if err != nil {
+		panic(fmt.Sprintf("core: encode db image: %v", err))
+	}
+	db.imageSeq++
+	db.node.Store().Put(db.imageUID, data, db.imageSeq)
+}
+
+// --- lock and snapshot plumbing ---
+
+func svKey(id uid.UID) string { return "sv/" + id.String() }
+func stKey(id uid.UID) string { return "st/" + id.String() }
+
+// noteClientLocked remembers which node an action came from.
+func (db *DB) noteClientLocked(act string, from transport.Addr) {
+	db.clients[act] = from
+}
+
+// snapServerLocked snapshots the server entry for act before mutation.
+func (db *DB) snapServerLocked(act string, id uid.UID) {
+	ss := db.pendingSetLocked(act)
+	if _, done := ss.servers[id]; done {
+		return
+	}
+	if e, ok := db.servers[id]; ok {
+		ss.servers[id] = e.clone()
+	} else {
+		ss.servers[id] = nil
+	}
+}
+
+func (db *DB) snapStateLocked(act string, id uid.UID) {
+	ss := db.pendingSetLocked(act)
+	if _, done := ss.states[id]; done {
+		return
+	}
+	if e, ok := db.states[id]; ok {
+		ss.states[id] = e.clone()
+	} else {
+		ss.states[id] = nil
+	}
+}
+
+func (db *DB) pendingSetLocked(act string) *snapshotSet {
+	ss, ok := db.pending[act]
+	if !ok {
+		ss = &snapshotSet{
+			servers: make(map[uid.UID]*serverEntry),
+			states:  make(map[uid.UID]*stateEntry),
+		}
+		db.pending[act] = ss
+	}
+	return ss
+}
+
+// EndAction finishes an action at the database: commit persists its entry
+// mutations, abort restores the pre-images; either way the action's locks
+// are released (end of Figure 6's read-lock hold, or of the short
+// independent actions of Figures 7–8).
+func (db *DB) EndAction(act string, commit bool) {
+	db.mu.Lock()
+	if ss, ok := db.pending[act]; ok {
+		if commit {
+			db.persistLocked()
+		} else {
+			for id, snap := range ss.servers {
+				if snap == nil {
+					delete(db.servers, id)
+				} else {
+					db.servers[id] = snap
+				}
+			}
+			for id, snap := range ss.states {
+				if snap == nil {
+					delete(db.states, id)
+				} else {
+					db.states[id] = snap
+				}
+			}
+		}
+		delete(db.pending, act)
+	}
+	delete(db.clients, act)
+	db.mu.Unlock()
+	db.locks.ReleaseAll(lockmgr.Owner(act))
+}
+
+// Quiescent reports whether all use lists of the object are empty (the
+// §4.1.3 definition of a quiescent/passive object, as far as the database
+// knows).
+func (db *DB) Quiescent(id uid.UID) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e, ok := db.servers[id]
+	if !ok {
+		return true
+	}
+	for _, clients := range e.Use {
+		for _, n := range clients {
+			if n > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Objects lists registered UIDs, sorted — for tooling.
+func (db *DB) Objects() []uid.UID {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]uid.UID, 0, len(db.states))
+	for id := range db.states {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}

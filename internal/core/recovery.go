@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/action"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// RecoverServerNode runs the §4.1.2 server recovery protocol: for each
+// object the node can serve, it executes Insert(UID, node) in a top-level
+// action. Although the node may already be in Sv_A, the Insert's write
+// lock only succeeds when the object is quiescent, which is exactly the
+// check that makes bindings safe across server crash and recovery.
+func RecoverServerNode(ctx context.Context, node *sim.Node, db transport.Addr, ids []uid.UID) error {
+	cli := Client{RPC: node.Client(), DB: db}
+	mgr := action.NewManager(string(node.Name())+"/sv-recovery", nil)
+	for _, id := range ids {
+		act := mgr.BeginTop()
+		owner := act.ID()
+		if err := cli.Insert(ctx, owner, id, node.Name()); err != nil {
+			_ = cli.EndAction(context.Background(), owner, false)
+			_ = act.Abort(context.Background())
+			return fmt.Errorf("core: recovery Insert(%v,%s): %w", id, node.Name(), err)
+		}
+		if err := cli.EndAction(ctx, owner, true); err != nil {
+			_ = act.Abort(context.Background())
+			return err
+		}
+		if _, err := act.Commit(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecoverStoreNode runs the §4.2 store recovery protocol: for each object,
+// the node refreshes its copy of the latest committed state from a current
+// St member under an atomic action and then Includes itself back into
+// St_A, making its object states available again.
+func RecoverStoreNode(ctx context.Context, node *sim.Node, db transport.Addr, ids []uid.UID) error {
+	cli := Client{RPC: node.Client(), DB: db}
+	mgr := action.NewManager(string(node.Name())+"/st-recovery", nil)
+	for _, id := range ids {
+		act := mgr.BeginTop()
+		owner := act.ID()
+		err := recoverOneState(ctx, cli, node, owner, id)
+		if err != nil {
+			_ = cli.EndAction(context.Background(), owner, false)
+			_ = act.Abort(context.Background())
+			return err
+		}
+		if err := cli.EndAction(ctx, owner, true); err != nil {
+			_ = act.Abort(context.Background())
+			return err
+		}
+		if _, err := act.Commit(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func recoverOneState(ctx context.Context, cli Client, node *sim.Node, owner string, id uid.UID) error {
+	view, _, err := cli.GetView(ctx, owner, id)
+	if err != nil {
+		return fmt.Errorf("core: recovery GetView(%v): %w", id, err)
+	}
+	// Fetch the latest committed state from a current St member.
+	self := node.Name()
+	var fetched bool
+	for _, st := range view {
+		if st == self {
+			// Already in the view — our copy is considered current.
+			fetched = true
+			break
+		}
+		remote := store.RemoteStore{Client: node.Client(), Node: st}
+		v, err := remote.Read(ctx, id)
+		if err != nil {
+			continue
+		}
+		node.Store().Put(id, v.Data, v.Seq)
+		fetched = true
+		break
+	}
+	if !fetched {
+		if len(view) == 0 {
+			// No current copy exists anywhere: whatever this store holds is
+			// the best (and only) surviving state — include it back.
+			if _, err := node.Store().Read(id); err != nil {
+				return fmt.Errorf("core: recovery %v: no surviving state anywhere", id)
+			}
+		} else {
+			return fmt.Errorf("core: recovery %v: no reachable St member among %v", id, view)
+		}
+	}
+	if err := cli.Include(ctx, owner, id, self); err != nil {
+		return fmt.Errorf("core: recovery Include(%v,%s): %w", id, self, err)
+	}
+	return nil
+}
+
+// WireRecovery registers the recovery protocols to run automatically when
+// node recovers from a crash. ids is evaluated at recovery time so newly
+// created objects are covered. Failures are recorded in errs (if non-nil);
+// recovery must not panic the node.
+func WireRecovery(node *sim.Node, db transport.Addr, ids func() []uid.UID, asServer, asStore bool, errs func(error)) {
+	node.OnRecover(func(n *sim.Node) {
+		ctx := context.Background()
+		if asStore {
+			if err := RecoverStoreNode(ctx, n, db, ids()); err != nil && errs != nil {
+				errs(err)
+			}
+		}
+		if asServer {
+			if err := RecoverServerNode(ctx, n, db, ids()); err != nil && errs != nil {
+				errs(err)
+			}
+		}
+	})
+}

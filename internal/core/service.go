@@ -1,0 +1,588 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/lockmgr"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// ServiceName is the RPC service name of the group view database.
+const ServiceName = "groupview"
+
+// RPC method names — one per database operation of §4.1/§4.2.
+const (
+	MethodRegister  = "Register"
+	MethodGetServer = "GetServer"
+	MethodInsert    = "Insert"
+	MethodRemove    = "Remove"
+	MethodIncrement = "Increment"
+	MethodDecrement = "Decrement"
+	MethodGetView   = "GetView"
+	MethodInclude   = "Include"
+	MethodExclude   = "Exclude"
+	MethodEndAction = "EndAction"
+)
+
+// --- server-side operations ---
+
+// Register creates the Sv and St entries for a new object (write locks on
+// both). The St entry also records the object's class.
+func (db *DB) Register(ctx context.Context, act string, from transport.Addr, id uid.UID, class string, svNodes, stNodes []transport.Addr) error {
+	owner := lockmgr.Owner(act)
+	if err := db.locks.Acquire(ctx, owner, svKey(id), lockmgr.Write); err != nil {
+		return rpc.Errorf(CodeLockRefused, "%v", err)
+	}
+	if err := db.locks.Acquire(ctx, owner, stKey(id), lockmgr.Write); err != nil {
+		return rpc.Errorf(CodeLockRefused, "%v", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noteClientLocked(act, from)
+	db.snapServerLocked(act, id)
+	db.snapStateLocked(act, id)
+	use := make(map[transport.Addr]map[transport.Addr]int, len(svNodes))
+	for _, n := range svNodes {
+		use[n] = make(map[transport.Addr]int)
+	}
+	db.servers[id] = &serverEntry{Nodes: append([]transport.Addr(nil), svNodes...), Use: use}
+	db.states[id] = &stateEntry{Nodes: append([]transport.Addr(nil), stNodes...), Class: class}
+	return nil
+}
+
+// GetServer returns Sv_A under a read lock held by act until the action
+// ends (§4.1.1). With wantUse it also returns the use lists (§4.1.3).
+// forUpdate takes a write lock instead — the enhanced schemes of §4.1.3
+// read Sv and update use lists within one top-level action, so they take
+// the stronger lock up front rather than promote later.
+func (db *DB) GetServer(ctx context.Context, act string, from transport.Addr, id uid.UID, wantUse, forUpdate bool) ([]transport.Addr, []UseList, error) {
+	mode := lockmgr.Read
+	if forUpdate {
+		mode = lockmgr.Write
+	}
+	if err := db.locks.Acquire(ctx, lockmgr.Owner(act), svKey(id), mode); err != nil {
+		return nil, nil, rpc.Errorf(CodeLockRefused, "%v", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noteClientLocked(act, from)
+	e, ok := db.servers[id]
+	if !ok {
+		return nil, nil, rpc.Errorf(CodeUnknownObject, "no Sv entry for %v", id)
+	}
+	nodes := append([]transport.Addr(nil), e.Nodes...)
+	if !wantUse {
+		return nodes, nil, nil
+	}
+	uses := make([]UseList, 0, len(e.Nodes))
+	for _, host := range e.Nodes {
+		ul := UseList{Host: host, Clients: make(map[transport.Addr]int)}
+		for c, n := range e.Use[host] {
+			if n > 0 {
+				ul.Clients[c] = n
+			}
+		}
+		uses = append(uses, ul)
+	}
+	return nodes, uses, nil
+}
+
+// Insert adds host to Sv_A under a write lock. Because the write lock
+// conflicts with every client's read lock, the operation succeeds only
+// when the object is quiescent — exactly the §4.1.2 recovery check. For
+// clients of the enhanced schemes (whose locks are short-lived) the same
+// guarantee comes from the use lists: Insert refuses while any use list
+// is non-empty (§4.1.3's quiescence definition).
+func (db *DB) Insert(ctx context.Context, act string, from transport.Addr, id uid.UID, host transport.Addr) error {
+	if err := db.locks.Acquire(ctx, lockmgr.Owner(act), svKey(id), lockmgr.Write); err != nil {
+		return rpc.Errorf(CodeLockRefused, "%v", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noteClientLocked(act, from)
+	e, ok := db.servers[id]
+	if !ok {
+		return rpc.Errorf(CodeUnknownObject, "no Sv entry for %v", id)
+	}
+	for _, clients := range e.Use {
+		for _, n := range clients {
+			if n > 0 {
+				return rpc.Errorf(CodeNotQuiescent, "object %v has active use counts", id)
+			}
+		}
+	}
+	db.snapServerLocked(act, id)
+	for _, n := range e.Nodes {
+		if n == host {
+			return nil // already a member — idempotent re-insert
+		}
+	}
+	e.Nodes = append(e.Nodes, host)
+	if e.Use[host] == nil {
+		e.Use[host] = make(map[transport.Addr]int)
+	}
+	return nil
+}
+
+// Remove deletes host from Sv_A under a write lock — used by applications
+// to vary the degree of replication (§4.1.2) and by the enhanced schemes
+// to drop failed servers (§4.1.3). The attempt to take the write lock is
+// non-blocking when tryOnly is set (a client repairing Sv should not wait
+// behind other users; per the paper it simply carries on if it cannot).
+func (db *DB) Remove(ctx context.Context, act string, from transport.Addr, id uid.UID, host transport.Addr, tryOnly bool) error {
+	owner := lockmgr.Owner(act)
+	if tryOnly {
+		if db.locks.Holds(owner, svKey(id), lockmgr.Read) {
+			if err := db.locks.TryPromote(owner, svKey(id), lockmgr.Read, lockmgr.Write); err != nil {
+				return rpc.Errorf(CodeLockRefused, "%v", err)
+			}
+		} else if err := db.locks.TryAcquire(owner, svKey(id), lockmgr.Write); err != nil {
+			return rpc.Errorf(CodeLockRefused, "%v", err)
+		}
+	} else if err := db.locks.Acquire(ctx, owner, svKey(id), lockmgr.Write); err != nil {
+		return rpc.Errorf(CodeLockRefused, "%v", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noteClientLocked(act, from)
+	e, ok := db.servers[id]
+	if !ok {
+		return rpc.Errorf(CodeUnknownObject, "no Sv entry for %v", id)
+	}
+	db.snapServerLocked(act, id)
+	var kept []transport.Addr
+	for _, n := range e.Nodes {
+		if n != host {
+			kept = append(kept, n)
+		}
+	}
+	e.Nodes = kept
+	delete(e.Use, host)
+	return nil
+}
+
+// Increment bumps clientNode's counter in the use list of each host
+// (§4.1.3); requires the write lock.
+func (db *DB) Increment(ctx context.Context, act string, from transport.Addr, id uid.UID, clientNode transport.Addr, hosts []transport.Addr) error {
+	return db.adjustUse(ctx, act, from, id, clientNode, hosts, +1)
+}
+
+// Decrement is the complementary operation to Increment.
+func (db *DB) Decrement(ctx context.Context, act string, from transport.Addr, id uid.UID, clientNode transport.Addr, hosts []transport.Addr) error {
+	return db.adjustUse(ctx, act, from, id, clientNode, hosts, -1)
+}
+
+func (db *DB) adjustUse(ctx context.Context, act string, from transport.Addr, id uid.UID, clientNode transport.Addr, hosts []transport.Addr, delta int) error {
+	if err := db.locks.Acquire(ctx, lockmgr.Owner(act), svKey(id), lockmgr.Write); err != nil {
+		return rpc.Errorf(CodeLockRefused, "%v", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noteClientLocked(act, from)
+	e, ok := db.servers[id]
+	if !ok {
+		return rpc.Errorf(CodeUnknownObject, "no Sv entry for %v", id)
+	}
+	db.snapServerLocked(act, id)
+	for _, host := range hosts {
+		m := e.Use[host]
+		if m == nil {
+			m = make(map[transport.Addr]int)
+			e.Use[host] = m
+		}
+		m[clientNode] += delta
+		if m[clientNode] <= 0 {
+			delete(m, clientNode)
+		}
+	}
+	return nil
+}
+
+// GetView returns St_A and the object's class under a read lock (§4.2).
+func (db *DB) GetView(ctx context.Context, act string, from transport.Addr, id uid.UID) ([]transport.Addr, string, error) {
+	if err := db.locks.Acquire(ctx, lockmgr.Owner(act), stKey(id), lockmgr.Read); err != nil {
+		return nil, "", rpc.Errorf(CodeLockRefused, "%v", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noteClientLocked(act, from)
+	e, ok := db.states[id]
+	if !ok {
+		return nil, "", rpc.Errorf(CodeUnknownObject, "no St entry for %v", id)
+	}
+	return append([]transport.Addr(nil), e.Nodes...), e.Class, nil
+}
+
+// Include adds host back to St_A under a write lock — run by a recovered
+// store node once its object states are up to date (§4.2).
+func (db *DB) Include(ctx context.Context, act string, from transport.Addr, id uid.UID, host transport.Addr) error {
+	if err := db.locks.Acquire(ctx, lockmgr.Owner(act), stKey(id), lockmgr.Write); err != nil {
+		return rpc.Errorf(CodeLockRefused, "%v", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noteClientLocked(act, from)
+	e, ok := db.states[id]
+	if !ok {
+		return rpc.Errorf(CodeUnknownObject, "no St entry for %v", id)
+	}
+	db.snapStateLocked(act, id)
+	for _, n := range e.Nodes {
+		if n == host {
+			return nil
+		}
+	}
+	e.Nodes = append(e.Nodes, host)
+	return nil
+}
+
+// ExcludePair names the store nodes to exclude for one object.
+type ExcludePair struct {
+	UID   uid.UID
+	Hosts []transport.Addr
+}
+
+// Exclude removes failed store nodes from the St sets of the listed
+// objects (§4.2), as a single batched operation, at commit time of the
+// calling action.
+//
+// Locking implements §4.2.1's type-specific concurrency control: if the
+// action already holds a read lock on an entry it is promoted to
+// exclude-write, which *shares with other readers*; otherwise an
+// exclude-write lock is acquired outright (non-blocking — commit
+// processing must not wait). With useWriteLock set the operation instead
+// promotes to a full write lock, reproducing the paper's problem case: the
+// promotion is refused whenever other clients hold read locks, and the
+// caller's action must abort.
+func (db *DB) Exclude(ctx context.Context, act string, from transport.Addr, pairs []ExcludePair, useWriteLock bool) error {
+	owner := lockmgr.Owner(act)
+	target := lockmgr.ExcludeWrite
+	if useWriteLock {
+		target = lockmgr.Write
+	}
+	for _, p := range pairs {
+		key := stKey(p.UID)
+		if db.locks.Holds(owner, key, lockmgr.Read) && !db.locks.Holds(owner, key, target) {
+			if err := db.locks.TryPromote(owner, key, lockmgr.Read, target); err != nil {
+				return rpc.Errorf(CodeLockRefused, "exclude %v: %v", p.UID, err)
+			}
+		} else if !db.locks.Holds(owner, key, target) {
+			if err := db.locks.TryAcquire(owner, key, target); err != nil {
+				return rpc.Errorf(CodeLockRefused, "exclude %v: %v", p.UID, err)
+			}
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noteClientLocked(act, from)
+	for _, p := range pairs {
+		e, ok := db.states[p.UID]
+		if !ok {
+			return rpc.Errorf(CodeUnknownObject, "no St entry for %v", p.UID)
+		}
+		db.snapStateLocked(act, p.UID)
+		for _, host := range p.Hosts {
+			var kept []transport.Addr
+			for _, n := range e.Nodes {
+				if n != host {
+					kept = append(kept, n)
+				}
+			}
+			e.Nodes = kept
+		}
+	}
+	return nil
+}
+
+// --- wire records ---
+
+// RegisterReq registers a new object in both databases.
+type RegisterReq struct {
+	Action  string
+	UID     string
+	Class   string
+	SvNodes []string
+	StNodes []string
+}
+
+// GetServerReq fetches Sv (and optionally use lists).
+type GetServerReq struct {
+	Action  string
+	UID     string
+	WantUse bool
+	// ForUpdate acquires a write lock instead of a read lock (§4.1.3
+	// schemes that will update use lists in the same action).
+	ForUpdate bool
+}
+
+// GetServerResp carries Sv and the use lists.
+type GetServerResp struct {
+	Nodes []string
+	Use   map[string]map[string]int
+}
+
+// HostReq is the generic {action, uid, host} update request.
+type HostReq struct {
+	Action string
+	UID    string
+	Host   string
+	// TryOnly makes the lock attempt non-blocking (Remove only).
+	TryOnly bool
+}
+
+// UseReq adjusts use lists.
+type UseReq struct {
+	Action     string
+	UID        string
+	ClientNode string
+	Hosts      []string
+}
+
+// GetViewReq fetches St.
+type GetViewReq struct {
+	Action string
+	UID    string
+}
+
+// GetViewResp carries St and the object's class.
+type GetViewResp struct {
+	Nodes []string
+	Class string
+}
+
+// ExcludeReq batches St exclusions.
+type ExcludeReq struct {
+	Action string
+	Pairs  []ExcludePairRec
+	// UseWriteLock selects the §4.2.1 baseline (read→write promotion)
+	// instead of the exclude-write lock.
+	UseWriteLock bool
+}
+
+// ExcludePairRec is the wire form of ExcludePair.
+type ExcludePairRec struct {
+	UID   string
+	Hosts []string
+}
+
+// EndActionReq finishes an action at the database.
+type EndActionReq struct {
+	Action string
+	Commit bool
+}
+
+// Ack is an empty success response.
+type Ack struct{}
+
+func registerService(srv *rpc.Server, db *DB) {
+	srv.Handle(ServiceName, MethodRegister, rpc.Method(func(ctx context.Context, from transport.Addr, req RegisterReq) (Ack, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		return Ack{}, db.Register(ctx, req.Action, from, id, req.Class, toAddrs(req.SvNodes), toAddrs(req.StNodes))
+	}))
+	srv.Handle(ServiceName, MethodGetServer, rpc.Method(func(ctx context.Context, from transport.Addr, req GetServerReq) (GetServerResp, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return GetServerResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		nodes, uses, err := db.GetServer(ctx, req.Action, from, id, req.WantUse, req.ForUpdate)
+		if err != nil {
+			return GetServerResp{}, err
+		}
+		resp := GetServerResp{Nodes: fromAddrs(nodes)}
+		if req.WantUse {
+			resp.Use = make(map[string]map[string]int, len(uses))
+			for _, ul := range uses {
+				m := make(map[string]int, len(ul.Clients))
+				for c, n := range ul.Clients {
+					m[string(c)] = n
+				}
+				resp.Use[string(ul.Host)] = m
+			}
+		}
+		return resp, nil
+	}))
+	srv.Handle(ServiceName, MethodInsert, rpc.Method(func(ctx context.Context, from transport.Addr, req HostReq) (Ack, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		return Ack{}, db.Insert(ctx, req.Action, from, id, transport.Addr(req.Host))
+	}))
+	srv.Handle(ServiceName, MethodRemove, rpc.Method(func(ctx context.Context, from transport.Addr, req HostReq) (Ack, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		return Ack{}, db.Remove(ctx, req.Action, from, id, transport.Addr(req.Host), req.TryOnly)
+	}))
+	srv.Handle(ServiceName, MethodIncrement, rpc.Method(func(ctx context.Context, from transport.Addr, req UseReq) (Ack, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		return Ack{}, db.Increment(ctx, req.Action, from, id, transport.Addr(req.ClientNode), toAddrs(req.Hosts))
+	}))
+	srv.Handle(ServiceName, MethodDecrement, rpc.Method(func(ctx context.Context, from transport.Addr, req UseReq) (Ack, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		return Ack{}, db.Decrement(ctx, req.Action, from, id, transport.Addr(req.ClientNode), toAddrs(req.Hosts))
+	}))
+	srv.Handle(ServiceName, MethodGetView, rpc.Method(func(ctx context.Context, from transport.Addr, req GetViewReq) (GetViewResp, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return GetViewResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		nodes, class, err := db.GetView(ctx, req.Action, from, id)
+		if err != nil {
+			return GetViewResp{}, err
+		}
+		return GetViewResp{Nodes: fromAddrs(nodes), Class: class}, nil
+	}))
+	srv.Handle(ServiceName, MethodInclude, rpc.Method(func(ctx context.Context, from transport.Addr, req HostReq) (Ack, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		return Ack{}, db.Include(ctx, req.Action, from, id, transport.Addr(req.Host))
+	}))
+	srv.Handle(ServiceName, MethodExclude, rpc.Method(func(ctx context.Context, from transport.Addr, req ExcludeReq) (Ack, error) {
+		pairs := make([]ExcludePair, 0, len(req.Pairs))
+		for _, p := range req.Pairs {
+			id, err := uid.Parse(p.UID)
+			if err != nil {
+				return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+			}
+			pairs = append(pairs, ExcludePair{UID: id, Hosts: toAddrs(p.Hosts)})
+		}
+		return Ack{}, db.Exclude(ctx, req.Action, from, pairs, req.UseWriteLock)
+	}))
+	srv.Handle(ServiceName, MethodEndAction, rpc.Method(func(ctx context.Context, from transport.Addr, req EndActionReq) (Ack, error) {
+		db.EndAction(req.Action, req.Commit)
+		return Ack{}, nil
+	}))
+}
+
+func toAddrs(in []string) []transport.Addr {
+	out := make([]transport.Addr, len(in))
+	for i, s := range in {
+		out[i] = transport.Addr(s)
+	}
+	return out
+}
+
+func fromAddrs(in []transport.Addr) []string {
+	out := make([]string, len(in))
+	for i, a := range in {
+		out[i] = string(a)
+	}
+	return out
+}
+
+// Client is a typed client for a remote group view database.
+type Client struct {
+	RPC rpc.Client
+	DB  transport.Addr
+}
+
+// Register registers a new object.
+func (c Client) Register(ctx context.Context, act string, id uid.UID, class string, svNodes, stNodes []transport.Addr) error {
+	_, err := rpc.Invoke[RegisterReq, Ack](ctx, c.RPC, c.DB, ServiceName, MethodRegister, RegisterReq{
+		Action: act, UID: id.String(), Class: class,
+		SvNodes: fromAddrs(svNodes), StNodes: fromAddrs(stNodes),
+	})
+	return err
+}
+
+// GetServer fetches Sv_A (and use lists when wantUse); forUpdate takes a
+// write lock.
+func (c Client) GetServer(ctx context.Context, act string, id uid.UID, wantUse, forUpdate bool) ([]transport.Addr, map[transport.Addr]map[transport.Addr]int, error) {
+	resp, err := rpc.Invoke[GetServerReq, GetServerResp](ctx, c.RPC, c.DB, ServiceName, MethodGetServer, GetServerReq{
+		Action: act, UID: id.String(), WantUse: wantUse, ForUpdate: forUpdate,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var use map[transport.Addr]map[transport.Addr]int
+	if wantUse {
+		use = make(map[transport.Addr]map[transport.Addr]int, len(resp.Use))
+		for host, clients := range resp.Use {
+			m := make(map[transport.Addr]int, len(clients))
+			for cl, n := range clients {
+				m[transport.Addr(cl)] = n
+			}
+			use[transport.Addr(host)] = m
+		}
+	}
+	return toAddrs(resp.Nodes), use, nil
+}
+
+// Insert adds a server node to Sv_A.
+func (c Client) Insert(ctx context.Context, act string, id uid.UID, host transport.Addr) error {
+	_, err := rpc.Invoke[HostReq, Ack](ctx, c.RPC, c.DB, ServiceName, MethodInsert, HostReq{Action: act, UID: id.String(), Host: string(host)})
+	return err
+}
+
+// Remove drops a server node from Sv_A; tryOnly makes the lock attempt
+// non-blocking.
+func (c Client) Remove(ctx context.Context, act string, id uid.UID, host transport.Addr, tryOnly bool) error {
+	_, err := rpc.Invoke[HostReq, Ack](ctx, c.RPC, c.DB, ServiceName, MethodRemove, HostReq{Action: act, UID: id.String(), Host: string(host), TryOnly: tryOnly})
+	return err
+}
+
+// Increment bumps this client's use count at the given hosts.
+func (c Client) Increment(ctx context.Context, act string, id uid.UID, clientNode transport.Addr, hosts []transport.Addr) error {
+	_, err := rpc.Invoke[UseReq, Ack](ctx, c.RPC, c.DB, ServiceName, MethodIncrement, UseReq{
+		Action: act, UID: id.String(), ClientNode: string(clientNode), Hosts: fromAddrs(hosts),
+	})
+	return err
+}
+
+// Decrement is the complementary operation to Increment.
+func (c Client) Decrement(ctx context.Context, act string, id uid.UID, clientNode transport.Addr, hosts []transport.Addr) error {
+	_, err := rpc.Invoke[UseReq, Ack](ctx, c.RPC, c.DB, ServiceName, MethodDecrement, UseReq{
+		Action: act, UID: id.String(), ClientNode: string(clientNode), Hosts: fromAddrs(hosts),
+	})
+	return err
+}
+
+// GetView fetches St_A and the class name.
+func (c Client) GetView(ctx context.Context, act string, id uid.UID) ([]transport.Addr, string, error) {
+	resp, err := rpc.Invoke[GetViewReq, GetViewResp](ctx, c.RPC, c.DB, ServiceName, MethodGetView, GetViewReq{Action: act, UID: id.String()})
+	if err != nil {
+		return nil, "", err
+	}
+	return toAddrs(resp.Nodes), resp.Class, nil
+}
+
+// Include adds a store node back into St_A.
+func (c Client) Include(ctx context.Context, act string, id uid.UID, host transport.Addr) error {
+	_, err := rpc.Invoke[HostReq, Ack](ctx, c.RPC, c.DB, ServiceName, MethodInclude, HostReq{Action: act, UID: id.String(), Host: string(host)})
+	return err
+}
+
+// Exclude removes failed store nodes from St sets (batched).
+func (c Client) Exclude(ctx context.Context, act string, pairs []ExcludePair, useWriteLock bool) error {
+	recs := make([]ExcludePairRec, len(pairs))
+	for i, p := range pairs {
+		recs[i] = ExcludePairRec{UID: p.UID.String(), Hosts: fromAddrs(p.Hosts)}
+	}
+	_, err := rpc.Invoke[ExcludeReq, Ack](ctx, c.RPC, c.DB, ServiceName, MethodExclude, ExcludeReq{Action: act, Pairs: recs, UseWriteLock: useWriteLock})
+	return err
+}
+
+// EndAction finishes an action at the database.
+func (c Client) EndAction(ctx context.Context, act string, commit bool) error {
+	_, err := rpc.Invoke[EndActionReq, Ack](ctx, c.RPC, c.DB, ServiceName, MethodEndAction, EndActionReq{Action: act, Commit: commit})
+	return err
+}
+
+// String renders the client target for logs.
+func (c Client) String() string { return fmt.Sprintf("groupview@%s", c.DB) }

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/harness"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// RunJanitorAblation measures the design choice DESIGN.md calls out for
+// the §4.1.3 cleanup protocol: a client crashes while holding use counts
+// (its Decrement will never run). Without the janitor the object never
+// becomes quiescent, so a recovering server's Insert (§4.1.2) can only
+// time out; with the janitor the counters are cleared and the Insert
+// succeeds.
+func RunJanitorAblation(insertTimeout time.Duration) (*Table, error) {
+	t := &Table{
+		Title:  "Ablation (§4.1.3): use-list janitor on/off after a client crash",
+		Header: []string{"janitor", "object quiescent", "recovering Insert"},
+	}
+	for _, withJanitor := range []bool{false, true} {
+		w, err := harness.New(harness.Options{Servers: 2, Stores: 1, Clients: 2})
+		if err != nil {
+			return nil, err
+		}
+		ctx := context.Background()
+		// c1 binds with use lists and crashes mid-action.
+		b := w.Binder("c1", core.SchemeIndependent, replica.SingleCopyPassive, 1)
+		act := b.Actions.BeginTop()
+		bd, err := b.Bind(ctx, act, w.Objects[0])
+		if err != nil {
+			return nil, err
+		}
+		if _, err := bd.Invoke(ctx, "add", []byte("1")); err != nil {
+			return nil, err
+		}
+		w.Cluster.Node("c1").Crash()
+
+		if withJanitor {
+			core.NewJanitor(w.DB).Sweep(ctx)
+		}
+		quiescent := w.DB.Quiescent(w.Objects[0])
+
+		// A recovering server tries to re-Insert under a bounded wait.
+		insCtx, cancel := context.WithTimeout(ctx, insertTimeout)
+		cli := core.Client{RPC: w.Cluster.Node("c2").Client(), DB: "db"}
+		insErr := cli.Insert(insCtx, "recovery-act", w.Objects[0], "sv2")
+		cancel()
+		_ = cli.EndAction(ctx, "recovery-act", insErr == nil)
+
+		outcome := "succeeded"
+		if insErr != nil {
+			outcome = "refused (" + rpc.CodeOf(insErr) + ")"
+		}
+		label := "off"
+		if withJanitor {
+			label = "on"
+		}
+		t.AddRow(label, fmt.Sprintf("%v", quiescent), outcome)
+	}
+	t.Notes = append(t.Notes,
+		"paper: 'a crash of a client does not automatically undo changes made to the database. So, failure",
+		"detection and cleanup protocols will be required.' (§4.1.3)",
+	)
+	return t, nil
+}
+
+// RunMulticastCost measures the E1 ablation: the per-message cost of the
+// sequencer-relayed ordered multicast against the naive direct fan-out,
+// across group sizes. The ordered discipline pays one extra hop (sender →
+// sequencer) plus relay serialization; that premium is the price of the
+// Figure 1 guarantee.
+func RunMulticastCost(sizes []int, messages int, latency time.Duration) (*Table, error) {
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation (Figure 1): multicast cost, %d messages/point, %v per network leg", messages, latency),
+		Header: []string{"members", "ordered µs/msg", "naive µs/msg"},
+	}
+	for _, k := range sizes {
+		ordered, naive, err := multicastCost(k, messages, latency)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d(k), f(ordered), f(naive))
+	}
+	t.Notes = append(t.Notes,
+		"ordered delivery costs one extra hop via the sequencer; naive saves it but permits Figure 1 divergence")
+	return t, nil
+}
+
+func multicastCost(members, messages int, latency time.Duration) (orderedMicros, naiveMicros float64, err error) {
+	cluster := sim.NewCluster(transport.MemOptions{BaseLatency: latency})
+	var addrs []transport.Addr
+	for i := 0; i < members; i++ {
+		name := transport.Addr(fmt.Sprintf("m%d", i+1))
+		n := cluster.Add(name)
+		h := group.NewHost(n.Server(), n.Client())
+		h.Join("G", func(_ context.Context, msg group.Delivered) ([]byte, error) {
+			return []byte("ok"), nil
+		})
+		addrs = append(addrs, name)
+	}
+	sender := cluster.Add("sender")
+	g := group.Group{ID: "G", Members: addrs}
+	ctx := context.Background()
+	cli := rpc.Client{Net: cluster.Net(), From: sender.Name()}
+
+	start := time.Now()
+	for i := 0; i < messages; i++ {
+		if _, err := group.Multicast(ctx, cli, g, "op", nil); err != nil {
+			return 0, 0, err
+		}
+	}
+	orderedMicros = float64(time.Since(start).Microseconds()) / float64(messages)
+
+	start = time.Now()
+	for i := 0; i < messages; i++ {
+		group.NaiveMulticast(ctx, cli, g, "op", nil)
+	}
+	naiveMicros = float64(time.Since(start).Microseconds()) / float64(messages)
+	return orderedMicros, naiveMicros, nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/group"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// E1Config parameterises the Figure 1 reproduction: replica group GA
+// invokes object B; B fails while delivering its reply so only a prefix of
+// GA's members observe it. Naive per-member delivery lets member states
+// diverge; the reliable ordered multicast cannot.
+type E1Config struct {
+	// Replicas is |GA|.
+	Replicas int
+	// Trials is the number of independent runs; the reply-loss position is
+	// swept across members.
+	Trials int
+	Seed   int64
+}
+
+// E1Result reports divergence counts.
+type E1Result struct {
+	Config          E1Config
+	NaiveDiverged   int
+	OrderedDiverged int
+	Trials          int
+}
+
+// gaMember models a replica of GA: its state records what it believes
+// happened to the invocation of B.
+type gaMember struct {
+	mu    sync.Mutex
+	state string
+}
+
+func (m *gaMember) apply(_ context.Context, msg group.Delivered) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// The replica's subsequent behaviour depends on what it saw: a reply
+	// means "continue", a detected failure means "compensate" (Figure 1's
+	// divergent paths).
+	m.state = msg.Kind + ":" + string(msg.Payload)
+	return []byte("ok"), nil
+}
+
+// RunE1 executes the experiment.
+func RunE1(cfg E1Config) (*E1Result, error) {
+	if cfg.Replicas < 2 {
+		cfg.Replicas = 2
+	}
+	if cfg.Trials < 1 {
+		cfg.Trials = cfg.Replicas
+	}
+	res := &E1Result{Config: cfg, Trials: cfg.Trials}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		dropAt := trial % cfg.Replicas // which member misses the reply
+		div, err := runE1Trial(cfg.Replicas, dropAt, false)
+		if err != nil {
+			return nil, fmt.Errorf("e1 naive trial %d: %w", trial, err)
+		}
+		if div {
+			res.NaiveDiverged++
+		}
+		div, err = runE1Trial(cfg.Replicas, dropAt, true)
+		if err != nil {
+			return nil, fmt.Errorf("e1 ordered trial %d: %w", trial, err)
+		}
+		if div {
+			res.OrderedDiverged++
+		}
+	}
+	return res, nil
+}
+
+// runE1Trial plays one reply delivery from B to GA. dropAt selects the
+// member index after which B "crashes" (its remaining per-member sends are
+// lost). Returns whether GA's members ended in different states.
+func runE1Trial(replicas, dropAt int, ordered bool) (bool, error) {
+	cluster := sim.NewCluster(transport.MemOptions{})
+	members := make([]*gaMember, replicas)
+	var addrs []transport.Addr
+	for i := 0; i < replicas; i++ {
+		name := transport.Addr(fmt.Sprintf("a%d", i+1))
+		n := cluster.Add(name)
+		h := group.NewHost(n.Server(), n.Client())
+		m := &gaMember{}
+		h.Join("GA", m.apply)
+		members[i] = m
+		addrs = append(addrs, name)
+	}
+	b := cluster.Add("B")
+	g := group.Group{ID: "GA", Members: addrs}
+	ctx := context.Background()
+
+	if ordered {
+		// B delivers its reply through GA's ordered reliable multicast:
+		// one call to the sequencer. B crashing before that call means no
+		// member sees the reply; after it, the sequencer relays to all.
+		// We model "B fails during delivery" as: the sequencer call itself
+		// is attempted; if dropAt == 0 the call is lost before reaching
+		// the sequencer (nobody sees it), otherwise it reached the
+		// sequencer and everyone sees it.
+		if dropAt == 0 {
+			// Reply never reached the group: all members detect B's
+			// failure — consistently.
+			if _, err := group.Multicast(ctx, b.Client(), g, "detect-failure", []byte("B")); err != nil {
+				return false, err
+			}
+		} else {
+			if _, err := group.Multicast(ctx, b.Client(), g, "reply", []byte("result")); err != nil {
+				return false, err
+			}
+		}
+	} else {
+		// Naive: B replies to each member individually and crashes midway.
+		// Members [0, dropAt) receive the reply; the rest never do and
+		// instead detect B's failure — the Figure 1 anomaly.
+		if dropAt > 0 {
+			sub := group.Group{ID: "GA", Members: addrs[:dropAt]}
+			group.NaiveMulticast(ctx, b.Client(), sub, "reply", []byte("result"))
+		}
+		if dropAt < len(addrs) {
+			rest := group.Group{ID: "GA", Members: addrs[dropAt:]}
+			group.NaiveMulticast(ctx, b.Client(), rest, "detect-failure", []byte("B"))
+		}
+	}
+
+	first := members[0].stateSnapshot()
+	for _, m := range members[1:] {
+		if m.stateSnapshot() != first {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (m *gaMember) stateSnapshot() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// Table renders the result.
+func (r *E1Result) Table() *Table {
+	t := &Table{
+		Title:  "E1 (Figure 1): replica divergence after reply loss, naive vs ordered multicast",
+		Header: []string{"replicas", "trials", "naive diverged", "ordered diverged"},
+	}
+	t.AddRow(d(r.Config.Replicas), d(r.Trials), d(r.NaiveDiverged), d(r.OrderedDiverged))
+	t.Notes = append(t.Notes,
+		"paper claim: without reliability+ordering guarantees, member states diverge; with them, never")
+	return t
+}

@@ -1,0 +1,388 @@
+// Package group provides group communication for replicated objects.
+//
+// The paper (§2.3(2)) observes that communication *between replica groups*
+// requires "reliable distribution and ordering guarantees not associated
+// with non-replicated systems": reliability ensures all correctly
+// functioning members of a group receive messages intended for the group,
+// ordering ensures the messages are received in an identical order at each
+// functioning member — otherwise replica states can diverge, as in the
+// paper's Figure 1 where a reply reaches replica A1 but not A2.
+//
+// Two disciplines are implemented:
+//
+//   - Multicast — reliable, totally ordered: the sender hands the message
+//     to a deterministic sequencer member, which assigns the next sequence
+//     number and relays to every member. The sender makes a single call, so
+//     a sender failure cannot cause partial delivery; a sequencer failure
+//     is handled by retrying through the next member with the same message
+//     ID, which receivers deduplicate.
+//   - NaiveMulticast — the baseline that reproduces the Figure 1 anomaly:
+//     the sender fans out to the members itself, so a failure (of the
+//     sender, or of reply delivery) midway leaves the group inconsistent.
+//
+// Sequence numbers are per group. Receivers deliver strictly in sequence
+// order, holding back out-of-order arrivals.
+package group
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// ServiceName is the RPC service name for group communication endpoints.
+const ServiceName = "group"
+
+// RPC method names.
+const (
+	// MethodSequence is invoked on the sequencer member to order and relay
+	// a multicast.
+	MethodSequence = "Sequence"
+	// MethodDeliver is invoked on each member to deliver one message.
+	MethodDeliver = "Deliver"
+)
+
+// Group is a (caller-held) view of a replica group: an identifier plus the
+// ordered member list. The first functioning member acts as sequencer.
+type Group struct {
+	ID      string
+	Members []transport.Addr
+}
+
+// Delivered is a message as seen by a member's apply callback.
+type Delivered struct {
+	Group   string
+	MsgID   string
+	Kind    string
+	Payload []byte
+	// Seq is the total-order position (0 for naive, unordered delivery).
+	Seq uint64
+}
+
+// Apply is a member's delivery callback; its reply is returned to the
+// multicast caller.
+type Apply func(ctx context.Context, msg Delivered) ([]byte, error)
+
+// Reply is one member's response to a multicast.
+type Reply struct {
+	Member  transport.Addr
+	Payload []byte
+	Err     string
+}
+
+// Result summarises a multicast.
+type Result struct {
+	// Seq is the assigned sequence number (0 for naive multicast).
+	Seq uint64
+	// Replies holds one entry per member that received the message.
+	Replies []Reply
+	// Failed lists members that could not be reached; per the paper's
+	// commit protocol these are the nodes to exclude from the view.
+	Failed []transport.Addr
+}
+
+// sequenceReq is the wire form of a sequencing request.
+type sequenceReq struct {
+	Group   string
+	MsgID   string
+	Kind    string
+	Payload []byte
+	Members []string
+}
+
+// deliverReq is the wire form of a delivery.
+type deliverReq struct {
+	Group   string
+	MsgID   string
+	Kind    string
+	Payload []byte
+	Seq     uint64
+}
+
+// deliverResp carries a member's reply.
+type deliverResp struct{ Payload []byte }
+
+// sequenceResp carries the fan-out outcome back to the caller.
+type sequenceResp struct {
+	Seq     uint64
+	Replies []Reply
+	Failed  []string
+}
+
+// Host manages a node's group memberships: per-group apply callbacks,
+// delivery ordering, deduplication, and the sequencer role.
+type Host struct {
+	client rpc.Client
+	msgGen *uid.Generator
+
+	mu     sync.Mutex
+	groups map[string]*membership
+}
+
+type membership struct {
+	apply Apply
+
+	mu        sync.Mutex
+	nextSeq   uint64 // sequencer counter: next seq to assign is nextSeq+1
+	delivered uint64 // receiver: highest seq applied
+	seen      map[string][]byte
+	applied   chan struct{} // closed & renewed after each in-order apply
+}
+
+// NewHost creates a Host for a node and registers its RPC handlers on srv.
+// client must originate from the node's own address (used for relaying).
+func NewHost(srv *rpc.Server, client rpc.Client) *Host {
+	h := &Host{
+		client: client,
+		msgGen: uid.NewGenerator(string(client.From)+"/mc", 1),
+		groups: make(map[string]*membership),
+	}
+	srv.Handle(ServiceName, MethodDeliver, rpc.Method(h.handleDeliver))
+	srv.Handle(ServiceName, MethodSequence, rpc.Method(h.handleSequence))
+	return h
+}
+
+// Join registers the node as a member of groupID with the given apply
+// callback, replacing any previous membership.
+func (h *Host) Join(groupID string, apply Apply) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.groups[groupID] = &membership{
+		apply:   apply,
+		seen:    make(map[string][]byte),
+		applied: make(chan struct{}),
+	}
+}
+
+// Leave removes the node from groupID.
+func (h *Host) Leave(groupID string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.groups, groupID)
+}
+
+// Delivered returns the highest sequence number applied for groupID.
+func (h *Host) Delivered(groupID string) uint64 {
+	h.mu.Lock()
+	m := h.groups[groupID]
+	h.mu.Unlock()
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.delivered
+}
+
+func (h *Host) lookup(groupID string) (*membership, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	m, ok := h.groups[groupID]
+	if !ok {
+		return nil, rpc.Errorf(rpc.CodeNotFound, "not a member of group %q", groupID)
+	}
+	return m, nil
+}
+
+// handleDeliver applies one message respecting total order and dedup.
+func (h *Host) handleDeliver(ctx context.Context, from transport.Addr, req deliverReq) (deliverResp, error) {
+	m, err := h.lookup(req.Group)
+	if err != nil {
+		return deliverResp{}, err
+	}
+	msg := Delivered{Group: req.Group, MsgID: req.MsgID, Kind: req.Kind, Payload: req.Payload, Seq: req.Seq}
+
+	// Naive (unsequenced) messages apply immediately, no ordering or dedup.
+	if req.Seq == 0 {
+		out, err := m.apply(ctx, msg)
+		return deliverResp{Payload: out}, err
+	}
+
+	for {
+		m.mu.Lock()
+		if prev, ok := m.seen[req.MsgID]; ok {
+			// Duplicate (sequencer retry): return the cached reply.
+			m.mu.Unlock()
+			return deliverResp{Payload: prev}, nil
+		}
+		if req.Seq <= m.delivered {
+			// Superseded sequence number from a failed-over sequencer;
+			// deliver anyway (dedup above did not match, so it is new) to
+			// preserve reliability, but in arrival order at this point.
+			out, aerr := m.apply(ctx, msg)
+			if aerr == nil {
+				m.seen[req.MsgID] = out
+			}
+			m.mu.Unlock()
+			return deliverResp{Payload: out}, aerr
+		}
+		if req.Seq == m.delivered+1 {
+			out, aerr := m.apply(ctx, msg)
+			if aerr == nil {
+				m.seen[req.MsgID] = out
+			}
+			m.delivered = req.Seq
+			close(m.applied)
+			m.applied = make(chan struct{})
+			m.mu.Unlock()
+			return deliverResp{Payload: out}, aerr
+		}
+		// Gap: hold back until the predecessor is applied.
+		wait := m.applied
+		m.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return deliverResp{}, ctx.Err()
+		case <-wait:
+		}
+	}
+}
+
+// handleSequence runs on the sequencer member: assign the next sequence
+// number and relay to every member, collecting replies and failures.
+func (h *Host) handleSequence(ctx context.Context, from transport.Addr, req sequenceReq) (sequenceResp, error) {
+	m, err := h.lookup(req.Group)
+	if err != nil {
+		return sequenceResp{}, err
+	}
+	m.mu.Lock()
+	// Dedup retried sequencing requests by MsgID: if this host already
+	// delivered the message it was already sequenced and fanned out.
+	if _, ok := m.seen[req.MsgID]; ok {
+		seq := m.delivered
+		m.mu.Unlock()
+		return sequenceResp{Seq: seq}, nil
+	}
+	// Initialise the counter from what this member has observed, so a
+	// fail-over sequencer continues the stream rather than reusing
+	// numbers.
+	if m.nextSeq < m.delivered {
+		m.nextSeq = m.delivered
+	}
+	m.nextSeq++
+	seq := m.nextSeq
+	m.mu.Unlock()
+
+	resp := sequenceResp{Seq: seq}
+	for _, member := range req.Members {
+		addr := transport.Addr(member)
+		var (
+			dr  deliverResp
+			err error
+		)
+		d := deliverReq{Group: req.Group, MsgID: req.MsgID, Kind: req.Kind, Payload: req.Payload, Seq: seq}
+		if addr == h.client.From {
+			dr, err = h.handleDeliver(ctx, h.client.From, d)
+		} else {
+			dr, err = rpc.Invoke[deliverReq, deliverResp](ctx, h.client, addr, ServiceName, MethodDeliver, d)
+		}
+		if err != nil && isMemberFailure(err) {
+			resp.Failed = append(resp.Failed, member)
+			continue
+		}
+		r := Reply{Member: addr, Payload: dr.Payload}
+		if err != nil {
+			r.Err = err.Error()
+		}
+		resp.Replies = append(resp.Replies, r)
+	}
+	return resp, nil
+}
+
+// isMemberFailure reports whether err means the member did not (provably)
+// receive the message.
+func isMemberFailure(err error) bool {
+	return errors.Is(err, transport.ErrUnreachable) ||
+		errors.Is(err, transport.ErrRequestLost) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// msgCounter disambiguates message IDs minted by Multicast within one
+// process.
+var msgCounter atomic.Uint64
+
+// Multicast reliably delivers (kind, payload) to g in total order, on
+// behalf of cli. It tries each member in view order as sequencer until one
+// accepts; receivers deduplicate by message ID, so retries are safe. It
+// fails only when no member of the group is reachable.
+func Multicast(ctx context.Context, cli rpc.Client, g Group, kind string, payload []byte) (*Result, error) {
+	msgID := fmt.Sprintf("%s/%d/%s", cli.From, msgCounter.Add(1), kind)
+	return multicastWithID(ctx, cli, g, kind, payload, msgID)
+}
+
+// NewMsgID mints a stable message ID for callers that need to retry one
+// logical multicast across higher-level attempts.
+func (h *Host) NewMsgID(kind string) string {
+	return h.msgGen.New().String() + "/" + kind
+}
+
+// MulticastWithID is Multicast with a caller-chosen message ID (for retry
+// across higher-level attempts).
+func MulticastWithID(ctx context.Context, cli rpc.Client, g Group, kind string, payload []byte, msgID string) (*Result, error) {
+	return multicastWithID(ctx, cli, g, kind, payload, msgID)
+}
+
+func multicastWithID(ctx context.Context, cli rpc.Client, g Group, kind string, payload []byte, msgID string) (*Result, error) {
+	members := make([]string, len(g.Members))
+	for i, m := range g.Members {
+		members[i] = string(m)
+	}
+	req := sequenceReq{Group: g.ID, MsgID: msgID, Kind: kind, Payload: payload, Members: members}
+	var lastErr error
+	for _, seqr := range g.Members {
+		resp, err := rpc.Invoke[sequenceReq, sequenceResp](ctx, cli, seqr, ServiceName, MethodSequence, req)
+		if err != nil {
+			if isMemberFailure(err) || errors.Is(err, transport.ErrReplyLost) {
+				lastErr = err
+				continue // fail over to the next member as sequencer
+			}
+			return nil, fmt.Errorf("group %s: sequence at %s: %w", g.ID, seqr, err)
+		}
+		out := &Result{Seq: resp.Seq, Replies: resp.Replies}
+		for _, f := range resp.Failed {
+			out.Failed = append(out.Failed, transport.Addr(f))
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("group %s: no reachable sequencer: %w", g.ID, lastErr)
+}
+
+// NaiveMulticast fans out directly from the caller with no ordering,
+// dedup, or relay — the baseline whose inconsistency Figure 1 illustrates.
+// A reply lost from one member leaves that member's state applied but
+// reported in Failed-like terms to the caller (Err set), and a caller
+// crash midway simply stops the loop.
+func NaiveMulticast(ctx context.Context, cli rpc.Client, g Group, kind string, payload []byte) *Result {
+	msgID := string(cli.From) + "/naive/" + kind
+	out := &Result{}
+	for _, member := range g.Members {
+		resp, err := rpc.Invoke[deliverReq, deliverResp](ctx, cli, member, ServiceName, MethodDeliver,
+			deliverReq{Group: g.ID, MsgID: msgID, Kind: kind, Payload: payload, Seq: 0})
+		if err != nil {
+			if isMemberFailure(err) {
+				out.Failed = append(out.Failed, member)
+			} else {
+				out.Replies = append(out.Replies, Reply{Member: member, Err: err.Error()})
+			}
+			continue
+		}
+		out.Replies = append(out.Replies, Reply{Member: member, Payload: resp.Payload})
+	}
+	return out
+}
+
+// SortedFailed returns the failed members sorted, for deterministic
+// reporting.
+func (r *Result) SortedFailed() []transport.Addr {
+	out := make([]transport.Addr, len(r.Failed))
+	copy(out, r.Failed)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,310 @@
+package group
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// member is a test replica: it appends every delivered message to a log.
+type member struct {
+	mu  sync.Mutex
+	log []string
+}
+
+func (m *member) apply(_ context.Context, msg Delivered) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.log = append(m.log, msg.Kind+":"+string(msg.Payload))
+	return []byte("ack-" + msg.Kind), nil
+}
+
+func (m *member) history() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return strings.Join(m.log, ",")
+}
+
+type fixture struct {
+	cluster *sim.Cluster
+	members map[transport.Addr]*member
+	hosts   map[transport.Addr]*Host
+	grp     Group
+}
+
+func newFixture(t *testing.T, names ...transport.Addr) *fixture {
+	t.Helper()
+	f := &fixture{
+		cluster: sim.NewCluster(transport.MemOptions{}),
+		members: make(map[transport.Addr]*member),
+		hosts:   make(map[transport.Addr]*Host),
+		grp:     Group{ID: "G", Members: names},
+	}
+	for _, name := range names {
+		n := f.cluster.Add(name)
+		h := NewHost(n.Server(), n.Client())
+		m := &member{}
+		h.Join("G", m.apply)
+		f.members[name] = m
+		f.hosts[name] = h
+	}
+	// A separate client node.
+	f.cluster.Add("client")
+	return f
+}
+
+func (f *fixture) client() rpc.Client { return f.cluster.Node("client").Client() }
+
+func TestMulticastDeliversToAllInOrder(t *testing.T) {
+	f := newFixture(t, "a1", "a2", "a3")
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		res, err := Multicast(ctx, f.client(), f.grp, "op", []byte{byte('0' + i)})
+		if err != nil {
+			t.Fatalf("multicast %d: %v", i, err)
+		}
+		if res.Seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", res.Seq, i+1)
+		}
+		if len(res.Replies) != 3 || len(res.Failed) != 0 {
+			t.Fatalf("replies=%d failed=%v", len(res.Replies), res.Failed)
+		}
+	}
+	want := f.members["a1"].history()
+	if want == "" {
+		t.Fatal("no deliveries")
+	}
+	for name, m := range f.members {
+		if got := m.history(); got != want {
+			t.Fatalf("member %s history %q != %q", name, got, want)
+		}
+	}
+}
+
+func TestMulticastReportsCrashedMember(t *testing.T) {
+	f := newFixture(t, "a1", "a2", "a3")
+	f.cluster.Node("a3").Crash()
+	res, err := Multicast(context.Background(), f.client(), f.grp, "op", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != "a3" {
+		t.Fatalf("failed = %v, want [a3]", res.Failed)
+	}
+	if len(res.Replies) != 2 {
+		t.Fatalf("replies = %d", len(res.Replies))
+	}
+}
+
+func TestMulticastSequencerFailover(t *testing.T) {
+	f := newFixture(t, "a1", "a2", "a3")
+	// The deterministic sequencer (first member) is down: callers fail
+	// over to a2, and surviving members still agree.
+	f.cluster.Node("a1").Crash()
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		res, err := Multicast(ctx, f.client(), f.grp, "op", []byte{byte('a' + i)})
+		if err != nil {
+			t.Fatalf("multicast: %v", err)
+		}
+		if len(res.Failed) != 1 || res.Failed[0] != "a1" {
+			t.Fatalf("failed = %v", res.Failed)
+		}
+	}
+	if f.members["a2"].history() != f.members["a3"].history() {
+		t.Fatalf("divergence after failover: %q vs %q",
+			f.members["a2"].history(), f.members["a3"].history())
+	}
+}
+
+func TestMulticastAllMembersDown(t *testing.T) {
+	f := newFixture(t, "a1", "a2")
+	f.cluster.Node("a1").Crash()
+	f.cluster.Node("a2").Crash()
+	_, err := Multicast(context.Background(), f.client(), f.grp, "op", nil)
+	if err == nil {
+		t.Fatal("expected error with no reachable sequencer")
+	}
+}
+
+func TestMulticastRetryDeduplicates(t *testing.T) {
+	f := newFixture(t, "a1", "a2")
+	ctx := context.Background()
+	msgID := "stable-id/1"
+	if _, err := MulticastWithID(ctx, f.client(), f.grp, "op", []byte("x"), msgID); err != nil {
+		t.Fatal(err)
+	}
+	// Retry of the same logical message: members must not apply twice.
+	if _, err := MulticastWithID(ctx, f.client(), f.grp, "op", []byte("x"), msgID); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.members["a1"].history(); got != "op:x" {
+		t.Fatalf("a1 history = %q, want single delivery", got)
+	}
+	if got := f.members["a2"].history(); got != "op:x" {
+		t.Fatalf("a2 history = %q, want single delivery", got)
+	}
+}
+
+func TestConcurrentMulticastsSameTotalOrderEverywhere(t *testing.T) {
+	f := newFixture(t, "a1", "a2", "a3")
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := Multicast(ctx, f.client(), f.grp, "op", []byte(fmt.Sprintf("%d", i))); err != nil {
+				t.Errorf("multicast %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	h1 := f.members["a1"].history()
+	for _, name := range []transport.Addr{"a2", "a3"} {
+		if got := f.members[name].history(); got != h1 {
+			t.Fatalf("total order violated:\n a1: %s\n %s: %s", h1, name, got)
+		}
+	}
+	if got := len(f.members["a1"].log); got != 10 {
+		t.Fatalf("deliveries = %d, want 10", got)
+	}
+}
+
+func TestNaiveMulticastDivergesOnReplyLoss(t *testing.T) {
+	// Figure 1 in miniature: the naive fan-out loses the reply from a2;
+	// the sender believes a2 failed while a2 actually applied the message.
+	// A subsequent compensating action at the "failed" member only (as a
+	// real application would do) diverges the replicas. The reliable
+	// multicast cannot produce this state: the sender's single sequencer
+	// call either orders the message for everyone or no one.
+	f := newFixture(t, "a1", "a2")
+	f.cluster.Faults().DropReplies(1, transport.Between("client", "a2"))
+	res := NaiveMulticast(context.Background(), f.client(), f.grp, "op", []byte("x"))
+	// The sender cannot distinguish this from a crashed member; but the
+	// member state shows the message WAS applied.
+	sawA2 := false
+	for _, r := range res.Replies {
+		if r.Member == "a2" && r.Err == "" {
+			sawA2 = true
+		}
+	}
+	if sawA2 {
+		t.Fatal("sender should not have received a2's reply")
+	}
+	if got := f.members["a2"].history(); got != "op:x" {
+		t.Fatalf("a2 should have applied despite lost reply, history=%q", got)
+	}
+	// Histories are equal only by luck of this single message; the
+	// sender's *knowledge* has diverged from reality, which is the seed of
+	// the Figure 1 anomaly. The E1 experiment quantifies the resulting
+	// state divergence.
+}
+
+func TestDeliverToNonMemberRefused(t *testing.T) {
+	f := newFixture(t, "a1")
+	// The client node has a Host? No — invoking Deliver at a node that
+	// never joined must yield not-found.
+	n := f.cluster.Node("client")
+	NewHost(n.Server(), n.Client()) // host exists but no membership
+	cli := f.cluster.Node("a1").Client()
+	_, err := rpc.Invoke[deliverReq, deliverResp](context.Background(), cli, "client", ServiceName, MethodDeliver,
+		deliverReq{Group: "G", MsgID: "m", Kind: "k", Seq: 1})
+	if rpc.CodeOf(err) != rpc.CodeNotFound {
+		t.Fatalf("err = %v, want not-found", err)
+	}
+}
+
+func TestLeaveStopsDelivery(t *testing.T) {
+	f := newFixture(t, "a1", "a2")
+	f.hosts["a2"].Leave("G")
+	res, err := Multicast(context.Background(), f.client(), f.grp, "op", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a2 replies with an application error (not a failure) — it is
+	// reachable but not a member.
+	var a2Err string
+	for _, r := range res.Replies {
+		if r.Member == "a2" {
+			a2Err = r.Err
+		}
+	}
+	if a2Err == "" {
+		t.Fatalf("expected a2 to refuse delivery, res=%+v", res)
+	}
+	if f.members["a2"].history() != "" {
+		t.Fatal("a2 applied after leaving")
+	}
+}
+
+func TestHoldbackDeliversInSeqOrder(t *testing.T) {
+	// Drive Deliver directly with out-of-order sequence numbers: seq 2
+	// must wait until seq 1 has been applied.
+	f := newFixture(t, "a1")
+	cli := f.client()
+	ctx := context.Background()
+
+	done2 := make(chan error, 1)
+	go func() {
+		_, err := rpc.Invoke[deliverReq, deliverResp](ctx, cli, "a1", ServiceName, MethodDeliver,
+			deliverReq{Group: "G", MsgID: "m2", Kind: "op", Payload: []byte("second"), Seq: 2})
+		done2 <- err
+	}()
+	// seq 2 is held back.
+	select {
+	case err := <-done2:
+		t.Fatalf("seq 2 delivered before seq 1 (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := rpc.Invoke[deliverReq, deliverResp](ctx, cli, "a1", ServiceName, MethodDeliver,
+		deliverReq{Group: "G", MsgID: "m1", Kind: "op", Payload: []byte("first"), Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done2:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("held-back message never delivered")
+	}
+	if got := f.members["a1"].history(); got != "op:first,op:second" {
+		t.Fatalf("history = %q", got)
+	}
+}
+
+func TestHoldbackRespectsContext(t *testing.T) {
+	f := newFixture(t, "a1")
+	cli := f.client()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := rpc.Invoke[deliverReq, deliverResp](ctx, cli, "a1", ServiceName, MethodDeliver,
+		deliverReq{Group: "G", MsgID: "gap", Kind: "op", Seq: 5})
+	if err == nil {
+		t.Fatal("gapped delivery should fail when the context expires")
+	}
+}
+
+func TestDeliveredCounter(t *testing.T) {
+	f := newFixture(t, "a1", "a2")
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := Multicast(ctx, f.client(), f.grp, "op", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.hosts["a1"].Delivered("G"); got != 3 {
+		t.Fatalf("delivered = %d, want 3", got)
+	}
+	if got := f.hosts["a1"].Delivered("nope"); got != 0 {
+		t.Fatalf("unknown group delivered = %d", got)
+	}
+}

@@ -1,0 +1,227 @@
+// Package harness assembles full simulated deployments — cluster, group
+// view database, object servers, stores, clients, registered objects — for
+// the examples, experiments and benchmarks. It is the reusable "testbed"
+// on which every figure of the paper is reproduced.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/action"
+	"repro/internal/core"
+	"repro/internal/group"
+	"repro/internal/metrics"
+	"repro/internal/object"
+	"repro/internal/replica"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// CounterClass returns the canonical test object: a persistent integer
+// counter with a read-only "get" and a mutating "add".
+func CounterClass() *object.Class {
+	return &object.Class{
+		Name: "counter",
+		Init: func() []byte { return []byte("0") },
+		Methods: map[string]object.Method{
+			"add": func(state, args []byte) ([]byte, []byte, error) {
+				n, err := strconv.Atoi(string(state))
+				if err != nil {
+					return nil, nil, fmt.Errorf("counter: corrupt state %q", state)
+				}
+				d, err := strconv.Atoi(string(args))
+				if err != nil {
+					return nil, nil, fmt.Errorf("counter: bad delta %q", args)
+				}
+				out := []byte(strconv.Itoa(n + d))
+				return out, out, nil
+			},
+			"get": func(state, args []byte) ([]byte, []byte, error) {
+				return state, state, nil
+			},
+		},
+		ReadOnly: map[string]bool{"get": true},
+	}
+}
+
+// Options sizes a World.
+type Options struct {
+	// Servers, Stores, Clients are node counts (sv1.., st1.., c1..).
+	Servers int
+	Stores  int
+	Clients int
+	// Objects is how many counter objects to create (all with full Sv/St).
+	Objects int
+	// Net configures the in-memory network (latency, jitter, seed).
+	Net transport.MemOptions
+	// Registry overrides the class registry (default: counter only).
+	Registry *object.Registry
+}
+
+// World is an assembled deployment.
+type World struct {
+	Cluster *sim.Cluster
+	DB      *core.DB
+	Objects []uid.UID
+	Svs     []transport.Addr
+	Sts     []transport.Addr
+	Clients []transport.Addr
+	Mgrs    map[transport.Addr]*action.Manager
+	Metrics *metrics.Registry
+}
+
+// New builds a world: one db node, the requested servers/stores/clients,
+// and Options.Objects registered counter objects.
+func New(opts Options) (*World, error) {
+	if opts.Servers < 1 || opts.Stores < 1 || opts.Clients < 1 {
+		return nil, fmt.Errorf("harness: need at least one server, store and client (got %d/%d/%d)",
+			opts.Servers, opts.Stores, opts.Clients)
+	}
+	if opts.Objects < 1 {
+		opts.Objects = 1
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = object.NewRegistry()
+		reg.Register(CounterClass())
+	}
+	w := &World{
+		Cluster: sim.NewCluster(opts.Net),
+		Mgrs:    make(map[transport.Addr]*action.Manager),
+		Metrics: &metrics.Registry{},
+	}
+	w.DB = core.NewDB(w.Cluster.Add("db"))
+	for i := 0; i < opts.Servers; i++ {
+		name := transport.Addr("sv" + strconv.Itoa(i+1))
+		n := w.Cluster.Add(name)
+		m := object.NewManager(n, reg)
+		m.EnableGroupInvocation(group.NewHost(n.Server(), n.Client()))
+		w.Svs = append(w.Svs, name)
+	}
+	for i := 0; i < opts.Stores; i++ {
+		name := transport.Addr("st" + strconv.Itoa(i+1))
+		w.Cluster.Add(name)
+		w.Sts = append(w.Sts, name)
+	}
+	for i := 0; i < opts.Clients; i++ {
+		name := transport.Addr("c" + strconv.Itoa(i+1))
+		w.Cluster.Add(name)
+		w.Mgrs[name] = action.NewManager(string(name), nil)
+		w.Clients = append(w.Clients, name)
+	}
+	creator := core.Client{RPC: w.Cluster.Node(w.Clients[0]).Client(), DB: "db"}
+	gen := uid.NewGenerator("obj", 1)
+	for i := 0; i < opts.Objects; i++ {
+		id := gen.New()
+		if err := core.CreateObject(context.Background(), creator, w.Mgrs[w.Clients[0]], id, "counter", []byte("0"), w.Svs, w.Sts); err != nil {
+			return nil, fmt.Errorf("harness: create object %d: %w", i, err)
+		}
+		w.Objects = append(w.Objects, id)
+	}
+	return w, nil
+}
+
+// Binder builds a binder for the named client.
+func (w *World) Binder(client transport.Addr, scheme core.Scheme, policy replica.Policy, degree int) *core.Binder {
+	return &core.Binder{
+		DB:         core.Client{RPC: w.Cluster.Node(client).Client(), DB: "db"},
+		Actions:    w.Mgrs[client],
+		ClientNode: client,
+		Scheme:     scheme,
+		Policy:     policy,
+		Degree:     degree,
+	}
+}
+
+// ActionResult describes one workload action.
+type ActionResult struct {
+	Committed bool
+	Err       error
+	// Probes counts server bindings that were found broken during the
+	// action ("the hard way" discovery cost).
+	Probes int
+	// ExcludedStores counts St nodes excluded at commit.
+	ExcludedStores int
+}
+
+// RunCounterAction executes one client action against object idx: bind,
+// add delta, commit. Errors abort the action and are reported in the
+// result rather than returned — workload drivers count them.
+func (w *World) RunCounterAction(ctx context.Context, b *core.Binder, idx int, delta int) ActionResult {
+	act := b.Actions.BeginTop()
+	bd, err := b.Bind(ctx, act, w.Objects[idx])
+	if err != nil {
+		_ = act.Abort(ctx)
+		return ActionResult{Err: err}
+	}
+	res := ActionResult{}
+	if _, err := bd.Invoke(ctx, "add", []byte(strconv.Itoa(delta))); err != nil {
+		_ = act.Abort(ctx)
+		res.Err = err
+		res.Probes = len(bd.BrokenServers())
+		return res
+	}
+	if _, err := act.Commit(ctx); err != nil {
+		res.Err = err
+		res.Probes = len(bd.BrokenServers())
+		return res
+	}
+	res.Committed = true
+	res.Probes = len(bd.BrokenServers())
+	res.ExcludedStores = len(bd.FailedStores())
+	return res
+}
+
+// RunReadAction executes one read-only action (get) against object idx.
+func (w *World) RunReadAction(ctx context.Context, b *core.Binder, idx int) ActionResult {
+	act := b.Actions.BeginTop()
+	bd, err := b.Bind(ctx, act, w.Objects[idx])
+	if err != nil {
+		_ = act.Abort(ctx)
+		return ActionResult{Err: err}
+	}
+	if _, err := bd.Invoke(ctx, "get", nil); err != nil {
+		_ = act.Abort(ctx)
+		return ActionResult{Err: err, Probes: len(bd.BrokenServers())}
+	}
+	if _, err := act.Commit(ctx); err != nil {
+		return ActionResult{Err: err, Probes: len(bd.BrokenServers())}
+	}
+	return ActionResult{Committed: true, Probes: len(bd.BrokenServers())}
+}
+
+// StoreSeqs returns each live store node's committed (value, seq) for
+// object idx; missing entries are skipped. Used by consistency checks.
+func (w *World) StoreSeqs(idx int) map[transport.Addr]uint64 {
+	out := make(map[transport.Addr]uint64)
+	for _, st := range w.Sts {
+		n := w.Cluster.Node(st)
+		if seq, ok := n.Store().SeqOf(w.Objects[idx]); ok {
+			out[st] = seq
+		}
+	}
+	return out
+}
+
+// CurrentStView reads St for object idx outside any client action.
+func (w *World) CurrentStView(ctx context.Context, idx int) ([]transport.Addr, error) {
+	cli := core.Client{RPC: w.Cluster.Node("c1").Client(), DB: "db"}
+	act := w.Mgrs["c1"].BeginTop()
+	st, _, err := cli.GetView(ctx, act.ID(), w.Objects[idx])
+	_ = cli.EndAction(ctx, act.ID(), true)
+	_, _ = act.Commit(ctx)
+	return st, err
+}
+
+// CurrentSvView reads Sv for object idx outside any client action.
+func (w *World) CurrentSvView(ctx context.Context, idx int) ([]transport.Addr, error) {
+	cli := core.Client{RPC: w.Cluster.Node("c1").Client(), DB: "db"}
+	act := w.Mgrs["c1"].BeginTop()
+	sv, _, err := cli.GetServer(ctx, act.ID(), w.Objects[idx], false, false)
+	_ = cli.EndAction(ctx, act.ID(), true)
+	_, _ = act.Commit(ctx)
+	return sv, err
+}

@@ -1,0 +1,86 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("empty options should fail")
+	}
+	if _, err := New(Options{Servers: 1, Stores: 0, Clients: 1}); err == nil {
+		t.Fatal("zero stores should fail")
+	}
+}
+
+func TestWorldShape(t *testing.T) {
+	w, err := New(Options{Servers: 2, Stores: 3, Clients: 2, Objects: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Svs) != 2 || len(w.Sts) != 3 || len(w.Clients) != 2 || len(w.Objects) != 2 {
+		t.Fatalf("world shape: %d/%d/%d/%d", len(w.Svs), len(w.Sts), len(w.Clients), len(w.Objects))
+	}
+	// Objects are installed at every store with seq 1.
+	for i := range w.Objects {
+		seqs := w.StoreSeqs(i)
+		if len(seqs) != 3 {
+			t.Fatalf("object %d on %d stores", i, len(seqs))
+		}
+		for st, seq := range seqs {
+			if seq != 1 {
+				t.Fatalf("object %d at %s seq=%d", i, st, seq)
+			}
+		}
+	}
+	sv, err := w.CurrentSvView(context.Background(), 0)
+	if err != nil || len(sv) != 2 {
+		t.Fatalf("sv view = %v (%v)", sv, err)
+	}
+	st, err := w.CurrentStView(context.Background(), 0)
+	if err != nil || len(st) != 3 {
+		t.Fatalf("st view = %v (%v)", st, err)
+	}
+}
+
+func TestRunCounterActionLifecycle(t *testing.T) {
+	w, err := New(Options{Servers: 1, Stores: 1, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	b := w.Binder("c1", core.SchemeStandard, replica.SingleCopyPassive, 1)
+	r := w.RunCounterAction(ctx, b, 0, 5)
+	if !r.Committed || r.Err != nil {
+		t.Fatalf("result = %+v", r)
+	}
+	r = w.RunReadAction(ctx, b, 0)
+	if !r.Committed {
+		t.Fatalf("read result = %+v", r)
+	}
+	// Crash everything: action fails but reports instead of panicking.
+	w.Cluster.Node("sv1").Crash()
+	r = w.RunCounterAction(ctx, b, 0, 1)
+	if r.Committed || r.Err == nil {
+		t.Fatalf("crashed-world result = %+v", r)
+	}
+}
+
+func TestCounterClassBadInputs(t *testing.T) {
+	c := CounterClass()
+	add := c.Methods["add"]
+	if _, _, err := add([]byte("7"), []byte("oops")); err == nil {
+		t.Fatal("bad delta should error")
+	}
+	if _, _, err := add([]byte("junk"), []byte("1")); err == nil {
+		t.Fatal("corrupt state should error")
+	}
+	newState, out, err := add([]byte("7"), []byte("3"))
+	if err != nil || string(newState) != "10" || string(out) != "10" {
+		t.Fatalf("add: %s %s %v", newState, out, err)
+	}
+}

@@ -1,0 +1,387 @@
+// Package lockmgr implements the lock management the paper's naming and
+// binding databases rely on (§4.1, §4.2.1).
+//
+// Three lock modes are provided:
+//
+//   - Read: shared; used by GetServer/GetView (§4.1).
+//   - Write: exclusive; used by Insert/Remove/Include and the use-list
+//     operations Increment/Decrement (§4.1.2–4.1.3).
+//   - ExcludeWrite: the paper's type-specific lock (§4.2.1) — compatible
+//     with Read locks but not with Write or other ExcludeWrite holders, so
+//     a committing server can Exclude failed store nodes while concurrent
+//     clients still hold read locks on the same entry.
+//
+// Owners are atomic actions. Nested actions follow Moss's rule: a lock may
+// be granted if every conflicting holder is an ancestor of the requester;
+// when a nested action commits, its locks are inherited by its parent and
+// released only when the top-level action completes.
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Mode is a lock mode. The zero value is invalid (Uber style: enums start
+// at one).
+type Mode int
+
+// Lock modes, weakest to strongest for promotion ordering.
+const (
+	Read Mode = iota + 1
+	ExcludeWrite
+	Write
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Read:
+		return "read"
+	case ExcludeWrite:
+		return "exclude-write"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Compatible reports whether two modes held by different owners can
+// coexist on one entry.
+func Compatible(a, b Mode) bool {
+	switch {
+	case a == Read && b == Read:
+		return true
+	case a == Read && b == ExcludeWrite, a == ExcludeWrite && b == Read:
+		return true
+	default:
+		return false
+	}
+}
+
+// Owner identifies a lock holder — conventionally an action UID string.
+type Owner string
+
+// Ancestry answers ancestor queries between owners. IsAncestorOf must
+// return true when ancestor is a proper ancestor of descendant (not for
+// equal owners; the manager handles self separately).
+type Ancestry interface {
+	IsAncestorOf(ancestor, descendant Owner) bool
+}
+
+// AncestryFunc adapts a function to the Ancestry interface.
+type AncestryFunc func(ancestor, descendant Owner) bool
+
+// IsAncestorOf implements Ancestry.
+func (f AncestryFunc) IsAncestorOf(a, d Owner) bool { return f(a, d) }
+
+// NoNesting is an Ancestry under which no owner is an ancestor of another;
+// suitable when only top-level actions take locks.
+var NoNesting Ancestry = AncestryFunc(func(Owner, Owner) bool { return false })
+
+// ErrRefused reports that a non-blocking acquire or promote found a
+// conflicting holder.
+var ErrRefused = errors.New("lockmgr: lock refused")
+
+// holder records one owner's grip on an entry: per-mode re-entrancy counts.
+type holder struct {
+	counts map[Mode]int
+}
+
+func (h *holder) strongest() Mode {
+	switch {
+	case h.counts[Write] > 0:
+		return Write
+	case h.counts[ExcludeWrite] > 0:
+		return ExcludeWrite
+	case h.counts[Read] > 0:
+		return Read
+	default:
+		return 0
+	}
+}
+
+func (h *holder) empty() bool {
+	return h.counts[Read] == 0 && h.counts[Write] == 0 && h.counts[ExcludeWrite] == 0
+}
+
+type entry struct {
+	holders map[Owner]*holder
+	// wait is closed and replaced whenever a lock is released, waking
+	// blocked acquirers to retry.
+	wait chan struct{}
+}
+
+// Manager is a lock table keyed by string. It is safe for concurrent use.
+type Manager struct {
+	ancestry Ancestry
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	byOwner map[Owner]map[string]struct{}
+}
+
+// New returns a Manager using the given ancestry; nil means NoNesting.
+func New(ancestry Ancestry) *Manager {
+	if ancestry == nil {
+		ancestry = NoNesting
+	}
+	return &Manager{
+		ancestry: ancestry,
+		entries:  make(map[string]*entry),
+		byOwner:  make(map[Owner]map[string]struct{}),
+	}
+}
+
+func (m *Manager) entryLocked(key string) *entry {
+	e, ok := m.entries[key]
+	if !ok {
+		e = &entry{holders: make(map[Owner]*holder), wait: make(chan struct{})}
+		m.entries[key] = e
+	}
+	return e
+}
+
+// grantableLocked reports whether owner may take mode on e given current
+// holders: every conflicting holder must be the owner itself or one of its
+// ancestors (Moss's rule).
+func (m *Manager) grantableLocked(e *entry, owner Owner, mode Mode) bool {
+	for other, h := range e.holders {
+		if other == owner {
+			continue
+		}
+		om := h.strongest()
+		if om == 0 {
+			continue
+		}
+		if Compatible(mode, om) {
+			continue
+		}
+		if !m.ancestry.IsAncestorOf(other, owner) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grantLocked(e *entry, key string, owner Owner, mode Mode) {
+	h, ok := e.holders[owner]
+	if !ok {
+		h = &holder{counts: make(map[Mode]int)}
+		e.holders[owner] = h
+	}
+	h.counts[mode]++
+	keys, ok := m.byOwner[owner]
+	if !ok {
+		keys = make(map[string]struct{})
+		m.byOwner[owner] = keys
+	}
+	keys[key] = struct{}{}
+}
+
+// Acquire blocks until owner holds mode on key or ctx is done. Re-entrant:
+// an owner may acquire the same or a different mode repeatedly; each
+// successful Acquire needs a matching Release (or a ReleaseAll).
+//
+// An owner that already holds a weaker mode and acquires a stronger one is
+// performing a blocking promotion; the non-blocking variant used at commit
+// time is TryPromote.
+func (m *Manager) Acquire(ctx context.Context, owner Owner, key string, mode Mode) error {
+	for {
+		m.mu.Lock()
+		e := m.entryLocked(key)
+		if m.grantableLocked(e, owner, mode) {
+			m.grantLocked(e, key, owner, mode)
+			m.mu.Unlock()
+			return nil
+		}
+		wait := e.wait
+		m.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("lockmgr: acquire %s on %q for %s: %w", mode, key, owner, ctx.Err())
+		case <-wait:
+		}
+	}
+}
+
+// TryAcquire is a non-blocking Acquire: it either grants immediately or
+// returns ErrRefused. The paper's Insert operation uses this shape — it
+// "will only succeed when there are no clients using A" (§4.1.2).
+func (m *Manager) TryAcquire(owner Owner, key string, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.entryLocked(key)
+	if !m.grantableLocked(e, owner, mode) {
+		return fmt.Errorf("%s on %q for %s: %w", mode, key, owner, ErrRefused)
+	}
+	m.grantLocked(e, key, owner, mode)
+	return nil
+}
+
+// TryPromote atomically converts one unit of owner's hold from mode `from`
+// to mode `to`. It refuses (ErrRefused) if any other non-ancestor holder
+// conflicts with `to`, or if owner does not hold `from`.
+//
+// This is the §4.2.1 commit-time step: read → Write promotion is refused
+// while other clients hold read locks, whereas read → ExcludeWrite
+// succeeds alongside them.
+func (m *Manager) TryPromote(owner Owner, key string, from, to Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok {
+		return fmt.Errorf("promote on %q: owner %s holds nothing: %w", key, owner, ErrRefused)
+	}
+	h, ok := e.holders[owner]
+	if !ok || h.counts[from] == 0 {
+		return fmt.Errorf("promote on %q: owner %s does not hold %s: %w", key, owner, from, ErrRefused)
+	}
+	if !m.grantableLocked(e, owner, to) {
+		return fmt.Errorf("promote %s->%s on %q for %s: %w", from, to, key, owner, ErrRefused)
+	}
+	h.counts[from]--
+	h.counts[to]++
+	return nil
+}
+
+// Release drops one unit of mode held by owner on key. Releasing a lock
+// not held is a programming error and is reported.
+func (m *Manager) Release(owner Owner, key string, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok {
+		return fmt.Errorf("lockmgr: release %s on %q: no such entry", mode, key)
+	}
+	h, ok := e.holders[owner]
+	if !ok || h.counts[mode] == 0 {
+		return fmt.Errorf("lockmgr: release %s on %q: not held by %s", mode, key, owner)
+	}
+	h.counts[mode]--
+	if h.empty() {
+		delete(e.holders, owner)
+		if keys := m.byOwner[owner]; keys != nil {
+			delete(keys, key)
+			if len(keys) == 0 {
+				delete(m.byOwner, owner)
+			}
+		}
+	}
+	m.wakeLocked(e, key)
+	return nil
+}
+
+// ReleaseAll drops every lock held by owner — the end of a top-level
+// action.
+func (m *Manager) ReleaseAll(owner Owner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := m.byOwner[owner]
+	for key := range keys {
+		e := m.entries[key]
+		if e == nil {
+			continue
+		}
+		delete(e.holders, owner)
+		m.wakeLocked(e, key)
+	}
+	delete(m.byOwner, owner)
+}
+
+// Inherit transfers all locks held by child to parent — nested-action
+// commit. If the parent already holds locks on a key the counts merge.
+func (m *Manager) Inherit(child, parent Owner) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := m.byOwner[child]
+	for key := range keys {
+		e := m.entries[key]
+		if e == nil {
+			continue
+		}
+		ch, ok := e.holders[child]
+		if !ok {
+			continue
+		}
+		ph, ok := e.holders[parent]
+		if !ok {
+			ph = &holder{counts: make(map[Mode]int)}
+			e.holders[parent] = ph
+		}
+		for mode, n := range ch.counts {
+			ph.counts[mode] += n
+		}
+		delete(e.holders, child)
+		pkeys, ok := m.byOwner[parent]
+		if !ok {
+			pkeys = make(map[string]struct{})
+			m.byOwner[parent] = pkeys
+		}
+		pkeys[key] = struct{}{}
+		// Inheritance can change the effective holder set (e.g. child and
+		// parent both held read; merging may not wake anyone, but entries
+		// with the child as sole blocker now have the parent — ancestry
+		// relations differ), so wake waiters to re-evaluate.
+		m.wakeLocked(e, key)
+	}
+	delete(m.byOwner, child)
+}
+
+func (m *Manager) wakeLocked(e *entry, key string) {
+	close(e.wait)
+	e.wait = make(chan struct{})
+	if len(e.holders) == 0 {
+		delete(m.entries, key)
+	}
+}
+
+// HolderModes reports, for inspection and tests, the strongest mode each
+// owner holds on key, sorted by owner for determinism.
+func (m *Manager) HolderModes(key string) []struct {
+	Owner Owner
+	Mode  Mode
+} {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok {
+		return nil
+	}
+	out := make([]struct {
+		Owner Owner
+		Mode  Mode
+	}, 0, len(e.holders))
+	for o, h := range e.holders {
+		out = append(out, struct {
+			Owner Owner
+			Mode  Mode
+		}{o, h.strongest()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Owner < out[j].Owner })
+	return out
+}
+
+// Holds reports whether owner currently holds at least `mode`-strength
+// access on key (a Write holder Holds Read, per promotion ordering; note
+// ExcludeWrite does not imply Read semantics — it is checked exactly).
+func (m *Manager) Holds(owner Owner, key string, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.entries[key]
+	if !ok {
+		return false
+	}
+	h, ok := e.holders[owner]
+	if !ok {
+		return false
+	}
+	if mode == ExcludeWrite {
+		return h.counts[ExcludeWrite] > 0 || h.counts[Write] > 0
+	}
+	return h.strongest() >= mode
+}

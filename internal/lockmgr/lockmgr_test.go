@@ -1,0 +1,359 @@
+package lockmgr
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ctxShort(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{Read, Read, true},
+		{Read, ExcludeWrite, true},
+		{ExcludeWrite, Read, true},
+		{ExcludeWrite, ExcludeWrite, false},
+		{Read, Write, false},
+		{Write, Read, false},
+		{Write, Write, false},
+		{Write, ExcludeWrite, false},
+		{ExcludeWrite, Write, false},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b); got != c.want {
+			t.Errorf("Compatible(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSharedReaders(t *testing.T) {
+	m := New(nil)
+	for _, o := range []Owner{"a", "b", "c"} {
+		if err := m.Acquire(context.Background(), o, "k", Read); err != nil {
+			t.Fatalf("reader %s: %v", o, err)
+		}
+	}
+	if got := len(m.HolderModes("k")); got != 3 {
+		t.Fatalf("holders = %d, want 3", got)
+	}
+}
+
+func TestWriteExcludesAll(t *testing.T) {
+	m := New(nil)
+	if err := m.Acquire(context.Background(), "w", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(ctxShort(t), "r", "k", Read); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("read under write: %v", err)
+	}
+	if err := m.TryAcquire("x", "k", Write); !errors.Is(err, ErrRefused) {
+		t.Fatalf("write under write: %v", err)
+	}
+}
+
+func TestExcludeWriteSharesWithReaders(t *testing.T) {
+	// §4.2.1: exclude-write can be shared with read locks.
+	m := New(nil)
+	if err := m.Acquire(context.Background(), "r1", "k", Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(context.Background(), "r2", "k", Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryAcquire("excluder", "k", ExcludeWrite); err != nil {
+		t.Fatalf("exclude-write alongside readers should succeed: %v", err)
+	}
+	// But a second exclude-writer conflicts.
+	if err := m.TryAcquire("excluder2", "k", ExcludeWrite); !errors.Is(err, ErrRefused) {
+		t.Fatalf("second exclude-write: %v", err)
+	}
+	// And a writer conflicts.
+	if err := m.TryAcquire("w", "k", Write); !errors.Is(err, ErrRefused) {
+		t.Fatalf("write alongside exclude-write: %v", err)
+	}
+}
+
+func TestPromotionReadToWriteRefusedUnderSharedReaders(t *testing.T) {
+	// §4.2.1: with several read locks held, a read->write promotion request
+	// is refused; read->exclude-write succeeds.
+	m := New(nil)
+	for _, o := range []Owner{"me", "other1", "other2"} {
+		if err := m.Acquire(context.Background(), o, "k", Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.TryPromote("me", "k", Read, Write); !errors.Is(err, ErrRefused) {
+		t.Fatalf("read->write with other readers: %v, want refused", err)
+	}
+	if err := m.TryPromote("me", "k", Read, ExcludeWrite); err != nil {
+		t.Fatalf("read->exclude-write with other readers: %v", err)
+	}
+	if !m.Holds("me", "k", ExcludeWrite) {
+		t.Fatal("promotion did not take effect")
+	}
+}
+
+func TestPromotionReadToWriteSoleReader(t *testing.T) {
+	m := New(nil)
+	if err := m.Acquire(context.Background(), "me", "k", Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryPromote("me", "k", Read, Write); err != nil {
+		t.Fatalf("sole-reader promotion: %v", err)
+	}
+	if !m.Holds("me", "k", Write) {
+		t.Fatal("expected write hold after promotion")
+	}
+}
+
+func TestPromoteWithoutHoldingRefused(t *testing.T) {
+	m := New(nil)
+	if err := m.TryPromote("ghost", "k", Read, Write); !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.Acquire(context.Background(), "o", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.TryPromote("o", "k", Read, Write); !errors.Is(err, ErrRefused) {
+		t.Fatalf("promoting mode not held: %v", err)
+	}
+}
+
+func TestReleaseWakesWaiter(t *testing.T) {
+	m := New(nil)
+	if err := m.Acquire(context.Background(), "a", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- m.Acquire(context.Background(), "b", "k", Write)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("waiter should be blocked, got %v", err)
+	default:
+	}
+	if err := m.Release("a", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiter: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestReleaseAll(t *testing.T) {
+	m := New(nil)
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := m.Acquire(context.Background(), "a", k, Write); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.ReleaseAll("a")
+	for _, k := range []string{"k1", "k2", "k3"} {
+		if err := m.TryAcquire("b", k, Write); err != nil {
+			t.Fatalf("after ReleaseAll, %s: %v", k, err)
+		}
+	}
+}
+
+func TestReleaseErrors(t *testing.T) {
+	m := New(nil)
+	if err := m.Release("nobody", "k", Read); err == nil {
+		t.Fatal("releasing unheld entry should error")
+	}
+	if err := m.Acquire(context.Background(), "a", "k", Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release("a", "k", Write); err == nil {
+		t.Fatal("releasing wrong mode should error")
+	}
+}
+
+func TestReentrancy(t *testing.T) {
+	m := New(nil)
+	if err := m.Acquire(context.Background(), "a", "k", Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(context.Background(), "a", "k", Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release("a", "k", Read); err != nil {
+		t.Fatal(err)
+	}
+	// Still held once.
+	if !m.Holds("a", "k", Read) {
+		t.Fatal("re-entrant lock dropped too early")
+	}
+	if err := m.Release("a", "k", Read); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds("a", "k", Read) {
+		t.Fatal("lock retained after final release")
+	}
+}
+
+// nested ancestry for Moss-rule tests: parent "p" of child "p/c" etc.
+type pathAncestry struct{}
+
+func (pathAncestry) IsAncestorOf(a, d Owner) bool {
+	return len(a) < len(d) && strings.HasPrefix(string(d), string(a)+"/")
+}
+
+func TestMossRuleChildAcquiresUnderParent(t *testing.T) {
+	m := New(pathAncestry{})
+	if err := m.Acquire(context.Background(), "p", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	// Child may acquire despite parent's conflicting hold.
+	if err := m.TryAcquire("p/c", "k", Write); err != nil {
+		t.Fatalf("child under parent: %v", err)
+	}
+	// Unrelated action may not.
+	if err := m.TryAcquire("q", "k", Read); !errors.Is(err, ErrRefused) {
+		t.Fatalf("stranger: %v", err)
+	}
+	// Sibling may not (holder p/c is not its ancestor).
+	if err := m.TryAcquire("p/d", "k", Write); !errors.Is(err, ErrRefused) {
+		t.Fatalf("sibling: %v", err)
+	}
+}
+
+func TestInheritMergesToParent(t *testing.T) {
+	m := New(pathAncestry{})
+	if err := m.Acquire(context.Background(), "p/c", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	m.Inherit("p/c", "p")
+	if !m.Holds("p", "k", Write) {
+		t.Fatal("parent should hold after inherit")
+	}
+	if m.Holds("p/c", "k", Read) {
+		t.Fatal("child should hold nothing after inherit")
+	}
+	// A new child of p can still get the lock (parent is ancestor).
+	if err := m.TryAcquire("p/c2", "k", Write); err != nil {
+		t.Fatalf("new child: %v", err)
+	}
+}
+
+func TestHoldsSemantics(t *testing.T) {
+	m := New(nil)
+	if err := m.Acquire(context.Background(), "a", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Holds("a", "k", Read) {
+		t.Fatal("write should imply read strength")
+	}
+	if !m.Holds("a", "k", ExcludeWrite) {
+		t.Fatal("write should satisfy exclude-write checks")
+	}
+	if m.Holds("b", "k", Read) {
+		t.Fatal("non-holder must not hold")
+	}
+}
+
+func TestConcurrentAcquireReleaseNoLostWakeups(t *testing.T) {
+	m := New(nil)
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := Owner(rune('A' + i))
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			for j := 0; j < 50; j++ {
+				if err := m.Acquire(ctx, o, "hot", Write); err != nil {
+					errs <- err
+					return
+				}
+				if err := m.Release(o, "hot", Write); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := m.HolderModes("hot"); len(got) != 0 {
+		t.Fatalf("leftover holders: %v", got)
+	}
+}
+
+// Property: mutual exclusion — a mixed workload of try-acquires never
+// yields two simultaneous conflicting holders.
+func TestPropertyNoConflictingHolders(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := New(nil)
+		type held struct {
+			owner Owner
+			mode  Mode
+		}
+		var holds []held
+		owners := []Owner{"o1", "o2", "o3", "o4"}
+		modes := []Mode{Read, Write, ExcludeWrite}
+		for _, op := range ops {
+			owner := owners[int(op)%len(owners)]
+			mode := modes[int(op/4)%len(modes)]
+			if op%2 == 0 {
+				if err := m.TryAcquire(owner, "k", mode); err == nil {
+					holds = append(holds, held{owner, mode})
+				}
+			} else if len(holds) > 0 {
+				h := holds[len(holds)-1]
+				holds = holds[:len(holds)-1]
+				if err := m.Release(h.owner, "k", h.mode); err != nil {
+					return false
+				}
+			}
+			// Invariant: all pairs of distinct holders' strongest modes
+			// must be compatible.
+			hm := m.HolderModes("k")
+			for i := 0; i < len(hm); i++ {
+				for j := i + 1; j < len(hm); j++ {
+					if !Compatible(hm[i].Mode, hm[j].Mode) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || ExcludeWrite.String() != "exclude-write" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(0).String() != "mode(0)" {
+		t.Fatal("unknown mode string wrong")
+	}
+}

@@ -1,0 +1,173 @@
+// Package metrics provides light-weight counters and histograms used by the
+// experiment harness to measure the behaviours the paper describes
+// qualitatively (abort rates, bind latencies, divergence counts, …).
+//
+// The package is deliberately tiny and allocation-light so that recording a
+// sample does not perturb the benchmarks that use it.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count, safe for concurrent use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (which may be negative only in tests; production callers
+// should treat counters as monotonic).
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Histogram accumulates float64 samples and reports summary statistics.
+// It stores raw samples; experiments here record at most a few hundred
+// thousand points, so the simplicity is worth the memory.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank, or 0 if empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Max returns the maximum sample, or 0 if empty.
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Registry is a named collection of counters and histograms. The zero value
+// is ready to use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	histograms map[string]*Histogram
+}
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot renders all metrics as a deterministic multi-line string,
+// suitable for experiment reports.
+func (r *Registry) Snapshot() string {
+	r.mu.Lock()
+	counterNames := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counterNames = append(counterNames, name)
+	}
+	histNames := make([]string, 0, len(r.histograms))
+	for name := range r.histograms {
+		histNames = append(histNames, name)
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	sort.Strings(counterNames)
+	sort.Strings(histNames)
+	var b strings.Builder
+	for _, name := range counterNames {
+		fmt.Fprintf(&b, "counter %-40s %d\n", name, counters[name].Value())
+	}
+	for _, name := range histNames {
+		h := hists[name]
+		fmt.Fprintf(&b, "hist    %-40s n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f\n",
+			name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 10000 {
+		t.Fatalf("counter = %d, want 10000", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", got)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Fatalf("p50 = %v, want 50", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("max = %v, want 100", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.9) != 0 || h.Max() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(1500 * time.Microsecond)
+	if got := h.Mean(); got != 1.5 {
+		t.Fatalf("duration sample = %v ms, want 1.5", got)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	h.Observe(7)
+	if h.Quantile(0) != 7 || h.Quantile(1) != 7 {
+		t.Fatal("single-sample quantiles should be the sample")
+	}
+}
+
+func TestRegistryIdentity(t *testing.T) {
+	var r Registry
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name should return same counter")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same name should return same histogram")
+	}
+	if r.Counter("a") == r.Counter("b") {
+		t.Fatal("different names should return different counters")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	var r Registry
+	r.Counter("aborts").Add(3)
+	r.Histogram("bind_ms").Observe(2.0)
+	snap := r.Snapshot()
+	if !strings.Contains(snap, "aborts") || !strings.Contains(snap, "bind_ms") {
+		t.Fatalf("snapshot missing entries:\n%s", snap)
+	}
+	if !strings.Contains(snap, "3") {
+		t.Fatalf("snapshot missing counter value:\n%s", snap)
+	}
+}
+
+func TestHistogramMeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var h Histogram
+		lo, hi := 0.0, 0.0
+		n := 0
+		for _, v := range vals {
+			// Skip NaN/Inf which have no meaningful ordering.
+			if v != v || v > 1e300 || v < -1e300 {
+				continue
+			}
+			if n == 0 || v < lo {
+				lo = v
+			}
+			if n == 0 || v > hi {
+				hi = v
+			}
+			h.Observe(v)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		m := h.Mean()
+		return m >= lo-1e-9*(1+hi-lo) && m <= hi+1e-9*(1+hi-lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package object
+
+import (
+	"context"
+
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// ServerRef is a typed client for the object server of one object at one
+// node.
+type ServerRef struct {
+	Client rpc.Client
+	Node   transport.Addr
+	UID    uid.UID
+}
+
+// Activate asks the node to activate the object, loading state from one of
+// stNodes.
+func (r ServerRef) Activate(ctx context.Context, class string, stNodes []transport.Addr) (ActivateResp, error) {
+	return rpc.Invoke[ActivateReq, ActivateResp](ctx, r.Client, r.Node, ServiceName, MethodActivate, ActivateReq{
+		UID:     r.UID.String(),
+		Class:   class,
+		StNodes: addrsToStrings(stNodes),
+	})
+}
+
+// Invoke calls a method under the given (top-level) action.
+func (r ServerRef) Invoke(ctx context.Context, action, method string, args []byte) ([]byte, error) {
+	resp, err := rpc.Invoke[InvokeReq, InvokeResp](ctx, r.Client, r.Node, ServiceName, MethodInvoke, InvokeReq{
+		UID:    r.UID.String(),
+		Action: action,
+		Method: method,
+		Args:   args,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// Prepare runs the server's commit-time state copy to stNodes (phase one).
+func (r ServerRef) Prepare(ctx context.Context, action string, stNodes []transport.Addr) (PrepareResp, error) {
+	return rpc.Invoke[PrepareReq, PrepareResp](ctx, r.Client, r.Node, ServiceName, MethodPrepare, PrepareReq{
+		UID:     r.UID.String(),
+		Action:  action,
+		StNodes: addrsToStrings(stNodes),
+	})
+}
+
+// Commit finishes the action at this server (phase two). checkpointTo, if
+// non-empty, asks the server to push its committed state to those cohort
+// nodes afterwards.
+func (r ServerRef) Commit(ctx context.Context, action string, checkpointTo ...transport.Addr) (EndResp, error) {
+	return rpc.Invoke[EndReq, EndResp](ctx, r.Client, r.Node, ServiceName, MethodCommit, EndReq{
+		UID:          r.UID.String(),
+		Action:       action,
+		CheckpointTo: addrsToStrings(checkpointTo),
+	})
+}
+
+// Install pushes a committed state snapshot into the server, creating the
+// instance if necessary.
+func (r ServerRef) Install(ctx context.Context, class string, state []byte, seq uint64) error {
+	_, err := rpc.Invoke[InstallReq, InstallResp](ctx, r.Client, r.Node, ServiceName, MethodInstall, InstallReq{
+		UID:   r.UID.String(),
+		Class: class,
+		State: state,
+		Seq:   seq,
+	})
+	return err
+}
+
+// Abort undoes the action at this server.
+func (r ServerRef) Abort(ctx context.Context, action string) (EndResp, error) {
+	return rpc.Invoke[EndReq, EndResp](ctx, r.Client, r.Node, ServiceName, MethodAbort, EndReq{UID: r.UID.String(), Action: action})
+}
+
+// Passivate destroys the server instance if quiescent (or unconditionally
+// with force).
+func (r ServerRef) Passivate(ctx context.Context, force bool) (bool, error) {
+	resp, err := rpc.Invoke[PassivateReq, PassivateResp](ctx, r.Client, r.Node, ServiceName, MethodPassivate, PassivateReq{UID: r.UID.String(), Force: force})
+	if err != nil {
+		return false, err
+	}
+	return resp.Passivated, nil
+}
+
+// Status queries the server instance.
+func (r ServerRef) Status(ctx context.Context) (StatusResp, error) {
+	return rpc.Invoke[StatusReq, StatusResp](ctx, r.Client, r.Node, ServiceName, MethodStatus, StatusReq{UID: r.UID.String()})
+}
+
+func addrsToStrings(in []transport.Addr) []string {
+	out := make([]string, len(in))
+	for i, a := range in {
+		out[i] = string(a)
+	}
+	return out
+}

@@ -1,0 +1,463 @@
+package object
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/group"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// counterClass is a tiny persistent object: state is a decimal integer.
+func counterClass() *Class {
+	parse := func(state []byte) int {
+		n, _ := strconv.Atoi(string(state))
+		return n
+	}
+	return &Class{
+		Name: "counter",
+		Init: func() []byte { return []byte("0") },
+		Methods: map[string]Method{
+			"add": func(state, args []byte) ([]byte, []byte, error) {
+				delta, err := strconv.Atoi(string(args))
+				if err != nil {
+					return nil, nil, err
+				}
+				n := parse(state) + delta
+				out := []byte(strconv.Itoa(n))
+				return out, out, nil
+			},
+			"get": func(state, args []byte) ([]byte, []byte, error) {
+				return state, state, nil
+			},
+			"fail": func(state, args []byte) ([]byte, []byte, error) {
+				return nil, nil, errors.New("intentional failure")
+			},
+		},
+		ReadOnly: map[string]bool{"get": true},
+	}
+}
+
+type world struct {
+	cluster *sim.Cluster
+	reg     *Registry
+	id      uid.UID
+}
+
+// newWorld builds: server nodes sv1,sv2; store nodes st1,st2; client node.
+// The counter object's initial state "0" (seq 1) is installed at both
+// stores.
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	w := &world{cluster: sim.NewCluster(transport.MemOptions{}), reg: NewRegistry()}
+	w.reg.Register(counterClass())
+	for _, name := range []transport.Addr{"sv1", "sv2"} {
+		n := w.cluster.Add(name)
+		NewManager(n, w.reg)
+	}
+	for _, name := range []transport.Addr{"st1", "st2"} {
+		w.cluster.Add(name)
+	}
+	w.cluster.Add("client")
+	gen := uid.NewGenerator("test", 1)
+	w.id = gen.New()
+	w.cluster.Node("st1").Store().Put(w.id, []byte("0"), 1)
+	w.cluster.Node("st2").Store().Put(w.id, []byte("0"), 1)
+	return w
+}
+
+func (w *world) ref(node transport.Addr) ServerRef {
+	return ServerRef{Client: w.cluster.Node("client").Client(), Node: node, UID: w.id}
+}
+
+func TestActivateLoadsFromStore(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	resp, err := w.ref("sv1").Activate(ctx, "counter", []transport.Addr{"st1", "st2"})
+	if err != nil {
+		t.Fatalf("activate: %v", err)
+	}
+	if !resp.Fresh || resp.Seq != 1 || resp.LoadedFrom != "st1" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	// Second activation is idempotent.
+	resp2, err := w.ref("sv1").Activate(ctx, "counter", []transport.Addr{"st1"})
+	if err != nil || resp2.Fresh {
+		t.Fatalf("re-activate: %+v %v", resp2, err)
+	}
+}
+
+func TestActivateFallsBackAcrossStores(t *testing.T) {
+	w := newWorld(t)
+	w.cluster.Node("st1").Crash()
+	resp, err := w.ref("sv1").Activate(context.Background(), "counter", []transport.Addr{"st1", "st2"})
+	if err != nil {
+		t.Fatalf("activate: %v", err)
+	}
+	if resp.LoadedFrom != "st2" {
+		t.Fatalf("loaded from %s, want st2", resp.LoadedFrom)
+	}
+}
+
+func TestActivateNoStoreAvailable(t *testing.T) {
+	w := newWorld(t)
+	w.cluster.Node("st1").Crash()
+	w.cluster.Node("st2").Crash()
+	_, err := w.ref("sv1").Activate(context.Background(), "counter", []transport.Addr{"st1", "st2"})
+	if rpc.CodeOf(err) != CodeUnavailable {
+		t.Fatalf("err = %v, want unavailable", err)
+	}
+}
+
+func TestActivateUnknownClass(t *testing.T) {
+	w := newWorld(t)
+	_, err := w.ref("sv1").Activate(context.Background(), "nonesuch", []transport.Addr{"st1"})
+	if rpc.CodeOf(err) != rpc.CodeNotFound {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvokeRequiresActivation(t *testing.T) {
+	w := newWorld(t)
+	_, err := w.ref("sv1").Invoke(context.Background(), "a1", "get", nil)
+	if !IsNotActive(err) {
+		t.Fatalf("err = %v, want not-active", err)
+	}
+}
+
+func TestInvokeCommitWritesBackToAllStores(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ref.Invoke(ctx, "act1", "add", []byte("5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "5" {
+		t.Fatalf("result = %q", res)
+	}
+	prep, err := ref.Prepare(ctx, "act1", []transport.Addr{"st1", "st2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prep.Dirty || prep.NewSeq != 2 || len(prep.PreparedNodes) != 2 || len(prep.FailedNodes) != 0 {
+		t.Fatalf("prepare = %+v", prep)
+	}
+	if _, err := ref.Commit(ctx, "act1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []transport.Addr{"st1", "st2"} {
+		v, err := w.cluster.Node(st).Store().Read(w.id)
+		if err != nil || string(v.Data) != "5" || v.Seq != 2 {
+			t.Fatalf("%s: %+v %v", st, v, err)
+		}
+	}
+	// Server's base version advanced.
+	status, _ := ref.Status(ctx)
+	if status.Seq != 2 || status.Users != 0 {
+		t.Fatalf("status = %+v", status)
+	}
+}
+
+func TestPrepareReportsFailedStores(t *testing.T) {
+	// §3.2(2): "the names of all those nodes for which the copy operation
+	// failed must be removed from St" — the server reports them.
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "act1", "add", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	w.cluster.Node("st2").Crash()
+	prep, err := ref.Prepare(ctx, "act1", []transport.Addr{"st1", "st2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prep.PreparedNodes) != 1 || prep.PreparedNodes[0] != "st1" {
+		t.Fatalf("prepared = %v", prep.PreparedNodes)
+	}
+	if len(prep.FailedNodes) != 1 || prep.FailedNodes[0] != "st2" {
+		t.Fatalf("failed = %v", prep.FailedNodes)
+	}
+	if _, err := ref.Commit(ctx, "act1"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := w.cluster.Node("st1").Store().Read(w.id); string(v.Data) != "1" {
+		t.Fatal("surviving store missed the commit")
+	}
+}
+
+func TestPrepareAllStoresDownAborts(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "act1", "add", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	w.cluster.Node("st1").Crash()
+	w.cluster.Node("st2").Crash()
+	_, err := ref.Prepare(ctx, "act1", []transport.Addr{"st1", "st2"})
+	if rpc.CodeOf(err) != CodeUnavailable {
+		t.Fatalf("err = %v, want unavailable", err)
+	}
+}
+
+func TestAbortRestoresSnapshotAndStores(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "act1", "add", []byte("7")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Prepare(ctx, "act1", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Abort(ctx, "act1"); err != nil {
+		t.Fatal(err)
+	}
+	// In-memory state restored.
+	res, err := ref.Invoke(ctx, "act2", "get", nil)
+	if err != nil || string(res) != "0" {
+		t.Fatalf("after abort get = %q, %v", res, err)
+	}
+	// Stores unchanged (intentions rolled back).
+	if v, _ := w.cluster.Node("st1").Store().Read(w.id); string(v.Data) != "0" || v.Seq != 1 {
+		t.Fatalf("st1 = %+v", v)
+	}
+	if got := w.cluster.Node("st1").Store().PendingTxs(); len(got) != 0 {
+		t.Fatalf("leftover intentions: %v", got)
+	}
+}
+
+func TestReadOnlyActionNeedsNoCopy(t *testing.T) {
+	// §4.2.1: "if the client has not changed the state of the object, then
+	// no copying to object stores is necessary."
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "ro-act", "get", nil); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := ref.Prepare(ctx, "ro-act", []transport.Addr{"st1", "st2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Dirty {
+		t.Fatal("read-only action reported dirty")
+	}
+	if _, err := ref.Commit(ctx, "ro-act"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteLockSerializesActions(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "writer1", "add", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// A second action's write blocks until the first ends.
+	blockedCtx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	_, err := ref.Invoke(blockedCtx, "writer2", "add", []byte("1"))
+	if rpc.CodeOf(err) != rpc.CodeRefused {
+		t.Fatalf("expected lock refusal, got %v", err)
+	}
+	// After the first action ends, the second proceeds.
+	if _, err := ref.Commit(ctx, "writer1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "writer2", "add", []byte("1")); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	if _, err := ref.Abort(ctx, "writer2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSharedReadersDontBlock(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		act := fmt.Sprintf("reader%d", i)
+		if _, err := ref.Invoke(ctx, act, "get", nil); err != nil {
+			t.Fatalf("%s: %v", act, err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := ref.Commit(ctx, fmt.Sprintf("reader%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFailedMethodLeavesStateIntact(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "a", "fail", nil); rpc.CodeOf(err) != rpc.CodeInternal {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ref.Abort(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ref.Invoke(ctx, "b", "get", nil)
+	if err != nil || string(res) != "0" {
+		t.Fatalf("get = %q %v", res, err)
+	}
+	if _, err := ref.Commit(ctx, "b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPassivationQuiescence(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "user1", "add", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Not quiescent: refuse.
+	if _, err := ref.Passivate(ctx, false); rpc.CodeOf(err) != CodeBusy {
+		t.Fatalf("err = %v, want busy", err)
+	}
+	if _, err := ref.Commit(ctx, "user1"); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := ref.Passivate(ctx, false)
+	if err != nil || !ok {
+		t.Fatalf("passivate: %v %v", ok, err)
+	}
+	st, _ := ref.Status(ctx)
+	if st.Active {
+		t.Fatal("still active after passivation")
+	}
+	// Passivating again reports false, no error.
+	ok, err = ref.Passivate(ctx, false)
+	if err != nil || ok {
+		t.Fatalf("double passivate: %v %v", ok, err)
+	}
+}
+
+func TestCrashDestroysActivatedObjects(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	node := w.cluster.Node("sv1")
+	node.Crash()
+	node.Recover(nil)
+	st, err := ref.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Active {
+		t.Fatal("activated object survived a crash — volatile storage leak")
+	}
+}
+
+func TestGroupInvocationTotalOrderAcrossReplicas(t *testing.T) {
+	// Two server replicas process the same ordered stream of invocations
+	// (active replication, §2.3) and stay identical.
+	w := newWorld(t)
+	ctx := context.Background()
+	for _, sv := range []transport.Addr{"sv1", "sv2"} {
+		n := w.cluster.Node(sv)
+		mgr := NewManager(n, w.reg) // fresh manager with group support
+		host := group.NewHost(n.Server(), n.Client())
+		mgr.EnableGroupInvocation(host)
+		ref := ServerRef{Client: w.cluster.Node("client").Client(), Node: sv, UID: w.id}
+		if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := group.Group{ID: GroupPrefix + w.id.String(), Members: []transport.Addr{"sv1", "sv2"}}
+	cli := w.cluster.Node("client").Client()
+	for i := 0; i < 5; i++ {
+		payload, err := rpc.Encode(&InvokeReq{UID: w.id.String(), Action: "act", Method: "add", Args: []byte("1")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := group.Multicast(ctx, cli, g, KindInvoke, payload)
+		if err != nil {
+			t.Fatalf("multicast %d: %v", i, err)
+		}
+		if len(res.Replies) != 2 {
+			t.Fatalf("replies = %d", len(res.Replies))
+		}
+	}
+	// End the writing action first (it holds the write lock), then verify
+	// both replicas hold the same value.
+	for _, sv := range []transport.Addr{"sv1", "sv2"} {
+		ref := ServerRef{Client: cli, Node: sv, UID: w.id}
+		if _, err := ref.Commit(ctx, "act"); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ref.Invoke(ctx, "check", "get", nil)
+		if err != nil || string(got) != "5" {
+			t.Fatalf("%s value = %q, %v", sv, got, err)
+		}
+		if _, err := ref.Commit(ctx, "check"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register(counterClass())
+	if _, err := r.Lookup("counter"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup("nope"); err == nil {
+		t.Fatal("expected unknown class error")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "counter" {
+		t.Fatalf("names = %v", names)
+	}
+	c, _ := r.Lookup("counter")
+	if !c.IsReadOnly("get") || c.IsReadOnly("add") {
+		t.Fatal("readonly flags wrong")
+	}
+	if _, err := c.Method("nope"); err == nil {
+		t.Fatal("expected missing method error")
+	}
+}

@@ -1,0 +1,86 @@
+package object
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestPassivateQuiescentSweep(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	// Find the manager: newWorld created one per sv node but did not keep
+	// it; re-create a manager view via a fresh one on a new node instead.
+	n := w.cluster.Add("svP")
+	mgr := NewManager(n, w.reg)
+	refP := ServerRef{Client: w.cluster.Node("client").Client(), Node: "svP", UID: w.id}
+	if _, err := refP.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.ActiveCount() != 1 {
+		t.Fatalf("active = %d", mgr.ActiveCount())
+	}
+
+	// A user is active: the sweep must skip the instance.
+	if _, err := refP.Invoke(ctx, "a1", "add", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	rep := mgr.PassivateQuiescent()
+	if len(rep.Passivated) != 0 || rep.Busy != 1 {
+		t.Fatalf("sweep with user = %+v", rep)
+	}
+	if mgr.ActiveCount() != 1 {
+		t.Fatal("busy instance passivated")
+	}
+
+	// After the action ends the object is quiescent and is swept. The
+	// action's new state must be checkpointed (Prepare) before Commit so
+	// that passivation does not lose it.
+	if _, err := refP.Prepare(ctx, "a1", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := refP.Commit(ctx, "a1"); err != nil {
+		t.Fatal(err)
+	}
+	rep = mgr.PassivateQuiescent()
+	if len(rep.Passivated) != 1 || rep.Passivated[0] != w.id {
+		t.Fatalf("sweep after commit = %+v", rep)
+	}
+	if mgr.ActiveCount() != 0 {
+		t.Fatal("instance survived sweep")
+	}
+
+	// Re-activation works afterwards (state still in the stores).
+	resp, err := refP.Activate(ctx, "counter", []transport.Addr{"st1", "st2"})
+	if err != nil || !resp.Fresh {
+		t.Fatalf("re-activate: %+v %v", resp, err)
+	}
+	got, err := refP.Invoke(ctx, "a2", "get", nil)
+	if err != nil || string(got) != "1" {
+		t.Fatalf("state after passivation cycle = %q %v", got, err)
+	}
+	if _, err := refP.Commit(ctx, "a2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	w := newWorld(t)
+	n := w.cluster.Add("svD")
+	mgr := NewManager(n, w.reg)
+	if got := mgr.Describe(); got == "" {
+		t.Fatal("empty describe")
+	}
+	ref := ServerRef{Client: w.cluster.Node("client").Client(), Node: "svD", UID: w.id}
+	if _, err := ref.Activate(context.Background(), "counter", []transport.Addr{"st1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Describe(); got == "" {
+		t.Fatal("empty describe with instance")
+	}
+}

@@ -1,0 +1,632 @@
+package object
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/group"
+	"repro/internal/lockmgr"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// ServiceName is the RPC service under which a node's object servers are
+// reachable.
+const ServiceName = "objsrv"
+
+// RPC method names.
+const (
+	MethodActivate  = "Activate"
+	MethodInvoke    = "Invoke"
+	MethodPrepare   = "Prepare"
+	MethodCommit    = "Commit"
+	MethodAbort     = "Abort"
+	MethodPassivate = "Passivate"
+	MethodStatus    = "Status"
+	MethodInstall   = "Install"
+)
+
+// Application error codes specific to object servers.
+const (
+	// CodeNotActive reports an invocation on an object with no server at
+	// this node — the caller must activate first.
+	CodeNotActive = "not-active"
+	// CodeUnavailable reports that activation failed because no St node
+	// could supply the object's state.
+	CodeUnavailable = "unavailable"
+	// CodeBusy reports a refused passivation (the object is not quiescent).
+	CodeBusy = "busy"
+	// CodeStaleServer reports that this node's activated copy was refused
+	// by every reachable store as stale; the instance has been destroyed
+	// and the calling action must abort (a retry re-activates fresh).
+	CodeStaleServer = "stale-server"
+)
+
+// GroupPrefix prefixes the group ID servers join for an object when group
+// invocation is enabled: GroupPrefix + UID.String().
+const GroupPrefix = "obj/"
+
+// KindInvoke is the multicast message kind for group-ordered invocations.
+const KindInvoke = "invoke"
+
+// instance is one activated object replica living in a node's volatile
+// memory.
+type instance struct {
+	class *Class
+	id    uid.UID
+	locks *lockmgr.Manager
+
+	mu    sync.Mutex
+	state []byte
+	// seq is the committed version this state derives from.
+	seq uint64
+	// snaps maps an action to the pre-action state (for abort).
+	snaps map[string][]byte
+	// dirty marks actions that modified the state.
+	dirty map[string]bool
+	// prepared maps an action to the St nodes where its write-back has
+	// been prepared, and preparedSeq to the version number used.
+	prepared    map[string][]transport.Addr
+	preparedSeq map[string]uint64
+	// users is the set of actions currently bound (invoked at least once
+	// and not yet ended); the object is quiescent when empty.
+	users map[string]bool
+}
+
+// volatileKey is where a node's activated instances live; being volatile,
+// every activated object disappears when the node crashes (§2.1).
+const volatileKey = "objsrv.instances"
+
+// instanceTable is the volatile map of activated objects.
+type instanceTable struct {
+	mu sync.Mutex
+	m  map[uid.UID]*instance
+}
+
+// Manager runs a node's object servers: it activates passive objects,
+// executes invocations under action-held locks, and drives commit-time
+// state copy-back to the object stores.
+type Manager struct {
+	node     *sim.Node
+	registry *Registry
+	ghost    *group.Host // nil unless group invocation is enabled
+}
+
+// NewManager installs an object-server manager on node, registering its
+// RPC handlers. The registry supplies method code — the paper's assumption
+// that server nodes hold the executable binary for the objects they serve.
+func NewManager(node *sim.Node, registry *Registry) *Manager {
+	m := &Manager{node: node, registry: registry}
+	srv := node.Server()
+	srv.Handle(ServiceName, MethodActivate, rpc.Method(m.handleActivate))
+	srv.Handle(ServiceName, MethodInvoke, rpc.Method(m.handleInvoke))
+	srv.Handle(ServiceName, MethodPrepare, rpc.Method(m.handlePrepare))
+	srv.Handle(ServiceName, MethodCommit, rpc.Method(m.handleCommit))
+	srv.Handle(ServiceName, MethodAbort, rpc.Method(m.handleAbort))
+	srv.Handle(ServiceName, MethodPassivate, rpc.Method(m.handlePassivate))
+	srv.Handle(ServiceName, MethodStatus, rpc.Method(m.handleStatus))
+	srv.Handle(ServiceName, MethodInstall, rpc.Method(m.handleInstall))
+	return m
+}
+
+// EnableGroupInvocation joins activated objects to a per-object group so
+// that invocations can be delivered in total order across all replica
+// servers — required by active replication (§2.3(2)).
+func (m *Manager) EnableGroupInvocation(host *group.Host) { m.ghost = host }
+
+// Node returns the manager's node.
+func (m *Manager) Node() *sim.Node { return m.node }
+
+func (m *Manager) table() *instanceTable {
+	if v, ok := m.node.Volatile(volatileKey); ok {
+		return v.(*instanceTable)
+	}
+	t := &instanceTable{m: make(map[uid.UID]*instance)}
+	m.node.SetVolatile(volatileKey, t)
+	return t
+}
+
+func (m *Manager) lookup(id uid.UID) (*instance, bool) {
+	t := m.table()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	in, ok := t.m[id]
+	return in, ok
+}
+
+// --- wire records ---
+
+// ActivateReq activates an object at this node, loading state from one of
+// the StNodes.
+type ActivateReq struct {
+	UID     string
+	Class   string
+	StNodes []string
+}
+
+// ActivateResp reports the activation result.
+type ActivateResp struct {
+	// Seq is the committed version loaded (or already in memory).
+	Seq uint64
+	// Fresh is true when this call created the server (false: already
+	// active).
+	Fresh bool
+	// LoadedFrom is the St node that supplied the state ("" if already
+	// active).
+	LoadedFrom string
+}
+
+// InvokeReq invokes a method under an action.
+type InvokeReq struct {
+	UID    string
+	Action string
+	Method string
+	Args   []byte
+}
+
+// InvokeResp carries the method result. Modified reports whether the
+// invocation took the write path (clients use it to decide whether a
+// checkpoint or state copy will be needed).
+type InvokeResp struct {
+	Result   []byte
+	Modified bool
+}
+
+// PrepareReq asks the server to prepare its commit-time state copy to the
+// given St nodes (phase one of the client action's 2PC).
+type PrepareReq struct {
+	UID     string
+	Action  string
+	StNodes []string
+}
+
+// PrepareResp reports the write-back prepare outcome.
+type PrepareResp struct {
+	// Dirty is false when the action never modified the object: no state
+	// copy is needed (the read optimisation).
+	Dirty bool
+	// NewSeq is the version number the new state will commit as.
+	NewSeq uint64
+	// PreparedNodes successfully recorded the intention.
+	PreparedNodes []string
+	// FailedNodes could not be reached or refused; the paper requires the
+	// caller to Exclude these from St_A.
+	FailedNodes []string
+}
+
+// EndReq commits or aborts an action at this server.
+type EndReq struct {
+	UID    string
+	Action string
+	// CheckpointTo, on commit, asks the server to push its newly committed
+	// state to these nodes via Install — the coordinator-cohort
+	// checkpointing of §2.3(ii).
+	CheckpointTo []string
+}
+
+// InstallReq pushes a committed state snapshot into a node's server for an
+// object, creating the instance if needed (a cohort receiving a
+// checkpoint).
+type InstallReq struct {
+	UID   string
+	Class string
+	State []byte
+	Seq   uint64
+}
+
+// InstallResp acknowledges an install.
+type InstallResp struct{ Installed bool }
+
+// EndResp reports fan-out failures during phase two (informational; the
+// outcome stands).
+type EndResp struct {
+	FailedNodes []string
+}
+
+// PassivateReq asks the server to destroy a quiescent instance.
+type PassivateReq struct {
+	UID string
+	// Force destroys the instance even with users (simulates an abrupt
+	// server shutdown without a node crash).
+	Force bool
+}
+
+// PassivateResp reports whether the instance was destroyed.
+type PassivateResp struct{ Passivated bool }
+
+// StatusReq queries an object's server at this node.
+type StatusReq struct{ UID string }
+
+// StatusResp describes an instance.
+type StatusResp struct {
+	Active bool
+	Seq    uint64
+	Users  int
+}
+
+// --- handlers ---
+
+func (m *Manager) handleActivate(ctx context.Context, from transport.Addr, req ActivateReq) (ActivateResp, error) {
+	id, err := uid.Parse(req.UID)
+	if err != nil {
+		return ActivateResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+	}
+	t := m.table()
+	t.mu.Lock()
+	if in, ok := t.m[id]; ok {
+		t.mu.Unlock()
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		return ActivateResp{Seq: in.seq, Fresh: false}, nil
+	}
+	t.mu.Unlock()
+
+	class, err := m.registry.Lookup(req.Class)
+	if err != nil {
+		return ActivateResp{}, rpc.Errorf(rpc.CodeNotFound, "%v", err)
+	}
+	// Load the state from any store node in St (§3.2(4): "each server is
+	// free to load the state of the object from any of the nodes ∈ St").
+	var (
+		loaded     store.Version
+		loadedFrom string
+		found      bool
+	)
+	for _, st := range req.StNodes {
+		remote := store.RemoteStore{Client: m.node.Client(), Node: transport.Addr(st)}
+		v, err := remote.Read(ctx, id)
+		if err != nil {
+			continue
+		}
+		loaded, loadedFrom, found = v, st, true
+		break
+	}
+	if !found {
+		return ActivateResp{}, rpc.Errorf(CodeUnavailable, "object %s: no reachable store in %v has its state", req.UID, req.StNodes)
+	}
+	in := &instance{
+		class:       class,
+		id:          id,
+		locks:       lockmgr.New(lockmgr.NoNesting),
+		state:       loaded.Data,
+		seq:         loaded.Seq,
+		snaps:       make(map[string][]byte),
+		dirty:       make(map[string]bool),
+		prepared:    make(map[string][]transport.Addr),
+		preparedSeq: make(map[string]uint64),
+		users:       make(map[string]bool),
+	}
+	t.mu.Lock()
+	if existing, ok := t.m[id]; ok {
+		// Lost a race with a concurrent activation; use the winner.
+		t.mu.Unlock()
+		existing.mu.Lock()
+		defer existing.mu.Unlock()
+		return ActivateResp{Seq: existing.seq, Fresh: false}, nil
+	}
+	t.m[id] = in
+	t.mu.Unlock()
+	if m.ghost != nil {
+		m.ghost.Join(GroupPrefix+id.String(), m.groupApply(in))
+	}
+	return ActivateResp{Seq: loaded.Seq, Fresh: true, LoadedFrom: loadedFrom}, nil
+}
+
+// groupApply adapts group deliveries of KindInvoke to instance invocation.
+func (m *Manager) groupApply(in *instance) group.Apply {
+	return func(ctx context.Context, msg group.Delivered) ([]byte, error) {
+		if msg.Kind != KindInvoke {
+			return nil, rpc.Errorf(rpc.CodeNoSuchMethod, "unsupported group message kind %q", msg.Kind)
+		}
+		var req InvokeReq
+		if err := rpc.Decode(msg.Payload, &req); err != nil {
+			return nil, err
+		}
+		resp, err := m.invokeOn(ctx, in, req)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.Encode(&resp)
+	}
+}
+
+func (m *Manager) handleInvoke(ctx context.Context, from transport.Addr, req InvokeReq) (InvokeResp, error) {
+	in, err := m.mustLookup(req.UID)
+	if err != nil {
+		return InvokeResp{}, err
+	}
+	return m.invokeOn(ctx, in, req)
+}
+
+func (m *Manager) invokeOn(ctx context.Context, in *instance, req InvokeReq) (InvokeResp, error) {
+	method, err := in.class.Method(req.Method)
+	if err != nil {
+		return InvokeResp{}, rpc.Errorf(rpc.CodeNoSuchMethod, "%v", err)
+	}
+	mode := lockmgr.Write
+	if in.class.IsReadOnly(req.Method) {
+		mode = lockmgr.Read
+	}
+	// Strict two-phase locking: the lock is owned by the client action and
+	// held until that action ends (Commit/Abort RPC).
+	if err := in.locks.Acquire(ctx, lockmgr.Owner(req.Action), "state", mode); err != nil {
+		return InvokeResp{}, rpc.Errorf(rpc.CodeRefused, "lock: %v", err)
+	}
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.users[req.Action] = true
+	if mode == lockmgr.Write {
+		if _, ok := in.snaps[req.Action]; !ok {
+			in.snaps[req.Action] = append([]byte(nil), in.state...)
+		}
+	}
+	newState, result, err := method(in.state, req.Args)
+	if err != nil {
+		// A failed method leaves the state untouched; the lock stays held
+		// (the action will abort or retry).
+		return InvokeResp{}, rpc.Errorf(rpc.CodeInternal, "method %s: %v", req.Method, err)
+	}
+	if mode == lockmgr.Write {
+		in.state = newState
+		in.dirty[req.Action] = true
+	}
+	return InvokeResp{Result: result, Modified: mode == lockmgr.Write}, nil
+}
+
+func (m *Manager) mustLookup(uidStr string) (*instance, error) {
+	id, err := uid.Parse(uidStr)
+	if err != nil {
+		return nil, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+	}
+	in, ok := m.lookup(id)
+	if !ok {
+		return nil, rpc.Errorf(CodeNotActive, "object %s not active at %s", uidStr, m.node.Name())
+	}
+	return in, nil
+}
+
+func (m *Manager) handlePrepare(ctx context.Context, from transport.Addr, req PrepareReq) (PrepareResp, error) {
+	in, err := m.mustLookup(req.UID)
+	if err != nil {
+		return PrepareResp{}, err
+	}
+	in.mu.Lock()
+	if !in.dirty[req.Action] {
+		in.mu.Unlock()
+		return PrepareResp{Dirty: false}, nil
+	}
+	newSeq := in.seq + 1
+	state := append([]byte(nil), in.state...)
+	in.mu.Unlock()
+
+	// Copy the new state to all functioning St nodes (§3.2(2)); remember
+	// which prepared so commit/abort can address exactly those.
+	resp := PrepareResp{Dirty: true, NewSeq: newSeq}
+	var preparedAddrs []transport.Addr
+	staleRefusals, reachable := 0, 0
+	for _, st := range req.StNodes {
+		remote := store.RemoteStore{Client: m.node.Client(), Node: transport.Addr(st)}
+		err := remote.Prepare(ctx, req.Action, []store.Write{{UID: in.id, Data: state, Seq: newSeq}})
+		if err != nil {
+			if errors.Is(err, store.ErrStaleVersion) {
+				staleRefusals++
+				reachable++
+			}
+			resp.FailedNodes = append(resp.FailedNodes, st)
+			continue
+		}
+		reachable++
+		resp.PreparedNodes = append(resp.PreparedNodes, st)
+		preparedAddrs = append(preparedAddrs, transport.Addr(st))
+	}
+	in.mu.Lock()
+	in.prepared[req.Action] = preparedAddrs
+	in.preparedSeq[req.Action] = newSeq
+	in.mu.Unlock()
+	if reachable > 0 && staleRefusals == reachable {
+		// Every reachable store refused the write as stale: this activated
+		// copy has been left behind (commits went through other servers
+		// while it sat idle). Destroy the instance so the next activation
+		// reloads the latest committed state, and abort this action.
+		_, _ = m.handlePassivate(ctx, from, PassivateReq{UID: req.UID, Force: true})
+		return resp, rpc.Errorf(CodeStaleServer, "object %s at %s: activated copy is stale (base seq %d)", req.UID, m.node.Name(), newSeq-1)
+	}
+	if len(resp.PreparedNodes) == 0 {
+		// No store holds the new state: the action cannot commit (§3.2(2):
+		// abort if all the nodes ∈ St are down).
+		return resp, rpc.Errorf(CodeUnavailable, "object %s: no St node accepted the new state", req.UID)
+	}
+	return resp, nil
+}
+
+func (m *Manager) handleCommit(ctx context.Context, from transport.Addr, req EndReq) (EndResp, error) {
+	in, err := m.mustLookup(req.UID)
+	if err != nil {
+		return EndResp{}, err
+	}
+	in.mu.Lock()
+	prepared := in.prepared[req.Action]
+	newSeq, hasPrepared := in.preparedSeq[req.Action]
+	if in.dirty[req.Action] && hasPrepared {
+		in.seq = newSeq
+	}
+	ckptState := append([]byte(nil), in.state...)
+	ckptSeq := in.seq
+	className := in.class.Name
+	delete(in.snaps, req.Action)
+	delete(in.dirty, req.Action)
+	delete(in.prepared, req.Action)
+	delete(in.preparedSeq, req.Action)
+	delete(in.users, req.Action)
+	in.mu.Unlock()
+
+	var resp EndResp
+	for _, st := range prepared {
+		remote := store.RemoteStore{Client: m.node.Client(), Node: st}
+		if err := remote.Commit(ctx, req.Action); err != nil {
+			resp.FailedNodes = append(resp.FailedNodes, string(st))
+		}
+	}
+	// Coordinator-cohort checkpointing (§2.3(ii)): push the committed
+	// state to the cohorts so one of them can take over without touching
+	// the object stores. Failures break the cohort binding, which the
+	// caller observes via FailedNodes.
+	for _, cohort := range req.CheckpointTo {
+		ref := ServerRef{Client: m.node.Client(), Node: transport.Addr(cohort), UID: in.id}
+		if err := ref.Install(ctx, className, ckptState, ckptSeq); err != nil {
+			resp.FailedNodes = append(resp.FailedNodes, cohort)
+		}
+	}
+	in.locks.ReleaseAll(lockmgr.Owner(req.Action))
+	return resp, nil
+}
+
+func (m *Manager) handleInstall(ctx context.Context, from transport.Addr, req InstallReq) (InstallResp, error) {
+	id, err := uid.Parse(req.UID)
+	if err != nil {
+		return InstallResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+	}
+	if in, ok := m.lookup(id); ok {
+		in.mu.Lock()
+		defer in.mu.Unlock()
+		if len(in.users) > 0 {
+			return InstallResp{}, rpc.Errorf(CodeBusy, "object %s has active users", req.UID)
+		}
+		if req.Seq <= in.seq {
+			// Stale checkpoint: keep the newer state.
+			return InstallResp{Installed: false}, nil
+		}
+		in.state = append([]byte(nil), req.State...)
+		in.seq = req.Seq
+		return InstallResp{Installed: true}, nil
+	}
+	class, err := m.registry.Lookup(req.Class)
+	if err != nil {
+		return InstallResp{}, rpc.Errorf(rpc.CodeNotFound, "%v", err)
+	}
+	in := &instance{
+		class:       class,
+		id:          id,
+		locks:       lockmgr.New(lockmgr.NoNesting),
+		state:       append([]byte(nil), req.State...),
+		seq:         req.Seq,
+		snaps:       make(map[string][]byte),
+		dirty:       make(map[string]bool),
+		prepared:    make(map[string][]transport.Addr),
+		preparedSeq: make(map[string]uint64),
+		users:       make(map[string]bool),
+	}
+	t := m.table()
+	t.mu.Lock()
+	if _, exists := t.m[id]; !exists {
+		t.m[id] = in
+	}
+	t.mu.Unlock()
+	if m.ghost != nil {
+		m.ghost.Join(GroupPrefix+id.String(), m.groupApply(in))
+	}
+	return InstallResp{Installed: true}, nil
+}
+
+func (m *Manager) handleAbort(ctx context.Context, from transport.Addr, req EndReq) (EndResp, error) {
+	in, err := m.mustLookup(req.UID)
+	if err != nil {
+		return EndResp{}, err
+	}
+	in.mu.Lock()
+	prepared := in.prepared[req.Action]
+	if snap, ok := in.snaps[req.Action]; ok {
+		in.state = snap
+	}
+	delete(in.snaps, req.Action)
+	delete(in.dirty, req.Action)
+	delete(in.prepared, req.Action)
+	delete(in.preparedSeq, req.Action)
+	delete(in.users, req.Action)
+	in.mu.Unlock()
+
+	var resp EndResp
+	for _, st := range prepared {
+		remote := store.RemoteStore{Client: m.node.Client(), Node: st}
+		if err := remote.Abort(ctx, req.Action); err != nil {
+			resp.FailedNodes = append(resp.FailedNodes, string(st))
+		}
+	}
+	in.locks.ReleaseAll(lockmgr.Owner(req.Action))
+	return resp, nil
+}
+
+func (m *Manager) handlePassivate(ctx context.Context, from transport.Addr, req PassivateReq) (PassivateResp, error) {
+	id, err := uid.Parse(req.UID)
+	if err != nil {
+		return PassivateResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+	}
+	t := m.table()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	in, ok := t.m[id]
+	if !ok {
+		return PassivateResp{Passivated: false}, nil
+	}
+	in.mu.Lock()
+	busy := len(in.users) > 0
+	in.mu.Unlock()
+	if busy && !req.Force {
+		return PassivateResp{}, rpc.Errorf(CodeBusy, "object %s has %s", req.UID, "active users")
+	}
+	delete(t.m, id)
+	if m.ghost != nil {
+		m.ghost.Leave(GroupPrefix + id.String())
+	}
+	return PassivateResp{Passivated: true}, nil
+}
+
+func (m *Manager) handleStatus(ctx context.Context, from transport.Addr, req StatusReq) (StatusResp, error) {
+	id, err := uid.Parse(req.UID)
+	if err != nil {
+		return StatusResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+	}
+	in, ok := m.lookup(id)
+	if !ok {
+		return StatusResp{Active: false}, nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return StatusResp{Active: true, Seq: in.seq, Users: len(in.users)}, nil
+}
+
+// errNotActive exposes a sentinel check helper for clients.
+var errNotActive = errors.New(CodeNotActive)
+
+// IsNotActive reports whether err is an object-not-active application
+// error.
+func IsNotActive(err error) bool {
+	if errors.Is(err, errNotActive) {
+		return true
+	}
+	return rpc.CodeOf(err) == CodeNotActive
+}
+
+// Describe returns a human-readable summary of the node's activated
+// objects, for the CLI.
+func (m *Manager) Describe() string {
+	t := m.table()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.m) == 0 {
+		return fmt.Sprintf("%s: no active objects", m.node.Name())
+	}
+	out := fmt.Sprintf("%s: %d active object(s)", m.node.Name(), len(t.m))
+	for id, in := range t.m {
+		in.mu.Lock()
+		out += fmt.Sprintf("\n  %s class=%s seq=%d users=%d", id, in.class.Name, in.seq, len(in.users))
+		in.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,488 @@
+// Package replica implements the paper's three object replication policies
+// (§2.3) over the object-server substrate:
+//
+//   - SingleCopyPassive — one activated copy; its state is checkpointed to
+//     the object stores as part of commit processing [Alsberg & Day]. A
+//     server crash aborts the affected action; restarting the action
+//     activates a new copy (§2.3(iii)).
+//   - Active — k activated copies all perform processing; invocations are
+//     delivered through reliable totally-ordered multicast so replicas stay
+//     identical, masking up to k−1 server crashes during an action (§2.3(i),
+//     §3.2(3)).
+//   - CoordinatorCohort — k activated copies, only the coordinator
+//     processes; it checkpoints committed state to the cohorts, so after a
+//     coordinator crash the next action continues at a cohort without
+//     touching the object stores (§2.3(ii)). Per the binding rules of §3.1,
+//     a crash mid-action still aborts that action: a broken binding stays
+//     broken until the action terminates.
+//
+// A Handle is the per-action client-side facade over the bound servers
+// (the set Sv_A' of §3.2). It is an action.Participant: at commit time the
+// bound servers copy the object's new state to every functioning node in
+// St_A, and the Handle records which St nodes failed so the naming and
+// binding layer can Exclude them (§4.2).
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/action"
+	"repro/internal/group"
+	"repro/internal/object"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// Policy selects a replication discipline.
+type Policy int
+
+// Replication policies (§2.3).
+const (
+	SingleCopyPassive Policy = iota + 1
+	Active
+	CoordinatorCohort
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case SingleCopyPassive:
+		return "single-copy-passive"
+	case Active:
+		return "active"
+	case CoordinatorCohort:
+		return "coordinator-cohort"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ErrNoServers reports that no bound server is functioning, so the action
+// must abort (§3.2).
+var ErrNoServers = errors.New("replica: no functioning servers")
+
+// Config describes one replicated-object binding for one client action.
+type Config struct {
+	// UID and Class identify the persistent object.
+	UID   uid.UID
+	Class string
+	// Policy selects the replication discipline.
+	Policy Policy
+	// Servers is Sv_A': the chosen server nodes, in preference order (the
+	// first functioning one is the coordinator where relevant).
+	Servers []transport.Addr
+	// Degree is the desired number of activated replicas (|Sv_A'| in
+	// §3.2); 0 means all of Servers. Activate probes Servers in order
+	// until Degree replicas are running — a client with a stale Sv view
+	// discovers crashed nodes "the hard way" here (§4.1.2).
+	Degree int
+	// StNodes is the St_A view used for activation and commit-time copy.
+	StNodes []transport.Addr
+	// Client is the invoking node's RPC client.
+	Client rpc.Client
+}
+
+// Handle is the client-side representation of a bound, activated,
+// replicated object for the duration of one application action.
+type Handle struct {
+	cfg Config
+
+	mu sync.Mutex
+	// activated lists servers where Activate succeeded, in preference
+	// order; only these participate in invocation and commit.
+	activated []transport.Addr
+	// broken marks servers whose binding failed (crash detected); per
+	// §3.1 a broken binding is never repaired within the action.
+	broken map[transport.Addr]bool
+	// failedStores accumulates St nodes whose commit-time copy failed and
+	// must be excluded from St_A.
+	failedStores map[transport.Addr]bool
+	// prepared lists servers that acknowledged prepare (commit targets).
+	prepared []transport.Addr
+	// noAutoEnlist suppresses self-enlistment in Invoke; set by callers
+	// that compose the handle into a larger participant (the naming and
+	// binding layer wraps it to add Exclude/Remove processing).
+	noAutoEnlist bool
+}
+
+// New creates a handle. Call Activate before Invoke.
+func New(cfg Config) (*Handle, error) {
+	if len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("replica %v: empty server set: %w", cfg.UID, ErrNoServers)
+	}
+	if cfg.Policy == SingleCopyPassive {
+		// §3.2(2): single-copy passive means exactly one activated copy;
+		// the remaining candidates are fallbacks probed only if earlier
+		// ones cannot activate.
+		cfg.Degree = 1
+	}
+	return &Handle{
+		cfg:          cfg,
+		broken:       make(map[transport.Addr]bool),
+		failedStores: make(map[transport.Addr]bool),
+	}, nil
+}
+
+// Policy returns the handle's replication policy.
+func (h *Handle) Policy() Policy { return h.cfg.Policy }
+
+// Activate probes the candidate servers in preference order until Degree
+// of them (all, when Degree is 0) run a server for the object, loading
+// state from St as needed. Candidates that cannot activate are marked
+// broken — the "hard way" failure discovery of §4.1.2. The call fails only
+// when no server at all could be activated.
+func (h *Handle) Activate(ctx context.Context) error {
+	want := h.cfg.Degree
+	if want <= 0 || want > len(h.cfg.Servers) {
+		want = len(h.cfg.Servers)
+	}
+	got := 0
+	for _, sv := range h.cfg.Servers {
+		if got >= want {
+			break
+		}
+		h.mu.Lock()
+		bad := h.broken[sv]
+		h.mu.Unlock()
+		if bad {
+			continue
+		}
+		if _, err := h.ref(sv).Activate(ctx, h.cfg.Class, h.cfg.StNodes); err != nil {
+			h.markBroken(sv)
+			continue
+		}
+		h.mu.Lock()
+		h.activated = append(h.activated, sv)
+		h.mu.Unlock()
+		got++
+	}
+	if got == 0 {
+		return fmt.Errorf("replica %v: activation failed at all of %v: %w", h.cfg.UID, h.cfg.Servers, ErrNoServers)
+	}
+	return nil
+}
+
+func (h *Handle) ref(sv transport.Addr) object.ServerRef {
+	return object.ServerRef{Client: h.cfg.Client, Node: sv, UID: h.cfg.UID}
+}
+
+func (h *Handle) markBroken(sv transport.Addr) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.broken[sv] = true
+}
+
+// live returns the activated servers whose bindings are intact, in
+// preference order.
+func (h *Handle) live() []transport.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []transport.Addr
+	for _, sv := range h.activated {
+		if !h.broken[sv] {
+			out = append(out, sv)
+		}
+	}
+	return out
+}
+
+// Bound returns the currently live server bindings (a copy).
+func (h *Handle) Bound() []transport.Addr { return h.live() }
+
+// Coordinator returns the first live server (the processing replica for
+// single-copy and coordinator-cohort policies).
+func (h *Handle) Coordinator() (transport.Addr, error) {
+	live := h.live()
+	if len(live) == 0 {
+		return "", fmt.Errorf("replica %v: %w", h.cfg.UID, ErrNoServers)
+	}
+	return live[0], nil
+}
+
+// Broken returns the servers whose bindings broke during the action,
+// sorted — input for the §4.1.3 Remove repairs.
+func (h *Handle) Broken() []transport.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]transport.Addr, 0, len(h.broken))
+	for sv := range h.broken {
+		out = append(out, sv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FailedStores returns the St nodes whose commit-time copy failed, sorted
+// — input for the §4.2 Exclude.
+func (h *Handle) FailedStores() []transport.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]transport.Addr, 0, len(h.failedStores))
+	for st := range h.failedStores {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Invoke performs one operation under act. The handle enlists itself as
+// the action's participant on first use, so commit/abort processing runs
+// automatically with the action's two-phase commit.
+func (h *Handle) Invoke(ctx context.Context, act *action.Action, method string, args []byte) ([]byte, error) {
+	if !h.enlistOnce(act) {
+		return nil, fmt.Errorf("replica %v: enlist in %s: action not running", h.cfg.UID, act.ID())
+	}
+	owner := act.Top().ID()
+	switch h.cfg.Policy {
+	case Active:
+		return h.invokeActive(ctx, owner, method, args)
+	default:
+		return h.invokeCoordinator(ctx, owner, method, args)
+	}
+}
+
+// DisableAutoEnlist stops Invoke from enlisting the handle into the
+// action; the caller then drives Prepare/Commit/Abort itself (directly or
+// via a composing participant).
+func (h *Handle) DisableAutoEnlist() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.noAutoEnlist = true
+}
+
+func (h *Handle) enlistOnce(act *action.Action) bool {
+	h.mu.Lock()
+	skip := h.noAutoEnlist
+	h.mu.Unlock()
+	if skip {
+		return true
+	}
+	top := act.Top()
+	if !top.StashOnce("replica:"+h.cfg.UID.String(), h) {
+		return true
+	}
+	return top.Enlist(h) == nil
+}
+
+// invokeCoordinator drives single-copy-passive and coordinator-cohort
+// invocation: only the coordinator processes.
+func (h *Handle) invokeCoordinator(ctx context.Context, owner, method string, args []byte) ([]byte, error) {
+	coord, err := h.Coordinator()
+	if err != nil {
+		return nil, err
+	}
+	res, err := h.ref(coord).Invoke(ctx, owner, method, args)
+	if err == nil {
+		return res, nil
+	}
+	if isCrashError(err) || object.IsNotActive(err) {
+		// The binding broke (§3.1) — it stays broken for this action.
+		// For coordinator-cohort the paper's cohorts elect a new
+		// coordinator for FUTURE actions; the current action must abort
+		// because the coordinator's uncommitted state died with it.
+		h.markBroken(coord)
+		return nil, fmt.Errorf("replica %v: coordinator %s failed: %w", h.cfg.UID, coord, ErrNoServers)
+	}
+	return nil, err
+}
+
+// invokeActive drives active replication: the invocation is delivered to
+// all live replicas in total order; any replica's reply serves as the
+// result; unreachable replicas are masked (binding broken) so long as one
+// replica survives.
+func (h *Handle) invokeActive(ctx context.Context, owner, method string, args []byte) ([]byte, error) {
+	live := h.live()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("replica %v: %w", h.cfg.UID, ErrNoServers)
+	}
+	payload, err := rpc.Encode(&object.InvokeReq{
+		UID:    h.cfg.UID.String(),
+		Action: owner,
+		Method: method,
+		Args:   args,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g := group.Group{ID: object.GroupPrefix + h.cfg.UID.String(), Members: live}
+	res, err := group.Multicast(ctx, h.cfg.Client, g, object.KindInvoke, payload)
+	if err != nil {
+		// No sequencer reachable: every replica is gone.
+		for _, sv := range live {
+			h.markBroken(sv)
+		}
+		return nil, fmt.Errorf("replica %v: %v: %w", h.cfg.UID, err, ErrNoServers)
+	}
+	for _, sv := range res.Failed {
+		h.markBroken(sv)
+	}
+	var (
+		result  []byte
+		gotOK   bool
+		lastErr string
+	)
+	for _, r := range res.Replies {
+		if r.Err != "" {
+			lastErr = r.Err
+			h.markBroken(r.Member) // replica diverged or refused: drop it
+			continue
+		}
+		var ir object.InvokeResp
+		if err := rpc.Decode(r.Payload, &ir); err != nil {
+			return nil, err
+		}
+		result, gotOK = ir.Result, true
+	}
+	if !gotOK {
+		if lastErr != "" {
+			return nil, fmt.Errorf("replica %v: all replicas failed the method: %s", h.cfg.UID, lastErr)
+		}
+		return nil, fmt.Errorf("replica %v: %w", h.cfg.UID, ErrNoServers)
+	}
+	return result, nil
+}
+
+// --- action.Participant ---
+
+var _ action.Participant = (*Handle)(nil)
+
+// Name implements action.Participant.
+func (h *Handle) Name() string {
+	return fmt.Sprintf("replica(%s,%s)", h.cfg.UID, h.cfg.Policy)
+}
+
+// Prepare implements action.Participant: every live server copies the new
+// object state to the functioning St nodes (§3.2(2)/(4)). Server failures
+// are masked per policy; St failures are recorded for exclusion. Prepare
+// fails (aborting the action) when no server can complete the copy.
+func (h *Handle) Prepare(ctx context.Context, tx string) error {
+	targets, err := h.prepareTargets()
+	if err != nil {
+		return err
+	}
+	okCount := 0
+	var firstErr error
+	for _, sv := range targets {
+		resp, err := h.ref(sv).Prepare(ctx, tx, h.cfg.StNodes)
+		if err != nil {
+			if isCrashError(err) || object.IsNotActive(err) {
+				h.markBroken(sv)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		okCount++
+		h.mu.Lock()
+		h.prepared = append(h.prepared, sv)
+		for _, st := range resp.FailedNodes {
+			h.failedStores[transport.Addr(st)] = true
+		}
+		h.mu.Unlock()
+	}
+	if okCount == 0 {
+		return fmt.Errorf("replica %v: prepare failed everywhere: %v: %w", h.cfg.UID, firstErr, ErrNoServers)
+	}
+	return nil
+}
+
+// prepareTargets returns the servers that take part in commit processing:
+// every live replica under active replication (they hold identical state
+// and their store prepares merge idempotently), only the coordinator
+// otherwise — cohorts and passive copies never processed anything.
+func (h *Handle) prepareTargets() ([]transport.Addr, error) {
+	if h.cfg.Policy == Active {
+		live := h.live()
+		if len(live) == 0 {
+			return nil, fmt.Errorf("replica %v: %w", h.cfg.UID, ErrNoServers)
+		}
+		return live, nil
+	}
+	coord, err := h.Coordinator()
+	if err != nil {
+		return nil, err
+	}
+	return []transport.Addr{coord}, nil
+}
+
+// Commit implements action.Participant: phase two at every prepared
+// server. For coordinator-cohort the coordinator also checkpoints its
+// committed state to the cohorts.
+func (h *Handle) Commit(ctx context.Context, tx string) error {
+	h.mu.Lock()
+	prepared := append([]transport.Addr(nil), h.prepared...)
+	h.mu.Unlock()
+	if len(prepared) == 0 {
+		// Read-only action: still tell the participating servers to end it
+		// (release locks, drop use counts).
+		if targets, err := h.prepareTargets(); err == nil {
+			prepared = targets
+		}
+	}
+	var firstErr error
+	for i, sv := range prepared {
+		var checkpointTo []transport.Addr
+		if h.cfg.Policy == CoordinatorCohort && i == 0 {
+			for _, cohort := range h.live() {
+				if cohort != sv {
+					checkpointTo = append(checkpointTo, cohort)
+				}
+			}
+		}
+		resp, err := h.ref(sv).Commit(ctx, tx, checkpointTo...)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		// FailedNodes may name store nodes (phase-two copy failures) or
+		// cohort servers (checkpoint failures); file each in its bucket.
+		for _, f := range resp.FailedNodes {
+			h.recordFailure(transport.Addr(f))
+		}
+	}
+	return firstErr
+}
+
+// recordFailure classifies a failed node as a broken server binding or a
+// failed store, based on which set it belongs to.
+func (h *Handle) recordFailure(addr transport.Addr) {
+	for _, sv := range h.cfg.Servers {
+		if sv == addr {
+			h.markBroken(addr)
+			return
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.failedStores[addr] = true
+}
+
+// Abort implements action.Participant.
+func (h *Handle) Abort(ctx context.Context, tx string) error {
+	var firstErr error
+	for _, sv := range h.live() {
+		if _, err := h.ref(sv).Abort(ctx, tx); err != nil && firstErr == nil {
+			if !isCrashError(err) && !object.IsNotActive(err) {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// isCrashError reports whether err indicates the callee is gone rather
+// than an application-level refusal.
+func isCrashError(err error) bool {
+	return errors.Is(err, transport.ErrUnreachable) ||
+		errors.Is(err, transport.ErrRequestLost) ||
+		errors.Is(err, transport.ErrReplyLost) ||
+		errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,478 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+
+	"repro/internal/action"
+	"repro/internal/group"
+	"repro/internal/object"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+func counterClass() *object.Class {
+	return &object.Class{
+		Name: "counter",
+		Init: func() []byte { return []byte("0") },
+		Methods: map[string]object.Method{
+			"add": func(state, args []byte) ([]byte, []byte, error) {
+				n, _ := strconv.Atoi(string(state))
+				d, _ := strconv.Atoi(string(args))
+				out := []byte(strconv.Itoa(n + d))
+				return out, out, nil
+			},
+			"get": func(state, args []byte) ([]byte, []byte, error) {
+				return state, state, nil
+			},
+		},
+		ReadOnly: map[string]bool{"get": true},
+	}
+}
+
+type world struct {
+	cluster *sim.Cluster
+	id      uid.UID
+	mgr     *action.Manager
+	svs     []transport.Addr
+	sts     []transport.Addr
+}
+
+func newWorld(t *testing.T, nServers, nStores int) *world {
+	t.Helper()
+	w := &world{
+		cluster: sim.NewCluster(transport.MemOptions{}),
+		mgr:     action.NewManager("client", nil),
+	}
+	reg := object.NewRegistry()
+	reg.Register(counterClass())
+	for i := 0; i < nServers; i++ {
+		name := transport.Addr("sv" + strconv.Itoa(i+1))
+		n := w.cluster.Add(name)
+		m := object.NewManager(n, reg)
+		m.EnableGroupInvocation(group.NewHost(n.Server(), n.Client()))
+		w.svs = append(w.svs, name)
+	}
+	gen := uid.NewGenerator("t", 1)
+	w.id = gen.New()
+	for i := 0; i < nStores; i++ {
+		name := transport.Addr("st" + strconv.Itoa(i+1))
+		n := w.cluster.Add(name)
+		n.Store().Put(w.id, []byte("0"), 1)
+		w.sts = append(w.sts, name)
+	}
+	w.cluster.Add("client")
+	return w
+}
+
+func (w *world) handle(t *testing.T, p Policy) *Handle {
+	t.Helper()
+	h, err := New(Config{
+		UID:     w.id,
+		Class:   "counter",
+		Policy:  p,
+		Servers: w.svs,
+		StNodes: w.sts,
+		Client:  w.cluster.Node("client").Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func (w *world) storeValue(t *testing.T, st transport.Addr) (string, uint64) {
+	t.Helper()
+	v, err := w.cluster.Node(st).Store().Read(w.id)
+	if err != nil {
+		t.Fatalf("read %s: %v", st, err)
+	}
+	return string(v.Data), v.Seq
+}
+
+func TestPolicyString(t *testing.T) {
+	if SingleCopyPassive.String() != "single-copy-passive" ||
+		Active.String() != "active" ||
+		CoordinatorCohort.String() != "coordinator-cohort" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+func TestNewRejectsEmptyServers(t *testing.T) {
+	_, err := New(Config{})
+	if !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSingleCopyPassiveCommitCheckpointsAllStores(t *testing.T) {
+	w := newWorld(t, 1, 3)
+	ctx := context.Background()
+	h := w.handle(t, SingleCopyPassive)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	res, err := h.Invoke(ctx, a, "add", []byte("7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "7" {
+		t.Fatalf("result = %q", res)
+	}
+	if _, err := a.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range w.sts {
+		val, seq := w.storeValue(t, st)
+		if val != "7" || seq != 2 {
+			t.Fatalf("%s = %q seq=%d", st, val, seq)
+		}
+	}
+}
+
+func TestSingleCopyAbortLeavesStores(t *testing.T) {
+	w := newWorld(t, 1, 2)
+	ctx := context.Background()
+	h := w.handle(t, SingleCopyPassive)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	if _, err := h.Invoke(ctx, a, "add", []byte("7")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range w.sts {
+		val, seq := w.storeValue(t, st)
+		if val != "0" || seq != 1 {
+			t.Fatalf("%s = %q seq=%d after abort", st, val, seq)
+		}
+	}
+}
+
+func TestSingleCopyServerCrashAbortsAction(t *testing.T) {
+	// §3.2(1)/(2): the action must abort if the (single) server crashes
+	// during execution.
+	w := newWorld(t, 1, 2)
+	ctx := context.Background()
+	h := w.handle(t, SingleCopyPassive)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	if _, err := h.Invoke(ctx, a, "add", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	w.cluster.Node("sv1").Crash()
+	if _, err := h.Invoke(ctx, a, "add", []byte("1")); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v, want ErrNoServers", err)
+	}
+	if err := a.Abort(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Broken(); len(got) != 1 || got[0] != "sv1" {
+		t.Fatalf("broken = %v", got)
+	}
+}
+
+func TestActiveReplicationMasksServerCrash(t *testing.T) {
+	// §3.2(3): with k activated replicas, up to k-1 server failures are
+	// masked during execution.
+	w := newWorld(t, 3, 2)
+	ctx := context.Background()
+	h := w.handle(t, Active)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	if _, err := h.Invoke(ctx, a, "add", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Two of three replicas die mid-action.
+	w.cluster.Node("sv1").Crash()
+	w.cluster.Node("sv3").Crash()
+	res, err := h.Invoke(ctx, a, "add", []byte("1"))
+	if err != nil {
+		t.Fatalf("masked invoke failed: %v", err)
+	}
+	if string(res) != "2" {
+		t.Fatalf("result = %q", res)
+	}
+	if _, err := a.Commit(ctx); err != nil {
+		t.Fatalf("commit with surviving replica: %v", err)
+	}
+	for _, st := range w.sts {
+		val, seq := w.storeValue(t, st)
+		if val != "2" || seq != 2 {
+			t.Fatalf("%s = %q seq=%d", st, val, seq)
+		}
+	}
+	if got := h.Broken(); len(got) != 2 {
+		t.Fatalf("broken = %v", got)
+	}
+}
+
+func TestActiveReplicationAllCrashAborts(t *testing.T) {
+	w := newWorld(t, 2, 1)
+	ctx := context.Background()
+	h := w.handle(t, Active)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	if _, err := h.Invoke(ctx, a, "add", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	w.cluster.Node("sv1").Crash()
+	w.cluster.Node("sv2").Crash()
+	if _, err := h.Invoke(ctx, a, "add", []byte("1")); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = a.Abort(ctx)
+}
+
+func TestActiveReplicasConverge(t *testing.T) {
+	w := newWorld(t, 2, 1)
+	ctx := context.Background()
+	h := w.handle(t, Active)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	for i := 0; i < 4; i++ {
+		if _, err := h.Invoke(ctx, a, "add", []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Both replicas report the same committed value.
+	for _, sv := range w.svs {
+		a2 := w.mgr.BeginTop()
+		h2 := w.handle(t, SingleCopyPassive)
+		h2.cfg.Servers = []transport.Addr{sv}
+		if err := h2.Activate(ctx); err != nil {
+			t.Fatal(err)
+		}
+		got, err := h2.Invoke(ctx, a2, "get", nil)
+		if err != nil || string(got) != "4" {
+			t.Fatalf("%s value = %q %v", sv, got, err)
+		}
+		if _, err := a2.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCommitTimeStoreFailureRecordedForExclude(t *testing.T) {
+	// §3.2(2): nodes whose copy failed must be removed from St; the handle
+	// surfaces them.
+	w := newWorld(t, 1, 3)
+	ctx := context.Background()
+	h := w.handle(t, SingleCopyPassive)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	if _, err := h.Invoke(ctx, a, "add", []byte("5")); err != nil {
+		t.Fatal(err)
+	}
+	w.cluster.Node("st2").Crash()
+	if _, err := a.Commit(ctx); err != nil {
+		t.Fatalf("commit should survive one store failure: %v", err)
+	}
+	if got := h.FailedStores(); len(got) != 1 || got[0] != "st2" {
+		t.Fatalf("failed stores = %v", got)
+	}
+	for _, st := range []transport.Addr{"st1", "st3"} {
+		val, _ := w.storeValue(t, st)
+		if val != "5" {
+			t.Fatalf("%s = %q", st, val)
+		}
+	}
+}
+
+func TestAllStoresDownAbortsAction(t *testing.T) {
+	w := newWorld(t, 1, 2)
+	ctx := context.Background()
+	h := w.handle(t, SingleCopyPassive)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	if _, err := h.Invoke(ctx, a, "add", []byte("5")); err != nil {
+		t.Fatal(err)
+	}
+	w.cluster.Node("st1").Crash()
+	w.cluster.Node("st2").Crash()
+	_, err := a.Commit(ctx)
+	if !errors.Is(err, action.ErrPrepareFailed) {
+		t.Fatalf("err = %v, want prepare failure", err)
+	}
+	if a.Status() != action.StatusAborted {
+		t.Fatalf("status = %v", a.Status())
+	}
+}
+
+func TestCoordinatorCohortCheckpointAndFailover(t *testing.T) {
+	// §2.3(ii): the coordinator checkpoints committed state to cohorts; on
+	// coordinator failure the next action continues at a cohort — without
+	// reading the object stores.
+	w := newWorld(t, 3, 1)
+	ctx := context.Background()
+	h := w.handle(t, CoordinatorCohort)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	if _, err := h.Invoke(ctx, a, "add", []byte("9")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Coordinator and the only store die.
+	w.cluster.Node("sv1").Crash()
+	w.cluster.Node("st1").Crash()
+	// A new action binds to the surviving cohorts (sv2 is now
+	// coordinator); the checkpointed state carries the day.
+	h2 := w.handle(t, CoordinatorCohort)
+	h2.markBroken("sv1")
+	if err := h2.Activate(ctx); err != nil {
+		t.Fatalf("cohort activation should not need the store: %v", err)
+	}
+	a2 := w.mgr.BeginTop()
+	got, err := h2.Invoke(ctx, a2, "get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "9" {
+		t.Fatalf("cohort state = %q, want 9 (checkpoint lost?)", got)
+	}
+	if _, err := a2.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoordinatorCrashMidActionAborts(t *testing.T) {
+	w := newWorld(t, 2, 1)
+	ctx := context.Background()
+	h := w.handle(t, CoordinatorCohort)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	if _, err := h.Invoke(ctx, a, "add", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	w.cluster.Node("sv1").Crash()
+	// The binding broke; this action cannot continue (uncommitted state
+	// died with the coordinator).
+	if _, err := h.Invoke(ctx, a, "add", []byte("1")); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = a.Abort(ctx)
+	// Store still holds the original value.
+	val, _ := w.storeValue(t, "st1")
+	if val != "0" {
+		t.Fatalf("store = %q after aborted action", val)
+	}
+}
+
+func TestReadOnlyActionNoStoreTraffic(t *testing.T) {
+	w := newWorld(t, 1, 2)
+	ctx := context.Background()
+	h := w.handle(t, SingleCopyPassive)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	if _, err := h.Invoke(ctx, a, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range w.sts {
+		_, seq := w.storeValue(t, st)
+		if seq != 1 {
+			t.Fatalf("%s seq = %d; read-only action must not bump versions", st, seq)
+		}
+	}
+}
+
+func TestActivateAllServersDown(t *testing.T) {
+	w := newWorld(t, 2, 1)
+	w.cluster.Node("sv1").Crash()
+	w.cluster.Node("sv2").Crash()
+	h := w.handle(t, Active)
+	if err := h.Activate(context.Background()); !errors.Is(err, ErrNoServers) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMutualConsistencyOfStoresAfterMixedFailures(t *testing.T) {
+	// Invariant behind the St set: every store that remains "in" holds the
+	// same committed seq. Run several actions with store crashes between
+	// them and verify all surviving stores agree.
+	w := newWorld(t, 1, 3)
+	ctx := context.Background()
+	stView := append([]transport.Addr(nil), w.sts...)
+	total := 0
+	for round := 0; round < 3; round++ {
+		h, err := New(Config{
+			UID: w.id, Class: "counter", Policy: SingleCopyPassive,
+			Servers: w.svs, StNodes: stView,
+			Client: w.cluster.Node("client").Client(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Activate(ctx); err != nil {
+			t.Fatal(err)
+		}
+		a := w.mgr.BeginTop()
+		if _, err := h.Invoke(ctx, a, "add", []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+		if round == 1 {
+			w.cluster.Node("st3").Crash()
+		}
+		if _, err := a.Commit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		total++
+		// Remove failed stores from the view, as the Exclude protocol
+		// would.
+		for _, bad := range h.FailedStores() {
+			var next []transport.Addr
+			for _, st := range stView {
+				if st != bad {
+					next = append(next, st)
+				}
+			}
+			stView = next
+		}
+	}
+	if len(stView) != 2 {
+		t.Fatalf("view = %v, want st3 excluded", stView)
+	}
+	var seqs []uint64
+	for _, st := range stView {
+		val, seq := w.storeValue(t, st)
+		if val != strconv.Itoa(total) {
+			t.Fatalf("%s = %q, want %d", st, val, total)
+		}
+		seqs = append(seqs, seq)
+	}
+	if seqs[0] != seqs[1] {
+		t.Fatalf("surviving stores disagree on seq: %v", seqs)
+	}
+}

@@ -1,0 +1,200 @@
+// Package rpc layers typed request/response calls and service dispatch on
+// top of the transport package.
+//
+// The paper assumes an "RPC service: provide an object invocation facility
+// through an RPC mechanism" (§2.2). This package is that service. Arguments
+// and results are gob-encoded; application-level errors travel inside a
+// response envelope so that they survive any transport (the in-memory
+// network passes Go errors natively, TCP cannot), while transport-level
+// failures (ErrUnreachable, ErrReplyLost, …) surface as the transport's
+// sentinel errors — the distinction the paper's binding and commit
+// protocols depend on.
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// AppError is an application-level error with a stable machine-readable
+// code, preserved across the wire.
+type AppError struct {
+	Code string
+	Msg  string
+}
+
+// Error implements error.
+func (e *AppError) Error() string { return e.Code + ": " + e.Msg }
+
+// Errorf builds an AppError with a formatted message.
+func Errorf(code, format string, args ...any) *AppError {
+	return &AppError{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// CodeOf extracts the AppError code from err, or "" if err carries none.
+func CodeOf(err error) string {
+	var ae *AppError
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	return ""
+}
+
+// Well-known error codes used across services.
+const (
+	CodeInternal     = "internal" // handler returned a non-App error
+	CodeNoSuchMethod = "no-such-method"
+	CodeNotFound     = "not-found"
+	CodeConflict     = "conflict"
+	CodeRefused      = "refused" // e.g. a lock could not be granted
+)
+
+// envelope is the on-the-wire response record: either an error (Code set)
+// or a successful Body.
+type envelope struct {
+	Code string
+	Msg  string
+	Body []byte
+}
+
+// HandlerFunc processes a decoded-payload request for one method.
+type HandlerFunc func(ctx context.Context, from transport.Addr, payload []byte) ([]byte, error)
+
+// Server dispatches incoming requests to registered services and methods.
+// It is safe for concurrent use; registrations normally happen before the
+// server is exposed to the network.
+type Server struct {
+	mu       sync.RWMutex
+	services map[string]map[string]HandlerFunc
+}
+
+// NewServer returns an empty dispatch table.
+func NewServer() *Server {
+	return &Server{services: make(map[string]map[string]HandlerFunc)}
+}
+
+// Handle registers h for service/method, replacing any previous handler.
+func (s *Server) Handle(service, method string, h HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.services[service]
+	if !ok {
+		m = make(map[string]HandlerFunc)
+		s.services[service] = m
+	}
+	m[method] = h
+}
+
+// Handler adapts the server to a transport.Handler. All application errors
+// — including dispatch failures — are folded into the envelope so the
+// transport error return is reserved for the transport itself.
+func (s *Server) Handler() transport.Handler {
+	return func(ctx context.Context, req transport.Request) ([]byte, error) {
+		s.mu.RLock()
+		var h HandlerFunc
+		if m, ok := s.services[req.Service]; ok {
+			h = m[req.Method]
+		}
+		s.mu.RUnlock()
+		if h == nil {
+			return encodeEnvelope(envelope{Code: CodeNoSuchMethod,
+				Msg: fmt.Sprintf("%s.%s not registered at %s", req.Service, req.Method, req.To)}), nil
+		}
+		body, err := h(ctx, req.From, req.Payload)
+		if err != nil {
+			var ae *AppError
+			if errors.As(err, &ae) {
+				return encodeEnvelope(envelope{Code: ae.Code, Msg: ae.Msg}), nil
+			}
+			return encodeEnvelope(envelope{Code: CodeInternal, Msg: err.Error()}), nil
+		}
+		return encodeEnvelope(envelope{Body: body}), nil
+	}
+}
+
+func encodeEnvelope(e envelope) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
+		// envelope contains only strings and bytes; encoding cannot fail
+		// except for programmer error.
+		panic(fmt.Sprintf("rpc: encode envelope: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// Encode gob-encodes v.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("rpc: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes data into v (a pointer).
+func Decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("rpc: decode %T: %w", v, err)
+	}
+	return nil
+}
+
+// Client issues calls from a fixed origin address.
+type Client struct {
+	Net  transport.Network
+	From transport.Addr
+}
+
+// Invoke performs a typed call: req is gob-encoded, the reply decoded into
+// Resp. Transport failures are returned as the transport's errors;
+// application failures as *AppError.
+func Invoke[Req, Resp any](ctx context.Context, c Client, to transport.Addr, service, method string, req Req) (Resp, error) {
+	var zero Resp
+	payload, err := Encode(&req)
+	if err != nil {
+		return zero, err
+	}
+	raw, err := c.Net.Call(ctx, transport.Request{
+		From:    c.From,
+		To:      to,
+		Service: service,
+		Method:  method,
+		Payload: payload,
+	})
+	if err != nil {
+		return zero, err
+	}
+	var env envelope
+	if err := Decode(raw, &env); err != nil {
+		return zero, err
+	}
+	if env.Code != "" {
+		return zero, &AppError{Code: env.Code, Msg: env.Msg}
+	}
+	var resp Resp
+	if err := Decode(env.Body, &resp); err != nil {
+		return zero, err
+	}
+	return resp, nil
+}
+
+// Method adapts a typed function to a HandlerFunc.
+func Method[Req, Resp any](fn func(ctx context.Context, from transport.Addr, req Req) (Resp, error)) HandlerFunc {
+	return func(ctx context.Context, from transport.Addr, payload []byte) ([]byte, error) {
+		var req Req
+		if err := Decode(payload, &req); err != nil {
+			return nil, &AppError{Code: CodeInternal, Msg: err.Error()}
+		}
+		resp, err := fn(ctx, from, req)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(&resp)
+	}
+}

@@ -1,0 +1,155 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+type addReq struct{ A, B int }
+type addResp struct{ Sum int }
+
+func newTestNet(t *testing.T) (*transport.Mem, *Server) {
+	t.Helper()
+	net := transport.NewMem(transport.MemOptions{}, nil)
+	srv := NewServer()
+	net.Register("server", srv.Handler())
+	return net, srv
+}
+
+func TestInvokeTyped(t *testing.T) {
+	net, srv := newTestNet(t)
+	srv.Handle("math", "Add", Method(func(ctx context.Context, from transport.Addr, req addReq) (addResp, error) {
+		return addResp{Sum: req.A + req.B}, nil
+	}))
+	c := Client{Net: net, From: "client"}
+	resp, err := Invoke[addReq, addResp](context.Background(), c, "server", "math", "Add", addReq{A: 2, B: 3})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if resp.Sum != 5 {
+		t.Fatalf("Sum = %d, want 5", resp.Sum)
+	}
+}
+
+func TestInvokeAppError(t *testing.T) {
+	net, srv := newTestNet(t)
+	srv.Handle("math", "Fail", Method(func(ctx context.Context, from transport.Addr, req addReq) (addResp, error) {
+		return addResp{}, Errorf(CodeConflict, "a=%d conflicts", req.A)
+	}))
+	c := Client{Net: net, From: "client"}
+	_, err := Invoke[addReq, addResp](context.Background(), c, "server", "math", "Fail", addReq{A: 9})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if CodeOf(err) != CodeConflict {
+		t.Fatalf("code = %q, want conflict", CodeOf(err))
+	}
+	var ae *AppError
+	if !errors.As(err, &ae) || ae.Msg != "a=9 conflicts" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvokeNonAppErrorBecomesInternal(t *testing.T) {
+	net, srv := newTestNet(t)
+	srv.Handle("math", "Boom", Method(func(ctx context.Context, from transport.Addr, req addReq) (addResp, error) {
+		return addResp{}, errors.New("plain failure")
+	}))
+	c := Client{Net: net, From: "client"}
+	_, err := Invoke[addReq, addResp](context.Background(), c, "server", "math", "Boom", addReq{})
+	if CodeOf(err) != CodeInternal {
+		t.Fatalf("code = %q, want internal (err=%v)", CodeOf(err), err)
+	}
+}
+
+func TestInvokeNoSuchMethod(t *testing.T) {
+	net, _ := newTestNet(t)
+	c := Client{Net: net, From: "client"}
+	_, err := Invoke[addReq, addResp](context.Background(), c, "server", "math", "Nope", addReq{})
+	if CodeOf(err) != CodeNoSuchMethod {
+		t.Fatalf("code = %q, want no-such-method", CodeOf(err))
+	}
+}
+
+func TestInvokeTransportErrorsPassThrough(t *testing.T) {
+	net, srv := newTestNet(t)
+	srv.Handle("math", "Add", Method(func(ctx context.Context, from transport.Addr, req addReq) (addResp, error) {
+		return addResp{Sum: req.A + req.B}, nil
+	}))
+	c := Client{Net: net, From: "client"}
+	// Unreachable destination.
+	_, err := Invoke[addReq, addResp](context.Background(), c, "ghost", "math", "Add", addReq{})
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+	// Lost reply: operation executed, caller sees transport error, not AppError.
+	net.Faults().DropReplies(1, transport.To("server"))
+	_, err = Invoke[addReq, addResp](context.Background(), c, "server", "math", "Add", addReq{A: 1})
+	if !errors.Is(err, transport.ErrReplyLost) {
+		t.Fatalf("err = %v, want ErrReplyLost", err)
+	}
+}
+
+func TestFromAddressVisibleToHandler(t *testing.T) {
+	net, srv := newTestNet(t)
+	srv.Handle("id", "WhoAmI", Method(func(ctx context.Context, from transport.Addr, req struct{}) (string, error) {
+		return string(from), nil
+	}))
+	c := Client{Net: net, From: "client-42"}
+	got, err := Invoke[struct{}, string](context.Background(), c, "server", "id", "WhoAmI", struct{}{})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if got != "client-42" {
+		t.Fatalf("from = %q", got)
+	}
+}
+
+func TestInvokeOverTCP(t *testing.T) {
+	tnet := transport.NewTCP()
+	defer tnet.Close()
+	srv := NewServer()
+	srv.Handle("math", "Add", Method(func(ctx context.Context, from transport.Addr, req addReq) (addResp, error) {
+		return addResp{Sum: req.A + req.B}, nil
+	}))
+	srv.Handle("math", "Fail", Method(func(ctx context.Context, from transport.Addr, req addReq) (addResp, error) {
+		return addResp{}, Errorf(CodeRefused, "no")
+	}))
+	tnet.Register("server", srv.Handler())
+	c := Client{Net: tnet, From: "client"}
+	resp, err := Invoke[addReq, addResp](context.Background(), c, "server", "math", "Add", addReq{A: 4, B: 7})
+	if err != nil {
+		t.Fatalf("Invoke over TCP: %v", err)
+	}
+	if resp.Sum != 11 {
+		t.Fatalf("Sum = %d", resp.Sum)
+	}
+	// AppError codes survive TCP because they travel in the envelope.
+	_, err = Invoke[addReq, addResp](context.Background(), c, "server", "math", "Fail", addReq{})
+	if CodeOf(err) != CodeRefused {
+		t.Fatalf("code over TCP = %q, want refused", CodeOf(err))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	type rec struct {
+		Name string
+		N    int
+		Tags []string
+	}
+	in := rec{Name: "x", N: 3, Tags: []string{"a", "b"}}
+	data, err := Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out rec
+	if err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.N != in.N || len(out.Tags) != 2 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}

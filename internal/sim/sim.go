@@ -1,0 +1,233 @@
+// Package sim models the hardware of the paper's system (§2.1): fail-silent
+// workstations with stable object stores and volatile memory, connected by
+// a local-area network.
+//
+// A Node either works as specified or stops (Crash). Crashing wipes the
+// node's volatile storage and disconnects it from the network; its stable
+// store survives. Recover reconnects the node with a new incarnation
+// number, re-runs stable-store recovery against an outcome log, and then
+// invokes any recovery protocols services have registered (e.g. the §4.1.2
+// server re-Insert, or the §4.2 store catch-up and Include).
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/rpc"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+// PingService/PingMethod name the liveness probe every node answers.
+const (
+	PingService = "node"
+	PingMethod  = "Ping"
+)
+
+// Ping probes a node's liveness from the given client.
+func Ping(ctx context.Context, cli rpc.Client, node transport.Addr) error {
+	_, err := rpc.Invoke[struct{}, string](ctx, cli, node, PingService, PingMethod, struct{}{})
+	return err
+}
+
+// Node is one simulated workstation.
+type Node struct {
+	name    transport.Addr
+	cluster *Cluster
+	// srv holds the node's service handlers — the "executable binary of
+	// the code for the object's methods" (§3.1), which resides in stable
+	// storage and therefore survives crashes.
+	srv    *rpc.Server
+	stable *store.Store
+
+	mu        sync.Mutex
+	up        bool
+	epoch     uint32
+	volatile  map[string]any
+	onRecover []func(*Node)
+}
+
+// Name returns the node's network address.
+func (n *Node) Name() transport.Addr { return n.name }
+
+// Store returns the node's stable object store.
+func (n *Node) Store() *store.Store { return n.stable }
+
+// Server returns the node's RPC dispatch table, used by services to
+// register handlers.
+func (n *Node) Server() *rpc.Server { return n.srv }
+
+// Client returns an RPC client originating from this node.
+func (n *Node) Client() rpc.Client {
+	return rpc.Client{Net: n.cluster.net, From: n.name}
+}
+
+// Up reports whether the node is functioning.
+func (n *Node) Up() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.up
+}
+
+// Epoch returns the node's incarnation number; it increases on every
+// recovery.
+func (n *Node) Epoch() uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// SetVolatile stores v in the node's volatile memory; it is lost on crash.
+func (n *Node) SetVolatile(key string, v any) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.volatile[key] = v
+}
+
+// Volatile fetches a value from volatile memory.
+func (n *Node) Volatile(key string) (any, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.volatile[key]
+	return v, ok
+}
+
+// DeleteVolatile removes a key from volatile memory.
+func (n *Node) DeleteVolatile(key string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.volatile, key)
+}
+
+// OnRecover registers a recovery protocol run (in registration order)
+// whenever the node recovers from a crash.
+func (n *Node) OnRecover(f func(*Node)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onRecover = append(n.onRecover, f)
+}
+
+// Crash fail-silently stops the node: it disappears from the network and
+// its volatile storage is lost. Crashing a crashed node is a no-op.
+func (n *Node) Crash() {
+	n.mu.Lock()
+	if !n.up {
+		n.mu.Unlock()
+		return
+	}
+	n.up = false
+	n.volatile = make(map[string]any)
+	n.mu.Unlock()
+	n.cluster.net.Unregister(n.name)
+}
+
+// Recover restarts a crashed node: new incarnation, stable-store recovery
+// against log (nil log aborts all pending intentions — presumed abort),
+// network re-registration, then the registered recovery protocols.
+// Recovering a functioning node is a no-op.
+func (n *Node) Recover(log store.OutcomeLog) {
+	n.mu.Lock()
+	if n.up {
+		n.mu.Unlock()
+		return
+	}
+	n.up = true
+	n.epoch++
+	n.volatile = make(map[string]any)
+	hooks := make([]func(*Node), len(n.onRecover))
+	copy(hooks, n.onRecover)
+	n.mu.Unlock()
+
+	n.stable.Recover(log)
+	n.cluster.net.Register(n.name, n.srv.Handler())
+	for _, f := range hooks {
+		f(n)
+	}
+}
+
+// Cluster is a set of nodes on one simulated network.
+type Cluster struct {
+	net *transport.Mem
+
+	mu    sync.Mutex
+	nodes map[transport.Addr]*Node
+}
+
+// NewCluster returns an empty cluster over a fresh in-memory network.
+func NewCluster(opts transport.MemOptions) *Cluster {
+	return &Cluster{
+		net:   transport.NewMem(opts, nil),
+		nodes: make(map[transport.Addr]*Node),
+	}
+}
+
+// Net returns the underlying network.
+func (c *Cluster) Net() *transport.Mem { return c.net }
+
+// Faults returns the network's fault plan.
+func (c *Cluster) Faults() *transport.Faults { return c.net.Faults() }
+
+// Add creates a functioning node with the given name. Adding a duplicate
+// name panics: cluster composition is test/experiment setup code where a
+// duplicate is always a bug.
+func (c *Cluster) Add(name transport.Addr) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.nodes[name]; ok {
+		panic(fmt.Sprintf("sim: duplicate node %q", name))
+	}
+	n := &Node{
+		name:     name,
+		cluster:  c,
+		srv:      rpc.NewServer(),
+		stable:   store.New(string(name)),
+		up:       true,
+		epoch:    1,
+		volatile: make(map[string]any),
+	}
+	// Every node exports its stable object store over RPC — the Object
+	// Storage service of §2.2.
+	store.RegisterService(n.srv, n.stable)
+	// And a liveness probe, used by failure-detection/cleanup protocols
+	// (the paper mentions the Object Server database "could periodically
+	// check if its clients are functioning", §4.1.3).
+	n.srv.Handle(PingService, PingMethod, rpc.Method(func(context.Context, transport.Addr, struct{}) (string, error) {
+		return "pong", nil
+	}))
+	c.nodes[name] = n
+	c.net.Register(name, n.srv.Handler())
+	return n
+}
+
+// Node returns the named node, or nil.
+func (c *Cluster) Node(name transport.Addr) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[name]
+}
+
+// Nodes returns all nodes sorted by name.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// UpNodes returns the names of functioning nodes, sorted.
+func (c *Cluster) UpNodes() []transport.Addr {
+	var out []transport.Addr
+	for _, n := range c.Nodes() {
+		if n.Up() {
+			out = append(out, n.name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/action"
+	"repro/internal/rpc"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	c := NewCluster(transport.MemOptions{})
+	a := c.Add("alpha")
+	b := c.Add("beta")
+	if c.Node("alpha") != a || c.Node("beta") != b {
+		t.Fatal("lookup mismatch")
+	}
+	if c.Node("ghost") != nil {
+		t.Fatal("unknown node should be nil")
+	}
+	nodes := c.Nodes()
+	if len(nodes) != 2 || nodes[0].Name() != "alpha" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	if got := c.UpNodes(); len(got) != 2 {
+		t.Fatalf("up = %v", got)
+	}
+}
+
+func TestDuplicateAddPanics(t *testing.T) {
+	c := NewCluster(transport.MemOptions{})
+	c.Add("alpha")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Add("alpha")
+}
+
+func TestCrashMakesUnreachableAndWipesVolatile(t *testing.T) {
+	c := NewCluster(transport.MemOptions{})
+	n := c.Add("alpha")
+	c.Add("beta")
+	n.SetVolatile("activated", 42)
+
+	// A service registered on alpha is callable...
+	n.Server().Handle("ping", "Ping", rpc.Method(func(ctx context.Context, from transport.Addr, req struct{}) (string, error) {
+		return "pong", nil
+	}))
+	cli := c.Node("beta").Client()
+	if _, err := rpc.Invoke[struct{}, string](context.Background(), cli, "alpha", "ping", "Ping", struct{}{}); err != nil {
+		t.Fatalf("pre-crash call: %v", err)
+	}
+
+	n.Crash()
+	if n.Up() {
+		t.Fatal("node should be down")
+	}
+	if _, ok := n.Volatile("activated"); ok {
+		t.Fatal("volatile storage should be wiped")
+	}
+	if _, err := rpc.Invoke[struct{}, string](context.Background(), cli, "alpha", "ping", "Ping", struct{}{}); !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("post-crash call err = %v", err)
+	}
+	if got := c.UpNodes(); len(got) != 1 || got[0] != "beta" {
+		t.Fatalf("up = %v", got)
+	}
+}
+
+func TestStableStoreSurvivesCrash(t *testing.T) {
+	c := NewCluster(transport.MemOptions{})
+	n := c.Add("alpha")
+	gen := uid.NewGenerator("t", 1)
+	id := gen.New()
+	n.Store().Put(id, []byte("persistent"), 1)
+	n.Crash()
+	n.Recover(nil)
+	v, err := n.Store().Read(id)
+	if err != nil || string(v.Data) != "persistent" {
+		t.Fatalf("stable data lost: %+v %v", v, err)
+	}
+}
+
+func TestRecoverBumpsEpochAndRunsHooksAndReconnects(t *testing.T) {
+	c := NewCluster(transport.MemOptions{})
+	n := c.Add("alpha")
+	c.Add("beta")
+	n.Server().Handle("ping", "Ping", rpc.Method(func(ctx context.Context, from transport.Addr, req struct{}) (string, error) {
+		return "pong", nil
+	}))
+	hookRuns := 0
+	n.OnRecover(func(node *Node) {
+		if node != n {
+			t.Error("hook got wrong node")
+		}
+		hookRuns++
+	})
+	e0 := n.Epoch()
+	n.Crash()
+	n.Recover(nil)
+	if n.Epoch() != e0+1 {
+		t.Fatalf("epoch = %d, want %d", n.Epoch(), e0+1)
+	}
+	if hookRuns != 1 {
+		t.Fatalf("hook runs = %d", hookRuns)
+	}
+	cli := c.Node("beta").Client()
+	if _, err := rpc.Invoke[struct{}, string](context.Background(), cli, "alpha", "ping", "Ping", struct{}{}); err != nil {
+		t.Fatalf("post-recover call: %v", err)
+	}
+}
+
+func TestCrashRecoverIdempotent(t *testing.T) {
+	c := NewCluster(transport.MemOptions{})
+	n := c.Add("alpha")
+	n.Crash()
+	n.Crash() // no-op
+	n.Recover(nil)
+	e := n.Epoch()
+	n.Recover(nil) // no-op
+	if n.Epoch() != e {
+		t.Fatal("recover of an up node must not bump epoch")
+	}
+}
+
+func TestRecoveryResolvesPendingIntentionsAgainstLog(t *testing.T) {
+	c := NewCluster(transport.MemOptions{})
+	n := c.Add("alpha")
+	gen := uid.NewGenerator("t", 1)
+	idA, idB := gen.New(), gen.New()
+	n.Store().Put(idA, []byte("a0"), 1)
+	n.Store().Put(idB, []byte("b0"), 1)
+	if err := n.Store().Prepare("tx-win", []store.Write{{UID: idA, Data: []byte("a1"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Store().Prepare("tx-lose", []store.Write{{UID: idB, Data: []byte("b1"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	log := action.NewMemLog()
+	log.Record("tx-win", store.OutcomeCommitted)
+	n.Crash()
+	n.Recover(log)
+	if v, _ := n.Store().Read(idA); string(v.Data) != "a1" {
+		t.Fatal("committed intention not applied at recovery")
+	}
+	if v, _ := n.Store().Read(idB); string(v.Data) != "b0" {
+		t.Fatal("undecided intention should be rolled back")
+	}
+}
+
+func TestVolatileAccessors(t *testing.T) {
+	c := NewCluster(transport.MemOptions{})
+	n := c.Add("alpha")
+	n.SetVolatile("k", "v")
+	if v, ok := n.Volatile("k"); !ok || v != "v" {
+		t.Fatal("volatile get failed")
+	}
+	n.DeleteVolatile("k")
+	if _, ok := n.Volatile("k"); ok {
+		t.Fatal("delete failed")
+	}
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// ServiceName is the RPC service name under which a node's object store is
+// exported.
+const ServiceName = "objectstore"
+
+// RPC method names.
+const (
+	MethodRead    = "Read"
+	MethodPut     = "Put"
+	MethodSeqOf   = "SeqOf"
+	MethodPrepare = "Prepare"
+	MethodCommit  = "Commit"
+	MethodAbort   = "Abort"
+)
+
+// CodeStaleVersion is the RPC error code carrying ErrStaleVersion across
+// the wire.
+const CodeStaleVersion = "stale-version"
+
+// Request/response records. All fields exported for gob.
+
+// ReadReq asks for the committed version of an object.
+type ReadReq struct{ UID string }
+
+// ReadResp carries a committed version.
+type ReadResp struct {
+	Data []byte
+	Seq  uint64
+	TxID string
+}
+
+// PutReq installs a committed version directly.
+type PutReq struct {
+	UID  string
+	Data []byte
+	Seq  uint64
+}
+
+// SeqOfReq asks for an object's committed sequence number.
+type SeqOfReq struct{ UID string }
+
+// SeqOfResp carries the result of SeqOf.
+type SeqOfResp struct {
+	Seq uint64
+	OK  bool
+}
+
+// PrepareReq carries a transaction's intended writes.
+type PrepareReq struct {
+	Tx     string
+	Writes []WriteRec
+}
+
+// WriteRec is the wire form of Write.
+type WriteRec struct {
+	UID  string
+	Data []byte
+	Seq  uint64
+}
+
+// TxReq names a transaction for Commit/Abort.
+type TxReq struct{ Tx string }
+
+// Ack is an empty successful response.
+type Ack struct{}
+
+// RegisterService exposes s on srv under ServiceName.
+func RegisterService(srv *rpc.Server, s *Store) {
+	srv.Handle(ServiceName, MethodRead, rpc.Method(func(ctx context.Context, from transport.Addr, req ReadReq) (ReadResp, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return ReadResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		v, err := s.Read(id)
+		if err != nil {
+			if errors.Is(err, ErrNoState) {
+				return ReadResp{}, rpc.Errorf(rpc.CodeNotFound, "%v", err)
+			}
+			return ReadResp{}, err
+		}
+		return ReadResp{Data: v.Data, Seq: v.Seq, TxID: v.TxID}, nil
+	}))
+	srv.Handle(ServiceName, MethodPut, rpc.Method(func(ctx context.Context, from transport.Addr, req PutReq) (Ack, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		s.Put(id, req.Data, req.Seq)
+		return Ack{}, nil
+	}))
+	srv.Handle(ServiceName, MethodSeqOf, rpc.Method(func(ctx context.Context, from transport.Addr, req SeqOfReq) (SeqOfResp, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return SeqOfResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		seq, ok := s.SeqOf(id)
+		return SeqOfResp{Seq: seq, OK: ok}, nil
+	}))
+	srv.Handle(ServiceName, MethodPrepare, rpc.Method(func(ctx context.Context, from transport.Addr, req PrepareReq) (Ack, error) {
+		writes := make([]Write, 0, len(req.Writes))
+		for _, w := range req.Writes {
+			id, err := uid.Parse(w.UID)
+			if err != nil {
+				return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+			}
+			writes = append(writes, Write{UID: id, Data: w.Data, Seq: w.Seq})
+		}
+		if err := s.Prepare(req.Tx, writes); err != nil {
+			if errors.Is(err, ErrBusy) {
+				return Ack{}, rpc.Errorf(rpc.CodeConflict, "%v", err)
+			}
+			if errors.Is(err, ErrStaleVersion) {
+				return Ack{}, rpc.Errorf(CodeStaleVersion, "%v", err)
+			}
+			return Ack{}, err
+		}
+		return Ack{}, nil
+	}))
+	srv.Handle(ServiceName, MethodCommit, rpc.Method(func(ctx context.Context, from transport.Addr, req TxReq) (Ack, error) {
+		return Ack{}, s.Commit(req.Tx)
+	}))
+	srv.Handle(ServiceName, MethodAbort, rpc.Method(func(ctx context.Context, from transport.Addr, req TxReq) (Ack, error) {
+		return Ack{}, s.Abort(req.Tx)
+	}))
+}
+
+// RemoteStore is a typed client for a store exported on another node.
+type RemoteStore struct {
+	Client rpc.Client
+	Node   transport.Addr
+}
+
+// Read fetches a committed version from the remote store.
+func (r RemoteStore) Read(ctx context.Context, id uid.UID) (Version, error) {
+	resp, err := rpc.Invoke[ReadReq, ReadResp](ctx, r.Client, r.Node, ServiceName, MethodRead, ReadReq{UID: id.String()})
+	if err != nil {
+		if rpc.CodeOf(err) == rpc.CodeNotFound {
+			return Version{}, ErrNoState
+		}
+		return Version{}, err
+	}
+	return Version{Data: resp.Data, Seq: resp.Seq, TxID: resp.TxID}, nil
+}
+
+// Put installs a committed version on the remote store.
+func (r RemoteStore) Put(ctx context.Context, id uid.UID, data []byte, seq uint64) error {
+	_, err := rpc.Invoke[PutReq, Ack](ctx, r.Client, r.Node, ServiceName, MethodPut, PutReq{UID: id.String(), Data: data, Seq: seq})
+	return err
+}
+
+// SeqOf fetches the committed sequence number of id from the remote store.
+func (r RemoteStore) SeqOf(ctx context.Context, id uid.UID) (uint64, bool, error) {
+	resp, err := rpc.Invoke[SeqOfReq, SeqOfResp](ctx, r.Client, r.Node, ServiceName, MethodSeqOf, SeqOfReq{UID: id.String()})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Seq, resp.OK, nil
+}
+
+// Prepare records intentions at the remote store. Stale-version refusals
+// are mapped back to ErrStaleVersion for errors.Is.
+func (r RemoteStore) Prepare(ctx context.Context, tx string, writes []Write) error {
+	recs := make([]WriteRec, len(writes))
+	for i, w := range writes {
+		recs[i] = WriteRec{UID: w.UID.String(), Data: w.Data, Seq: w.Seq}
+	}
+	_, err := rpc.Invoke[PrepareReq, Ack](ctx, r.Client, r.Node, ServiceName, MethodPrepare, PrepareReq{Tx: tx, Writes: recs})
+	if rpc.CodeOf(err) == CodeStaleVersion {
+		return fmt.Errorf("%v: %w", err, ErrStaleVersion)
+	}
+	return err
+}
+
+// Commit applies tx at the remote store.
+func (r RemoteStore) Commit(ctx context.Context, tx string) error {
+	_, err := rpc.Invoke[TxReq, Ack](ctx, r.Client, r.Node, ServiceName, MethodCommit, TxReq{Tx: tx})
+	return err
+}
+
+// Abort discards tx at the remote store.
+func (r RemoteStore) Abort(ctx context.Context, tx string) error {
+	_, err := rpc.Invoke[TxReq, Ack](ctx, r.Client, r.Node, ServiceName, MethodAbort, TxReq{Tx: tx})
+	return err
+}

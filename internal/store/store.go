@@ -1,0 +1,257 @@
+// Package store implements the Object Storage service of the paper (§2.2):
+// a stable-storage repository for the states of persistent objects, named
+// by UIDs.
+//
+// A Store models one node's stable object store. Data written through the
+// two-phase interface (Prepare/Commit/Abort) or directly (Put) survives
+// node crashes — the simulation keeps the Store value across Crash() and
+// only discards volatile state — matching the paper's failure assumptions
+// (§2.1). Prepared-but-undecided intentions are stable too, and are
+// resolved at recovery against the commit log (presumed abort).
+//
+// Each committed object version carries a sequence number; two store nodes
+// hold *mutually consistent* states of an object exactly when their
+// sequence numbers for it are equal, which is the property the Object
+// State database's St sets are maintained to guarantee.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/uid"
+)
+
+// ErrNoState reports that a store holds no committed state for a UID.
+var ErrNoState = errors.New("store: no state for object")
+
+// ErrBusy reports that a conflicting prepared intention exists for a UID.
+var ErrBusy = errors.New("store: object has a prepared intention")
+
+// ErrStaleVersion reports a prepared write whose sequence number does not
+// extend this store's committed chain (it must be committed seq + 1). A
+// server whose write-back is refused as stale everywhere has been serving
+// an out-of-date activated copy and must re-activate from the current
+// state; a single store refusing as stale is itself lagging and is
+// excluded from St by the caller.
+var ErrStaleVersion = errors.New("store: stale version chain")
+
+// Version is one committed object state.
+type Version struct {
+	// Data is the serialized object state.
+	Data []byte
+	// Seq is the state's version number; replicas with equal Seq for a UID
+	// are mutually consistent.
+	Seq uint64
+	// TxID is the action that committed this version ("" for direct puts).
+	TxID string
+}
+
+// Write is one intended object-state update inside a transaction.
+type Write struct {
+	UID  uid.UID
+	Data []byte
+	// Seq is assigned by the committing action so that all replica stores
+	// record the same version number.
+	Seq uint64
+}
+
+// Store is one node's stable object store. It is safe for concurrent use.
+type Store struct {
+	name string
+
+	mu        sync.Mutex
+	committed map[uid.UID]Version
+	// intentions maps a transaction ID to its stable, prepared writes,
+	// keyed by object so that repeated prepares for the same transaction
+	// merge (last write per object wins).
+	intentions map[string]map[uid.UID]Write
+	// pinned maps a UID to the transaction that has prepared a write for
+	// it, to refuse conflicting prepares.
+	pinned map[uid.UID]string
+}
+
+// New returns an empty store for the named node.
+func New(name string) *Store {
+	return &Store{
+		name:       name,
+		committed:  make(map[uid.UID]Version),
+		intentions: make(map[string]map[uid.UID]Write),
+		pinned:     make(map[uid.UID]string),
+	}
+}
+
+// Name returns the owning node's name.
+func (s *Store) Name() string { return s.name }
+
+// Read returns the committed version of id.
+func (s *Store) Read(id uid.UID) (Version, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.committed[id]
+	if !ok {
+		return Version{}, fmt.Errorf("%s: %v: %w", s.name, id, ErrNoState)
+	}
+	// Copy data so callers cannot alias the store's buffer.
+	out := v
+	out.Data = append([]byte(nil), v.Data...)
+	return out, nil
+}
+
+// SeqOf returns the committed sequence number for id, or (0, false).
+func (s *Store) SeqOf(id uid.UID) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.committed[id]
+	return v.Seq, ok
+}
+
+// Put writes a committed version directly, outside any transaction — used
+// to install initial states and by recovery catch-up.
+func (s *Store) Put(id uid.UID, data []byte, seq uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.committed[id] = Version{Data: append([]byte(nil), data...), Seq: seq}
+}
+
+// Remove deletes any committed state for id.
+func (s *Store) Remove(id uid.UID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.committed, id)
+}
+
+// Prepare stably records the writes of transaction tx. It refuses with
+// ErrBusy if another transaction has a prepared intention on any of the
+// same objects. Prepares for the same tx merge: a later write to the same
+// object replaces the earlier one, writes to new objects accumulate. This
+// makes both idempotent retries and multiple per-object participants of
+// one action safe.
+func (s *Store) Prepare(tx string, writes []Write) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range writes {
+		if other, ok := s.pinned[w.UID]; ok && other != tx {
+			return fmt.Errorf("%s: %v pinned by %s: %w", s.name, w.UID, other, ErrBusy)
+		}
+		// Version-chain check: a write must extend the committed chain by
+		// exactly one, guarding against stale activated copies writing
+		// back over newer state.
+		if cur, ok := s.committed[w.UID]; ok && w.Seq != cur.Seq+1 {
+			return fmt.Errorf("%s: %v write seq %d, committed seq %d: %w",
+				s.name, w.UID, w.Seq, cur.Seq, ErrStaleVersion)
+		}
+	}
+	m, ok := s.intentions[tx]
+	if !ok {
+		m = make(map[uid.UID]Write, len(writes))
+		s.intentions[tx] = m
+	}
+	for _, w := range writes {
+		m[w.UID] = Write{UID: w.UID, Data: append([]byte(nil), w.Data...), Seq: w.Seq}
+		s.pinned[w.UID] = tx
+	}
+	return nil
+}
+
+// Commit applies tx's prepared intentions. Committing an unknown tx is a
+// no-op (the intention may have already been applied — idempotent retry).
+func (s *Store) Commit(tx string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writes, ok := s.intentions[tx]
+	if !ok {
+		return nil
+	}
+	for _, w := range writes {
+		s.committed[w.UID] = Version{Data: w.Data, Seq: w.Seq, TxID: tx}
+	}
+	s.clearLocked(tx)
+	return nil
+}
+
+// PendingWrites returns the number of distinct objects with prepared
+// writes under tx (0 if unknown). Exposed for tests and recovery tooling.
+func (s *Store) PendingWrites(tx string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.intentions[tx])
+}
+
+// Abort discards tx's prepared intentions; unknown tx is a no-op.
+func (s *Store) Abort(tx string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clearLocked(tx)
+	return nil
+}
+
+func (s *Store) clearLocked(tx string) {
+	for _, w := range s.intentions[tx] {
+		if s.pinned[w.UID] == tx {
+			delete(s.pinned, w.UID)
+		}
+	}
+	delete(s.intentions, tx)
+}
+
+// PendingTxs returns the transaction IDs with prepared, undecided
+// intentions, sorted for determinism. Recovery resolves these against the
+// commit log.
+func (s *Store) PendingTxs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.intentions))
+	for tx := range s.intentions {
+		out = append(out, tx)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Objects returns the UIDs with committed state, sorted by string form.
+func (s *Store) Objects() []uid.UID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uid.UID, 0, len(s.committed))
+	for id := range s.committed {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Outcome is a transaction's decided fate, as recorded by the commit log.
+type Outcome int
+
+// Transaction outcomes.
+const (
+	OutcomeUnknown Outcome = iota
+	OutcomeCommitted
+	OutcomeAborted
+)
+
+// OutcomeLog answers recovery-time outcome queries — the minimal "commit
+// record" service of a 2PC coordinator.
+type OutcomeLog interface {
+	Lookup(tx string) Outcome
+}
+
+// Recover resolves every pending intention against log: committed
+// transactions are applied, all others rolled back (presumed abort). It
+// returns the transactions applied and aborted.
+func (s *Store) Recover(log OutcomeLog) (applied, aborted []string) {
+	for _, tx := range s.PendingTxs() {
+		if log != nil && log.Lookup(tx) == OutcomeCommitted {
+			// Commit never fails for a known tx.
+			_ = s.Commit(tx)
+			applied = append(applied, tx)
+		} else {
+			_ = s.Abort(tx)
+			aborted = append(aborted, tx)
+		}
+	}
+	return applied, aborted
+}

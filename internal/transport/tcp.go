@@ -1,0 +1,201 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCP is a Network implementation over real loopback sockets using
+// encoding/gob framing. It exists to demonstrate that every protocol in the
+// repository is transport-agnostic: the integration tests run the full
+// naming-and-binding stack over TCP unchanged.
+//
+// Each registered address gets its own listener on 127.0.0.1; an internal
+// directory maps Addr to the listener's host:port. Faults and partitions
+// are not supported on TCP (use Mem for fault experiments).
+type TCP struct {
+	mu        sync.RWMutex
+	listeners map[Addr]*tcpEndpoint
+	closed    bool
+}
+
+var _ Network = (*TCP)(nil)
+
+type tcpEndpoint struct {
+	ln      net.Listener
+	handler Handler
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// wireRequest is the on-the-wire request record.
+type wireRequest struct {
+	From    string
+	To      string
+	Service string
+	Method  string
+	Payload []byte
+}
+
+// wireReply is the on-the-wire reply record.
+type wireReply struct {
+	Payload []byte
+	Err     string
+	HasErr  bool
+}
+
+// NewTCP returns an empty TCP network.
+func NewTCP() *TCP {
+	return &TCP{listeners: make(map[Addr]*tcpEndpoint)}
+}
+
+// Register implements Network: it opens a loopback listener for addr and
+// serves requests on it until Unregister or Close.
+func (t *TCP) Register(addr Addr, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if old, ok := t.listeners[addr]; ok {
+		old.stop()
+		delete(t.listeners, addr)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		// Loopback listen failing means the host cannot run the suite at
+		// all; surface loudly rather than return a half-registered network.
+		panic(fmt.Sprintf("transport: tcp listen: %v", err))
+	}
+	ep := &tcpEndpoint{ln: ln, handler: h, done: make(chan struct{})}
+	t.listeners[addr] = ep
+	ep.wg.Add(1)
+	go ep.serve()
+}
+
+func (ep *tcpEndpoint) stop() {
+	close(ep.done)
+	ep.ln.Close()
+	ep.wg.Wait()
+}
+
+func (ep *tcpEndpoint) serve() {
+	defer ep.wg.Done()
+	for {
+		conn, err := ep.ln.Accept()
+		if err != nil {
+			select {
+			case <-ep.done:
+				return
+			default:
+				return
+			}
+		}
+		ep.wg.Add(1)
+		go func() {
+			defer ep.wg.Done()
+			defer conn.Close()
+			ep.handleConn(conn)
+		}()
+	}
+}
+
+func (ep *tcpEndpoint) handleConn(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var wreq wireRequest
+		if err := dec.Decode(&wreq); err != nil {
+			return
+		}
+		resp, err := ep.handler(context.Background(), Request{
+			From:    Addr(wreq.From),
+			To:      Addr(wreq.To),
+			Service: wreq.Service,
+			Method:  wreq.Method,
+			Payload: wreq.Payload,
+		})
+		wrep := wireReply{Payload: resp}
+		if err != nil {
+			wrep.HasErr = true
+			wrep.Err = err.Error()
+		}
+		if err := enc.Encode(&wrep); err != nil {
+			return
+		}
+	}
+}
+
+// Unregister implements Network.
+func (t *TCP) Unregister(addr Addr) {
+	t.mu.Lock()
+	ep, ok := t.listeners[addr]
+	if ok {
+		delete(t.listeners, addr)
+	}
+	t.mu.Unlock()
+	if ok {
+		ep.stop()
+	}
+}
+
+// Call implements Network by dialing the destination's listener per call.
+// Per-call dialing is deliberately simple; connection pooling is an
+// optimisation the experiments do not need.
+func (t *TCP) Call(ctx context.Context, req Request) ([]byte, error) {
+	t.mu.RLock()
+	ep, ok := t.listeners[req.To]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%s -> %s: %w", req.From, req.To, ErrUnreachable)
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", ep.ln.Addr().String())
+	if err != nil {
+		return nil, fmt.Errorf("%s -> %s: %w", req.From, req.To, ErrUnreachable)
+	}
+	defer conn.Close()
+	if dl, ok := ctx.Deadline(); ok {
+		if err := conn.SetDeadline(dl); err != nil {
+			return nil, err
+		}
+	}
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&wireRequest{
+		From:    string(req.From),
+		To:      string(req.To),
+		Service: req.Service,
+		Method:  req.Method,
+		Payload: req.Payload,
+	}); err != nil {
+		return nil, fmt.Errorf("%s -> %s: encode: %w", req.From, req.To, err)
+	}
+	var wrep wireReply
+	if err := dec.Decode(&wrep); err != nil {
+		return nil, fmt.Errorf("%s -> %s: decode: %w", req.From, req.To, err)
+	}
+	if wrep.HasErr {
+		return wrep.Payload, errors.New(wrep.Err)
+	}
+	return wrep.Payload, nil
+}
+
+// Close shuts down all listeners. The network is unusable afterwards.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	eps := make([]*tcpEndpoint, 0, len(t.listeners))
+	for _, ep := range t.listeners {
+		eps = append(eps, ep)
+	}
+	t.listeners = make(map[Addr]*tcpEndpoint)
+	t.closed = true
+	t.mu.Unlock()
+	for _, ep := range eps {
+		ep.stop()
+	}
+}

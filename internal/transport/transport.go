@@ -1,0 +1,305 @@
+// Package transport provides the message-passing substrate for the
+// simulated distributed system.
+//
+// The paper (§2.1) assumes fail-silent nodes connected by a local-area
+// network, with operation invocation performed via RPC (§2.2). This package
+// supplies the RPC carrier with exactly the failure modes the paper's
+// protocols must tolerate:
+//
+//   - an unreachable callee (node crashed, unregistered, or partitioned),
+//   - a lost request (the callee never executes the operation), and
+//   - a lost reply (the callee DID execute the operation but the caller
+//     cannot tell — the scenario of the paper's Figure 1).
+//
+// Two implementations are provided: Mem, an in-memory network with
+// deterministic, injectable faults (used by all experiments), and TCP
+// (tcp.go), a real-socket variant over loopback demonstrating that the
+// protocol stack is transport-agnostic.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Addr names an endpoint, conventionally the node name (e.g. "alpha").
+type Addr string
+
+// Request is one RPC request. Service and Method select the handler-side
+// dispatch; Payload is an opaque encoded argument record.
+type Request struct {
+	From    Addr
+	To      Addr
+	Service string
+	Method  string
+	Payload []byte
+}
+
+// Handler processes a request at the callee and returns an encoded reply.
+type Handler func(ctx context.Context, req Request) ([]byte, error)
+
+// Network is the carrier abstraction: endpoints register a handler under
+// an address; Call performs a synchronous RPC.
+type Network interface {
+	// Register installs h as the handler for addr. Registering an address
+	// twice replaces the handler.
+	Register(addr Addr, h Handler)
+	// Unregister removes the handler for addr; subsequent calls to it fail
+	// with ErrUnreachable. Unregistering an unknown address is a no-op.
+	Unregister(addr Addr)
+	// Call sends req and waits for the reply or a failure.
+	Call(ctx context.Context, req Request) ([]byte, error)
+}
+
+// Sentinel errors. Callers distinguish "operation certainly did not happen"
+// (ErrUnreachable, ErrRequestLost) from "operation may have happened"
+// (ErrReplyLost, context deadline) exactly as the paper's commit protocols
+// must.
+var (
+	// ErrUnreachable reports that the destination has no live endpoint:
+	// the node is crashed, never registered, or partitioned away.
+	ErrUnreachable = errors.New("transport: destination unreachable")
+	// ErrRequestLost reports that the request was dropped before delivery;
+	// the remote operation did not execute.
+	ErrRequestLost = errors.New("transport: request lost")
+	// ErrReplyLost reports that the remote operation executed but its reply
+	// was dropped — the caller cannot observe the outcome.
+	ErrReplyLost = errors.New("transport: reply lost")
+)
+
+// FaultRule inspects a request and decides whether a fault fires for it.
+type FaultRule func(req Request) bool
+
+// Faults is a programmable fault plan shared by a Mem network. All methods
+// are safe for concurrent use.
+type Faults struct {
+	mu           sync.Mutex
+	dropRequests []*faultEntry
+	dropReplies  []*faultEntry
+	partitions   map[[2]Addr]bool
+}
+
+type faultEntry struct {
+	rule      FaultRule
+	remaining int // -1 = unlimited
+}
+
+// NewFaults returns an empty fault plan.
+func NewFaults() *Faults {
+	return &Faults{partitions: make(map[[2]Addr]bool)}
+}
+
+// DropRequests installs a rule that drops matching requests. count limits
+// how many times the rule fires; count < 0 means unlimited.
+func (f *Faults) DropRequests(count int, rule FaultRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropRequests = append(f.dropRequests, &faultEntry{rule: rule, remaining: count})
+}
+
+// DropReplies installs a rule that drops the reply of matching requests
+// after the handler has executed. count < 0 means unlimited.
+func (f *Faults) DropReplies(count int, rule FaultRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropReplies = append(f.dropReplies, &faultEntry{rule: rule, remaining: count})
+}
+
+// Partition blocks all traffic between a and b (both directions) until
+// Heal is called for the pair.
+func (f *Faults) Partition(a, b Addr) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitions[pairKey(a, b)] = true
+}
+
+// Heal removes a partition between a and b.
+func (f *Faults) Heal(a, b Addr) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.partitions, pairKey(a, b))
+}
+
+// Clear removes all rules and partitions.
+func (f *Faults) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropRequests = nil
+	f.dropReplies = nil
+	f.partitions = make(map[[2]Addr]bool)
+}
+
+func pairKey(a, b Addr) [2]Addr {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]Addr{a, b}
+}
+
+func (f *Faults) partitioned(a, b Addr) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.partitions[pairKey(a, b)]
+}
+
+func fire(entries []*faultEntry, req Request) bool {
+	for _, e := range entries {
+		if e.remaining == 0 {
+			continue
+		}
+		if e.rule(req) {
+			if e.remaining > 0 {
+				e.remaining--
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Faults) shouldDropRequest(req Request) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return fire(f.dropRequests, req)
+}
+
+func (f *Faults) shouldDropReply(req Request) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return fire(f.dropReplies, req)
+}
+
+// MemOptions configure a Mem network.
+type MemOptions struct {
+	// BaseLatency is added to every message leg (request and reply).
+	BaseLatency time.Duration
+	// Jitter, if positive, adds a uniformly distributed extra delay in
+	// [0, Jitter) per leg, drawn from Seed for reproducibility.
+	Jitter time.Duration
+	// Seed seeds the jitter source; ignored when Jitter is zero.
+	Seed int64
+}
+
+// Mem is an in-memory Network with programmable faults and latency.
+// It is safe for concurrent use.
+type Mem struct {
+	opts   MemOptions
+	faults *Faults
+
+	mu       sync.RWMutex
+	handlers map[Addr]Handler
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+var _ Network = (*Mem)(nil)
+
+// NewMem returns an in-memory network. faults may be nil, in which case a
+// fresh empty fault plan is created (retrievable via Faults).
+func NewMem(opts MemOptions, faults *Faults) *Mem {
+	if faults == nil {
+		faults = NewFaults()
+	}
+	return &Mem{
+		opts:     opts,
+		faults:   faults,
+		handlers: make(map[Addr]Handler),
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Faults returns the network's fault plan.
+func (m *Mem) Faults() *Faults { return m.faults }
+
+// Register implements Network.
+func (m *Mem) Register(addr Addr, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[addr] = h
+}
+
+// Unregister implements Network.
+func (m *Mem) Unregister(addr Addr) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.handlers, addr)
+}
+
+func (m *Mem) lookup(addr Addr) (Handler, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h, ok := m.handlers[addr]
+	return h, ok
+}
+
+func (m *Mem) delay() time.Duration {
+	d := m.opts.BaseLatency
+	if m.opts.Jitter > 0 {
+		m.rngMu.Lock()
+		d += time.Duration(m.rng.Int63n(int64(m.opts.Jitter)))
+		m.rngMu.Unlock()
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Call implements Network. The handler executes on the caller's goroutine
+// after the request leg; a dropped reply therefore still implies the
+// handler's side effects occurred.
+func (m *Mem) Call(ctx context.Context, req Request) ([]byte, error) {
+	if m.faults.partitioned(req.From, req.To) {
+		return nil, fmt.Errorf("%s -> %s: %w", req.From, req.To, ErrUnreachable)
+	}
+	if m.faults.shouldDropRequest(req) {
+		return nil, fmt.Errorf("%s -> %s %s.%s: %w", req.From, req.To, req.Service, req.Method, ErrRequestLost)
+	}
+	if err := sleepCtx(ctx, m.delay()); err != nil {
+		return nil, err
+	}
+	h, ok := m.lookup(req.To)
+	if !ok {
+		return nil, fmt.Errorf("%s -> %s: %w", req.From, req.To, ErrUnreachable)
+	}
+	resp, err := h(ctx, req)
+	if derr := sleepCtx(ctx, m.delay()); derr != nil {
+		return nil, derr
+	}
+	if m.faults.shouldDropReply(req) {
+		return nil, fmt.Errorf("%s -> %s %s.%s: %w", req.From, req.To, req.Service, req.Method, ErrReplyLost)
+	}
+	return resp, err
+}
+
+// To returns a FaultRule matching requests destined for addr.
+func To(addr Addr) FaultRule {
+	return func(req Request) bool { return req.To == addr }
+}
+
+// Between returns a FaultRule matching requests from one specific sender to
+// one specific receiver.
+func Between(from, to Addr) FaultRule {
+	return func(req Request) bool { return req.From == from && req.To == to }
+}
+
+// ToService returns a FaultRule matching requests for a service at an addr.
+func ToService(addr Addr, service string) FaultRule {
+	return func(req Request) bool { return req.To == addr && req.Service == service }
+}

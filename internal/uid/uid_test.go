@@ -1,0 +1,111 @@
+package uid
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilUID(t *testing.T) {
+	var u UID
+	if !u.IsNil() {
+		t.Fatal("zero UID should be nil")
+	}
+	if u.String() != "<nil-uid>" {
+		t.Fatalf("nil UID string = %q", u.String())
+	}
+	parsed, err := Parse(u.String())
+	if err != nil {
+		t.Fatalf("Parse(nil string): %v", err)
+	}
+	if !parsed.IsNil() {
+		t.Fatal("parsed nil UID should be nil")
+	}
+}
+
+func TestGeneratorSequence(t *testing.T) {
+	g := NewGenerator("alpha", 3)
+	u1 := g.New()
+	u2 := g.New()
+	if u1 == u2 {
+		t.Fatalf("consecutive UIDs equal: %v", u1)
+	}
+	if u1.Origin != "alpha" || u1.Epoch != 3 {
+		t.Fatalf("unexpected origin/epoch: %+v", u1)
+	}
+	if u2.Seq != u1.Seq+1 {
+		t.Fatalf("sequence not monotonic: %d then %d", u1.Seq, u2.Seq)
+	}
+	if g.Origin() != "alpha" {
+		t.Fatalf("Origin() = %q", g.Origin())
+	}
+}
+
+func TestGeneratorConcurrentUniqueness(t *testing.T) {
+	g := NewGenerator("beta", 1)
+	const workers, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[UID]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]UID, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, g.New())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, u := range local {
+				if seen[u] {
+					t.Errorf("duplicate UID %v", u)
+				}
+				seen[u] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != workers*per {
+		t.Fatalf("expected %d unique UIDs, got %d", workers*per, len(seen))
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []UID{
+		{Origin: "node-1", Epoch: 0, Seq: 1},
+		{Origin: "a:b", Epoch: 42, Seq: 1 << 60},
+		{Origin: "x", Epoch: 4294967295, Seq: 0},
+	}
+	for _, want := range cases {
+		got, err := Parse(want.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Fatalf("round trip %v != %v", got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "noseps", "a:b", "a:xx:1", "a:1:xx", ":1:2"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	f := func(origin string, epoch uint32, seq uint64) bool {
+		if origin == "" {
+			return true // empty origin is rejected by design
+		}
+		u := UID{Origin: origin, Epoch: epoch, Seq: seq}
+		got, err := Parse(u.String())
+		return err == nil && got == u
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
