@@ -15,7 +15,7 @@
 //	recover NODE recover a node (runs the §4.1.2/§4.2 recovery protocols)
 //	sv | st      print the current Sv / St view
 //	sweep        run the use-list janitor
-//	status       print activated objects per server node
+//	status       print node liveness and incarnation numbers
 //	quit
 package main
 
@@ -25,12 +25,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/replica"
-	"repro/internal/transport"
+	"repro/pkg/arjuna"
 )
 
 func main() {
@@ -47,43 +45,34 @@ func run() error {
 	policyName := flag.String("policy", "single", "replication policy: single | active | cohort")
 	flag.Parse()
 
-	var scheme core.Scheme
-	switch *schemeName {
-	case "standard":
-		scheme = core.SchemeStandard
-	case "independent":
-		scheme = core.SchemeIndependent
-	case "nested":
-		scheme = core.SchemeNestedTopLevel
-	default:
-		return fmt.Errorf("unknown scheme %q", *schemeName)
-	}
-	var policy replica.Policy
-	switch *policyName {
-	case "single":
-		policy = replica.SingleCopyPassive
-	case "active":
-		policy = replica.Active
-	case "cohort":
-		policy = replica.CoordinatorCohort
-	default:
-		return fmt.Errorf("unknown policy %q", *policyName)
-	}
-
-	w, err := harness.New(harness.Options{Servers: *servers, Stores: *stores, Clients: 1})
+	scheme, err := arjuna.ParseScheme(*schemeName)
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
-	degree := 1
-	if policy != replica.SingleCopyPassive {
-		degree = 0 // all
+	policy, err := arjuna.ParsePolicy(*policyName)
+	if err != nil {
+		return err
 	}
-	b := w.Binder("c1", scheme, policy, degree)
-	janitor := core.NewJanitor(w.DB)
+
+	sys, err := arjuna.Open(
+		arjuna.WithServers(*servers),
+		arjuna.WithStores(*stores),
+		arjuna.WithScheme(scheme),
+		arjuna.WithPolicy(policy),
+	)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	cl, err := sys.Client("c1")
+	if err != nil {
+		return err
+	}
+	obj := sys.Objects()[0]
 
 	fmt.Printf("cluster: db + %d servers + %d stores; object %v (scheme=%v, policy=%v)\n",
-		*servers, *stores, w.Objects[0], scheme, policy)
+		*servers, *stores, obj, scheme, policy)
 	fmt.Println("type 'help' for commands")
 
 	scanner := bufio.NewScanner(os.Stdin)
@@ -106,60 +95,59 @@ func run() error {
 				fmt.Println("usage: add N")
 				continue
 			}
-			// Reuse the harness counter action with a parsed delta.
-			r := runAdd(ctx, w, b, fields[1])
-			fmt.Printf("committed=%v probes=%d excluded=%d err=%v\n", r.Committed, r.Probes, r.ExcludedStores, r.Err)
+			if _, err := strconv.Atoi(fields[1]); err != nil {
+				fmt.Printf("bad delta %q\n", fields[1])
+				continue
+			}
+			rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+				_, err := tx.Object(obj).Invoke(ctx, "add", []byte(fields[1]))
+				return err
+			})
+			fmt.Printf("committed=%v probes=%d excluded=%d err=%v\n",
+				rep.Committed, len(rep.BrokenServers), len(rep.ExcludedStores), err)
 		case "get":
-			r := w.RunReadAction(ctx, b, 0)
-			fmt.Printf("committed=%v err=%v\n", r.Committed, r.Err)
-		case "crash", "recover":
+			var val []byte
+			_, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+				var err error
+				val, err = tx.Object(obj).Read(ctx, "get", nil)
+				return err
+			})
+			fmt.Printf("committed=%v value=%s err=%v\n", err == nil, val, err)
+		case "crash":
 			if len(fields) != 2 {
-				fmt.Printf("usage: %s NODE\n", fields[0])
+				fmt.Println("usage: crash NODE")
 				continue
 			}
-			node := w.Cluster.Node(transport.Addr(fields[1]))
-			if node == nil {
-				fmt.Println("unknown node", fields[1])
+			if err := sys.Crash(fields[1]); err != nil {
+				fmt.Println(err)
 				continue
 			}
-			if fields[0] == "crash" {
-				node.Crash()
-				fmt.Println(fields[1], "crashed")
+			fmt.Println(fields[1], "crashed")
+		case "recover":
+			if len(fields) != 2 {
+				fmt.Println("usage: recover NODE")
 				continue
 			}
-			node.Recover(nil)
-			var rerr error
-			if strings.HasPrefix(fields[1], "st") {
-				rerr = core.RecoverStoreNode(ctx, node, "db", w.Objects)
-			} else if strings.HasPrefix(fields[1], "sv") {
-				rerr = core.RecoverServerNode(ctx, node, "db", w.Objects)
+			if err := sys.Recover(ctx, fields[1]); err != nil {
+				fmt.Printf("recover %s failed: %v\n", fields[1], err)
+				continue
 			}
-			fmt.Printf("%s recovered (protocol err=%v)\n", fields[1], rerr)
+			fmt.Println(fields[1], "recovered")
 		case "sv":
-			view, err := w.CurrentSvView(ctx, 0)
+			view, err := sys.ServerView(ctx, obj)
 			fmt.Printf("Sv = %v (err=%v)\n", view, err)
 		case "st":
-			view, err := w.CurrentStView(ctx, 0)
+			view, err := sys.StoreView(ctx, obj)
 			fmt.Printf("St = %v (err=%v)\n", view, err)
 		case "sweep":
-			rep := janitor.Sweep(ctx)
+			rep := sys.Sweep(ctx)
 			fmt.Printf("dead=%v abortedActions=%d clearedCounters=%d\n", rep.DeadClients, rep.AbortedActions, rep.ClearedCounters)
 		case "status":
-			for i := 0; i < *servers; i++ {
-				name := transport.Addr(fmt.Sprintf("sv%d", i+1))
-				n := w.Cluster.Node(name)
-				fmt.Printf("%s up=%v epoch=%d\n", name, n.Up(), n.Epoch())
+			for _, ns := range sys.Status() {
+				fmt.Printf("%s kind=%s up=%v epoch=%d\n", ns.Name, ns.Kind, ns.Up, ns.Epoch)
 			}
 		default:
 			fmt.Println("unknown command; try 'help'")
 		}
 	}
-}
-
-func runAdd(ctx context.Context, w *harness.World, b *core.Binder, deltaStr string) harness.ActionResult {
-	var delta int
-	if _, err := fmt.Sscanf(deltaStr, "%d", &delta); err != nil {
-		return harness.ActionResult{Err: fmt.Errorf("bad delta %q", deltaStr)}
-	}
-	return w.RunCounterAction(ctx, b, 0, delta)
 }

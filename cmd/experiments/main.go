@@ -30,6 +30,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "reduced trial counts (CI-sized run)")
 	only := fs.String("only", "", "comma-separated experiment ids to run (e.g. E1,E9); empty = all")
 	seed := fs.Int64("seed", 42, "PRNG seed for crash sampling")
+	list := fs.Bool("list", false, "print the experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,6 +123,17 @@ func run(args []string) error {
 		{"A2", func() (*experiments.Table, error) {
 			return experiments.RunMulticastCost([]int{2, 3, 5, 8}, 50, latency)
 		}},
+	}
+
+	if *list {
+		for _, j := range jobs {
+			fmt.Println(j.id)
+			if j.id == "E7" {
+				// E8 is selectable (-only E8) but runs inside the E6 table.
+				fmt.Println("E8")
+			}
+		}
+		return nil
 	}
 
 	// E8 (nested top-level) is covered inside the E6 table's three rows;

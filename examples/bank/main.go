@@ -16,23 +16,20 @@ import (
 	"log"
 	"strconv"
 
-	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/object"
-	"repro/internal/replica"
 	"repro/internal/uid"
+	"repro/pkg/arjuna"
 )
 
 // accountClass is a persistent bank account holding a decimal balance.
-func accountClass() *object.Class {
+func accountClass() *arjuna.Class {
 	parse := func(state []byte) int64 {
 		n, _ := strconv.ParseInt(string(state), 10, 64)
 		return n
 	}
-	return &object.Class{
+	return &arjuna.Class{
 		Name: "account",
 		Init: func() []byte { return []byte("0") },
-		Methods: map[string]object.Method{
+		Methods: map[string]arjuna.Method{
 			"deposit": func(state, args []byte) ([]byte, []byte, error) {
 				amount, err := strconv.ParseInt(string(args), 10, 64)
 				if err != nil || amount < 0 {
@@ -65,70 +62,54 @@ func main() {
 	log.SetFlags(0)
 	ctx := context.Background()
 
-	reg := object.NewRegistry()
-	reg.Register(accountClass())
-	w, err := harness.New(harness.Options{
-		Servers: 2, Stores: 2, Clients: 1, Registry: reg,
-	})
+	sys, err := arjuna.Open(
+		arjuna.WithServers(2),
+		arjuna.WithStores(2),
+		arjuna.WithClass(accountClass()),
+		arjuna.WithScheme(arjuna.SchemeIndependent),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Create two accounts with initial balances.
+	alice, err := sys.CreateObject(ctx, "account", []byte("1000"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := sys.CreateObject(ctx, "account", []byte("500"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("created accounts alice (1000) and bob (500); invariant: total = 1500")
+
+	cl, err := sys.Client("c1")
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Create two accounts with initial balances.
-	dbCli := core.Client{RPC: w.Cluster.Node("c1").Client(), DB: "db"}
-	gen := uid.NewGenerator("bank", 1)
-	alice, bob := gen.New(), gen.New()
-	for _, acc := range []struct {
-		id      uid.UID
-		initial string
-	}{{alice, "1000"}, {bob, "500"}} {
-		if err := core.CreateObject(ctx, dbCli, w.Mgrs["c1"], acc.id, "account", []byte(acc.initial), w.Svs, w.Sts); err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Println("created accounts alice (1000) and bob (500); invariant: total = 1500")
-
-	b := w.Binder("c1", core.SchemeIndependent, replica.SingleCopyPassive, 1)
-
+	// A transfer binds both accounts in ONE atomic action: either both
+	// the withdraw and the deposit commit, or neither does.
 	transfer := func(from, to uid.UID, amount int64) error {
-		act := b.Actions.BeginTop()
-		bdFrom, err := b.Bind(ctx, act, from)
-		if err != nil {
-			_ = act.Abort(ctx)
-			return err
-		}
-		bdTo, err := b.Bind(ctx, act, to)
-		if err != nil {
-			_ = act.Abort(ctx)
-			return err
-		}
 		amt := []byte(strconv.FormatInt(amount, 10))
-		if _, err := bdFrom.Invoke(ctx, "withdraw", amt); err != nil {
-			_ = act.Abort(ctx)
+		_, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+			if _, err := tx.Object(from).Invoke(ctx, "withdraw", amt); err != nil {
+				return err
+			}
+			_, err := tx.Object(to).Invoke(ctx, "deposit", amt)
 			return err
-		}
-		if _, err := bdTo.Invoke(ctx, "deposit", amt); err != nil {
-			_ = act.Abort(ctx)
-			return err
-		}
-		_, err = act.Commit(ctx)
+		})
 		return err
 	}
 
 	balanceAt := func(id uid.UID) int64 {
-		// Read straight from a store replica (committed state).
-		for _, st := range w.Sts {
-			n := w.Cluster.Node(st)
-			if !n.Up() {
-				continue
-			}
-			if v, err := n.Store().Read(id); err == nil {
-				n, _ := strconv.ParseInt(string(v.Data), 10, 64)
-				return n
-			}
+		data, _, err := sys.CommittedState(id)
+		if err != nil {
+			log.Fatal(err)
 		}
-		log.Fatal("no store holds the account")
-		return 0
+		n, _ := strconv.ParseInt(string(data), 10, 64)
+		return n
 	}
 	audit := func(when string) {
 		a, bb := balanceAt(alice), balanceAt(bob)
@@ -146,13 +127,13 @@ func main() {
 
 	// Insufficient funds aborts the whole action — no partial debit.
 	if err := transfer(bob, alice, 10_000); err != nil {
-		fmt.Println("transfer bob->alice 10000 aborted:", errors.Unwrap(err) != nil || true)
+		fmt.Println("transfer bob->alice 10000 aborted:", errors.Is(err, arjuna.ErrAborted))
 	}
 	audit("after aborted transfer:")
 
 	// A store crashes: transfers keep committing on the surviving store,
 	// the dead one is excluded from St.
-	w.Cluster.Node("st2").Crash()
+	_ = sys.Crash("st2")
 	if err := transfer(bob, alice, 300); err != nil {
 		log.Fatal(err)
 	}
@@ -160,7 +141,7 @@ func main() {
 
 	// A server crashes mid-fleet: the enhanced scheme repairs Sv and the
 	// next transfer proceeds on the other server.
-	w.Cluster.Node("sv1").Crash()
+	_ = sys.Crash("sv1")
 	if err := transfer(alice, bob, 50); err != nil {
 		log.Fatal(err)
 	}

@@ -15,11 +15,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/object"
-	"repro/internal/replica"
-	"repro/internal/uid"
+	"repro/pkg/arjuna"
 )
 
 // dirState is the directory's persistent state.
@@ -48,11 +44,11 @@ func decodeState(data []byte) dirState {
 
 // directoryClass maps names to values; "put k=v", "del k", "get k",
 // "list".
-func directoryClass() *object.Class {
-	return &object.Class{
+func directoryClass() *arjuna.Class {
+	return &arjuna.Class{
 		Name: "directory",
 		Init: func() []byte { return encodeState(dirState{Entries: map[string]string{}}) },
-		Methods: map[string]object.Method{
+		Methods: map[string]arjuna.Method{
 			"put": func(state, args []byte) ([]byte, []byte, error) {
 				kv := strings.SplitN(string(args), "=", 2)
 				if len(kv) != 2 {
@@ -97,37 +93,38 @@ func main() {
 	log.SetFlags(0)
 	ctx := context.Background()
 
-	reg := object.NewRegistry()
-	reg.Register(directoryClass())
-	w, err := harness.New(harness.Options{Servers: 3, Stores: 2, Clients: 1, Registry: reg})
+	// Active replication across all three servers: every put is delivered
+	// to the replicas in total order.
+	sys, err := arjuna.Open(
+		arjuna.WithServers(3),
+		arjuna.WithStores(2),
+		arjuna.WithClass(directoryClass()),
+		arjuna.WithScheme(arjuna.SchemeStandard),
+		arjuna.WithPolicy(arjuna.Active),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dbCli := core.Client{RPC: w.Cluster.Node("c1").Client(), DB: "db"}
-	dirID := uid.NewGenerator("dir", 1).New()
-	if err := core.CreateObject(ctx, dbCli, w.Mgrs["c1"], dirID, "directory",
-		encodeState(dirState{Entries: map[string]string{}}), w.Svs, w.Sts); err != nil {
+	defer sys.Close()
+	dirID, err := sys.CreateObject(ctx, "directory", encodeState(dirState{Entries: map[string]string{}}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := sys.Client("c1")
+	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Active replication across all three servers: every put is delivered
-	// to the replicas in total order.
-	b := w.Binder("c1", core.SchemeStandard, replica.Active, 0)
-
 	do := func(method, args string) string {
-		act := b.Actions.BeginTop()
-		bd, err := b.Bind(ctx, act, dirID)
+		var out []byte
+		_, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+			var err error
+			out, err = tx.Object(dirID).Invoke(ctx, method, []byte(args))
+			return err
+		})
 		if err != nil {
-			log.Fatal(err)
-		}
-		out, err := bd.Invoke(ctx, method, []byte(args))
-		if err != nil {
-			_ = act.Abort(ctx)
 			fmt.Printf("  %s %q -> aborted: %v\n", method, args, err)
 			return ""
-		}
-		if _, err := act.Commit(ctx); err != nil {
-			log.Fatal(err)
 		}
 		return string(out)
 	}
@@ -139,7 +136,7 @@ func main() {
 	fmt.Println(do("list", ""))
 
 	fmt.Println("crashing replica sv2 mid-workload (masked by active replication)...")
-	w.Cluster.Node("sv2").Crash()
+	_ = sys.Crash("sv2")
 	do("put", "gamma=10.0.0.3")
 	do("del", "beta")
 	fmt.Println(do("list", ""))

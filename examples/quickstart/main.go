@@ -1,6 +1,7 @@
-// Quickstart: create a replicated persistent object, bind to it through
-// the naming and binding service, run atomic actions against it, and watch
-// the St view shrink when a store node crashes at commit time.
+// Quickstart: create a replicated persistent object, run closure-style
+// atomic actions against it through the public pkg/arjuna API, and watch
+// the St view shrink when a store node crashes at commit time — then grow
+// back when the node recovers.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -10,9 +11,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/harness"
-	"repro/internal/replica"
+	"repro/pkg/arjuna"
 )
 
 func main() {
@@ -22,52 +21,58 @@ func main() {
 	// A small distributed system: 1 naming/binding node, 2 server nodes,
 	// 3 store nodes, 1 client — and one persistent counter object whose
 	// state is replicated on all three stores.
-	w, err := harness.New(harness.Options{Servers: 2, Stores: 3, Clients: 1})
+	sys, err := arjuna.Open(arjuna.WithServers(2), arjuna.WithStores(3))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("object:", w.Objects[0])
-	sv, _ := w.CurrentSvView(ctx, 0)
-	st, _ := w.CurrentStView(ctx, 0)
+	defer sys.Close()
+	obj := sys.Objects()[0]
+	fmt.Println("object:", obj)
+	sv, _ := sys.ServerView(ctx, obj)
+	st, _ := sys.StoreView(ctx, obj)
 	fmt.Printf("Sv = %v\nSt = %v\n\n", sv, st)
 
-	// Bind inside an atomic action and increment the counter.
-	b := w.Binder("c1", core.SchemeStandard, replica.SingleCopyPassive, 1)
-	act := b.Actions.BeginTop()
-	bd, err := b.Bind(ctx, act, w.Objects[0])
+	cl, err := sys.Client("c1")
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := bd.Invoke(ctx, "add", []byte("41"))
+
+	// The whole begin → bind → invoke → commit lifecycle is one closure.
+	_, err = cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		res, err := tx.Object(obj).Invoke(ctx, "add", []byte("41"))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("within action %s: counter = %s\n", tx.ID(), res)
+		return nil
+	})
 	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("within action %s: counter = %s\n", act.ID(), res)
-	if _, err := act.Commit(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("action committed; state checkpointed to all 3 stores")
-	for _, stn := range w.Sts {
-		v, _ := w.Cluster.Node(stn).Store().Read(w.Objects[0])
-		fmt.Printf("  %s: value=%s seq=%d\n", stn, v.Data, v.Seq)
+	for _, stn := range sys.Stores() {
+		data, seq, _ := sys.StoreState(string(stn), obj)
+		fmt.Printf("  %s: value=%s seq=%d\n", stn, data, seq)
 	}
 
 	// Crash one store; the next commit excludes it from St (§4.2).
 	fmt.Println("\ncrashing st3 ...")
-	w.Cluster.Node("st3").Crash()
-	r := w.RunCounterAction(ctx, b, 0, 1)
-	fmt.Printf("next action committed=%v, excluded stores=%d\n", r.Committed, r.ExcludedStores)
-	st, _ = w.CurrentStView(ctx, 0)
+	_ = sys.Crash("st3")
+	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("1"))
+		return err
+	})
+	fmt.Printf("next action committed=%v, excluded stores=%v\n", err == nil, rep.ExcludedStores)
+	st, _ = sys.StoreView(ctx, obj)
 	fmt.Println("St is now:", st)
 
 	// Recover it: catch up under an action, then Include (§4.2).
 	fmt.Println("\nrecovering st3 ...")
-	w.Cluster.Node("st3").Recover(nil)
-	if err := core.RecoverStoreNode(ctx, w.Cluster.Node("st3"), "db", w.Objects); err != nil {
+	if err := sys.Recover(ctx, "st3"); err != nil {
 		log.Fatal(err)
 	}
-	st, _ = w.CurrentStView(ctx, 0)
+	st, _ = sys.StoreView(ctx, obj)
 	fmt.Println("St after recovery:", st)
-	v, _ := w.Cluster.Node("st3").Store().Read(w.Objects[0])
-	fmt.Printf("st3 caught up: value=%s seq=%d\n", v.Data, v.Seq)
+	data, seq, _ := sys.StoreState("st3", obj)
+	fmt.Printf("st3 caught up: value=%s seq=%d\n", data, seq)
 }

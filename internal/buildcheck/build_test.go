@@ -1,0 +1,37 @@
+// Package buildcheck compile-guards every runnable package in the module:
+// examples and commands have no test files of their own, so without this
+// check API drift in pkg/arjuna would break `go run ./examples/...` for
+// users while CI stayed green.
+package buildcheck
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// moduleRoot locates the repository root relative to this file.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("runtime.Caller failed")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+func TestAllPackagesBuild(t *testing.T) {
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	root := moduleRoot(t)
+	for _, pattern := range []string{"./examples/...", "./cmd/..."} {
+		cmd := exec.Command(gobin, "build", pattern)
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Errorf("go build %s: %v\n%s", pattern, err, out)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 
 	"repro/internal/action"
 	"repro/internal/replica"
@@ -35,6 +36,22 @@ const (
 	// the client action.
 	SchemeNestedTopLevel
 )
+
+// ParseScheme maps a flag/config spelling to a Scheme. Both the short
+// spellings used by command-line flags ("standard", "independent",
+// "nested") and the full String() forms are accepted.
+func ParseScheme(s string) (Scheme, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "standard":
+		return SchemeStandard, nil
+	case "independent", "independent-top-level":
+		return SchemeIndependent, nil
+	case "nested", "nested-top-level":
+		return SchemeNestedTopLevel, nil
+	default:
+		return 0, fmt.Errorf("core: unknown scheme %q (want standard | independent | nested)", s)
+	}
+}
 
 // String implements fmt.Stringer.
 func (s Scheme) String() string {

@@ -33,7 +33,7 @@ func TestLostPrepareReplyAbortsCleanly(t *testing.T) {
 	// The reply to the server's store-prepare at st1 is lost. The server
 	// reports st1 as failed; st2 succeeds; commit proceeds with st1
 	// excluded — OR the whole action aborts. Either way no inconsistency.
-	w.cluster.Net().Faults().DropReplies(1, func(req transport.Request) bool {
+	w.cluster.Faults().DropReplies(1, func(req transport.Request) bool {
 		return req.To == "st1" && req.Service == store.ServiceName && req.Method == store.MethodPrepare
 	})
 	_, commitErr := act.Commit(ctx)
@@ -71,7 +71,7 @@ func TestLostInvokeRequestIsSafe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w.cluster.Net().Faults().DropRequests(1, transport.ToService("sv1", "objsrv"))
+	w.cluster.Faults().DropRequests(1, transport.ToService("sv1", "objsrv"))
 	if _, err := bd.Invoke(ctx, "add", []byte("1")); err == nil {
 		t.Fatal("expected invoke failure")
 	}
@@ -90,7 +90,7 @@ func TestDBPartitionDuringBind(t *testing.T) {
 	w := newWorld(t, 1, 1, 1)
 	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
 	defer cancel()
-	w.cluster.Net().Faults().Partition("c1", "db")
+	w.cluster.Faults().Partition("c1", "db")
 	b := w.binder("c1", SchemeStandard, replica.SingleCopyPassive, 0)
 	act := b.Actions.BeginTop()
 	_, err := b.Bind(ctx, act, w.id)
@@ -99,7 +99,7 @@ func TestDBPartitionDuringBind(t *testing.T) {
 	}
 	_ = act.Abort(context.Background())
 	// Heal and verify normal operation resumes.
-	w.cluster.Net().Faults().Heal("c1", "db")
+	w.cluster.Faults().Heal("c1", "db")
 	if _, err := w.runAction(b, 1); err != nil {
 		t.Fatalf("after heal: %v", err)
 	}

@@ -57,6 +57,10 @@ type Options struct {
 	Objects int
 	// Net configures the in-memory network (latency, jitter, seed).
 	Net transport.MemOptions
+	// Network, when non-nil, overrides Net with an explicit transport —
+	// e.g. transport.NewTCP() for a real-socket deployment. Fault
+	// injection is only available on the default in-memory network.
+	Network transport.Network
 	// Registry overrides the class registry (default: counter only).
 	Registry *object.Registry
 }
@@ -88,8 +92,12 @@ func New(opts Options) (*World, error) {
 		reg = object.NewRegistry()
 		reg.Register(CounterClass())
 	}
+	net := opts.Network
+	if net == nil {
+		net = transport.NewMem(opts.Net, nil)
+	}
 	w := &World{
-		Cluster: sim.NewCluster(opts.Net),
+		Cluster: sim.NewClusterOn(net),
 		Mgrs:    make(map[transport.Addr]*action.Manager),
 		Metrics: &metrics.Registry{},
 	}

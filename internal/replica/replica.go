@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/action"
@@ -47,6 +48,22 @@ const (
 	Active
 	CoordinatorCohort
 )
+
+// ParsePolicy maps a flag/config spelling to a Policy. Both the short
+// spellings used by command-line flags ("single", "active", "cohort") and
+// the full String() forms are accepted.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "single", "single-copy-passive", "passive":
+		return SingleCopyPassive, nil
+	case "active":
+		return Active, nil
+	case "cohort", "coordinator-cohort":
+		return CoordinatorCohort, nil
+	default:
+		return 0, fmt.Errorf("replica: unknown policy %q (want single | active | cohort)", s)
+	}
+}
 
 // String implements fmt.Stringer.
 func (p Policy) String() string {

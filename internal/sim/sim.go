@@ -148,9 +148,11 @@ func (n *Node) Recover(log store.OutcomeLog) {
 	}
 }
 
-// Cluster is a set of nodes on one simulated network.
+// Cluster is a set of nodes on one network. The network is usually the
+// in-memory simulator (NewCluster), but any transport.Network works
+// (NewClusterOn) — the protocol stack above is transport-agnostic.
 type Cluster struct {
-	net *transport.Mem
+	net transport.Network
 
 	mu    sync.Mutex
 	nodes map[transport.Addr]*Node
@@ -158,17 +160,31 @@ type Cluster struct {
 
 // NewCluster returns an empty cluster over a fresh in-memory network.
 func NewCluster(opts transport.MemOptions) *Cluster {
+	return NewClusterOn(transport.NewMem(opts, nil))
+}
+
+// NewClusterOn returns an empty cluster over the given network — e.g. a
+// transport.TCP for real-socket deployments. Fault injection (Faults) is
+// only available on the in-memory network.
+func NewClusterOn(net transport.Network) *Cluster {
 	return &Cluster{
-		net:   transport.NewMem(opts, nil),
+		net:   net,
 		nodes: make(map[transport.Addr]*Node),
 	}
 }
 
 // Net returns the underlying network.
-func (c *Cluster) Net() *transport.Mem { return c.net }
+func (c *Cluster) Net() transport.Network { return c.net }
 
-// Faults returns the network's fault plan.
-func (c *Cluster) Faults() *transport.Faults { return c.net.Faults() }
+// Faults returns the network's fault plan, or nil when the underlying
+// network is not the in-memory simulator (faults cannot be injected into
+// a real transport).
+func (c *Cluster) Faults() *transport.Faults {
+	if m, ok := c.net.(*transport.Mem); ok {
+		return m.Faults()
+	}
+	return nil
+}
 
 // Add creates a functioning node with the given name. Adding a duplicate
 // name panics: cluster composition is test/experiment setup code where a

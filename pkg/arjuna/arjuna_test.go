@@ -1,0 +1,389 @@
+package arjuna_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/lockmgr"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/uid"
+	"repro/pkg/arjuna"
+)
+
+func openT(t *testing.T, opts ...arjuna.Option) *arjuna.System {
+	t.Helper()
+	sys, err := arjuna.Open(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	return sys
+}
+
+func clientT(t *testing.T, sys *arjuna.System, name string, opts ...arjuna.ClientOption) *arjuna.Client {
+	t.Helper()
+	cl, err := sys.Client(name, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func counterValue(t *testing.T, sys *arjuna.System, id uid.UID) string {
+	t.Helper()
+	data, _, err := sys.CommittedState(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestAtomicCommitsOnNilError(t *testing.T) {
+	sys := openT(t)
+	cl := clientT(t, sys, "c1")
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		out, err := tx.Object(obj).Invoke(ctx, "add", []byte("41"))
+		if err != nil {
+			return err
+		}
+		if string(out) != "41" {
+			return fmt.Errorf("unexpected result %q", out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+	if !rep.Committed || rep.Attempts != 1 {
+		t.Fatalf("report = %+v, want committed on first attempt", rep)
+	}
+	if got := counterValue(t, sys, obj); got != "41" {
+		t.Fatalf("committed state = %q, want 41", got)
+	}
+}
+
+func TestAtomicAbortsOnError(t *testing.T) {
+	sys := openT(t)
+	cl := clientT(t, sys, "c1")
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	errBoom := errors.New("boom")
+	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		if _, err := tx.Object(obj).Invoke(ctx, "add", []byte("5")); err != nil {
+			return err
+		}
+		return errBoom
+	})
+	if !errors.Is(err, arjuna.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want the closure's cause on the chain", err)
+	}
+	if rep.Committed {
+		t.Fatalf("report claims committed after abort: %+v", rep)
+	}
+	if got := counterValue(t, sys, obj); got != "0" {
+		t.Fatalf("state after abort = %q, want 0 (all effects undone)", got)
+	}
+}
+
+func TestAtomicRetriesThenSucceedsOnTransientLockRefusal(t *testing.T) {
+	sys := openT(t)
+	cl := clientT(t, sys, "c1", arjuna.ClientRetry(5, 0))
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	// The first two attempts fail with a real wire-level lock-refused
+	// error, as a contended group view database would produce (§4.2.1).
+	attempts := 0
+	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		attempts++
+		if attempts <= 2 {
+			return fmt.Errorf("bind: %w", rpc.Errorf(core.CodeLockRefused, "simulated contention"))
+		}
+		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("7"))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Atomic after retries: %v", err)
+	}
+	if rep.Attempts != 3 || attempts != 3 {
+		t.Fatalf("attempts = %d (report %d), want 3", attempts, rep.Attempts)
+	}
+	if got := counterValue(t, sys, obj); got != "7" {
+		t.Fatalf("committed state = %q, want 7", got)
+	}
+}
+
+func TestAtomicExhaustsRetriesOnPersistentLockRefusal(t *testing.T) {
+	sys := openT(t)
+	cl := clientT(t, sys, "c1", arjuna.ClientRetry(3, 0))
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	attempts := 0
+	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		attempts++
+		_ = obj
+		return rpc.Errorf(core.CodeLockRefused, "still contended")
+	})
+	if !errors.Is(err, arjuna.ErrLockRefused) || !errors.Is(err, arjuna.ErrAborted) {
+		t.Fatalf("err = %v, want ErrLockRefused and ErrAborted", err)
+	}
+	if attempts != 3 || rep.Attempts != 3 {
+		t.Fatalf("attempts = %d (report %d), want all 3 retries consumed", attempts, rep.Attempts)
+	}
+}
+
+func TestAtomicUnknownObject(t *testing.T) {
+	sys := openT(t)
+	cl := clientT(t, sys, "c1")
+	ctx := context.Background()
+
+	ghost := uid.NewGenerator("ghost", 1).New()
+	_, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(ghost).Invoke(ctx, "add", []byte("1"))
+		return err
+	})
+	if !errors.Is(err, arjuna.ErrUnknownObject) {
+		t.Fatalf("err = %v, want ErrUnknownObject", err)
+	}
+	if !errors.Is(err, arjuna.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted too", err)
+	}
+}
+
+func TestAtomicNoServers(t *testing.T) {
+	sys := openT(t)
+	cl := clientT(t, sys, "c1")
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	for _, sv := range sys.Servers() {
+		if err := sys.Crash(string(sv)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("1"))
+		return err
+	})
+	if !errors.Is(err, arjuna.ErrNoServers) {
+		t.Fatalf("err = %v, want ErrNoServers", err)
+	}
+}
+
+func TestAtomicUnknownMethod(t *testing.T) {
+	sys := openT(t)
+	cl := clientT(t, sys, "c1")
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	_, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "frobnicate", nil)
+		return err
+	})
+	if !errors.Is(err, arjuna.ErrUnknownMethod) {
+		t.Fatalf("err = %v, want ErrUnknownMethod", err)
+	}
+}
+
+// TestErrorsIsMatchesSentinels feeds MapError the real error shapes the
+// protocol stack produces — wire-level *rpc.AppError codes and the
+// internal sentinel errors — and checks each maps to its public sentinel
+// while keeping the cause reachable via errors.As.
+func TestErrorsIsMatchesSentinels(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"db lock refused", rpc.Errorf(core.CodeLockRefused, "x"), arjuna.ErrLockRefused},
+		{"server lock refused", rpc.Errorf(rpc.CodeRefused, "x"), arjuna.ErrLockRefused},
+		{"lockmgr refused", fmt.Errorf("acquire: %w", lockmgr.ErrRefused), arjuna.ErrLockRefused},
+		{"unknown object", rpc.Errorf(core.CodeUnknownObject, "x"), arjuna.ErrUnknownObject},
+		{"not found", rpc.Errorf(rpc.CodeNotFound, "x"), arjuna.ErrUnknownObject},
+		{"not quiescent", rpc.Errorf(core.CodeNotQuiescent, "x"), arjuna.ErrNotQuiescent},
+		{"no such method", rpc.Errorf(rpc.CodeNoSuchMethod, "x"), arjuna.ErrUnknownMethod},
+		{"no servers", fmt.Errorf("activate: %w", replica.ErrNoServers), arjuna.ErrNoServers},
+		{"unreachable", fmt.Errorf("call: %w", transport.ErrUnreachable), arjuna.ErrUnreachable},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Wrapped once more, as binder/replica layers do with %w.
+			mapped := arjuna.MapError(fmt.Errorf("core: op(x): %w", tc.err))
+			if !errors.Is(mapped, tc.want) {
+				t.Fatalf("MapError(%v) = %v, does not match %v", tc.err, mapped, tc.want)
+			}
+			var ae *rpc.AppError
+			if errors.As(tc.err, &ae) {
+				var got *rpc.AppError
+				if !errors.As(mapped, &got) || got.Code != ae.Code {
+					t.Fatalf("MapError(%v) lost the underlying *rpc.AppError", tc.err)
+				}
+			}
+		})
+	}
+	if got := arjuna.MapError(nil); got != nil {
+		t.Fatalf("MapError(nil) = %v", got)
+	}
+	plain := errors.New("unclassified")
+	if got := arjuna.MapError(plain); got != plain {
+		t.Fatalf("MapError(unclassified) = %v, want unchanged", got)
+	}
+}
+
+func TestCrashExcludeRecoverStore(t *testing.T) {
+	sys := openT(t, arjuna.WithStores(3))
+	cl := clientT(t, sys, "c1")
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	if err := sys.Crash("st3"); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("1"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ExcludedStores) != 1 || rep.ExcludedStores[0] != "st3" {
+		t.Fatalf("excluded = %v, want [st3]", rep.ExcludedStores)
+	}
+	st, err := sys.StoreView(ctx, obj)
+	if err != nil || len(st) != 2 {
+		t.Fatalf("St after exclude = %v (%v), want 2 nodes", st, err)
+	}
+
+	if err := sys.Recover(ctx, "st3"); err != nil {
+		t.Fatal(err)
+	}
+	st, err = sys.StoreView(ctx, obj)
+	if err != nil || len(st) != 3 {
+		t.Fatalf("St after recovery = %v (%v), want 3 nodes", st, err)
+	}
+	data, seq, err := sys.StoreState("st3", obj)
+	if err != nil || string(data) != "1" || seq != 2 {
+		t.Fatalf("st3 state = %q seq=%d (%v), want caught-up copy", data, seq, err)
+	}
+}
+
+func TestReadOnlyClient(t *testing.T) {
+	sys := openT(t)
+	rw := clientT(t, sys, "c1")
+	ro := clientT(t, sys, "c1", arjuna.ClientReadOnly())
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	if _, err := rw.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("9"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	if _, err := ro.Atomic(ctx, func(tx *arjuna.Txn) error {
+		var err error
+		got, err = tx.Object(obj).Read(ctx, "get", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "9" {
+		t.Fatalf("read = %q, want 9", got)
+	}
+}
+
+func TestClientUnknownNode(t *testing.T) {
+	sys := openT(t)
+	if _, err := sys.Client("c99"); !errors.Is(err, arjuna.ErrUnknownNode) {
+		t.Fatalf("Client(c99) err = %v, want ErrUnknownNode", err)
+	}
+	if err := sys.Crash("nope"); !errors.Is(err, arjuna.ErrUnknownNode) {
+		t.Fatalf("Crash(nope) err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestMultiObjectAtomicity(t *testing.T) {
+	sys := openT(t, arjuna.WithObjects(2))
+	cl := clientT(t, sys, "c1")
+	objs := sys.Objects()
+	ctx := context.Background()
+
+	// Update both objects; fail after the second update: neither commits.
+	errBoom := errors.New("boom")
+	_, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		if _, err := tx.Object(objs[0]).Invoke(ctx, "add", []byte("1")); err != nil {
+			return err
+		}
+		if _, err := tx.Object(objs[1]).Invoke(ctx, "add", []byte("2")); err != nil {
+			return err
+		}
+		return errBoom
+	})
+	if !errors.Is(err, arjuna.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	for i, id := range objs {
+		if got := counterValue(t, sys, id); got != "0" {
+			t.Fatalf("object %d = %q after multi-object abort, want 0", i, got)
+		}
+	}
+
+	// And the committing variant updates both.
+	if _, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		if _, err := tx.Object(objs[0]).Invoke(ctx, "add", []byte("1")); err != nil {
+			return err
+		}
+		_, err := tx.Object(objs[1]).Invoke(ctx, "add", []byte("2"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := counterValue(t, sys, objs[0]), counterValue(t, sys, objs[1]); a != "1" || b != "2" {
+		t.Fatalf("committed states = %q,%q, want 1,2", a, b)
+	}
+}
+
+func TestOpenOverTCP(t *testing.T) {
+	sys := openT(t, arjuna.WithTCP())
+	cl := clientT(t, sys, "c1")
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("13"))
+		return err
+	})
+	if err != nil || !rep.Committed {
+		t.Fatalf("Atomic over TCP: %v (%+v)", err, rep)
+	}
+	if got := counterValue(t, sys, obj); got != "13" {
+		t.Fatalf("committed state over TCP = %q, want 13", got)
+	}
+
+	// The typed error taxonomy survives the real wire: app error codes
+	// travel in the rpc envelope, not as in-memory Go values.
+	_, err = cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "frobnicate", nil)
+		return err
+	})
+	if !errors.Is(err, arjuna.ErrUnknownMethod) {
+		t.Fatalf("err over TCP = %v, want ErrUnknownMethod", err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

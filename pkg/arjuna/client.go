@@ -1,0 +1,222 @@
+package arjuna
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/action"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// Default Atomic retry bounds for transient lock refusals; override per
+// client with ClientRetry.
+const (
+	defaultRetries = 3
+	defaultBackoff = 2 * time.Millisecond
+)
+
+// Client runs atomic actions from one client node. Obtain with
+// System.Client; a Client is safe for sequential use (one Atomic at a
+// time — run concurrent workloads from separate Clients).
+type Client struct {
+	sys    *System
+	name   transport.Addr
+	binder *core.Binder
+	cfg    clientConfig
+}
+
+// Name returns the client's node address.
+func (c *Client) Name() transport.Addr { return c.name }
+
+// CommitReport describes the aftermath of one Atomic call: whether it
+// committed, how many attempts it took, and the failure anatomy the
+// binding and commit protocols observed along the way.
+type CommitReport struct {
+	// Committed reports whether the action's effects are permanent.
+	Committed bool
+	// Attempts is the number of times the action body ran (>1 when
+	// transient lock refusals were retried).
+	Attempts int
+	// BrokenServers lists server bindings found broken during the final
+	// attempt — the "hard way" failure-discovery cost of §4.1.
+	BrokenServers []transport.Addr
+	// ExcludedStores lists store nodes excluded from St views during
+	// commit processing of the final attempt (§4.2).
+	ExcludedStores []transport.Addr
+	// PhaseTwoErrors lists participants whose phase-two commit call
+	// failed after the commit point. The action IS committed; such
+	// participants learn the outcome from the log at recovery.
+	PhaseTwoErrors []error
+}
+
+// Txn is one running atomic action. It is handed to the closure passed to
+// Atomic and is only valid for the closure's duration.
+type Txn struct {
+	c       *Client
+	act     *action.Action
+	objects map[uid.UID]*Object
+}
+
+// ID returns the underlying action's hierarchical identifier.
+func (t *Txn) ID() string { return t.act.ID() }
+
+// Object returns a handle on the identified persistent object. The handle
+// is bound through the naming and binding service lazily, on its first
+// Invoke/Read; repeated calls return the same handle.
+func (t *Txn) Object(id uid.UID) *Object {
+	if o, ok := t.objects[id]; ok {
+		return o
+	}
+	o := &Object{t: t, id: id}
+	t.objects[id] = o
+	return o
+}
+
+// Object is a bound (or about-to-be-bound) handle on one persistent
+// replicated object within one atomic action.
+type Object struct {
+	t       *Txn
+	id      uid.UID
+	bd      *core.Binding
+	bindErr error
+}
+
+// ID returns the object's identifier.
+func (o *Object) ID() uid.UID { return o.id }
+
+func (o *Object) bind(ctx context.Context) error {
+	if o.bindErr != nil {
+		return o.bindErr
+	}
+	if o.bd != nil {
+		return nil
+	}
+	bd, err := o.t.c.binder.Bind(ctx, o.t.act, o.id)
+	if err != nil {
+		o.bindErr = MapError(err)
+		return o.bindErr
+	}
+	o.bd = bd
+	return nil
+}
+
+// Invoke calls a method on the object under the transaction's action,
+// binding first if necessary. Errors are classified against the package's
+// sentinels; returning one from the Atomic closure aborts the action.
+func (o *Object) Invoke(ctx context.Context, method string, args []byte) ([]byte, error) {
+	if err := o.bind(ctx); err != nil {
+		return nil, err
+	}
+	out, err := o.bd.Invoke(ctx, method, args)
+	if err != nil {
+		return nil, MapError(err)
+	}
+	return out, nil
+}
+
+// Read invokes a read-only method. It is Invoke under a name that states
+// intent; pair it with a ClientReadOnly client for the §4.1.2 read
+// optimisation.
+func (o *Object) Read(ctx context.Context, method string, args []byte) ([]byte, error) {
+	return o.Invoke(ctx, method, args)
+}
+
+// Atomic runs fn inside one top-level atomic action: begin, let fn bind
+// and invoke objects through the Txn, then commit — or abort, undoing all
+// effects, if fn returns an error or commit cannot prepare. Transient
+// lock refusals (ErrLockRefused, the §4.2.1 conflict) are retried with
+// bounded exponential backoff per the client's ClientRetry setting.
+//
+// The returned error is nil exactly when the action committed; otherwise
+// it carries ErrAborted plus the classified cause. The CommitReport is
+// non-nil in both cases and describes the final attempt.
+func (c *Client) Atomic(ctx context.Context, fn func(tx *Txn) error) (*CommitReport, error) {
+	backoff := c.cfg.backoff
+	var rep *CommitReport
+	var err error
+	for attempt := 1; ; attempt++ {
+		rep, err = c.runOnce(ctx, fn)
+		rep.Attempts = attempt
+		if err == nil || attempt >= c.cfg.retries || !errors.Is(err, ErrLockRefused) {
+			return rep, err
+		}
+		if backoff > 0 {
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return rep, tag(ErrAborted, ctx.Err())
+			case <-t.C:
+			}
+			backoff *= 2
+		}
+	}
+}
+
+// runOnce executes one begin → fn → commit/abort cycle.
+func (c *Client) runOnce(ctx context.Context, fn func(tx *Txn) error) (*CommitReport, error) {
+	act := c.binder.Actions.BeginTop()
+	tx := &Txn{c: c, act: act, objects: make(map[uid.UID]*Object)}
+	// Abort on every path that does not reach commit — including a panic
+	// inside fn — so no action is left running.
+	committed := false
+	defer func() {
+		if !committed && act.Status() == action.StatusRunning {
+			_ = act.Abort(context.WithoutCancel(ctx))
+		}
+	}()
+
+	if err := fn(tx); err != nil {
+		// Abort with cancellation stripped: fn may have failed BECAUSE ctx
+		// is done, and the abort's participant RPCs must still run or the
+		// action's remote locks leak for the process lifetime.
+		_ = act.Abort(context.WithoutCancel(ctx))
+		return tx.report(false), tag(ErrAborted, MapError(err))
+	}
+	acrep, err := act.Commit(ctx)
+	if err != nil {
+		// A failed prepare has already rolled the participants back.
+		return tx.report(false), tag(ErrAborted, MapError(err))
+	}
+	committed = true
+	rep := tx.report(true)
+	rep.PhaseTwoErrors = acrep.PhaseTwoErrors
+	return rep, nil
+}
+
+// report collects the failure anatomy from every bound object.
+func (t *Txn) report(committed bool) *CommitReport {
+	rep := &CommitReport{Committed: committed}
+	broken := map[transport.Addr]bool{}
+	excluded := map[transport.Addr]bool{}
+	for _, o := range t.objects {
+		if o.bd == nil {
+			continue
+		}
+		for _, sv := range o.bd.BrokenServers() {
+			broken[sv] = true
+		}
+		for _, st := range o.bd.FailedStores() {
+			excluded[st] = true
+		}
+	}
+	rep.BrokenServers = sortedAddrs(broken)
+	rep.ExcludedStores = sortedAddrs(excluded)
+	return rep
+}
+
+func sortedAddrs(set map[transport.Addr]bool) []transport.Addr {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]transport.Addr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,41 @@
+// Package arjuna is the public front door to the naming-and-binding
+// service for persistent replicated objects reproduced from Little, McCue
+// & Shrivastava, "Maintaining Information about Persistent Replicated
+// Objects in a Distributed System" (ICDCS '93).
+//
+// The package assembles a deployment — server nodes, store nodes, client
+// nodes, a group view database, and a transport (in-memory simulator or
+// real TCP sockets) — behind functional options, and exposes the paper's
+// machinery through a context-first, closure-style API:
+//
+//	sys, err := arjuna.Open(
+//		arjuna.WithServers(2),
+//		arjuna.WithStores(3),
+//	)
+//	defer sys.Close()
+//
+//	cl, err := sys.Client("c1")
+//	obj := sys.Objects()[0]
+//
+//	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+//		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("41"))
+//		return err
+//	})
+//
+// Atomic runs the whole begin → bind → invoke → commit-or-abort lifecycle
+// of one top-level atomic action: the closure's work commits if it returns
+// nil and aborts (with all effects undone) if it returns an error, and
+// transient lock refusals (§4.2.1 of the paper) are retried with bounded
+// backoff. Failure anatomy — which server bindings broke, which store
+// nodes were excluded from the St view at commit — is reported through the
+// returned CommitReport, and failures are classified by the package's
+// typed error taxonomy (ErrLockRefused, ErrUnknownObject, ErrNoServers,
+// ErrAborted, …) so callers use errors.Is / errors.As instead of string
+// matching.
+//
+// The three database access schemes of §4 (standard, independent
+// top-level, nested top-level) and the three replication policies of §2.3
+// (single-copy passive, active, coordinator-cohort) are selected per
+// system or per client via options; Crash/Recover drive the §4.1.2/§4.2
+// failure and recovery protocols for whole nodes.
+package arjuna

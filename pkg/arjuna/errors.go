@@ -1,0 +1,101 @@
+package arjuna
+
+import (
+	"errors"
+
+	"repro/internal/core"
+	"repro/internal/lockmgr"
+	"repro/internal/replica"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+)
+
+// The package's typed error taxonomy. Every error returned by System,
+// Client, Txn and Object is classified against these sentinels, so callers
+// branch with errors.Is rather than matching message strings or rpc codes:
+//
+//	_, err := cl.Atomic(ctx, body)
+//	switch {
+//	case errors.Is(err, arjuna.ErrLockRefused):   // contention — retry later
+//	case errors.Is(err, arjuna.ErrUnknownObject): // no such UID registered
+//	case errors.Is(err, arjuna.ErrNoServers):     // no functioning server
+//	}
+//
+// The underlying cause (e.g. the *rpc.AppError carrying the wire-level
+// code) stays on the chain and remains reachable via errors.As.
+var (
+	// ErrAborted reports that an atomic action ended by aborting: the
+	// closure returned an error, a bind or invoke failed, or two-phase
+	// commit could not prepare. All effects of the action were undone.
+	ErrAborted = errors.New("arjuna: action aborted")
+	// ErrLockRefused reports a refused database lock acquire or promotion
+	// (the paper's §4.2.1 conflict); the action aborted and may be retried.
+	ErrLockRefused = errors.New("arjuna: lock refused")
+	// ErrUnknownObject reports an operation on a UID the group view
+	// database has no entry for.
+	ErrUnknownObject = errors.New("arjuna: unknown object")
+	// ErrNoServers reports that no functioning server could be bound or
+	// remained bound (§3.2) — the action must abort.
+	ErrNoServers = errors.New("arjuna: no functioning servers")
+	// ErrNotQuiescent reports an Insert attempted while the object's use
+	// lists are non-empty (§4.1.3).
+	ErrNotQuiescent = errors.New("arjuna: object not quiescent")
+	// ErrUnreachable reports a node that could not be contacted at the
+	// transport level (crashed, unregistered, or partitioned).
+	ErrUnreachable = errors.New("arjuna: node unreachable")
+	// ErrUnknownMethod reports an invocation of a method the object's
+	// class does not define.
+	ErrUnknownMethod = errors.New("arjuna: unknown method")
+	// ErrUnknownNode reports a node name the deployment does not contain.
+	ErrUnknownNode = errors.New("arjuna: unknown node")
+)
+
+// taggedError glues a sentinel onto an underlying cause so that both
+// errors.Is(err, sentinel) and errors.As against the cause's chain work.
+type taggedError struct {
+	tag   error
+	cause error
+}
+
+func (e *taggedError) Error() string   { return e.tag.Error() + ": " + e.cause.Error() }
+func (e *taggedError) Unwrap() []error { return []error{e.tag, e.cause} }
+
+// tag attaches sentinel t to cause unless it is already on the chain.
+func tag(t, cause error) error {
+	if cause == nil {
+		return t
+	}
+	if errors.Is(cause, t) {
+		return cause
+	}
+	return &taggedError{tag: t, cause: cause}
+}
+
+// MapError classifies an error from the underlying protocol stack into the
+// package's taxonomy, attaching the matching sentinel while preserving the
+// original chain. Errors that already carry a sentinel, and errors that
+// match no category, are returned unchanged.
+func MapError(err error) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, replica.ErrNoServers):
+		return tag(ErrNoServers, err)
+	case errors.Is(err, transport.ErrUnreachable):
+		return tag(ErrUnreachable, err)
+	case errors.Is(err, lockmgr.ErrRefused):
+		return tag(ErrLockRefused, err)
+	}
+	switch rpc.CodeOf(err) {
+	case core.CodeLockRefused, rpc.CodeRefused:
+		return tag(ErrLockRefused, err)
+	case core.CodeUnknownObject, rpc.CodeNotFound:
+		return tag(ErrUnknownObject, err)
+	case core.CodeNotQuiescent:
+		return tag(ErrNotQuiescent, err)
+	case rpc.CodeNoSuchMethod:
+		return tag(ErrUnknownMethod, err)
+	}
+	return err
+}

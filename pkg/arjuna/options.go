@@ -1,0 +1,174 @@
+package arjuna
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/replica"
+	"repro/internal/transport"
+)
+
+// Scheme selects the database access structure of §4 — how the group view
+// database is read and repaired relative to the client action.
+type Scheme = core.Scheme
+
+// The three access schemes (Figures 6–8 of the paper).
+const (
+	SchemeStandard       = core.SchemeStandard
+	SchemeIndependent    = core.SchemeIndependent
+	SchemeNestedTopLevel = core.SchemeNestedTopLevel
+)
+
+// ParseScheme maps a flag/config spelling ("standard", "independent",
+// "nested", or a full String() form) to a Scheme.
+func ParseScheme(s string) (Scheme, error) { return core.ParseScheme(s) }
+
+// Policy selects the object replication discipline of §2.3.
+type Policy = replica.Policy
+
+// The three replication policies.
+const (
+	SingleCopyPassive = replica.SingleCopyPassive
+	Active            = replica.Active
+	CoordinatorCohort = replica.CoordinatorCohort
+)
+
+// ParsePolicy maps a flag/config spelling ("single", "active", "cohort",
+// or a full String() form) to a Policy.
+func ParsePolicy(s string) (Policy, error) { return replica.ParsePolicy(s) }
+
+// Class describes an application object type: its initial state and its
+// methods. Register classes at Open time with WithClass.
+type Class = object.Class
+
+// Method is one object method: (state, args) → (newState, result, error).
+type Method = object.Method
+
+// config is the assembled deployment description.
+type config struct {
+	servers int
+	stores  int
+	clients int
+	objects int
+
+	net     transport.MemOptions
+	network transport.Network
+
+	scheme Scheme
+	policy Policy
+	degree int // <0 = auto: 1 for single-copy passive, all otherwise
+
+	classes []*Class
+}
+
+func defaultConfig() config {
+	return config{
+		servers: 2,
+		stores:  2,
+		clients: 1,
+		objects: 1,
+		scheme:  SchemeIndependent,
+		policy:  SingleCopyPassive,
+		degree:  -1,
+	}
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithServers sets the number of object-server nodes (sv1..svN).
+func WithServers(n int) Option { return func(c *config) { c.servers = n } }
+
+// WithStores sets the number of object-store nodes (st1..stN).
+func WithStores(n int) Option { return func(c *config) { c.stores = n } }
+
+// WithClients sets the number of client nodes (c1..cN).
+func WithClients(n int) Option { return func(c *config) { c.clients = n } }
+
+// WithObjects sets how many pre-created counter objects the deployment
+// starts with (each replicated across all servers and stores). Further
+// objects of any registered class are created with System.CreateObject.
+func WithObjects(n int) Option { return func(c *config) { c.objects = n } }
+
+// WithScheme sets the deployment's default database access scheme;
+// individual clients may override it with ClientScheme.
+func WithScheme(s Scheme) Option { return func(c *config) { c.scheme = s } }
+
+// WithPolicy sets the deployment's default replication policy; individual
+// clients may override it with ClientPolicy.
+func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p } }
+
+// WithDegree sets the default desired number of activated replicas per
+// binding (|Sv'| of §3.2); 0 means all servers in the view. The default
+// is 1 under single-copy passive replication and all otherwise.
+func WithDegree(d int) Option { return func(c *config) { c.degree = d } }
+
+// WithClass registers an application object class in addition to the
+// built-in "counter" class.
+func WithClass(cl *Class) Option {
+	return func(c *config) { c.classes = append(c.classes, cl) }
+}
+
+// WithMemNetwork tunes the default in-memory network (latency, jitter,
+// seed). Ignored when WithNetwork/WithTCP selects another transport.
+func WithMemNetwork(opts transport.MemOptions) Option {
+	return func(c *config) { c.net = opts }
+}
+
+// WithNetwork runs the deployment over an explicit transport instead of
+// the in-memory simulator. Fault injection (System.Faults) is only
+// available on the in-memory network.
+func WithNetwork(net transport.Network) Option {
+	return func(c *config) { c.network = net }
+}
+
+// WithTCP runs the deployment over real loopback TCP sockets,
+// demonstrating that the whole protocol stack is transport-agnostic.
+func WithTCP() Option {
+	return func(c *config) { c.network = transport.NewTCP() }
+}
+
+// clientConfig describes one Client's binding behaviour.
+type clientConfig struct {
+	scheme   Scheme
+	policy   Policy
+	degree   int
+	readOnly bool
+	retries  int
+	backoff  time.Duration
+}
+
+// ClientOption configures System.Client.
+type ClientOption func(*clientConfig)
+
+// ClientScheme overrides the deployment's default access scheme for this
+// client.
+func ClientScheme(s Scheme) ClientOption { return func(c *clientConfig) { c.scheme = s } }
+
+// ClientPolicy overrides the deployment's default replication policy for
+// this client.
+func ClientPolicy(p Policy) ClientOption { return func(c *clientConfig) { c.policy = p } }
+
+// ClientDegree overrides the deployment's default replication degree for
+// this client (0 = all servers in the view).
+func ClientDegree(d int) ClientOption { return func(c *clientConfig) { c.degree = d } }
+
+// ClientReadOnly applies the §4.1.2 read optimisation: the client binds to
+// any one convenient server and never touches use lists. Only read-only
+// methods should be invoked through such a client.
+func ClientReadOnly() ClientOption { return func(c *clientConfig) { c.readOnly = true } }
+
+// ClientRetry bounds Atomic's retry loop for transient lock refusals:
+// at most attempts tries in total, sleeping backoff (doubling each time)
+// between them. attempts < 1 is treated as 1; a zero backoff retries
+// immediately.
+func ClientRetry(attempts int, backoff time.Duration) ClientOption {
+	return func(c *clientConfig) {
+		if attempts < 1 {
+			attempts = 1
+		}
+		c.retries = attempts
+		c.backoff = backoff
+	}
+}

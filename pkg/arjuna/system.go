@@ -1,0 +1,331 @@
+package arjuna
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"strings"
+	"sync"
+
+	"repro/internal/action"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/object"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// System is one assembled deployment: a group view database node, server
+// nodes, store nodes, and client nodes on a common transport. It is the
+// only constructor of the underlying harness/binder machinery — all
+// application code goes through System and the Clients it hands out.
+type System struct {
+	cfg config
+	w   *harness.World
+
+	// viewMgr mints the short-lived top-level actions behind the view
+	// and recovery helpers, separate from any client's actions.
+	viewMgr *action.Manager
+	janitor *core.Janitor
+	gen     *uid.Generator
+
+	mu      sync.Mutex
+	created []uid.UID
+	closed  bool
+}
+
+// Open assembles a deployment from functional options and returns it
+// ready for use: nodes up, classes registered, and the configured number
+// of counter objects created and registered in the group view database.
+func Open(opts ...Option) (*System, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var reg *object.Registry
+	if len(cfg.classes) > 0 {
+		reg = object.NewRegistry()
+		reg.Register(harness.CounterClass())
+		for _, cl := range cfg.classes {
+			reg.Register(cl)
+		}
+	}
+	w, err := harness.New(harness.Options{
+		Servers:  cfg.servers,
+		Stores:   cfg.stores,
+		Clients:  cfg.clients,
+		Objects:  cfg.objects,
+		Net:      cfg.net,
+		Network:  cfg.network,
+		Registry: reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("arjuna: open: %w", err)
+	}
+	return &System{
+		cfg:     cfg,
+		w:       w,
+		viewMgr: action.NewManager("arjuna-sys", nil),
+		janitor: core.NewJanitor(w.DB),
+		gen:     uid.NewGenerator("app", 1),
+	}, nil
+}
+
+// Close tears the deployment down. It closes the transport when the
+// deployment runs over a closeable one (e.g. TCP); the in-memory network
+// needs no teardown. Close is idempotent.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	switch c := s.w.Cluster.Net().(type) {
+	case interface{ Close() error }:
+		return c.Close()
+	case interface{ Close() }:
+		c.Close()
+	}
+	return nil
+}
+
+// Client returns a client bound to the named client node (c1..cN), with
+// the deployment's default scheme, policy and degree unless overridden by
+// options.
+func (s *System) Client(name string, opts ...ClientOption) (*Client, error) {
+	addr := transport.Addr(name)
+	if s.w.Mgrs[addr] == nil {
+		return nil, fmt.Errorf("arjuna: client node %q: %w", name, ErrUnknownNode)
+	}
+	cc := clientConfig{
+		scheme:  s.cfg.scheme,
+		policy:  s.cfg.policy,
+		degree:  s.cfg.degree,
+		retries: defaultRetries,
+		backoff: defaultBackoff,
+	}
+	for _, o := range opts {
+		o(&cc)
+	}
+	if cc.degree < 0 {
+		if cc.policy == SingleCopyPassive {
+			cc.degree = 1
+		} else {
+			cc.degree = 0 // all servers in the view
+		}
+	}
+	binder := s.w.Binder(addr, cc.scheme, cc.policy, cc.degree)
+	binder.ReadOnly = cc.readOnly
+	return &Client{sys: s, name: addr, binder: binder, cfg: cc}, nil
+}
+
+// Objects returns the UIDs of the counter objects created at Open time.
+func (s *System) Objects() []uid.UID {
+	return append([]uid.UID(nil), s.w.Objects...)
+}
+
+// Servers, Stores and ClientNodes return the deployment's node names.
+func (s *System) Servers() []transport.Addr {
+	return append([]transport.Addr(nil), s.w.Svs...)
+}
+
+// Stores returns the store node names.
+func (s *System) Stores() []transport.Addr {
+	return append([]transport.Addr(nil), s.w.Sts...)
+}
+
+// ClientNodes returns the client node names.
+func (s *System) ClientNodes() []transport.Addr {
+	return append([]transport.Addr(nil), s.w.Clients...)
+}
+
+// CreateObject installs a new persistent object of a registered class:
+// its initial state is written to every store node, then the object is
+// registered in the group view database with all servers and stores in
+// its Sv/St views. The new UID is returned.
+func (s *System) CreateObject(ctx context.Context, class string, initState []byte) (uid.UID, error) {
+	id := s.gen.New()
+	creator := s.dbClient()
+	if err := core.CreateObject(ctx, creator, s.w.Mgrs[s.w.Clients[0]], id, class, initState, s.w.Svs, s.w.Sts); err != nil {
+		return uid.Nil, MapError(err)
+	}
+	s.mu.Lock()
+	s.created = append(s.created, id)
+	s.mu.Unlock()
+	return id, nil
+}
+
+// Crash fail-silences a node: its volatile state is lost and it leaves
+// the network; its stable store survives for recovery.
+func (s *System) Crash(node string) error {
+	n := s.w.Cluster.Node(transport.Addr(node))
+	if n == nil {
+		return fmt.Errorf("arjuna: crash %q: %w", node, ErrUnknownNode)
+	}
+	n.Crash()
+	return nil
+}
+
+// Recover restarts a crashed node and runs the paper's recovery protocol
+// for its role: a recovering store node refreshes its object states and
+// Includes itself back into the St views (§4.2); a recovering server node
+// re-Inserts itself into the Sv views once the objects are quiescent
+// (§4.1.2). Other node kinds just rejoin the network.
+func (s *System) Recover(ctx context.Context, node string) error {
+	addr := transport.Addr(node)
+	n := s.w.Cluster.Node(addr)
+	if n == nil {
+		return fmt.Errorf("arjuna: recover %q: %w", node, ErrUnknownNode)
+	}
+	n.Recover(nil)
+	ids := s.w.DB.Objects()
+	switch {
+	case slices.Contains(s.w.Sts, addr):
+		return MapError(core.RecoverStoreNode(ctx, n, s.w.DB.Addr(), ids))
+	case slices.Contains(s.w.Svs, addr):
+		return MapError(core.RecoverServerNode(ctx, n, s.w.DB.Addr(), ids))
+	}
+	return nil
+}
+
+// ServerView reads the object's current Sv view (the nodes capable of
+// running a server for it) outside any client action.
+func (s *System) ServerView(ctx context.Context, id uid.UID) ([]transport.Addr, error) {
+	return s.view(ctx, id, false)
+}
+
+// StoreView reads the object's current St view (the nodes whose stores
+// hold its latest mutually consistent state) outside any client action.
+func (s *System) StoreView(ctx context.Context, id uid.UID) ([]transport.Addr, error) {
+	return s.view(ctx, id, true)
+}
+
+func (s *System) view(ctx context.Context, id uid.UID, wantSt bool) ([]transport.Addr, error) {
+	cli := s.dbClient()
+	act := s.viewMgr.BeginTop()
+	var view []transport.Addr
+	var err error
+	if wantSt {
+		view, _, err = cli.GetView(ctx, act.ID(), id)
+	} else {
+		view, _, err = cli.GetServer(ctx, act.ID(), id, false, false)
+	}
+	_ = cli.EndAction(ctx, act.ID(), true)
+	_, _ = act.Commit(ctx)
+	return view, MapError(err)
+}
+
+// StoreState reads the committed (value, seq) of one object directly from
+// one store node's stable store — committed state inspection for demos,
+// audits and tests. The node must be up.
+func (s *System) StoreState(node string, id uid.UID) ([]byte, uint64, error) {
+	n := s.w.Cluster.Node(transport.Addr(node))
+	if n == nil {
+		return nil, 0, fmt.Errorf("arjuna: store state at %q: %w", node, ErrUnknownNode)
+	}
+	if !n.Up() {
+		return nil, 0, fmt.Errorf("arjuna: store state at %q: node is down: %w", node, ErrUnreachable)
+	}
+	v, err := n.Store().Read(id)
+	if err != nil {
+		return nil, 0, tag(ErrUnknownObject, err)
+	}
+	return v.Data, v.Seq, nil
+}
+
+// CommittedState returns the object's latest committed (highest-seq)
+// state among the live store nodes holding it.
+func (s *System) CommittedState(id uid.UID) ([]byte, uint64, error) {
+	var best []byte
+	var bestSeq uint64
+	found := false
+	for _, st := range s.w.Sts {
+		n := s.w.Cluster.Node(st)
+		if n == nil || !n.Up() {
+			continue
+		}
+		if v, err := n.Store().Read(id); err == nil && (!found || v.Seq > bestSeq) {
+			best, bestSeq, found = v.Data, v.Seq, true
+		}
+	}
+	if !found {
+		return nil, 0, fmt.Errorf("arjuna: no live store holds %v: %w", id, ErrUnknownObject)
+	}
+	return best, bestSeq, nil
+}
+
+// NodeStatus describes one node of the deployment.
+type NodeStatus struct {
+	// Name is the node's address (db, sv1.., st1.., c1..).
+	Name transport.Addr
+	// Kind is "db", "server", "store" or "client".
+	Kind string
+	// Up reports whether the node is functioning.
+	Up bool
+	// Epoch is the node's incarnation number; it increases on recovery.
+	Epoch uint32
+}
+
+// Status reports every node of the deployment, sorted by name.
+func (s *System) Status() []NodeStatus {
+	var out []NodeStatus
+	for _, n := range s.w.Cluster.Nodes() {
+		out = append(out, NodeStatus{
+			Name:  n.Name(),
+			Kind:  s.kindOf(n.Name()),
+			Up:    n.Up(),
+			Epoch: n.Epoch(),
+		})
+	}
+	return out
+}
+
+func (s *System) kindOf(addr transport.Addr) string {
+	switch {
+	case addr == s.w.DB.Addr():
+		return "db"
+	case slices.Contains(s.w.Svs, addr):
+		return "server"
+	case slices.Contains(s.w.Sts, addr):
+		return "store"
+	case slices.Contains(s.w.Clients, addr):
+		return "client"
+	default:
+		return "node"
+	}
+}
+
+// SweepReport is the result of one use-list janitor pass (§4.1.3).
+type SweepReport = core.SweepReport
+
+// Sweep runs the use-list janitor once: it probes client nodes recorded
+// in use lists, and for crashed ones aborts their database actions and
+// clears their counters.
+func (s *System) Sweep(ctx context.Context) SweepReport {
+	return s.janitor.Sweep(ctx)
+}
+
+// Faults returns the in-memory network's programmable fault plan, or nil
+// when the deployment runs over a real transport.
+func (s *System) Faults() *transport.Faults {
+	return s.w.Cluster.Faults()
+}
+
+// dbClient returns a group-view-database client originating from the
+// first client node.
+func (s *System) dbClient() core.Client {
+	return core.Client{RPC: s.w.Cluster.Node(s.w.Clients[0]).Client(), DB: s.w.DB.Addr()}
+}
+
+// String implements fmt.Stringer.
+func (s *System) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "arjuna.System(db + %d servers + %d stores + %d clients, scheme=%v, policy=%v",
+		len(s.w.Svs), len(s.w.Sts), len(s.w.Clients), s.cfg.scheme, s.cfg.policy)
+	if _, ok := s.w.Cluster.Net().(*transport.TCP); ok {
+		b.WriteString(", transport=tcp")
+	}
+	b.WriteString(")")
+	return b.String()
+}
