@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/action"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/harness"
@@ -201,6 +202,7 @@ func BenchmarkActionThroughput(b *testing.B) {
 			}
 			bd := w.Binder("c1", core.SchemeStandard, tc.policy, tc.deg)
 			ctx := context.Background()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r := w.RunCounterAction(ctx, bd, 0, 1)
@@ -216,24 +218,84 @@ func BenchmarkActionThroughput(b *testing.B) {
 // (the price of the Figure 1 guarantee) at a fixed group size.
 func BenchmarkMulticastAblation(b *testing.B) {
 	var orderedSum, naiveSum float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		tb, err := experiments.RunMulticastCost([]int{3}, 10, 0)
+		points, err := experiments.MeasureMulticastCost([]int{3}, 10, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		// Row: [members, ordered, naive]
-		var ord, nai float64
-		if _, err := fmt.Sscanf(tb.Rows[0][1], "%f", &ord); err != nil {
-			b.Fatal(err)
-		}
-		if _, err := fmt.Sscanf(tb.Rows[0][2], "%f", &nai); err != nil {
-			b.Fatal(err)
-		}
-		orderedSum += ord
-		naiveSum += nai
+		orderedSum += points[0].OrderedMicros
+		naiveSum += points[0].NaiveMicros
 	}
 	b.ReportMetric(orderedSum/float64(b.N), "ordered-us/msg")
 	b.ReportMetric(naiveSum/float64(b.N), "naive-us/msg")
+}
+
+// BenchmarkMulticastGroupSize measures ordered-multicast latency across
+// group sizes under a fixed 200µs per-leg network latency. With the
+// concurrent sequencer fan-out the per-message cost should grow
+// sub-linearly in the member count (the serial relay grew additively:
+// every extra member added two legs to every message).
+func BenchmarkMulticastGroupSize(b *testing.B) {
+	for _, members := range []int{3, 5, 7} {
+		b.Run(fmt.Sprintf("members-%d", members), func(b *testing.B) {
+			var orderedSum float64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				points, err := experiments.MeasureMulticastCost([]int{members}, 5, 200*time.Microsecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				orderedSum += points[0].OrderedMicros
+			}
+			b.ReportMetric(orderedSum/float64(b.N), "ordered-us/msg")
+		})
+	}
+}
+
+// slowParticipant is a 2PC participant whose prepare and commit each cost
+// a fixed delay — the stand-in for a store round trip.
+type slowParticipant struct {
+	name  string
+	delay time.Duration
+}
+
+func (p *slowParticipant) Name() string { return p.name }
+func (p *slowParticipant) Prepare(ctx context.Context, tx string) error {
+	time.Sleep(p.delay)
+	return nil
+}
+func (p *slowParticipant) Commit(ctx context.Context, tx string) error {
+	time.Sleep(p.delay)
+	return nil
+}
+func (p *slowParticipant) Abort(ctx context.Context, tx string) error { return nil }
+
+// Benchmark2PCParticipants measures top-level commit latency against the
+// participant count, each participant costing 200µs per phase. With the
+// concurrent two-phase commit the total should stay near 2 × 200µs
+// regardless of the participant count; the serial commit grew by 400µs
+// per participant.
+func Benchmark2PCParticipants(b *testing.B) {
+	for _, participants := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("participants-%d", participants), func(b *testing.B) {
+			mgr := action.NewManager("bench2pc", nil)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				act := mgr.BeginTop()
+				for j := 0; j < participants; j++ {
+					if err := act.Enlist(&slowParticipant{name: fmt.Sprintf("p%d", j), delay: 200 * time.Microsecond}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := act.Commit(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkBindOnly measures the naming-and-binding round per scheme with

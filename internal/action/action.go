@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/conc"
 	"repro/internal/lockmgr"
 	"repro/internal/store"
 	"repro/internal/uid"
@@ -333,7 +334,10 @@ type CommitReport struct {
 	PhaseTwoErrors []error
 }
 
-// commitTopLocked runs two-phase commit; a.mu is held on entry.
+// commitTopLocked runs two-phase commit; a.mu is held on entry. Both
+// phases fan out to all participants concurrently: participants are
+// independent resources, so commit latency is that of the slowest
+// participant rather than the sum over participants.
 func (a *Action) commitTopLocked(ctx context.Context) (*CommitReport, error) {
 	a.status = StatusPreparing
 	participants := a.participants
@@ -351,23 +355,17 @@ func (a *Action) commitTopLocked(ctx context.Context) (*CommitReport, error) {
 		return &CommitReport{}, nil
 	}
 
-	// Phase one.
-	for i, p := range participants {
-		if err := p.Prepare(ctx, a.id); err != nil {
-			// Roll everyone back, including the failed participant (its
-			// prepare may have half-happened, e.g. a lost reply).
-			for _, q := range participants[:i+1] {
-				_ = q.Abort(ctx, a.id)
-			}
-			a.mgr.log.Record(a.id, store.OutcomeAborted)
-			a.mu.Lock()
-			a.status = StatusAborted
-			a.mu.Unlock()
-			for _, f := range resolveHooks {
-				f(false)
-			}
-			return nil, fmt.Errorf("%s: %s: %v: %w", a.id, p.Name(), err, ErrPrepareFailed)
+	// Phase one: concurrent, with first-failure abort — the first prepare
+	// refusal cancels the prepares still in flight.
+	if err := a.prepareAll(ctx, participants); err != nil {
+		a.mgr.log.Record(a.id, store.OutcomeAborted)
+		a.mu.Lock()
+		a.status = StatusAborted
+		a.mu.Unlock()
+		for _, f := range resolveHooks {
+			f(false)
 		}
+		return nil, err
 	}
 
 	// Commit point.
@@ -376,18 +374,58 @@ func (a *Action) commitTopLocked(ctx context.Context) (*CommitReport, error) {
 	a.status = StatusCommitted
 	a.mu.Unlock()
 
-	// Phase two: best effort; failures are survivable.
+	// Phase two: concurrent, best effort; failures are survivable and
+	// aggregated in participant order so the report is deterministic.
+	errs := make([]error, len(participants))
+	conc.Do(len(participants), func(i int) {
+		if err := participants[i].Commit(ctx, a.id); err != nil {
+			errs[i] = fmt.Errorf("phase-2 commit at %s: %w", participants[i].Name(), err)
+		}
+	})
 	report := &CommitReport{}
-	for _, p := range participants {
-		if err := p.Commit(ctx, a.id); err != nil {
-			report.PhaseTwoErrors = append(report.PhaseTwoErrors,
-				fmt.Errorf("phase-2 commit at %s: %w", p.Name(), err))
+	for _, err := range errs {
+		if err != nil {
+			report.PhaseTwoErrors = append(report.PhaseTwoErrors, err)
 		}
 	}
 	for _, f := range resolveHooks {
 		f(true)
 	}
 	return report, nil
+}
+
+// prepareAll runs phase one across all participants concurrently. On the
+// first failure the remaining in-flight prepares are cancelled and every
+// participant is rolled back — including ones whose prepare may have
+// half-happened (e.g. a lost reply) and ones that never prepared (Abort
+// is a no-op for them, per the Participant contract). The roll-back uses
+// the caller's context, not the cancelled one.
+func (a *Action) prepareAll(ctx context.Context, participants []Participant) error {
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	conc.Do(len(participants), func(i int) {
+		if err := participants[i].Prepare(pctx, a.id); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+				firstIdx = i
+			}
+			mu.Unlock()
+			cancel()
+		}
+	})
+	if firstErr == nil {
+		return nil
+	}
+	conc.Do(len(participants), func(i int) {
+		_ = participants[i].Abort(ctx, a.id)
+	})
+	return fmt.Errorf("%s: %s: %v: %w", a.id, participants[firstIdx].Name(), firstErr, ErrPrepareFailed)
 }
 
 // Abort ends the action, undoing its effects. Active children are aborted
@@ -408,9 +446,10 @@ func (a *Action) Abort(ctx context.Context) error {
 	parent := a.parent
 	a.mu.Unlock()
 
-	for _, p := range participants {
-		_ = p.Abort(ctx, a.Top().id)
-	}
+	top := a.Top().id
+	conc.Do(len(participants), func(i int) {
+		_ = participants[i].Abort(ctx, top)
+	})
 	if parent == nil {
 		a.mgr.log.Record(a.id, store.OutcomeAborted)
 	} else {

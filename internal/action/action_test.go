@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/lockmgr"
 	"repro/internal/rpc"
@@ -489,4 +490,108 @@ func ExampleManager_nested() {
 	// Output:
 	// true
 	// committed
+}
+
+// rendezvousParticipant blocks in Prepare until every sibling has also
+// entered Prepare — it can only ever succeed if phase one runs the
+// participants concurrently.
+type rendezvousParticipant struct {
+	name    string
+	arrive  chan struct{}
+	release chan struct{}
+}
+
+func (p *rendezvousParticipant) Name() string { return p.name }
+
+func (p *rendezvousParticipant) Prepare(ctx context.Context, tx string) error {
+	p.arrive <- struct{}{}
+	select {
+	case <-p.release:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(5 * time.Second):
+		return errors.New("prepare never released: phase one is not concurrent")
+	}
+}
+
+func (p *rendezvousParticipant) Commit(context.Context, string) error { return nil }
+func (p *rendezvousParticipant) Abort(context.Context, string) error  { return nil }
+
+func TestPrepareRunsParticipantsConcurrently(t *testing.T) {
+	// One slow participant must not delay the others' Prepare: all three
+	// participants rendezvous inside phase one. Under the old serial
+	// phase one the first Prepare would block forever waiting for the
+	// other two, which would never be invoked.
+	const n = 3
+	arrive := make(chan struct{}, n)
+	release := make(chan struct{})
+	m := NewManager("conc2pc", nil)
+	act := m.BeginTop()
+	for i := 0; i < n; i++ {
+		if err := act.Enlist(&rendezvousParticipant{
+			name: fmt.Sprintf("p%d", i), arrive: arrive, release: release,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := act.Commit(context.Background())
+		done <- err
+	}()
+	for i := 0; i < n; i++ {
+		select {
+		case <-arrive:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d of %d participants entered Prepare concurrently", i, n)
+		}
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if act.Status() != StatusCommitted {
+		t.Fatalf("status = %v", act.Status())
+	}
+}
+
+func TestPrepareFirstFailureCancelsInFlightPrepares(t *testing.T) {
+	// One participant refuses while another is still preparing: the
+	// cancellation must release the in-flight Prepare (via its context)
+	// and the action must abort everyone.
+	arrive := make(chan struct{}, 1)
+	release := make(chan struct{}) // never closed: only ctx can release
+	slow := &rendezvousParticipant{name: "slow", arrive: arrive, release: release}
+	bad := &fakeParticipant{name: "bad", failPrepare: true}
+	m := NewManager("cancel2pc", nil)
+	act := m.BeginTop()
+	for _, p := range []Participant{slow, bad} {
+		if err := act.Enlist(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := act.Commit(context.Background())
+		done <- err
+	}()
+	<-arrive
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrPrepareFailed) {
+			t.Fatalf("commit err = %v, want ErrPrepareFailed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("commit hung: first failure did not cancel the in-flight prepare")
+	}
+	if act.Status() != StatusAborted {
+		t.Fatalf("status = %v, want aborted", act.Status())
+	}
+	if _, _, aborts := counts(bad); aborts != 1 {
+		t.Fatalf("failed participant aborted %d times, want 1", aborts)
+	}
+	if m.Log().Lookup(act.ID()) != store.OutcomeAborted {
+		t.Fatal("outcome log must record the abort")
+	}
 }

@@ -1,0 +1,48 @@
+// Package conc holds the minimal fan-out helpers used by the parallel
+// invocation/commit pipeline: run n independent pieces of work
+// concurrently, wait for all, and let the caller collect results by index
+// so the output order stays deterministic regardless of completion order.
+package conc
+
+import "sync"
+
+// Do runs fn(0..n-1) concurrently and waits for all to finish. n <= 1
+// runs inline, so degenerate fan-outs pay no goroutine cost.
+func Do(n int, fn func(i int)) {
+	if n <= 1 {
+		if n == 1 {
+			fn(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// DoLimited is Do with at most limit invocations in flight at once (a
+// bounded errgroup-style fan-out). limit <= 0 means unbounded.
+func DoLimited(n, limit int, fn func(i int)) {
+	if limit <= 0 || limit >= n {
+		Do(n, fn)
+		return
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

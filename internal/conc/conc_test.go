@@ -1,0 +1,52 @@
+package conc
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17} {
+		var seen sync.Map
+		var count atomic.Int64
+		Do(n, func(i int) {
+			seen.Store(i, true)
+			count.Add(1)
+		})
+		if got := count.Load(); got != int64(n) {
+			t.Fatalf("n=%d: ran %d times", n, got)
+		}
+		for i := 0; i < n; i++ {
+			if _, ok := seen.Load(i); !ok {
+				t.Fatalf("n=%d: index %d never ran", n, i)
+			}
+		}
+	}
+}
+
+func TestDoLimitedBoundsConcurrency(t *testing.T) {
+	const n, limit = 64, 4
+	var inFlight, maxSeen atomic.Int64
+	DoLimited(n, limit, func(i int) {
+		cur := inFlight.Add(1)
+		for {
+			m := maxSeen.Load()
+			if cur <= m || maxSeen.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if m := maxSeen.Load(); m > limit {
+		t.Fatalf("in-flight peak %d exceeds limit %d", m, limit)
+	}
+}
+
+func TestDoLimitedUnboundedWhenLimitZero(t *testing.T) {
+	var count atomic.Int64
+	DoLimited(8, 0, func(int) { count.Add(1) })
+	if count.Load() != 8 {
+		t.Fatalf("ran %d times, want 8", count.Load())
+	}
+}

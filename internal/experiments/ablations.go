@@ -72,22 +72,45 @@ func RunJanitorAblation(insertTimeout time.Duration) (*Table, error) {
 	return t, nil
 }
 
-// RunMulticastCost measures the E1 ablation: the per-message cost of the
-// sequencer-relayed ordered multicast against the naive direct fan-out,
-// across group sizes. The ordered discipline pays one extra hop (sender →
-// sequencer) plus relay serialization; that premium is the price of the
-// Figure 1 guarantee.
-func RunMulticastCost(sizes []int, messages int, latency time.Duration) (*Table, error) {
-	t := &Table{
-		Title:  fmt.Sprintf("Ablation (Figure 1): multicast cost, %d messages/point, %v per network leg", messages, latency),
-		Header: []string{"members", "ordered µs/msg", "naive µs/msg"},
-	}
+// MulticastCostPoint is the measured per-message multicast cost at one
+// group size — the numeric form of one RunMulticastCost table row, for
+// benchmarks and callers that aggregate rather than print.
+type MulticastCostPoint struct {
+	Members       int
+	OrderedMicros float64
+	NaiveMicros   float64
+}
+
+// MeasureMulticastCost measures the E1 ablation numerically: the
+// per-message cost of the sequencer-relayed ordered multicast against the
+// naive direct fan-out, across group sizes. The ordered discipline pays
+// one extra hop (sender → sequencer); since the relay fans out to all
+// members concurrently, the cost grows with the slowest member rather
+// than the member count.
+func MeasureMulticastCost(sizes []int, messages int, latency time.Duration) ([]MulticastCostPoint, error) {
+	points := make([]MulticastCostPoint, 0, len(sizes))
 	for _, k := range sizes {
 		ordered, naive, err := multicastCost(k, messages, latency)
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(d(k), f(ordered), f(naive))
+		points = append(points, MulticastCostPoint{Members: k, OrderedMicros: ordered, NaiveMicros: naive})
+	}
+	return points, nil
+}
+
+// RunMulticastCost renders MeasureMulticastCost as a printable table.
+func RunMulticastCost(sizes []int, messages int, latency time.Duration) (*Table, error) {
+	points, err := MeasureMulticastCost(sizes, messages, latency)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation (Figure 1): multicast cost, %d messages/point, %v per network leg", messages, latency),
+		Header: []string{"members", "ordered µs/msg", "naive µs/msg"},
+	}
+	for _, p := range points {
+		t.AddRow(d(p.Members), f(p.OrderedMicros), f(p.NaiveMicros))
 	}
 	t.Notes = append(t.Notes,
 		"ordered delivery costs one extra hop via the sequencer; naive saves it but permits Figure 1 divergence")

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/conc"
 	"repro/internal/rpc"
 	"repro/internal/transport"
 	"repro/internal/uid"
@@ -126,13 +127,21 @@ type Host struct {
 	groups map[string]*membership
 }
 
+// seenEntry caches one delivered message: the reply returned to the
+// relaying sequencer and the sequence number the message was assigned, so
+// a fail-over sequencer can re-relay under the original number.
+type seenEntry struct {
+	reply []byte
+	seq   uint64
+}
+
 type membership struct {
 	apply Apply
 
 	mu        sync.Mutex
 	nextSeq   uint64 // sequencer counter: next seq to assign is nextSeq+1
 	delivered uint64 // receiver: highest seq applied
-	seen      map[string][]byte
+	seen      map[string]seenEntry
 	applied   chan struct{} // closed & renewed after each in-order apply
 }
 
@@ -156,7 +165,7 @@ func (h *Host) Join(groupID string, apply Apply) {
 	defer h.mu.Unlock()
 	h.groups[groupID] = &membership{
 		apply:   apply,
-		seen:    make(map[string][]byte),
+		seen:    make(map[string]seenEntry),
 		applied: make(chan struct{}),
 	}
 }
@@ -210,7 +219,7 @@ func (h *Host) handleDeliver(ctx context.Context, from transport.Addr, req deliv
 		if prev, ok := m.seen[req.MsgID]; ok {
 			// Duplicate (sequencer retry): return the cached reply.
 			m.mu.Unlock()
-			return deliverResp{Payload: prev}, nil
+			return deliverResp{Payload: prev.reply}, nil
 		}
 		if req.Seq <= m.delivered {
 			// Superseded sequence number from a failed-over sequencer;
@@ -218,7 +227,7 @@ func (h *Host) handleDeliver(ctx context.Context, from transport.Addr, req deliv
 			// preserve reliability, but in arrival order at this point.
 			out, aerr := m.apply(ctx, msg)
 			if aerr == nil {
-				m.seen[req.MsgID] = out
+				m.seen[req.MsgID] = seenEntry{reply: out, seq: req.Seq}
 			}
 			m.mu.Unlock()
 			return deliverResp{Payload: out}, aerr
@@ -226,7 +235,7 @@ func (h *Host) handleDeliver(ctx context.Context, from transport.Addr, req deliv
 		if req.Seq == m.delivered+1 {
 			out, aerr := m.apply(ctx, msg)
 			if aerr == nil {
-				m.seen[req.MsgID] = out
+				m.seen[req.MsgID] = seenEntry{reply: out, seq: req.Seq}
 			}
 			m.delivered = req.Seq
 			close(m.applied)
@@ -246,19 +255,23 @@ func (h *Host) handleDeliver(ctx context.Context, from transport.Addr, req deliv
 }
 
 // handleSequence runs on the sequencer member: assign the next sequence
-// number and relay to every member, collecting replies and failures.
+// number and relay to every member concurrently, collecting replies and
+// failures.
 func (h *Host) handleSequence(ctx context.Context, from transport.Addr, req sequenceReq) (sequenceResp, error) {
 	m, err := h.lookup(req.Group)
 	if err != nil {
 		return sequenceResp{}, err
 	}
 	m.mu.Lock()
-	// Dedup retried sequencing requests by MsgID: if this host already
-	// delivered the message it was already sequenced and fanned out.
-	if _, ok := m.seen[req.MsgID]; ok {
-		seq := m.delivered
+	// Dedup retried sequencing requests by MsgID: this host already
+	// delivered the message, so it was already sequenced. Re-relay under
+	// the original sequence number instead of answering with a bare Seq —
+	// members that saw it return their cached replies (so the retrying
+	// caller still receives the full fan-out outcome), and any member the
+	// first fan-out missed is repaired.
+	if prev, ok := m.seen[req.MsgID]; ok {
 		m.mu.Unlock()
-		return sequenceResp{Seq: seq}, nil
+		return h.fanOut(ctx, req, prev.seq)
 	}
 	// Initialise the counter from what this member has observed, so a
 	// fail-over sequencer continues the stream rather than reusing
@@ -270,26 +283,61 @@ func (h *Host) handleSequence(ctx context.Context, from transport.Addr, req sequ
 	seq := m.nextSeq
 	m.mu.Unlock()
 
-	resp := sequenceResp{Seq: seq}
-	for _, member := range req.Members {
-		addr := transport.Addr(member)
-		var (
-			dr  deliverResp
-			err error
-		)
-		d := deliverReq{Group: req.Group, MsgID: req.MsgID, Kind: req.Kind, Payload: req.Payload, Seq: seq}
+	return h.fanOut(ctx, req, seq)
+}
+
+// fanOutConcurrency bounds the parallel deliveries of one relayed
+// multicast, so very large groups cannot stampede the relay node.
+const fanOutConcurrency = 16
+
+// fanOut relays the message to every member concurrently. Total order is
+// carried by the assigned seq, not by delivery timing: receivers hold
+// back out-of-order arrivals, so parallel delivery preserves the
+// identical-order guarantee while the latency is that of the slowest
+// member rather than the sum over members. The payload is encoded once
+// and shared by all deliveries; Replies and Failed are collected in
+// member-sorted order so results are deterministic.
+func (h *Host) fanOut(ctx context.Context, req sequenceReq, seq uint64) (sequenceResp, error) {
+	d := deliverReq{Group: req.Group, MsgID: req.MsgID, Kind: req.Kind, Payload: req.Payload, Seq: seq}
+	payload, err := rpc.Encode(&d)
+	if err != nil {
+		return sequenceResp{}, err
+	}
+	type slot struct {
+		dr  deliverResp
+		err error
+	}
+	slots := make([]slot, len(req.Members))
+	conc.DoLimited(len(req.Members), fanOutConcurrency, func(i int) {
+		addr := transport.Addr(req.Members[i])
 		if addr == h.client.From {
-			dr, err = h.handleDeliver(ctx, h.client.From, d)
-		} else {
-			dr, err = rpc.Invoke[deliverReq, deliverResp](ctx, h.client, addr, ServiceName, MethodDeliver, d)
+			// Local delivery skips the network round trip.
+			slots[i].dr, slots[i].err = h.handleDeliver(ctx, h.client.From, d)
+			return
 		}
-		if err != nil && isMemberFailure(err) {
-			resp.Failed = append(resp.Failed, member)
+		body, err := h.client.Call(ctx, addr, ServiceName, MethodDeliver, payload)
+		if err != nil {
+			slots[i].err = err
+			return
+		}
+		slots[i].err = rpc.Decode(body, &slots[i].dr)
+	})
+
+	order := make([]int, len(req.Members))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return req.Members[order[a]] < req.Members[order[b]] })
+	resp := sequenceResp{Seq: seq}
+	for _, i := range order {
+		s := slots[i]
+		if s.err != nil && isMemberFailure(s.err) {
+			resp.Failed = append(resp.Failed, req.Members[i])
 			continue
 		}
-		r := Reply{Member: addr, Payload: dr.Payload}
-		if err != nil {
-			r.Err = err.Error()
+		r := Reply{Member: transport.Addr(req.Members[i]), Payload: s.dr.Payload}
+		if s.err != nil {
+			r.Err = s.err.Error()
 		}
 		resp.Replies = append(resp.Replies, r)
 	}

@@ -138,11 +138,13 @@ func TestMulticastRetryDeduplicates(t *testing.T) {
 	f := newFixture(t, "a1", "a2")
 	ctx := context.Background()
 	msgID := "stable-id/1"
-	if _, err := MulticastWithID(ctx, f.client(), f.grp, "op", []byte("x"), msgID); err != nil {
+	first, err := MulticastWithID(ctx, f.client(), f.grp, "op", []byte("x"), msgID)
+	if err != nil {
 		t.Fatal(err)
 	}
 	// Retry of the same logical message: members must not apply twice.
-	if _, err := MulticastWithID(ctx, f.client(), f.grp, "op", []byte("x"), msgID); err != nil {
+	retry, err := MulticastWithID(ctx, f.client(), f.grp, "op", []byte("x"), msgID)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if got := f.members["a1"].history(); got != "op:x" {
@@ -150,6 +152,53 @@ func TestMulticastRetryDeduplicates(t *testing.T) {
 	}
 	if got := f.members["a2"].history(); got != "op:x" {
 		t.Fatalf("a2 history = %q, want single delivery", got)
+	}
+	// The retried multicast must return the complete fan-out outcome —
+	// the same seq and every member's cached reply, not a bare Seq.
+	if retry.Seq != first.Seq {
+		t.Fatalf("retry seq = %d, want %d", retry.Seq, first.Seq)
+	}
+	if len(retry.Replies) != 2 || len(retry.Failed) != 0 {
+		t.Fatalf("retry replies=%d failed=%v, want full replies", len(retry.Replies), retry.Failed)
+	}
+	for _, r := range retry.Replies {
+		if r.Err != "" || string(r.Payload) != "ack-op" {
+			t.Fatalf("retry reply from %s = (%q, %q), want cached ack", r.Member, r.Payload, r.Err)
+		}
+	}
+}
+
+func TestMulticastRetryAfterSequencerCrashReturnsFullReplies(t *testing.T) {
+	// The first multicast succeeds through sequencer a1; a1 then crashes,
+	// and the retry fails over to a2. a2 only ever saw the message as a
+	// receiver, yet the retry must still return the full fan-out outcome
+	// under the original sequence number (a2 re-relays; survivors answer
+	// from their dedup caches).
+	f := newFixture(t, "a1", "a2", "a3")
+	ctx := context.Background()
+	msgID := "stable-id/2"
+	first, err := MulticastWithID(ctx, f.client(), f.grp, "op", []byte("x"), msgID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.cluster.Node("a1").Crash()
+	retry, err := MulticastWithID(ctx, f.client(), f.grp, "op", []byte("x"), msgID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retry.Seq != first.Seq {
+		t.Fatalf("retry seq = %d, want original %d", retry.Seq, first.Seq)
+	}
+	if len(retry.Replies) != 2 {
+		t.Fatalf("retry replies = %d, want the 2 surviving members", len(retry.Replies))
+	}
+	for _, r := range retry.Replies {
+		if r.Err != "" || string(r.Payload) != "ack-op" {
+			t.Fatalf("retry reply from %s = (%q, %q), want cached ack", r.Member, r.Payload, r.Err)
+		}
+	}
+	if got := f.members["a2"].history(); got != "op:x" {
+		t.Fatalf("a2 applied twice: history %q", got)
 	}
 }
 
@@ -175,6 +224,64 @@ func TestConcurrentMulticastsSameTotalOrderEverywhere(t *testing.T) {
 	}
 	if got := len(f.members["a1"].log); got != 10 {
 		t.Fatalf("deliveries = %d, want 10", got)
+	}
+}
+
+func TestConcurrentMulticastsFiveMembersConvergeUnderParallelFanout(t *testing.T) {
+	// The concurrent-fan-out invariant: with parallel delivery at the
+	// sequencer, many concurrent callers on a 5-member group must still
+	// produce identical apply histories at every member (total order is
+	// carried by the assigned seq, not by delivery timing). Run with
+	// -race to check the fan-out's memory discipline too.
+	f := newFixture(t, "b1", "b2", "b3", "b4", "b5")
+	ctx := context.Background()
+	const callers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Multicast(ctx, f.client(), f.grp, "op", []byte(fmt.Sprintf("%d", i)))
+			if err != nil {
+				t.Errorf("multicast %d: %v", i, err)
+				return
+			}
+			if len(res.Replies) != 5 || len(res.Failed) != 0 {
+				t.Errorf("multicast %d: replies=%d failed=%v", i, len(res.Replies), res.Failed)
+			}
+		}(i)
+	}
+	wg.Wait()
+	h1 := f.members["b1"].history()
+	if h1 == "" {
+		t.Fatal("no deliveries")
+	}
+	for _, name := range []transport.Addr{"b2", "b3", "b4", "b5"} {
+		if got := f.members[name].history(); got != h1 {
+			t.Fatalf("total order violated:\n b1: %s\n %s: %s", h1, name, got)
+		}
+	}
+	if got := len(f.members["b1"].log); got != callers {
+		t.Fatalf("deliveries = %d, want %d", got, callers)
+	}
+}
+
+func TestFanOutRepliesSortedByMember(t *testing.T) {
+	// Parallel fan-out must not make reply order a race: replies come
+	// back sorted by member address regardless of completion order.
+	f := newFixture(t, "c3", "c1", "c2")
+	res, err := Multicast(context.Background(), f.client(), f.grp, "op", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []transport.Addr{"c1", "c2", "c3"}
+	if len(res.Replies) != len(want) {
+		t.Fatalf("replies = %d", len(res.Replies))
+	}
+	for i, r := range res.Replies {
+		if r.Member != want[i] {
+			t.Fatalf("reply %d from %s, want %s", i, r.Member, want[i])
+		}
 	}
 }
 

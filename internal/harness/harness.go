@@ -99,8 +99,10 @@ func New(opts Options) (*World, error) {
 	w := &World{
 		Cluster: sim.NewClusterOn(net),
 		Mgrs:    make(map[transport.Addr]*action.Manager),
-		Metrics: &metrics.Registry{},
 	}
+	// The world shares the cluster's registry, so RPC-layer call counts
+	// and latencies land next to whatever the harness records itself.
+	w.Metrics = w.Cluster.Metrics()
 	w.DB = core.NewDB(w.Cluster.Add("db"))
 	for i := 0; i < opts.Servers; i++ {
 		name := transport.Addr("sv" + strconv.Itoa(i+1))

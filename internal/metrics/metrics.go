@@ -98,76 +98,155 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Max returns the maximum sample, or 0 if empty.
 func (h *Histogram) Max() float64 { return h.Quantile(1) }
 
-// Registry is a named collection of counters and histograms. The zero value
-// is ready to use.
+// Latency is a fixed-memory latency aggregate: count, sum and max in
+// atomics. Unlike Histogram it stores no samples, so it can sit on a hot
+// RPC path without growing memory or perturbing allocation benchmarks.
+type Latency struct {
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	maxNanos atomic.Int64
+}
+
+// Observe records one duration.
+func (l *Latency) Observe(d time.Duration) {
+	l.count.Add(1)
+	l.sumNanos.Add(int64(d))
+	for {
+		cur := l.maxNanos.Load()
+		if int64(d) <= cur || l.maxNanos.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (l *Latency) Count() int64 { return l.count.Load() }
+
+// Mean returns the mean observed duration, or 0 if empty.
+func (l *Latency) Mean() time.Duration {
+	n := l.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(l.sumNanos.Load() / n)
+}
+
+// Max returns the largest observed duration.
+func (l *Latency) Max() time.Duration { return time.Duration(l.maxNanos.Load()) }
+
+// Registry is a named collection of counters, histograms and latency
+// aggregates. The zero value is ready to use. Lookups are lock-free in
+// the steady state so concurrent hot paths (e.g. every RPC of a parallel
+// fan-out) do not serialize on a registry mutex.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	histograms map[string]*Histogram
+	counters   sync.Map // string -> *Counter
+	histograms sync.Map // string -> *Histogram
+	latencies  sync.Map // string -> *Latency
+	memos      sync.Map // string -> any (caller-derived handle bundles)
 }
 
 // Counter returns (creating on first use) the named counter.
 func (r *Registry) Counter(name string) *Counter {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.counters == nil {
-		r.counters = make(map[string]*Counter)
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
 	}
-	c, ok := r.counters[name]
+	v, _ := r.counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// LookupCounter returns the named counter without creating it.
+func (r *Registry) LookupCounter(name string) (*Counter, bool) {
+	v, ok := r.counters.Load(name)
 	if !ok {
-		c = &Counter{}
-		r.counters[name] = c
+		return nil, false
 	}
-	return c
+	return v.(*Counter), true
 }
 
 // Histogram returns (creating on first use) the named histogram.
 func (r *Registry) Histogram(name string) *Histogram {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.histograms == nil {
-		r.histograms = make(map[string]*Histogram)
+	if v, ok := r.histograms.Load(name); ok {
+		return v.(*Histogram)
 	}
-	h, ok := r.histograms[name]
+	v, _ := r.histograms.LoadOrStore(name, &Histogram{})
+	return v.(*Histogram)
+}
+
+// Latency returns (creating on first use) the named latency aggregate.
+func (r *Registry) Latency(name string) *Latency {
+	if v, ok := r.latencies.Load(name); ok {
+		return v.(*Latency)
+	}
+	v, _ := r.latencies.LoadOrStore(name, &Latency{})
+	return v.(*Latency)
+}
+
+// LookupLatency returns the named latency aggregate without creating it.
+func (r *Registry) LookupLatency(name string) (*Latency, bool) {
+	v, ok := r.latencies.Load(name)
 	if !ok {
-		h = &Histogram{}
-		r.histograms[name] = h
+		return nil, false
 	}
-	return h
+	return v.(*Latency), true
+}
+
+// MemoLoad returns the handle bundle cached under key, if any. Together
+// with MemoStore it lets hot-path callers cache derived handle sets
+// (e.g. the RPC layer's per-service counter+latency bundle) on the
+// registry itself, avoiding name concatenation and repeated lookups.
+func (r *Registry) MemoLoad(key string) (any, bool) { return r.memos.Load(key) }
+
+// MemoStore caches v under key unless another value was stored first, and
+// returns the cached value.
+func (r *Registry) MemoStore(key string, v any) any {
+	actual, _ := r.memos.LoadOrStore(key, v)
+	return actual
+}
+
+// CounterNames returns the names of all registered counters, sorted.
+func (r *Registry) CounterNames() []string {
+	var names []string
+	r.counters.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
 }
 
 // Snapshot renders all metrics as a deterministic multi-line string,
 // suitable for experiment reports.
 func (r *Registry) Snapshot() string {
-	r.mu.Lock()
-	counterNames := make([]string, 0, len(r.counters))
-	for name := range r.counters {
-		counterNames = append(counterNames, name)
-	}
-	histNames := make([]string, 0, len(r.histograms))
-	for name := range r.histograms {
-		histNames = append(histNames, name)
-	}
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		counters[k] = v
-	}
-	hists := make(map[string]*Histogram, len(r.histograms))
-	for k, v := range r.histograms {
-		hists[k] = v
-	}
-	r.mu.Unlock()
-
+	var counterNames, histNames, latNames []string
+	r.counters.Range(func(k, _ any) bool {
+		counterNames = append(counterNames, k.(string))
+		return true
+	})
+	r.histograms.Range(func(k, _ any) bool {
+		histNames = append(histNames, k.(string))
+		return true
+	})
+	r.latencies.Range(func(k, _ any) bool {
+		latNames = append(latNames, k.(string))
+		return true
+	})
 	sort.Strings(counterNames)
 	sort.Strings(histNames)
+	sort.Strings(latNames)
 	var b strings.Builder
 	for _, name := range counterNames {
-		fmt.Fprintf(&b, "counter %-40s %d\n", name, counters[name].Value())
+		c, _ := r.LookupCounter(name)
+		fmt.Fprintf(&b, "counter %-40s %d\n", name, c.Value())
 	}
 	for _, name := range histNames {
-		h := hists[name]
+		h := r.Histogram(name)
 		fmt.Fprintf(&b, "hist    %-40s n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f\n",
 			name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+	}
+	for _, name := range latNames {
+		l, _ := r.LookupLatency(name)
+		fmt.Fprintf(&b, "latency %-40s n=%d mean=%v max=%v\n",
+			name, l.Count(), l.Mean(), l.Max())
 	}
 	return b.String()
 }

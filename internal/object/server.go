@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/conc"
 	"repro/internal/group"
 	"repro/internal/lockmgr"
 	"repro/internal/rpc"
@@ -405,15 +406,21 @@ func (m *Manager) handlePrepare(ctx context.Context, from transport.Addr, req Pr
 	state := append([]byte(nil), in.state...)
 	in.mu.Unlock()
 
-	// Copy the new state to all functioning St nodes (§3.2(2)); remember
-	// which prepared so commit/abort can address exactly those.
+	// Copy the new state to all functioning St nodes (§3.2(2)) in
+	// parallel — the copies are independent, so the write-back costs one
+	// store round trip instead of one per store. Outcomes are collected in
+	// StNodes order so PreparedNodes/FailedNodes stay deterministic.
+	// Remember which prepared so commit/abort can address exactly those.
 	resp := PrepareResp{Dirty: true, NewSeq: newSeq}
 	var preparedAddrs []transport.Addr
 	staleRefusals, reachable := 0, 0
-	for _, st := range req.StNodes {
-		remote := store.RemoteStore{Client: m.node.Client(), Node: transport.Addr(st)}
-		err := remote.Prepare(ctx, req.Action, []store.Write{{UID: in.id, Data: state, Seq: newSeq}})
-		if err != nil {
+	copyErrs := make([]error, len(req.StNodes))
+	conc.Do(len(req.StNodes), func(i int) {
+		remote := store.RemoteStore{Client: m.node.Client(), Node: transport.Addr(req.StNodes[i])}
+		copyErrs[i] = remote.Prepare(ctx, req.Action, []store.Write{{UID: in.id, Data: state, Seq: newSeq}})
+	})
+	for i, st := range req.StNodes {
+		if err := copyErrs[i]; err != nil {
 			if errors.Is(err, store.ErrStaleVersion) {
 				staleRefusals++
 				reachable++
@@ -466,20 +473,32 @@ func (m *Manager) handleCommit(ctx context.Context, from transport.Addr, req End
 	delete(in.users, req.Action)
 	in.mu.Unlock()
 
+	// Phase-two store commits and coordinator-cohort checkpoints
+	// (§2.3(ii): push the committed state to the cohorts so one of them
+	// can take over without touching the object stores) are independent —
+	// run them all in parallel, collecting failures in deterministic
+	// order. Checkpoint failures break the cohort binding, which the
+	// caller observes via FailedNodes.
 	var resp EndResp
-	for _, st := range prepared {
-		remote := store.RemoteStore{Client: m.node.Client(), Node: st}
-		if err := remote.Commit(ctx, req.Action); err != nil {
+	storeErrs := make([]error, len(prepared))
+	ckptErrs := make([]error, len(req.CheckpointTo))
+	conc.Do(len(prepared)+len(req.CheckpointTo), func(i int) {
+		if i < len(prepared) {
+			remote := store.RemoteStore{Client: m.node.Client(), Node: prepared[i]}
+			storeErrs[i] = remote.Commit(ctx, req.Action)
+			return
+		}
+		j := i - len(prepared)
+		ref := ServerRef{Client: m.node.Client(), Node: transport.Addr(req.CheckpointTo[j]), UID: in.id}
+		ckptErrs[j] = ref.Install(ctx, className, ckptState, ckptSeq)
+	})
+	for i, st := range prepared {
+		if storeErrs[i] != nil {
 			resp.FailedNodes = append(resp.FailedNodes, string(st))
 		}
 	}
-	// Coordinator-cohort checkpointing (§2.3(ii)): push the committed
-	// state to the cohorts so one of them can take over without touching
-	// the object stores. Failures break the cohort binding, which the
-	// caller observes via FailedNodes.
-	for _, cohort := range req.CheckpointTo {
-		ref := ServerRef{Client: m.node.Client(), Node: transport.Addr(cohort), UID: in.id}
-		if err := ref.Install(ctx, className, ckptState, ckptSeq); err != nil {
+	for j, cohort := range req.CheckpointTo {
+		if ckptErrs[j] != nil {
 			resp.FailedNodes = append(resp.FailedNodes, cohort)
 		}
 	}

@@ -32,6 +32,7 @@ import (
 	"sync"
 
 	"repro/internal/action"
+	"repro/internal/conc"
 	"repro/internal/group"
 	"repro/internal/object"
 	"repro/internal/rpc"
@@ -374,19 +375,29 @@ func (h *Handle) Name() string {
 }
 
 // Prepare implements action.Participant: every live server copies the new
-// object state to the functioning St nodes (§3.2(2)/(4)). Server failures
-// are masked per policy; St failures are recorded for exclusion. Prepare
-// fails (aborting the action) when no server can complete the copy.
+// object state to the functioning St nodes (§3.2(2)/(4)), all servers in
+// parallel — their store prepares merge idempotently, so concurrent
+// write-back is safe and the latency is that of the slowest server.
+// Server failures are masked per policy; St failures are recorded for
+// exclusion. Prepare fails (aborting the action) when no server can
+// complete the copy.
 func (h *Handle) Prepare(ctx context.Context, tx string) error {
 	targets, err := h.prepareTargets()
 	if err != nil {
 		return err
 	}
+	type result struct {
+		resp object.PrepareResp
+		err  error
+	}
+	results := make([]result, len(targets))
+	conc.Do(len(targets), func(i int) {
+		results[i].resp, results[i].err = h.ref(targets[i]).Prepare(ctx, tx, h.cfg.StNodes)
+	})
 	okCount := 0
 	var firstErr error
-	for _, sv := range targets {
-		resp, err := h.ref(sv).Prepare(ctx, tx, h.cfg.StNodes)
-		if err != nil {
+	for i, sv := range targets {
+		if err := results[i].err; err != nil {
 			if isCrashError(err) || object.IsNotActive(err) {
 				h.markBroken(sv)
 			}
@@ -398,7 +409,7 @@ func (h *Handle) Prepare(ctx context.Context, tx string) error {
 		okCount++
 		h.mu.Lock()
 		h.prepared = append(h.prepared, sv)
-		for _, st := range resp.FailedNodes {
+		for _, st := range results[i].resp.FailedNodes {
 			h.failedStores[transport.Addr(st)] = true
 		}
 		h.mu.Unlock()
@@ -442,18 +453,25 @@ func (h *Handle) Commit(ctx context.Context, tx string) error {
 			prepared = targets
 		}
 	}
-	var firstErr error
-	for i, sv := range prepared {
+	type result struct {
+		resp object.EndResp
+		err  error
+	}
+	results := make([]result, len(prepared))
+	conc.Do(len(prepared), func(i int) {
 		var checkpointTo []transport.Addr
 		if h.cfg.Policy == CoordinatorCohort && i == 0 {
 			for _, cohort := range h.live() {
-				if cohort != sv {
+				if cohort != prepared[i] {
 					checkpointTo = append(checkpointTo, cohort)
 				}
 			}
 		}
-		resp, err := h.ref(sv).Commit(ctx, tx, checkpointTo...)
-		if err != nil {
+		results[i].resp, results[i].err = h.ref(prepared[i]).Commit(ctx, tx, checkpointTo...)
+	})
+	var firstErr error
+	for i := range prepared {
+		if err := results[i].err; err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -461,7 +479,7 @@ func (h *Handle) Commit(ctx context.Context, tx string) error {
 		}
 		// FailedNodes may name store nodes (phase-two copy failures) or
 		// cohort servers (checkpoint failures); file each in its bucket.
-		for _, f := range resp.FailedNodes {
+		for _, f := range results[i].resp.FailedNodes {
 			h.recordFailure(transport.Addr(f))
 		}
 	}
@@ -482,18 +500,21 @@ func (h *Handle) recordFailure(addr transport.Addr) {
 	h.failedStores[addr] = true
 }
 
-// Abort implements action.Participant.
+// Abort implements action.Participant; all live servers abort in parallel.
 func (h *Handle) Abort(ctx context.Context, tx string) error {
-	var firstErr error
-	for _, sv := range h.live() {
-		if _, err := h.ref(sv).Abort(ctx, tx); err != nil && firstErr == nil {
-			if !isCrashError(err) && !object.IsNotActive(err) {
-				firstErr = err
-			}
+	live := h.live()
+	errs := make([]error, len(live))
+	conc.Do(len(live), func(i int) {
+		_, errs[i] = h.ref(live[i]).Abort(ctx, tx)
+	})
+	for _, err := range errs {
+		if err != nil && !isCrashError(err) && !object.IsNotActive(err) {
+			return err
 		}
 	}
-	return firstErr
+	return nil
 }
+
 
 // isCrashError reports whether err indicates the callee is gone rather
 // than an application-level refusal.

@@ -4,21 +4,31 @@
 // The paper assumes an "RPC service: provide an object invocation facility
 // through an RPC mechanism" (§2.2). This package is that service. Arguments
 // and results are gob-encoded; application-level errors travel inside a
-// response envelope so that they survive any transport (the in-memory
+// response frame so that they survive any transport (the in-memory
 // network passes Go errors natively, TCP cannot), while transport-level
 // failures (ErrUnreachable, ErrReplyLost, …) surface as the transport's
 // sentinel errors — the distinction the paper's binding and commit
 // protocols depend on.
+//
+// The response framing is a hand-rolled length-prefixed record rather than
+// a gob-encoded envelope: a success frame is one tag byte followed by the
+// handler's already-encoded body (wrapped without re-encoding, unwrapped
+// zero-copy on the client), an error frame is the tag plus length-prefixed
+// code and message strings. Encode/Decode run over pooled buffers so the
+// per-call hot path does not grow fresh scratch space every time.
 package rpc
 
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
@@ -55,12 +65,69 @@ const (
 	CodeRefused      = "refused" // e.g. a lock could not be granted
 )
 
-// envelope is the on-the-wire response record: either an error (Code set)
-// or a successful Body.
-type envelope struct {
-	Code string
-	Msg  string
-	Body []byte
+// Response frame tags.
+const (
+	frameOK  = 0x01 // tag, then the raw body bytes
+	frameErr = 0x02 // tag, then u16-len code, u16-len msg
+)
+
+// encodeFrameOK wraps an already-encoded body: one tag byte plus the body
+// verbatim — no re-encoding of the payload.
+func encodeFrameOK(body []byte) []byte {
+	out := make([]byte, 1+len(body))
+	out[0] = frameOK
+	copy(out[1:], body)
+	return out
+}
+
+// encodeFrameErr builds an error frame from a code and message.
+func encodeFrameErr(code, msg string) []byte {
+	if len(code) > 0xffff {
+		code = code[:0xffff]
+	}
+	if len(msg) > 0xffff {
+		msg = msg[:0xffff]
+	}
+	out := make([]byte, 1+2+len(code)+2+len(msg))
+	out[0] = frameErr
+	binary.BigEndian.PutUint16(out[1:], uint16(len(code)))
+	n := 3 + copy(out[3:], code)
+	binary.BigEndian.PutUint16(out[n:], uint16(len(msg)))
+	copy(out[n+2:], msg)
+	return out
+}
+
+// errBadFrame reports a malformed response frame.
+var errBadFrame = errors.New("rpc: malformed response frame")
+
+// decodeFrame splits a response frame. The returned body aliases raw
+// (zero-copy); appErr is non-nil for an error frame.
+func decodeFrame(raw []byte) (body []byte, appErr *AppError, err error) {
+	if len(raw) < 1 {
+		return nil, nil, errBadFrame
+	}
+	switch raw[0] {
+	case frameOK:
+		return raw[1:], nil, nil
+	case frameErr:
+		rest := raw[1:]
+		if len(rest) < 2 {
+			return nil, nil, errBadFrame
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		if len(rest) < 2+n+2 {
+			return nil, nil, errBadFrame
+		}
+		code := string(rest[2 : 2+n])
+		rest = rest[2+n:]
+		m := int(binary.BigEndian.Uint16(rest))
+		if len(rest) < 2+m {
+			return nil, nil, errBadFrame
+		}
+		return nil, &AppError{Code: code, Msg: string(rest[2 : 2+m])}, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: tag %#x", errBadFrame, raw[0])
+	}
 }
 
 // HandlerFunc processes a decoded-payload request for one method.
@@ -92,7 +159,7 @@ func (s *Server) Handle(service, method string, h HandlerFunc) {
 }
 
 // Handler adapts the server to a transport.Handler. All application errors
-// — including dispatch failures — are folded into the envelope so the
+// — including dispatch failures — are folded into the response frame so the
 // transport error return is reserved for the transport itself.
 func (s *Server) Handler() transport.Handler {
 	return func(ctx context.Context, req transport.Request) ([]byte, error) {
@@ -103,43 +170,51 @@ func (s *Server) Handler() transport.Handler {
 		}
 		s.mu.RUnlock()
 		if h == nil {
-			return encodeEnvelope(envelope{Code: CodeNoSuchMethod,
-				Msg: fmt.Sprintf("%s.%s not registered at %s", req.Service, req.Method, req.To)}), nil
+			return encodeFrameErr(CodeNoSuchMethod,
+				fmt.Sprintf("%s.%s not registered at %s", req.Service, req.Method, req.To)), nil
 		}
 		body, err := h(ctx, req.From, req.Payload)
 		if err != nil {
 			var ae *AppError
 			if errors.As(err, &ae) {
-				return encodeEnvelope(envelope{Code: ae.Code, Msg: ae.Msg}), nil
+				return encodeFrameErr(ae.Code, ae.Msg), nil
 			}
-			return encodeEnvelope(envelope{Code: CodeInternal, Msg: err.Error()}), nil
+			return encodeFrameErr(CodeInternal, err.Error()), nil
 		}
-		return encodeEnvelope(envelope{Body: body}), nil
+		return encodeFrameOK(body), nil
 	}
 }
 
-func encodeEnvelope(e envelope) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&e); err != nil {
-		// envelope contains only strings and bytes; encoding cannot fail
-		// except for programmer error.
-		panic(fmt.Sprintf("rpc: encode envelope: %v", err))
-	}
-	return buf.Bytes()
-}
+// bufPool recycles encode scratch buffers; readerPool recycles the
+// bytes.Reader wrappers the gob decoder reads from.
+var (
+	bufPool    = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+	readerPool = sync.Pool{New: func() any { return new(bytes.Reader) }}
+)
 
-// Encode gob-encodes v.
+// Encode gob-encodes v into a fresh byte slice, using a pooled scratch
+// buffer so repeated encodes do not re-grow buffer space.
 func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		bufPool.Put(buf)
 		return nil, fmt.Errorf("rpc: encode %T: %w", v, err)
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	bufPool.Put(buf)
+	return out, nil
 }
 
 // Decode gob-decodes data into v (a pointer).
 func Decode(data []byte, v any) error {
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+	r := readerPool.Get().(*bytes.Reader)
+	r.Reset(data)
+	err := gob.NewDecoder(r).Decode(v)
+	r.Reset(nil) // drop the reference so the pool does not pin the body
+	readerPool.Put(r)
+	if err != nil {
 		return fmt.Errorf("rpc: decode %T: %w", v, err)
 	}
 	return nil
@@ -149,6 +224,68 @@ func Decode(data []byte, v any) error {
 type Client struct {
 	Net  transport.Network
 	From transport.Addr
+	// Metrics, when non-nil, receives per-service call counts and
+	// latencies for every call issued through this client.
+	Metrics *metrics.Registry
+}
+
+// svcMetrics bundles one service's metric handles, memoized on the
+// registry so the per-call path is atomic increments — no name
+// concatenation and no registry lookups in the steady state.
+type svcMetrics struct {
+	calls         *metrics.Counter
+	transportErrs *metrics.Counter
+	latency       *metrics.Latency
+}
+
+func (c Client) serviceMetrics(service string) *svcMetrics {
+	if v, ok := c.Metrics.MemoLoad(service); ok {
+		return v.(*svcMetrics)
+	}
+	sm := &svcMetrics{
+		calls:         c.Metrics.Counter("rpc." + service + ".calls"),
+		transportErrs: c.Metrics.Counter("rpc." + service + ".transport-errors"),
+		latency:       c.Metrics.Latency("rpc." + service),
+	}
+	return c.Metrics.MemoStore(service, sm).(*svcMetrics)
+}
+
+// Call performs an RPC with a pre-encoded payload and returns the raw
+// response body. It is the encode-once fast path: a caller fanning the
+// same payload out to many destinations encodes it a single time and
+// invokes Call per destination. Transport failures are returned as the
+// transport's errors; application failures as *AppError.
+func (c Client) Call(ctx context.Context, to transport.Addr, service, method string, payload []byte) ([]byte, error) {
+	var start time.Time
+	if c.Metrics != nil {
+		start = time.Now()
+	}
+	raw, err := c.Net.Call(ctx, transport.Request{
+		From:    c.From,
+		To:      to,
+		Service: service,
+		Method:  method,
+		Payload: payload,
+	})
+	if c.Metrics != nil {
+		sm := c.serviceMetrics(service)
+		sm.calls.Inc()
+		sm.latency.Observe(time.Since(start))
+		if err != nil {
+			sm.transportErrs.Inc()
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	body, appErr, err := decodeFrame(raw)
+	if err != nil {
+		return nil, err
+	}
+	if appErr != nil {
+		return nil, appErr
+	}
+	return body, nil
 }
 
 // Invoke performs a typed call: req is gob-encoded, the reply decoded into
@@ -160,25 +297,12 @@ func Invoke[Req, Resp any](ctx context.Context, c Client, to transport.Addr, ser
 	if err != nil {
 		return zero, err
 	}
-	raw, err := c.Net.Call(ctx, transport.Request{
-		From:    c.From,
-		To:      to,
-		Service: service,
-		Method:  method,
-		Payload: payload,
-	})
+	body, err := c.Call(ctx, to, service, method, payload)
 	if err != nil {
 		return zero, err
 	}
-	var env envelope
-	if err := Decode(raw, &env); err != nil {
-		return zero, err
-	}
-	if env.Code != "" {
-		return zero, &AppError{Code: env.Code, Msg: env.Msg}
-	}
 	var resp Resp
-	if err := Decode(env.Body, &resp); err != nil {
+	if err := Decode(body, &resp); err != nil {
 		return zero, err
 	}
 	return resp, nil

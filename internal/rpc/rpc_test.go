@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/transport"
 )
 
@@ -151,5 +152,106 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 	if out.Name != in.Name || out.N != in.N || len(out.Tags) != 2 {
 		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	body, appErr, err := decodeFrame(encodeFrameOK([]byte("payload")))
+	if err != nil || appErr != nil {
+		t.Fatalf("ok frame: body=%q appErr=%v err=%v", body, appErr, err)
+	}
+	if string(body) != "payload" {
+		t.Fatalf("body = %q", body)
+	}
+	body, appErr, err = decodeFrame(encodeFrameErr(CodeConflict, "msg text"))
+	if err != nil || body != nil {
+		t.Fatalf("err frame: body=%q err=%v", body, err)
+	}
+	if appErr.Code != CodeConflict || appErr.Msg != "msg text" {
+		t.Fatalf("appErr = %+v", appErr)
+	}
+	// Empty body and empty error strings survive.
+	if body, appErr, err = decodeFrame(encodeFrameOK(nil)); err != nil || appErr != nil || len(body) != 0 {
+		t.Fatalf("empty ok frame: %q %v %v", body, appErr, err)
+	}
+	if _, appErr, err = decodeFrame(encodeFrameErr("", "")); err != nil || appErr == nil {
+		t.Fatalf("empty err frame: %v %v", appErr, err)
+	}
+}
+
+func TestDecodeFrameZeroCopy(t *testing.T) {
+	raw := encodeFrameOK([]byte("abc"))
+	body, _, err := decodeFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &body[0] != &raw[1] {
+		t.Fatal("success body must alias the frame, not copy it")
+	}
+}
+
+func TestDecodeFrameMalformed(t *testing.T) {
+	for _, raw := range [][]byte{
+		nil,
+		{},
+		{0x7f},             // unknown tag
+		{frameErr},         // truncated: no code length
+		{frameErr, 0, 5},   // code length beyond buffer
+		{frameErr, 0, 1, 'x', 0}, // truncated msg length
+	} {
+		if _, _, err := decodeFrame(raw); err == nil {
+			t.Fatalf("frame %v should be rejected", raw)
+		}
+	}
+}
+
+func TestClientCallEncodeOnce(t *testing.T) {
+	net, srv := newTestNet(t)
+	srv.Handle("math", "Add", Method(func(ctx context.Context, from transport.Addr, req addReq) (addResp, error) {
+		return addResp{Sum: req.A + req.B}, nil
+	}))
+	c := Client{Net: net, From: "client"}
+	payload, err := Encode(&addReq{A: 3, B: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same encoded payload is reusable across calls (the fan-out
+	// fast path encodes once and Calls many times).
+	for i := 0; i < 2; i++ {
+		body, err := c.Call(context.Background(), "server", "math", "Add", payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp addResp
+		if err := Decode(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Sum != 7 {
+			t.Fatalf("Sum = %d", resp.Sum)
+		}
+	}
+}
+
+func TestClientRecordsMetrics(t *testing.T) {
+	net, srv := newTestNet(t)
+	srv.Handle("math", "Add", Method(func(ctx context.Context, from transport.Addr, req addReq) (addResp, error) {
+		return addResp{Sum: req.A + req.B}, nil
+	}))
+	reg := &metrics.Registry{}
+	c := Client{Net: net, From: "client", Metrics: reg}
+	if _, err := Invoke[addReq, addResp](context.Background(), c, "server", "math", "Add", addReq{A: 1, B: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Invoke[addReq, addResp](context.Background(), c, "ghost", "math", "Add", addReq{}); err == nil {
+		t.Fatal("expected unreachable error")
+	}
+	if got := reg.Counter("rpc.math.calls").Value(); got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+	if got := reg.Counter("rpc.math.transport-errors").Value(); got != 1 {
+		t.Fatalf("transport-errors = %d, want 1", got)
+	}
+	if reg.Latency("rpc.math").Count() != 2 {
+		t.Fatal("latency samples missing")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/rpc"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -60,9 +61,10 @@ func (n *Node) Store() *store.Store { return n.stable }
 // register handlers.
 func (n *Node) Server() *rpc.Server { return n.srv }
 
-// Client returns an RPC client originating from this node.
+// Client returns an RPC client originating from this node. Calls issued
+// through it are recorded in the cluster's metrics registry.
 func (n *Node) Client() rpc.Client {
-	return rpc.Client{Net: n.cluster.net, From: n.name}
+	return rpc.Client{Net: n.cluster.net, From: n.name, Metrics: n.cluster.metrics}
 }
 
 // Up reports whether the node is functioning.
@@ -152,7 +154,8 @@ func (n *Node) Recover(log store.OutcomeLog) {
 // in-memory simulator (NewCluster), but any transport.Network works
 // (NewClusterOn) — the protocol stack above is transport-agnostic.
 type Cluster struct {
-	net transport.Network
+	net     transport.Network
+	metrics *metrics.Registry
 
 	mu    sync.Mutex
 	nodes map[transport.Addr]*Node
@@ -168,13 +171,18 @@ func NewCluster(opts transport.MemOptions) *Cluster {
 // only available on the in-memory network.
 func NewClusterOn(net transport.Network) *Cluster {
 	return &Cluster{
-		net:   net,
-		nodes: make(map[transport.Addr]*Node),
+		net:     net,
+		metrics: &metrics.Registry{},
+		nodes:   make(map[transport.Addr]*Node),
 	}
 }
 
 // Net returns the underlying network.
 func (c *Cluster) Net() transport.Network { return c.net }
+
+// Metrics returns the cluster-wide metrics registry, which accumulates
+// per-service RPC call counts and latencies from every node's client.
+func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
 
 // Faults returns the network's fault plan, or nil when the underlying
 // network is not the in-memory simulator (faults cannot be injected into

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCP is a Network implementation over real loopback sockets using
@@ -15,8 +16,11 @@ import (
 // naming-and-binding stack over TCP unchanged.
 //
 // Each registered address gets its own listener on 127.0.0.1; an internal
-// directory maps Addr to the listener's host:port. Faults and partitions
-// are not supported on TCP (use Mem for fault experiments).
+// directory maps Addr to the listener's host:port. Client connections are
+// pooled per endpoint (with their gob stream state), so the steady-state
+// cost of a call is one request/reply exchange rather than a fresh dial
+// plus gob type-dictionary transfer every time. Faults and partitions are
+// not supported on TCP (use Mem for fault experiments).
 type TCP struct {
 	mu        sync.RWMutex
 	listeners map[Addr]*tcpEndpoint
@@ -25,11 +29,82 @@ type TCP struct {
 
 var _ Network = (*TCP)(nil)
 
+// maxIdleConns bounds the pooled client connections kept per endpoint.
+const maxIdleConns = 8
+
 type tcpEndpoint struct {
 	ln      net.Listener
 	handler Handler
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	poolMu sync.Mutex
+	idle   []*tcpConn
+
+	// servingMu guards the accepted server-side connections, which must be
+	// closed on stop: pooled clients keep connections open between calls,
+	// so the per-connection server goroutines no longer exit on their own.
+	servingMu sync.Mutex
+	serving   map[net.Conn]struct{}
+}
+
+// tcpConn is one pooled client connection with its gob stream state (the
+// encoder/decoder pair must live as long as the connection: gob sends each
+// type's wire description only once per stream).
+type tcpConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// getConn returns a pooled connection or dials a new one. pooled reports
+// whether the connection was reused (a write failure on a reused
+// connection is safely retriable — the server never saw the request).
+func (ep *tcpEndpoint) getConn(ctx context.Context) (c *tcpConn, pooled bool, err error) {
+	ep.poolMu.Lock()
+	if n := len(ep.idle); n > 0 {
+		c = ep.idle[n-1]
+		ep.idle = ep.idle[:n-1]
+		ep.poolMu.Unlock()
+		return c, true, nil
+	}
+	ep.poolMu.Unlock()
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", ep.ln.Addr().String())
+	if err != nil {
+		return nil, false, err
+	}
+	return &tcpConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, false, nil
+}
+
+// putConn returns a healthy connection to the pool (closing it instead if
+// the endpoint stopped or the pool is full).
+func (ep *tcpEndpoint) putConn(c *tcpConn) {
+	select {
+	case <-ep.done:
+		c.conn.Close()
+		return
+	default:
+	}
+	ep.poolMu.Lock()
+	if len(ep.idle) < maxIdleConns {
+		ep.idle = append(ep.idle, c)
+		ep.poolMu.Unlock()
+		return
+	}
+	ep.poolMu.Unlock()
+	c.conn.Close()
+}
+
+// closeIdle closes all pooled connections.
+func (ep *tcpEndpoint) closeIdle() {
+	ep.poolMu.Lock()
+	idle := ep.idle
+	ep.idle = nil
+	ep.poolMu.Unlock()
+	for _, c := range idle {
+		c.conn.Close()
+	}
 }
 
 // wireRequest is the on-the-wire request record.
@@ -80,7 +155,28 @@ func (t *TCP) Register(addr Addr, h Handler) {
 func (ep *tcpEndpoint) stop() {
 	close(ep.done)
 	ep.ln.Close()
+	ep.closeIdle()
+	ep.servingMu.Lock()
+	for conn := range ep.serving {
+		conn.Close()
+	}
+	ep.servingMu.Unlock()
 	ep.wg.Wait()
+}
+
+func (ep *tcpEndpoint) track(conn net.Conn) {
+	ep.servingMu.Lock()
+	if ep.serving == nil {
+		ep.serving = make(map[net.Conn]struct{})
+	}
+	ep.serving[conn] = struct{}{}
+	ep.servingMu.Unlock()
+}
+
+func (ep *tcpEndpoint) untrack(conn net.Conn) {
+	ep.servingMu.Lock()
+	delete(ep.serving, conn)
+	ep.servingMu.Unlock()
 }
 
 func (ep *tcpEndpoint) serve() {
@@ -95,9 +191,11 @@ func (ep *tcpEndpoint) serve() {
 				return
 			}
 		}
+		ep.track(conn)
 		ep.wg.Add(1)
 		go func() {
 			defer ep.wg.Done()
+			defer ep.untrack(conn)
 			defer conn.Close()
 			ep.handleConn(conn)
 		}()
@@ -143,9 +241,13 @@ func (t *TCP) Unregister(addr Addr) {
 	}
 }
 
-// Call implements Network by dialing the destination's listener per call.
-// Per-call dialing is deliberately simple; connection pooling is an
-// optimisation the experiments do not need.
+// Call implements Network over a pooled connection to the destination's
+// listener. A stale pooled connection (closed by the server since its
+// last use) fails on the request write before the server can have seen
+// the request, so the call safely retries once on a freshly dialed
+// connection; failures after the write are never retried — the operation
+// may have executed, which is exactly the ambiguity the upper layers'
+// commit protocols are built to handle.
 func (t *TCP) Call(ctx context.Context, req Request) ([]byte, error) {
 	t.mu.RLock()
 	ep, ok := t.listeners[req.To]
@@ -153,36 +255,44 @@ func (t *TCP) Call(ctx context.Context, req Request) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%s -> %s: %w", req.From, req.To, ErrUnreachable)
 	}
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", ep.ln.Addr().String())
-	if err != nil {
-		return nil, fmt.Errorf("%s -> %s: %w", req.From, req.To, ErrUnreachable)
-	}
-	defer conn.Close()
-	if dl, ok := ctx.Deadline(); ok {
-		if err := conn.SetDeadline(dl); err != nil {
-			return nil, err
-		}
-	}
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(&wireRequest{
+	wreq := wireRequest{
 		From:    string(req.From),
 		To:      string(req.To),
 		Service: req.Service,
 		Method:  req.Method,
 		Payload: req.Payload,
-	}); err != nil {
-		return nil, fmt.Errorf("%s -> %s: encode: %w", req.From, req.To, err)
 	}
-	var wrep wireReply
-	if err := dec.Decode(&wrep); err != nil {
-		return nil, fmt.Errorf("%s -> %s: decode: %w", req.From, req.To, err)
+	for attempt := 0; ; attempt++ {
+		c, pooled, err := ep.getConn(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("%s -> %s: %w", req.From, req.To, ErrUnreachable)
+		}
+		deadline := time.Time{}
+		if dl, ok := ctx.Deadline(); ok {
+			deadline = dl
+		}
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			c.conn.Close()
+			return nil, err
+		}
+		if err := c.enc.Encode(&wreq); err != nil {
+			c.conn.Close()
+			if pooled && attempt == 0 {
+				continue // stale pooled connection; the server never saw the request
+			}
+			return nil, fmt.Errorf("%s -> %s: encode: %w", req.From, req.To, err)
+		}
+		var wrep wireReply
+		if err := c.dec.Decode(&wrep); err != nil {
+			c.conn.Close()
+			return nil, fmt.Errorf("%s -> %s: decode: %w", req.From, req.To, err)
+		}
+		ep.putConn(c)
+		if wrep.HasErr {
+			return wrep.Payload, errors.New(wrep.Err)
+		}
+		return wrep.Payload, nil
 	}
-	if wrep.HasErr {
-		return wrep.Payload, errors.New(wrep.Err)
-	}
-	return wrep.Payload, nil
 }
 
 // Close shuts down all listeners. The network is unusable afterwards.

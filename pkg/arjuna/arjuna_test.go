@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -385,5 +386,46 @@ func TestOpenOverTCP(t *testing.T) {
 	}
 	if err := sys.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestStatsExposeRPCTraffic(t *testing.T) {
+	sys := openT(t)
+	cl := clientT(t, sys, "c1")
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	if _, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("1"))
+		return err
+	}); err != nil {
+		t.Fatalf("Atomic: %v", err)
+	}
+
+	stats := sys.Stats()
+	if len(stats) == 0 {
+		t.Fatal("Stats() empty after a committed transaction")
+	}
+	byService := make(map[string]arjuna.ServiceStats, len(stats))
+	for _, s := range stats {
+		byService[s.Service] = s
+	}
+	// A committed counter action must at minimum have driven the object
+	// server (invocation) and the object stores (commit-time copy).
+	for _, svc := range []string{"objsrv", "objectstore"} {
+		s, ok := byService[svc]
+		if !ok {
+			t.Fatalf("Stats() missing service %q (got %v)", svc, stats)
+		}
+		if s.Calls <= 0 {
+			t.Fatalf("service %q: calls = %d", svc, s.Calls)
+		}
+		if s.MeanLatency < 0 || s.MaxLatency < s.MeanLatency {
+			t.Fatalf("service %q: implausible latencies %+v", svc, s)
+		}
+	}
+	snap := sys.StatsSnapshot()
+	if !strings.Contains(snap, "rpc.objectstore.calls") {
+		t.Fatalf("snapshot missing rpc counters:\n%s", snap)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"slices"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/action"
 	"repro/internal/core"
@@ -310,6 +311,60 @@ func (s *System) Sweep(ctx context.Context) SweepReport {
 // when the deployment runs over a real transport.
 func (s *System) Faults() *transport.Faults {
 	return s.w.Cluster.Faults()
+}
+
+// ServiceStats describes the RPC traffic of one service across the
+// deployment since Open.
+type ServiceStats struct {
+	// Service is the RPC service name (e.g. "group", "objectstore").
+	Service string
+	// Calls is the number of calls issued; TransportErrors counts the
+	// calls that failed at the transport (unreachable, lost messages).
+	Calls           int64
+	TransportErrors int64
+	// MeanLatency and MaxLatency aggregate the per-call round-trip time.
+	MeanLatency time.Duration
+	MaxLatency  time.Duration
+}
+
+// Stats returns per-service RPC call counts and latencies accumulated by
+// every node of the deployment, sorted by service name. The counters are
+// cumulative since Open.
+func (s *System) Stats() []ServiceStats {
+	reg := s.w.Metrics
+	var out []ServiceStats
+	for _, name := range reg.CounterNames() {
+		trimmed, ok := strings.CutSuffix(name, ".calls")
+		if !ok {
+			continue
+		}
+		service, ok := strings.CutPrefix(trimmed, "rpc.")
+		if !ok {
+			continue
+		}
+		// Read-only lookups: observing stats must not create registry
+		// entries (that would change a later StatsSnapshot).
+		s := ServiceStats{Service: service}
+		if c, ok := reg.LookupCounter(name); ok {
+			s.Calls = c.Value()
+		}
+		if c, ok := reg.LookupCounter("rpc." + service + ".transport-errors"); ok {
+			s.TransportErrors = c.Value()
+		}
+		if lat, ok := reg.LookupLatency("rpc." + service); ok {
+			s.MeanLatency = lat.Mean()
+			s.MaxLatency = lat.Max()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// StatsSnapshot renders the deployment's full metrics registry (RPC call
+// counts, latencies, and anything experiments recorded) as a
+// deterministic multi-line report.
+func (s *System) StatsSnapshot() string {
+	return s.w.Metrics.Snapshot()
 }
 
 // dbClient returns a group-view-database client originating from the
