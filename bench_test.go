@@ -10,6 +10,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/harness"
+	"repro/internal/lockmgr"
 	"repro/internal/replica"
 )
 
@@ -231,6 +233,27 @@ func BenchmarkMulticastAblation(b *testing.B) {
 	b.ReportMetric(naiveSum/float64(b.N), "naive-us/msg")
 }
 
+// BenchmarkMulticastPipelined measures ordered multicast under pipelined
+// load: 8 concurrent senders against a 3-member group with a 200µs
+// per-leg latency. The batched sequencer orders every request that
+// arrives during an in-flight fan-out in the next frame, so it sustains
+// more than one message per sequencer round (reported as msgs/round) and
+// the per-message cost drops well below the solo round-trip cost.
+func BenchmarkMulticastPipelined(b *testing.B) {
+	var micros, perRound float64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p, err := experiments.MeasurePipelinedMulticast(3, 8, 5, 200*time.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		micros += p.Micros
+		perRound += p.MsgsPerRound()
+	}
+	b.ReportMetric(micros/float64(b.N), "ordered-us/msg")
+	b.ReportMetric(perRound/float64(b.N), "msgs/round")
+}
+
 // BenchmarkMulticastGroupSize measures ordered-multicast latency across
 // group sizes under a fixed 200µs per-leg network latency. With the
 // concurrent sequencer fan-out the per-message cost should grow
@@ -254,22 +277,51 @@ func BenchmarkMulticastGroupSize(b *testing.B) {
 }
 
 // slowParticipant is a 2PC participant whose prepare and commit each cost
-// a fixed delay — the stand-in for a store round trip.
+// a fixed delay — the stand-in for a store round trip. A read-only
+// participant pays the prepare delay, votes read-only, and (per the
+// voting contract) is excluded from phase two.
 type slowParticipant struct {
-	name  string
-	delay time.Duration
+	name     string
+	delay    time.Duration
+	readOnly bool
 }
 
 func (p *slowParticipant) Name() string { return p.name }
-func (p *slowParticipant) Prepare(ctx context.Context, tx string) error {
+func (p *slowParticipant) Prepare(ctx context.Context, tx string) (action.Vote, error) {
 	time.Sleep(p.delay)
-	return nil
+	if p.readOnly {
+		return action.VoteReadOnly, nil
+	}
+	return action.VoteCommit, nil
 }
 func (p *slowParticipant) Commit(ctx context.Context, tx string) error {
 	time.Sleep(p.delay)
 	return nil
 }
 func (p *slowParticipant) Abort(ctx context.Context, tx string) error { return nil }
+
+func bench2PC(b *testing.B, participants int, readOnly bool) {
+	mgr := action.NewManager("bench2pc", nil)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		act := mgr.BeginTop()
+		for j := 0; j < participants; j++ {
+			p := &slowParticipant{name: fmt.Sprintf("p%d", j), delay: 200 * time.Microsecond, readOnly: readOnly}
+			if err := act.Enlist(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rep, err := act.Commit(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if readOnly && (rep.CommitVoters != 0 || rep.OutcomeLogged) {
+			b.Fatalf("read-only commit ran phase two: %+v", rep)
+		}
+	}
+}
 
 // Benchmark2PCParticipants measures top-level commit latency against the
 // participant count, each participant costing 200µs per phase. With the
@@ -279,23 +331,69 @@ func (p *slowParticipant) Abort(ctx context.Context, tx string) error { return n
 func Benchmark2PCParticipants(b *testing.B) {
 	for _, participants := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("participants-%d", participants), func(b *testing.B) {
-			mgr := action.NewManager("bench2pc", nil)
-			ctx := context.Background()
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				act := mgr.BeginTop()
-				for j := 0; j < participants; j++ {
-					if err := act.Enlist(&slowParticipant{name: fmt.Sprintf("p%d", j), delay: 200 * time.Microsecond}); err != nil {
-						b.Fatal(err)
-					}
+			bench2PC(b, participants, false)
+		})
+	}
+}
+
+// Benchmark2PCParticipantsReadOnly is the §4.1.2 read-optimisation
+// variant: every participant votes read-only, so phase two and the
+// outcome-log write vanish and the commit costs a single 200µs prepare
+// round — about half the mixed-vote commit.
+func Benchmark2PCParticipantsReadOnly(b *testing.B) {
+	for _, participants := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("participants-%d", participants), func(b *testing.B) {
+			bench2PC(b, participants, true)
+		})
+	}
+}
+
+// BenchmarkLockContention measures the striped lock table: each parallel
+// worker acquires and releases a write lock on its own key. With one
+// global mutex every acquire serialised through a single cache line; the
+// striped table scales with the keys touching distinct stripes. The
+// same-key variant is the upper contention bound for comparison.
+func BenchmarkLockContention(b *testing.B) {
+	ctx := context.Background()
+	b.Run("disjoint-keys", func(b *testing.B) {
+		lm := lockmgr.New(lockmgr.NoNesting)
+		var worker atomic.Int64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			id := worker.Add(1)
+			owner := lockmgr.Owner(fmt.Sprintf("w%d", id))
+			key := fmt.Sprintf("key-%d", id)
+			for pb.Next() {
+				if err := lm.Acquire(ctx, owner, key, lockmgr.Write); err != nil {
+					b.Error(err)
+					return
 				}
-				if _, err := act.Commit(ctx); err != nil {
-					b.Fatal(err)
+				if err := lm.Release(owner, key, lockmgr.Write); err != nil {
+					b.Error(err)
+					return
 				}
 			}
 		})
-	}
+	})
+	b.Run("same-key", func(b *testing.B) {
+		lm := lockmgr.New(lockmgr.NoNesting)
+		var worker atomic.Int64
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			id := worker.Add(1)
+			owner := lockmgr.Owner(fmt.Sprintf("w%d", id))
+			for pb.Next() {
+				if err := lm.Acquire(ctx, owner, "hot", lockmgr.Read); err != nil {
+					b.Error(err)
+					return
+				}
+				if err := lm.Release(owner, "hot", lockmgr.Read); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+	})
 }
 
 // BenchmarkBindOnly measures the naming-and-binding round per scheme with

@@ -71,15 +71,68 @@ var (
 	ErrPrepareFailed = errors.New("action: participant failed to prepare")
 )
 
+// Vote is a participant's phase-one answer (§4.1.2's read optimisation
+// made explicit in the commit protocol).
+type Vote int
+
+// Phase-one votes.
+const (
+	// VoteCommit: the participant has stably prepared updates and needs a
+	// phase-two Commit (or Abort) to learn the outcome.
+	VoteCommit Vote = iota + 1
+	// VoteReadOnly: the participant only read — it has released its
+	// resources during Prepare and takes no part in phase two. Presumed
+	// abort makes this safe: a read-only participant never consults the
+	// outcome log because it has nothing to resolve.
+	VoteReadOnly
+)
+
+// String implements fmt.Stringer.
+func (v Vote) String() string {
+	switch v {
+	case VoteCommit:
+		return "commit"
+	case VoteReadOnly:
+		return "read-only"
+	default:
+		return fmt.Sprintf("vote(%d)", int(v))
+	}
+}
+
 // Participant is a resource that takes part in two-phase commit of a
 // top-level action. tx is the top-level action's ID (the commit record
-// key). Abort may be invoked for a tx that never prepared; it must be a
-// no-op then.
+// key). Prepare returns the participant's vote; a VoteReadOnly
+// participant must have released its resources by the time Prepare
+// returns and is excluded from phase two. Abort may be invoked for a tx
+// that never prepared (or voted read-only); it must be a no-op then.
 type Participant interface {
 	Name() string
-	Prepare(ctx context.Context, tx string) error
+	Prepare(ctx context.Context, tx string) (Vote, error)
 	Commit(ctx context.Context, tx string) error
 	Abort(ctx context.Context, tx string) error
+}
+
+// ErrOnePhaseIneligible is returned by a OnePhaser that cannot commit in
+// a single combined round this time (e.g. the write would fan out to
+// several stable stores, which needs the coordinator's outcome log to
+// stay atomic). The coordinator falls back to ordinary two-phase commit;
+// the participant must be left exactly as if CommitOnePhase was never
+// called.
+var ErrOnePhaseIneligible = errors.New("action: one-phase commit ineligible")
+
+// OnePhaser is an optional Participant extension: when a top-level
+// action has exactly one participant there is nothing to coordinate, so
+// the commit decision can be delegated to the participant itself in a
+// single combined prepare+commit round — one RPC instead of two, and no
+// outcome-log write (the decision never outlives the call).
+//
+// CommitOnePhase either commits the participant's updates (VoteCommit),
+// finds there was nothing to write and releases (VoteReadOnly), or
+// fails — in which case the participant must be rolled back or left
+// recoverable under presumed abort. ErrOnePhaseIneligible asks the
+// coordinator to run ordinary 2PC instead.
+type OnePhaser interface {
+	CommitOnePhase(ctx context.Context, tx string) (Vote, error)
 }
 
 // Ancestry is the lockmgr ancestry induced by the action ID scheme: a
@@ -326,18 +379,40 @@ func (a *Action) commitNestedLocked(_ context.Context) (*CommitReport, error) {
 	return &CommitReport{}, nil
 }
 
-// CommitReport describes the aftermath of a commit.
+// CommitReport describes the aftermath of a commit — including the vote
+// anatomy, so callers (and benchmarks) can see which round-trip
+// eliminations fired.
 type CommitReport struct {
 	// PhaseTwoErrors lists participants whose Commit call failed after the
 	// commit point. The action IS committed; these participants recover
 	// via the outcome log.
 	PhaseTwoErrors []error
+	// ReadOnlyVoters and CommitVoters count the phase-one votes. Read-only
+	// voters were released after phase one and took no part in phase two.
+	ReadOnlyVoters int
+	CommitVoters   int
+	// OnePhase reports that the commit ran as a single combined
+	// prepare+commit round with the action's only participant.
+	OnePhase bool
+	// OutcomeLogged reports whether a commit record was written. All-read-
+	// only and one-phase commits skip it (presumed abort makes this safe).
+	OutcomeLogged bool
 }
 
-// commitTopLocked runs two-phase commit; a.mu is held on entry. Both
+// commitTopLocked runs top-level commitment; a.mu is held on entry. Both
 // phases fan out to all participants concurrently: participants are
 // independent resources, so commit latency is that of the slowest
 // participant rather than the sum over participants.
+//
+// Three round-trip eliminations apply (§4.1.2):
+//
+//   - a participant that voted VoteReadOnly is released during phase one
+//     and is excluded from phase two;
+//   - when every participant voted read-only, the outcome-log write is
+//     skipped too — there is nothing any recovery would ask about;
+//   - an action with a single participant that implements OnePhaser
+//     commits in one combined prepare+commit round with no log write:
+//     the decision is delegated to the participant.
 func (a *Action) commitTopLocked(ctx context.Context) (*CommitReport, error) {
 	a.status = StatusPreparing
 	participants := a.participants
@@ -346,43 +421,64 @@ func (a *Action) commitTopLocked(ctx context.Context) (*CommitReport, error) {
 
 	// Read-only fast path: nothing to prepare.
 	if len(participants) == 0 {
-		a.mu.Lock()
-		a.status = StatusCommitted
-		a.mu.Unlock()
-		for _, f := range resolveHooks {
-			f(true)
-		}
+		a.finish(StatusCommitted, resolveHooks)
 		return &CommitReport{}, nil
+	}
+
+	// One-phase fast path: a single participant needs no coordination.
+	if len(participants) == 1 {
+		if op, ok := participants[0].(OnePhaser); ok {
+			report, err := a.commitOnePhase(ctx, participants[0], op, resolveHooks)
+			if !errors.Is(err, ErrOnePhaseIneligible) {
+				return report, err
+			}
+			// Ineligible: the participant is untouched; run ordinary 2PC.
+		}
 	}
 
 	// Phase one: concurrent, with first-failure abort — the first prepare
 	// refusal cancels the prepares still in flight.
-	if err := a.prepareAll(ctx, participants); err != nil {
+	votes, err := a.prepareAll(ctx, participants)
+	if err != nil {
 		a.mgr.log.Record(a.id, store.OutcomeAborted)
-		a.mu.Lock()
-		a.status = StatusAborted
-		a.mu.Unlock()
-		for _, f := range resolveHooks {
-			f(false)
-		}
+		a.finish(StatusAborted, resolveHooks)
 		return nil, err
+	}
+	report := &CommitReport{}
+	var voters []Participant
+	for i, v := range votes {
+		if v == VoteReadOnly {
+			report.ReadOnlyVoters++
+			continue
+		}
+		report.CommitVoters++
+		voters = append(voters, participants[i])
+	}
+
+	// All participants voted read-only: they are already released, and
+	// presumed abort means no recovery will ever consult the log for this
+	// action — skip the outcome-log write and the whole of phase two.
+	if len(voters) == 0 {
+		a.finish(StatusCommitted, resolveHooks)
+		return report, nil
 	}
 
 	// Commit point.
 	a.mgr.log.Record(a.id, store.OutcomeCommitted)
+	report.OutcomeLogged = true
 	a.mu.Lock()
 	a.status = StatusCommitted
 	a.mu.Unlock()
 
-	// Phase two: concurrent, best effort; failures are survivable and
-	// aggregated in participant order so the report is deterministic.
-	errs := make([]error, len(participants))
-	conc.Do(len(participants), func(i int) {
-		if err := participants[i].Commit(ctx, a.id); err != nil {
-			errs[i] = fmt.Errorf("phase-2 commit at %s: %w", participants[i].Name(), err)
+	// Phase two: concurrent over the commit voters only, best effort;
+	// failures are survivable and aggregated in participant order so the
+	// report is deterministic.
+	errs := conc.DoErr(len(voters), func(i int) error {
+		if err := voters[i].Commit(ctx, a.id); err != nil {
+			return fmt.Errorf("phase-2 commit at %s: %w", voters[i].Name(), err)
 		}
+		return nil
 	})
-	report := &CommitReport{}
 	for _, err := range errs {
 		if err != nil {
 			report.PhaseTwoErrors = append(report.PhaseTwoErrors, err)
@@ -394,13 +490,50 @@ func (a *Action) commitTopLocked(ctx context.Context) (*CommitReport, error) {
 	return report, nil
 }
 
-// prepareAll runs phase one across all participants concurrently. On the
-// first failure the remaining in-flight prepares are cancelled and every
-// participant is rolled back — including ones whose prepare may have
-// half-happened (e.g. a lost reply) and ones that never prepared (Abort
-// is a no-op for them, per the Participant contract). The roll-back uses
-// the caller's context, not the cancelled one.
-func (a *Action) prepareAll(ctx context.Context, participants []Participant) error {
+// commitOnePhase delegates the commit decision to the action's only
+// participant in a single combined round. No outcome log record is
+// written on either path: the participant resolves its own fate before
+// the call returns, and anything it left prepared-but-undecided (a crash
+// mid-call) resolves to abort under the presumed-abort rule.
+func (a *Action) commitOnePhase(ctx context.Context, p Participant, op OnePhaser, resolveHooks []func(bool)) (*CommitReport, error) {
+	vote, err := op.CommitOnePhase(ctx, a.id)
+	if errors.Is(err, ErrOnePhaseIneligible) {
+		return nil, err
+	}
+	if err != nil {
+		// Roll the participant back (idempotent if it already did).
+		_ = p.Abort(ctx, a.id)
+		a.finish(StatusAborted, resolveHooks)
+		return nil, fmt.Errorf("%s: %s: %v: %w", a.id, p.Name(), err, ErrPrepareFailed)
+	}
+	report := &CommitReport{OnePhase: true}
+	if vote == VoteReadOnly {
+		report.ReadOnlyVoters = 1
+	} else {
+		report.CommitVoters = 1
+	}
+	a.finish(StatusCommitted, resolveHooks)
+	return report, nil
+}
+
+// finish records the final status and fires the resolve hooks.
+func (a *Action) finish(st Status, resolveHooks []func(bool)) {
+	a.mu.Lock()
+	a.status = st
+	a.mu.Unlock()
+	for _, f := range resolveHooks {
+		f(st == StatusCommitted)
+	}
+}
+
+// prepareAll runs phase one across all participants concurrently and
+// collects their votes. On the first failure the remaining in-flight
+// prepares are cancelled and every participant is rolled back — including
+// ones whose prepare may have half-happened (e.g. a lost reply), ones
+// that never prepared, and read-only voters already released (Abort is a
+// no-op for them, per the Participant contract). The roll-back uses the
+// caller's context, not the cancelled one.
+func (a *Action) prepareAll(ctx context.Context, participants []Participant) ([]Vote, error) {
 	pctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -408,8 +541,10 @@ func (a *Action) prepareAll(ctx context.Context, participants []Participant) err
 		firstErr error
 		firstIdx int
 	)
+	votes := make([]Vote, len(participants))
 	conc.Do(len(participants), func(i int) {
-		if err := participants[i].Prepare(pctx, a.id); err != nil {
+		v, err := participants[i].Prepare(pctx, a.id)
+		if err != nil {
 			mu.Lock()
 			if firstErr == nil {
 				firstErr = err
@@ -417,15 +552,17 @@ func (a *Action) prepareAll(ctx context.Context, participants []Participant) err
 			}
 			mu.Unlock()
 			cancel()
+			return
 		}
+		votes[i] = v
 	})
 	if firstErr == nil {
-		return nil
+		return votes, nil
 	}
 	conc.Do(len(participants), func(i int) {
 		_ = participants[i].Abort(ctx, a.id)
 	})
-	return fmt.Errorf("%s: %s: %v: %w", a.id, participants[firstIdx].Name(), firstErr, ErrPrepareFailed)
+	return nil, fmt.Errorf("%s: %s: %v: %w", a.id, participants[firstIdx].Name(), firstErr, ErrPrepareFailed)
 }
 
 // Abort ends the action, undoing its effects. Active children are aborted
@@ -498,9 +635,19 @@ type StoreParticipant struct {
 // Name implements Participant.
 func (p *StoreParticipant) Name() string { return p.Label }
 
-// Prepare implements Participant.
-func (p *StoreParticipant) Prepare(ctx context.Context, tx string) error {
-	return p.Remote.Prepare(ctx, tx, p.Writes())
+// Prepare implements Participant. A participant with nothing to write
+// votes read-only without touching the store at all — there is no
+// intention to record, so the prepare round trip vanishes along with the
+// phase-two one.
+func (p *StoreParticipant) Prepare(ctx context.Context, tx string) (Vote, error) {
+	writes := p.Writes()
+	if len(writes) == 0 {
+		return VoteReadOnly, nil
+	}
+	if err := p.Remote.Prepare(ctx, tx, writes); err != nil {
+		return 0, err
+	}
+	return VoteCommit, nil
 }
 
 // Commit implements Participant.
@@ -511,4 +658,18 @@ func (p *StoreParticipant) Commit(ctx context.Context, tx string) error {
 // Abort implements Participant.
 func (p *StoreParticipant) Abort(ctx context.Context, tx string) error {
 	return p.Remote.Abort(ctx, tx)
+}
+
+// CommitOnePhase implements OnePhaser: a single store applies the writes
+// atomically under its own mutex, so a sole participant needs neither a
+// prepare round nor an outcome-log record.
+func (p *StoreParticipant) CommitOnePhase(ctx context.Context, tx string) (Vote, error) {
+	writes := p.Writes()
+	if len(writes) == 0 {
+		return VoteReadOnly, nil
+	}
+	if err := p.Remote.CommitOnePhase(ctx, tx, writes); err != nil {
+		return 0, err
+	}
+	return VoteCommit, nil
 }

@@ -15,10 +15,12 @@ import (
 	"repro/internal/uid"
 )
 
-// fakeParticipant records lifecycle calls and can be told to fail prepare.
+// fakeParticipant records lifecycle calls and can be told to fail prepare
+// or vote read-only.
 type fakeParticipant struct {
 	name        string
 	failPrepare bool
+	readOnly    bool
 
 	mu       sync.Mutex
 	prepares []string
@@ -28,14 +30,17 @@ type fakeParticipant struct {
 
 func (p *fakeParticipant) Name() string { return p.name }
 
-func (p *fakeParticipant) Prepare(_ context.Context, tx string) error {
+func (p *fakeParticipant) Prepare(_ context.Context, tx string) (Vote, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.prepares = append(p.prepares, tx)
 	if p.failPrepare {
-		return errors.New("refusing to prepare")
+		return 0, errors.New("refusing to prepare")
 	}
-	return nil
+	if p.readOnly {
+		return VoteReadOnly, nil
+	}
+	return VoteCommit, nil
 }
 
 func (p *fakeParticipant) Commit(_ context.Context, tx string) error {
@@ -131,6 +136,150 @@ func TestReadOnlyCommitSkipsTwoPhase(t *testing.T) {
 	// Read-only actions leave no record (presumed abort makes this safe).
 	if m.Log().Lookup(a.ID()) != store.OutcomeUnknown {
 		t.Fatal("read-only commit should not write a record")
+	}
+}
+
+func TestReadOnlyVoterReleasedAfterPhaseOne(t *testing.T) {
+	// §4.1.2 read optimisation: a participant that votes read-only is
+	// excluded from phase two; with every participant read-only the
+	// outcome-log write is skipped too — zero phase-two calls, zero log
+	// records.
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	p1 := &fakeParticipant{name: "r1", readOnly: true}
+	p2 := &fakeParticipant{name: "r2", readOnly: true}
+	_ = a.Enlist(p1)
+	_ = a.Enlist(p2)
+	rep, err := a.Commit(context.Background())
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	for _, p := range []*fakeParticipant{p1, p2} {
+		pr, cm, ab := counts(p)
+		if pr != 1 || cm != 0 || ab != 0 {
+			t.Fatalf("%s lifecycle = %d/%d/%d, want 1/0/0 (no phase two)", p.name, pr, cm, ab)
+		}
+	}
+	if rep.ReadOnlyVoters != 2 || rep.CommitVoters != 0 {
+		t.Fatalf("votes = %d read-only / %d commit, want 2/0", rep.ReadOnlyVoters, rep.CommitVoters)
+	}
+	if rep.OutcomeLogged {
+		t.Fatal("all-read-only commit must not write the outcome log")
+	}
+	if m.Log().Lookup(a.ID()) != store.OutcomeUnknown {
+		t.Fatal("outcome log must stay empty for an all-read-only commit")
+	}
+	if a.Status() != StatusCommitted {
+		t.Fatalf("status = %v", a.Status())
+	}
+}
+
+func TestMixedVotesRunPhaseTwoOnCommitVotersOnly(t *testing.T) {
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	ro := &fakeParticipant{name: "reader", readOnly: true}
+	rw := &fakeParticipant{name: "writer"}
+	_ = a.Enlist(ro)
+	_ = a.Enlist(rw)
+	rep, err := a.Commit(context.Background())
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if rep.ReadOnlyVoters != 1 || rep.CommitVoters != 1 || !rep.OutcomeLogged {
+		t.Fatalf("report = %+v, want 1 read-only, 1 commit voter, outcome logged", rep)
+	}
+	if _, cm, _ := counts(ro); cm != 0 {
+		t.Fatal("read-only voter must not see phase two")
+	}
+	if _, cm, _ := counts(rw); cm != 1 {
+		t.Fatal("commit voter must see phase two")
+	}
+	if m.Log().Lookup(a.ID()) != store.OutcomeCommitted {
+		t.Fatal("mixed-vote commit must write the outcome log")
+	}
+}
+
+// onePhaseParticipant counts combined rounds and can refuse eligibility
+// or fail outright.
+type onePhaseParticipant struct {
+	fakeParticipant
+	ineligible   bool
+	failCombined bool
+	combined     int
+}
+
+func (p *onePhaseParticipant) CommitOnePhase(_ context.Context, tx string) (Vote, error) {
+	if p.ineligible {
+		return 0, ErrOnePhaseIneligible
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.combined++
+	if p.failCombined {
+		return 0, errors.New("combined round failed")
+	}
+	if p.readOnly {
+		return VoteReadOnly, nil
+	}
+	return VoteCommit, nil
+}
+
+func TestSingleParticipantCommitsOnePhase(t *testing.T) {
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	p := &onePhaseParticipant{fakeParticipant: fakeParticipant{name: "solo"}}
+	_ = a.Enlist(p)
+	rep, err := a.Commit(context.Background())
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if !rep.OnePhase || rep.CommitVoters != 1 || rep.OutcomeLogged {
+		t.Fatalf("report = %+v, want one-phase commit with no log write", rep)
+	}
+	pr, cm, _ := counts(&p.fakeParticipant)
+	if pr != 0 || cm != 0 || p.combined != 1 {
+		t.Fatalf("lifecycle prepare/commit/combined = %d/%d/%d, want 0/0/1", pr, cm, p.combined)
+	}
+	if m.Log().Lookup(a.ID()) != store.OutcomeUnknown {
+		t.Fatal("one-phase commit must not write the outcome log")
+	}
+}
+
+func TestOnePhaseIneligibleFallsBackToTwoPhase(t *testing.T) {
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	p := &onePhaseParticipant{fakeParticipant: fakeParticipant{name: "solo"}, ineligible: true}
+	_ = a.Enlist(p)
+	rep, err := a.Commit(context.Background())
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if rep.OnePhase {
+		t.Fatal("ineligible one-phase must fall back to 2PC")
+	}
+	pr, cm, _ := counts(&p.fakeParticipant)
+	if pr != 1 || cm != 1 {
+		t.Fatalf("fallback lifecycle = %d/%d, want full 2PC 1/1", pr, cm)
+	}
+	if m.Log().Lookup(a.ID()) != store.OutcomeCommitted {
+		t.Fatal("fallback 2PC must write the outcome log")
+	}
+}
+
+func TestOnePhaseFailureAbortsAction(t *testing.T) {
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	p := &onePhaseParticipant{fakeParticipant: fakeParticipant{name: "solo"}, failCombined: true}
+	_ = a.Enlist(p)
+	_, err := a.Commit(context.Background())
+	if !errors.Is(err, ErrPrepareFailed) {
+		t.Fatalf("err = %v, want ErrPrepareFailed", err)
+	}
+	if a.Status() != StatusAborted {
+		t.Fatalf("status = %v", a.Status())
+	}
+	if _, _, ab := counts(&p.fakeParticipant); ab != 1 {
+		t.Fatalf("aborts = %d, want 1 (roll-back after failed combined round)", ab)
 	}
 }
 
@@ -362,6 +511,8 @@ func TestCrashBeforePhaseTwoRecoversViaLog(t *testing.T) {
 	// The classic 2PC recovery flow: participant prepares, coordinator
 	// records commit, participant "crashes" before phase 2 (we simply do
 	// not deliver the Commit), then recovery applies it from the log.
+	// A second commit-voting participant keeps the action off the
+	// single-participant one-phase fast path.
 	net := transport.NewMem(transport.MemOptions{}, nil)
 	srv := rpc.NewServer()
 	st := store.New("beta")
@@ -383,6 +534,7 @@ func TestCrashBeforePhaseTwoRecoversViaLog(t *testing.T) {
 		},
 	}
 	_ = a.Enlist(part)
+	_ = a.Enlist(&fakeParticipant{name: "other"})
 	// Drop the phase-2 Commit request: store keeps its intention.
 	net.Faults().DropRequests(1, func(req transport.Request) bool {
 		return req.Service == store.ServiceName && req.Method == store.MethodCommit
@@ -503,15 +655,15 @@ type rendezvousParticipant struct {
 
 func (p *rendezvousParticipant) Name() string { return p.name }
 
-func (p *rendezvousParticipant) Prepare(ctx context.Context, tx string) error {
+func (p *rendezvousParticipant) Prepare(ctx context.Context, tx string) (Vote, error) {
 	p.arrive <- struct{}{}
 	select {
 	case <-p.release:
-		return nil
+		return VoteCommit, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return 0, ctx.Err()
 	case <-time.After(5 * time.Second):
-		return errors.New("prepare never released: phase one is not concurrent")
+		return 0, errors.New("prepare never released: phase one is not concurrent")
 	}
 }
 

@@ -26,6 +26,15 @@ func Do(n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// DoErr runs fn(0..n-1) concurrently, waits for all, and returns the
+// per-index errors — the common "fan out, collect failures in input
+// order" shape of the commit pipeline.
+func DoErr(n int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	Do(n, func(i int) { errs[i] = fn(i) })
+	return errs
+}
+
 // DoLimited is Do with at most limit invocations in flight at once (a
 // bounded errgroup-style fan-out). limit <= 0 means unbounded.
 func DoLimited(n, limit int, fn func(i int)) {

@@ -110,6 +110,19 @@ type Binding struct {
 	bound []transport.Addr
 	// stView is St as read at bind time.
 	stView []transport.Addr
+	// released marks end-of-action processing (database EndAction and the
+	// use-list Decrement) as already done — a read-only vote or a
+	// one-phase commit finished it during phase one. Commit/Abort are
+	// no-ops then.
+	released bool
+	// usesTxDB marks that database state exists under the client action's
+	// own ID (standard-scheme bind locks, non-atomic-Sv GetView locks, or
+	// a commit-time Exclude) and must be ended exactly once with the
+	// action's outcome.
+	usesTxDB bool
+	// dbEnded marks that EndAction has run for the client action, so the
+	// bind-time resolve hook does not repeat it.
+	dbEnded bool
 }
 
 // Bind resolves the object's UID through the naming and binding service
@@ -157,7 +170,14 @@ func (b *Binder) bindStandard(ctx context.Context, act *action.Action, id uid.UI
 	}
 
 	candidates := b.selectServers(sv, nil)
-	return b.finishBind(ctx, act, id, class, candidates, st)
+	bd, err := b.finishBind(ctx, act, id, class, candidates, st)
+	if err != nil {
+		return nil, err
+	}
+	// The bind's GetServer/GetView read locks are owned by the client
+	// action and held until it ends (Figure 6).
+	bd.usesTxDB = true
+	return bd, nil
 }
 
 // bindEnhanced implements Figures 7 and 8: the database work runs in its
@@ -249,6 +269,9 @@ func (b *Binder) bindNonAtomicSv(ctx context.Context, act *action.Action, id uid
 			return nil, err
 		}
 	}
+	// GetView's read locks are owned by the client action (the St side
+	// keeps full atomic-action discipline).
+	bd.usesTxDB = true
 	bd.enlist()
 	return bd, nil
 }
@@ -323,11 +346,25 @@ func (b *Binder) activate(ctx context.Context, act *action.Action, id uid.UID, c
 	}, nil
 }
 
-// enlist registers the binding as the client action's participant, once.
+// enlist registers the binding as the client action's participant, once,
+// plus a resolve hook that backstops the database EndAction: a binding
+// released at phase one (read-only vote) must still end any tx-owned
+// database state — but only once the action's outcome is decided, with
+// that outcome, because the shared database action may carry a sibling
+// binding's pending Exclude that has to commit or roll back with the
+// action, never before its commit point.
 func (bd *Binding) enlist() {
 	top := bd.act.Top()
 	if top.StashOnce("core.binding:"+bd.id.String(), bd) {
 		_ = top.Enlist(bd)
+		tx := top.ID()
+		top.OnResolve(func(committed bool) {
+			if bd.dbEnded || !bd.usesTxDB {
+				return
+			}
+			bd.dbEnded = true
+			_ = bd.binder.DB.EndAction(context.Background(), tx, committed)
+		})
 	}
 }
 
@@ -355,27 +392,79 @@ func (bd *Binding) Name() string {
 // state to the St nodes; any store whose copy failed is then excluded from
 // St_A in the same commit processing (§4.2). A refused exclude lock aborts
 // the action (§4.2.1).
-func (bd *Binding) Prepare(ctx context.Context, tx string) error {
-	if err := bd.handle.Prepare(ctx, tx); err != nil {
-		return err
+//
+// When every server reports the action read-only (and no store needs
+// excluding), the binding votes read-only: the servers have released the
+// action, the use-list Decrement (outcome-independent bookkeeping) runs
+// right away, and any tx-owned database locks are released by the
+// bind-time resolve hook once the action's outcome is decided — never
+// during phase one, because the database action is shared with sibling
+// bindings whose pending Excludes must not commit before the commit
+// point. The whole binding is done with no phase-two round trips and no
+// outcome-log write upstream.
+func (bd *Binding) Prepare(ctx context.Context, tx string) (action.Vote, error) {
+	vote, err := bd.handle.Prepare(ctx, tx)
+	if err != nil {
+		return 0, err
 	}
 	failed := bd.handle.FailedStores()
-	if len(failed) == 0 {
-		return nil
+	if len(failed) > 0 {
+		err := bd.binder.DB.Exclude(ctx, tx, []ExcludePair{{UID: bd.id, Hosts: failed}}, bd.binder.UseWriteLockForExclude)
+		if err != nil {
+			return 0, fmt.Errorf("core: Exclude(%v,%v): %w", bd.id, failed, err)
+		}
+		// An Exclude must commit or abort with the action: stay a commit
+		// voter so EndAction runs in phase two.
+		bd.usesTxDB = true
+		return action.VoteCommit, nil
 	}
-	err := bd.binder.DB.Exclude(ctx, tx, []ExcludePair{{UID: bd.id, Hosts: failed}}, bd.binder.UseWriteLockForExclude)
-	if err != nil {
-		return fmt.Errorf("core: Exclude(%v,%v): %w", bd.id, failed, err)
+	if vote == action.VoteReadOnly {
+		bd.released = true
+		bd.decrementUse(ctx)
+		return action.VoteReadOnly, nil
 	}
-	return nil
+	return action.VoteCommit, nil
 }
 
-// Commit implements action.Participant: phase two at the servers, then the
-// database action ends (releasing its locks and committing any Exclude),
-// and finally — for the enhanced schemes — the use-list Decrement runs in
-// its own top-level action.
+// CommitOnePhase implements action.OnePhaser by delegating to the
+// replica handle's combined round; ineligible shapes (several servers or
+// stores) fall back to ordinary 2PC with the binding untouched.
+func (bd *Binding) CommitOnePhase(ctx context.Context, tx string) (action.Vote, error) {
+	vote, err := bd.handle.CommitOnePhase(ctx, tx)
+	if err != nil {
+		// Ineligible passes through untouched; any other failure aborts the
+		// action and the coordinator's roll-back runs bd.Abort.
+		return 0, err
+	}
+	if failed := bd.handle.FailedStores(); len(failed) > 0 {
+		// Best effort: the state is already committed, so a refused exclude
+		// lock cannot abort the action any more; the recovering store will
+		// be excluded by a later action's commit processing instead.
+		if bd.binder.DB.Exclude(ctx, tx, []ExcludePair{{UID: bd.id, Hosts: failed}}, bd.binder.UseWriteLockForExclude) == nil {
+			bd.usesTxDB = true
+		}
+	}
+	// One-phase means this binding is the action's only participant, so no
+	// sibling shares the database action: ending it right here is safe,
+	// and the decision is already commit.
+	bd.released = true
+	bd.dbEnded = true
+	_ = bd.binder.DB.EndAction(ctx, tx, true)
+	bd.decrementUse(ctx)
+	return vote, nil
+}
+
+// Commit implements action.Participant: phase two at the servers, then
+// the database action ends (releasing its locks and committing any
+// Exclude), and finally — for the enhanced schemes — the use-list
+// Decrement runs in its own top-level action. A binding already released
+// at phase one is a no-op.
 func (bd *Binding) Commit(ctx context.Context, tx string) error {
+	if bd.released {
+		return nil
+	}
 	err := bd.handle.Commit(ctx, tx)
+	bd.dbEnded = true
 	if dbErr := bd.binder.DB.EndAction(ctx, tx, true); err == nil {
 		err = dbErr
 	}
@@ -384,9 +473,15 @@ func (bd *Binding) Commit(ctx context.Context, tx string) error {
 }
 
 // Abort implements action.Participant. Use counts still drop: the binding
-// existed regardless of the action's outcome.
+// existed regardless of the action's outcome. A binding already released
+// (read-only voter) has nothing of its own to undo; its share of the
+// database action is rolled back by the bind-time resolve hook.
 func (bd *Binding) Abort(ctx context.Context, tx string) error {
+	if bd.released {
+		return nil
+	}
 	err := bd.handle.Abort(ctx, tx)
+	bd.dbEnded = true
 	if dbErr := bd.binder.DB.EndAction(ctx, tx, false); err == nil {
 		err = dbErr
 	}

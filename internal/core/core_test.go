@@ -693,3 +693,75 @@ func TestGeneralCaseFigure5(t *testing.T) {
 		t.Fatalf("stores: st1=%q/%d st2=%q/%d", v1, s1, v2, s2)
 	}
 }
+
+// failingParticipant refuses to prepare, forcing the enclosing action to
+// abort after its sibling participants have already voted.
+type failingParticipant struct{}
+
+func (failingParticipant) Name() string { return "refuser" }
+func (failingParticipant) Prepare(context.Context, string) (action.Vote, error) {
+	return 0, errors.New("refusing to prepare")
+}
+func (failingParticipant) Commit(context.Context, string) error { return nil }
+func (failingParticipant) Abort(context.Context, string) error  { return nil }
+
+func TestReadOnlyVoteDoesNotCommitSiblingExcludeEarly(t *testing.T) {
+	// One transaction, two bindings: A only reads, B writes with store st2
+	// crashed (so B's prepare Excludes st2 under the shared tx-owned DB
+	// action), and a third participant refuses prepare, aborting the
+	// action. A's read-only release during phase one must NOT end the
+	// shared DB action with commit=true — that would commit B's pending
+	// Exclude before the commit point, leaving st2 permanently excluded
+	// from the St view of an aborted action.
+	w := newWorld(t, 1, 2, 1)
+	ctx := context.Background()
+	cli := Client{RPC: w.cluster.Node("c1").Client(), DB: "db"}
+	gen := uid.NewGenerator("obj2", 1)
+	id2 := gen.New()
+	if err := CreateObject(ctx, cli, w.mgrs["c1"], id2, "counter", []byte("0"), w.svs, w.sts); err != nil {
+		t.Fatal(err)
+	}
+
+	b := w.binder("c1", SchemeStandard, replica.SingleCopyPassive, 1)
+	act := b.Actions.BeginTop()
+	bdA, err := b.Bind(ctx, act, w.id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bdA.Invoke(ctx, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+	bdB, err := b.Bind(ctx, act, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bdB.Invoke(ctx, "add", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	w.cluster.Node("st2").Crash()
+	if err := act.Enlist(failingParticipant{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := act.Commit(ctx); !errors.Is(err, action.ErrPrepareFailed) {
+		t.Fatalf("commit err = %v, want ErrPrepareFailed", err)
+	}
+
+	// The exclusion must have rolled back with the abort: st2 is still in
+	// id2's St view.
+	check := b.Actions.BeginTop()
+	view, _, err := cli.GetView(ctx, check.ID(), id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = cli.EndAction(ctx, check.ID(), true)
+	_, _ = check.Commit(ctx)
+	found := false
+	for _, n := range view {
+		if n == "st2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("St view after aborted action = %v, want st2 still present", view)
+	}
+}

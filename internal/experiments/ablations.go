@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -115,6 +116,87 @@ func RunMulticastCost(sizes []int, messages int, latency time.Duration) (*Table,
 	t.Notes = append(t.Notes,
 		"ordered delivery costs one extra hop via the sequencer; naive saves it but permits Figure 1 divergence")
 	return t, nil
+}
+
+// PipelinedMulticastPoint is the measured cost of concurrent ordered
+// multicast — the batched-sequencer workload.
+type PipelinedMulticastPoint struct {
+	Members int
+	Senders int
+	// Micros is the wall-clock per-message cost across all senders.
+	Micros float64
+	// Rounds and Messages are the sequencer's fan-out statistics;
+	// Messages/Rounds > 1 means requests were ordered in batches.
+	Rounds   uint64
+	Messages uint64
+}
+
+// MsgsPerRound reports the batching factor.
+func (p PipelinedMulticastPoint) MsgsPerRound() float64 {
+	if p.Rounds == 0 {
+		return 0
+	}
+	return float64(p.Messages) / float64(p.Rounds)
+}
+
+// MeasurePipelinedMulticast drives `senders` concurrent callers, each
+// multicasting `perSender` ordered messages to a `members`-strong group,
+// and reports throughput plus the sequencer's batching statistics. Under
+// the serial one-round-per-message sequencer the fan-out count equals
+// the message count; the batched sequencer orders every request that
+// arrived during an in-flight round in the next frame, so rounds stay
+// well below messages.
+func MeasurePipelinedMulticast(members, senders, perSender int, latency time.Duration) (PipelinedMulticastPoint, error) {
+	cluster := sim.NewCluster(transport.MemOptions{BaseLatency: latency})
+	var addrs []transport.Addr
+	var seqHost *group.Host
+	for i := 0; i < members; i++ {
+		name := transport.Addr(fmt.Sprintf("m%d", i+1))
+		n := cluster.Add(name)
+		h := group.NewHost(n.Server(), n.Client())
+		h.Join("G", func(_ context.Context, msg group.Delivered) ([]byte, error) {
+			return []byte("ok"), nil
+		})
+		if seqHost == nil {
+			seqHost = h // first member is the deterministic sequencer
+		}
+		addrs = append(addrs, name)
+	}
+	g := group.Group{ID: "G", Members: addrs}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errs := make([]error, senders)
+	start := time.Now()
+	for s := 0; s < senders; s++ {
+		sender := cluster.Add(transport.Addr(fmt.Sprintf("sender%d", s+1)))
+		wg.Add(1)
+		go func(s int, cli rpc.Client) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if _, err := group.Multicast(ctx, cli, g, "op", nil); err != nil {
+					errs[s] = err
+					return
+				}
+			}
+		}(s, rpc.Client{Net: cluster.Net(), From: sender.Name()})
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return PipelinedMulticastPoint{}, err
+		}
+	}
+	total := senders * perSender
+	rounds, msgs := seqHost.SequencerStats()
+	return PipelinedMulticastPoint{
+		Members:  members,
+		Senders:  senders,
+		Micros:   float64(elapsed.Microseconds()) / float64(total),
+		Rounds:   rounds,
+		Messages: msgs,
+	}, nil
 }
 
 func multicastCost(members, messages int, latency time.Duration) (orderedMicros, naiveMicros float64, err error) {

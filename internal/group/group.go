@@ -48,6 +48,9 @@ const (
 	MethodSequence = "Sequence"
 	// MethodDeliver is invoked on each member to deliver one message.
 	MethodDeliver = "Deliver"
+	// MethodDeliverBatch delivers several sequenced messages in one frame —
+	// the sequencer's batched ordering under pipelined load.
+	MethodDeliverBatch = "DeliverBatch"
 )
 
 // Group is a (caller-held) view of a replica group: an identifier plus the
@@ -105,10 +108,42 @@ type deliverReq struct {
 	Kind    string
 	Payload []byte
 	Seq     uint64
+	// Stable is the sequencer's stability watermark: every current member
+	// has acknowledged delivery up to this sequence number, so receivers
+	// may evict dedup state at or below it.
+	Stable uint64
 }
 
 // deliverResp carries a member's reply.
 type deliverResp struct{ Payload []byte }
+
+// batchItem is one sequenced message inside a batched deliver frame.
+type batchItem struct {
+	MsgID   string
+	Kind    string
+	Payload []byte
+	Seq     uint64
+}
+
+// deliverBatchReq is the wire form of a batched delivery: all messages
+// the sequencer ordered in one round, sorted by ascending Seq.
+type deliverBatchReq struct {
+	Group  string
+	Items  []batchItem
+	Stable uint64
+}
+
+// batchResult is one member's per-message outcome within a batch.
+type batchResult struct {
+	Payload []byte
+	Err     string
+}
+
+// deliverBatchResp carries the member's reply for every item, in item
+// order.
+type deliverBatchResp struct {
+	Results []batchResult
+}
 
 // sequenceResp carries the fan-out outcome back to the caller.
 type sequenceResp struct {
@@ -123,8 +158,22 @@ type Host struct {
 	client rpc.Client
 	msgGen *uid.Generator
 
+	// rounds counts sequencer fan-out rounds run by this host; orderedMsgs
+	// counts the messages those rounds carried. msgs/rounds > 1 means the
+	// batcher is amortising legs under pipelined load.
+	rounds      atomic.Uint64
+	orderedMsgs atomic.Uint64
+
 	mu     sync.Mutex
 	groups map[string]*membership
+}
+
+// SequencerStats reports how many fan-out rounds this host has run as a
+// sequencer and how many messages they carried in total. Under pipelined
+// load messages exceed rounds: requests that arrive while a fan-out is in
+// flight are ordered and delivered together in the next round.
+func (h *Host) SequencerStats() (rounds, messages uint64) {
+	return h.rounds.Load(), h.orderedMsgs.Load()
 }
 
 // seenEntry caches one delivered message: the reply returned to the
@@ -135,6 +184,23 @@ type seenEntry struct {
 	seq   uint64
 }
 
+// pendingSeq is one sequencing request waiting for a fan-out round. The
+// round leader fills resp/err and closes done. A queued waiter may
+// instead be elected the next round's leader (lead closed, elected set
+// under the membership mutex); a waiter whose context expires marks
+// itself abandoned so it is never elected.
+type pendingSeq struct {
+	req  sequenceReq
+	done chan struct{}
+	lead chan struct{}
+	resp sequenceResp
+	err  error
+
+	// elected and abandoned are guarded by the membership mutex.
+	elected   bool
+	abandoned bool
+}
+
 type membership struct {
 	apply Apply
 
@@ -143,6 +209,71 @@ type membership struct {
 	delivered uint64 // receiver: highest seq applied
 	seen      map[string]seenEntry
 	applied   chan struct{} // closed & renewed after each in-order apply
+	// relaying marks a fan-out round in flight; sequence requests arriving
+	// meanwhile queue up and are ordered+delivered together in the next
+	// round by the current leader (batched sequencer ordering).
+	relaying bool
+	queue    []*pendingSeq
+	// acked tracks, per member, the highest sequence number that member
+	// has acknowledged delivering (sequencer-role state). The minimum over
+	// the current membership is the stability watermark shipped with every
+	// delivery so receivers can evict dedup entries.
+	acked map[string]uint64
+	// stable is the receiver-side eviction watermark already applied to
+	// the seen map.
+	stable uint64
+}
+
+// stableLocked returns the stability watermark for the given member
+// list: the highest seq every one of them has acknowledged. m.mu held.
+func (m *membership) stableLocked(members []string) uint64 {
+	low := ^uint64(0)
+	for _, mem := range members {
+		a, ok := m.acked[mem]
+		if !ok {
+			return 0
+		}
+		if a < low {
+			low = a
+		}
+	}
+	if low == ^uint64(0) {
+		return 0
+	}
+	return low
+}
+
+// dedupRetention is how many sequence numbers of already-stable dedup
+// entries each member retains beyond the stability watermark. Stability
+// says every member acknowledged delivery — but the *caller's* reply may
+// still have been lost, and its retry (typically a few rounds later)
+// must still find the entry or the message would be re-sequenced and
+// applied twice. The margin buys the retry that time while keeping the
+// cache bounded at roughly the in-flight window plus the margin.
+const dedupRetention = 16
+
+// evictLocked applies a stability watermark: dedup entries more than
+// dedupRetention below it are dropped — every member has acknowledged
+// delivery past them and the retry grace window has passed. m.mu held.
+//
+// This is the bounded-memory trade-off: a retry that arrives after its
+// message has aged out of the horizon would be re-sequenced as a new
+// message. Callers retry within a few rounds, so the horizon closes
+// only behind them.
+func (m *membership) evictLocked(stable uint64) {
+	if stable <= m.stable {
+		return
+	}
+	m.stable = stable
+	if stable <= dedupRetention {
+		return
+	}
+	cutoff := stable - dedupRetention
+	for id, se := range m.seen {
+		if se.seq < cutoff {
+			delete(m.seen, id)
+		}
+	}
 }
 
 // NewHost creates a Host for a node and registers its RPC handlers on srv.
@@ -154,6 +285,7 @@ func NewHost(srv *rpc.Server, client rpc.Client) *Host {
 		groups: make(map[string]*membership),
 	}
 	srv.Handle(ServiceName, MethodDeliver, rpc.Method(h.handleDeliver))
+	srv.Handle(ServiceName, MethodDeliverBatch, rpc.Method(h.handleDeliverBatch))
 	srv.Handle(ServiceName, MethodSequence, rpc.Method(h.handleSequence))
 	return h
 }
@@ -167,6 +299,7 @@ func (h *Host) Join(groupID string, apply Apply) {
 		apply:   apply,
 		seen:    make(map[string]seenEntry),
 		applied: make(chan struct{}),
+		acked:   make(map[string]uint64),
 	}
 }
 
@@ -213,31 +346,64 @@ func (h *Host) handleDeliver(ctx context.Context, from transport.Addr, req deliv
 		out, err := m.apply(ctx, msg)
 		return deliverResp{Payload: out}, err
 	}
+	return h.applyOrdered(ctx, m, msg, req.Stable)
+}
 
+// handleDeliverBatch applies every message of one sequencer round, in
+// ascending sequence order. Per-message outcomes are reported in item
+// order; the whole call fails only when the member itself cannot proceed
+// (not a group member, context expired holding back a gap).
+func (h *Host) handleDeliverBatch(ctx context.Context, from transport.Addr, req deliverBatchReq) (deliverBatchResp, error) {
+	m, err := h.lookup(req.Group)
+	if err != nil {
+		return deliverBatchResp{}, err
+	}
+	resp := deliverBatchResp{Results: make([]batchResult, len(req.Items))}
+	for i, it := range req.Items {
+		msg := Delivered{Group: req.Group, MsgID: it.MsgID, Kind: it.Kind, Payload: it.Payload, Seq: it.Seq}
+		dr, aerr := h.applyOrdered(ctx, m, msg, req.Stable)
+		if aerr != nil {
+			if ctx.Err() != nil {
+				// The member is stuck (gap hold-back timed out): fail the
+				// whole call so the sequencer counts it unreachable.
+				return deliverBatchResp{}, aerr
+			}
+			resp.Results[i] = batchResult{Err: aerr.Error()}
+			continue
+		}
+		resp.Results[i] = batchResult{Payload: dr.Payload}
+	}
+	return resp, nil
+}
+
+// applyOrdered applies one sequenced message respecting total order and
+// dedup, and applies the stability watermark to the dedup state.
+func (h *Host) applyOrdered(ctx context.Context, m *membership, msg Delivered, stable uint64) (deliverResp, error) {
 	for {
 		m.mu.Lock()
-		if prev, ok := m.seen[req.MsgID]; ok {
+		m.evictLocked(stable)
+		if prev, ok := m.seen[msg.MsgID]; ok {
 			// Duplicate (sequencer retry): return the cached reply.
 			m.mu.Unlock()
 			return deliverResp{Payload: prev.reply}, nil
 		}
-		if req.Seq <= m.delivered {
+		if msg.Seq <= m.delivered {
 			// Superseded sequence number from a failed-over sequencer;
 			// deliver anyway (dedup above did not match, so it is new) to
 			// preserve reliability, but in arrival order at this point.
 			out, aerr := m.apply(ctx, msg)
 			if aerr == nil {
-				m.seen[req.MsgID] = seenEntry{reply: out, seq: req.Seq}
+				m.seen[msg.MsgID] = seenEntry{reply: out, seq: msg.Seq}
 			}
 			m.mu.Unlock()
 			return deliverResp{Payload: out}, aerr
 		}
-		if req.Seq == m.delivered+1 {
+		if msg.Seq == m.delivered+1 {
 			out, aerr := m.apply(ctx, msg)
 			if aerr == nil {
-				m.seen[req.MsgID] = seenEntry{reply: out, seq: req.Seq}
+				m.seen[msg.MsgID] = seenEntry{reply: out, seq: msg.Seq}
 			}
-			m.delivered = req.Seq
+			m.delivered = msg.Seq
 			close(m.applied)
 			m.applied = make(chan struct{})
 			m.mu.Unlock()
@@ -254,9 +420,13 @@ func (h *Host) handleDeliver(ctx context.Context, from transport.Addr, req deliv
 	}
 }
 
-// handleSequence runs on the sequencer member: assign the next sequence
-// number and relay to every member concurrently, collecting replies and
-// failures.
+// handleSequence runs on the sequencer member. The first request to
+// arrive while no fan-out is in flight becomes the round leader; requests
+// arriving while the leader's round is on the wire queue up, and the
+// leader orders and delivers them together as one batched frame when the
+// round completes — so the sequencer orders more than one message per
+// round under pipelined load instead of serialising one round trip per
+// message.
 func (h *Host) handleSequence(ctx context.Context, from transport.Addr, req sequenceReq) (sequenceResp, error) {
 	m, err := h.lookup(req.Group)
 	if err != nil {
@@ -270,35 +440,279 @@ func (h *Host) handleSequence(ctx context.Context, from transport.Addr, req sequ
 	// caller still receives the full fan-out outcome), and any member the
 	// first fan-out missed is repaired.
 	if prev, ok := m.seen[req.MsgID]; ok {
+		stable := m.stableLocked(req.Members)
 		m.mu.Unlock()
-		return h.fanOut(ctx, req, prev.seq)
+		h.rounds.Add(1)
+		h.orderedMsgs.Add(1)
+		return h.fanOut(ctx, m, req, prev.seq, stable)
 	}
-	// Initialise the counter from what this member has observed, so a
-	// fail-over sequencer continues the stream rather than reusing
-	// numbers.
-	if m.nextSeq < m.delivered {
-		m.nextSeq = m.delivered
+	p := &pendingSeq{req: req, done: make(chan struct{}), lead: make(chan struct{})}
+	m.queue = append(m.queue, p)
+	if m.relaying {
+		// A round is in flight: its leader will either deliver this message
+		// with the next batch or elect this caller to lead that batch.
+		m.mu.Unlock()
+		select {
+		case <-p.done:
+			return p.resp, p.err
+		case <-p.lead:
+			h.drain(ctx, m)
+			<-p.done
+			return p.resp, p.err
+		case <-ctx.Done():
+			m.mu.Lock()
+			elected := p.elected
+			p.abandoned = true
+			m.mu.Unlock()
+			if elected {
+				// Lost the race with our election. Serving the round under
+				// our dead context would assign sequence numbers to live
+				// callers' messages and then fail every delivery, leaving a
+				// hole in the sequence stream — so hand leadership to a
+				// live waiter instead, and only if none exists serve the
+				// remaining (all-abandoned) entries under a detached
+				// context so their assigned numbers really get delivered.
+				if !h.handOff(m) {
+					h.drain(context.WithoutCancel(ctx), m)
+				}
+				<-p.done
+				return p.resp, p.err
+			}
+			return sequenceResp{}, ctx.Err()
+		}
 	}
-	m.nextSeq++
-	seq := m.nextSeq
+	m.relaying = true
 	m.mu.Unlock()
 
-	return h.fanOut(ctx, req, seq)
+	h.drain(ctx, m)
+	<-p.done
+	return p.resp, p.err
+}
+
+// drain runs fan-out rounds; the caller must hold leadership (m.relaying
+// set, or its lead channel closed). Each round snapshots the queue,
+// assigns a contiguous sequence range to the new messages (retried ones
+// keep their original numbers), and relays them as one frame. After its
+// round — the one carrying its own message — the leader hands the
+// remaining queue to an elected successor (a live queued waiter) rather
+// than serving the whole burst itself, so no caller is held past its own
+// round and every round runs under a live caller's context.
+func (h *Host) drain(ctx context.Context, m *membership) {
+	for {
+		m.mu.Lock()
+		if len(m.queue) == 0 {
+			m.relaying = false
+			m.mu.Unlock()
+			return
+		}
+		batch := m.queue
+		m.queue = nil
+		// Initialise the counter from what this member has observed, so a
+		// fail-over sequencer continues the stream rather than reusing
+		// numbers.
+		if m.nextSeq < m.delivered {
+			m.nextSeq = m.delivered
+		}
+		// Coalesce duplicate MsgIDs (concurrent retries of one logical
+		// message): one delivery, every waiter gets the outcome. Assigning
+		// a duplicate a fresh number would leave a hole in the sequence no
+		// delivery ever fills.
+		type roundEntry struct {
+			req     sequenceReq
+			seq     uint64
+			waiters []*pendingSeq
+		}
+		var entries []*roundEntry
+		byID := make(map[string]*roundEntry, len(batch))
+		for _, p := range batch {
+			if e, ok := byID[p.req.MsgID]; ok {
+				e.waiters = append(e.waiters, p)
+				continue
+			}
+			e := &roundEntry{req: p.req, waiters: []*pendingSeq{p}}
+			if prev, ok := m.seen[p.req.MsgID]; ok {
+				e.seq = prev.seq
+			} else {
+				m.nextSeq++
+				e.seq = m.nextSeq
+			}
+			byID[p.req.MsgID] = e
+			entries = append(entries, e)
+		}
+		// The member set of the round is the union of the batch's views;
+		// per-entry results are filtered back to each caller's own view.
+		var members []string
+		memberSet := make(map[string]bool)
+		for _, e := range entries {
+			for _, mem := range e.req.Members {
+				if !memberSet[mem] {
+					memberSet[mem] = true
+					members = append(members, mem)
+				}
+			}
+		}
+		stable := m.stableLocked(members)
+		m.mu.Unlock()
+
+		h.rounds.Add(1)
+		h.orderedMsgs.Add(uint64(len(entries)))
+		if len(entries) == 1 {
+			e := entries[0]
+			resp, err := h.fanOut(ctx, m, e.req, e.seq, stable)
+			for _, p := range e.waiters {
+				p.resp, p.err = resp, err
+				close(p.done)
+			}
+			if h.handOff(m) {
+				return
+			}
+			continue
+		}
+		items := make([]batchItem, len(entries))
+		for i, e := range entries {
+			items[i] = batchItem{MsgID: e.req.MsgID, Kind: e.req.Kind, Payload: e.req.Payload, Seq: e.seq}
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a].Seq < items[b].Seq })
+		frame := deliverBatchReq{Group: entries[0].req.Group, Items: items, Stable: stable}
+		type slot struct {
+			dr  deliverBatchResp
+			err error
+		}
+		slots := make([]slot, len(members))
+		payload, err := rpc.Encode(&frame)
+		if err != nil {
+			for _, e := range entries {
+				for _, p := range e.waiters {
+					p.err = err
+					close(p.done)
+				}
+			}
+			if h.handOff(m) {
+				return
+			}
+			continue
+		}
+		conc.DoLimited(len(members), fanOutConcurrency, func(i int) {
+			addr := transport.Addr(members[i])
+			if addr == h.client.From {
+				// Local delivery skips the network round trip.
+				slots[i].dr, slots[i].err = h.handleDeliverBatch(ctx, h.client.From, frame)
+				return
+			}
+			body, err := h.client.Call(ctx, addr, ServiceName, MethodDeliverBatch, payload)
+			if err != nil {
+				slots[i].err = err
+				return
+			}
+			slots[i].err = rpc.Decode(body, &slots[i].dr)
+		})
+
+		// Index item results by MsgID per member, record delivery acks, and
+		// assemble each entry's sequenceResp over its own member view.
+		itemIdx := make(map[string]int, len(items))
+		for i, it := range items {
+			itemIdx[it.MsgID] = i
+		}
+		m.mu.Lock()
+		for i, mem := range members {
+			if slots[i].err != nil {
+				continue
+			}
+			high := uint64(0)
+			for j, it := range items {
+				if j < len(slots[i].dr.Results) && slots[i].dr.Results[j].Err == "" && it.Seq > high {
+					high = it.Seq
+				}
+			}
+			if high > m.acked[mem] {
+				m.acked[mem] = high
+			}
+		}
+		m.mu.Unlock()
+		for _, e := range entries {
+			resp := sequenceResp{Seq: e.seq}
+			order := make([]string, len(e.req.Members))
+			copy(order, e.req.Members)
+			sort.Strings(order)
+			for _, mem := range order {
+				var si int
+				for si = range members {
+					if members[si] == mem {
+						break
+					}
+				}
+				s := slots[si]
+				if s.err != nil {
+					if isMemberFailure(s.err) {
+						resp.Failed = append(resp.Failed, mem)
+					} else {
+						resp.Replies = append(resp.Replies, Reply{Member: transport.Addr(mem), Err: s.err.Error()})
+					}
+					continue
+				}
+				idx := itemIdx[e.req.MsgID]
+				r := Reply{Member: transport.Addr(mem)}
+				if idx < len(s.dr.Results) {
+					r.Payload = s.dr.Results[idx].Payload
+					r.Err = s.dr.Results[idx].Err
+				}
+				resp.Replies = append(resp.Replies, r)
+			}
+			for _, p := range e.waiters {
+				p.resp = resp
+				close(p.done)
+			}
+		}
+		if h.handOff(m) {
+			return
+		}
+	}
+}
+
+// handOff ends the caller's leadership after its round: it elects the
+// first live queued waiter to lead the next round (closing its lead
+// channel) and returns true. With an empty queue it clears the relaying
+// flag and returns true. It returns false only when every queued entry
+// has been abandoned by its caller — those messages still deserve
+// delivery, so the current leader keeps serving.
+func (h *Host) handOff(m *membership) bool {
+	m.mu.Lock()
+	if len(m.queue) == 0 {
+		m.relaying = false
+		m.mu.Unlock()
+		return true
+	}
+	var successor *pendingSeq
+	for _, q := range m.queue {
+		if !q.abandoned {
+			successor = q
+			break
+		}
+	}
+	if successor == nil {
+		m.mu.Unlock()
+		return false
+	}
+	successor.elected = true
+	m.mu.Unlock()
+	close(successor.lead)
+	return true
 }
 
 // fanOutConcurrency bounds the parallel deliveries of one relayed
 // multicast, so very large groups cannot stampede the relay node.
 const fanOutConcurrency = 16
 
-// fanOut relays the message to every member concurrently. Total order is
+// fanOut relays one message to every member concurrently. Total order is
 // carried by the assigned seq, not by delivery timing: receivers hold
 // back out-of-order arrivals, so parallel delivery preserves the
 // identical-order guarantee while the latency is that of the slowest
 // member rather than the sum over members. The payload is encoded once
 // and shared by all deliveries; Replies and Failed are collected in
-// member-sorted order so results are deterministic.
-func (h *Host) fanOut(ctx context.Context, req sequenceReq, seq uint64) (sequenceResp, error) {
-	d := deliverReq{Group: req.Group, MsgID: req.MsgID, Kind: req.Kind, Payload: req.Payload, Seq: seq}
+// member-sorted order so results are deterministic. Successful
+// deliveries advance the per-member ack watermark on m.
+func (h *Host) fanOut(ctx context.Context, m *membership, req sequenceReq, seq, stable uint64) (sequenceResp, error) {
+	d := deliverReq{Group: req.Group, MsgID: req.MsgID, Kind: req.Kind, Payload: req.Payload, Seq: seq, Stable: stable}
 	payload, err := rpc.Encode(&d)
 	if err != nil {
 		return sequenceResp{}, err
@@ -322,6 +736,14 @@ func (h *Host) fanOut(ctx context.Context, req sequenceReq, seq uint64) (sequenc
 		}
 		slots[i].err = rpc.Decode(body, &slots[i].dr)
 	})
+
+	m.mu.Lock()
+	for i, mem := range req.Members {
+		if slots[i].err == nil && seq > m.acked[mem] {
+			m.acked[mem] = seq
+		}
+	}
+	m.mu.Unlock()
 
 	order := make([]int, len(req.Members))
 	for i := range order {

@@ -415,3 +415,155 @@ func TestDeliveredCounter(t *testing.T) {
 		t.Fatalf("unknown group delivered = %d", got)
 	}
 }
+
+func TestBatchedSequencerOrdersMultiplePerRound(t *testing.T) {
+	// Pipelined load: with a per-leg latency, concurrent multicasts arrive
+	// while the first fan-out is on the wire, so the sequencer must batch —
+	// more than one message ordered per round — while every member still
+	// applies the identical history exactly once (the gap/hold-back
+	// invariant over batched frames).
+	cluster := sim.NewCluster(transport.MemOptions{BaseLatency: 500 * time.Microsecond})
+	names := []transport.Addr{"m1", "m2", "m3"}
+	members := make(map[transport.Addr]*member)
+	var seqHost *Host
+	for _, name := range names {
+		n := cluster.Add(name)
+		h := NewHost(n.Server(), n.Client())
+		m := &member{}
+		h.Join("G", m.apply)
+		members[name] = m
+		if name == "m1" {
+			seqHost = h
+		}
+	}
+	cluster.Add("client")
+	grp := Group{ID: "G", Members: names}
+	cli := cluster.Node("client").Client()
+
+	const callers = 24
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Multicast(ctx, cli, grp, "op", []byte(fmt.Sprintf("%d", i)))
+			if err != nil {
+				t.Errorf("multicast %d: %v", i, err)
+				return
+			}
+			if len(res.Replies) != 3 || len(res.Failed) != 0 {
+				t.Errorf("multicast %d: replies=%d failed=%v", i, len(res.Replies), res.Failed)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	h1 := members["m1"].history()
+	for _, name := range names[1:] {
+		if got := members[name].history(); got != h1 {
+			t.Fatalf("total order violated:\n m1: %s\n %s: %s", h1, name, got)
+		}
+	}
+	if got := len(members["m1"].log); got != callers {
+		t.Fatalf("deliveries = %d, want %d (once each)", got, callers)
+	}
+	rounds, msgs := seqHost.SequencerStats()
+	if msgs != callers {
+		t.Fatalf("ordered messages = %d, want %d", msgs, callers)
+	}
+	if rounds >= msgs {
+		t.Fatalf("rounds = %d for %d messages: sequencer never batched", rounds, msgs)
+	}
+	t.Logf("sequencer: %d messages in %d rounds (%.1f msgs/round)", msgs, rounds, float64(msgs)/float64(rounds))
+}
+
+func TestDedupStateBoundedUnderSustainedTraffic(t *testing.T) {
+	// The per-msgID dedup cache must not grow without limit: once every
+	// member has acknowledged delivery past a message's seq (plus the
+	// retry grace margin), its entry is evicted via the stability
+	// watermark shipped with later deliveries.
+	f := newFixture(t, "a1", "a2", "a3")
+	ctx := context.Background()
+	const msgs = 4 * dedupRetention
+	for i := 0; i < msgs; i++ {
+		if _, err := Multicast(ctx, f.client(), f.grp, "op", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, h := range f.hosts {
+		h.mu.Lock()
+		m := h.groups["G"]
+		h.mu.Unlock()
+		m.mu.Lock()
+		size := len(m.seen)
+		m.mu.Unlock()
+		if size > dedupRetention+4 {
+			t.Fatalf("%s dedup cache holds %d of %d entries: unbounded growth", name, size, msgs)
+		}
+	}
+}
+
+func TestBatchedDeliveryHoldsBackGaps(t *testing.T) {
+	// A batch frame whose predecessor has not arrived yet must hold back
+	// until the gap is filled, then apply the whole frame in order.
+	f := newFixture(t, "a1")
+	cli := f.client()
+	ctx := context.Background()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := rpc.Invoke[deliverBatchReq, deliverBatchResp](ctx, cli, "a1", ServiceName, MethodDeliverBatch,
+			deliverBatchReq{Group: "G", Items: []batchItem{
+				{MsgID: "m2", Kind: "op", Payload: []byte("second"), Seq: 2},
+				{MsgID: "m3", Kind: "op", Payload: []byte("third"), Seq: 3},
+			}})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("batch delivered before seq 1 (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := rpc.Invoke[deliverReq, deliverResp](ctx, cli, "a1", ServiceName, MethodDeliver,
+		deliverReq{Group: "G", MsgID: "m1", Kind: "op", Payload: []byte("first"), Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("held-back batch never delivered")
+	}
+	if got := f.members["a1"].history(); got != "op:first,op:second,op:third" {
+		t.Fatalf("history = %q", got)
+	}
+}
+
+func TestBatchedDeliveryDeduplicates(t *testing.T) {
+	// An item already seen (retry folded into a batch) returns its cached
+	// reply and is not applied twice; fresh items in the same frame apply.
+	f := newFixture(t, "a1")
+	cli := f.client()
+	ctx := context.Background()
+	if _, err := rpc.Invoke[deliverReq, deliverResp](ctx, cli, "a1", ServiceName, MethodDeliver,
+		deliverReq{Group: "G", MsgID: "m1", Kind: "op", Payload: []byte("x"), Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := rpc.Invoke[deliverBatchReq, deliverBatchResp](ctx, cli, "a1", ServiceName, MethodDeliverBatch,
+		deliverBatchReq{Group: "G", Items: []batchItem{
+			{MsgID: "m1", Kind: "op", Payload: []byte("x"), Seq: 1},
+			{MsgID: "m2", Kind: "op", Payload: []byte("y"), Seq: 2},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 2 || string(resp.Results[0].Payload) != "ack-op" || resp.Results[0].Err != "" {
+		t.Fatalf("results = %+v, want cached reply for m1", resp.Results)
+	}
+	if got := f.members["a1"].history(); got != "op:x,op:y" {
+		t.Fatalf("history = %q (m1 must apply once)", got)
+	}
+}

@@ -82,9 +82,11 @@ type chaosParticipant struct {
 	victim transport.Addr
 }
 
-func (c *chaosParticipant) Name() string                          { return "chaos" }
-func (c *chaosParticipant) Prepare(context.Context, string) error { return nil }
-func (c *chaosParticipant) Abort(context.Context, string) error   { return nil }
+func (c *chaosParticipant) Name() string { return "chaos" }
+func (c *chaosParticipant) Prepare(context.Context, string) (action.Vote, error) {
+	return action.VoteCommit, nil
+}
+func (c *chaosParticipant) Abort(context.Context, string) error { return nil }
 func (c *chaosParticipant) Commit(ctx context.Context, tx string) error {
 	c.net.Unregister(c.victim)
 	return nil

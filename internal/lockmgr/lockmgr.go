@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
 )
@@ -116,13 +117,43 @@ type entry struct {
 	wait chan struct{}
 }
 
-// Manager is a lock table keyed by string. It is safe for concurrent use.
-type Manager struct {
-	ancestry Ancestry
+// stripeCount and ownerShardCount size the two hash-sharded tables. Both
+// are powers of two so the hash maps to a shard with a mask.
+const (
+	stripeCount     = 32
+	ownerShardCount = 16
+)
 
+// stripe is one independently locked slice of the key space.
+type stripe struct {
 	mu      sync.Mutex
 	entries map[string]*entry
-	byOwner map[Owner]map[string]struct{}
+}
+
+// ownerShard is one independently locked slice of the per-owner key
+// index (the old byOwner map).
+type ownerShard struct {
+	mu   sync.Mutex
+	keys map[Owner]map[string]struct{}
+}
+
+// Manager is a lock table keyed by string. It is safe for concurrent
+// use. The table is sharded by key hash into independently locked
+// stripes, and the per-owner key index by owner hash, so concurrent
+// actions touching disjoint keys never contend on a common mutex.
+//
+// Lock ordering: an owner shard may be taken while holding a key stripe,
+// never the reverse — whole-owner operations (ReleaseAll, Inherit)
+// snapshot the owner's keys first, drop the shard lock, and then visit
+// the key stripes. The price of striping is that those whole-owner
+// operations are no longer atomic with respect to concurrent acquires by
+// the same owner; that is fine, because they run only when the owning
+// action has ended and can no longer issue acquires.
+type Manager struct {
+	ancestry Ancestry
+	seed     maphash.Seed
+	stripes  [stripeCount]stripe
+	owners   [ownerShardCount]ownerShard
 }
 
 // New returns a Manager using the given ancestry; nil means NoNesting.
@@ -130,18 +161,67 @@ func New(ancestry Ancestry) *Manager {
 	if ancestry == nil {
 		ancestry = NoNesting
 	}
-	return &Manager{
-		ancestry: ancestry,
-		entries:  make(map[string]*entry),
-		byOwner:  make(map[Owner]map[string]struct{}),
+	m := &Manager{ancestry: ancestry, seed: maphash.MakeSeed()}
+	for i := range m.stripes {
+		m.stripes[i].entries = make(map[string]*entry)
+	}
+	for i := range m.owners {
+		m.owners[i].keys = make(map[Owner]map[string]struct{})
+	}
+	return m
+}
+
+// stripeOf returns the stripe owning key. Callers lock st.mu.
+func (m *Manager) stripeOf(key string) *stripe {
+	return &m.stripes[maphash.String(m.seed, key)&(stripeCount-1)]
+}
+
+// shardOf returns the owner shard owning owner. Callers lock sh.mu.
+func (m *Manager) shardOf(owner Owner) *ownerShard {
+	return &m.owners[maphash.String(m.seed, string(owner))&(ownerShardCount-1)]
+}
+
+// indexKey records key under owner in the owner index.
+func (m *Manager) indexKey(owner Owner, key string) {
+	sh := m.shardOf(owner)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	keys, ok := sh.keys[owner]
+	if !ok {
+		keys = make(map[string]struct{})
+		sh.keys[owner] = keys
+	}
+	keys[key] = struct{}{}
+}
+
+// unindexKey removes key from owner's index entry.
+func (m *Manager) unindexKey(owner Owner, key string) {
+	sh := m.shardOf(owner)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if keys := sh.keys[owner]; keys != nil {
+		delete(keys, key)
+		if len(keys) == 0 {
+			delete(sh.keys, owner)
+		}
 	}
 }
 
-func (m *Manager) entryLocked(key string) *entry {
-	e, ok := m.entries[key]
+// takeKeys removes and returns owner's whole key index entry.
+func (m *Manager) takeKeys(owner Owner) map[string]struct{} {
+	sh := m.shardOf(owner)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	keys := sh.keys[owner]
+	delete(sh.keys, owner)
+	return keys
+}
+
+func (st *stripe) entryLocked(key string) *entry {
+	e, ok := st.entries[key]
 	if !ok {
 		e = &entry{holders: make(map[Owner]*holder), wait: make(chan struct{})}
-		m.entries[key] = e
+		st.entries[key] = e
 	}
 	return e
 }
@@ -168,6 +248,8 @@ func (m *Manager) grantableLocked(e *entry, owner Owner, mode Mode) bool {
 	return true
 }
 
+// grantLocked adds one unit of mode for owner on e and indexes the key
+// under the owner; the entry's stripe is held.
 func (m *Manager) grantLocked(e *entry, key string, owner Owner, mode Mode) {
 	h, ok := e.holders[owner]
 	if !ok {
@@ -175,12 +257,7 @@ func (m *Manager) grantLocked(e *entry, key string, owner Owner, mode Mode) {
 		e.holders[owner] = h
 	}
 	h.counts[mode]++
-	keys, ok := m.byOwner[owner]
-	if !ok {
-		keys = make(map[string]struct{})
-		m.byOwner[owner] = keys
-	}
-	keys[key] = struct{}{}
+	m.indexKey(owner, key)
 }
 
 // Acquire blocks until owner holds mode on key or ctx is done. Re-entrant:
@@ -191,16 +268,17 @@ func (m *Manager) grantLocked(e *entry, key string, owner Owner, mode Mode) {
 // performing a blocking promotion; the non-blocking variant used at commit
 // time is TryPromote.
 func (m *Manager) Acquire(ctx context.Context, owner Owner, key string, mode Mode) error {
+	st := m.stripeOf(key)
 	for {
-		m.mu.Lock()
-		e := m.entryLocked(key)
+		st.mu.Lock()
+		e := st.entryLocked(key)
 		if m.grantableLocked(e, owner, mode) {
 			m.grantLocked(e, key, owner, mode)
-			m.mu.Unlock()
+			st.mu.Unlock()
 			return nil
 		}
 		wait := e.wait
-		m.mu.Unlock()
+		st.mu.Unlock()
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("lockmgr: acquire %s on %q for %s: %w", mode, key, owner, ctx.Err())
@@ -213,9 +291,10 @@ func (m *Manager) Acquire(ctx context.Context, owner Owner, key string, mode Mod
 // returns ErrRefused. The paper's Insert operation uses this shape — it
 // "will only succeed when there are no clients using A" (§4.1.2).
 func (m *Manager) TryAcquire(owner Owner, key string, mode Mode) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e := m.entryLocked(key)
+	st := m.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e := st.entryLocked(key)
 	if !m.grantableLocked(e, owner, mode) {
 		return fmt.Errorf("%s on %q for %s: %w", mode, key, owner, ErrRefused)
 	}
@@ -231,9 +310,10 @@ func (m *Manager) TryAcquire(owner Owner, key string, mode Mode) error {
 // while other clients hold read locks, whereas read → ExcludeWrite
 // succeeds alongside them.
 func (m *Manager) TryPromote(owner Owner, key string, from, to Mode) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.entries[key]
+	st := m.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
 	if !ok {
 		return fmt.Errorf("promote on %q: owner %s holds nothing: %w", key, owner, ErrRefused)
 	}
@@ -252,9 +332,10 @@ func (m *Manager) TryPromote(owner Owner, key string, from, to Mode) error {
 // Release drops one unit of mode held by owner on key. Releasing a lock
 // not held is a programming error and is reported.
 func (m *Manager) Release(owner Owner, key string, mode Mode) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.entries[key]
+	st := m.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
 	if !ok {
 		return fmt.Errorf("lockmgr: release %s on %q: no such entry", mode, key)
 	}
@@ -265,47 +346,43 @@ func (m *Manager) Release(owner Owner, key string, mode Mode) error {
 	h.counts[mode]--
 	if h.empty() {
 		delete(e.holders, owner)
-		if keys := m.byOwner[owner]; keys != nil {
-			delete(keys, key)
-			if len(keys) == 0 {
-				delete(m.byOwner, owner)
-			}
-		}
+		m.unindexKey(owner, key)
 	}
-	m.wakeLocked(e, key)
+	st.wakeLocked(e, key)
 	return nil
 }
 
 // ReleaseAll drops every lock held by owner — the end of a top-level
-// action.
+// action. The owner's key set is snapshotted first; the owner must no
+// longer be acquiring (its action has ended).
 func (m *Manager) ReleaseAll(owner Owner) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	keys := m.byOwner[owner]
-	for key := range keys {
-		e := m.entries[key]
-		if e == nil {
-			continue
+	for key := range m.takeKeys(owner) {
+		st := m.stripeOf(key)
+		st.mu.Lock()
+		if e := st.entries[key]; e != nil {
+			delete(e.holders, owner)
+			st.wakeLocked(e, key)
 		}
-		delete(e.holders, owner)
-		m.wakeLocked(e, key)
+		st.mu.Unlock()
 	}
-	delete(m.byOwner, owner)
 }
 
 // Inherit transfers all locks held by child to parent — nested-action
 // commit. If the parent already holds locks on a key the counts merge.
+// The child's key set is snapshotted first; the child must no longer be
+// acquiring (it has committed).
 func (m *Manager) Inherit(child, parent Owner) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	keys := m.byOwner[child]
-	for key := range keys {
-		e := m.entries[key]
+	for key := range m.takeKeys(child) {
+		st := m.stripeOf(key)
+		st.mu.Lock()
+		e := st.entries[key]
 		if e == nil {
+			st.mu.Unlock()
 			continue
 		}
 		ch, ok := e.holders[child]
 		if !ok {
+			st.mu.Unlock()
 			continue
 		}
 		ph, ok := e.holders[parent]
@@ -317,26 +394,23 @@ func (m *Manager) Inherit(child, parent Owner) {
 			ph.counts[mode] += n
 		}
 		delete(e.holders, child)
-		pkeys, ok := m.byOwner[parent]
-		if !ok {
-			pkeys = make(map[string]struct{})
-			m.byOwner[parent] = pkeys
-		}
-		pkeys[key] = struct{}{}
+		m.indexKey(parent, key)
 		// Inheritance can change the effective holder set (e.g. child and
 		// parent both held read; merging may not wake anyone, but entries
 		// with the child as sole blocker now have the parent — ancestry
 		// relations differ), so wake waiters to re-evaluate.
-		m.wakeLocked(e, key)
+		st.wakeLocked(e, key)
+		st.mu.Unlock()
 	}
-	delete(m.byOwner, child)
 }
 
-func (m *Manager) wakeLocked(e *entry, key string) {
+// wakeLocked wakes the entry's waiters and garbage-collects it when no
+// holders remain; the stripe is held.
+func (st *stripe) wakeLocked(e *entry, key string) {
 	close(e.wait)
 	e.wait = make(chan struct{})
 	if len(e.holders) == 0 {
-		delete(m.entries, key)
+		delete(st.entries, key)
 	}
 }
 
@@ -346,9 +420,10 @@ func (m *Manager) HolderModes(key string) []struct {
 	Owner Owner
 	Mode  Mode
 } {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.entries[key]
+	st := m.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
 	if !ok {
 		return nil
 	}
@@ -370,9 +445,10 @@ func (m *Manager) HolderModes(key string) []struct {
 // access on key (a Write holder Holds Read, per promotion ordering; note
 // ExcludeWrite does not imply Read semantics — it is checked exactly).
 func (m *Manager) Holds(owner Owner, key string, mode Mode) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	e, ok := m.entries[key]
+	st := m.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
 	if !ok {
 		return false
 	}

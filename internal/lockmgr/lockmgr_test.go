@@ -3,8 +3,10 @@ package lockmgr
 import (
 	"context"
 	"errors"
+	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -355,5 +357,124 @@ func TestModeString(t *testing.T) {
 	}
 	if Mode(0).String() != "mode(0)" {
 		t.Fatal("unknown mode string wrong")
+	}
+}
+
+func TestStripedDisjointKeysFullLifecycle(t *testing.T) {
+	// Hammer the striped table from many goroutines on disjoint keys —
+	// acquire, promote, release, release-all — and verify per-key holder
+	// state stays exact. Run with -race to check the stripe discipline.
+	m := New(NoNesting)
+	const workers = 16
+	const keysPerWorker = 40
+	var wg sync.WaitGroup
+	ctx := context.Background()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := Owner(fmt.Sprintf("owner-%d", w))
+			for k := 0; k < keysPerWorker; k++ {
+				key := fmt.Sprintf("key-%d-%d", w, k)
+				if err := m.Acquire(ctx, owner, key, Read); err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				if err := m.TryPromote(owner, key, Read, Write); err != nil {
+					t.Errorf("promote: %v", err)
+					return
+				}
+				if !m.Holds(owner, key, Write) {
+					t.Errorf("%s lost write on %s", owner, key)
+					return
+				}
+			}
+			// Half release key by key, half in one sweep.
+			if w%2 == 0 {
+				for k := 0; k < keysPerWorker; k++ {
+					key := fmt.Sprintf("key-%d-%d", w, k)
+					if err := m.Release(owner, key, Write); err != nil {
+						t.Errorf("release: %v", err)
+					}
+				}
+			} else {
+				m.ReleaseAll(owner)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		for k := 0; k < keysPerWorker; k++ {
+			key := fmt.Sprintf("key-%d-%d", w, k)
+			if hm := m.HolderModes(key); len(hm) != 0 {
+				t.Fatalf("%s still held: %v", key, hm)
+			}
+		}
+	}
+}
+
+func TestStripedPromotionContentionOneKey(t *testing.T) {
+	// All contenders on ONE key (one stripe): shared readers, then each
+	// tries the §4.2.1 commit-time promotions. Read→Write must be refused
+	// while other readers hold; read→ExcludeWrite succeeds for exactly one
+	// holder at a time.
+	m := New(NoNesting)
+	ctx := context.Background()
+	const readers = 8
+	for i := 0; i < readers; i++ {
+		if err := m.Acquire(ctx, Owner(fmt.Sprintf("r%d", i)), "entry", Read); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	var excludeWins, writeWins atomic.Int32
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			owner := Owner(fmt.Sprintf("r%d", i))
+			if err := m.TryPromote(owner, "entry", Read, Write); err == nil {
+				writeWins.Add(1)
+			}
+			if err := m.TryPromote(owner, "entry", Read, ExcludeWrite); err == nil {
+				excludeWins.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if writeWins.Load() != 0 {
+		t.Fatalf("read→write promoted %d times under %d shared readers, want 0", writeWins.Load(), readers)
+	}
+	if excludeWins.Load() != 1 {
+		t.Fatalf("read→exclude-write promoted %d times, want exactly 1", excludeWins.Load())
+	}
+}
+
+func TestStripedInheritAcrossStripes(t *testing.T) {
+	// A child holding locks on keys that hash to different stripes must
+	// inherit them all to the parent atomically enough that the parent can
+	// release everything afterwards.
+	anc := AncestryFunc(func(a, d Owner) bool {
+		return len(a) < len(d) && strings.HasPrefix(string(d), string(a)+"/")
+	})
+	m := New(anc)
+	ctx := context.Background()
+	const keys = 64
+	for k := 0; k < keys; k++ {
+		if err := m.Acquire(ctx, "top/child", fmt.Sprintf("k%d", k), Write); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Inherit("top/child", "top")
+	for k := 0; k < keys; k++ {
+		if !m.Holds("top", fmt.Sprintf("k%d", k), Write) {
+			t.Fatalf("k%d not inherited", k)
+		}
+	}
+	m.ReleaseAll("top")
+	for k := 0; k < keys; k++ {
+		if err := m.TryAcquire("stranger", fmt.Sprintf("k%d", k), Write); err != nil {
+			t.Fatalf("k%d not released after inherit+release-all: %v", k, err)
+		}
 	}
 }

@@ -60,6 +60,18 @@ func (r ServerRef) Commit(ctx context.Context, action string, checkpointTo ...tr
 	})
 }
 
+// PrepareCommit runs the combined prepare+commit round: the server copies
+// and commits its state to stNodes and releases the action, in one RPC.
+// checkpointTo asks for coordinator-cohort checkpoints on commit.
+func (r ServerRef) PrepareCommit(ctx context.Context, action string, stNodes, checkpointTo []transport.Addr) (PrepareCommitResp, error) {
+	return rpc.Invoke[PrepareCommitReq, PrepareCommitResp](ctx, r.Client, r.Node, ServiceName, MethodPrepareCommit, PrepareCommitReq{
+		UID:          r.UID.String(),
+		Action:       action,
+		StNodes:      addrsToStrings(stNodes),
+		CheckpointTo: addrsToStrings(checkpointTo),
+	})
+}
+
 // Install pushes a committed state snapshot into the server, creating the
 // instance if necessary.
 func (r ServerRef) Install(ctx context.Context, class string, state []byte, seq uint64) error {

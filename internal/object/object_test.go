@@ -461,3 +461,124 @@ func TestRegistry(t *testing.T) {
 		t.Fatal("expected missing method error")
 	}
 }
+
+func TestReadOnlyPrepareReleasesServer(t *testing.T) {
+	// The §4.1.2 voting fast path: a read-only prepare releases the action
+	// at the server — user entry dropped, locks freed — so no phase-two
+	// RPC is ever needed.
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1", "st2"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "reader", "get", nil); err != nil {
+		t.Fatal(err)
+	}
+	prep, err := ref.Prepare(ctx, "reader", []transport.Addr{"st1", "st2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.Dirty {
+		t.Fatal("read-only action reported dirty")
+	}
+	st, err := ref.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Users != 0 {
+		t.Fatalf("users after read-only prepare = %d, want 0 (released)", st.Users)
+	}
+	// The read lock is gone: a writer acquires immediately.
+	if _, err := ref.Invoke(ctx, "writer", "add", []byte("1")); err != nil {
+		t.Fatalf("write after read-only release: %v", err)
+	}
+}
+
+func TestPrepareCommitOnePhaseSingleStore(t *testing.T) {
+	// Combined prepare+commit against a single St node: one client→server
+	// RPC, one server→store RPC, state committed and the action released.
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "op-act", "add", []byte("7")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ref.PrepareCommit(ctx, "op-act", []transport.Addr{"st1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Dirty || resp.NewSeq != 2 || len(resp.FailedNodes) != 0 {
+		t.Fatalf("resp = %+v, want dirty commit at seq 2", resp)
+	}
+	v, err := w.cluster.Node("st1").Store().Read(w.id)
+	if err != nil || string(v.Data) != "7" || v.Seq != 2 {
+		t.Fatalf("store state = %+v err=%v, want 7@2", v, err)
+	}
+	if n := w.cluster.Node("st1").Store().PendingWrites("op-act"); n != 0 {
+		t.Fatalf("pending writes after one-phase commit = %d, want 0", n)
+	}
+	st, err := ref.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Users != 0 || st.Seq != 2 {
+		t.Fatalf("server status = %+v, want released at seq 2", st)
+	}
+}
+
+func TestPrepareCommitReadOnlyReleases(t *testing.T) {
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "ro", "get", nil); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ref.PrepareCommit(ctx, "ro", []transport.Addr{"st1"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dirty {
+		t.Fatal("read-only combined round reported dirty")
+	}
+	st, err := ref.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Users != 0 {
+		t.Fatalf("users = %d, want 0", st.Users)
+	}
+}
+
+func TestPrepareCommitStaleSingleStoreAborts(t *testing.T) {
+	// A stale activated copy taking the one-phase path must be refused and
+	// destroyed, exactly like the two-phase stale-server handling.
+	w := newWorld(t)
+	ctx := context.Background()
+	ref := w.ref("sv1")
+	if _, err := ref.Activate(ctx, "counter", []transport.Addr{"st1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Invoke(ctx, "stale-act", "add", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	// Another server commits seq 2 behind this copy's back.
+	w.cluster.Node("st1").Store().Put(w.id, []byte("9"), 2)
+	_, err := ref.PrepareCommit(ctx, "stale-act", []transport.Addr{"st1"}, nil)
+	if rpc.CodeOf(err) != CodeStaleServer {
+		t.Fatalf("err = %v, want stale-server", err)
+	}
+	st, err := ref.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Active {
+		t.Fatal("stale instance should have been destroyed")
+	}
+}

@@ -30,6 +30,9 @@ const (
 	MethodPassivate = "Passivate"
 	MethodStatus    = "Status"
 	MethodInstall   = "Install"
+	// MethodPrepareCommit runs prepare and commit as one combined round —
+	// the single-participant 2PC fast path.
+	MethodPrepareCommit = "PrepareCommit"
 )
 
 // Application error codes specific to object servers.
@@ -112,6 +115,7 @@ func NewManager(node *sim.Node, registry *Registry) *Manager {
 	srv.Handle(ServiceName, MethodPassivate, rpc.Method(m.handlePassivate))
 	srv.Handle(ServiceName, MethodStatus, rpc.Method(m.handleStatus))
 	srv.Handle(ServiceName, MethodInstall, rpc.Method(m.handleInstall))
+	srv.Handle(ServiceName, MethodPrepareCommit, rpc.Method(m.handlePrepareCommit))
 	return m
 }
 
@@ -189,7 +193,8 @@ type PrepareReq struct {
 // PrepareResp reports the write-back prepare outcome.
 type PrepareResp struct {
 	// Dirty is false when the action never modified the object: no state
-	// copy is needed (the read optimisation).
+	// copy is needed, and the server has already released the action (the
+	// §4.1.2 read optimisation — no phase-two round trip follows).
 	Dirty bool
 	// NewSeq is the version number the new state will commit as.
 	NewSeq uint64
@@ -226,6 +231,31 @@ type InstallResp struct{ Installed bool }
 // EndResp reports fan-out failures during phase two (informational; the
 // outcome stands).
 type EndResp struct {
+	FailedNodes []string
+}
+
+// PrepareCommitReq runs prepare and commit as one combined round — used
+// by a client action whose only voting participant is this binding, so
+// the commit decision can be delegated to the server (one RPC instead of
+// two, no coordinator outcome-log write).
+type PrepareCommitReq struct {
+	UID     string
+	Action  string
+	StNodes []string
+	// CheckpointTo asks the server, on commit, to push the newly committed
+	// state to these cohort nodes (coordinator-cohort checkpointing).
+	CheckpointTo []string
+}
+
+// PrepareCommitResp reports the combined outcome.
+type PrepareCommitResp struct {
+	// Dirty is false when the action never modified the object; the server
+	// released it with no store traffic at all.
+	Dirty bool
+	// NewSeq is the version number the new state committed as (when Dirty).
+	NewSeq uint64
+	// FailedNodes lists store nodes that refused/missed the write-back and
+	// cohorts whose checkpoint failed, for §4.2 exclusion.
 	FailedNodes []string
 }
 
@@ -399,7 +429,13 @@ func (m *Manager) handlePrepare(ctx context.Context, from transport.Addr, req Pr
 	}
 	in.mu.Lock()
 	if !in.dirty[req.Action] {
+		// The action only read here: release it right now — drop its user
+		// entry and its locks — so the read-only vote ends this server's
+		// involvement with no phase-two round trip (§4.1.2).
+		delete(in.snaps, req.Action)
+		delete(in.users, req.Action)
 		in.mu.Unlock()
+		in.locks.ReleaseAll(lockmgr.Owner(req.Action))
 		return PrepareResp{Dirty: false}, nil
 	}
 	newSeq := in.seq + 1
@@ -414,10 +450,9 @@ func (m *Manager) handlePrepare(ctx context.Context, from transport.Addr, req Pr
 	resp := PrepareResp{Dirty: true, NewSeq: newSeq}
 	var preparedAddrs []transport.Addr
 	staleRefusals, reachable := 0, 0
-	copyErrs := make([]error, len(req.StNodes))
-	conc.Do(len(req.StNodes), func(i int) {
+	copyErrs := conc.DoErr(len(req.StNodes), func(i int) error {
 		remote := store.RemoteStore{Client: m.node.Client(), Node: transport.Addr(req.StNodes[i])}
-		copyErrs[i] = remote.Prepare(ctx, req.Action, []store.Write{{UID: in.id, Data: state, Seq: newSeq}})
+		return remote.Prepare(ctx, req.Action, []store.Write{{UID: in.id, Data: state, Seq: newSeq}})
 	})
 	for i, st := range req.StNodes {
 		if err := copyErrs[i]; err != nil {
@@ -571,10 +606,100 @@ func (m *Manager) handleAbort(ctx context.Context, from transport.Addr, req EndR
 	in.mu.Unlock()
 
 	var resp EndResp
-	for _, st := range prepared {
-		remote := store.RemoteStore{Client: m.node.Client(), Node: st}
-		if err := remote.Abort(ctx, req.Action); err != nil {
+	abortErrs := conc.DoErr(len(prepared), func(i int) error {
+		remote := store.RemoteStore{Client: m.node.Client(), Node: prepared[i]}
+		return remote.Abort(ctx, req.Action)
+	})
+	for i, st := range prepared {
+		if abortErrs[i] != nil {
 			resp.FailedNodes = append(resp.FailedNodes, string(st))
+		}
+	}
+	in.locks.ReleaseAll(lockmgr.Owner(req.Action))
+	return resp, nil
+}
+
+// handlePrepareCommit composes handlePrepare and handleCommit into one
+// round. The caller (replica.Handle.CommitOnePhase) only takes this path
+// when the write-back lands on at most one stable store, so there is no
+// multi-store atomic-commitment problem for the missing outcome log to
+// solve: the single store's apply is atomic, and a crash between the
+// store prepare and its commit resolves to abort under presumed abort —
+// exactly what the coordinator reports for a failed one-phase call.
+func (m *Manager) handlePrepareCommit(ctx context.Context, from transport.Addr, req PrepareCommitReq) (PrepareCommitResp, error) {
+	if len(req.StNodes) == 1 {
+		return m.prepareCommitSingleStore(ctx, from, req)
+	}
+	presp, err := m.handlePrepare(ctx, from, PrepareReq{UID: req.UID, Action: req.Action, StNodes: req.StNodes})
+	if err != nil {
+		return PrepareCommitResp{Dirty: presp.Dirty, FailedNodes: presp.FailedNodes}, err
+	}
+	resp := PrepareCommitResp{Dirty: presp.Dirty, NewSeq: presp.NewSeq, FailedNodes: presp.FailedNodes}
+	if !presp.Dirty {
+		// Read-only: handlePrepare already released the action here.
+		return resp, nil
+	}
+	eresp, err := m.handleCommit(ctx, from, EndReq{UID: req.UID, Action: req.Action, CheckpointTo: req.CheckpointTo})
+	resp.FailedNodes = append(resp.FailedNodes, eresp.FailedNodes...)
+	return resp, err
+}
+
+// prepareCommitSingleStore is the fully collapsed one-phase path: with
+// exactly one St node the store's CommitOnePhase applies the write-back
+// atomically, so the server→store leg shrinks to a single round trip
+// too. A failed store call leaves nothing persisted — the caller's
+// action aborts, and the subsequent Abort RPC restores the snapshot.
+func (m *Manager) prepareCommitSingleStore(ctx context.Context, from transport.Addr, req PrepareCommitReq) (PrepareCommitResp, error) {
+	in, err := m.mustLookup(req.UID)
+	if err != nil {
+		return PrepareCommitResp{}, err
+	}
+	in.mu.Lock()
+	if !in.dirty[req.Action] {
+		// Read-only: release immediately, exactly as handlePrepare does.
+		delete(in.snaps, req.Action)
+		delete(in.users, req.Action)
+		in.mu.Unlock()
+		in.locks.ReleaseAll(lockmgr.Owner(req.Action))
+		return PrepareCommitResp{Dirty: false}, nil
+	}
+	newSeq := in.seq + 1
+	state := append([]byte(nil), in.state...)
+	in.mu.Unlock()
+
+	remote := store.RemoteStore{Client: m.node.Client(), Node: transport.Addr(req.StNodes[0])}
+	if err := remote.CommitOnePhase(ctx, req.Action, []store.Write{{UID: in.id, Data: state, Seq: newSeq}}); err != nil {
+		if errors.Is(err, store.ErrStaleVersion) {
+			// This activated copy has been left behind; destroy it so the
+			// next activation reloads, and abort this action.
+			_, _ = m.handlePassivate(ctx, from, PassivateReq{UID: req.UID, Force: true})
+			return PrepareCommitResp{Dirty: true}, rpc.Errorf(CodeStaleServer,
+				"object %s at %s: activated copy is stale (base seq %d)", req.UID, m.node.Name(), newSeq-1)
+		}
+		return PrepareCommitResp{Dirty: true, FailedNodes: []string{req.StNodes[0]}},
+			rpc.Errorf(CodeUnavailable, "object %s: no St node accepted the new state", req.UID)
+	}
+
+	in.mu.Lock()
+	in.seq = newSeq
+	className := in.class.Name
+	delete(in.snaps, req.Action)
+	delete(in.dirty, req.Action)
+	delete(in.prepared, req.Action)
+	delete(in.preparedSeq, req.Action)
+	delete(in.users, req.Action)
+	in.mu.Unlock()
+
+	resp := PrepareCommitResp{Dirty: true, NewSeq: newSeq}
+	// The write locks are still held, so `state` (snapshotted above) IS the
+	// committed state — reuse it for the cohort checkpoints.
+	ckptErrs := conc.DoErr(len(req.CheckpointTo), func(j int) error {
+		ref := ServerRef{Client: m.node.Client(), Node: transport.Addr(req.CheckpointTo[j]), UID: in.id}
+		return ref.Install(ctx, className, state, newSeq)
+	})
+	for j, cohort := range req.CheckpointTo {
+		if ckptErrs[j] != nil {
+			resp.FailedNodes = append(resp.FailedNodes, cohort)
 		}
 	}
 	in.locks.ReleaseAll(lockmgr.Owner(req.Action))

@@ -120,8 +120,14 @@ type Handle struct {
 	// failedStores accumulates St nodes whose commit-time copy failed and
 	// must be excluded from St_A.
 	failedStores map[transport.Addr]bool
-	// prepared lists servers that acknowledged prepare (commit targets).
+	// prepared lists servers that acknowledged a dirty prepare (phase-two
+	// commit targets). Servers that reported the action read-only release
+	// it during prepare and are never addressed again.
 	prepared []transport.Addr
+	// released marks the handle done with commit processing before phase
+	// two — a read-only vote or a completed one-phase commit. Commit and
+	// Abort become no-ops then.
+	released bool
 	// noAutoEnlist suppresses self-enlistment in Invoke; set by callers
 	// that compose the handle into a larger participant (the naming and
 	// binding layer wraps it to add Exclude/Remove processing).
@@ -381,10 +387,14 @@ func (h *Handle) Name() string {
 // Server failures are masked per policy; St failures are recorded for
 // exclusion. Prepare fails (aborting the action) when no server can
 // complete the copy.
-func (h *Handle) Prepare(ctx context.Context, tx string) error {
+//
+// A server the action never modified releases it during the prepare call
+// (§4.1.2); when every server reports that, the handle votes read-only —
+// its commit processing is over with zero phase-two round trips.
+func (h *Handle) Prepare(ctx context.Context, tx string) (action.Vote, error) {
 	targets, err := h.prepareTargets()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	type result struct {
 		resp object.PrepareResp
@@ -394,7 +404,7 @@ func (h *Handle) Prepare(ctx context.Context, tx string) error {
 	conc.Do(len(targets), func(i int) {
 		results[i].resp, results[i].err = h.ref(targets[i]).Prepare(ctx, tx, h.cfg.StNodes)
 	})
-	okCount := 0
+	okCount, dirtyCount := 0, 0
 	var firstErr error
 	for i, sv := range targets {
 		if err := results[i].err; err != nil {
@@ -407,6 +417,12 @@ func (h *Handle) Prepare(ctx context.Context, tx string) error {
 			continue
 		}
 		okCount++
+		if !results[i].resp.Dirty {
+			// Server released the read-only action during prepare; it is not
+			// a phase-two target.
+			continue
+		}
+		dirtyCount++
 		h.mu.Lock()
 		h.prepared = append(h.prepared, sv)
 		for _, st := range results[i].resp.FailedNodes {
@@ -415,9 +431,76 @@ func (h *Handle) Prepare(ctx context.Context, tx string) error {
 		h.mu.Unlock()
 	}
 	if okCount == 0 {
-		return fmt.Errorf("replica %v: prepare failed everywhere: %v: %w", h.cfg.UID, firstErr, ErrNoServers)
+		return 0, fmt.Errorf("replica %v: prepare failed everywhere: %v: %w", h.cfg.UID, firstErr, ErrNoServers)
 	}
-	return nil
+	if dirtyCount == 0 {
+		h.mu.Lock()
+		h.released = true
+		h.mu.Unlock()
+		return action.VoteReadOnly, nil
+	}
+	return action.VoteCommit, nil
+}
+
+// CommitOnePhase implements action.OnePhaser: when commit processing
+// involves exactly one server and at most one St store, the prepare and
+// commit rounds collapse into a single combined RPC, and the store-side
+// legs collapse too. Any other shape is ineligible — a multi-store
+// write-back needs the coordinator's outcome log to stay atomic across
+// stores, and multiple active replicas must all prepare before any may
+// commit — and falls back to ordinary 2PC untouched.
+func (h *Handle) CommitOnePhase(ctx context.Context, tx string) (action.Vote, error) {
+	targets, err := h.prepareTargets()
+	if err != nil {
+		return 0, err
+	}
+	if len(targets) != 1 || len(h.cfg.StNodes) > 1 {
+		return 0, action.ErrOnePhaseIneligible
+	}
+	coord := targets[0]
+	var checkpointTo []transport.Addr
+	if h.cfg.Policy == CoordinatorCohort {
+		for _, cohort := range h.live() {
+			if cohort != coord {
+				checkpointTo = append(checkpointTo, cohort)
+			}
+		}
+	}
+	resp, err := h.ref(coord).PrepareCommit(ctx, tx, h.cfg.StNodes, checkpointTo)
+	if err != nil {
+		if errors.Is(err, transport.ErrReplyLost) ||
+			errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			// Ambiguous: the combined round may have committed at the server
+			// with only the reply lost. Reporting an abort here would lie.
+			// Declare the one-phase attempt ineligible so the coordinator
+			// falls back to ordinary 2PC, which resolves the doubt: a
+			// re-prepare finds either the still-pending action (normal
+			// commit proceeds) or an already-released one (the server
+			// reports it clean — a read-only vote — and the committed state
+			// stands). When the ambiguity came from the caller's own dead
+			// context the fallback fails too and an abort is reported while
+			// the single store may hold the committed write — the inherent
+			// residue of one-phase commit without an in-doubt state; it
+			// cannot cause cross-store inconsistency (|St| = 1 here), and
+			// the next activation observes the true state.
+			return 0, fmt.Errorf("replica %v: one-phase outcome unknown (%v): %w",
+				h.cfg.UID, err, action.ErrOnePhaseIneligible)
+		}
+		if isCrashError(err) || object.IsNotActive(err) {
+			h.markBroken(coord)
+		}
+		return 0, err
+	}
+	for _, f := range resp.FailedNodes {
+		h.recordFailure(transport.Addr(f))
+	}
+	h.mu.Lock()
+	h.released = true
+	h.mu.Unlock()
+	if !resp.Dirty {
+		return action.VoteReadOnly, nil
+	}
+	return action.VoteCommit, nil
 }
 
 // prepareTargets returns the servers that take part in commit processing:
@@ -441,14 +524,20 @@ func (h *Handle) prepareTargets() ([]transport.Addr, error) {
 
 // Commit implements action.Participant: phase two at every prepared
 // server. For coordinator-cohort the coordinator also checkpoints its
-// committed state to the cohorts.
+// committed state to the cohorts. A handle released at phase one (a
+// read-only vote or a one-phase commit) has nothing left to do.
 func (h *Handle) Commit(ctx context.Context, tx string) error {
 	h.mu.Lock()
+	released := h.released
 	prepared := append([]transport.Addr(nil), h.prepared...)
 	h.mu.Unlock()
+	if released {
+		return nil
+	}
 	if len(prepared) == 0 {
-		// Read-only action: still tell the participating servers to end it
-		// (release locks, drop use counts).
+		// Defensive: a commit with no dirty prepare (legacy callers driving
+		// the handle directly) still tells the participating servers to end
+		// the action (release locks, drop use counts).
 		if targets, err := h.prepareTargets(); err == nil {
 			prepared = targets
 		}
@@ -500,12 +589,20 @@ func (h *Handle) recordFailure(addr transport.Addr) {
 	h.failedStores[addr] = true
 }
 
-// Abort implements action.Participant; all live servers abort in parallel.
+// Abort implements action.Participant; all live servers abort in
+// parallel. A handle already released (read-only vote) is a no-op — the
+// servers forgot the action when they released it.
 func (h *Handle) Abort(ctx context.Context, tx string) error {
+	h.mu.Lock()
+	released := h.released
+	h.mu.Unlock()
+	if released {
+		return nil
+	}
 	live := h.live()
-	errs := make([]error, len(live))
-	conc.Do(len(live), func(i int) {
-		_, errs[i] = h.ref(live[i]).Abort(ctx, tx)
+	errs := conc.DoErr(len(live), func(i int) error {
+		_, err := h.ref(live[i]).Abort(ctx, tx)
+		return err
 	})
 	for _, err := range errs {
 		if err != nil && !isCrashError(err) && !object.IsNotActive(err) {
@@ -514,7 +611,6 @@ func (h *Handle) Abort(ctx context.Context, tx string) error {
 	}
 	return nil
 }
-
 
 // isCrashError reports whether err indicates the callee is gone rather
 // than an application-level refusal.

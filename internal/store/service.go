@@ -22,6 +22,9 @@ const (
 	MethodPrepare = "Prepare"
 	MethodCommit  = "Commit"
 	MethodAbort   = "Abort"
+	// MethodCommitOnePhase validates and applies a transaction's writes in
+	// one round — the single-participant 2PC fast path.
+	MethodCommitOnePhase = "CommitOnePhase"
 )
 
 // CodeStaleVersion is the RPC error code carrying ErrStaleVersion across
@@ -127,6 +130,26 @@ func RegisterService(srv *rpc.Server, s *Store) {
 		}
 		return Ack{}, nil
 	}))
+	srv.Handle(ServiceName, MethodCommitOnePhase, rpc.Method(func(ctx context.Context, from transport.Addr, req PrepareReq) (Ack, error) {
+		writes := make([]Write, 0, len(req.Writes))
+		for _, w := range req.Writes {
+			id, err := uid.Parse(w.UID)
+			if err != nil {
+				return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+			}
+			writes = append(writes, Write{UID: id, Data: w.Data, Seq: w.Seq})
+		}
+		if err := s.CommitOnePhase(req.Tx, writes); err != nil {
+			if errors.Is(err, ErrBusy) {
+				return Ack{}, rpc.Errorf(rpc.CodeConflict, "%v", err)
+			}
+			if errors.Is(err, ErrStaleVersion) {
+				return Ack{}, rpc.Errorf(CodeStaleVersion, "%v", err)
+			}
+			return Ack{}, err
+		}
+		return Ack{}, nil
+	}))
 	srv.Handle(ServiceName, MethodCommit, rpc.Method(func(ctx context.Context, from transport.Addr, req TxReq) (Ack, error) {
 		return Ack{}, s.Commit(req.Tx)
 	}))
@@ -176,6 +199,20 @@ func (r RemoteStore) Prepare(ctx context.Context, tx string, writes []Write) err
 		recs[i] = WriteRec{UID: w.UID.String(), Data: w.Data, Seq: w.Seq}
 	}
 	_, err := rpc.Invoke[PrepareReq, Ack](ctx, r.Client, r.Node, ServiceName, MethodPrepare, PrepareReq{Tx: tx, Writes: recs})
+	if rpc.CodeOf(err) == CodeStaleVersion {
+		return fmt.Errorf("%v: %w", err, ErrStaleVersion)
+	}
+	return err
+}
+
+// CommitOnePhase validates and applies tx's writes at the remote store in
+// a single round. Stale-version refusals map back to ErrStaleVersion.
+func (r RemoteStore) CommitOnePhase(ctx context.Context, tx string, writes []Write) error {
+	recs := make([]WriteRec, len(writes))
+	for i, w := range writes {
+		recs[i] = WriteRec{UID: w.UID.String(), Data: w.Data, Seq: w.Seq}
+	}
+	_, err := rpc.Invoke[PrepareReq, Ack](ctx, r.Client, r.Node, ServiceName, MethodCommitOnePhase, PrepareReq{Tx: tx, Writes: recs})
 	if rpc.CodeOf(err) == CodeStaleVersion {
 		return fmt.Errorf("%v: %w", err, ErrStaleVersion)
 	}

@@ -172,6 +172,36 @@ func (s *Store) Commit(tx string) error {
 	return nil
 }
 
+// CommitOnePhase validates and applies writes for tx in one step — the
+// single-participant combined prepare+commit of the voting 2PC fast
+// path. The same admission checks as Prepare apply (conflicting pinned
+// intentions, version-chain extension); on success the writes are
+// committed atomically under the store mutex, together with any
+// intentions previously prepared under the same tx, and nothing is left
+// pending. On failure the store is untouched except that earlier
+// intentions of tx remain (the coordinator's roll-back clears them).
+func (s *Store) CommitOnePhase(tx string, writes []Write) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range writes {
+		if other, ok := s.pinned[w.UID]; ok && other != tx {
+			return fmt.Errorf("%s: %v pinned by %s: %w", s.name, w.UID, other, ErrBusy)
+		}
+		if cur, ok := s.committed[w.UID]; ok && w.Seq != cur.Seq+1 {
+			return fmt.Errorf("%s: %v write seq %d, committed seq %d: %w",
+				s.name, w.UID, w.Seq, cur.Seq, ErrStaleVersion)
+		}
+	}
+	for _, w := range s.intentions[tx] {
+		s.committed[w.UID] = Version{Data: w.Data, Seq: w.Seq, TxID: tx}
+	}
+	for _, w := range writes {
+		s.committed[w.UID] = Version{Data: append([]byte(nil), w.Data...), Seq: w.Seq, TxID: tx}
+	}
+	s.clearLocked(tx)
+	return nil
+}
+
 // PendingWrites returns the number of distinct objects with prepared
 // writes under tx (0 if unknown). Exposed for tests and recovery tooling.
 func (s *Store) PendingWrites(tx string) int {

@@ -279,3 +279,85 @@ func TestPropertyPrepareCommitAbort(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCommitOnePhaseApplies(t *testing.T) {
+	s := New("beta")
+	id := gen.New()
+	s.Put(id, []byte("v0"), 1)
+	if err := s.CommitOnePhase("tx1", []Write{{UID: id, Data: []byte("v1"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Read(id)
+	if string(v.Data) != "v1" || v.Seq != 2 || v.TxID != "tx1" {
+		t.Fatalf("after one-phase commit: %+v", v)
+	}
+	if len(s.PendingTxs()) != 0 {
+		t.Fatal("one-phase commit must leave nothing pending")
+	}
+}
+
+func TestCommitOnePhaseChecksAdmission(t *testing.T) {
+	s := New("beta")
+	id := gen.New()
+	s.Put(id, []byte("v0"), 1)
+	// Stale chain refused.
+	if err := s.CommitOnePhase("tx1", []Write{{UID: id, Data: []byte("v9"), Seq: 9}}); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("err = %v, want ErrStaleVersion", err)
+	}
+	if v, _ := s.Read(id); string(v.Data) != "v0" {
+		t.Fatal("failed one-phase commit must not change state")
+	}
+	// Pinned by another tx refused.
+	if err := s.Prepare("other", []Write{{UID: id, Data: []byte("v1"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitOnePhase("tx1", []Write{{UID: id, Data: []byte("v1"), Seq: 2}}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+}
+
+func TestCommitOnePhaseMergesOwnIntentions(t *testing.T) {
+	// A one-phase commit for a tx that already prepared writes (merge
+	// semantics) applies both the old intentions and the new writes.
+	s := New("beta")
+	a, b := gen.New(), gen.New()
+	s.Put(a, []byte("a0"), 1)
+	s.Put(b, []byte("b0"), 1)
+	if err := s.Prepare("tx1", []Write{{UID: a, Data: []byte("a1"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitOnePhase("tx1", []Write{{UID: b, Data: []byte("b1"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	va, _ := s.Read(a)
+	vb, _ := s.Read(b)
+	if string(va.Data) != "a1" || string(vb.Data) != "b1" {
+		t.Fatalf("after merge commit: a=%q b=%q", va.Data, vb.Data)
+	}
+	if len(s.PendingTxs()) != 0 {
+		t.Fatal("intentions not cleared")
+	}
+}
+
+func TestRemoteCommitOnePhase(t *testing.T) {
+	net := transport.NewMem(transport.MemOptions{}, nil)
+	srv := rpc.NewServer()
+	s := New("beta")
+	RegisterService(srv, s)
+	net.Register("beta", srv.Handler())
+	cli := rpc.Client{Net: net, From: "alpha"}
+	id := gen.New()
+	s.Put(id, []byte("v0"), 1)
+	r := RemoteStore{Client: cli, Node: "beta"}
+	if err := r.CommitOnePhase(context.Background(), "tx1", []Write{{UID: id, Data: []byte("v1"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Read(id)
+	if string(v.Data) != "v1" || v.Seq != 2 {
+		t.Fatalf("after remote one-phase commit: %+v", v)
+	}
+	// Stale refusal maps back to the sentinel.
+	if err := r.CommitOnePhase(context.Background(), "tx2", []Write{{UID: id, Data: []byte("vX"), Seq: 9}}); !errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("err = %v, want ErrStaleVersion", err)
+	}
+}

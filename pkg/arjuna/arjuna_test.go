@@ -429,3 +429,112 @@ func TestStatsExposeRPCTraffic(t *testing.T) {
 		t.Fatalf("snapshot missing rpc counters:\n%s", snap)
 	}
 }
+
+func TestReadOnlyAtomicSkipsPhaseTwoAndOutcomeLog(t *testing.T) {
+	// §4.1.2 end to end: a read-only action's binding votes read-only at
+	// prepare, so the commit runs zero phase-two RPCs and writes no
+	// outcome-log record — visible in the CommitReport vote anatomy.
+	sys := openT(t, arjuna.WithServers(2), arjuna.WithStores(2))
+	cl := clientT(t, sys, "c1", arjuna.ClientReadOnly())
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Read(ctx, "get", nil)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("read-only atomic: %v", err)
+	}
+	if !rep.Committed {
+		t.Fatal("not committed")
+	}
+	if rep.ReadOnlyVoters != 1 || rep.CommitVoters != 0 {
+		t.Fatalf("votes = %d read-only / %d commit, want 1/0", rep.ReadOnlyVoters, rep.CommitVoters)
+	}
+	if rep.OutcomeLogged {
+		t.Fatal("read-only commit must not write an outcome-log record")
+	}
+}
+
+func TestSingleStoreWriteCommitsOnePhase(t *testing.T) {
+	// With one server and one store the whole commit collapses into a
+	// single combined prepare+commit round and no outcome-log write.
+	sys := openT(t, arjuna.WithServers(1), arjuna.WithStores(1))
+	cl := clientT(t, sys, "c1")
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("5"))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("atomic: %v", err)
+	}
+	if !rep.OnePhase || rep.CommitVoters != 1 || rep.OutcomeLogged {
+		t.Fatalf("report = %+v, want a one-phase commit with no log write", rep)
+	}
+	if got := counterValue(t, sys, obj); got != "5" {
+		t.Fatalf("counter = %q, want 5", got)
+	}
+}
+
+func TestMultiStoreWriteStaysTwoPhase(t *testing.T) {
+	// Several St stores need the outcome log to stay mutually consistent:
+	// the one-phase fast path must refuse and fall back.
+	sys := openT(t, arjuna.WithServers(1), arjuna.WithStores(3))
+	cl := clientT(t, sys, "c1")
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("5"))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("atomic: %v", err)
+	}
+	if rep.OnePhase || !rep.OutcomeLogged || rep.CommitVoters != 1 {
+		t.Fatalf("report = %+v, want ordinary logged 2PC", rep)
+	}
+	// All three stores hold the same committed version.
+	for _, st := range []string{"st1", "st2", "st3"} {
+		data, seq, err := sys.StoreState(st, obj)
+		if err != nil || string(data) != "5" || seq != 2 {
+			t.Fatalf("%s state = %q@%d err=%v, want 5@2", st, data, seq, err)
+		}
+	}
+}
+
+func TestOnePhaseLostReplyResolvesThroughTwoPhase(t *testing.T) {
+	// The combined prepare+commit executes at the server but its reply is
+	// lost. The handle must not report an abort (the store has committed);
+	// it declares the one-phase attempt ineligible and the 2PC fallback
+	// resolves the doubt: the re-prepare finds the action already released
+	// — a read-only vote — and the committed state stands.
+	sys := openT(t, arjuna.WithServers(1), arjuna.WithStores(1))
+	cl := clientT(t, sys, "c1")
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	sys.Faults().DropReplies(1, func(req transport.Request) bool {
+		return req.Service == "objsrv" && req.Method == "PrepareCommit"
+	})
+	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("9"))
+		return err
+	})
+	if err != nil {
+		t.Fatalf("atomic with lost one-phase reply: %v", err)
+	}
+	if !rep.Committed {
+		t.Fatal("not committed")
+	}
+	if rep.OnePhase {
+		t.Fatal("lost reply must force the 2PC fallback, not a one-phase report")
+	}
+	if got := counterValue(t, sys, obj); got != "9" {
+		t.Fatalf("counter = %q, want 9 (the combined round's effect must stand)", got)
+	}
+}

@@ -51,6 +51,18 @@ type CommitReport struct {
 	// failed after the commit point. The action IS committed; such
 	// participants learn the outcome from the log at recovery.
 	PhaseTwoErrors []error
+	// ReadOnlyVoters and CommitVoters count the phase-one votes of the
+	// final attempt (§4.1.2's read optimisation made visible): read-only
+	// voters were released after phase one and took no part in phase two.
+	ReadOnlyVoters int
+	CommitVoters   int
+	// OnePhase reports that the commit ran as a single combined
+	// prepare+commit round with the action's only participant.
+	OnePhase bool
+	// OutcomeLogged reports whether the coordinator wrote a commit record.
+	// All-read-only and one-phase commits skip the write — presumed abort
+	// means no recovery will ever ask about them.
+	OutcomeLogged bool
 }
 
 // Txn is one running atomic action. It is handed to the closure passed to
@@ -185,6 +197,10 @@ func (c *Client) runOnce(ctx context.Context, fn func(tx *Txn) error) (*CommitRe
 	committed = true
 	rep := tx.report(true)
 	rep.PhaseTwoErrors = acrep.PhaseTwoErrors
+	rep.ReadOnlyVoters = acrep.ReadOnlyVoters
+	rep.CommitVoters = acrep.CommitVoters
+	rep.OnePhase = acrep.OnePhase
+	rep.OutcomeLogged = acrep.OutcomeLogged
 	return rep, nil
 }
 

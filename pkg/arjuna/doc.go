@@ -33,6 +33,23 @@
 // ErrAborted, …) so callers use errors.Is / errors.As instead of string
 // matching.
 //
+// # Read-only commit semantics
+//
+// Commit processing runs a voting two-phase commit with the §4.1.2 read
+// optimisation: a participant that only read votes read-only at prepare
+// time, releases its locks and use counts right there, and takes no
+// part in phase two. An action all of whose participants voted
+// read-only therefore commits with zero phase-two round trips and no
+// outcome-log write (presumed abort makes the record redundant), and an
+// action with a single participant writing through at most one store
+// commits in one combined prepare+commit round. The CommitReport's vote
+// anatomy shows which of these fired: ReadOnlyVoters / CommitVoters
+// count the phase-one votes, OnePhase marks the combined round, and
+// OutcomeLogged reports whether a commit record was written at all.
+// Pair ClientReadOnly (bind to any convenient server, no use-list
+// updates) with read-only methods to keep the entire action — binding,
+// invocation and commitment — on shared read locks and single rounds.
+//
 // The three database access schemes of §4 (standard, independent
 // top-level, nested top-level) and the three replication policies of §2.3
 // (single-copy passive, active, coordinator-cohort) are selected per
