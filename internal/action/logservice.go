@@ -2,10 +2,12 @@ package action
 
 import (
 	"context"
+	"strings"
 
 	"repro/internal/rpc"
 	"repro/internal/store"
 	"repro/internal/transport"
+	"repro/internal/uid"
 )
 
 // LogServiceName is the RPC service name for outcome-log lookups.
@@ -28,11 +30,12 @@ func RegisterLogService(srv *rpc.Server, log Log) {
 	}))
 }
 
-// RemoteLog queries a log on another node. It implements store.OutcomeLog;
-// lookup failures are reported as OutcomeUnknown, which recovery treats as
-// abort (presumed abort is safe: an unreachable coordinator means the
-// transaction cannot have been acknowledged as committed to the client
-// without a commit record surviving somewhere we can eventually read).
+// RemoteLog queries a log on another node. It implements store.OutcomeLog.
+// Lookup failures are reported as OutcomeUnavailable — NOT as unknown: an
+// unreachable coordinator may well hold a commit record, so the recovering
+// participant must keep its intention pending rather than presume abort.
+// Only an affirmative "no record" answer from the coordinator licenses the
+// presumption.
 type RemoteLog struct {
 	Client rpc.Client
 	Node   transport.Addr
@@ -44,7 +47,58 @@ var _ store.OutcomeLog = RemoteLog{}
 func (r RemoteLog) Lookup(tx string) store.Outcome {
 	resp, err := rpc.Invoke[LookupReq, LookupResp](context.Background(), r.Client, r.Node, LogServiceName, LogMethodLookup, LookupReq{Tx: tx})
 	if err != nil {
-		return store.OutcomeUnknown
+		return store.OutcomeUnavailable
 	}
 	return store.Outcome(resp.Outcome)
+}
+
+// TxOrigin extracts the coordinator origin from an action identifier as
+// minted by a Manager: the UID's origin, with any nested-action "/suffix"
+// stripped. It reports false for identifiers in no recognisable form.
+func TxOrigin(tx string) (string, bool) {
+	if i := strings.IndexByte(tx, '/'); i >= 0 {
+		tx = tx[:i]
+	}
+	u, err := uid.Parse(tx)
+	if err != nil || u.Origin == "" {
+		return "", false
+	}
+	return u.Origin, true
+}
+
+// OriginLog is a store.OutcomeLog that answers each lookup by querying the
+// outcome-log RPC service at the transaction's own coordinator, identified
+// by the transaction ID's origin. It is the recovery-side half of the
+// paper's presumed-abort commit protocol: a restarting participant with a
+// prepared-but-undecided intention asks the coordinator for the recorded
+// outcome. "No record" — the coordinator's affirmative answer, or an
+// origin that names no coordinator at all — means abort: a transaction is
+// only acknowledged as committed after its commit record is written. An
+// UNREACHABLE coordinator is different: it may hold a commit record we
+// cannot read right now, so the lookup reports OutcomeUnavailable and the
+// intention stays pending until a later retry gets an answer.
+type OriginLog struct {
+	// Client issues the lookup RPCs (conventionally the recovering node's
+	// own client).
+	Client rpc.Client
+	// Resolve maps a transaction origin to the coordinator's address. A nil
+	// Resolve uses the origin verbatim as the address.
+	Resolve func(origin string) (transport.Addr, bool)
+}
+
+var _ store.OutcomeLog = OriginLog{}
+
+// Lookup implements store.OutcomeLog.
+func (l OriginLog) Lookup(tx string) store.Outcome {
+	origin, ok := TxOrigin(tx)
+	if !ok {
+		return store.OutcomeUnknown
+	}
+	addr := transport.Addr(origin)
+	if l.Resolve != nil {
+		if addr, ok = l.Resolve(origin); !ok {
+			return store.OutcomeUnknown
+		}
+	}
+	return RemoteLog{Client: l.Client, Node: addr}.Lookup(tx)
 }

@@ -1,0 +1,532 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/object"
+	"repro/internal/replica"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+// Workload selects what the concurrent clients do while the nemesis runs.
+type Workload int
+
+// Workloads.
+const (
+	// WorkloadCounter: each action increments one randomly chosen counter
+	// object by one. Invariant: each counter's final value equals the
+	// number of increments its clients saw commit (bounded above by the
+	// outcomes a client could not observe).
+	WorkloadCounter Workload = iota + 1
+	// WorkloadBank: each action atomically moves an amount between two
+	// randomly chosen accounts. Invariant: the total over all accounts is
+	// exactly conserved — transfers are failure-atomic across their two
+	// participants, so no failure pattern may create or destroy money.
+	WorkloadBank
+)
+
+// String implements fmt.Stringer.
+func (w Workload) String() string {
+	switch w {
+	case WorkloadCounter:
+		return "counter"
+	case WorkloadBank:
+		return "bank"
+	default:
+		return fmt.Sprintf("workload(%d)", int(w))
+	}
+}
+
+// Config sizes one chaos run. The zero value of every field is replaced
+// by a sensible default (see withDefaults); Seed alone distinguishes
+// schedules.
+type Config struct {
+	// Seed determines the fault schedule, the workload content, the
+	// network jitter and the per-message fault coin flips.
+	Seed int64
+	// Cluster shape.
+	Servers, Stores, Clients, Objects int
+	// ActionsPerClient is each client's action count.
+	ActionsPerClient int
+	// Events is the nemesis schedule length.
+	Events int
+	// Workload selects the client behaviour (default counter).
+	Workload Workload
+	// Scheme and Policy configure the binding layer.
+	Scheme core.Scheme
+	Policy replica.Policy
+	// ActionTimeout bounds one client action (faults may stall locks and
+	// binds; the timeout turns a stall into an abort).
+	ActionTimeout time.Duration
+	// Jitter randomizes per-message latency to vary interleavings.
+	Jitter time.Duration
+	// BiasInDoubt converts half the schedule into crash-during-commit
+	// injections — the dedicated in-doubt convergence configuration.
+	BiasInDoubt bool
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&c.Servers, 2)
+	def(&c.Stores, 3)
+	def(&c.Clients, 3)
+	def(&c.Objects, 3)
+	def(&c.ActionsPerClient, 15)
+	def(&c.Events, 10)
+	if c.Workload == 0 {
+		c.Workload = WorkloadCounter
+	}
+	if c.Scheme == 0 {
+		c.Scheme = core.SchemeIndependent
+	}
+	if c.Policy == 0 {
+		c.Policy = replica.SingleCopyPassive
+	}
+	if c.ActionTimeout <= 0 {
+		c.ActionTimeout = 300 * time.Millisecond
+	}
+	if c.Jitter <= 0 {
+		c.Jitter = 200 * time.Microsecond
+	}
+	return c
+}
+
+// Report summarises one chaos run. Violations empty means every invariant
+// held; anything else is a reproducible bug (re-run the seed).
+type Report struct {
+	Seed int64
+	// Schedule lists the nemesis events actually applied, in order.
+	Schedule []string
+	// Notes records non-fatal observations (e.g. an online recovery that
+	// had to be retried at quiesce because the DB was partitioned).
+	Notes []string
+	// Committed/Aborted/Uncertain count client actions by observed
+	// outcome. Uncertain actions ran out of time mid-commit: the client
+	// cannot know the outcome, so conservation is checked as a bound.
+	Committed, Aborted, Uncertain int
+	// InDoubtResolved counts prepared-but-undecided intentions that
+	// recovery resolved against coordinator outcome logs.
+	InDoubtResolved int
+	// Repairs lists quiesce-time interventions (restarting wedged server
+	// instances whose phase-two traffic was lost).
+	Repairs []string
+	// FinalValues holds each object's settled value ("obj<i>" keys).
+	FinalValues map[string]int
+	// Violations lists every invariant breach found after quiesce.
+	Violations []string
+}
+
+type outcomeClass int
+
+const (
+	opCommitted outcomeClass = iota + 1
+	opAborted
+	opUncertain
+)
+
+type opRec struct {
+	tx     string
+	client transport.Addr
+	class  outcomeClass
+	// obj and val trace committed counter increments: val is the value
+	// the client observed the counter at after its add — the replay
+	// breadcrumb that pinpoints WHICH committed update went missing.
+	obj int
+	val int
+}
+
+type objTally struct {
+	committed int // sum of deltas the clients saw commit
+	uncertain int // sum of deltas with unobservable outcomes
+}
+
+type runner struct {
+	cfg    Config
+	w      *harness.World
+	faults *transport.Faults
+
+	progress atomic.Int64
+
+	mu          sync.Mutex
+	report      *Report
+	tallies     []objTally
+	ops         []opRec
+	partitions  map[[2]transport.Addr]bool
+	everCrashed map[transport.Addr]bool
+}
+
+// Run executes one seeded chaos schedule and returns its report. The
+// error return covers harness construction only; invariant breaches are
+// reported in Report.Violations.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	w, err := harness.New(harness.Options{
+		Servers: cfg.Servers,
+		Stores:  cfg.Stores,
+		Clients: cfg.Clients,
+		Objects: cfg.Objects,
+		Net:     transport.MemOptions{Jitter: cfg.Jitter, Seed: cfg.Seed},
+	})
+	if err != nil {
+		return nil, err
+	}
+	faults := w.Cluster.Faults()
+	faults.Reseed(cfg.Seed)
+	r := &runner{
+		cfg:    cfg,
+		w:      w,
+		faults: faults,
+		report: &Report{
+			Seed:        cfg.Seed,
+			FinalValues: make(map[string]int),
+		},
+		tallies:     make([]objTally, cfg.Objects),
+		partitions:  make(map[[2]transport.Addr]bool),
+		everCrashed: make(map[transport.Addr]bool),
+	}
+
+	events := GenerateSchedule(cfg.Seed, cfg)
+	nemesisCtx, stopNemesis := context.WithCancel(context.Background())
+	var nemesisDone sync.WaitGroup
+	nemesisDone.Add(1)
+	go func() {
+		defer nemesisDone.Done()
+		r.nemesis(nemesisCtx, events)
+	}()
+
+	var workers sync.WaitGroup
+	for i := range w.Clients {
+		workers.Add(1)
+		go func(idx int) {
+			defer workers.Done()
+			r.worker(idx)
+		}(i)
+	}
+	workers.Wait()
+	stopNemesis()
+	nemesisDone.Wait()
+
+	r.quiesce()
+	r.report.Violations = r.checkInvariants()
+	return r.report, nil
+}
+
+// --- workload ---
+
+func (r *runner) worker(idx int) {
+	client := r.w.Clients[idx]
+	b := r.w.Binder(client, r.cfg.Scheme, r.cfg.Policy, 0)
+	// Per-client source: decorrelated from the schedule rng but still a
+	// pure function of the seed.
+	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(idx+1)*0x5851F42D4C957F2D))
+	for i := 0; i < r.cfg.ActionsPerClient; i++ {
+		switch r.cfg.Workload {
+		case WorkloadBank:
+			r.bankOp(b, client, rng)
+		default:
+			r.counterOp(b, client, rng)
+		}
+		r.progress.Add(1)
+	}
+}
+
+func (r *runner) record(client transport.Addr, tx string, class outcomeClass, deltas map[int]int) {
+	r.mu.Lock()
+	r.ops = append(r.ops, opRec{tx: tx, client: client, class: class})
+	r.mu.Unlock()
+	r.recordTally(class, deltas)
+}
+
+func (r *runner) recordTally(class outcomeClass, deltas map[int]int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch class {
+	case opCommitted:
+		r.report.Committed++
+		for obj, d := range deltas {
+			r.tallies[obj].committed += d
+		}
+	case opAborted:
+		r.report.Aborted++
+	case opUncertain:
+		r.report.Uncertain++
+		for obj, d := range deltas {
+			r.tallies[obj].uncertain += d
+		}
+	}
+}
+
+// classify maps a harness ActionResult to an outcome class: commits and
+// runner-resolved aborts are certain; only a Commit that itself failed
+// while the caller's context was dead is uncertain — the one-phase fast
+// path may have committed at the store with no way to report it.
+func classify(ctx context.Context, res harness.ActionResult) outcomeClass {
+	switch {
+	case res.Committed:
+		return opCommitted
+	case res.CommitFailed && ctx.Err() != nil:
+		return opUncertain
+	default:
+		return opAborted
+	}
+}
+
+func (r *runner) counterOp(b *core.Binder, client transport.Addr, rng *rand.Rand) {
+	obj := rng.Intn(r.cfg.Objects)
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ActionTimeout)
+	defer cancel()
+	res := r.w.RunCounterAction(ctx, b, obj, 1)
+	class := classify(ctx, res)
+	val, _ := strconv.Atoi(string(res.Result))
+	r.mu.Lock()
+	r.ops = append(r.ops, opRec{tx: res.Tx, client: client, class: class, obj: obj, val: val})
+	r.mu.Unlock()
+	r.recordTally(class, map[int]int{obj: 1})
+}
+
+func (r *runner) bankOp(b *core.Binder, client transport.Addr, rng *rand.Rand) {
+	from := rng.Intn(r.cfg.Objects)
+	to := (from + 1 + rng.Intn(r.cfg.Objects-1)) % r.cfg.Objects
+	amount := 1 + rng.Intn(5)
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ActionTimeout)
+	defer cancel()
+	res := r.w.RunTransferAction(ctx, b, from, to, amount)
+	r.record(client, res.Tx, classify(ctx, res), map[int]int{from: -amount, to: amount})
+}
+
+// --- nemesis ---
+
+func (r *runner) nemesis(ctx context.Context, events []Event) {
+	for _, e := range events {
+		for r.progress.Load() < int64(e.After) {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Millisecond):
+			}
+		}
+		r.apply(e)
+		r.mu.Lock()
+		r.report.Schedule = append(r.report.Schedule, e.String())
+		r.mu.Unlock()
+	}
+}
+
+func (r *runner) note(format string, args ...any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.report.Notes = append(r.report.Notes, fmt.Sprintf(format, args...))
+}
+
+func (r *runner) markCrashed(addr transport.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.everCrashed[addr] = true
+}
+
+func (r *runner) apply(e Event) {
+	switch e.Kind {
+	case KindCrashStore, KindCrashServer:
+		r.markCrashed(e.Target)
+		r.w.Cluster.Node(e.Target).Crash()
+	case KindRecoverNode:
+		r.recoverNode(e.Target)
+	case KindPartition:
+		r.faults.Partition(e.Target, e.Peer)
+		r.mu.Lock()
+		r.partitions[[2]transport.Addr{e.Target, e.Peer}] = true
+		r.mu.Unlock()
+	case KindHealAll:
+		r.mu.Lock()
+		pairs := r.partitions
+		r.partitions = make(map[[2]transport.Addr]bool)
+		r.mu.Unlock()
+		for p := range pairs {
+			r.faults.Heal(p[0], p[1])
+		}
+	case KindDropRequests:
+		r.faults.DropRequestsP(e.P, e.Count, transport.ToMethod(e.Target, e.Service, e.Method))
+	case KindDropReplies:
+		r.faults.DropRepliesP(e.P, e.Count, transport.ToMethod(e.Target, e.Service, e.Method))
+	case KindDelay:
+		r.faults.DelayRequests(e.P, e.Count, e.Hold, transport.To(e.Target))
+	case KindDuplicate:
+		r.faults.DuplicateRequests(e.P, e.Count, transport.ToMethod(e.Target, e.Service, e.Method))
+	case KindReorder:
+		r.faults.ReorderRequests(e.P, e.Count, e.Hold, transport.To(e.Target))
+	case KindCrashDuringCommit:
+		// The in-doubt injection: the target store dies the instant its
+		// prepare acknowledgement is on the wire — it has voted commit and
+		// will only ever learn the outcome from the coordinator's log at
+		// restart. The abort-side variant loses the acknowledgement too,
+		// so the coordinator aborts while the dead store holds a prepared
+		// intention (presumed abort must clean it up).
+		r.markCrashed(e.Target)
+		n := r.w.Cluster.Node(e.Target)
+		rule := transport.ToMethod(e.Target, store.ServiceName, store.MethodPrepare)
+		if e.AbortSide {
+			r.faults.DropRepliesP(1, 1, rule)
+		}
+		r.faults.OnReply(1, rule, func(transport.Request) { n.Crash() })
+	}
+}
+
+// recoverNode attempts an online recovery mid-run: restart (which
+// resolves in-doubt intentions against coordinator logs via the cluster's
+// outcome resolver) followed by the store/server recovery protocol.
+// Protocol failures under active faults are notes, not errors — quiesce
+// retries them in a clean network.
+func (r *runner) recoverNode(target transport.Addr) {
+	n := r.w.Cluster.Node(target)
+	if n == nil || n.Up() {
+		return
+	}
+	r.countInDoubt(target)
+	n.Recover(nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*r.cfg.ActionTimeout)
+	defer cancel()
+	var err error
+	if r.isStore(target) {
+		err = core.RecoverStoreNode(ctx, n, "db", r.w.Objects)
+	} else {
+		err = core.RecoverServerNode(ctx, n, "db", r.w.Objects)
+	}
+	if err != nil {
+		r.note("online recovery of %s deferred: %v", target, err)
+	}
+}
+
+func (r *runner) isStore(addr transport.Addr) bool {
+	for _, st := range r.w.Sts {
+		if st == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *runner) countInDoubt(addr transport.Addr) {
+	if !r.isStore(addr) {
+		return
+	}
+	if pend := r.w.Cluster.Node(addr).Store().PendingTxs(); len(pend) > 0 {
+		r.mu.Lock()
+		r.report.InDoubtResolved += len(pend)
+		r.mu.Unlock()
+	}
+}
+
+// --- quiesce ---
+
+// quiesce drains the chaos: heal the network, restart every crashed node
+// (stores before servers, so catch-up has sources), sweep any intention
+// still pending on a live store (the restart-equivalent resolution), and
+// restart wedged server instances. After quiesce the cluster must satisfy
+// every invariant.
+func (r *runner) quiesce() {
+	r.faults.Clear()
+	resolver := func(n transport.Addr) store.OutcomeLog {
+		return r.w.OutcomeLogFor(r.w.Cluster.Node(n))
+	}
+
+	// Restart crashed stores; their pending intentions resolve against
+	// coordinator logs inside Recover.
+	for _, st := range r.w.Sts {
+		n := r.w.Cluster.Node(st)
+		if !n.Up() {
+			r.countInDoubt(st)
+			n.Recover(nil)
+		}
+	}
+	// Live stores may hold intentions whose phase-two or abort message
+	// was lost; resolve them the same way a restart would.
+	for _, st := range r.w.Sts {
+		n := r.w.Cluster.Node(st)
+		if pend := n.Store().PendingTxs(); len(pend) > 0 {
+			r.mu.Lock()
+			r.report.InDoubtResolved += len(pend)
+			r.mu.Unlock()
+			applied, aborted := n.Store().Recover(resolver(st))
+			r.note("swept %s: applied %v, aborted %v", st, applied, aborted)
+		}
+	}
+	// Restart crashed servers (their volatile instances are gone; the
+	// recovery protocol re-Inserts them into Sv).
+	for _, sv := range r.w.Svs {
+		if n := r.w.Cluster.Node(sv); !n.Up() {
+			n.Recover(nil)
+		}
+	}
+	// Wedged instances: a server that missed an action's phase-two or
+	// abort message keeps its users/prepared entries (and the action's
+	// locks) forever. Model the operator restart: force-passivate; the
+	// stores hold the durable truth.
+	cli := r.w.Cluster.Node(r.w.Clients[0]).Client()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, sv := range r.w.Svs {
+		for i, id := range r.w.Objects {
+			ref := object.ServerRef{Client: cli, Node: sv, UID: id}
+			stat, err := ref.Status(ctx)
+			if err != nil || !stat.Active {
+				continue
+			}
+			if stat.Users > 0 || stat.Prepared > 0 {
+				if _, err := ref.Passivate(ctx, true); err == nil {
+					r.mu.Lock()
+					r.report.Repairs = append(r.report.Repairs,
+						fmt.Sprintf("restarted wedged instance obj%d@%s (users=%d prepared=%d)", i, sv, stat.Users, stat.Prepared))
+					r.mu.Unlock()
+				}
+			}
+		}
+	}
+	// Catch-up protocols for every node that ever crashed, now that the
+	// network is clean and intentions are settled. A few retries paper
+	// over ordering between mutually-dependent recoveries.
+	r.mu.Lock()
+	crashed := make([]transport.Addr, 0, len(r.everCrashed))
+	for a := range r.everCrashed {
+		crashed = append(crashed, a)
+	}
+	r.mu.Unlock()
+	for attempt := 0; attempt < 3; attempt++ {
+		ok := true
+		for _, a := range crashed {
+			if r.isStore(a) {
+				if err := core.RecoverStoreNode(ctx, r.w.Cluster.Node(a), "db", r.w.Objects); err != nil {
+					ok = false
+					if attempt == 2 {
+						r.note("quiesce store recovery %s failed: %v", a, err)
+					}
+				}
+			}
+		}
+		for _, a := range crashed {
+			if !r.isStore(a) {
+				if err := core.RecoverServerNode(ctx, r.w.Cluster.Node(a), "db", r.w.Objects); err != nil {
+					ok = false
+					if attempt == 2 {
+						r.note("quiesce server recovery %s failed: %v", a, err)
+					}
+				}
+			}
+		}
+		if ok {
+			break
+		}
+	}
+}

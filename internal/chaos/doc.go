@@ -1,0 +1,75 @@
+// Package chaos is a seed-deterministic nemesis harness for the
+// replicated-object stack: it derives a randomized fault schedule from a
+// single integer seed, applies it to a simulated cluster while concurrent
+// clients run counter or bank workloads, and then checks a set of
+// invariants that must hold under ANY failure pattern the paper's
+// protocols claim to tolerate.
+//
+// # Seeds and schedules
+//
+// Everything random is derived from Config.Seed:
+//
+//   - the fault schedule — which nodes crash and when, which node pairs
+//     partition, which RPC methods get probabilistic drop / delay /
+//     duplicate / reorder rules, and where an in-doubt participant is
+//     injected (GenerateSchedule is a pure function of seed and config);
+//   - the workload content — which object each client action touches,
+//     which accounts a transfer moves money between (per-client sources
+//     derived from the seed);
+//   - the network — jitter and the per-message fault coin flips share the
+//     seed (transport.Faults.Reseed).
+//
+// Goroutine interleaving is NOT controlled, so two runs of the same seed
+// may commit different subsets of actions. That is the point: the
+// invariants quantify over every interleaving, so a seed that produced a
+// violation replays the exact fault plan that found it, which in practice
+// reproduces the failure within a few runs. Every failing test prints its
+// seed and the one-line reproduce command:
+//
+//	go test ./internal/chaos -run TestChaos -seed=N -v
+//
+// # Fault schedule events
+//
+// Schedules are sequences of events applied when the cluster-wide count
+// of finished actions crosses per-event thresholds (so a schedule stays
+// meaningful regardless of machine speed). Event kinds: crash-store,
+// crash-server, recover-node (runs the §4.1.2/§4.2 recovery protocols),
+// partition, heal-all, drop-requests, drop-replies, delay, duplicate
+// (idempotent store methods only), reorder, and crash-during-commit — the
+// in-doubt injection: the target store node is killed the instant its
+// prepare acknowledgement is on the wire, i.e. after it voted commit and
+// before it can learn the outcome; the abort-side variant additionally
+// loses the acknowledgement so the action aborts instead.
+//
+// # Invariants
+//
+// After the workload drains, the harness heals the network, restarts
+// every crashed node (restart-time in-doubt resolution queries each
+// pending transaction's coordinator via action.OriginLog — presumed abort
+// when no record exists), re-runs the store/server recovery protocols,
+// sweeps any remaining prepared-but-undecided intentions, and checks:
+//
+//   - St view consistency: every store in an object's final St view holds
+//     the same value and sequence number (the paper's mutual-consistency
+//     guarantee for St sets);
+//   - conservation / no lost committed updates: for counters, the final
+//     value equals the initial value plus the sum of deltas of every
+//     action a client saw commit (bounded above by the few outcomes the
+//     client could not observe — see Report.Uncertain); for the bank
+//     workload, the total across all accounts is exactly conserved, since
+//     transfers are failure-atomic across two participants;
+//   - outcome convergence: no store holds a pending intention after the
+//     recovery sweep — every in-doubt participant resolved to the logged
+//     outcome (or presumed abort);
+//   - outcome-log agreement: an action observed committed is never logged
+//     aborted, and vice versa;
+//   - server quiescence: no object server instance is left with bound
+//     users or unresolved prepared state (instances wedged by lost
+//     phase-two traffic are restarted and reported in Report.Repairs).
+//
+// # Replaying a failure
+//
+// Re-run the failing test with -seed=N. The printed Report.Schedule shows
+// the fault plan in applied order; Report.Repairs and the per-object
+// final values narrow down which invariant broke and where.
+package chaos

@@ -1,0 +1,177 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/object"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+// checkInvariants runs after quiesce and returns every breach found. The
+// checks quantify over all interleavings, so any non-empty result is a
+// real protocol bug (or a broken repair path), reproducible from the
+// seed's fault plan.
+func (r *runner) checkInvariants() []string {
+	var violations []string
+	bad := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// I1 + I2: St view consistency and conservation, per object.
+	total := 0
+	for i, id := range r.w.Objects {
+		view, err := r.w.CurrentStView(ctx, i)
+		if err != nil {
+			bad("obj%d: cannot read final St view: %v", i, err)
+			continue
+		}
+		if len(view) == 0 {
+			bad("obj%d: final St view is empty", i)
+			continue
+		}
+		var (
+			refVal  string
+			refSeq  uint64
+			haveRef bool
+		)
+		for _, st := range view {
+			n := r.w.Cluster.Node(st)
+			if n == nil || !n.Up() {
+				bad("obj%d: St view member %s is down after quiesce", i, st)
+				continue
+			}
+			v, err := n.Store().Read(id)
+			if err != nil {
+				bad("obj%d: St view member %s has no state: %v", i, st, err)
+				continue
+			}
+			if !haveRef {
+				refVal, refSeq, haveRef = string(v.Data), v.Seq, true
+				continue
+			}
+			if string(v.Data) != refVal || v.Seq != refSeq {
+				bad("obj%d: St view diverged: %s has %q/%d, expected %q/%d",
+					i, st, v.Data, v.Seq, refVal, refSeq)
+			}
+		}
+		if !haveRef {
+			continue
+		}
+		val, err := strconv.Atoi(refVal)
+		if err != nil {
+			bad("obj%d: corrupt final state %q", i, refVal)
+			continue
+		}
+		r.report.FinalValues["obj"+strconv.Itoa(i)] = val
+		total += val
+
+		if r.cfg.Workload == WorkloadCounter {
+			// No lost committed update, no phantom: the settled value
+			// covers every delta a client saw commit, and exceeds that
+			// only by deltas whose outcome no client could observe.
+			t := r.tallies[i]
+			if val < t.committed || val > t.committed+t.uncertain {
+				bad("obj%d: value %d outside [committed=%d, committed+uncertain=%d] — lost or phantom update",
+					i, val, t.committed, t.committed+t.uncertain)
+				// Breadcrumb for replay: the observed post-increment values
+				// of every committed action on this object. A duplicated
+				// value means two actions committed over the same base on
+				// different store chains (split brain); a value above the
+				// final one means a committed suffix was lost.
+				r.note("obj%d committed chain: %s", i, r.chainFor(i))
+			}
+		}
+	}
+	if r.cfg.Workload == WorkloadBank {
+		// Conservation is exact for transfers regardless of uncertain
+		// outcomes: each action moves value atomically or not at all.
+		if total != 0 {
+			bad("bank total = %d, want 0 — money created or destroyed", total)
+		}
+	}
+
+	// I3: outcome convergence — no store may still hold a
+	// prepared-but-undecided intention after the recovery sweep.
+	for _, st := range r.w.Sts {
+		if pend := r.w.Cluster.Node(st).Store().PendingTxs(); len(pend) > 0 {
+			bad("%s: unresolved intentions after recovery: %v", st, pend)
+		}
+	}
+
+	// I4: server quiescence — every surviving instance has released every
+	// action (wedged ones were repaired during quiesce and reported).
+	cli := r.w.Cluster.Node(r.w.Clients[0]).Client()
+	for _, sv := range r.w.Svs {
+		if !r.w.Cluster.Node(sv).Up() {
+			bad("%s: server still down after quiesce", sv)
+			continue
+		}
+		for i, id := range r.w.Objects {
+			stat, err := object.ServerRef{Client: cli, Node: sv, UID: id}.Status(ctx)
+			if err != nil {
+				bad("obj%d@%s: status query failed: %v", i, sv, err)
+				continue
+			}
+			if stat.Active && (stat.Users > 0 || stat.Prepared > 0) {
+				bad("obj%d@%s: instance not quiescent (users=%d prepared=%d)", i, sv, stat.Users, stat.Prepared)
+			}
+		}
+	}
+
+	// I5: outcome-log agreement — what a client observed never
+	// contradicts what its coordinator logged.
+	r.mu.Lock()
+	ops := append([]opRec(nil), r.ops...)
+	r.mu.Unlock()
+	for _, op := range ops {
+		logged := r.lookupLog(op.client, op.tx)
+		switch op.class {
+		case opCommitted:
+			if logged == store.OutcomeAborted {
+				bad("tx %s: client observed commit, log says aborted", op.tx)
+			}
+		case opAborted:
+			if logged == store.OutcomeCommitted {
+				bad("tx %s: client observed abort, log says committed", op.tx)
+			}
+		}
+	}
+	return violations
+}
+
+func (r *runner) lookupLog(client transport.Addr, tx string) store.Outcome {
+	mgr := r.w.Mgrs[client]
+	if mgr == nil {
+		return store.OutcomeUnknown
+	}
+	return mgr.Log().Lookup(tx)
+}
+
+// chainFor renders the committed (value, tx) pairs of one counter object
+// in value order — the trace a replay reads to see which committed
+// update diverged or vanished.
+func (r *runner) chainFor(obj int) string {
+	r.mu.Lock()
+	ops := append([]opRec(nil), r.ops...)
+	r.mu.Unlock()
+	var chain []opRec
+	for _, op := range ops {
+		if op.class == opCommitted && op.obj == obj {
+			chain = append(chain, op)
+		}
+	}
+	sort.Slice(chain, func(i, j int) bool { return chain[i].val < chain[j].val })
+	parts := make([]string, len(chain))
+	for i, op := range chain {
+		parts[i] = fmt.Sprintf("%d=%s", op.val, op.tx)
+	}
+	return strings.Join(parts, "\n    ")
+}

@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/action"
 	"repro/internal/replica"
@@ -115,14 +116,9 @@ type Binding struct {
 	// one-phase commit finished it during phase one. Commit/Abort are
 	// no-ops then.
 	released bool
-	// usesTxDB marks that database state exists under the client action's
-	// own ID (standard-scheme bind locks, non-atomic-Sv GetView locks, or
-	// a commit-time Exclude) and must be ended exactly once with the
-	// action's outcome.
-	usesTxDB bool
-	// dbEnded marks that EndAction has run for the client action, so the
-	// bind-time resolve hook does not repeat it.
-	dbEnded bool
+	// dbState guards the once-per-action database EndAction, shared with
+	// sibling bindings and the action-level hook (see trackTxDB).
+	dbState *txDBState
 }
 
 // Bind resolves the object's UID through the naming and binding service
@@ -145,9 +141,78 @@ func (b *Binder) Bind(ctx context.Context, act *action.Action, id uid.UID) (*Bin
 	}
 }
 
+// txDBState is the per-(action, database) end-of-action guard, shared by
+// every binding of one client action: EndAction for the action's database
+// state must run exactly once, with the action's outcome.
+type txDBState struct {
+	mu    sync.Mutex
+	ended bool
+}
+
+// tryEnd claims the single EndAction; it reports false when another
+// binding (or the action-level hook) already ran it.
+func (s *txDBState) tryEnd() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return false
+	}
+	s.ended = true
+	return true
+}
+
+// unclaim releases a claim whose EndAction RPC failed (dead context,
+// partition), so the action-level hook retries with a fresh context —
+// EndAction is idempotent, and a leaked claim would leak the action's
+// database locks instead.
+func (s *txDBState) unclaim() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ended = false
+}
+
+// trackTxDB ensures the client action's database state is ended exactly
+// once, with the action's outcome, no matter how the bind proceeds. It
+// registers an action-level resolve hook BEFORE the first tx-owned lock
+// is taken, closing two holes at once:
+//
+//   - a bind that fails before any binding enlists would otherwise leak
+//     its read locks forever (nothing else runs EndAction for the
+//     action), wedging a recovering node's Insert/Include;
+//   - releasing those locks eagerly on the failure path would be worse:
+//     the caller may tolerate the failed bind and commit the action with
+//     its other bindings, whose St view read locks are exactly what
+//     keeps a recovering store's Include from sliding inside the
+//     action's view-read/write-back window.
+//
+// The hook simply defers the release to the action's own resolution,
+// which is correct in both worlds; bindings that end the database action
+// during their own commit/abort processing claim the guard first and the
+// hook degrades to a no-op.
+func (b *Binder) trackTxDB(act *action.Action) *txDBState {
+	top := act.Top()
+	key := "core.dbtx:" + string(b.DB.DB)
+	if v, ok := top.Stashed(key); ok {
+		return v.(*txDBState)
+	}
+	st := &txDBState{}
+	if !top.StashOnce(key, st) {
+		v, _ := top.Stashed(key)
+		return v.(*txDBState)
+	}
+	tx := top.ID()
+	top.OnResolve(func(committed bool) {
+		if st.tryEnd() {
+			_ = b.DB.EndAction(context.Background(), tx, committed)
+		}
+	})
+	return st
+}
+
 // bindStandard implements Figure 6.
 func (b *Binder) bindStandard(ctx context.Context, act *action.Action, id uid.UID) (*Binding, error) {
 	top := act.Top().ID()
+	b.trackTxDB(act)
 
 	// GetServer as a nested action of the client action; if the operation
 	// fails the nested action aborts and so must the client action.
@@ -175,18 +240,32 @@ func (b *Binder) bindStandard(ctx context.Context, act *action.Action, id uid.UI
 		return nil, err
 	}
 	// The bind's GetServer/GetView read locks are owned by the client
-	// action and held until it ends (Figure 6).
-	bd.usesTxDB = true
+	// action and held until it ends (Figure 6); the trackTxDB hook (or a
+	// binding's own commit/abort processing) releases them.
 	return bd, nil
 }
 
-// bindEnhanced implements Figures 7 and 8: the database work runs in its
-// own top-level action (independent, or begun from within the client
-// action — structurally identical here), under a write lock, keeping Sv
-// current.
+// bindEnhanced implements Figures 7 and 8: the Object Server database
+// work (Sv, use lists) runs in its own top-level action (independent, or
+// begun from within the client action — structurally identical here),
+// under a write lock, keeping Sv current.
+//
+// The Object State database read (GetView) is NOT part of that short
+// action: its read lock belongs to the client action and is held until
+// the client action ends, exactly as in the standard scheme. The lock is
+// what serialises commit processing against a recovering store node's
+// Include (§4.2): release it at bind time and an Include may land between
+// this action's view read and its commit-time write-back — the action
+// then copies its new state only to the stale view's members while the
+// recovered node, caught up to the PRE-commit state, is already back in
+// St_A. The St sets' mutual consistency breaks, and the committed update
+// is lost once anyone catches up from the recovered node. (The chaos
+// harness finds this within a few dozen seeds.)
 func (b *Binder) bindEnhanced(ctx context.Context, act *action.Action, id uid.UID) (*Binding, error) {
 	bindAct := b.Actions.BeginTop()
 	owner := bindAct.ID()
+	top := act.Top().ID()
+	b.trackTxDB(act)
 	abortBind := func() {
 		_ = b.DB.EndAction(context.Background(), owner, false)
 		_ = bindAct.Abort(context.Background())
@@ -199,7 +278,7 @@ func (b *Binder) bindEnhanced(ctx context.Context, act *action.Action, id uid.UI
 		abortBind()
 		return nil, fmt.Errorf("core: GetServer(%v): %w", id, err)
 	}
-	st, class, err := b.DB.GetView(ctx, owner, id)
+	st, class, err := b.DB.GetView(ctx, top, id)
 	if err != nil {
 		abortBind()
 		return nil, fmt.Errorf("core: GetView(%v): %w", id, err)
@@ -234,6 +313,9 @@ func (b *Binder) bindEnhanced(ctx context.Context, act *action.Action, id uid.UI
 	if _, err := bindAct.Commit(ctx); err != nil {
 		return nil, err
 	}
+	// The GetView read lock above is owned by the client action and held
+	// until it ends (see the function comment); the trackTxDB hook (or a
+	// binding's own commit/abort processing) releases it.
 	bd.enlist()
 	return bd, nil
 }
@@ -245,6 +327,7 @@ func (b *Binder) bindEnhanced(ctx context.Context, act *action.Action, id uid.UI
 // mutually consistent state.
 func (b *Binder) bindNonAtomicSv(ctx context.Context, act *action.Action, id uid.UID) (*Binding, error) {
 	top := act.Top().ID()
+	b.trackTxDB(act)
 	sv, err := b.NameServer.Get(ctx, id)
 	if err != nil {
 		return nil, fmt.Errorf("core: name server Get(%v): %w", id, err)
@@ -270,8 +353,7 @@ func (b *Binder) bindNonAtomicSv(ctx context.Context, act *action.Action, id uid
 		}
 	}
 	// GetView's read locks are owned by the client action (the St side
-	// keeps full atomic-action discipline).
-	bd.usesTxDB = true
+	// keeps full atomic-action discipline); trackTxDB releases them.
 	bd.enlist()
 	return bd, nil
 }
@@ -337,34 +419,25 @@ func (b *Binder) activate(ctx context.Context, act *action.Action, id uid.UID, c
 		return nil, err
 	}
 	return &Binding{
-		binder: b,
-		act:    act,
-		id:     id,
-		handle: handle,
-		bound:  handle.Bound(),
-		stView: append([]transport.Addr(nil), st...),
+		binder:  b,
+		act:     act,
+		id:      id,
+		handle:  handle,
+		bound:   handle.Bound(),
+		stView:  append([]transport.Addr(nil), st...),
+		dbState: b.trackTxDB(act),
 	}, nil
 }
 
-// enlist registers the binding as the client action's participant, once,
-// plus a resolve hook that backstops the database EndAction: a binding
-// released at phase one (read-only vote) must still end any tx-owned
-// database state — but only once the action's outcome is decided, with
-// that outcome, because the shared database action may carry a sibling
-// binding's pending Exclude that has to commit or roll back with the
-// action, never before its commit point.
+// enlist registers the binding as the client action's participant, once.
+// The database EndAction backstop — a binding released at phase one
+// (read-only vote) must still end the tx-owned database state, with the
+// action's outcome and never before its commit point — lives in the
+// action-level trackTxDB hook, registered at bind time.
 func (bd *Binding) enlist() {
 	top := bd.act.Top()
 	if top.StashOnce("core.binding:"+bd.id.String(), bd) {
 		_ = top.Enlist(bd)
-		tx := top.ID()
-		top.OnResolve(func(committed bool) {
-			if bd.dbEnded || !bd.usesTxDB {
-				return
-			}
-			bd.dbEnded = true
-			_ = bd.binder.DB.EndAction(context.Background(), tx, committed)
-		})
 	}
 }
 
@@ -413,9 +486,34 @@ func (bd *Binding) Prepare(ctx context.Context, tx string) (action.Vote, error) 
 		if err != nil {
 			return 0, fmt.Errorf("core: Exclude(%v,%v): %w", bd.id, failed, err)
 		}
+		// Cross-exclusion gate. Exclude-write locks share with readers
+		// (§4.2.1), so two concurrent actions can each exclude the store
+		// the OTHER one successfully prepared at — and if both then
+		// committed, the stores' version chains would diverge on disjoint
+		// survivor sets (split brain; the chaos harness finds this). The
+		// gate: after excluding, re-read St and require every remaining
+		// member to hold OUR prepared state, and the view to be non-empty.
+		// Any interleaving of exclude/gate pairs then admits at most one
+		// of the cross-excluders past the gate: the later gate necessarily
+		// observes the earlier action's exclusion and fails.
+		view, _, verr := bd.binder.DB.GetView(ctx, tx, bd.id)
+		if verr != nil {
+			return 0, fmt.Errorf("core: post-exclude GetView(%v): %w", bd.id, verr)
+		}
+		if len(view) == 0 {
+			return 0, fmt.Errorf("core: %v: St view empty after excluding %v — no surviving store holds the new state", bd.id, failed)
+		}
+		prepared := make(map[transport.Addr]bool)
+		for _, st := range bd.handle.PreparedStores() {
+			prepared[st] = true
+		}
+		for _, st := range view {
+			if !prepared[st] {
+				return 0, fmt.Errorf("core: %v: St member %s was not prepared by this action (concurrent exclusion race) — aborting to preserve St consistency", bd.id, st)
+			}
+		}
 		// An Exclude must commit or abort with the action: stay a commit
 		// voter so EndAction runs in phase two.
-		bd.usesTxDB = true
 		return action.VoteCommit, nil
 	}
 	if vote == action.VoteReadOnly {
@@ -440,16 +538,17 @@ func (bd *Binding) CommitOnePhase(ctx context.Context, tx string) (action.Vote, 
 		// Best effort: the state is already committed, so a refused exclude
 		// lock cannot abort the action any more; the recovering store will
 		// be excluded by a later action's commit processing instead.
-		if bd.binder.DB.Exclude(ctx, tx, []ExcludePair{{UID: bd.id, Hosts: failed}}, bd.binder.UseWriteLockForExclude) == nil {
-			bd.usesTxDB = true
-		}
+		_ = bd.binder.DB.Exclude(ctx, tx, []ExcludePair{{UID: bd.id, Hosts: failed}}, bd.binder.UseWriteLockForExclude)
 	}
 	// One-phase means this binding is the action's only participant, so no
 	// sibling shares the database action: ending it right here is safe,
 	// and the decision is already commit.
 	bd.released = true
-	bd.dbEnded = true
-	_ = bd.binder.DB.EndAction(ctx, tx, true)
+	if bd.dbState.tryEnd() {
+		if bd.binder.DB.EndAction(ctx, tx, true) != nil {
+			bd.dbState.unclaim()
+		}
+	}
 	bd.decrementUse(ctx)
 	return vote, nil
 }
@@ -464,9 +563,13 @@ func (bd *Binding) Commit(ctx context.Context, tx string) error {
 		return nil
 	}
 	err := bd.handle.Commit(ctx, tx)
-	bd.dbEnded = true
-	if dbErr := bd.binder.DB.EndAction(ctx, tx, true); err == nil {
-		err = dbErr
+	if bd.dbState.tryEnd() {
+		if dbErr := bd.binder.DB.EndAction(ctx, tx, true); dbErr != nil {
+			bd.dbState.unclaim()
+			if err == nil {
+				err = dbErr
+			}
+		}
 	}
 	bd.decrementUse(ctx)
 	return err
@@ -481,9 +584,13 @@ func (bd *Binding) Abort(ctx context.Context, tx string) error {
 		return nil
 	}
 	err := bd.handle.Abort(ctx, tx)
-	bd.dbEnded = true
-	if dbErr := bd.binder.DB.EndAction(ctx, tx, false); err == nil {
-		err = dbErr
+	if bd.dbState.tryEnd() {
+		if dbErr := bd.binder.DB.EndAction(ctx, tx, false); dbErr != nil {
+			bd.dbState.unclaim()
+			if err == nil {
+				err = dbErr
+			}
+		}
 	}
 	bd.decrementUse(ctx)
 	return err
@@ -512,6 +619,10 @@ func (bd *Binding) decrementUse(ctx context.Context) {
 
 // FailedStores exposes the stores excluded during commit, for experiments.
 func (bd *Binding) FailedStores() []transport.Addr { return bd.handle.FailedStores() }
+
+// PreparedStores exposes the stores holding the action's prepared state,
+// for diagnostics and the chaos harness's replay breadcrumbs.
+func (bd *Binding) PreparedStores() []transport.Addr { return bd.handle.PreparedStores() }
 
 // BrokenServers exposes the bindings broken during the action.
 func (bd *Binding) BrokenServers() []transport.Addr { return bd.handle.Broken() }

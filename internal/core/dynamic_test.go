@@ -43,7 +43,7 @@ func TestDynamicReplicationDegree(t *testing.T) {
 		t.Fatal(err)
 	}
 	stNew.Store().Put(w.id, v.Data, v.Seq)
-	if err := cli.Include(ctx, "admin2", w.id, "st-new"); err != nil {
+	if _, err := cli.Include(ctx, "admin2", w.id, "st-new"); err != nil {
 		t.Fatal(err)
 	}
 	if err := cli.EndAction(ctx, "admin2", true); err != nil {

@@ -65,42 +65,63 @@ func RecoverStoreNode(ctx context.Context, node *sim.Node, db transport.Addr, id
 	return nil
 }
 
+// recoverOneState runs the §4.2 catch-up for one object: Include FIRST —
+// acquiring the St entry's write lock, which waits out every in-flight
+// action's view read lock and blocks new binds — and only then, with
+// commit processing quiescent, fetch the latest committed state from
+// another view member. Fetching before the lock is the race the chaos
+// harness found: a commit can land between the fetch and the Include, and
+// the node re-enters the view holding a stale state (st views diverge; a
+// later catch-up from the stale copy loses the commit). The fetched state
+// is adopted only when strictly newer than the local copy — the local
+// store may be AHEAD of a reachable member when this node resolved an
+// in-doubt commit at restart that the member has not yet processed.
 func recoverOneState(ctx context.Context, cli Client, node *sim.Node, owner string, id uid.UID) error {
-	view, _, err := cli.GetView(ctx, owner, id)
-	if err != nil {
-		return fmt.Errorf("core: recovery GetView(%v): %w", id, err)
-	}
-	// Fetch the latest committed state from a current St member.
 	self := node.Name()
-	var fetched bool
+	view, err := cli.Include(ctx, owner, id, self)
+	if err != nil {
+		return fmt.Errorf("core: recovery Include(%v,%s): %w", id, self, err)
+	}
+	ownSeq, haveOwn := node.Store().SeqOf(id)
+	var (
+		best      store.Version
+		haveBest  bool
+		reachable int
+		others    int
+	)
 	for _, st := range view {
 		if st == self {
-			// Already in the view — our copy is considered current.
-			fetched = true
-			break
+			continue
 		}
+		others++
 		remote := store.RemoteStore{Client: node.Client(), Node: st}
 		v, err := remote.Read(ctx, id)
 		if err != nil {
 			continue
 		}
-		node.Store().Put(id, v.Data, v.Seq)
-		fetched = true
-		break
-	}
-	if !fetched {
-		if len(view) == 0 {
-			// No current copy exists anywhere: whatever this store holds is
-			// the best (and only) surviving state — include it back.
-			if _, err := node.Store().Read(id); err != nil {
-				return fmt.Errorf("core: recovery %v: no surviving state anywhere", id)
-			}
-		} else {
-			return fmt.Errorf("core: recovery %v: no reachable St member among %v", id, view)
+		reachable++
+		if !haveBest || v.Seq > best.Seq {
+			best, haveBest = v, true
 		}
 	}
-	if err := cli.Include(ctx, owner, id, self); err != nil {
-		return fmt.Errorf("core: recovery Include(%v,%s): %w", id, self, err)
+	switch {
+	case haveBest:
+		if !haveOwn || best.Seq > ownSeq {
+			node.Store().Put(id, best.Data, best.Seq)
+		}
+		// Else our copy is current or ahead (an in-doubt commit resolved at
+		// restart that the member has not processed yet) — keep it.
+	case others == 0:
+		if !haveOwn {
+			// Sole view member with no local state: nothing survives.
+			return fmt.Errorf("core: recovery %v: no surviving state anywhere", id)
+		}
+		// Sole member: whatever this store holds is the surviving state.
+	default:
+		// Other members exist but none is reachable: we cannot rule out a
+		// later chain on one of them, so the Include must not stand. The
+		// caller aborts the recovery action, rolling the Include back.
+		return fmt.Errorf("core: recovery %v: no reachable St member among %v", id, view)
 	}
 	return nil
 }

@@ -216,27 +216,37 @@ func (db *DB) GetView(ctx context.Context, act string, from transport.Addr, id u
 	return append([]transport.Addr(nil), e.Nodes...), e.Class, nil
 }
 
-// Include adds host back to St_A under a write lock — run by a recovered
-// store node once its object states are up to date (§4.2).
-func (db *DB) Include(ctx context.Context, act string, from transport.Addr, id uid.UID, host transport.Addr) error {
+// Include adds host back to St_A under a write lock — run by a recovering
+// store node (§4.2) — and returns the post-include view. The write lock is
+// the §4.2 serialisation point: it is granted only once every in-flight
+// action's GetView read lock has drained, and it blocks new binds until
+// the recovery action ends. The recovering node therefore takes the lock
+// FIRST and fetches its catch-up state while holding it (the returned view
+// names the fetch sources); fetching before the lock would race in-flight
+// commits and re-admit the node with a stale state.
+func (db *DB) Include(ctx context.Context, act string, from transport.Addr, id uid.UID, host transport.Addr) ([]transport.Addr, error) {
 	if err := db.locks.Acquire(ctx, lockmgr.Owner(act), stKey(id), lockmgr.Write); err != nil {
-		return rpc.Errorf(CodeLockRefused, "%v", err)
+		return nil, rpc.Errorf(CodeLockRefused, "%v", err)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.noteClientLocked(act, from)
 	e, ok := db.states[id]
 	if !ok {
-		return rpc.Errorf(CodeUnknownObject, "no St entry for %v", id)
+		return nil, rpc.Errorf(CodeUnknownObject, "no St entry for %v", id)
 	}
 	db.snapStateLocked(act, id)
+	present := false
 	for _, n := range e.Nodes {
 		if n == host {
-			return nil
+			present = true
+			break
 		}
 	}
-	e.Nodes = append(e.Nodes, host)
-	return nil
+	if !present {
+		e.Nodes = append(e.Nodes, host)
+	}
+	return append([]transport.Addr(nil), e.Nodes...), nil
 }
 
 // ExcludePair names the store nodes to exclude for one object.
@@ -331,6 +341,11 @@ type HostReq struct {
 	Host   string
 	// TryOnly makes the lock attempt non-blocking (Remove only).
 	TryOnly bool
+}
+
+// IncludeResp carries the post-include St view.
+type IncludeResp struct {
+	Nodes []string
 }
 
 // UseReq adjusts use lists.
@@ -446,12 +461,16 @@ func registerService(srv *rpc.Server, db *DB) {
 		}
 		return GetViewResp{Nodes: fromAddrs(nodes), Class: class}, nil
 	}))
-	srv.Handle(ServiceName, MethodInclude, rpc.Method(func(ctx context.Context, from transport.Addr, req HostReq) (Ack, error) {
+	srv.Handle(ServiceName, MethodInclude, rpc.Method(func(ctx context.Context, from transport.Addr, req HostReq) (IncludeResp, error) {
 		id, err := uid.Parse(req.UID)
 		if err != nil {
-			return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+			return IncludeResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
 		}
-		return Ack{}, db.Include(ctx, req.Action, from, id, transport.Addr(req.Host))
+		nodes, err := db.Include(ctx, req.Action, from, id, transport.Addr(req.Host))
+		if err != nil {
+			return IncludeResp{}, err
+		}
+		return IncludeResp{Nodes: fromAddrs(nodes)}, nil
 	}))
 	srv.Handle(ServiceName, MethodExclude, rpc.Method(func(ctx context.Context, from transport.Addr, req ExcludeReq) (Ack, error) {
 		pairs := make([]ExcludePair, 0, len(req.Pairs))
@@ -562,10 +581,15 @@ func (c Client) GetView(ctx context.Context, act string, id uid.UID) ([]transpor
 	return toAddrs(resp.Nodes), resp.Class, nil
 }
 
-// Include adds a store node back into St_A.
-func (c Client) Include(ctx context.Context, act string, id uid.UID, host transport.Addr) error {
-	_, err := rpc.Invoke[HostReq, Ack](ctx, c.RPC, c.DB, ServiceName, MethodInclude, HostReq{Action: act, UID: id.String(), Host: string(host)})
-	return err
+// Include adds a store node back into St_A under the §4.2 write lock and
+// returns the post-include view — the fetch sources for the caller's
+// catch-up, valid while the caller's action holds the lock.
+func (c Client) Include(ctx context.Context, act string, id uid.UID, host transport.Addr) ([]transport.Addr, error) {
+	resp, err := rpc.Invoke[HostReq, IncludeResp](ctx, c.RPC, c.DB, ServiceName, MethodInclude, HostReq{Action: act, UID: id.String(), Host: string(host)})
+	if err != nil {
+		return nil, err
+	}
+	return toAddrs(resp.Nodes), nil
 }
 
 // Exclude removes failed store nodes from St sets (batched).

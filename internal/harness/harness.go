@@ -16,6 +16,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/replica"
 	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/uid"
 )
@@ -118,10 +119,20 @@ func New(opts Options) (*World, error) {
 	}
 	for i := 0; i < opts.Clients; i++ {
 		name := transport.Addr("c" + strconv.Itoa(i+1))
-		w.Cluster.Add(name)
+		n := w.Cluster.Add(name)
 		w.Mgrs[name] = action.NewManager(string(name), nil)
+		// The client is the 2PC coordinator for its actions; its outcome
+		// log must answer recovery-time queries from restarting
+		// participants (presumed abort: no record means abort).
+		action.RegisterLogService(n.Server(), w.Mgrs[name].Log())
 		w.Clients = append(w.Clients, name)
 	}
+	// Recovering nodes resolve in-doubt intentions by asking the
+	// transaction's coordinator, identified by the action ID's origin —
+	// which, by the manager construction above, is the client's address.
+	w.Cluster.SetOutcomeResolver(func(n *sim.Node) store.OutcomeLog {
+		return w.OutcomeLogFor(n)
+	})
 	creator := core.Client{RPC: w.Cluster.Node(w.Clients[0]).Client(), DB: "db"}
 	gen := uid.NewGenerator("obj", 1)
 	for i := 0; i < opts.Objects; i++ {
@@ -132,6 +143,22 @@ func New(opts Options) (*World, error) {
 		w.Objects = append(w.Objects, id)
 	}
 	return w, nil
+}
+
+// OutcomeLogFor returns the recovery-time outcome log a node (or a
+// restart-equivalent sweep on its behalf) should resolve pending
+// intentions against: transaction origins route to the coordinating
+// client's outcome-log service; origins that name no client yield the
+// affirmative no-record answer (presumed abort).
+func (w *World) OutcomeLogFor(n *sim.Node) store.OutcomeLog {
+	return action.OriginLog{
+		Client: n.Client(),
+		Resolve: func(origin string) (transport.Addr, bool) {
+			a := transport.Addr(origin)
+			_, ok := w.Mgrs[a]
+			return a, ok
+		},
+	}
 }
 
 // Binder builds a binder for the named client.
@@ -150,6 +177,17 @@ func (w *World) Binder(client transport.Addr, scheme core.Scheme, policy replica
 type ActionResult struct {
 	Committed bool
 	Err       error
+	// Tx is the action's identifier — the key recovery-time outcome
+	// queries are made under.
+	Tx string
+	// CommitFailed distinguishes a failure of Commit itself from a
+	// bind/invoke failure (which the runner resolved by aborting): only a
+	// failed Commit can leave the outcome genuinely unobservable when the
+	// caller's context died mid-protocol.
+	CommitFailed bool
+	// Result is the (first) invocation's reply, e.g. the counter value
+	// after an add — workload checkers use it as an ordering breadcrumb.
+	Result []byte
 	// Probes counts server bindings that were found broken during the
 	// action ("the hard way" discovery cost).
 	Probes int
@@ -162,26 +200,69 @@ type ActionResult struct {
 // result rather than returned — workload drivers count them.
 func (w *World) RunCounterAction(ctx context.Context, b *core.Binder, idx int, delta int) ActionResult {
 	act := b.Actions.BeginTop()
+	res := ActionResult{Tx: act.ID()}
 	bd, err := b.Bind(ctx, act, w.Objects[idx])
 	if err != nil {
 		_ = act.Abort(ctx)
-		return ActionResult{Err: err}
+		res.Err = err
+		return res
 	}
-	res := ActionResult{}
-	if _, err := bd.Invoke(ctx, "add", []byte(strconv.Itoa(delta))); err != nil {
+	out, err := bd.Invoke(ctx, "add", []byte(strconv.Itoa(delta)))
+	if err != nil {
 		_ = act.Abort(ctx)
 		res.Err = err
 		res.Probes = len(bd.BrokenServers())
 		return res
 	}
+	res.Result = out
 	if _, err := act.Commit(ctx); err != nil {
 		res.Err = err
+		res.CommitFailed = true
 		res.Probes = len(bd.BrokenServers())
 		return res
 	}
 	res.Committed = true
 	res.Probes = len(bd.BrokenServers())
 	res.ExcludedStores = len(bd.FailedStores())
+	return res
+}
+
+// RunTransferAction executes one bank-style transfer: a single action
+// binds objects from and to, subtracts amount from the first and adds it
+// to the second. Both bindings are participants of one top-level action,
+// so the transfer is failure-atomic across the two objects — the
+// conservation workload of the chaos harness.
+func (w *World) RunTransferAction(ctx context.Context, b *core.Binder, from, to int, amount int) ActionResult {
+	act := b.Actions.BeginTop()
+	res := ActionResult{Tx: act.ID()}
+	abort := func(err error) ActionResult {
+		_ = act.Abort(ctx)
+		res.Err = err
+		return res
+	}
+	bdFrom, err := b.Bind(ctx, act, w.Objects[from])
+	if err != nil {
+		return abort(err)
+	}
+	bdTo, err := b.Bind(ctx, act, w.Objects[to])
+	if err != nil {
+		return abort(err)
+	}
+	out, err := bdFrom.Invoke(ctx, "add", []byte(strconv.Itoa(-amount)))
+	if err != nil {
+		return abort(err)
+	}
+	res.Result = out
+	if _, err := bdTo.Invoke(ctx, "add", []byte(strconv.Itoa(amount))); err != nil {
+		return abort(err)
+	}
+	if _, err := act.Commit(ctx); err != nil {
+		res.Err = err
+		res.CommitFailed = true
+		return res
+	}
+	res.Committed = true
+	res.ExcludedStores = len(bdFrom.FailedStores()) + len(bdTo.FailedStores())
 	return res
 }
 

@@ -2,10 +2,15 @@ package harness
 
 import (
 	"context"
+	"strconv"
 	"testing"
 
+	"repro/internal/action"
 	"repro/internal/core"
+	"repro/internal/object"
 	"repro/internal/replica"
+	"repro/internal/store"
+	"repro/internal/transport"
 )
 
 func TestNewValidation(t *testing.T) {
@@ -82,5 +87,192 @@ func TestCounterClassBadInputs(t *testing.T) {
 	newState, out, err := add([]byte("7"), []byte("3"))
 	if err != nil || string(newState) != "10" || string(out) != "10" {
 		t.Fatalf("add: %s %s %v", newState, out, err)
+	}
+}
+
+// TestInDoubtStoreResolvesToCommitOnRestart drives the paper's hardest
+// recovery shape end to end: a store node crashes after acknowledging a
+// prepare (it voted commit) and before phase two reaches it. The action
+// commits; the store restarts with a prepared-but-undecided intention and
+// must learn the outcome from the coordinator's log — the full
+// OriginLog -> outcome-log-service wiring — and apply it.
+func TestInDoubtStoreResolvesToCommitOnRestart(t *testing.T) {
+	w, err := New(Options{Servers: 1, Stores: 2, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st2 := w.Cluster.Node("st2")
+	// The moment st2's prepare acknowledgement is on the wire, the node
+	// dies: it has voted commit but will never hear the outcome online.
+	w.Cluster.Faults().OnReply(1,
+		transport.ToMethod("st2", store.ServiceName, store.MethodPrepare),
+		func(transport.Request) { st2.Crash() })
+
+	b := w.Binder("c1", core.SchemeStandard, replica.SingleCopyPassive, 0)
+	res := w.RunCounterAction(ctx, b, 0, 1)
+	if !res.Committed {
+		t.Fatalf("action should commit (st1 carries it): %v", res.Err)
+	}
+	if pend := st2.Store().PendingTxs(); len(pend) != 1 {
+		t.Fatalf("st2 pending intentions = %v, want exactly the in-doubt tx", pend)
+	}
+	if seq, _ := st2.Store().SeqOf(w.Objects[0]); seq != 1 {
+		t.Fatalf("st2 committed seq = %d before restart, want 1", seq)
+	}
+
+	// Restart with no explicit log: the cluster's resolver routes the
+	// outcome query to coordinator c1 by the transaction's origin.
+	st2.Recover(nil)
+	if pend := st2.Store().PendingTxs(); len(pend) != 0 {
+		t.Fatalf("in-doubt intention survived restart: %v", pend)
+	}
+	v, err := st2.Store().Read(w.Objects[0])
+	if err != nil || string(v.Data) != "1" || v.Seq != 2 {
+		t.Fatalf("st2 after restart = %q/%d (%v), want logged commit applied (1/2)", v.Data, v.Seq, err)
+	}
+}
+
+// TestInDoubtStoreResolvesToAbortOnRestart is the presumed-abort twin: st1
+// records the intention but its acknowledgement is lost and the node dies;
+// st2 never receives its prepare at all. No store acknowledged, so the
+// action aborts. At restart the coordinator's log says aborted and st1's
+// in-doubt intention must be rolled back. (Two stores keep the commit on
+// the ordinary 2PC path — a single store would take the one-phase round,
+// which records no intention to be in doubt about.)
+func TestInDoubtStoreResolvesToAbortOnRestart(t *testing.T) {
+	w, err := New(Options{Servers: 1, Stores: 2, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st1 := w.Cluster.Node("st1")
+	rule := transport.ToMethod("st1", store.ServiceName, store.MethodPrepare)
+	w.Cluster.Faults().OnReply(1, rule, func(transport.Request) { st1.Crash() })
+	w.Cluster.Faults().DropReplies(1, rule)
+	w.Cluster.Faults().DropRequests(1, transport.ToMethod("st2", store.ServiceName, store.MethodPrepare))
+
+	b := w.Binder("c1", core.SchemeStandard, replica.SingleCopyPassive, 0)
+	res := w.RunCounterAction(ctx, b, 0, 1)
+	if res.Committed {
+		t.Fatal("action must abort: no store acknowledged the prepare")
+	}
+	if pend := st1.Store().PendingTxs(); len(pend) != 1 {
+		t.Fatalf("st1 pending intentions = %v, want the in-doubt tx", pend)
+	}
+
+	st1.Recover(nil)
+	if pend := st1.Store().PendingTxs(); len(pend) != 0 {
+		t.Fatalf("in-doubt intention survived restart: %v", pend)
+	}
+	v, err := st1.Store().Read(w.Objects[0])
+	if err != nil || string(v.Data) != "0" || v.Seq != 1 {
+		t.Fatalf("st1 after restart = %q/%d (%v), want rolled back (0/1)", v.Data, v.Seq, err)
+	}
+}
+
+// TestServerCrashAfterPrepareDoesNotStrandCommit exercises the phase-two
+// fallback: the object server dies after relaying a successful prepare, so
+// the commit decision can no longer flow through it. The committed state
+// must still land at the stores (directly), not sit stranded as
+// intentions until every store restarts.
+func TestServerCrashAfterPrepareDoesNotStrandCommit(t *testing.T) {
+	w, err := New(Options{Servers: 1, Stores: 2, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sv1 := w.Cluster.Node("sv1")
+	w.Cluster.Faults().OnReply(1,
+		transport.ToMethod("sv1", object.ServiceName, object.MethodPrepare),
+		func(transport.Request) { sv1.Crash() })
+
+	b := w.Binder("c1", core.SchemeStandard, replica.SingleCopyPassive, 0)
+	res := w.RunCounterAction(ctx, b, 0, 1)
+	if !res.Committed {
+		t.Fatalf("action voted commit everywhere; it must commit: %v", res.Err)
+	}
+	for _, st := range w.Sts {
+		n := w.Cluster.Node(st)
+		if pend := n.Store().PendingTxs(); len(pend) != 0 {
+			t.Fatalf("%s still holds intentions after direct commit: %v", st, pend)
+		}
+		v, err := n.Store().Read(w.Objects[0])
+		if err != nil || string(v.Data) != "1" || v.Seq != 2 {
+			t.Fatalf("%s = %q/%d (%v), want committed 1/2", st, v.Data, v.Seq, err)
+		}
+	}
+}
+
+// TestTransferConservesTotal sanity-checks the bank workload primitive.
+func TestTransferConservesTotal(t *testing.T) {
+	w, err := New(Options{Servers: 1, Stores: 2, Clients: 1, Objects: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	b := w.Binder("c1", core.SchemeIndependent, replica.SingleCopyPassive, 0)
+	if res := w.RunTransferAction(ctx, b, 0, 1, 5); !res.Committed {
+		t.Fatalf("transfer: %v", res.Err)
+	}
+	total := 0
+	for i := range w.Objects {
+		v, err := w.Cluster.Node("st1").Store().Read(w.Objects[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := strconv.Atoi(string(v.Data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != 0 {
+		t.Fatalf("total after transfer = %d, want 0 (conservation)", total)
+	}
+}
+
+// TestInDoubtIntentionSurvivesUnreachableCoordinator: a participant that
+// voted commit must NOT presume abort just because its coordinator is
+// unreachable at restart — the commit record may exist unread. The
+// intention stays pending through the partitioned restart and resolves to
+// the logged outcome once the coordinator answers.
+func TestInDoubtIntentionSurvivesUnreachableCoordinator(t *testing.T) {
+	w, err := New(Options{Servers: 1, Stores: 2, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	st2 := w.Cluster.Node("st2")
+	w.Cluster.Faults().OnReply(1,
+		transport.ToMethod("st2", store.ServiceName, store.MethodPrepare),
+		func(transport.Request) { st2.Crash() })
+
+	b := w.Binder("c1", core.SchemeStandard, replica.SingleCopyPassive, 0)
+	if res := w.RunCounterAction(ctx, b, 0, 1); !res.Committed {
+		t.Fatalf("action should commit: %v", res.Err)
+	}
+
+	// Restart while the coordinator is unreachable: the in-doubt
+	// intention must survive, and the committed state must NOT appear
+	// (the store cannot know the outcome yet).
+	w.Cluster.Faults().Partition("st2", "c1")
+	st2.Recover(nil)
+	if pend := st2.Store().PendingTxs(); len(pend) != 1 {
+		t.Fatalf("pending after partitioned restart = %v, want the in-doubt tx kept", pend)
+	}
+	if seq, _ := st2.Store().SeqOf(w.Objects[0]); seq != 1 {
+		t.Fatalf("st2 seq = %d after partitioned restart, want still 1", seq)
+	}
+
+	// Heal and retry the resolution (a restart-equivalent sweep): now the
+	// logged commit applies.
+	w.Cluster.Faults().Heal("st2", "c1")
+	st2.Store().Recover(action.OriginLog{Client: st2.Client()})
+	if pend := st2.Store().PendingTxs(); len(pend) != 0 {
+		t.Fatalf("pending after heal = %v, want resolved", pend)
+	}
+	if v, err := st2.Store().Read(w.Objects[0]); err != nil || string(v.Data) != "1" || v.Seq != 2 {
+		t.Fatalf("st2 = %q/%d (%v), want logged commit applied", v.Data, v.Seq, err)
 	}
 }

@@ -278,6 +278,13 @@ type StatusResp struct {
 	Active bool
 	Seq    uint64
 	Users  int
+	// Prepared counts actions whose commit-time write-back was prepared at
+	// the stores but whose outcome this server has not yet processed. A
+	// quiescent instance has Users == 0 and Prepared == 0; anything else
+	// after all actions have terminated marks a wedged instance (e.g. a
+	// phase-two message that never arrived) — the chaos invariant checkers
+	// look for exactly that.
+	Prepared int
 }
 
 // --- handlers ---
@@ -742,7 +749,7 @@ func (m *Manager) handleStatus(ctx context.Context, from transport.Addr, req Sta
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	return StatusResp{Active: true, Seq: in.seq, Users: len(in.users)}, nil
+	return StatusResp{Active: true, Seq: in.seq, Users: len(in.users), Prepared: len(in.prepared)}, nil
 }
 
 // errNotActive exposes a sentinel check helper for clients.

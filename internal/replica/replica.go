@@ -36,6 +36,7 @@ import (
 	"repro/internal/group"
 	"repro/internal/object"
 	"repro/internal/rpc"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/uid"
 )
@@ -120,6 +121,11 @@ type Handle struct {
 	// failedStores accumulates St nodes whose commit-time copy failed and
 	// must be excluded from St_A.
 	failedStores map[transport.Addr]bool
+	// preparedStores accumulates St nodes that stably recorded the
+	// action's new state during phase one — the set whose membership in
+	// the post-exclusion view the binding layer validates before the
+	// commit point.
+	preparedStores map[transport.Addr]bool
 	// prepared lists servers that acknowledged a dirty prepare (phase-two
 	// commit targets). Servers that reported the action read-only release
 	// it during prepare and are never addressed again.
@@ -146,9 +152,10 @@ func New(cfg Config) (*Handle, error) {
 		cfg.Degree = 1
 	}
 	return &Handle{
-		cfg:          cfg,
-		broken:       make(map[transport.Addr]bool),
-		failedStores: make(map[transport.Addr]bool),
+		cfg:            cfg,
+		broken:         make(map[transport.Addr]bool),
+		failedStores:   make(map[transport.Addr]bool),
+		preparedStores: make(map[transport.Addr]bool),
 	}, nil
 }
 
@@ -248,6 +255,20 @@ func (h *Handle) FailedStores() []transport.Addr {
 	defer h.mu.Unlock()
 	out := make([]transport.Addr, 0, len(h.failedStores))
 	for st := range h.failedStores {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PreparedStores returns the St nodes that hold the action's prepared new
+// state, sorted — the set the binding layer checks the post-exclusion St
+// view against before committing.
+func (h *Handle) PreparedStores() []transport.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]transport.Addr, 0, len(h.preparedStores))
+	for st := range h.preparedStores {
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -428,6 +449,9 @@ func (h *Handle) Prepare(ctx context.Context, tx string) (action.Vote, error) {
 		for _, st := range results[i].resp.FailedNodes {
 			h.failedStores[transport.Addr(st)] = true
 		}
+		for _, st := range results[i].resp.PreparedNodes {
+			h.preparedStores[transport.Addr(st)] = true
+		}
 		h.mu.Unlock()
 	}
 	if okCount == 0 {
@@ -526,6 +550,16 @@ func (h *Handle) prepareTargets() ([]transport.Addr, error) {
 // server. For coordinator-cohort the coordinator also checkpoints its
 // committed state to the cohorts. A handle released at phase one (a
 // read-only vote or a one-phase commit) has nothing left to do.
+//
+// A prepared server that is gone at phase two — crashed, restarted (its
+// volatile instance lost), or unreachable — cannot relay the commit to
+// the stores, yet the new state already sits there as stable prepared
+// intentions. Commit falls back to committing those intentions directly:
+// store Commit is idempotent and a no-op for unknown transactions, so the
+// fallback composes safely with servers that did relay, and the committed
+// update is never stranded behind a server failure. Stores the fallback
+// cannot reach resolve the in-doubt intention at their own restart via
+// the outcome log.
 func (h *Handle) Commit(ctx context.Context, tx string) error {
 	h.mu.Lock()
 	released := h.released
@@ -561,6 +595,12 @@ func (h *Handle) Commit(ctx context.Context, tx string) error {
 	var firstErr error
 	for i := range prepared {
 		if err := results[i].err; err != nil {
+			if isCrashError(err) || object.IsNotActive(err) {
+				h.markBroken(prepared[i])
+				if h.commitStoresDirect(ctx, tx) {
+					continue
+				}
+			}
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -573,6 +613,24 @@ func (h *Handle) Commit(ctx context.Context, tx string) error {
 		}
 	}
 	return firstErr
+}
+
+// commitStoresDirect commits tx's prepared intentions at every St node,
+// bypassing a gone server. It reports whether every store acknowledged;
+// stores that could not be reached are recorded as failed (for Exclude)
+// and will resolve the intention at restart via the outcome log.
+func (h *Handle) commitStoresDirect(ctx context.Context, tx string) bool {
+	errs := conc.DoErr(len(h.cfg.StNodes), func(i int) error {
+		return store.RemoteStore{Client: h.cfg.Client, Node: h.cfg.StNodes[i]}.Commit(ctx, tx)
+	})
+	ok := true
+	for i, err := range errs {
+		if err != nil {
+			ok = false
+			h.recordFailure(h.cfg.StNodes[i])
+		}
+	}
+	return ok
 }
 
 // recordFailure classifies a failed node as a broken server binding or a

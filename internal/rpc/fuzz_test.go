@@ -1,0 +1,84 @@
+package rpc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hardens the hand-rolled length-prefixed response frame:
+// decodeFrame must never panic or over-read on arbitrary bytes, and
+// whatever it accepts must round-trip through the encoders.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: every frame shape plus the classic truncations (also
+	// checked in under testdata/fuzz/FuzzDecodeFrame).
+	f.Add([]byte{})
+	f.Add([]byte{frameOK})
+	f.Add(encodeFrameOK([]byte("body-bytes")))
+	f.Add(encodeFrameErr("conflict", "object pinned by tx"))
+	f.Add(encodeFrameErr("", ""))
+	f.Add([]byte{frameErr})
+	f.Add([]byte{frameErr, 0x00})
+	f.Add([]byte{frameErr, 0xff, 0xff, 'a'})
+	f.Add([]byte{0x7f, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		body, appErr, err := decodeFrame(raw)
+		if err != nil {
+			return // malformed input correctly rejected
+		}
+		if body != nil && appErr != nil {
+			t.Fatal("frame decoded as both success and error")
+		}
+		if appErr != nil {
+			// Accepted error frames round-trip: re-encoding the decoded
+			// code/msg reproduces a decodable frame with the same content.
+			re := encodeFrameErr(appErr.Code, appErr.Msg)
+			_, appErr2, err2 := decodeFrame(re)
+			if err2 != nil || appErr2 == nil {
+				t.Fatalf("re-encoded error frame undecodable: %v", err2)
+			}
+			if appErr2.Code != appErr.Code || appErr2.Msg != appErr.Msg {
+				t.Fatalf("error frame round-trip changed content: %q/%q -> %q/%q",
+					appErr.Code, appErr.Msg, appErr2.Code, appErr2.Msg)
+			}
+			return
+		}
+		// Success frames: the body must alias the input verbatim after the
+		// tag (the zero-copy contract) and round-trip through encodeFrameOK.
+		if !bytes.Equal(raw[1:], body) {
+			t.Fatalf("body does not alias input: %q vs %q", raw[1:], body)
+		}
+		body2, _, err2 := decodeFrame(encodeFrameOK(body))
+		if err2 != nil || !bytes.Equal(body2, body) {
+			t.Fatalf("success frame round-trip failed: %q %v", body2, err2)
+		}
+	})
+}
+
+// FuzzFrameErrRoundTrip drives the error-frame encoder with arbitrary
+// code/message strings — including oversize ones the encoder truncates —
+// and requires the result to decode without error.
+func FuzzFrameErrRoundTrip(f *testing.F) {
+	f.Add("conflict", "short message")
+	f.Add("", "")
+	f.Add("internal", string(make([]byte, 70000))) // forces truncation
+	f.Fuzz(func(t *testing.T, code, msg string) {
+		raw := encodeFrameErr(code, msg)
+		_, appErr, err := decodeFrame(raw)
+		if err != nil {
+			t.Fatalf("encoded error frame rejected: %v", err)
+		}
+		if appErr == nil {
+			t.Fatal("encoded error frame decoded as success")
+		}
+		wantCode, wantMsg := code, msg
+		if len(wantCode) > 0xffff {
+			wantCode = wantCode[:0xffff]
+		}
+		if len(wantMsg) > 0xffff {
+			wantMsg = wantMsg[:0xffff]
+		}
+		if appErr.Code != wantCode || appErr.Msg != wantMsg {
+			t.Fatal("error frame content mismatch after round trip")
+		}
+	})
+}

@@ -194,9 +194,9 @@ func TestDecodeFrameMalformed(t *testing.T) {
 	for _, raw := range [][]byte{
 		nil,
 		{},
-		{0x7f},             // unknown tag
-		{frameErr},         // truncated: no code length
-		{frameErr, 0, 5},   // code length beyond buffer
+		{0x7f},                   // unknown tag
+		{frameErr},               // truncated: no code length
+		{frameErr, 0, 5},         // code length beyond buffer
 		{frameErr, 0, 1, 'x', 0}, // truncated msg length
 	} {
 		if _, _, err := decodeFrame(raw); err == nil {

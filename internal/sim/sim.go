@@ -127,9 +127,12 @@ func (n *Node) Crash() {
 }
 
 // Recover restarts a crashed node: new incarnation, stable-store recovery
-// against log (nil log aborts all pending intentions — presumed abort),
-// network re-registration, then the registered recovery protocols.
-// Recovering a functioning node is a no-op.
+// against log, network re-registration, then the registered recovery
+// protocols. A nil log uses the cluster's outcome resolver when one is
+// installed (SetOutcomeResolver) — the restarting node then asks each
+// pending transaction's coordinator for the recorded outcome — and
+// otherwise aborts all pending intentions (presumed abort). Recovering a
+// functioning node is a no-op.
 func (n *Node) Recover(log store.OutcomeLog) {
 	n.mu.Lock()
 	if n.up {
@@ -143,6 +146,12 @@ func (n *Node) Recover(log store.OutcomeLog) {
 	copy(hooks, n.onRecover)
 	n.mu.Unlock()
 
+	if log == nil {
+		log = n.cluster.outcomeLog(n)
+	}
+	// Resolve prepared-but-undecided intentions BEFORE rejoining the
+	// network: an in-doubt participant must not serve (or catch up over)
+	// state whose fate it has not yet settled.
 	n.stable.Recover(log)
 	n.cluster.net.Register(n.name, n.srv.Handler())
 	for _, f := range hooks {
@@ -157,8 +166,9 @@ type Cluster struct {
 	net     transport.Network
 	metrics *metrics.Registry
 
-	mu    sync.Mutex
-	nodes map[transport.Addr]*Node
+	mu       sync.Mutex
+	nodes    map[transport.Addr]*Node
+	resolver func(*Node) store.OutcomeLog
 }
 
 // NewCluster returns an empty cluster over a fresh in-memory network.
@@ -183,6 +193,30 @@ func (c *Cluster) Net() transport.Network { return c.net }
 // Metrics returns the cluster-wide metrics registry, which accumulates
 // per-service RPC call counts and latencies from every node's client.
 func (c *Cluster) Metrics() *metrics.Registry { return c.metrics }
+
+// SetOutcomeResolver installs the default recovery-time outcome log:
+// Node.Recover(nil) consults resolver(node) to settle the node's pending
+// intentions, so a restarting in-doubt participant queries coordinators
+// instead of blindly presuming abort. The resolver is invoked at recovery
+// time with the recovering node (so lookups originate from that node's
+// own client). A nil resolver restores the plain presumed-abort default.
+func (c *Cluster) SetOutcomeResolver(resolver func(*Node) store.OutcomeLog) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.resolver = resolver
+}
+
+// outcomeLog returns the recovery log for n from the installed resolver,
+// or nil (presumed abort) when none is installed.
+func (c *Cluster) outcomeLog(n *Node) store.OutcomeLog {
+	c.mu.Lock()
+	r := c.resolver
+	c.mu.Unlock()
+	if r == nil {
+		return nil
+	}
+	return r(n)
+}
 
 // Faults returns the network's fault plan, or nil when the underlying
 // network is not the in-memory simulator (faults cannot be injected into

@@ -165,3 +165,41 @@ func TestVolatileAccessors(t *testing.T) {
 		t.Fatal("delete failed")
 	}
 }
+
+func TestOutcomeResolverConsultedOnNilLogRecovery(t *testing.T) {
+	c := NewCluster(transport.MemOptions{})
+	n := c.Add("alpha")
+	id := uid.NewGenerator("t", 1).New()
+	n.Store().Put(id, []byte("v0"), 1)
+	if err := n.Store().Prepare("tx-1", []store.Write{{UID: id, Data: []byte("v1"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	log := action.NewMemLog()
+	log.Record("tx-1", store.OutcomeCommitted)
+	var resolvedFor *Node
+	c.SetOutcomeResolver(func(rn *Node) store.OutcomeLog {
+		resolvedFor = rn
+		return log
+	})
+	n.Crash()
+	n.Recover(nil)
+	if resolvedFor != n {
+		t.Fatal("resolver not consulted (or wrong node) for nil-log recovery")
+	}
+	if v, _ := n.Store().Read(id); string(v.Data) != "v1" {
+		t.Fatal("resolver's committed outcome not applied")
+	}
+	// An explicit log still overrides the resolver.
+	if err := n.Store().Prepare("tx-2", []store.Write{{UID: id, Data: []byte("v2"), Seq: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	resolvedFor = nil
+	n.Crash()
+	n.Recover(action.NewMemLog()) // empty: presumed abort
+	if resolvedFor != nil {
+		t.Fatal("resolver must not be consulted when a log is passed")
+	}
+	if v, _ := n.Store().Read(id); string(v.Data) != "v1" {
+		t.Fatal("explicit empty log should abort the pending intention")
+	}
+}

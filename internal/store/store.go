@@ -258,9 +258,18 @@ type Outcome int
 
 // Transaction outcomes.
 const (
+	// OutcomeUnknown is the coordinator's AFFIRMATIVE "no record" answer:
+	// the transaction never reached its commit point, so presumed abort
+	// applies.
 	OutcomeUnknown Outcome = iota
 	OutcomeCommitted
 	OutcomeAborted
+	// OutcomeUnavailable means the log could not be consulted at all (the
+	// coordinator is unreachable or the query failed). It is NOT a license
+	// to presume abort — a participant that voted commit must keep its
+	// intention pending until an affirmative answer arrives; rolling back
+	// on a transient partition could undo a committed transaction.
+	OutcomeUnavailable
 )
 
 // OutcomeLog answers recovery-time outcome queries — the minimal "commit
@@ -270,15 +279,27 @@ type OutcomeLog interface {
 }
 
 // Recover resolves every pending intention against log: committed
-// transactions are applied, all others rolled back (presumed abort). It
-// returns the transactions applied and aborted.
+// transactions are applied, unknown/aborted ones rolled back (presumed
+// abort — OutcomeUnknown is the coordinator's affirmative "no commit
+// record" answer), and intentions whose coordinator could not be
+// consulted (OutcomeUnavailable) are left pending for a later retry. A
+// nil log rolls everything back (no coordinator will ever answer — the
+// caller asserts presumed abort). It returns the transactions applied
+// and aborted; still-pending ones remain visible via PendingTxs.
 func (s *Store) Recover(log OutcomeLog) (applied, aborted []string) {
 	for _, tx := range s.PendingTxs() {
-		if log != nil && log.Lookup(tx) == OutcomeCommitted {
+		outcome := OutcomeUnknown
+		if log != nil {
+			outcome = log.Lookup(tx)
+		}
+		switch outcome {
+		case OutcomeCommitted:
 			// Commit never fails for a known tx.
 			_ = s.Commit(tx)
 			applied = append(applied, tx)
-		} else {
+		case OutcomeUnavailable:
+			// In doubt and unanswerable: keep the intention.
+		default:
 			_ = s.Abort(tx)
 			aborted = append(aborted, tx)
 		}

@@ -1,0 +1,293 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestProbabilisticDropIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		n := NewMem(MemOptions{}, NewFaultsSeeded(seed))
+		n.Register("b", echoHandler)
+		n.Faults().DropRequestsP(0.5, -1, To("b"))
+		out := make([]bool, 40)
+		for i := range out {
+			_, err := n.Call(context.Background(), Request{From: "a", To: "b"})
+			out[i] = err == nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d: %v vs %v", i, a, b)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical coin flips (suspicious)")
+	}
+	// p=0.5 over 40 calls: both outcomes must occur.
+	drops := 0
+	for _, ok := range a {
+		if !ok {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("p=0.5 produced %d/%d drops", drops, len(a))
+	}
+}
+
+func TestDelayRequestsAddsLatency(t *testing.T) {
+	n := NewMem(MemOptions{}, NewFaultsSeeded(1))
+	n.Register("b", echoHandler)
+	n.Faults().DelayRequests(1, -1, 30*time.Millisecond, To("b"))
+	start := time.Now()
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		if _, err := n.Call(context.Background(), Request{From: "a", To: "b"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Uniform [0,30ms) per call: all five drawing ~0 is vanishingly
+	// unlikely; just require SOME added latency and no errors.
+	if time.Since(start) == 0 {
+		t.Fatal("delay rule added no latency")
+	}
+	// The delayed call still respects context cancellation.
+	n.Faults().Clear()
+	n.Faults().DelayRequests(1, -1, 10*time.Second, To("b"))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := n.Call(ctx, Request{From: "a", To: "b"}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestDuplicateRequestsDeliversTwice(t *testing.T) {
+	n := NewMem(MemOptions{}, NewFaultsSeeded(1))
+	var executed atomic.Int32
+	n.Register("b", func(ctx context.Context, req Request) ([]byte, error) {
+		executed.Add(1)
+		return []byte("ok"), nil
+	})
+	n.Faults().DuplicateRequests(1, 1, To("b"))
+	resp, err := n.Call(context.Background(), Request{From: "a", To: "b"})
+	if err != nil || string(resp) != "ok" {
+		t.Fatalf("call: %q, %v", resp, err)
+	}
+	if got := executed.Load(); got != 2 {
+		t.Fatalf("handler executed %d times, want 2 (duplicate)", got)
+	}
+	// One-shot: the next call delivers once.
+	if _, err := n.Call(context.Background(), Request{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := executed.Load(); got != 3 {
+		t.Fatalf("handler executed %d times total, want 3", got)
+	}
+}
+
+func TestReorderSwapsConcurrentRequests(t *testing.T) {
+	n := NewMem(MemOptions{}, NewFaultsSeeded(1))
+	var mu sync.Mutex
+	var order []string
+	n.Register("b", func(ctx context.Context, req Request) ([]byte, error) {
+		mu.Lock()
+		order = append(order, string(req.Payload))
+		mu.Unlock()
+		return nil, nil
+	})
+	n.Faults().ReorderRequests(1, 1, 5*time.Second, To("b"))
+
+	// First request parks; the second overtakes and releases it.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = n.Call(context.Background(), Request{From: "a", To: "b", Payload: []byte("first")})
+	}()
+	// Give the first call time to reach the park point.
+	time.Sleep(20 * time.Millisecond)
+	if _, err := n.Call(context.Background(), Request{From: "a", To: "b", Payload: []byte("second")}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked request never released")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 {
+		t.Fatalf("deliveries = %v", order)
+	}
+	if order[0] != "second" {
+		t.Fatalf("delivery order = %v, want the second request to overtake", order)
+	}
+}
+
+func TestReorderHoldExpiresWithoutTraffic(t *testing.T) {
+	n := NewMem(MemOptions{}, NewFaultsSeeded(1))
+	n.Register("b", echoHandler)
+	n.Faults().ReorderRequests(1, 1, 30*time.Millisecond, To("b"))
+	start := time.Now()
+	if _, err := n.Call(context.Background(), Request{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("parked request released after %v, want ~30ms hold", elapsed)
+	}
+}
+
+func TestClearReleasesParkedReorder(t *testing.T) {
+	n := NewMem(MemOptions{}, NewFaultsSeeded(1))
+	n.Register("b", echoHandler)
+	n.Faults().ReorderRequests(1, 1, time.Hour, To("b"))
+	done := make(chan error, 1)
+	go func() {
+		_, err := n.Call(context.Background(), Request{From: "a", To: "b"})
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	n.Faults().Clear()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released call failed: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Clear did not release the parked request")
+	}
+}
+
+func TestObserverHooksSeeSideEffectOrdering(t *testing.T) {
+	n := NewMem(MemOptions{}, NewFaultsSeeded(1))
+	var handlerRan atomic.Bool
+	n.Register("b", func(ctx context.Context, req Request) ([]byte, error) {
+		handlerRan.Store(true)
+		return nil, nil
+	})
+	var reqSaw, replySaw atomic.Bool
+	n.Faults().OnRequest(1, To("b"), func(Request) { reqSaw.Store(handlerRan.Load()) })
+	n.Faults().OnReply(1, To("b"), func(Request) { replySaw.Store(handlerRan.Load()) })
+	if _, err := n.Call(context.Background(), Request{From: "a", To: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if reqSaw.Load() {
+		t.Fatal("OnRequest hook ran after the handler")
+	}
+	if !replySaw.Load() {
+		t.Fatal("OnReply hook ran before the handler")
+	}
+}
+
+// TestReplyHookMayUnregisterCallee is the nemesis idiom the chaos harness
+// relies on: a reply hook crashes (unregisters) the callee after the
+// handler's side effects are durable, while the in-flight reply still
+// returns — "voted commit, then died before learning the outcome".
+func TestReplyHookMayUnregisterCallee(t *testing.T) {
+	n := NewMem(MemOptions{}, NewFaultsSeeded(1))
+	n.Register("b", echoHandler)
+	n.Faults().OnReply(1, To("b"), func(Request) { n.Unregister("b") })
+	resp, err := n.Call(context.Background(), Request{From: "a", To: "b", Payload: []byte("x")})
+	if err != nil || string(resp) != "echo:x" {
+		t.Fatalf("in-flight reply lost: %q, %v", resp, err)
+	}
+	if _, err := n.Call(context.Background(), Request{From: "a", To: "b"}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want unreachable after hook crash", err)
+	}
+}
+
+// TestFaultsMutationUnderTraffic is the Clear/Heal race audit: rules,
+// partitions, seeds and hooks are mutated from many goroutines while
+// traffic flows. Run under -race; the assertions are secondary to the
+// detector.
+func TestFaultsMutationUnderTraffic(t *testing.T) {
+	n := NewMem(MemOptions{}, NewFaultsSeeded(42))
+	for i := 0; i < 4; i++ {
+		n.Register(Addr(fmt.Sprintf("n%d", i)), echoHandler)
+	}
+	f := n.Faults()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Traffic: every node calls every other node in a loop.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				to := Addr(fmt.Sprintf("n%d", j%4))
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				_, _ = n.Call(ctx, Request{From: Addr(fmt.Sprintf("n%d", i)), To: to, Service: "s", Method: "m"})
+				cancel()
+			}
+		}(i)
+	}
+
+	// Mutators: install every rule kind, partition/heal, reseed, clear.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := Addr(fmt.Sprintf("n%d", j%4))
+				b := Addr(fmt.Sprintf("n%d", (j+1)%4))
+				switch j % 10 {
+				case 0:
+					f.DropRequestsP(0.3, 4, To(a))
+				case 1:
+					f.DropRepliesP(0.3, 4, Between(a, b))
+				case 2:
+					f.DelayRequests(0.5, 4, time.Millisecond, To(a))
+				case 3:
+					f.DuplicateRequests(0.5, 2, ToMethod(a, "s", "m"))
+				case 4:
+					f.ReorderRequests(0.5, 2, time.Millisecond, To(a))
+				case 5:
+					f.Partition(a, b)
+				case 6:
+					f.Heal(a, b)
+				case 7:
+					f.OnReply(2, To(a), func(Request) {})
+				case 8:
+					f.Reseed(int64(j))
+				case 9:
+					f.Clear()
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	f.Clear()
+	// The network must still function after the storm.
+	if _, err := n.Call(context.Background(), Request{From: "n0", To: "n1"}); err != nil {
+		t.Fatalf("network broken after mutation storm: %v", err)
+	}
+}

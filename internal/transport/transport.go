@@ -76,37 +76,135 @@ type FaultRule func(req Request) bool
 
 // Faults is a programmable fault plan shared by a Mem network. All methods
 // are safe for concurrent use.
+//
+// Two rule families coexist. The deterministic rules (DropRequests,
+// DropReplies, Partition) fire whenever they match, exactly as the
+// hand-built experiment scenarios need. The probabilistic rules
+// (DropRequestsP, DelayRequests, DuplicateRequests, ReorderRequests, …)
+// additionally flip a coin drawn from a seeded source, which is what a
+// randomized chaos schedule needs: the installed plan is fully determined
+// by the seed, and the coin flips are reproducible in message-arrival
+// order. Observer hooks (OnRequest/OnReply) let a nemesis react to traffic
+// — e.g. crash a node the moment its prepare acknowledgement leaves —
+// without perturbing it.
 type Faults struct {
 	mu           sync.Mutex
+	rng          *rand.Rand
 	dropRequests []*faultEntry
 	dropReplies  []*faultEntry
+	delays       []*faultEntry
+	duplicates   []*faultEntry
+	reorders     []*faultEntry
+	reqHooks     []*faultEntry
+	replyHooks   []*faultEntry
 	partitions   map[[2]Addr]bool
 }
 
 type faultEntry struct {
 	rule      FaultRule
-	remaining int // -1 = unlimited
+	remaining int     // -1 = unlimited
+	p         float64 // firing probability in [0, 1]; deterministic rules use 1
+	delay     time.Duration
+	hook      func(Request)
+	// parked is the release channel of a request held back by a reorder
+	// rule, nil when none is waiting. Closing it releases the request.
+	parked chan struct{}
 }
 
-// NewFaults returns an empty fault plan.
+// NewFaults returns an empty fault plan. Probabilistic rules draw from a
+// source seeded with 0; use NewFaultsSeeded or Reseed for chaos schedules.
 func NewFaults() *Faults {
-	return &Faults{partitions: make(map[[2]Addr]bool)}
+	return NewFaultsSeeded(0)
+}
+
+// NewFaultsSeeded returns an empty fault plan whose probabilistic rules
+// draw from a source seeded with seed.
+func NewFaultsSeeded(seed int64) *Faults {
+	return &Faults{
+		rng:        rand.New(rand.NewSource(seed)),
+		partitions: make(map[[2]Addr]bool),
+	}
+}
+
+// Reseed resets the source behind the probabilistic rules, so a chaos
+// schedule replayed from the same seed draws the same coin flips (in
+// message-arrival order).
+func (f *Faults) Reseed(seed int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rng = rand.New(rand.NewSource(seed))
 }
 
 // DropRequests installs a rule that drops matching requests. count limits
 // how many times the rule fires; count < 0 means unlimited.
 func (f *Faults) DropRequests(count int, rule FaultRule) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.dropRequests = append(f.dropRequests, &faultEntry{rule: rule, remaining: count})
+	f.addEntry(&f.dropRequests, &faultEntry{rule: rule, remaining: count, p: 1})
+}
+
+// DropRequestsP installs a rule that drops matching requests with
+// probability p per match. count < 0 means unlimited.
+func (f *Faults) DropRequestsP(p float64, count int, rule FaultRule) {
+	f.addEntry(&f.dropRequests, &faultEntry{rule: rule, remaining: count, p: p})
 }
 
 // DropReplies installs a rule that drops the reply of matching requests
 // after the handler has executed. count < 0 means unlimited.
 func (f *Faults) DropReplies(count int, rule FaultRule) {
+	f.addEntry(&f.dropReplies, &faultEntry{rule: rule, remaining: count, p: 1})
+}
+
+// DropRepliesP installs a rule that drops the reply of matching requests
+// with probability p per match, after the handler has executed. count < 0
+// means unlimited.
+func (f *Faults) DropRepliesP(p float64, count int, rule FaultRule) {
+	f.addEntry(&f.dropReplies, &faultEntry{rule: rule, remaining: count, p: p})
+}
+
+// DelayRequests installs a rule that adds an extra delay, drawn uniformly
+// from [0, max), to the request leg of matching requests with probability
+// p per match. count < 0 means unlimited.
+func (f *Faults) DelayRequests(p float64, count int, max time.Duration, rule FaultRule) {
+	f.addEntry(&f.delays, &faultEntry{rule: rule, remaining: count, p: p, delay: max})
+}
+
+// DuplicateRequests installs a rule that delivers matching requests twice
+// — the handler executes a second time after the first delivery, modelling
+// a duplicated network message — with probability p per match. The caller
+// receives the first reply. Target only methods that are idempotent by
+// contract (store prepare/commit/abort, sequenced group deliveries);
+// duplicating a non-idempotent method is the fault being tested for, not a
+// harness feature. count < 0 means unlimited.
+func (f *Faults) DuplicateRequests(p float64, count int, rule FaultRule) {
+	f.addEntry(&f.duplicates, &faultEntry{rule: rule, remaining: count, p: p})
+}
+
+// ReorderRequests installs a rule that reorders matching requests: a
+// matching request is parked until the next matching request arrives (and
+// overtakes it) or until hold elapses, whichever is first. With concurrent
+// traffic this swaps delivery order pairwise. count < 0 means unlimited;
+// count is consumed per parked request.
+func (f *Faults) ReorderRequests(p float64, count int, hold time.Duration, rule FaultRule) {
+	f.addEntry(&f.reorders, &faultEntry{rule: rule, remaining: count, p: p, delay: hold})
+}
+
+// OnRequest installs an observer hook invoked (outside the fault plan's
+// lock) for matching requests before delivery. count < 0 means unlimited.
+func (f *Faults) OnRequest(count int, rule FaultRule, hook func(Request)) {
+	f.addEntry(&f.reqHooks, &faultEntry{rule: rule, remaining: count, p: 1, hook: hook})
+}
+
+// OnReply installs an observer hook invoked (outside the fault plan's
+// lock) for matching requests after the handler has executed — i.e. the
+// callee's side effects are durable at that point — and before the reply
+// is delivered or dropped. count < 0 means unlimited.
+func (f *Faults) OnReply(count int, rule FaultRule, hook func(Request)) {
+	f.addEntry(&f.replyHooks, &faultEntry{rule: rule, remaining: count, p: 1, hook: hook})
+}
+
+func (f *Faults) addEntry(list *[]*faultEntry, e *faultEntry) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.dropReplies = append(f.dropReplies, &faultEntry{rule: rule, remaining: count})
+	*list = append(*list, e)
 }
 
 // Partition blocks all traffic between a and b (both directions) until
@@ -124,12 +222,24 @@ func (f *Faults) Heal(a, b Addr) {
 	delete(f.partitions, pairKey(a, b))
 }
 
-// Clear removes all rules and partitions.
+// Clear removes all rules, hooks and partitions. Requests parked by a
+// reorder rule are released.
 func (f *Faults) Clear() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	for _, e := range f.reorders {
+		if e.parked != nil {
+			close(e.parked)
+			e.parked = nil
+		}
+	}
 	f.dropRequests = nil
 	f.dropReplies = nil
+	f.delays = nil
+	f.duplicates = nil
+	f.reorders = nil
+	f.reqHooks = nil
+	f.replyHooks = nil
 	f.partitions = make(map[[2]Addr]bool)
 }
 
@@ -146,31 +256,156 @@ func (f *Faults) partitioned(a, b Addr) bool {
 	return f.partitions[pairKey(a, b)]
 }
 
-func fire(entries []*faultEntry, req Request) bool {
+// fireLocked reports whether any entry fires for req, consuming one use.
+// A probabilistic entry (p > 0) additionally flips a coin from the seeded
+// source; the coin is only flipped — and the use only consumed — when the
+// rule matches. f.mu must be held.
+func (f *Faults) fireLocked(entries []*faultEntry, req Request) (*faultEntry, bool) {
 	for _, e := range entries {
 		if e.remaining == 0 {
 			continue
 		}
-		if e.rule(req) {
-			if e.remaining > 0 {
-				e.remaining--
-			}
-			return true
+		if !e.rule(req) {
+			continue
 		}
+		if e.p < 1 && (e.p <= 0 || f.rng.Float64() >= e.p) {
+			continue
+		}
+		if e.remaining > 0 {
+			e.remaining--
+		}
+		return e, true
 	}
-	return false
+	return nil, false
 }
 
 func (f *Faults) shouldDropRequest(req Request) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return fire(f.dropRequests, req)
+	_, ok := f.fireLocked(f.dropRequests, req)
+	return ok
 }
 
 func (f *Faults) shouldDropReply(req Request) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return fire(f.dropReplies, req)
+	_, ok := f.fireLocked(f.dropReplies, req)
+	return ok
+}
+
+// requestDelay returns the extra delay the matching delay rules add to
+// req's request leg, drawn from the seeded source.
+func (f *Faults) requestDelay(req Request) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var d time.Duration
+	for _, e := range f.delays {
+		if e.remaining == 0 || !e.rule(req) {
+			continue
+		}
+		if e.p < 1 && (e.p <= 0 || f.rng.Float64() >= e.p) {
+			continue
+		}
+		if e.remaining > 0 {
+			e.remaining--
+		}
+		if e.delay > 0 {
+			d += time.Duration(f.rng.Int63n(int64(e.delay)))
+		}
+	}
+	return d
+}
+
+func (f *Faults) shouldDuplicate(req Request) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, ok := f.fireLocked(f.duplicates, req)
+	return ok
+}
+
+// holdForReorder parks req if a reorder rule matches and no request is
+// already parked on that rule; the parked request resumes when the next
+// matching request overtakes it, when hold elapses, when the plan is
+// cleared, or when ctx dies. A second matching request releases the parked
+// one and proceeds immediately (the overtake).
+func (f *Faults) holdForReorder(ctx context.Context, req Request) error {
+	f.mu.Lock()
+	var e *faultEntry
+	for _, cand := range f.reorders {
+		if cand.parked != nil && cand.rule(req) {
+			// Overtake: release the parked request, let this one through.
+			// Releasing needs only a rule match, not remaining budget — the
+			// budget was spent parking.
+			close(cand.parked)
+			cand.parked = nil
+			f.mu.Unlock()
+			return nil
+		}
+		if cand.remaining == 0 || !cand.rule(req) {
+			continue
+		}
+		if cand.p < 1 && (cand.p <= 0 || f.rng.Float64() >= cand.p) {
+			continue
+		}
+		if cand.remaining > 0 {
+			cand.remaining--
+		}
+		e = cand
+		break
+	}
+	if e == nil {
+		f.mu.Unlock()
+		return nil
+	}
+	release := make(chan struct{})
+	e.parked = release
+	hold := e.delay
+	f.mu.Unlock()
+
+	t := time.NewTimer(hold)
+	defer t.Stop()
+	select {
+	case <-release:
+	case <-t.C:
+	case <-ctx.Done():
+	}
+	f.mu.Lock()
+	if e.parked == release {
+		e.parked = nil
+	}
+	f.mu.Unlock()
+	return ctx.Err()
+}
+
+// hooksFor collects the matching hooks without invoking them; the caller
+// runs them outside the lock so a hook may safely call back into the fault
+// plan or crash a node.
+func (f *Faults) hooksFor(list *[]*faultEntry, req Request) []func(Request) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []func(Request)
+	for _, e := range *list {
+		if e.remaining == 0 || !e.rule(req) {
+			continue
+		}
+		if e.remaining > 0 {
+			e.remaining--
+		}
+		out = append(out, e.hook)
+	}
+	return out
+}
+
+func (f *Faults) runRequestHooks(req Request) {
+	for _, h := range f.hooksFor(&f.reqHooks, req) {
+		h(req)
+	}
+}
+
+func (f *Faults) runReplyHooks(req Request) {
+	for _, h := range f.hooksFor(&f.replyHooks, req) {
+		h(req)
+	}
 }
 
 // MemOptions configure a Mem network.
@@ -200,10 +435,11 @@ type Mem struct {
 var _ Network = (*Mem)(nil)
 
 // NewMem returns an in-memory network. faults may be nil, in which case a
-// fresh empty fault plan is created (retrievable via Faults).
+// fresh empty fault plan, seeded from opts.Seed, is created (retrievable
+// via Faults).
 func NewMem(opts MemOptions, faults *Faults) *Mem {
 	if faults == nil {
-		faults = NewFaults()
+		faults = NewFaultsSeeded(opts.Seed)
 	}
 	return &Mem{
 		opts:     opts,
@@ -271,7 +507,11 @@ func (m *Mem) Call(ctx context.Context, req Request) ([]byte, error) {
 	if m.faults.shouldDropRequest(req) {
 		return nil, fmt.Errorf("%s -> %s %s.%s: %w", req.From, req.To, req.Service, req.Method, ErrRequestLost)
 	}
-	if err := sleepCtx(ctx, m.delay()); err != nil {
+	m.faults.runRequestHooks(req)
+	if err := m.faults.holdForReorder(ctx, req); err != nil {
+		return nil, err
+	}
+	if err := sleepCtx(ctx, m.delay()+m.faults.requestDelay(req)); err != nil {
 		return nil, err
 	}
 	h, ok := m.lookup(req.To)
@@ -279,9 +519,16 @@ func (m *Mem) Call(ctx context.Context, req Request) ([]byte, error) {
 		return nil, fmt.Errorf("%s -> %s: %w", req.From, req.To, ErrUnreachable)
 	}
 	resp, err := h(ctx, req)
+	if m.faults.shouldDuplicate(req) {
+		// A duplicated network message: the handler executes a second time;
+		// the caller sees the first delivery's reply. Idempotent handlers
+		// (the only sanctioned targets) make the second delivery a no-op.
+		_, _ = h(ctx, req)
+	}
 	if derr := sleepCtx(ctx, m.delay()); derr != nil {
 		return nil, derr
 	}
+	m.faults.runReplyHooks(req)
 	if m.faults.shouldDropReply(req) {
 		return nil, fmt.Errorf("%s -> %s %s.%s: %w", req.From, req.To, req.Service, req.Method, ErrReplyLost)
 	}
@@ -302,4 +549,13 @@ func Between(from, to Addr) FaultRule {
 // ToService returns a FaultRule matching requests for a service at an addr.
 func ToService(addr Addr, service string) FaultRule {
 	return func(req Request) bool { return req.To == addr && req.Service == service }
+}
+
+// ToMethod returns a FaultRule matching requests for one method of a
+// service at an addr — the granularity per-method probabilistic chaos
+// rules are written at.
+func ToMethod(addr Addr, service, method string) FaultRule {
+	return func(req Request) bool {
+		return req.To == addr && req.Service == service && req.Method == method
+	}
 }
