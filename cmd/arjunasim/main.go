@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	arjunasim [-servers N] [-stores N] [-scheme standard|independent|nested] [-policy single|active|cohort]
+//	arjunasim [-servers N] [-stores N] [-scheme standard|independent|nested] [-policy single|active|cohort] [-data-dir DIR]
+//
+// With -data-dir, every node's stable storage lives in a WAL+snapshot
+// directory under DIR: crash/recover cycles replay from disk, and
+// re-running arjunasim on the same directory resumes the stored counter
+// state.
 //
 // Commands (stdin, one per line):
 //
@@ -43,6 +48,7 @@ func run() error {
 	stores := flag.Int("stores", 2, "number of object-store nodes")
 	schemeName := flag.String("scheme", "independent", "db access scheme: standard | independent | nested")
 	policyName := flag.String("policy", "single", "replication policy: single | active | cohort")
+	dataDir := flag.String("data-dir", "", "root directory for disk-backed stable storage (default: in-memory)")
 	flag.Parse()
 
 	scheme, err := arjuna.ParseScheme(*schemeName)
@@ -54,12 +60,16 @@ func run() error {
 		return err
 	}
 
-	sys, err := arjuna.Open(
+	opts := []arjuna.Option{
 		arjuna.WithServers(*servers),
 		arjuna.WithStores(*stores),
 		arjuna.WithScheme(scheme),
 		arjuna.WithPolicy(policy),
-	)
+	}
+	if *dataDir != "" {
+		opts = append(opts, arjuna.WithDataDir(*dataDir))
+	}
+	sys, err := arjuna.Open(opts...)
 	if err != nil {
 		return err
 	}

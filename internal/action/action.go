@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/conc"
 	"repro/internal/lockmgr"
+	"repro/internal/storage"
 	"repro/internal/store"
 	"repro/internal/uid"
 )
@@ -69,6 +70,10 @@ var (
 	// ErrPrepareFailed reports that two-phase commit aborted because a
 	// participant could not prepare.
 	ErrPrepareFailed = errors.New("action: participant failed to prepare")
+	// ErrOutcomeLog reports that the commit record could not be made
+	// durable: the action aborts, because without the record no recovery
+	// could ever learn the commit.
+	ErrOutcomeLog = errors.New("action: outcome log write failed")
 )
 
 // Vote is a participant's phase-one answer (§4.1.2's read optimisation
@@ -142,14 +147,20 @@ var Ancestry lockmgr.Ancestry = lockmgr.AncestryFunc(func(a, d lockmgr.Owner) bo
 })
 
 // Log records and reports transaction outcomes; it is the commit-record
-// service of the 2PC coordinator.
+// service of the 2PC coordinator. Record returns an error when the
+// record could not be made durable — the coordinator must then abort
+// rather than commit, because the commit point IS the durable record.
+// Forget prunes a record that no participant can ever ask about again
+// (every phase-two ack is in), so the log does not grow forever.
 type Log interface {
-	Record(tx string, o store.Outcome)
+	Record(tx string, o store.Outcome) error
+	Forget(tx string) error
 	store.OutcomeLog
 }
 
-// MemLog is an in-memory Log. The zero value is ready to use. In the
-// simulation the log conceptually lives on the coordinator's stable store.
+// MemLog is an in-memory Log. The zero value is ready to use. Kept for
+// tests that want a bare map; the default coordinator log is a
+// BackendLog on the node's stable storage.
 type MemLog struct {
 	mu sync.Mutex
 	m  map[string]store.Outcome
@@ -159,13 +170,30 @@ type MemLog struct {
 func NewMemLog() *MemLog { return &MemLog{m: make(map[string]store.Outcome)} }
 
 // Record implements Log.
-func (l *MemLog) Record(tx string, o store.Outcome) {
+func (l *MemLog) Record(tx string, o store.Outcome) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.m == nil {
 		l.m = make(map[string]store.Outcome)
 	}
 	l.m[tx] = o
+	return nil
+}
+
+// Forget implements Log.
+func (l *MemLog) Forget(tx string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.m, tx)
+	return nil
+}
+
+// Len returns the number of live records — what the outcome-log GC test
+// asserts shrinks back to zero.
+func (l *MemLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
 }
 
 // Lookup implements store.OutcomeLog.
@@ -175,23 +203,135 @@ func (l *MemLog) Lookup(tx string) store.Outcome {
 	return l.m[tx]
 }
 
+// BackendLog is a Log whose records live in a storage.Backend — the
+// coordinator's commit-record log on stable storage. Record syncs before
+// returning (the commit point must be durable before phase two);
+// Forget's delete is appended without a sync, since resurrecting a
+// pruned record after a crash is harmless (it just gets pruned again).
+type BackendLog struct {
+	b func() storage.Backend
+}
+
+// NewBackendLog returns a log over the fixed backend b.
+func NewBackendLog(b storage.Backend) *BackendLog {
+	return &BackendLog{b: func() storage.Backend { return b }}
+}
+
+// NewBackendLogFunc returns a log that resolves its backend on every
+// call. A node passes its store's current backend this way — commit
+// records then share the node's stable storage AND follow it across a
+// crash/reopen cycle, which replaces the backend instance (a captured
+// one would stay closed forever).
+func NewBackendLogFunc(b func() storage.Backend) *BackendLog {
+	return &BackendLog{b: b}
+}
+
+// Record implements Log. A shut-down backend (the node is crashed)
+// refuses: no durable record, no commit.
+func (l *BackendLog) Record(tx string, o store.Outcome) error {
+	b := l.b()
+	if b == nil {
+		return storage.ErrClosed
+	}
+	if err := b.PutOutcome(tx, uint8(o)); err != nil {
+		return err
+	}
+	return b.Sync()
+}
+
+// Forget implements Log.
+func (l *BackendLog) Forget(tx string) error {
+	b := l.b()
+	if b == nil {
+		return storage.ErrClosed
+	}
+	return b.DeleteOutcome(tx)
+}
+
+// Lookup implements store.OutcomeLog. A backend that cannot answer (shut
+// down mid-crash) reports OutcomeUnavailable — not "no record".
+func (l *BackendLog) Lookup(tx string) store.Outcome {
+	b := l.b()
+	if b == nil {
+		return store.OutcomeUnavailable
+	}
+	o, ok, err := b.Outcome(tx)
+	if err != nil {
+		return store.OutcomeUnavailable
+	}
+	if !ok {
+		return store.OutcomeUnknown
+	}
+	return store.Outcome(o)
+}
+
 // Manager creates actions for one client/node.
 type Manager struct {
 	gen *uid.Generator
 	log Log
+
+	// inflight tracks top-level actions currently inside commit
+	// processing — from before the first prepare RPC until the outcome
+	// is durably recorded (or the action finished without a record).
+	// Recovery-time lookups for these answer OutcomeUnavailable: a
+	// participant's restart racing a LIVE commit must not read the
+	// not-yet-written record as an affirmative "no record" and presume
+	// abort — that rolls back a vote whose transaction is about to
+	// commit. The set is volatile on purpose: if the coordinator itself
+	// dies mid-flight it will never decide, and presumed abort becomes
+	// correct again.
+	mu       sync.Mutex
+	inflight map[string]struct{}
 }
 
 // NewManager returns a manager minting action IDs from origin; log may be
-// nil, in which case a fresh MemLog is used.
+// nil, in which case a fresh stable-storage-backed log over an in-memory
+// backend is used.
 func NewManager(origin string, log Log) *Manager {
 	if log == nil {
-		log = NewMemLog()
+		log = NewBackendLog(storage.NewMem())
 	}
 	return &Manager{gen: uid.NewGenerator(origin, 1), log: log}
 }
 
 // Log returns the manager's outcome log.
 func (m *Manager) Log() Log { return m.log }
+
+// beginCommitWindow marks tx as inside commit processing.
+func (m *Manager) beginCommitWindow(tx string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.inflight == nil {
+		m.inflight = make(map[string]struct{})
+	}
+	m.inflight[tx] = struct{}{}
+}
+
+// endCommitWindow clears the in-flight marker once tx's fate is settled
+// (outcome recorded, or finished without a record).
+func (m *Manager) endCommitWindow(tx string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.inflight, tx)
+}
+
+// Lookup implements store.OutcomeLog with in-flight awareness: a
+// transaction currently inside its coordinator's commit processing
+// answers OutcomeUnavailable — the decision point has not passed, so
+// neither commit nor presumed abort may be inferred yet; the asking
+// participant keeps its intention pending and retries later. Expose THIS
+// (not the raw log) as the coordinator's recovery-query surface.
+func (m *Manager) Lookup(tx string) store.Outcome {
+	m.mu.Lock()
+	_, fl := m.inflight[tx]
+	m.mu.Unlock()
+	if fl {
+		return store.OutcomeUnavailable
+	}
+	return m.log.Lookup(tx)
+}
+
+var _ store.OutcomeLog = (*Manager)(nil)
 
 // Action is one atomic action. Use Manager.BeginTop or Begin to create.
 type Action struct {
@@ -207,6 +347,7 @@ type Action struct {
 	mergeHooks   []func(parent *Action)
 	resolveHooks []func(committed bool)
 	stash        map[string]any
+	retainLog    bool
 }
 
 // BeginTop starts a top-level action. Called from within another action's
@@ -293,6 +434,24 @@ func (a *Action) OnResolve(f func(committed bool)) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.resolveHooks = append(a.resolveHooks, f)
+}
+
+// RetainOutcome marks the action's commit record as still needed after
+// phase two: some lower-level resource — typically a store that was
+// excluded from St with a prepared intention on board — may query the
+// outcome at its own recovery, even though every Participant acked.
+// Participants call this during phase two; it suppresses the outcome-log
+// GC for this action.
+func (a *Action) RetainOutcome() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.retainLog = true
+}
+
+func (a *Action) outcomeRetained() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.retainLog
 }
 
 // StashOnce stores v under key if the key is empty and reports whether it
@@ -397,6 +556,10 @@ type CommitReport struct {
 	// OutcomeLogged reports whether a commit record was written. All-read-
 	// only and one-phase commits skip it (presumed abort makes this safe).
 	OutcomeLogged bool
+	// OutcomePruned reports that the commit record was garbage-collected
+	// right after phase two: every commit voter acked and no participant
+	// asked for retention, so no recovery can ever query this record.
+	OutcomePruned bool
 }
 
 // commitTopLocked runs top-level commitment; a.mu is held on entry. Both
@@ -425,6 +588,12 @@ func (a *Action) commitTopLocked(ctx context.Context) (*CommitReport, error) {
 		return &CommitReport{}, nil
 	}
 
+	// Open the in-flight window BEFORE any prepare can create remote
+	// state: recovery lookups racing this commit must see "undecided",
+	// never a premature "no record" (see Manager.Lookup).
+	a.mgr.beginCommitWindow(a.id)
+	defer a.mgr.endCommitWindow(a.id)
+
 	// One-phase fast path: a single participant needs no coordination.
 	if len(participants) == 1 {
 		if op, ok := participants[0].(OnePhaser); ok {
@@ -438,9 +607,9 @@ func (a *Action) commitTopLocked(ctx context.Context) (*CommitReport, error) {
 
 	// Phase one: concurrent, with first-failure abort — the first prepare
 	// refusal cancels the prepares still in flight.
-	votes, err := a.prepareAll(ctx, participants)
+	votes, rolledBack, err := a.prepareAll(ctx, participants)
 	if err != nil {
-		a.mgr.log.Record(a.id, store.OutcomeAborted)
+		a.recordAbort(rolledBack)
 		a.finish(StatusAborted, resolveHooks)
 		return nil, err
 	}
@@ -463,8 +632,15 @@ func (a *Action) commitTopLocked(ctx context.Context) (*CommitReport, error) {
 		return report, nil
 	}
 
-	// Commit point.
-	a.mgr.log.Record(a.id, store.OutcomeCommitted)
+	// Commit point: the durable record. A failed write means the commit
+	// never happened — no recovery could learn it — so the action aborts
+	// and the prepared participants are rolled back.
+	if err := a.mgr.log.Record(a.id, store.OutcomeCommitted); err != nil {
+		rolledBack := a.rollbackAll(ctx, participants, a.id)
+		a.recordAbort(rolledBack)
+		a.finish(StatusAborted, resolveHooks)
+		return nil, fmt.Errorf("%s: %v: %w", a.id, err, ErrOutcomeLog)
+	}
 	report.OutcomeLogged = true
 	a.mu.Lock()
 	a.status = StatusCommitted
@@ -484,10 +660,47 @@ func (a *Action) commitTopLocked(ctx context.Context) (*CommitReport, error) {
 			report.PhaseTwoErrors = append(report.PhaseTwoErrors, err)
 		}
 	}
+	// Outcome-log GC: once every commit voter has acked phase two —
+	// and no participant flagged a lower-level straggler via
+	// RetainOutcome — nobody can ever query this record again (a
+	// participant only asks when it holds an unresolved intention, and
+	// an acked Commit resolved it). Presumed abort makes the pruned
+	// state indistinguishable from "never asked".
+	if len(report.PhaseTwoErrors) == 0 && !a.outcomeRetained() {
+		if a.mgr.log.Forget(a.id) == nil {
+			report.OutcomePruned = true
+		}
+	}
 	for _, f := range resolveHooks {
 		f(true)
 	}
 	return report, nil
+}
+
+// recordAbort writes the abort record and immediately prunes it when
+// every participant acknowledged its rollback: with all intentions gone
+// no recovery will ask, and even for stragglers presumed abort gives the
+// same answer with no record at all — the record is kept only as a
+// diagnostic breadcrumb while some participant is still unaccounted for.
+func (a *Action) recordAbort(rolledBack bool) {
+	_ = a.mgr.log.Record(a.id, store.OutcomeAborted)
+	if rolledBack {
+		_ = a.mgr.log.Forget(a.id)
+	}
+}
+
+// rollbackAll aborts every participant under the given transaction ID
+// and reports whether all of them acknowledged.
+func (a *Action) rollbackAll(ctx context.Context, participants []Participant, tx string) bool {
+	errs := conc.DoErr(len(participants), func(i int) error {
+		return participants[i].Abort(ctx, tx)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // commitOnePhase delegates the commit decision to the action's only
@@ -532,8 +745,10 @@ func (a *Action) finish(st Status, resolveHooks []func(bool)) {
 // ones whose prepare may have half-happened (e.g. a lost reply), ones
 // that never prepared, and read-only voters already released (Abort is a
 // no-op for them, per the Participant contract). The roll-back uses the
-// caller's context, not the cancelled one.
-func (a *Action) prepareAll(ctx context.Context, participants []Participant) ([]Vote, error) {
+// caller's context, not the cancelled one; rolledBack reports whether
+// every participant acknowledged it (which licenses pruning the abort
+// record).
+func (a *Action) prepareAll(ctx context.Context, participants []Participant) (votes []Vote, rolledBack bool, err error) {
 	pctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -541,7 +756,7 @@ func (a *Action) prepareAll(ctx context.Context, participants []Participant) ([]
 		firstErr error
 		firstIdx int
 	)
-	votes := make([]Vote, len(participants))
+	votes = make([]Vote, len(participants))
 	conc.Do(len(participants), func(i int) {
 		v, err := participants[i].Prepare(pctx, a.id)
 		if err != nil {
@@ -557,12 +772,10 @@ func (a *Action) prepareAll(ctx context.Context, participants []Participant) ([]
 		votes[i] = v
 	})
 	if firstErr == nil {
-		return votes, nil
+		return votes, false, nil
 	}
-	conc.Do(len(participants), func(i int) {
-		_ = participants[i].Abort(ctx, a.id)
-	})
-	return nil, fmt.Errorf("%s: %s: %v: %w", a.id, participants[firstIdx].Name(), firstErr, ErrPrepareFailed)
+	rolledBack = a.rollbackAll(ctx, participants, a.id)
+	return nil, rolledBack, fmt.Errorf("%s: %s: %v: %w", a.id, participants[firstIdx].Name(), firstErr, ErrPrepareFailed)
 }
 
 // Abort ends the action, undoing its effects. Active children are aborted
@@ -583,12 +796,9 @@ func (a *Action) Abort(ctx context.Context) error {
 	parent := a.parent
 	a.mu.Unlock()
 
-	top := a.Top().id
-	conc.Do(len(participants), func(i int) {
-		_ = participants[i].Abort(ctx, top)
-	})
+	allAcked := a.rollbackAll(ctx, participants, a.Top().id)
 	if parent == nil {
-		a.mgr.log.Record(a.id, store.OutcomeAborted)
+		a.recordAbort(allAcked)
 	} else {
 		parent.mu.Lock()
 		if parent.status == StatusRunning {

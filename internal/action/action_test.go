@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/lockmgr"
 	"repro/internal/rpc"
+	"repro/internal/storage"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/uid"
@@ -87,8 +88,11 @@ func TestTopLevelCommitRunsTwoPhase(t *testing.T) {
 			t.Fatalf("%s lifecycle = %d/%d/%d, want 1/1/0", p.name, pr, cm, ab)
 		}
 	}
-	if m.Log().Lookup(a.ID()) != store.OutcomeCommitted {
-		t.Fatal("commit record missing")
+	if !rep.OutcomeLogged || !rep.OutcomePruned {
+		t.Fatalf("report = %+v, want outcome logged then pruned (all voters acked)", rep)
+	}
+	if m.Log().Lookup(a.ID()) != store.OutcomeUnknown {
+		t.Fatal("fully-acked commit record must be garbage-collected")
 	}
 	if a.Status() != StatusCommitted {
 		t.Fatalf("status = %v", a.Status())
@@ -117,8 +121,10 @@ func TestPrepareFailureAbortsAll(t *testing.T) {
 	if ba != 1 {
 		t.Fatalf("bad aborts=%d, want 1", ba)
 	}
-	if m.Log().Lookup(a.ID()) != store.OutcomeAborted {
-		t.Fatal("abort record missing")
+	// Every participant acknowledged its rollback, so the abort record is
+	// pruned right away — presumed abort answers any later query the same.
+	if m.Log().Lookup(a.ID()) != store.OutcomeUnknown {
+		t.Fatal("fully-acked abort record must be garbage-collected")
 	}
 }
 
@@ -194,8 +200,9 @@ func TestMixedVotesRunPhaseTwoOnCommitVotersOnly(t *testing.T) {
 	if _, cm, _ := counts(rw); cm != 1 {
 		t.Fatal("commit voter must see phase two")
 	}
-	if m.Log().Lookup(a.ID()) != store.OutcomeCommitted {
-		t.Fatal("mixed-vote commit must write the outcome log")
+	if !rep.OutcomePruned || m.Log().Lookup(a.ID()) != store.OutcomeUnknown {
+		t.Fatalf("report = %+v, lookup = %v; the record must be written for phase two and pruned once the commit voter acked",
+			rep, m.Log().Lookup(a.ID()))
 	}
 }
 
@@ -261,8 +268,8 @@ func TestOnePhaseIneligibleFallsBackToTwoPhase(t *testing.T) {
 	if pr != 1 || cm != 1 {
 		t.Fatalf("fallback lifecycle = %d/%d, want full 2PC 1/1", pr, cm)
 	}
-	if m.Log().Lookup(a.ID()) != store.OutcomeCommitted {
-		t.Fatal("fallback 2PC must write the outcome log")
+	if !rep.OutcomeLogged || !rep.OutcomePruned {
+		t.Fatalf("report = %+v, want fallback 2PC to log the outcome and prune it after the ack", rep)
 	}
 }
 
@@ -406,8 +413,8 @@ func TestNestedTopLevelActionIndependent(t *testing.T) {
 	if cm != 1 || ab != 0 {
 		t.Fatalf("inner effects disturbed by outer abort: commits=%d aborts=%d", cm, ab)
 	}
-	if m.Log().Lookup(inner.ID()) != store.OutcomeCommitted {
-		t.Fatal("inner commit record missing")
+	if m.Log().Lookup(inner.ID()) == store.OutcomeAborted {
+		t.Fatal("inner commit must not be recorded as aborted by the outer abort")
 	}
 }
 
@@ -743,7 +750,241 @@ func TestPrepareFirstFailureCancelsInFlightPrepares(t *testing.T) {
 	if _, _, aborts := counts(bad); aborts != 1 {
 		t.Fatalf("failed participant aborted %d times, want 1", aborts)
 	}
-	if m.Log().Lookup(act.ID()) != store.OutcomeAborted {
-		t.Fatal("outcome log must record the abort")
+	// The slow participant's rollback used the live context and acked, as
+	// did the failed one — so the abort record is pruned under presumed
+	// abort rather than retained.
+	if m.Log().Lookup(act.ID()) == store.OutcomeCommitted {
+		t.Fatal("cancelled commit must never be recorded as committed")
+	}
+}
+
+// stubbornParticipant fails its Commit and/or Abort calls — the phase-two
+// straggler whose outstanding ack must keep the outcome record alive.
+type stubbornParticipant struct {
+	fakeParticipant
+	failCommit bool
+	failAbort  bool
+}
+
+func (p *stubbornParticipant) Commit(ctx context.Context, tx string) error {
+	_ = p.fakeParticipant.Commit(ctx, tx)
+	if p.failCommit {
+		return errors.New("commit lost")
+	}
+	return nil
+}
+
+func (p *stubbornParticipant) Abort(ctx context.Context, tx string) error {
+	_ = p.fakeParticipant.Abort(ctx, tx)
+	if p.failAbort {
+		return errors.New("abort lost")
+	}
+	return nil
+}
+
+// TestOutcomeLogGC: the satellite requirement in one place — records do
+// not accumulate. A run of fully-acked commits and aborts leaves the
+// coordinator log empty.
+func TestOutcomeLogGC(t *testing.T) {
+	log := NewMemLog()
+	m := NewManager("gc", log)
+	for i := 0; i < 5; i++ {
+		a := m.BeginTop()
+		_ = a.Enlist(&fakeParticipant{name: "p1"})
+		_ = a.Enlist(&fakeParticipant{name: "p2"})
+		rep, err := a.Commit(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OutcomeLogged || !rep.OutcomePruned {
+			t.Fatalf("commit %d: report = %+v, want logged and pruned", i, rep)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		a := m.BeginTop()
+		_ = a.Enlist(&fakeParticipant{name: "p1"})
+		if err := a.Abort(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := log.Len(); n != 0 {
+		t.Fatalf("outcome log holds %d records after fully-acked actions, want 0", n)
+	}
+}
+
+// TestOutcomeLogGCRetainsUnackedPhaseTwo: a participant whose Commit
+// failed may hold an unresolved intention; its record must survive GC so
+// recovery can still learn the commit.
+func TestOutcomeLogGCRetainsUnackedPhaseTwo(t *testing.T) {
+	log := NewMemLog()
+	m := NewManager("gc", log)
+	a := m.BeginTop()
+	_ = a.Enlist(&fakeParticipant{name: "ok"})
+	_ = a.Enlist(&stubbornParticipant{fakeParticipant: fakeParticipant{name: "gone"}, failCommit: true})
+	rep, err := a.Commit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PhaseTwoErrors) != 1 || rep.OutcomePruned {
+		t.Fatalf("report = %+v, want one phase-two error and no pruning", rep)
+	}
+	if log.Lookup(a.ID()) != store.OutcomeCommitted {
+		t.Fatal("commit record pruned while a participant never acked phase two")
+	}
+	if log.Len() != 1 {
+		t.Fatalf("log size = %d, want the retained record alone", log.Len())
+	}
+}
+
+// TestOutcomeLogGCRetainsOnRequest: RetainOutcome (the hook store-level
+// exclusion uses) vetoes pruning even when every Participant acked.
+func TestOutcomeLogGCRetainsOnRequest(t *testing.T) {
+	log := NewMemLog()
+	m := NewManager("gc", log)
+	a := m.BeginTop()
+	p := &fakeParticipant{name: "p"}
+	_ = a.Enlist(p)
+	a.RetainOutcome()
+	rep, err := a.Commit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OutcomePruned {
+		t.Fatalf("report = %+v: RetainOutcome must suppress pruning", rep)
+	}
+	if log.Lookup(a.ID()) != store.OutcomeCommitted {
+		t.Fatal("retained commit record missing")
+	}
+}
+
+// TestOutcomeLogGCRetainsUnackedAbort: an abort whose rollback fan-out
+// was not fully acknowledged keeps its record as a breadcrumb.
+func TestOutcomeLogGCRetainsUnackedAbort(t *testing.T) {
+	log := NewMemLog()
+	m := NewManager("gc", log)
+	a := m.BeginTop()
+	_ = a.Enlist(&stubbornParticipant{fakeParticipant: fakeParticipant{name: "gone"}, failAbort: true})
+	if err := a.Abort(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if log.Lookup(a.ID()) != store.OutcomeAborted {
+		t.Fatal("abort record pruned while a participant never acked the rollback")
+	}
+}
+
+// failingLog refuses Record — the disk-full coordinator.
+type failingLog struct{ MemLog }
+
+func (l *failingLog) Record(string, store.Outcome) error {
+	return errors.New("log device full")
+}
+
+// TestCommitPointWriteFailureAborts: if the commit record cannot be made
+// durable there IS no commit — the action must abort and roll its
+// prepared participants back, reporting ErrOutcomeLog.
+func TestCommitPointWriteFailureAborts(t *testing.T) {
+	m := NewManager("sick", &failingLog{})
+	a := m.BeginTop()
+	p := &fakeParticipant{name: "p"}
+	_ = a.Enlist(p)
+	_, err := a.Commit(context.Background())
+	if !errors.Is(err, ErrOutcomeLog) {
+		t.Fatalf("err = %v, want ErrOutcomeLog", err)
+	}
+	if a.Status() != StatusAborted {
+		t.Fatalf("status = %v, want aborted", a.Status())
+	}
+	if _, cm, ab := counts(p); cm != 0 || ab != 1 {
+		t.Fatalf("participant commits/aborts = %d/%d, want 0/1 (rolled back)", cm, ab)
+	}
+}
+
+// TestBackendLogDurability: the default coordinator log runs over a
+// storage backend; with a disk backend commit records survive a close
+// and replay on reopen.
+func TestBackendLogDurability(t *testing.T) {
+	dir := t.TempDir()
+	b, err := storage.OpenDisk(dir, storage.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := NewBackendLog(b)
+	if err := log.Record("tx-1", store.OutcomeCommitted); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Record("tx-2", store.OutcomeAborted); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Forget("tx-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// While closed, the log answers "unavailable" — never "no record".
+	if got := log.Lookup("tx-1"); got != store.OutcomeUnavailable {
+		t.Fatalf("closed-backend lookup = %v, want unavailable", got)
+	}
+	b2, err := storage.OpenDisk(dir, storage.DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	log2 := NewBackendLog(b2)
+	if got := log2.Lookup("tx-1"); got != store.OutcomeCommitted {
+		t.Fatalf("replayed tx-1 = %v, want committed", got)
+	}
+	if got := log2.Lookup("tx-2"); got != store.OutcomeUnknown {
+		t.Fatalf("pruned tx-2 = %v, want unknown after replay", got)
+	}
+}
+
+// gatedParticipant blocks in Prepare until released, so a test can probe
+// coordinator state mid-phase-one.
+type gatedParticipant struct {
+	fakeParticipant
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (p *gatedParticipant) Prepare(ctx context.Context, tx string) (Vote, error) {
+	p.entered <- struct{}{}
+	<-p.release
+	return p.fakeParticipant.Prepare(ctx, tx)
+}
+
+// TestLookupDuringCommitIsUnavailable pins the decision-point guard: a
+// recovery lookup racing a LIVE commit — after a participant may hold a
+// prepared intention, before the record is written — must answer
+// "unavailable" (keep the intention pending), never "no record". Reading
+// the empty log as presumed abort in that window rolls back a commit
+// vote whose transaction then commits: the chain fork chaos seed 8
+// found.
+func TestLookupDuringCommitIsUnavailable(t *testing.T) {
+	m := NewManager("client", nil)
+	a := m.BeginTop()
+	p := &gatedParticipant{entered: make(chan struct{}), release: make(chan struct{})}
+	_ = a.Enlist(p)
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Commit(context.Background())
+		done <- err
+	}()
+	<-p.entered
+	if got := m.Lookup(a.ID()); got != store.OutcomeUnavailable {
+		t.Fatalf("mid-commit lookup = %v, want unavailable", got)
+	}
+	// The raw log still has no record — the guard lives in the manager.
+	if got := m.Log().Lookup(a.ID()); got != store.OutcomeUnknown {
+		t.Fatalf("raw log mid-commit = %v, want unknown", got)
+	}
+	close(p.release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Window closed: the (pruned, fully-acked) record answers unknown —
+	// presumed abort is safe again because the decision point has passed.
+	if got := m.Lookup(a.ID()); got == store.OutcomeUnavailable {
+		t.Fatal("lookup still unavailable after commit finished")
 	}
 }

@@ -23,8 +23,12 @@ type LookupReq struct{ Tx string }
 type LookupResp struct{ Outcome int }
 
 // RegisterLogService exposes log lookups over RPC so that recovering store
-// nodes can resolve their pending intentions (presumed abort).
-func RegisterLogService(srv *rpc.Server, log Log) {
+// nodes can resolve their pending intentions (presumed abort). Pass the
+// coordinator's *Manager (not its raw Log): the manager's Lookup answers
+// OutcomeUnavailable for transactions whose commit processing is still
+// in flight, so a restart racing a live commit cannot mistake the
+// not-yet-written record for an affirmative abort.
+func RegisterLogService(srv *rpc.Server, log store.OutcomeLog) {
 	srv.Handle(LogServiceName, LogMethodLookup, rpc.Method(func(ctx context.Context, from transport.Addr, req LookupReq) (LookupResp, error) {
 		return LookupResp{Outcome: int(log.Lookup(req.Tx))}, nil
 	}))

@@ -2,8 +2,10 @@ package chaos
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/object"
 	"repro/internal/replica"
+	"repro/internal/storage"
 	"repro/internal/store"
 	"repro/internal/transport"
 )
@@ -72,6 +75,16 @@ type Config struct {
 	// BiasInDoubt converts half the schedule into crash-during-commit
 	// injections — the dedicated in-doubt convergence configuration.
 	BiasInDoubt bool
+	// DataDir switches the run onto disk-backed stable storage rooted
+	// here (tests pass t.TempDir() to stay hermetic): crashes drop whole
+	// process images, recovery replays WAL+snapshot, and the schedule
+	// gains kill-at-byte injections plus seeded torn-tail corruption at
+	// restarts. Empty keeps the in-memory backend. Only DataDir's
+	// emptiness influences the schedule, never its value, so replays
+	// from fresh temp dirs reproduce the same fault plan.
+	DataDir string
+	// Disk tunes the disk engine when DataDir is set.
+	Disk storage.DiskOptions
 }
 
 func (c Config) withDefaults() Config {
@@ -146,6 +159,11 @@ type opRec struct {
 	// breadcrumb that pinpoints WHICH committed update went missing.
 	obj int
 	val int
+	// onePhase, prepared and excluded annotate a committed op's commit
+	// shape, so a forked chain's trace shows WHERE each branch lived.
+	onePhase bool
+	prepared []transport.Addr
+	excluded int
 }
 
 type objTally struct {
@@ -166,6 +184,12 @@ type runner struct {
 	ops         []opRec
 	partitions  map[[2]transport.Addr]bool
 	everCrashed map[transport.Addr]bool
+	// armed tracks disk backends carrying a live kill-at-byte injection,
+	// for disarming (or crash-confirming) at quiesce.
+	armed map[transport.Addr]*storage.Disk
+	// tornRng drives the seeded torn-tail corruption injected into
+	// crashed stores' WALs before they reopen.
+	tornRng *rand.Rand
 }
 
 // Run executes one seeded chaos schedule and returns its report. The
@@ -179,6 +203,8 @@ func Run(cfg Config) (*Report, error) {
 		Clients: cfg.Clients,
 		Objects: cfg.Objects,
 		Net:     transport.MemOptions{Jitter: cfg.Jitter, Seed: cfg.Seed},
+		DataDir: cfg.DataDir,
+		Disk:    cfg.Disk,
 	})
 	if err != nil {
 		return nil, err
@@ -196,6 +222,8 @@ func Run(cfg Config) (*Report, error) {
 		tallies:     make([]objTally, cfg.Objects),
 		partitions:  make(map[[2]transport.Addr]bool),
 		everCrashed: make(map[transport.Addr]bool),
+		armed:       make(map[transport.Addr]*storage.Disk),
+		tornRng:     rand.New(rand.NewSource(cfg.Seed ^ 0x70524e5441494c)),
 	}
 
 	events := GenerateSchedule(cfg.Seed, cfg)
@@ -292,7 +320,8 @@ func (r *runner) counterOp(b *core.Binder, client transport.Addr, rng *rand.Rand
 	class := classify(ctx, res)
 	val, _ := strconv.Atoi(string(res.Result))
 	r.mu.Lock()
-	r.ops = append(r.ops, opRec{tx: res.Tx, client: client, class: class, obj: obj, val: val})
+	r.ops = append(r.ops, opRec{tx: res.Tx, client: client, class: class, obj: obj, val: val,
+		onePhase: res.OnePhase, prepared: res.PreparedStores, excluded: res.ExcludedStores})
 	r.mu.Unlock()
 	r.recordTally(class, map[int]int{obj: 1})
 }
@@ -381,6 +410,29 @@ func (r *runner) apply(e Event) {
 			r.faults.DropRepliesP(1, 1, rule)
 		}
 		r.faults.OnReply(1, rule, func(transport.Request) { n.Crash() })
+	case KindKillAtByte:
+		// Only meaningful on a live disk-backed store: the WAL is armed
+		// to tear once it grows e.Bytes further, and the node dies at the
+		// torn write (FailAfter fires the callback asynchronously, as a
+		// real power cut would interleave with the writer).
+		r.markCrashed(e.Target)
+		n := r.w.Cluster.Node(e.Target)
+		if d, ok := n.Store().Backend().(*storage.Disk); ok {
+			// The kill callback runs async (FailAfter fires it in its own
+			// goroutine); guard it with the node's incarnation so a
+			// late-scheduled callback cannot crash the node AGAIN after
+			// quiesce has already restarted it — the kill belongs to this
+			// epoch only.
+			epoch := n.Epoch()
+			d.FailAfter(d.WALSize()+e.Bytes, func() {
+				if n.Epoch() == epoch {
+					n.Crash()
+				}
+			})
+			r.mu.Lock()
+			r.armed[e.Target] = d
+			r.mu.Unlock()
+		}
 	}
 }
 
@@ -394,6 +446,7 @@ func (r *runner) recoverNode(target transport.Addr) {
 	if n == nil || n.Up() {
 		return
 	}
+	r.maybeTearWAL(target)
 	r.countInDoubt(target)
 	n.Recover(nil)
 	ctx, cancel := context.WithTimeout(context.Background(), 2*r.cfg.ActionTimeout)
@@ -422,11 +475,51 @@ func (r *runner) countInDoubt(addr transport.Addr) {
 	if !r.isStore(addr) {
 		return
 	}
-	if pend := r.w.Cluster.Node(addr).Store().PendingTxs(); len(pend) > 0 {
+	n := r.w.Cluster.Node(addr)
+	// A crashed disk-backed node holds nothing in process memory; reload
+	// its durable state (without bringing it up) so the pending
+	// intentions it will resolve at restart are countable.
+	if !n.Up() {
+		if err := n.ReopenStable(); err != nil {
+			r.note("reopen %s for in-doubt accounting failed: %v", addr, err)
+			return
+		}
+	}
+	if pend := n.Store().PendingTxs(); len(pend) > 0 {
 		r.mu.Lock()
 		r.report.InDoubtResolved += len(pend)
 		r.mu.Unlock()
 	}
+}
+
+// maybeTearWAL injects a seeded torn write — a frame header promising
+// more bytes than follow — into a crashed disk-backed store's WAL before
+// it reopens. Recovery must truncate it and lose nothing acknowledged;
+// the invariant checks prove that.
+func (r *runner) maybeTearWAL(target transport.Addr) {
+	if r.cfg.DataDir == "" || !r.isStore(target) {
+		return
+	}
+	if n := r.w.Cluster.Node(target); n == nil || n.Up() {
+		return
+	}
+	r.mu.Lock()
+	tear := r.tornRng.Float64() < 0.5
+	junk := make([]byte, 5+r.tornRng.Intn(24))
+	binary.LittleEndian.PutUint32(junk, 64) // promises 64 payload bytes
+	for i := 4; i < len(junk); i++ {
+		junk[i] = byte(r.tornRng.Intn(256))
+	}
+	r.mu.Unlock()
+	if !tear {
+		return
+	}
+	dir := filepath.Join(r.cfg.DataDir, string(target))
+	if err := storage.CorruptWALTail(dir, junk); err != nil {
+		r.note("torn-tail injection at %s failed: %v", target, err)
+		return
+	}
+	r.note("torn WAL tail injected at %s (%d junk bytes)", target, len(junk))
 }
 
 // --- quiesce ---
@@ -442,11 +535,26 @@ func (r *runner) quiesce() {
 		return r.w.OutcomeLogFor(r.w.Cluster.Node(n))
 	}
 
+	// Settle kill-at-byte injections: a tripped one's node must be down
+	// (the async crash callback may still be in flight — force it); an
+	// untripped one is disarmed so recovery-time WAL writes cannot die.
+	r.mu.Lock()
+	armed := r.armed
+	r.armed = make(map[transport.Addr]*storage.Disk)
+	r.mu.Unlock()
+	for target, d := range armed {
+		d.ClearFail()
+		if d.Failed() {
+			r.w.Cluster.Node(target).Crash()
+		}
+	}
+
 	// Restart crashed stores; their pending intentions resolve against
 	// coordinator logs inside Recover.
 	for _, st := range r.w.Sts {
 		n := r.w.Cluster.Node(st)
 		if !n.Up() {
+			r.maybeTearWAL(st)
 			r.countInDoubt(st)
 			n.Recover(nil)
 		}

@@ -19,10 +19,22 @@ import (
 //	go test ./internal/chaos -run TestChaos -seed=N -v
 var seedFlag = flag.Int64("seed", 0, "run only this chaos seed (0 = the pinned seed sets)")
 
+// backendFlag forces every chaos run onto a stable-storage backend:
+//
+//	go test ./internal/chaos -run TestChaos -backend=disk
+//
+// "disk" gives each run a hermetic t.TempDir data directory; the
+// default keeps each test's own configuration (in-memory unless the
+// test pins DataDir itself).
+var backendFlag = flag.String("backend", "", `stable-storage backend for all runs ("disk" or "" = per-test default)`)
+
 // runSeed executes one schedule and fails the test with a full replay
 // recipe if any invariant broke.
 func runSeed(t *testing.T, cfg Config) *Report {
 	t.Helper()
+	if *backendFlag == "disk" && cfg.DataDir == "" {
+		cfg.DataDir = t.TempDir()
+	}
 	rep, err := Run(cfg)
 	if err != nil {
 		t.Fatalf("seed %d: harness: %v", cfg.Seed, err)
@@ -98,6 +110,41 @@ func TestChaosCrashDuringCommit(t *testing.T) {
 	}
 }
 
+// TestChaosDiskRecovery: pinned disk-backed seeds biased toward
+// crash-during-commit, so recovery repeatedly reloads committed versions
+// from WAL+snapshot, replays prepared intentions and resolves them
+// through the in-doubt protocol — with seeded torn-tail corruption and
+// kill-at-byte injections on top. Crashes here drop the whole process
+// image; only the per-node directories survive.
+func TestChaosDiskRecovery(t *testing.T) {
+	for _, seed := range seeds(301, 4) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep := runSeed(t, Config{Seed: seed, Workload: WorkloadCounter, BiasInDoubt: true, DataDir: t.TempDir()})
+			injected := 0
+			for _, e := range rep.Schedule {
+				if strings.Contains(e, "crash-during-commit") {
+					injected++
+				}
+			}
+			if injected == 0 {
+				t.Errorf("seed %d: biased disk schedule applied no crash-during-commit event:\n  %s",
+					seed, strings.Join(rep.Schedule, "\n  "))
+			}
+		})
+	}
+}
+
+// TestChaosDiskBank: exact conservation across real crash-restart
+// cycles — transfers stay failure-atomic when the participants' stable
+// state lives on disk.
+func TestChaosDiskBank(t *testing.T) {
+	for _, seed := range seeds(401, 3) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSeed(t, Config{Seed: seed, Workload: WorkloadBank, Scheme: core.SchemeStandard, DataDir: t.TempDir()})
+		})
+	}
+}
+
 // TestScheduleIsSeedDeterministic: the fault plan is a pure function of
 // the seed — the property every "reproduce with -seed=N" claim rests on.
 func TestScheduleIsSeedDeterministic(t *testing.T) {
@@ -151,7 +198,7 @@ func TestInDoubtParticipantConvergesDeterministic(t *testing.T) {
 			name = "abort-side"
 		}
 		t.Run(name, func(t *testing.T) {
-			w := newInDoubtWorld(t, abortSide)
+			w := newInDoubtWorld(t, abortSide, "")
 			st2 := w.Cluster.Node("st2")
 			if pend := st2.Store().PendingTxs(); len(pend) != 1 {
 				t.Fatalf("pending = %v, want exactly one in-doubt tx", pend)
@@ -185,11 +232,58 @@ func TestInDoubtParticipantConvergesDeterministic(t *testing.T) {
 	}
 }
 
+// TestInDoubtDiskParticipantConverges is the disk-backed twin of the
+// deterministic crash-during-commit shapes: st2's crash drops its whole
+// process image, so the prepared intention and the committed base state
+// must come back from the WAL before the in-doubt protocol can resolve
+// them against the coordinator's log.
+func TestInDoubtDiskParticipantConverges(t *testing.T) {
+	for _, abortSide := range []bool{false, true} {
+		name := "commit-side"
+		if abortSide {
+			name = "abort-side"
+		}
+		t.Run(name, func(t *testing.T) {
+			w := newInDoubtWorld(t, abortSide, t.TempDir())
+			st2 := w.Cluster.Node("st2")
+			// Crashed: no object or intention state in process memory.
+			if _, ok := st2.Store().SeqOf(w.Objects[0]); ok {
+				t.Fatal("crashed disk store still answers from process memory")
+			}
+			if pend := st2.Store().PendingTxs(); len(pend) != 0 {
+				t.Fatalf("crashed disk store still holds intentions in memory: %v", pend)
+			}
+			// The durable image holds exactly the in-doubt intention.
+			if err := st2.ReopenStable(); err != nil {
+				t.Fatal(err)
+			}
+			if pend := st2.Store().PendingTxs(); len(pend) != 1 {
+				t.Fatalf("replayed pending = %v, want exactly one in-doubt tx", pend)
+			}
+			st2.Recover(nil)
+			if pend := st2.Store().PendingTxs(); len(pend) != 0 {
+				t.Fatalf("in-doubt tx unresolved after disk restart: %v", pend)
+			}
+			v, err := st2.Store().Read(w.Objects[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if abortSide && (string(v.Data) != "0" || v.Seq != 1) {
+				t.Fatalf("abort-side: %q/%d, want rolled back 0/1", v.Data, v.Seq)
+			}
+			if !abortSide && (string(v.Data) != "1" || v.Seq != 2) {
+				t.Fatalf("commit-side: %q/%d, want applied 1/2", v.Data, v.Seq)
+			}
+		})
+	}
+}
+
 // newInDoubtWorld builds a 1-server/2-store world, injects the chosen
-// crash-during-commit variant at st2, and runs one increment.
-func newInDoubtWorld(t *testing.T, abortSide bool) *harness.World {
+// crash-during-commit variant at st2, and runs one increment. A
+// non-empty dataDir puts every node on disk-backed stable storage.
+func newInDoubtWorld(t *testing.T, abortSide bool, dataDir string) *harness.World {
 	t.Helper()
-	w, err := harness.New(harness.Options{Servers: 1, Stores: 2, Clients: 1})
+	w, err := harness.New(harness.Options{Servers: 1, Stores: 2, Clients: 1, DataDir: dataDir})
 	if err != nil {
 		t.Fatal(err)
 	}

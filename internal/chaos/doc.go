@@ -41,6 +41,22 @@
 // before it can learn the outcome; the abort-side variant additionally
 // loses the acknowledgement so the action aborts instead.
 //
+// # Disk-backed runs
+//
+// Setting Config.DataDir (tests pass t.TempDir()) moves every node's
+// stable storage onto the internal/storage WAL+snapshot engine. Crashes
+// then drop the target's entire process image — recovery must replay
+// committed versions and prepared intentions from its directory before
+// the in-doubt protocol can resolve anything — and two storage-level
+// injections join the schedule: kill-at-byte (the store's WAL tears
+// mid-frame once it grows a seeded number of bytes, and the node dies at
+// that torn write) and seeded torn-tail corruption (junk appended to a
+// crashed store's WAL before it reopens, which open-time truncation must
+// shave off without losing anything acknowledged). Only whether DataDir
+// is set influences the schedule, never its value, so -seed replays from
+// fresh temp directories reproduce the same fault plan. The -backend=disk
+// test flag forces every chaos test onto disk storage.
+//
 // # Invariants
 //
 // After the workload drains, the harness heals the network, restarts

@@ -11,6 +11,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/store"
 	"repro/internal/transport"
+	"repro/internal/uid"
 )
 
 // checkInvariants runs after quiesce and returns every breach found. The
@@ -81,12 +82,14 @@ func (r *runner) checkInvariants() []string {
 			if val < t.committed || val > t.committed+t.uncertain {
 				bad("obj%d: value %d outside [committed=%d, committed+uncertain=%d] — lost or phantom update",
 					i, val, t.committed, t.committed+t.uncertain)
-				// Breadcrumb for replay: the observed post-increment values
-				// of every committed action on this object. A duplicated
+				// Breadcrumbs for replay: the observed post-increment values
+				// of every committed action on this object (a duplicated
 				// value means two actions committed over the same base on
-				// different store chains (split brain); a value above the
-				// final one means a committed suffix was lost.
+				// different store chains — split brain; a value above the
+				// final one means a committed suffix was lost), plus each
+				// store's final state so the diverged chain is visible.
 				r.note("obj%d committed chain: %s", i, r.chainFor(i))
+				r.note("obj%d final St view %v; per-store states: %s", i, view, r.storeStates(id))
 			}
 		}
 	}
@@ -152,7 +155,23 @@ func (r *runner) lookupLog(client transport.Addr, tx string) store.Outcome {
 	if mgr == nil {
 		return store.OutcomeUnknown
 	}
-	return mgr.Log().Lookup(tx)
+	return mgr.Lookup(tx)
+}
+
+// storeStates renders every store node's committed (value, seq, tx) for
+// id — the per-replica view a diverged chain shows up in.
+func (r *runner) storeStates(id uid.UID) string {
+	var parts []string
+	for _, st := range r.w.Sts {
+		n := r.w.Cluster.Node(st)
+		v, err := n.Store().Read(id)
+		if err != nil {
+			parts = append(parts, fmt.Sprintf("%s=<%v>", st, err))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s@%d(%s)", st, v.Data, v.Seq, v.TxID))
+	}
+	return strings.Join(parts, " ")
 }
 
 // chainFor renders the committed (value, tx) pairs of one counter object
@@ -171,7 +190,11 @@ func (r *runner) chainFor(obj int) string {
 	sort.Slice(chain, func(i, j int) bool { return chain[i].val < chain[j].val })
 	parts := make([]string, len(chain))
 	for i, op := range chain {
-		parts[i] = fmt.Sprintf("%d=%s", op.val, op.tx)
+		shape := ""
+		if op.onePhase {
+			shape = " one-phase"
+		}
+		parts[i] = fmt.Sprintf("%d=%s%s prepared=%v excluded=%d", op.val, op.tx, shape, op.prepared, op.excluded)
 	}
 	return strings.Join(parts, "\n    ")
 }

@@ -563,6 +563,14 @@ func (bd *Binding) Commit(ctx context.Context, tx string) error {
 		return nil
 	}
 	err := bd.handle.Commit(ctx, tx)
+	if err != nil || len(bd.handle.FailedStores()) > 0 {
+		// Some store never acked this action's writes — whether its
+		// prepare reply was lost or its phase-two copy failed, it may
+		// hold a prepared intention it can only resolve by querying the
+		// coordinator's log at its own recovery. Keep the commit record
+		// past the outcome-log GC.
+		bd.act.Top().RetainOutcome()
+	}
 	if bd.dbState.tryEnd() {
 		if dbErr := bd.binder.DB.EndAction(ctx, tx, true); dbErr != nil {
 			bd.dbState.unclaim()
@@ -631,9 +639,30 @@ func (bd *Binding) BrokenServers() []transport.Addr { return bd.handle.Broken() 
 // written to every St node's object store, then the object is registered
 // in the group view database under a top-level action.
 func CreateObject(ctx context.Context, db Client, actions *action.Manager, id uid.UID, class string, initState []byte, svNodes, stNodes []transport.Addr) error {
-	for _, st := range stNodes {
+	// A store already holding a committed version of this UID is being
+	// re-registered — a deployment reopened over an existing data dir.
+	// The install must not regress any chain: the head becomes whatever
+	// the highest surviving version is (initState at seq 1 only when no
+	// store has anything), and every store below it is brought TO that
+	// head — installing initState beside a resumed chain would wedge the
+	// fresh store behind the version-chain check forever.
+	headData, headSeq := initState, uint64(1)
+	have := make([]uint64, len(stNodes)) // 0 = no committed state seen
+	for i, st := range stNodes {
 		remote := store.RemoteStore{Client: db.RPC, Node: st}
-		if err := remote.Put(ctx, id, initState, 1); err != nil {
+		if v, err := remote.Read(ctx, id); err == nil {
+			have[i] = v.Seq
+			if v.Seq >= headSeq {
+				headData, headSeq = v.Data, v.Seq
+			}
+		}
+	}
+	for i, st := range stNodes {
+		if have[i] >= headSeq {
+			continue
+		}
+		remote := store.RemoteStore{Client: db.RPC, Node: st}
+		if err := remote.Put(ctx, id, headData, headSeq); err != nil {
 			return fmt.Errorf("core: install state at %s: %w", st, err)
 		}
 	}

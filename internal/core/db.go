@@ -265,8 +265,14 @@ func (db *DB) persistLocked() {
 	if err != nil {
 		panic(fmt.Sprintf("core: encode db image: %v", err))
 	}
-	db.imageSeq++
-	db.node.Store().Put(db.imageUID, data, db.imageSeq)
+	// Every image is a complete snapshot, so a failed stable write (full
+	// disk, node mid-crash) is survivable by NOT advancing the sequence:
+	// the stable image just stays at the previous checkpoint until the
+	// next mutation persists the full current state again. Recovery then
+	// loads the last image that actually made it to stable storage.
+	if err := db.node.Store().Put(db.imageUID, data, db.imageSeq+1); err == nil {
+		db.imageSeq++
+	}
 }
 
 // --- lock and snapshot plumbing ---

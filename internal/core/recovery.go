@@ -107,7 +107,9 @@ func recoverOneState(ctx context.Context, cli Client, node *sim.Node, owner stri
 	switch {
 	case haveBest:
 		if !haveOwn || best.Seq > ownSeq {
-			node.Store().Put(id, best.Data, best.Seq)
+			if err := node.Store().Put(id, best.Data, best.Seq); err != nil {
+				return fmt.Errorf("core: recovery adopt %v at %s: %w", id, self, err)
+			}
 		}
 		// Else our copy is current or ahead (an in-doubt commit resolved at
 		// restart that the member has not processed yet) — keep it.

@@ -7,6 +7,7 @@ package harness
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"strconv"
 
 	"repro/internal/action"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/replica"
 	"repro/internal/sim"
+	"repro/internal/storage"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/uid"
@@ -64,6 +66,15 @@ type Options struct {
 	Network transport.Network
 	// Registry overrides the class registry (default: counter only).
 	Registry *object.Registry
+	// DataDir, when non-empty, switches every node's stable storage to
+	// the disk-backed WAL+snapshot engine rooted at DataDir/<node>:
+	// committed versions, prepared intentions and the clients' outcome
+	// logs all live on disk, a crash drops the node's whole process
+	// state, and recovery replays the directory.
+	DataDir string
+	// Disk tunes the disk engine (sync discipline, compaction
+	// threshold); only meaningful with DataDir set.
+	Disk storage.DiskOptions
 }
 
 // World is an assembled deployment.
@@ -104,6 +115,12 @@ func New(opts Options) (*World, error) {
 	// The world shares the cluster's registry, so RPC-layer call counts
 	// and latencies land next to whatever the harness records itself.
 	w.Metrics = w.Cluster.Metrics()
+	if opts.DataDir != "" {
+		dataDir, disk := opts.DataDir, opts.Disk
+		w.Cluster.SetStorage(func(name transport.Addr) storage.Factory {
+			return storage.DiskFactory(filepath.Join(dataDir, string(name)), disk)
+		})
+	}
 	w.DB = core.NewDB(w.Cluster.Add("db"))
 	for i := 0; i < opts.Servers; i++ {
 		name := transport.Addr("sv" + strconv.Itoa(i+1))
@@ -120,11 +137,18 @@ func New(opts Options) (*World, error) {
 	for i := 0; i < opts.Clients; i++ {
 		name := transport.Addr("c" + strconv.Itoa(i+1))
 		n := w.Cluster.Add(name)
-		w.Mgrs[name] = action.NewManager(string(name), nil)
+		// The coordinator's outcome log shares the client node's stable
+		// storage backend: with DataDir set, commit records are on disk in
+		// the client's own directory; otherwise they live in the node's
+		// in-memory backend exactly as before. Resolved per call so the
+		// log follows the backend across a crash/reopen cycle.
+		w.Mgrs[name] = action.NewManager(string(name), action.NewBackendLogFunc(n.Store().Backend))
 		// The client is the 2PC coordinator for its actions; its outcome
 		// log must answer recovery-time queries from restarting
-		// participants (presumed abort: no record means abort).
-		action.RegisterLogService(n.Server(), w.Mgrs[name].Log())
+		// participants (presumed abort: no record means abort — but an
+		// action still inside commit processing answers "unavailable",
+		// which is why the manager, not the raw log, serves lookups).
+		action.RegisterLogService(n.Server(), w.Mgrs[name])
 		w.Clients = append(w.Clients, name)
 	}
 	// Recovering nodes resolve in-doubt intentions by asking the
@@ -193,6 +217,13 @@ type ActionResult struct {
 	Probes int
 	// ExcludedStores counts St nodes excluded at commit.
 	ExcludedStores int
+	// OnePhase reports that the commit took the single-participant
+	// combined round (no outcome-log record).
+	OnePhase bool
+	// PreparedStores lists the St nodes that held the action's prepared
+	// (or one-phase committed) writes — the chaos harness's chain-fork
+	// breadcrumb.
+	PreparedStores []transport.Addr
 }
 
 // RunCounterAction executes one client action against object idx: bind,
@@ -215,15 +246,18 @@ func (w *World) RunCounterAction(ctx context.Context, b *core.Binder, idx int, d
 		return res
 	}
 	res.Result = out
-	if _, err := act.Commit(ctx); err != nil {
+	rep, err := act.Commit(ctx)
+	if err != nil {
 		res.Err = err
 		res.CommitFailed = true
 		res.Probes = len(bd.BrokenServers())
 		return res
 	}
 	res.Committed = true
+	res.OnePhase = rep.OnePhase
 	res.Probes = len(bd.BrokenServers())
 	res.ExcludedStores = len(bd.FailedStores())
+	res.PreparedStores = bd.PreparedStores()
 	return res
 }
 

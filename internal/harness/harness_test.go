@@ -276,3 +276,86 @@ func TestInDoubtIntentionSurvivesUnreachableCoordinator(t *testing.T) {
 		t.Fatalf("st2 = %q/%d (%v), want logged commit applied", v.Data, v.Seq, err)
 	}
 }
+
+// TestPartitionedRelayCommitsStoreDirectly pins the chaos-found chain
+// fork (counter seed 7): st2 acks its prepare, then a partition cuts the
+// server's path to it, so the phase-two relay through sv1 fails while
+// the client's own path to st2 is fine. The commit must reach st2
+// directly — leaving the acknowledged update only as a pending intention
+// invites a later action to find st2 busy, exclude the sole holder of
+// the latest state, and rebuild the same version on a stale base,
+// dropping this committed update.
+func TestPartitionedRelayCommitsStoreDirectly(t *testing.T) {
+	w, err := New(Options{Servers: 1, Stores: 2, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// The instant st2's prepare ack is on the wire, partition sv1<->st2:
+	// the vote stands, but the server can no longer relay the outcome.
+	w.Cluster.Faults().OnReply(1,
+		transport.ToMethod("st2", store.ServiceName, store.MethodPrepare),
+		func(transport.Request) { w.Cluster.Faults().Partition("sv1", "st2") })
+
+	b := w.Binder("c1", core.SchemeStandard, replica.SingleCopyPassive, 0)
+	res := w.RunCounterAction(ctx, b, 0, 1)
+	if !res.Committed {
+		t.Fatalf("action must commit: %v", res.Err)
+	}
+	st2 := w.Cluster.Node("st2")
+	if pend := st2.Store().PendingTxs(); len(pend) != 0 {
+		t.Fatalf("st2 left with pending intentions %v — the direct commit fallback did not run", pend)
+	}
+	v, err := st2.Store().Read(w.Objects[0])
+	if err != nil || string(v.Data) != "1" || v.Seq != 2 {
+		t.Fatalf("st2 = %q/%d (%v), want committed 1/2 via the client's direct path", v.Data, v.Seq, err)
+	}
+	if res.ExcludedStores != 0 {
+		t.Fatalf("st2 excluded (%d) despite the healed commit — it still holds the latest state", res.ExcludedStores)
+	}
+}
+
+// TestBusyPinResolvesToCommitInsteadOfExclusion pins the second
+// chaos-found chain-fork shape (counter seed 8): action X commits but
+// BOTH its phase-two commit relay and the client's direct retry to st1
+// are lost, leaving st1 pinned by X's prepared-but-committed intention.
+// The next action must not give up on st1 (excluding the holder of the
+// latest state and rebuilding X's version on a stale base): the
+// write-back's busy retry asks st1 to resolve affirmatively-decided
+// pins first, which applies X's commit and lets the new prepare extend
+// the healed chain.
+func TestBusyPinResolvesToCommitInsteadOfExclusion(t *testing.T) {
+	w, err := New(Options{Servers: 1, Stores: 2, Clients: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Eat st1's store-level commit twice: the server's relay and the
+	// client's direct fallback.
+	w.Cluster.Faults().DropRequests(2, transport.ToMethod("st1", store.ServiceName, store.MethodCommit))
+
+	b := w.Binder("c1", core.SchemeStandard, replica.SingleCopyPassive, 0)
+	resX := w.RunCounterAction(ctx, b, 0, 1)
+	if !resX.Committed {
+		t.Fatalf("action X must commit (st2 carries it): %v", resX.Err)
+	}
+	st1 := w.Cluster.Node("st1")
+	if pend := st1.Store().PendingTxs(); len(pend) != 1 {
+		t.Fatalf("st1 pending = %v, want X's stuck committed intention", pend)
+	}
+
+	resY := w.RunCounterAction(ctx, b, 0, 1)
+	if !resY.Committed {
+		t.Fatalf("action Y must commit: %v", resY.Err)
+	}
+	if resY.ExcludedStores != 0 {
+		t.Fatalf("Y excluded %d stores — the busy pin should have resolved to X's commit instead", resY.ExcludedStores)
+	}
+	if pend := st1.Store().PendingTxs(); len(pend) != 0 {
+		t.Fatalf("st1 still pinned after resolution: %v", pend)
+	}
+	v, err := st1.Store().Read(w.Objects[0])
+	if err != nil || string(v.Data) != "2" || v.Seq != 3 {
+		t.Fatalf("st1 = %q/%d (%v), want the healed chain at 2/3", v.Data, v.Seq, err)
+	}
+}

@@ -459,7 +459,22 @@ func (m *Manager) handlePrepare(ctx context.Context, from transport.Addr, req Pr
 	staleRefusals, reachable := 0, 0
 	copyErrs := conc.DoErr(len(req.StNodes), func(i int) error {
 		remote := store.RemoteStore{Client: m.node.Client(), Node: transport.Addr(req.StNodes[i])}
-		return remote.Prepare(ctx, req.Action, []store.Write{{UID: in.id, Data: state, Seq: newSeq}})
+		writes := []store.Write{{UID: in.id, Data: state, Seq: newSeq}}
+		err := remote.Prepare(ctx, req.Action, writes)
+		if rpc.CodeOf(err) == rpc.CodeConflict {
+			// The object is pinned by another transaction's prepared
+			// intention. That pin may be an ACKNOWLEDGED COMMIT whose
+			// phase-two message this store never received — giving up here
+			// would exclude the one store carrying the latest state and
+			// fork the version chain. Ask the store to resolve pins with
+			// affirmatively recorded outcomes (never presuming abort on a
+			// live, undecided transaction) and retry once: a resolved
+			// commit either unblocks us or correctly refuses us as stale.
+			if _, rerr := remote.ResolveDecided(ctx); rerr == nil {
+				err = remote.Prepare(ctx, req.Action, writes)
+			}
+		}
+		return err
 	})
 	for i, st := range req.StNodes {
 		if err := copyErrs[i]; err != nil {

@@ -608,11 +608,37 @@ func (h *Handle) Commit(ctx context.Context, tx string) error {
 		}
 		// FailedNodes may name store nodes (phase-two copy failures) or
 		// cohort servers (checkpoint failures); file each in its bucket.
+		// A failed STORE commit gets one direct retry from here first:
+		// the server's path to the store may be partitioned while the
+		// client's is fine, and a store left holding the acknowledged
+		// commit only as a pending intention is a chain fork waiting to
+		// happen — a later action can find the store busy, exclude it
+		// (the only holder of the latest state), and rebuild the same
+		// version on a stale base, silently dropping this committed
+		// update. Store Commit is idempotent, so retrying a relay whose
+		// reply (rather than request) was lost is safe.
 		for _, f := range results[i].resp.FailedNodes {
-			h.recordFailure(transport.Addr(f))
+			addr := transport.Addr(f)
+			if h.isStore(addr) {
+				direct := store.RemoteStore{Client: h.cfg.Client, Node: addr}
+				if direct.Commit(ctx, tx) == nil {
+					continue
+				}
+			}
+			h.recordFailure(addr)
 		}
 	}
 	return firstErr
+}
+
+// isStore reports whether addr is one of the handle's St nodes.
+func (h *Handle) isStore(addr transport.Addr) bool {
+	for _, st := range h.cfg.StNodes {
+		if st == addr {
+			return true
+		}
+	}
+	return false
 }
 
 // commitStoresDirect commits tx's prepared intentions at every St node,

@@ -4,10 +4,14 @@
 //
 // A Node either works as specified or stops (Crash). Crashing wipes the
 // node's volatile storage and disconnects it from the network; its stable
-// store survives. Recover reconnects the node with a new incarnation
-// number, re-runs stable-store recovery against an outcome log, and then
-// invokes any recovery protocols services have registered (e.g. the §4.1.2
-// server re-Insert, or the §4.2 store catch-up and Include).
+// store survives — by default because the in-memory backend value is
+// kept, or, when the cluster's StorageProvider gave the node a disk
+// backend, because the state genuinely lives on disk and every in-process
+// byte of it is dropped at the crash. Recover reconnects the node with a
+// new incarnation number, reloads persistent stable storage, re-runs
+// stable-store recovery against an outcome log, and then invokes any
+// recovery protocols services have registered (e.g. the §4.1.2 server
+// re-Insert, or the §4.2 store catch-up and Include).
 package sim
 
 import (
@@ -18,6 +22,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/rpc"
+	"repro/internal/storage"
 	"repro/internal/store"
 	"repro/internal/transport"
 )
@@ -43,6 +48,11 @@ type Node struct {
 	// storage and therefore survives crashes.
 	srv    *rpc.Server
 	stable *store.Store
+	// persistent marks a node whose stable storage lives outside process
+	// memory (a cluster storage provider supplied its backend factory):
+	// Crash drops every byte of the store's in-process state, Recover
+	// reloads it from the backend.
+	persistent bool
 
 	mu        sync.Mutex
 	up        bool
@@ -113,7 +123,11 @@ func (n *Node) OnRecover(f func(*Node)) {
 }
 
 // Crash fail-silently stops the node: it disappears from the network and
-// its volatile storage is lost. Crashing a crashed node is a no-op.
+// its volatile storage is lost. On a node with persistent (disk-backed)
+// stable storage the whole process state goes too — the store's maps are
+// dropped and its files closed; only the backend's directory survives,
+// exactly like a real machine losing power. Crashing a crashed node is a
+// no-op.
 func (n *Node) Crash() {
 	n.mu.Lock()
 	if !n.up {
@@ -123,7 +137,22 @@ func (n *Node) Crash() {
 	n.up = false
 	n.volatile = make(map[string]any)
 	n.mu.Unlock()
+	if n.persistent {
+		_ = n.stable.Shutdown()
+	}
 	n.cluster.net.Unregister(n.name)
+}
+
+// ReopenStable reloads a persistent node's stable store from its backend
+// without bringing the node up — the inspection hook recovery tooling
+// (and the chaos harness's in-doubt accounting) uses to see a crashed
+// node's durable state. It is a no-op for in-memory nodes and for stores
+// already open; Recover calls it implicitly.
+func (n *Node) ReopenStable() error {
+	if !n.persistent {
+		return nil
+	}
+	return n.stable.Reopen()
 }
 
 // Recover restarts a crashed node: new incarnation, stable-store recovery
@@ -146,6 +175,14 @@ func (n *Node) Recover(log store.OutcomeLog) {
 	copy(hooks, n.onRecover)
 	n.mu.Unlock()
 
+	// A persistent node's process state was dropped at crash time;
+	// reload it from the backend before anything consults the store. A
+	// reopen failure is unrecoverable setup-level breakage (the
+	// simulation owns the directories), so it panics rather than leaving
+	// a half-recovered node.
+	if err := n.ReopenStable(); err != nil {
+		panic(fmt.Sprintf("sim: recover %s: %v", n.name, err))
+	}
 	if log == nil {
 		log = n.cluster.outcomeLog(n)
 	}
@@ -169,7 +206,14 @@ type Cluster struct {
 	mu       sync.Mutex
 	nodes    map[transport.Addr]*Node
 	resolver func(*Node) store.OutcomeLog
+	storage  StorageProvider
 }
+
+// StorageProvider supplies the stable-storage backend factory for a node
+// about to be added; returning nil keeps the default in-process memory
+// backend. A non-nil factory marks the node persistent: Crash drops all
+// process state and Recover reloads from the backend (see Node.Crash).
+type StorageProvider func(name transport.Addr) storage.Factory
 
 // NewCluster returns an empty cluster over a fresh in-memory network.
 func NewCluster(opts transport.MemOptions) *Cluster {
@@ -218,6 +262,15 @@ func (c *Cluster) outcomeLog(n *Node) store.OutcomeLog {
 	return r(n)
 }
 
+// SetStorage installs the cluster's stable-storage provider. It must be
+// called before nodes are added; nodes already created keep their
+// in-memory backends.
+func (c *Cluster) SetStorage(p StorageProvider) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.storage = p
+}
+
 // Faults returns the network's fault plan, or nil when the underlying
 // network is not the in-memory simulator (faults cannot be injected into
 // a real transport).
@@ -237,18 +290,39 @@ func (c *Cluster) Add(name transport.Addr) *Node {
 	if _, ok := c.nodes[name]; ok {
 		panic(fmt.Sprintf("sim: duplicate node %q", name))
 	}
+	factory, persistent := storage.MemFactory(), false
+	if c.storage != nil {
+		if f := c.storage(name); f != nil {
+			factory, persistent = f, true
+		}
+	}
+	stable, err := store.OpenWith(string(name), factory)
+	if err != nil {
+		// Cluster composition is test/experiment setup code; an unopenable
+		// stable store there is always a configuration bug.
+		panic(fmt.Sprintf("sim: open stable store %q: %v", name, err))
+	}
 	n := &Node{
-		name:     name,
-		cluster:  c,
-		srv:      rpc.NewServer(),
-		stable:   store.New(string(name)),
-		up:       true,
-		epoch:    1,
-		volatile: make(map[string]any),
+		name:       name,
+		cluster:    c,
+		srv:        rpc.NewServer(),
+		stable:     stable,
+		persistent: persistent,
+		up:         true,
+		epoch:      1,
+		volatile:   make(map[string]any),
 	}
 	// Every node exports its stable object store over RPC — the Object
 	// Storage service of §2.2.
 	store.RegisterService(n.srv, n.stable)
+	// Plus the live in-doubt sweep: resolve pending intentions whose
+	// outcomes are affirmatively recorded, routed through the cluster's
+	// outcome resolver. Registered here (not in store.RegisterService)
+	// because only the simulation layer knows the coordinator routing.
+	n.srv.Handle(store.ServiceName, store.MethodResolveDecided, rpc.Method(func(ctx context.Context, from transport.Addr, req store.ResolveReq) (store.ResolveResp, error) {
+		applied, aborted := n.stable.ResolveDecided(c.outcomeLog(n))
+		return store.ResolveResp{Applied: applied, Aborted: aborted}, nil
+	}))
 	// And a liveness probe, used by failure-detection/cleanup protocols
 	// (the paper mentions the Object Server database "could periodically
 	// check if its clients are functioning", §4.1.3).

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"testing"
 
+	"path/filepath"
+
 	"repro/internal/action"
 	"repro/internal/rpc"
+	"repro/internal/storage"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/uid"
@@ -201,5 +204,90 @@ func TestOutcomeResolverConsultedOnNilLogRecovery(t *testing.T) {
 	}
 	if v, _ := n.Store().Read(id); string(v.Data) != "v1" {
 		t.Fatal("explicit empty log should abort the pending intention")
+	}
+}
+
+// diskCluster builds a cluster whose every node gets a disk backend
+// under dir.
+func diskCluster(t *testing.T, dir string) *Cluster {
+	t.Helper()
+	c := NewCluster(transport.MemOptions{})
+	c.SetStorage(func(name transport.Addr) storage.Factory {
+		return storage.DiskFactory(filepath.Join(dir, string(name)), storage.DiskOptions{})
+	})
+	return c
+}
+
+// TestDiskNodeCrashDropsAllProcessState is the acceptance criterion of
+// the stable-storage refactor: crashing a disk-backed node leaves NO
+// object or intention state in process memory — the store answers
+// nothing while down — and recovery reloads everything from the
+// directory.
+func TestDiskNodeCrashDropsAllProcessState(t *testing.T) {
+	c := diskCluster(t, t.TempDir())
+	n := c.Add("alpha")
+	id := uid.NewGenerator("t", 1).New()
+	if err := n.Store().Put(id, []byte("durable"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Store().Prepare("tx-1", []store.Write{{UID: id, Data: []byte("d2"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+
+	n.Crash()
+	// The crashed process holds nothing: maps dropped, backend closed.
+	if _, ok := n.Store().SeqOf(id); ok {
+		t.Fatal("committed state still visible in process memory after crash")
+	}
+	if pend := n.Store().PendingTxs(); len(pend) != 0 {
+		t.Fatalf("prepared intentions still in process memory: %v", pend)
+	}
+	if _, err := n.Store().Read(id); !errors.Is(err, store.ErrClosed) {
+		t.Fatalf("read on crashed disk node = %v, want store.ErrClosed", err)
+	}
+
+	// ReopenStable makes the durable state inspectable without bringing
+	// the node up (the chaos harness's in-doubt accounting).
+	if err := n.ReopenStable(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Up() {
+		t.Fatal("ReopenStable must not bring the node up")
+	}
+	if pend := n.Store().PendingTxs(); len(pend) != 1 || pend[0] != "tx-1" {
+		t.Fatalf("reloaded pending = %v, want [tx-1]", pend)
+	}
+
+	// Recovery with a committed outcome applies the replayed intention.
+	log := action.NewMemLog()
+	log.Record("tx-1", store.OutcomeCommitted)
+	n.Recover(log)
+	v, err := n.Store().Read(id)
+	if err != nil || string(v.Data) != "d2" || v.Seq != 2 {
+		t.Fatalf("after recovery: %q/%d (%v), want d2/2", v.Data, v.Seq, err)
+	}
+	if n.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", n.Epoch())
+	}
+}
+
+// TestDiskNodeStateSurvivesBeyondTheNode: a second cluster over the same
+// directory — the real restart, new process image — sees the first one's
+// committed state.
+func TestDiskNodeStateSurvivesBeyondTheNode(t *testing.T) {
+	dir := t.TempDir()
+	id := uid.NewGenerator("t", 1).New()
+	c1 := diskCluster(t, dir)
+	n1 := c1.Add("alpha")
+	if err := n1.Store().Put(id, []byte("gen-1"), 7); err != nil {
+		t.Fatal(err)
+	}
+	n1.Crash() // closes the files so a new open sees a clean directory
+
+	c2 := diskCluster(t, dir)
+	n2 := c2.Add("alpha")
+	v, err := n2.Store().Read(id)
+	if err != nil || string(v.Data) != "gen-1" || v.Seq != 7 {
+		t.Fatalf("state did not survive process replacement: %+v (%v)", v, err)
 	}
 }

@@ -1,0 +1,78 @@
+// Package storage is the stable-storage engine under the reproduction's
+// "stable" state: committed object versions, prepared (undecided) 2PC
+// intentions, and coordinator outcome records. Everything above it —
+// store.Store, the action outcome log, sim node recovery — holds its
+// working state in ordinary Go maps and mirrors every mutation through a
+// Backend, so that what survives a crash is exactly what the backend made
+// durable.
+//
+// # The Backend contract
+//
+// A Backend persists three record kinds keyed by strings (object UIDs and
+// transaction IDs in their canonical string forms):
+//
+//   - committed versions       (object -> data, seq, committing tx)
+//   - prepared intentions      (tx -> object -> data, seq)
+//   - transaction outcomes     (tx -> outcome code)
+//
+// Mutations are appended in call order; Sync makes every preceding
+// mutation durable and is the caller's commit point (a store must Sync a
+// prepared intention before voting commit, and a coordinator must Sync
+// the commit record before phase two). Load returns a copy of the current
+// contents; the caller may mutate the returned maps freely.
+//
+// Two implementations exist:
+//
+//   - Mem: maps guarded by a mutex. Nothing touches the filesystem; Sync
+//     and Close are no-ops and the data survives Close, which models the
+//     paper's simulation default where "stable" means "kept across the
+//     simulated crash". Zero-dependency tests run on it unchanged.
+//   - Disk: a real per-directory engine — append-only WAL plus periodic
+//     snapshot — whose contents survive actual process death.
+//
+// # WAL record format
+//
+// The WAL and the snapshot share one framing:
+//
+//	u32le payload length | payload | u32le CRC-32 (IEEE) of the payload
+//
+// and one payload layout:
+//
+//	tag byte
+//	uvarint len | tx bytes
+//	uvarint len | id bytes
+//	uvarint seq            (the outcome code for outcome records)
+//	uvarint len | data bytes
+//
+// Unused fields are empty. Tags: version, delete-version, intention,
+// commit-tx, abort-tx, outcome, delete-outcome. A commit-tx record folds
+// the transaction's accumulated intention records into committed
+// versions at replay, exactly as Store.Commit does in memory; an
+// abort-tx record drops them.
+//
+// # Crash safety
+//
+// Opening a Disk backend replays snapshot + WAL. The WAL tail is
+// untrusted: replay stops at the first record whose frame is incomplete
+// or whose CRC fails, and truncates the file there (a torn write from a
+// crash mid-append loses only mutations that were never Synced — nothing
+// the protocol acknowledged). The snapshot is written to a temporary
+// file, fsynced and atomically renamed, so it is either absent or whole;
+// WAL truncation happens after the rename. A crash between the two
+// leaves pre-snapshot records in the WAL, which is harmless: every
+// record's effect is deterministic and last-writer-wins per key, so
+// replaying a WAL prefix that the snapshot already includes converges to
+// the same state.
+//
+// # Group commit
+//
+// With DiskOptions.Sync == SyncGroup (the default), concurrent Sync
+// callers coalesce: one caller runs the fsync while the others wait, and
+// a single fsync acknowledges every mutation appended before it started.
+// Under concurrent commit traffic this collapses N fsyncs into a few
+// without weakening durability — a Sync never returns before the bytes
+// it covers are on disk. SyncEach runs one fsync per Sync call (the
+// naive baseline BenchmarkCommitDurability compares against) and
+// SyncNone trusts the OS page cache (tests that only need the replay
+// path).
+package storage

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package storage
+
+import "os"
+
+// lockDir on platforms without flock only creates the lock file; the
+// dual-open protection is advisory there.
+func lockDir(dir string) (*os.File, error) {
+	return os.OpenFile(LockPath(dir), os.O_RDWR|os.O_CREATE, 0o644)
+}

@@ -1,0 +1,25 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes an exclusive, non-blocking flock on dir's lock file and
+// returns the held file. The kernel releases the lock when the process
+// dies, so a crash never leaves a stale lock — exactly the lifetime a
+// stable-storage directory lease needs.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(LockPath(dir), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w (held by another live backend?): %v", ErrLocked, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,202 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Record tags. The tag travels as the first payload byte; replay applies
+// records in file order.
+const (
+	recVersion byte = iota + 1
+	recDeleteVersion
+	recIntention
+	recCommitTx
+	recAbortTx
+	recOutcome
+	recDeleteOutcome
+	recMaxTag = recDeleteOutcome
+)
+
+// maxPayload bounds a single record so a corrupt length prefix cannot
+// demand gigabytes; object states in this system are small.
+const maxPayload = 1 << 26
+
+// errCorrupt reports an undecodable record payload; the scanner treats
+// it like a torn tail and truncates.
+var errCorrupt = errors.New("storage: corrupt record")
+
+// record is the WAL/snapshot unit. Fields are used per tag; unused ones
+// stay empty.
+type record struct {
+	tag  byte
+	tx   string
+	id   string
+	seq  uint64 // version/intention seq, or the outcome code
+	data []byte
+}
+
+// appendRecord appends r's frame (length, payload, CRC) to dst.
+func appendRecord(dst []byte, r record) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length, patched below
+	payloadStart := len(dst)
+	dst = append(dst, r.tag)
+	dst = binary.AppendUvarint(dst, uint64(len(r.tx)))
+	dst = append(dst, r.tx...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.id)))
+	dst = append(dst, r.id...)
+	dst = binary.AppendUvarint(dst, r.seq)
+	dst = binary.AppendUvarint(dst, uint64(len(r.data)))
+	dst = append(dst, r.data...)
+	payload := dst[payloadStart:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(payload)))
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// decodePayload decodes one record payload (the bytes between the length
+// prefix and the CRC). It is strict: unknown tags, short fields and
+// trailing bytes are all errCorrupt.
+func decodePayload(p []byte) (record, error) {
+	if len(p) == 0 {
+		return record{}, fmt.Errorf("%w: empty payload", errCorrupt)
+	}
+	r := record{tag: p[0]}
+	if r.tag == 0 || r.tag > recMaxTag {
+		return record{}, fmt.Errorf("%w: unknown tag %d", errCorrupt, r.tag)
+	}
+	p = p[1:]
+	takeBytes := func() ([]byte, bool) {
+		n, used := binary.Uvarint(p)
+		if used <= 0 || n > uint64(len(p)-used) {
+			return nil, false
+		}
+		b := p[used : used+int(n)]
+		p = p[used+int(n):]
+		return b, true
+	}
+	tx, ok := takeBytes()
+	if !ok {
+		return record{}, fmt.Errorf("%w: truncated tx field", errCorrupt)
+	}
+	id, ok := takeBytes()
+	if !ok {
+		return record{}, fmt.Errorf("%w: truncated id field", errCorrupt)
+	}
+	seq, used := binary.Uvarint(p)
+	if used <= 0 {
+		return record{}, fmt.Errorf("%w: truncated seq field", errCorrupt)
+	}
+	p = p[used:]
+	data, ok := takeBytes()
+	if !ok {
+		return record{}, fmt.Errorf("%w: truncated data field", errCorrupt)
+	}
+	if len(p) != 0 {
+		return record{}, fmt.Errorf("%w: %d trailing payload bytes", errCorrupt, len(p))
+	}
+	r.tx, r.id, r.seq = string(tx), string(id), seq
+	if len(data) > 0 {
+		r.data = data
+	}
+	return r, nil
+}
+
+// scanRecords applies every decodable record in buf, in order, and
+// returns the byte length of the clean prefix. It stops — without error —
+// at the first incomplete frame, CRC mismatch or undecodable payload:
+// that is the torn tail a crash mid-append leaves, and the caller
+// truncates the file there. strict mode instead reports such a tail as
+// an error (snapshots are written atomically, so any damage is real
+// corruption, not a torn write).
+func scanRecords(buf []byte, strict bool, apply func(record)) (int64, error) {
+	off := 0
+	for {
+		rest := buf[off:]
+		if len(rest) < 4 {
+			break
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		if n == 0 || n > maxPayload || uint64(len(rest)-4) < uint64(n)+4 {
+			break
+		}
+		payload := rest[4 : 4+n]
+		crc := binary.LittleEndian.Uint32(rest[4+n:])
+		if crc32.ChecksumIEEE(payload) != crc {
+			break
+		}
+		r, err := decodePayload(payload)
+		if err != nil {
+			break
+		}
+		apply(r)
+		off += 4 + int(n) + 4
+	}
+	if strict && off != len(buf) {
+		return int64(off), fmt.Errorf("%w: undecodable record at byte %d of %d", errCorrupt, off, len(buf))
+	}
+	return int64(off), nil
+}
+
+// applyRecord folds one record into st — the single replay semantics the
+// WAL, the snapshot and the live Disk state all share.
+func applyRecord(st *State, r record) {
+	switch r.tag {
+	case recVersion:
+		st.Versions[r.id] = Version{Data: r.data, Seq: r.seq, Tx: r.tx}
+	case recDeleteVersion:
+		delete(st.Versions, r.id)
+	case recIntention:
+		in := st.Intentions[r.tx]
+		if in == nil {
+			in = make(map[string]Write)
+			st.Intentions[r.tx] = in
+		}
+		in[r.id] = Write{Data: r.data, Seq: r.seq}
+	case recCommitTx:
+		for id, w := range st.Intentions[r.tx] {
+			st.Versions[id] = Version{Data: w.Data, Seq: w.Seq, Tx: r.tx}
+		}
+		delete(st.Intentions, r.tx)
+	case recAbortTx:
+		delete(st.Intentions, r.tx)
+	case recOutcome:
+		st.Outcomes[r.tx] = uint8(r.seq)
+	case recDeleteOutcome:
+		delete(st.Outcomes, r.tx)
+	}
+}
+
+// encodeState renders st as a record stream (the snapshot body), in a
+// deterministic order: versions, intentions, outcomes, each sorted by
+// key.
+func encodeState(st *State) []byte {
+	var buf []byte
+	for _, id := range sortedKeys(st.Versions) {
+		v := st.Versions[id]
+		buf = appendRecord(buf, record{tag: recVersion, id: id, tx: v.Tx, seq: v.Seq, data: v.Data})
+	}
+	for _, tx := range sortedKeys(st.Intentions) {
+		in := st.Intentions[tx]
+		for _, id := range sortedKeys(in) {
+			w := in[id]
+			buf = appendRecord(buf, record{tag: recIntention, tx: tx, id: id, seq: w.Seq, data: w.Data})
+		}
+	}
+	for _, tx := range sortedKeys(st.Outcomes) {
+		buf = appendRecord(buf, record{tag: recOutcome, tx: tx, seq: uint64(st.Outcomes[tx])})
+	}
+	return buf
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

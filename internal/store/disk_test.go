@@ -1,0 +1,203 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/uid"
+)
+
+// stubLog answers every lookup with a fixed outcome.
+type stubLog Outcome
+
+func (l stubLog) Lookup(string) Outcome { return Outcome(l) }
+
+func diskStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := OpenWith("st-disk", storage.DiskFactory(dir, storage.DiskOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestDiskStoreShutdownDropsProcessState: after Shutdown nothing of the
+// store's contents is reachable in process memory — reads fail closed —
+// and Reopen replays everything from the directory.
+func TestDiskStoreShutdownDropsProcessState(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	id := uid.UID{Origin: "obj", Epoch: 1, Seq: 1}
+	if err := s.Put(id, []byte("v1"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prepare("tx-1", []Write{{UID: id, Data: []byte("v2"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(id); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read on shut-down store = %v, want ErrClosed", err)
+	}
+	if _, ok := s.SeqOf(id); ok {
+		t.Fatal("SeqOf found state on a shut-down store")
+	}
+	if pend := s.PendingTxs(); len(pend) != 0 {
+		t.Fatalf("pending intentions visible after shutdown: %v", pend)
+	}
+	if err := s.Prepare("tx-2", []Write{{UID: id, Data: []byte("x"), Seq: 2}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("prepare on shut-down store = %v, want ErrClosed", err)
+	}
+
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read(id)
+	if err != nil || string(v.Data) != "v1" || v.Seq != 1 {
+		t.Fatalf("reloaded = %q/%d (%v), want v1/1", v.Data, v.Seq, err)
+	}
+	if pend := s.PendingTxs(); len(pend) != 1 || pend[0] != "tx-1" {
+		t.Fatalf("reloaded pending = %v, want [tx-1]", pend)
+	}
+	// The reloaded intention still pins its object against other txs.
+	if err := s.Prepare("tx-2", []Write{{UID: id, Data: []byte("x"), Seq: 2}}); !errors.Is(err, ErrBusy) {
+		t.Fatalf("conflicting prepare after reload = %v, want ErrBusy", err)
+	}
+}
+
+// TestDiskIntentionSurvivesUnavailableThenResolves: the in-doubt
+// protocol over a real restart — a replayed prepared intention stays
+// pending while the coordinator is unreachable (OutcomeUnavailable) and
+// resolves once an affirmative answer arrives.
+func TestDiskIntentionSurvivesUnavailableThenResolves(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	id := uid.UID{Origin: "obj", Epoch: 1, Seq: 1}
+	if err := s.Put(id, []byte("0"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prepare("tx-doubt", []Write{{UID: id, Data: []byte("1"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Coordinator unreachable: the intention must survive the sweep.
+	applied, aborted := s.Recover(stubLog(OutcomeUnavailable))
+	if len(applied)+len(aborted) != 0 {
+		t.Fatalf("unavailable coordinator resolved applied=%v aborted=%v", applied, aborted)
+	}
+	if pend := s.PendingTxs(); len(pend) != 1 {
+		t.Fatalf("in-doubt intention gone: %v", pend)
+	}
+
+	// Another restart in between: still pending, still durable.
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if pend := s.PendingTxs(); len(pend) != 1 {
+		t.Fatalf("in-doubt intention lost across second restart: %v", pend)
+	}
+
+	// The coordinator finally answers: committed — the replayed intention
+	// applies and the result is durable.
+	applied, _ = s.Recover(stubLog(OutcomeCommitted))
+	if len(applied) != 1 || applied[0] != "tx-doubt" {
+		t.Fatalf("applied = %v, want [tx-doubt]", applied)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read(id)
+	if err != nil || string(v.Data) != "1" || v.Seq != 2 || v.TxID != "tx-doubt" {
+		t.Fatalf("final state = %+v (%v), want committed 1/2 by tx-doubt", v, err)
+	}
+	if pend := s.PendingTxs(); len(pend) != 0 {
+		t.Fatalf("resolved intention still pending: %v", pend)
+	}
+}
+
+// TestDiskReopenAfterTornTail: a torn write (junk after the last synced
+// record) loses nothing that was acknowledged.
+func TestDiskReopenAfterTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	id := uid.UID{Origin: "obj", Epoch: 1, Seq: 1}
+	if err := s.Put(id, []byte("acked"), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Prepare("tx-p", []Write{{UID: id, Data: []byte("next"), Seq: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append: a frame header promising bytes that never made
+	// it to the platter.
+	if err := storage.CorruptWALTail(dir, []byte{0x40, 0, 0, 0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read(id)
+	if err != nil || string(v.Data) != "acked" || v.Seq != 1 {
+		t.Fatalf("state after torn tail = %q/%d (%v), want acked/1", v.Data, v.Seq, err)
+	}
+	if pend := s.PendingTxs(); len(pend) != 1 || pend[0] != "tx-p" {
+		t.Fatalf("acked intention lost to torn tail: %v", pend)
+	}
+	// The store keeps working: resolve and extend the chain.
+	if err := s.Commit("tx-p"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Read(id); string(v.Data) != "next" || v.Seq != 2 {
+		t.Fatalf("post-recovery commit = %q/%d, want next/2", v.Data, v.Seq)
+	}
+}
+
+// TestDiskStoreCompacts: a long commit history stays bounded on disk and
+// replays correctly through the snapshot.
+func TestDiskStoreCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWith("st-disk", storage.DiskFactory(dir, storage.DiskOptions{Sync: storage.SyncNone, CompactAt: 1024}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := uid.UID{Origin: "obj", Epoch: 1, Seq: 1}
+	if err := s.Put(id, []byte("0"), 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		tx := uid.UID{Origin: "c1", Epoch: 1, Seq: uint64(i + 1)}.String()
+		data := []byte{byte('a' + i%26)}
+		if err := s.Prepare(tx, []Write{{UID: id, Data: data, Seq: uint64(i + 2)}}); err != nil {
+			t.Fatalf("prepare %d: %v", i, err)
+		}
+		if err := s.Commit(tx); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	if err := s.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read(id)
+	if err != nil || v.Seq != 301 {
+		t.Fatalf("after 300 commits: %+v (%v), want seq 301", v, err)
+	}
+}

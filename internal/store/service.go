@@ -25,6 +25,11 @@ const (
 	// MethodCommitOnePhase validates and applies a transaction's writes in
 	// one round — the single-participant 2PC fast path.
 	MethodCommitOnePhase = "CommitOnePhase"
+	// MethodResolveDecided asks the store to resolve pending intentions
+	// with affirmatively recorded outcomes against its node's outcome
+	// resolver. The handler is registered by the simulation layer (it
+	// needs the node's coordinator routing); see sim.Cluster.Add.
+	MethodResolveDecided = "ResolveDecided"
 )
 
 // CodeStaleVersion is the RPC error code carrying ErrStaleVersion across
@@ -75,6 +80,15 @@ type WriteRec struct {
 // TxReq names a transaction for Commit/Abort.
 type TxReq struct{ Tx string }
 
+// ResolveReq asks for a ResolveDecided pass.
+type ResolveReq struct{}
+
+// ResolveResp reports what a ResolveDecided pass settled.
+type ResolveResp struct {
+	Applied []string
+	Aborted []string
+}
+
 // Ack is an empty successful response.
 type Ack struct{}
 
@@ -99,8 +113,7 @@ func RegisterService(srv *rpc.Server, s *Store) {
 		if err != nil {
 			return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
 		}
-		s.Put(id, req.Data, req.Seq)
-		return Ack{}, nil
+		return Ack{}, s.Put(id, req.Data, req.Seq)
 	}))
 	srv.Handle(ServiceName, MethodSeqOf, rpc.Method(func(ctx context.Context, from transport.Addr, req SeqOfReq) (SeqOfResp, error) {
 		id, err := uid.Parse(req.UID)
@@ -217,6 +230,12 @@ func (r RemoteStore) CommitOnePhase(ctx context.Context, tx string, writes []Wri
 		return fmt.Errorf("%v: %w", err, ErrStaleVersion)
 	}
 	return err
+}
+
+// ResolveDecided asks the remote store to settle pending intentions
+// whose outcomes are affirmatively recorded at their coordinators.
+func (r RemoteStore) ResolveDecided(ctx context.Context) (ResolveResp, error) {
+	return rpc.Invoke[ResolveReq, ResolveResp](ctx, r.Client, r.Node, ServiceName, MethodResolveDecided, ResolveReq{})
 }
 
 // Commit applies tx at the remote store.

@@ -4,9 +4,13 @@
 //
 // A Store models one node's stable object store. Data written through the
 // two-phase interface (Prepare/Commit/Abort) or directly (Put) survives
-// node crashes — the simulation keeps the Store value across Crash() and
-// only discards volatile state — matching the paper's failure assumptions
-// (§2.1). Prepared-but-undecided intentions are stable too, and are
+// node crashes. The working state lives in maps, and every mutation is
+// mirrored through a storage.Backend before it is acknowledged: with the
+// default in-memory backend the simulation keeps the backend value across
+// Crash() — matching the paper's failure assumptions (§2.1) — while a
+// disk backend (storage.OpenDisk) makes the state survive real process
+// death: Shutdown drops every map and closes the files, Reopen replays
+// them. Prepared-but-undecided intentions are stable too, and are
 // resolved at recovery against the commit log (presumed abort).
 //
 // Each committed object version carries a sequence number; two store nodes
@@ -21,6 +25,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/storage"
 	"repro/internal/uid"
 )
 
@@ -29,6 +34,10 @@ var ErrNoState = errors.New("store: no state for object")
 
 // ErrBusy reports that a conflicting prepared intention exists for a UID.
 var ErrBusy = errors.New("store: object has a prepared intention")
+
+// ErrClosed reports an operation on a store whose backend is shut down
+// (the owning node is crashed).
+var ErrClosed = errors.New("store: stable storage is shut down")
 
 // ErrStaleVersion reports a prepared write whose sequence number does not
 // extend this store's committed chain (it must be committed seq + 1). A
@@ -60,9 +69,12 @@ type Write struct {
 
 // Store is one node's stable object store. It is safe for concurrent use.
 type Store struct {
-	name string
+	name    string
+	factory storage.Factory
 
 	mu        sync.Mutex
+	backend   storage.Backend
+	closed    bool
 	committed map[uid.UID]Version
 	// intentions maps a transaction ID to its stable, prepared writes,
 	// keyed by object so that repeated prepares for the same transaction
@@ -73,23 +85,115 @@ type Store struct {
 	pinned map[uid.UID]string
 }
 
-// New returns an empty store for the named node.
+// New returns an empty store for the named node over a fresh in-memory
+// backend — the simulation default, where "stable" means the backend
+// value is kept across the simulated crash.
 func New(name string) *Store {
-	return &Store{
-		name:       name,
-		committed:  make(map[uid.UID]Version),
-		intentions: make(map[string]map[uid.UID]Write),
-		pinned:     make(map[uid.UID]string),
+	s, err := OpenWith(name, storage.MemFactory())
+	if err != nil {
+		// The in-memory factory cannot fail.
+		panic(fmt.Sprintf("store: open %s: %v", name, err))
 	}
+	return s
+}
+
+// OpenWith opens the named node's store over the backend the factory
+// yields, loading any persisted state. The factory is kept for Reopen:
+// after a Shutdown (crash) it opens the backend again.
+func OpenWith(name string, f storage.Factory) (*Store, error) {
+	s := &Store{name: name, factory: f, closed: true}
+	if err := s.Reopen(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Name returns the owning node's name.
 func (s *Store) Name() string { return s.name }
 
+// Backend returns the store's current storage backend (nil while shut
+// down). The coordinator outcome log of a node conventionally shares it,
+// so commit records live on the same stable storage as object state.
+func (s *Store) Backend() storage.Backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.backend
+}
+
+// Shutdown models the stable-storage side of a node crash: the backend
+// is closed and every in-process map is dropped. With a disk backend
+// nothing of the store's contents remains in memory; with the in-memory
+// backend the data lives on inside the (kept) backend value. Shutdown is
+// idempotent.
+func (s *Store) Shutdown() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.backend.Close()
+	s.backend = nil
+	s.committed = nil
+	s.intentions = nil
+	s.pinned = nil
+	return err
+}
+
+// Reopen reverses a Shutdown: the factory opens the backend (replaying
+// its contents, for a disk backend) and the working maps are rebuilt
+// from it. Reopening an open store is a no-op.
+func (s *Store) Reopen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		return nil
+	}
+	b, err := s.factory()
+	if err != nil {
+		return fmt.Errorf("store: reopen %s: %w", s.name, err)
+	}
+	st, err := b.Load()
+	if err != nil {
+		return fmt.Errorf("store: load %s: %w", s.name, err)
+	}
+	committed := make(map[uid.UID]Version, len(st.Versions))
+	for id, v := range st.Versions {
+		u, err := uid.Parse(id)
+		if err != nil {
+			return fmt.Errorf("store: load %s: bad uid %q: %w", s.name, id, err)
+		}
+		committed[u] = Version{Data: v.Data, Seq: v.Seq, TxID: v.Tx}
+	}
+	intentions := make(map[string]map[uid.UID]Write, len(st.Intentions))
+	pinned := make(map[uid.UID]string)
+	for tx, m := range st.Intentions {
+		in := make(map[uid.UID]Write, len(m))
+		for id, w := range m {
+			u, err := uid.Parse(id)
+			if err != nil {
+				return fmt.Errorf("store: load %s: bad uid %q: %w", s.name, id, err)
+			}
+			in[u] = Write{UID: u, Data: w.Data, Seq: w.Seq}
+			pinned[u] = tx
+		}
+		intentions[tx] = in
+	}
+	s.backend = b
+	s.committed = committed
+	s.intentions = intentions
+	s.pinned = pinned
+	s.closed = false
+	return nil
+}
+
 // Read returns the committed version of id.
 func (s *Store) Read(id uid.UID) (Version, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return Version{}, fmt.Errorf("%s: %w", s.name, ErrClosed)
+	}
 	v, ok := s.committed[id]
 	if !ok {
 		return Version{}, fmt.Errorf("%s: %v: %w", s.name, id, ErrNoState)
@@ -104,26 +208,62 @@ func (s *Store) Read(id uid.UID) (Version, error) {
 func (s *Store) SeqOf(id uid.UID) (uint64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return 0, false
+	}
 	v, ok := s.committed[id]
 	return v.Seq, ok
 }
 
 // Put writes a committed version directly, outside any transaction — used
-// to install initial states and by recovery catch-up.
-func (s *Store) Put(id uid.UID, data []byte, seq uint64) {
+// to install initial states and by recovery catch-up. The write is
+// durable when Put returns.
+//
+// Mutating methods follow one discipline: validate, append the backend
+// records and apply the in-memory update under the store mutex — so WAL
+// order always matches memory order — then Sync OUTSIDE the mutex before
+// returning. Nothing is acknowledged before it is durable, and because a
+// WAL is prefix-durable (an fsync covers everything appended before it),
+// any state a later operation built on is durable by the time that
+// operation acks. Releasing the mutex across the fsync is what lets a
+// disk backend's group commit coalesce concurrent transactions' syncs.
+func (s *Store) Put(id uid.UID, data []byte, seq uint64) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.committed[id] = Version{Data: append([]byte(nil), data...), Seq: seq}
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("%s: put %v: %w", s.name, id, ErrClosed)
+	}
+	b := s.backend
+	copied := append([]byte(nil), data...)
+	if err := b.PutVersion(id.String(), storage.Version{Data: copied, Seq: seq}); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%s: put %v: %w", s.name, id, err)
+	}
+	s.committed[id] = Version{Data: copied, Seq: seq}
+	s.mu.Unlock()
+	if err := b.Sync(); err != nil {
+		return fmt.Errorf("%s: put %v: %w", s.name, id, err)
+	}
+	return nil
 }
 
 // Remove deletes any committed state for id.
-func (s *Store) Remove(id uid.UID) {
+func (s *Store) Remove(id uid.UID) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%s: remove %v: %w", s.name, id, ErrClosed)
+	}
+	if err := s.backend.DeleteVersion(id.String()); err != nil {
+		return fmt.Errorf("%s: remove %v: %w", s.name, id, err)
+	}
 	delete(s.committed, id)
+	return nil
 }
 
-// Prepare stably records the writes of transaction tx. It refuses with
+// Prepare stably records the writes of transaction tx: the intentions
+// are durable — synced through the backend — before Prepare returns,
+// which is what entitles the store to vote commit. It refuses with
 // ErrBusy if another transaction has a prepared intention on any of the
 // same objects. Prepares for the same tx merge: a later write to the same
 // object replaces the earlier one, writes to new objects accumulate. This
@@ -131,17 +271,31 @@ func (s *Store) Remove(id uid.UID) {
 // one action safe.
 func (s *Store) Prepare(tx string, writes []Write) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("%s: prepare %s: %w", s.name, tx, ErrClosed)
+	}
 	for _, w := range writes {
 		if other, ok := s.pinned[w.UID]; ok && other != tx {
+			s.mu.Unlock()
 			return fmt.Errorf("%s: %v pinned by %s: %w", s.name, w.UID, other, ErrBusy)
 		}
 		// Version-chain check: a write must extend the committed chain by
 		// exactly one, guarding against stale activated copies writing
 		// back over newer state.
 		if cur, ok := s.committed[w.UID]; ok && w.Seq != cur.Seq+1 {
+			s.mu.Unlock()
 			return fmt.Errorf("%s: %v write seq %d, committed seq %d: %w",
 				s.name, w.UID, w.Seq, cur.Seq, ErrStaleVersion)
+		}
+	}
+	b := s.backend
+	copies := make([]Write, len(writes))
+	for i, w := range writes {
+		copies[i] = Write{UID: w.UID, Data: append([]byte(nil), w.Data...), Seq: w.Seq}
+		if err := b.PutIntention(tx, w.UID.String(), storage.Write{Data: copies[i].Data, Seq: w.Seq}); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("%s: prepare %s: %w", s.name, tx, err)
 		}
 	}
 	m, ok := s.intentions[tx]
@@ -149,26 +303,48 @@ func (s *Store) Prepare(tx string, writes []Write) error {
 		m = make(map[uid.UID]Write, len(writes))
 		s.intentions[tx] = m
 	}
-	for _, w := range writes {
-		m[w.UID] = Write{UID: w.UID, Data: append([]byte(nil), w.Data...), Seq: w.Seq}
+	for _, w := range copies {
+		m[w.UID] = w
 		s.pinned[w.UID] = tx
+	}
+	s.mu.Unlock()
+	// Sync outside the mutex (see Put); the intention must be durable
+	// before the vote this return represents.
+	if err := b.Sync(); err != nil {
+		return fmt.Errorf("%s: prepare %s: %w", s.name, tx, err)
 	}
 	return nil
 }
 
-// Commit applies tx's prepared intentions. Committing an unknown tx is a
-// no-op (the intention may have already been applied — idempotent retry).
+// Commit applies tx's prepared intentions; the commit is durable when it
+// returns. Committing an unknown tx is a no-op (the intention may have
+// already been applied — idempotent retry).
 func (s *Store) Commit(tx string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("%s: commit %s: %w", s.name, tx, ErrClosed)
+	}
+	b := s.backend
 	writes, ok := s.intentions[tx]
-	if !ok {
-		return nil
+	if ok {
+		if err := b.CommitTx(tx); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("%s: commit %s: %w", s.name, tx, err)
+		}
+		for _, w := range writes {
+			s.committed[w.UID] = Version{Data: w.Data, Seq: w.Seq, TxID: tx}
+		}
+		s.clearLocked(tx)
 	}
-	for _, w := range writes {
-		s.committed[w.UID] = Version{Data: w.Data, Seq: w.Seq, TxID: tx}
+	s.mu.Unlock()
+	// Sync even on the unknown-tx no-op path: a duplicate Commit racing
+	// the original must not acknowledge before the original's record is
+	// durable (the ack licenses the coordinator to prune its outcome
+	// record).
+	if err := b.Sync(); err != nil {
+		return fmt.Errorf("%s: commit %s: %w", s.name, tx, err)
 	}
-	s.clearLocked(tx)
 	return nil
 }
 
@@ -182,23 +358,50 @@ func (s *Store) Commit(tx string) error {
 // intentions of tx remain (the coordinator's roll-back clears them).
 func (s *Store) CommitOnePhase(tx string, writes []Write) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("%s: commit-one-phase %s: %w", s.name, tx, ErrClosed)
+	}
 	for _, w := range writes {
 		if other, ok := s.pinned[w.UID]; ok && other != tx {
+			s.mu.Unlock()
 			return fmt.Errorf("%s: %v pinned by %s: %w", s.name, w.UID, other, ErrBusy)
 		}
 		if cur, ok := s.committed[w.UID]; ok && w.Seq != cur.Seq+1 {
+			s.mu.Unlock()
 			return fmt.Errorf("%s: %v write seq %d, committed seq %d: %w",
 				s.name, w.UID, w.Seq, cur.Seq, ErrStaleVersion)
+		}
+	}
+	b := s.backend
+	copies := make([]Write, len(writes))
+	for i, w := range writes {
+		copies[i] = Write{UID: w.UID, Data: append([]byte(nil), w.Data...), Seq: w.Seq}
+	}
+	// Earlier intentions of tx fold in, then the combined round's writes
+	// land as committed versions; one sync (outside the mutex) covers it
+	// all.
+	if err := b.CommitTx(tx); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%s: commit-one-phase %s: %w", s.name, tx, err)
+	}
+	for _, w := range copies {
+		if err := b.PutVersion(w.UID.String(), storage.Version{Data: w.Data, Seq: w.Seq, Tx: tx}); err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("%s: commit-one-phase %s: %w", s.name, tx, err)
 		}
 	}
 	for _, w := range s.intentions[tx] {
 		s.committed[w.UID] = Version{Data: w.Data, Seq: w.Seq, TxID: tx}
 	}
-	for _, w := range writes {
-		s.committed[w.UID] = Version{Data: append([]byte(nil), w.Data...), Seq: w.Seq, TxID: tx}
+	for _, w := range copies {
+		s.committed[w.UID] = Version{Data: w.Data, Seq: w.Seq, TxID: tx}
 	}
 	s.clearLocked(tx)
+	s.mu.Unlock()
+	if err := b.Sync(); err != nil {
+		return fmt.Errorf("%s: commit-one-phase %s: %w", s.name, tx, err)
+	}
 	return nil
 }
 
@@ -210,10 +413,20 @@ func (s *Store) PendingWrites(tx string) int {
 	return len(s.intentions[tx])
 }
 
-// Abort discards tx's prepared intentions; unknown tx is a no-op.
+// Abort discards tx's prepared intentions; unknown tx is a no-op. The
+// abort record is appended but not synced: losing it to a crash merely
+// leaves an intention that presumed abort rolls back at recovery.
 func (s *Store) Abort(tx string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("%s: abort %s: %w", s.name, tx, ErrClosed)
+	}
+	if _, ok := s.intentions[tx]; ok {
+		if err := s.backend.AbortTx(tx); err != nil {
+			return fmt.Errorf("%s: abort %s: %w", s.name, tx, err)
+		}
+	}
 	s.clearLocked(tx)
 	return nil
 }
@@ -278,6 +491,33 @@ type OutcomeLog interface {
 	Lookup(tx string) Outcome
 }
 
+// ResolveDecided resolves pending intentions that have an AFFIRMATIVE
+// recorded outcome — committed ones apply, aborted ones roll back — and
+// leaves everything else (no record, coordinator unreachable) pending.
+// Unlike Recover it never presumes abort: it runs against LIVE stores —
+// the write-back busy-retry path, where a store still pinned by a
+// transaction whose phase-two message was lost must learn the real
+// outcome before a new transaction gives up on it — and a transaction
+// with no record yet may simply be mid-flight between its commit vote
+// and its commit record; only a recovering participant may read "no
+// record" as abort. A nil log resolves nothing.
+func (s *Store) ResolveDecided(log OutcomeLog) (applied, aborted []string) {
+	if log == nil {
+		return nil, nil
+	}
+	for _, tx := range s.PendingTxs() {
+		switch log.Lookup(tx) {
+		case OutcomeCommitted:
+			_ = s.Commit(tx)
+			applied = append(applied, tx)
+		case OutcomeAborted:
+			_ = s.Abort(tx)
+			aborted = append(aborted, tx)
+		}
+	}
+	return applied, aborted
+}
+
 // Recover resolves every pending intention against log: committed
 // transactions are applied, unknown/aborted ones rolled back (presumed
 // abort — OutcomeUnknown is the coordinator's affirmative "no commit
@@ -294,7 +534,7 @@ func (s *Store) Recover(log OutcomeLog) (applied, aborted []string) {
 		}
 		switch outcome {
 		case OutcomeCommitted:
-			// Commit never fails for a known tx.
+			// Commit never fails for a known tx on healthy storage.
 			_ = s.Commit(tx)
 			applied = append(applied, tx)
 		case OutcomeUnavailable:

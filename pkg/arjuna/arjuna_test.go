@@ -538,3 +538,76 @@ func TestOnePhaseLostReplyResolvesThroughTwoPhase(t *testing.T) {
 		t.Fatalf("counter = %q, want 9 (the combined round's effect must stand)", got)
 	}
 }
+
+func TestDataDirDurableCrashRecover(t *testing.T) {
+	// WithDataDir: stable state lives on disk. A crashed store loses its
+	// whole process image; recovery replays the WAL and rejoins St with
+	// the committed state intact.
+	dir := t.TempDir()
+	sys := openT(t, arjuna.WithServers(1), arjuna.WithStores(2), arjuna.WithDataDir(dir))
+	cl := clientT(t, sys, "c1")
+	obj := sys.Objects()[0]
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+			_, err := tx.Object(obj).Invoke(ctx, "add", []byte("2"))
+			return err
+		}); err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+	}
+	if err := sys.Crash("st1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.StoreState("st1", obj); !errors.Is(err, arjuna.ErrUnreachable) {
+		t.Fatalf("crashed store state err = %v, want ErrUnreachable", err)
+	}
+	// Work continues on the surviving store (st1 is excluded from St).
+	if _, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("2"))
+		return err
+	}); err != nil {
+		t.Fatalf("add with st1 down: %v", err)
+	}
+	if err := sys.Recover(ctx, "st1"); err != nil {
+		t.Fatalf("recover st1: %v", err)
+	}
+	data, seq, err := sys.StoreState("st1", obj)
+	if err != nil || string(data) != "8" {
+		t.Fatalf("st1 after disk recovery = %q@%d (%v), want 8 (caught up)", data, seq, err)
+	}
+	if got := counterValue(t, sys, obj); got != "8" {
+		t.Fatalf("counter = %q, want 8", got)
+	}
+}
+
+func TestDataDirStateOutlivesDeployment(t *testing.T) {
+	// A second deployment opened on the same data dir resumes from the
+	// first one's committed state — the property no in-memory backend can
+	// offer.
+	dir := t.TempDir()
+	var obj uid.UID
+	{
+		sys := openT(t, arjuna.WithServers(1), arjuna.WithStores(1), arjuna.WithDataDir(dir))
+		cl := clientT(t, sys, "c1")
+		obj = sys.Objects()[0]
+		ctx := context.Background()
+		if _, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+			_, err := tx.Object(obj).Invoke(ctx, "add", []byte("41"))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Close flushes and releases every node's directory lock; the
+		// second deployment could not open the dir while this one lives.
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys2 := openT(t, arjuna.WithServers(1), arjuna.WithStores(1), arjuna.WithDataDir(dir))
+	data, seq, err := sys2.StoreState("st1", obj)
+	if err != nil || string(data) != "41" || seq != 2 {
+		t.Fatalf("replayed state = %q@%d (%v), want 41@2", data, seq, err)
+	}
+}

@@ -55,4 +55,26 @@
 // (single-copy passive, active, coordinator-cohort) are selected per
 // system or per client via options; Crash/Recover drive the §4.1.2/§4.2
 // failure and recovery protocols for whole nodes.
+//
+// # Stable storage
+//
+// By default every node's "stable" store is in memory: it survives the
+// simulated Crash/Recover cycle but dies with the process. WithDataDir
+// turns it into real stable storage:
+//
+//	sys, err := arjuna.Open(
+//		arjuna.WithStores(3),
+//		arjuna.WithDataDir("/var/lib/arjuna"),
+//	)
+//
+// Each node then owns a directory under the data dir holding an
+// append-only, CRC-checked WAL plus a periodic snapshot (see
+// internal/storage). Committed object versions, prepared 2PC intentions
+// and the coordinators' commit records are fsynced at their protocol
+// commit points — group commit coalesces concurrent fsyncs by default
+// (WithDiskOptions tunes this). Crash drops the node's entire process
+// state; Recover replays the directory, truncating any torn WAL tail,
+// and resolves replayed in-doubt intentions against the coordinators'
+// logs before rejoining the St views. Opening a new deployment on an
+// existing data dir resumes from the stored state.
 package arjuna

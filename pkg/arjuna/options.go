@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/object"
 	"repro/internal/replica"
+	"repro/internal/storage"
 	"repro/internal/transport"
 )
 
@@ -54,6 +55,9 @@ type config struct {
 
 	net     transport.MemOptions
 	network transport.Network
+
+	dataDir string
+	disk    storage.DiskOptions
 
 	scheme Scheme
 	policy Policy
@@ -108,6 +112,27 @@ func WithDegree(d int) Option { return func(c *config) { c.degree = d } }
 // built-in "counter" class.
 func WithClass(cl *Class) Option {
 	return func(c *config) { c.classes = append(c.classes, cl) }
+}
+
+// WithDataDir roots every node's stable storage in dir: committed
+// object versions, prepared 2PC intentions and the coordinators' commit
+// records live in per-node WAL+snapshot directories under dir
+// (dir/st1, dir/c1, ...). Crash then drops the node's whole process
+// state — as a real machine failure would — and Recover replays the
+// node's directory before running the §4.1.2/§4.2 recovery protocols,
+// so committed state survives actual process death and a deployment
+// reopened on the same directory resumes where it left off. Without
+// this option stable storage is in-memory: "stable" only with respect
+// to simulated crashes, gone with the process.
+func WithDataDir(dir string) Option {
+	return func(c *config) { c.dataDir = dir }
+}
+
+// WithDiskOptions tunes the disk engine used with WithDataDir — the
+// fsync discipline (group commit by default) and the WAL compaction
+// threshold.
+func WithDiskOptions(opts storage.DiskOptions) Option {
+	return func(c *config) { c.disk = opts }
 }
 
 // WithMemNetwork tunes the default in-memory network (latency, jitter,

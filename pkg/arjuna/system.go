@@ -59,6 +59,8 @@ func Open(opts ...Option) (*System, error) {
 		Net:      cfg.net,
 		Network:  cfg.network,
 		Registry: reg,
+		DataDir:  cfg.dataDir,
+		Disk:     cfg.disk,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("arjuna: open: %w", err)
@@ -72,9 +74,11 @@ func Open(opts ...Option) (*System, error) {
 	}, nil
 }
 
-// Close tears the deployment down. It closes the transport when the
-// deployment runs over a closeable one (e.g. TCP); the in-memory network
-// needs no teardown. Close is idempotent.
+// Close tears the deployment down: every node's stable storage is shut
+// down (flushing and releasing disk-backed directories, so a new Open on
+// the same data dir can take their locks) and the transport is closed
+// when the deployment runs over a closeable one (e.g. TCP); the
+// in-memory network needs no teardown. Close is idempotent.
 func (s *System) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -82,13 +86,21 @@ func (s *System) Close() error {
 		return nil
 	}
 	s.closed = true
+	var err error
+	for _, n := range s.w.Cluster.Nodes() {
+		if serr := n.Store().Shutdown(); err == nil {
+			err = serr
+		}
+	}
 	switch c := s.w.Cluster.Net().(type) {
 	case interface{ Close() error }:
-		return c.Close()
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
 	case interface{ Close() }:
 		c.Close()
 	}
-	return nil
+	return err
 }
 
 // Client returns a client bound to the named client node (c1..cN), with
