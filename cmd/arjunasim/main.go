@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	arjunasim [-servers N] [-stores N] [-scheme standard|independent|nested] [-policy single|active|cohort] [-data-dir DIR]
+//	arjunasim [-shards N] [-servers N] [-stores N] [-scheme standard|independent|nested] [-policy single|active|cohort] [-data-dir DIR]
+//
+// With -shards N > 1 the deployment splits into N groups (db1..dbN, each
+// with its own servers and stores) under a consistent-hashing placement
+// service; the per-shard placement table is printed at startup and with
+// the shards command, and -servers/-stores become per-shard counts.
 //
 // With -data-dir, every node's stable storage lives in a WAL+snapshot
 // directory under DIR: crash/recover cycles replay from disk, and
@@ -19,6 +24,7 @@
 //	crash NODE   fail-silence a node (sv1, st2, ...)
 //	recover NODE recover a node (runs the §4.1.2/§4.2 recovery protocols)
 //	sv | st      print the current Sv / St view
+//	shards       print the placement table and the object's shard
 //	sweep        run the use-list janitor
 //	status       print node liveness and incarnation numbers
 //	quit
@@ -44,8 +50,9 @@ func main() {
 }
 
 func run() error {
-	servers := flag.Int("servers", 2, "number of object-server nodes")
-	stores := flag.Int("stores", 2, "number of object-store nodes")
+	shards := flag.Int("shards", 1, "number of shards (1 = classic single-group deployment)")
+	servers := flag.Int("servers", 2, "number of object-server nodes (per shard when sharded)")
+	stores := flag.Int("stores", 2, "number of object-store nodes (per shard when sharded)")
 	schemeName := flag.String("scheme", "independent", "db access scheme: standard | independent | nested")
 	policyName := flag.String("policy", "single", "replication policy: single | active | cohort")
 	dataDir := flag.String("data-dir", "", "root directory for disk-backed stable storage (default: in-memory)")
@@ -61,6 +68,7 @@ func run() error {
 	}
 
 	opts := []arjuna.Option{
+		arjuna.WithShards(*shards),
 		arjuna.WithServers(*servers),
 		arjuna.WithStores(*stores),
 		arjuna.WithScheme(scheme),
@@ -81,8 +89,20 @@ func run() error {
 	}
 	obj := sys.Objects()[0]
 
-	fmt.Printf("cluster: db + %d servers + %d stores; object %v (scheme=%v, policy=%v)\n",
-		*servers, *stores, obj, scheme, policy)
+	printShards := func() {
+		for _, sh := range sys.Shards() {
+			fmt.Printf("shard %d: db=%s servers=%v stores=%v\n", sh.ID, sh.DB, sh.Servers, sh.Stores)
+		}
+		fmt.Printf("object %v is on shard %d\n", obj, sys.ShardOf(obj))
+	}
+	if sys.ShardCount() > 1 {
+		fmt.Printf("cluster: %d shards × (db + %d servers + %d stores); object %v (scheme=%v, policy=%v)\n",
+			sys.ShardCount(), *servers, *stores, obj, scheme, policy)
+		printShards()
+	} else {
+		fmt.Printf("cluster: db + %d servers + %d stores; object %v (scheme=%v, policy=%v)\n",
+			*servers, *stores, obj, scheme, policy)
+	}
 	fmt.Println("type 'help' for commands")
 
 	scanner := bufio.NewScanner(os.Stdin)
@@ -97,7 +117,7 @@ func run() error {
 		}
 		switch fields[0] {
 		case "help":
-			fmt.Println("add N | get | crash NODE | recover NODE | sv | st | sweep | status | quit")
+			fmt.Println("add N | get | crash NODE | recover NODE | sv | st | shards | sweep | status | quit")
 		case "quit", "exit":
 			return nil
 		case "add":
@@ -149,6 +169,8 @@ func run() error {
 		case "st":
 			view, err := sys.StoreView(ctx, obj)
 			fmt.Printf("St = %v (err=%v)\n", view, err)
+		case "shards":
+			printShards()
 		case "sweep":
 			rep := sys.Sweep(ctx)
 			fmt.Printf("dead=%v abortedActions=%d clearedCounters=%d\n", rep.DeadClients, rep.AbortedActions, rep.ClearedCounters)

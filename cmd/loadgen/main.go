@@ -1,0 +1,351 @@
+// Command loadgen drives a sharded deployment with a closed-loop
+// workload and reports machine-readable latency distributions.
+//
+// Thousands of concurrent clients pick keys from a Zipf distribution
+// (hot keys are hot, as real object populations are), run a configurable
+// mix of read-only actions, single-shard writes and cross-shard
+// transfers, and record every operation's latency in the log-bucketed
+// histogram of internal/metrics. After a warmup period the measured
+// window begins; at the end loadgen writes a JSON report — p50/p99/p999
+// and mean/max latency overall and per operation class, throughput,
+// abort rate, and per-shard operation counts — to -out
+// (BENCH_shardscale.json by default), so benchmark claims in BENCH.md
+// are backed by a file a machine can diff.
+//
+// Usage:
+//
+//	loadgen [-shards N] [-servers N] [-stores N] [-concurrency N]
+//	        [-objects N] [-read-frac F] [-cross-frac F] [-zipf-s S]
+//	        [-warmup D] [-duration D] [-seed N] [-out FILE]
+//
+// The deployment is in-memory and in-process: the numbers measure the
+// protocol stack (binding, locking, replication, 2PC, placement), not a
+// kernel's network path.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/pkg/arjuna"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// opClass indexes the workload mix.
+const (
+	opRead = iota
+	opWrite
+	opCross
+	numClasses
+)
+
+var classNames = [numClasses]string{"read", "write", "cross"}
+
+// classStats accumulates one worker's view of one operation class;
+// workers are merged at the end (Histogram.Merge is lossless).
+type classStats struct {
+	hist   *metrics.Histogram
+	ops    int64
+	aborts int64
+}
+
+// Report is the JSON document loadgen emits.
+type Report struct {
+	Config      ConfigDoc           `json:"config"`
+	MeasuredSec float64             `json:"measured_seconds"`
+	Ops         int64               `json:"ops"`
+	Throughput  float64             `json:"throughput_ops_per_sec"`
+	Aborts      int64               `json:"aborts"`
+	AbortRate   float64             `json:"abort_rate"`
+	Overall     LatencyDoc          `json:"overall"`
+	Classes     map[string]ClassDoc `json:"classes"`
+	PerShardOps map[string]int64    `json:"per_shard_ops"`
+}
+
+// ConfigDoc echoes the run parameters into the report.
+type ConfigDoc struct {
+	Shards      int     `json:"shards"`
+	Servers     int     `json:"servers_per_shard"`
+	Stores      int     `json:"stores_per_shard"`
+	Concurrency int     `json:"concurrency"`
+	Objects     int     `json:"objects"`
+	ReadFrac    float64 `json:"read_frac"`
+	CrossFrac   float64 `json:"cross_frac"`
+	ZipfS       float64 `json:"zipf_s"`
+	WarmupSec   float64 `json:"warmup_seconds"`
+	Seed        int64   `json:"seed"`
+}
+
+// LatencyDoc is one histogram's percentile summary, in milliseconds.
+type LatencyDoc struct {
+	P50  float64 `json:"p50_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// ClassDoc is one operation class's slice of the report.
+type ClassDoc struct {
+	Ops     int64      `json:"ops"`
+	Aborts  int64      `json:"aborts"`
+	Latency LatencyDoc `json:"latency"`
+}
+
+func latencyDoc(h *metrics.Histogram) LatencyDoc {
+	if h.Count() == 0 {
+		return LatencyDoc{}
+	}
+	return LatencyDoc{
+		P50:  h.Percentile(0.50),
+		P99:  h.Percentile(0.99),
+		P999: h.Percentile(0.999),
+		Mean: h.Mean(),
+		Max:  h.Max(),
+	}
+}
+
+func run() error {
+	shards := flag.Int("shards", 3, "number of shards")
+	servers := flag.Int("servers", 1, "object-server nodes per shard")
+	stores := flag.Int("stores", 1, "object-store nodes per shard")
+	clientNodes := flag.Int("client-nodes", 32, "client node count (workers are spread across them)")
+	concurrency := flag.Int("concurrency", 1000, "concurrent closed-loop clients")
+	objects := flag.Int("objects", 64, "pre-created counter objects (the key space)")
+	readFrac := flag.Float64("read-frac", 0.50, "fraction of operations that are read-only")
+	crossFrac := flag.Float64("cross-frac", 0.10, "fraction of operations that are cross-shard transfers")
+	zipfS := flag.Float64("zipf-s", 1.1, "Zipf skew exponent (>1; higher = hotter hot keys)")
+	warmup := flag.Duration("warmup", 2*time.Second, "warmup period before measurement")
+	duration := flag.Duration("duration", 10*time.Second, "measured window")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	out := flag.String("out", "BENCH_shardscale.json", "output JSON path")
+	opTimeout := flag.Duration("op-timeout", 5*time.Second, "per-operation context timeout")
+	flag.Parse()
+
+	if *readFrac+*crossFrac > 1 {
+		return fmt.Errorf("read-frac + cross-frac = %.2f > 1", *readFrac+*crossFrac)
+	}
+	sys, err := arjuna.Open(
+		arjuna.WithShards(*shards),
+		arjuna.WithServers(*servers),
+		arjuna.WithStores(*stores),
+		arjuna.WithClients(*clientNodes),
+		arjuna.WithObjects(*objects),
+	)
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	objs := sys.Objects()
+	// Key → shard, and shard → keys, precomputed so cross-shard transfers
+	// can force their second key onto a different shard without asking
+	// the placement service on the hot path.
+	shardOf := make([]int, len(objs))
+	byShard := map[int][]int{}
+	for i, id := range objs {
+		shardOf[i] = sys.ShardOf(id)
+		byShard[shardOf[i]] = append(byShard[shardOf[i]], i)
+	}
+	fmt.Printf("loadgen: %v\n", sys)
+	fmt.Printf("loadgen: %d workers, %d objects over %d shards, mix read=%.2f write=%.2f cross=%.2f, zipf s=%.2f\n",
+		*concurrency, len(objs), sys.ShardCount(), *readFrac, 1-*readFrac-*crossFrac, *crossFrac, *zipfS)
+
+	measureStart := time.Now().Add(*warmup)
+	measureEnd := measureStart.Add(*duration)
+	perShardOps := make([]atomic.Int64, *shards+1)
+
+	type workerOut struct {
+		classes [numClasses]classStats
+	}
+	results := make([]workerOut, *concurrency)
+	var wg sync.WaitGroup
+	for wi := 0; wi < *concurrency; wi++ {
+		node := fmt.Sprintf("c%d", 1+wi%*clientNodes)
+		rw, err := sys.Client(node)
+		if err != nil {
+			return err
+		}
+		ro, err := sys.Client(node, arjuna.ClientReadOnly())
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(wi int, rw, ro *arjuna.Client) {
+			defer wg.Done()
+			res := &results[wi]
+			for c := range res.classes {
+				res.classes[c].hist = new(metrics.Histogram)
+			}
+			rng := rand.New(rand.NewSource(*seed + int64(wi)))
+			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(objs)-1))
+			ctx := context.Background()
+
+			for {
+				now := time.Now()
+				if !now.Before(measureEnd) {
+					return
+				}
+				key := int(zipf.Uint64())
+				class := opWrite
+				switch roll := rng.Float64(); {
+				case roll < *readFrac:
+					class = opRead
+				case roll < *readFrac+*crossFrac:
+					class = opCross
+				}
+				// A cross-shard transfer needs a second key on another
+				// shard; with a single shard it degrades to a write.
+				peer := -1
+				if class == opCross {
+					var others []int
+					for s, keys := range byShard {
+						if s != shardOf[key] && len(keys) > 0 {
+							others = keys
+							break
+						}
+					}
+					if others == nil {
+						class = opWrite
+					} else {
+						peer = others[rng.Intn(len(others))]
+					}
+				}
+
+				opCtx, cancel := context.WithTimeout(ctx, *opTimeout)
+				start := time.Now()
+				var opErr error
+				switch class {
+				case opRead:
+					_, opErr = ro.Atomic(opCtx, func(tx *arjuna.Txn) error {
+						_, err := tx.Object(objs[key]).Read(opCtx, "get", nil)
+						return err
+					})
+				case opWrite:
+					_, opErr = rw.Atomic(opCtx, func(tx *arjuna.Txn) error {
+						_, err := tx.Object(objs[key]).Invoke(opCtx, "add", []byte("1"))
+						return err
+					})
+				case opCross:
+					// Bind in index order so two transfers over the same
+					// pair cannot deadlock AB-BA.
+					first, second := key, peer
+					if first > second {
+						first, second = second, first
+					}
+					_, opErr = rw.Atomic(opCtx, func(tx *arjuna.Txn) error {
+						if _, err := tx.Object(objs[first]).Invoke(opCtx, "add", []byte("-1")); err != nil {
+							return err
+						}
+						_, err := tx.Object(objs[second]).Invoke(opCtx, "add", []byte("1"))
+						return err
+					})
+				}
+				elapsed := time.Since(start)
+				cancel()
+
+				if start.Before(measureStart) {
+					continue // warmup: drive load, record nothing
+				}
+				cs := &res.classes[class]
+				cs.ops++
+				if opErr != nil {
+					cs.aborts++
+				}
+				cs.hist.RecordDuration(elapsed)
+				perShardOps[shardOf[key]].Add(1)
+				if class == opCross {
+					perShardOps[shardOf[peer]].Add(1)
+				}
+			}
+		}(wi, rw, ro)
+	}
+	wg.Wait()
+
+	// Merge the per-worker histograms and counters.
+	overall := new(metrics.Histogram)
+	var merged [numClasses]classStats
+	for c := range merged {
+		merged[c].hist = new(metrics.Histogram)
+	}
+	for i := range results {
+		for c := range results[i].classes {
+			cs := &results[i].classes[c]
+			if cs.hist == nil {
+				continue
+			}
+			merged[c].ops += cs.ops
+			merged[c].aborts += cs.aborts
+			merged[c].hist.Merge(cs.hist)
+			overall.Merge(cs.hist)
+		}
+	}
+
+	var totalOps, totalAborts int64
+	classes := map[string]ClassDoc{}
+	for c := range merged {
+		totalOps += merged[c].ops
+		totalAborts += merged[c].aborts
+		classes[classNames[c]] = ClassDoc{
+			Ops:     merged[c].ops,
+			Aborts:  merged[c].aborts,
+			Latency: latencyDoc(merged[c].hist),
+		}
+	}
+	perShard := map[string]int64{}
+	for s := 1; s <= *shards; s++ {
+		perShard[strconv.Itoa(s)] = perShardOps[s].Load()
+	}
+	rep := Report{
+		Config: ConfigDoc{
+			Shards: *shards, Servers: *servers, Stores: *stores,
+			Concurrency: *concurrency, Objects: *objects,
+			ReadFrac: *readFrac, CrossFrac: *crossFrac, ZipfS: *zipfS,
+			WarmupSec: warmup.Seconds(), Seed: *seed,
+		},
+		MeasuredSec: duration.Seconds(),
+		Ops:         totalOps,
+		Throughput:  float64(totalOps) / duration.Seconds(),
+		Aborts:      totalAborts,
+		AbortRate:   safeDiv(totalAborts, totalOps),
+		Overall:     latencyDoc(overall),
+		Classes:     classes,
+		PerShardOps: perShard,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %d ops in %s (%.0f ops/s), abort rate %.4f\n",
+		totalOps, duration, rep.Throughput, rep.AbortRate)
+	fmt.Printf("loadgen: latency ms p50=%.3f p99=%.3f p999=%.3f max=%.3f → %s\n",
+		rep.Overall.P50, rep.Overall.P99, rep.Overall.P999, rep.Overall.Max, *out)
+	return nil
+}
+
+// safeDiv avoids NaN in the report when a short run measured nothing.
+func safeDiv(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

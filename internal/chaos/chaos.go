@@ -56,8 +56,11 @@ type Config struct {
 	// Seed determines the fault schedule, the workload content, the
 	// network jitter and the per-message fault coin flips.
 	Seed int64
-	// Cluster shape.
+	// Cluster shape. With Shards > 1, Servers and Stores are per-shard
+	// counts (as in harness.Options) and the namespace is partitioned
+	// across that many groups behind the placement service.
 	Servers, Stores, Clients, Objects int
+	Shards                            int
 	// ActionsPerClient is each client's action count.
 	ActionsPerClient int
 	// Events is the nemesis schedule length.
@@ -97,6 +100,7 @@ func (c Config) withDefaults() Config {
 	def(&c.Stores, 3)
 	def(&c.Clients, 3)
 	def(&c.Objects, 3)
+	def(&c.Shards, 1)
 	def(&c.ActionsPerClient, 15)
 	def(&c.Events, 10)
 	if c.Workload == 0 {
@@ -202,6 +206,7 @@ func Run(cfg Config) (*Report, error) {
 		Stores:  cfg.Stores,
 		Clients: cfg.Clients,
 		Objects: cfg.Objects,
+		Shards:  cfg.Shards,
 		Net:     transport.MemOptions{Jitter: cfg.Jitter, Seed: cfg.Seed},
 		DataDir: cfg.DataDir,
 		Disk:    cfg.Disk,
@@ -256,7 +261,7 @@ func Run(cfg Config) (*Report, error) {
 
 func (r *runner) worker(idx int) {
 	client := r.w.Clients[idx]
-	b := r.w.Binder(client, r.cfg.Scheme, r.cfg.Policy, 0)
+	b := r.w.AnyBinder(client, r.cfg.Scheme, r.cfg.Policy, 0)
 	// Per-client source: decorrelated from the schedule rng but still a
 	// pure function of the seed.
 	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(idx+1)*0x5851F42D4C957F2D))
@@ -312,7 +317,7 @@ func classify(ctx context.Context, res harness.ActionResult) outcomeClass {
 	}
 }
 
-func (r *runner) counterOp(b *core.Binder, client transport.Addr, rng *rand.Rand) {
+func (r *runner) counterOp(b core.ActionBinder, client transport.Addr, rng *rand.Rand) {
 	obj := rng.Intn(r.cfg.Objects)
 	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ActionTimeout)
 	defer cancel()
@@ -326,7 +331,7 @@ func (r *runner) counterOp(b *core.Binder, client transport.Addr, rng *rand.Rand
 	r.recordTally(class, map[int]int{obj: 1})
 }
 
-func (r *runner) bankOp(b *core.Binder, client transport.Addr, rng *rand.Rand) {
+func (r *runner) bankOp(b core.ActionBinder, client transport.Addr, rng *rand.Rand) {
 	from := rng.Intn(r.cfg.Objects)
 	to := (from + 1 + rng.Intn(r.cfg.Objects-1)) % r.cfg.Objects
 	amount := 1 + rng.Intn(5)
@@ -451,11 +456,12 @@ func (r *runner) recoverNode(target transport.Addr) {
 	n.Recover(nil)
 	ctx, cancel := context.WithTimeout(context.Background(), 2*r.cfg.ActionTimeout)
 	defer cancel()
+	g := r.w.GroupFor(target)
 	var err error
 	if r.isStore(target) {
-		err = core.RecoverStoreNode(ctx, n, "db", r.w.Objects)
+		err = core.RecoverStoreNode(ctx, n, g.DB.Addr(), g.DB.Objects())
 	} else {
-		err = core.RecoverServerNode(ctx, n, "db", r.w.Objects)
+		err = core.RecoverServerNode(ctx, n, g.DB.Addr(), g.DB.Objects())
 	}
 	if err != nil {
 		r.note("online recovery of %s deferred: %v", target, err)
@@ -615,7 +621,8 @@ func (r *runner) quiesce() {
 		ok := true
 		for _, a := range crashed {
 			if r.isStore(a) {
-				if err := core.RecoverStoreNode(ctx, r.w.Cluster.Node(a), "db", r.w.Objects); err != nil {
+				g := r.w.GroupFor(a)
+				if err := core.RecoverStoreNode(ctx, r.w.Cluster.Node(a), g.DB.Addr(), g.DB.Objects()); err != nil {
 					ok = false
 					if attempt == 2 {
 						r.note("quiesce store recovery %s failed: %v", a, err)
@@ -625,7 +632,8 @@ func (r *runner) quiesce() {
 		}
 		for _, a := range crashed {
 			if !r.isStore(a) {
-				if err := core.RecoverServerNode(ctx, r.w.Cluster.Node(a), "db", r.w.Objects); err != nil {
+				g := r.w.GroupFor(a)
+				if err := core.RecoverServerNode(ctx, r.w.Cluster.Node(a), g.DB.Addr(), g.DB.Objects()); err != nil {
 					ok = false
 					if attempt == 2 {
 						r.note("quiesce server recovery %s failed: %v", a, err)

@@ -145,6 +145,31 @@ func TestChaosDiskBank(t *testing.T) {
 	}
 }
 
+// TestChaosShardedCounter: pinned seeds against a three-shard placement
+// deployment. Clients route each increment through the placement binder,
+// so actions land on whichever shard owns the object, and the nemesis
+// crashes/partitions nodes across all three groups. Value conservation
+// and view consistency must hold per shard exactly as they do for one.
+func TestChaosShardedCounter(t *testing.T) {
+	for _, seed := range seeds(501, 4) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSeed(t, Config{Seed: seed, Workload: WorkloadCounter, Shards: 3})
+		})
+	}
+}
+
+// TestChaosShardedBank: transfers whose two accounts may live on
+// different shards — the coordinator enlists participants from multiple
+// groups, so conservation of the total is exactly the cross-shard
+// failure-atomicity guarantee under faults.
+func TestChaosShardedBank(t *testing.T) {
+	for _, seed := range seeds(601, 4) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runSeed(t, Config{Seed: seed, Workload: WorkloadBank, Scheme: core.SchemeStandard, Shards: 3})
+		})
+	}
+}
+
 // TestScheduleIsSeedDeterministic: the fault plan is a pure function of
 // the seed — the property every "reproduce with -seed=N" claim rests on.
 func TestScheduleIsSeedDeterministic(t *testing.T) {

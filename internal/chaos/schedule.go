@@ -144,11 +144,13 @@ func GenerateSchedule(seed int64, cfg Config) []Event {
 	rng := rand.New(rand.NewSource(seed))
 	total := cfg.Clients * cfg.ActionsPerClient
 
-	stores := make([]transport.Addr, cfg.Stores)
+	// Sharded configs have Shards×(Servers, Stores) nodes, numbered
+	// contiguously across groups; the nemesis targets them all alike.
+	stores := make([]transport.Addr, cfg.Stores*cfg.Shards)
 	for i := range stores {
 		stores[i] = transport.Addr("st" + strconv.Itoa(i+1))
 	}
-	servers := make([]transport.Addr, cfg.Servers)
+	servers := make([]transport.Addr, cfg.Servers*cfg.Shards)
 	for i := range servers {
 		servers[i] = transport.Addr("sv" + strconv.Itoa(i+1))
 	}
@@ -191,7 +193,7 @@ func GenerateSchedule(seed int64, cfg Config) []Event {
 	for i := 0; i < cfg.Events; i++ {
 		// The in-doubt injection is decided up front so its model
 		// bookkeeping composes with everything after it.
-		if inject := cfg.BiasInDoubt && i%2 == 0 || !haveInDoubt && rng.Float64() < 0.25; inject && downStores < cfg.Stores-1 {
+		if inject := cfg.BiasInDoubt && i%2 == 0 || !haveInDoubt && rng.Float64() < 0.25; inject && downStores < len(stores)-1 {
 			e := Event{After: afters[i], Kind: KindCrashDuringCommit, Target: pick(stores), AbortSide: rng.Intn(2) == 0}
 			crashStore(e.Target)
 			haveInDoubt = true
@@ -200,7 +202,7 @@ func GenerateSchedule(seed int64, cfg Config) []Event {
 		}
 		var e Event
 		switch k := rng.Intn(12); {
-		case k < 2 && downStores < cfg.Stores-1: // keep one store up
+		case k < 2 && downStores < len(stores)-1: // keep one store up
 			e = Event{Kind: KindCrashStore, Target: pick(stores)}
 			// Disk-backed runs spend half their store crashes as
 			// kill-at-byte injections: the store dies mid-WAL-write
@@ -213,7 +215,7 @@ func GenerateSchedule(seed int64, cfg Config) []Event {
 				e.Bytes = int64(1 + rng.Intn(96))
 			}
 			crashStore(e.Target)
-		case k < 3 && cfg.Servers > 1:
+		case k < 3 && len(servers) > 1:
 			e = Event{Kind: KindCrashServer, Target: pick(servers)}
 			crashed[e.Target] = true
 		case k < 5 && len(crashedList()) > 0:

@@ -15,16 +15,17 @@ const ServiceName = "groupview"
 
 // RPC method names — one per database operation of §4.1/§4.2.
 const (
-	MethodRegister  = "Register"
-	MethodGetServer = "GetServer"
-	MethodInsert    = "Insert"
-	MethodRemove    = "Remove"
-	MethodIncrement = "Increment"
-	MethodDecrement = "Decrement"
-	MethodGetView   = "GetView"
-	MethodInclude   = "Include"
-	MethodExclude   = "Exclude"
-	MethodEndAction = "EndAction"
+	MethodRegister   = "Register"
+	MethodDeregister = "Deregister"
+	MethodGetServer  = "GetServer"
+	MethodInsert     = "Insert"
+	MethodRemove     = "Remove"
+	MethodIncrement  = "Increment"
+	MethodDecrement  = "Decrement"
+	MethodGetView    = "GetView"
+	MethodInclude    = "Include"
+	MethodExclude    = "Exclude"
+	MethodEndAction  = "EndAction"
 )
 
 // --- server-side operations ---
@@ -51,6 +52,49 @@ func (db *DB) Register(ctx context.Context, act string, from transport.Addr, id 
 	db.servers[id] = &serverEntry{Nodes: append([]transport.Addr(nil), svNodes...), Use: use}
 	db.states[id] = &stateEntry{Nodes: append([]transport.Addr(nil), stNodes...), Class: class}
 	return nil
+}
+
+// Deregister removes both database entries for an object under write
+// locks, returning the St view and class as they stood — the caller (a
+// rebalance moving the object to another group's database) uses them as
+// catch-up sources for installing the state at its destination. Like
+// Insert, the write lock only serialises against standard-scheme clients;
+// the use-list check guards against the enhanced schemes, refusing with
+// CodeNotQuiescent while any binding is live so an in-flight action is
+// never stranded against a vanished entry. The deletion is provisional
+// until the action commits: abort restores both entries from their
+// snapshots.
+func (db *DB) Deregister(ctx context.Context, act string, from transport.Addr, id uid.UID) ([]transport.Addr, string, error) {
+	owner := lockmgr.Owner(act)
+	if err := db.locks.Acquire(ctx, owner, svKey(id), lockmgr.Write); err != nil {
+		return nil, "", rpc.Errorf(CodeLockRefused, "%v", err)
+	}
+	if err := db.locks.Acquire(ctx, owner, stKey(id), lockmgr.Write); err != nil {
+		return nil, "", rpc.Errorf(CodeLockRefused, "%v", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noteClientLocked(act, from)
+	st, ok := db.states[id]
+	if !ok {
+		return nil, "", rpc.Errorf(CodeUnknownObject, "no St entry for %v", id)
+	}
+	if sv, ok := db.servers[id]; ok {
+		for _, clients := range sv.Use {
+			for _, n := range clients {
+				if n > 0 {
+					return nil, "", rpc.Errorf(CodeNotQuiescent, "object %v has active use counts", id)
+				}
+			}
+		}
+	}
+	view := append([]transport.Addr(nil), st.Nodes...)
+	class := st.Class
+	db.snapServerLocked(act, id)
+	db.snapStateLocked(act, id)
+	delete(db.servers, id)
+	delete(db.states, id)
+	return view, class, nil
 }
 
 // GetServer returns Sv_A under a read lock held by act until the action
@@ -318,6 +362,18 @@ type RegisterReq struct {
 	StNodes []string
 }
 
+// DeregisterReq removes an object from both databases.
+type DeregisterReq struct {
+	Action string
+	UID    string
+}
+
+// DeregisterResp carries the removed entry's St view and class.
+type DeregisterResp struct {
+	Nodes []string
+	Class string
+}
+
 // GetServerReq fetches Sv (and optionally use lists).
 type GetServerReq struct {
 	Action  string
@@ -399,6 +455,17 @@ func registerService(srv *rpc.Server, db *DB) {
 			return Ack{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
 		}
 		return Ack{}, db.Register(ctx, req.Action, from, id, req.Class, toAddrs(req.SvNodes), toAddrs(req.StNodes))
+	}))
+	srv.Handle(ServiceName, MethodDeregister, rpc.Method(func(ctx context.Context, from transport.Addr, req DeregisterReq) (DeregisterResp, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return DeregisterResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		nodes, class, err := db.Deregister(ctx, req.Action, from, id)
+		if err != nil {
+			return DeregisterResp{}, err
+		}
+		return DeregisterResp{Nodes: fromAddrs(nodes), Class: class}, nil
 	}))
 	srv.Handle(ServiceName, MethodGetServer, rpc.Method(func(ctx context.Context, from transport.Addr, req GetServerReq) (GetServerResp, error) {
 		id, err := uid.Parse(req.UID)
@@ -518,6 +585,17 @@ func (c Client) Register(ctx context.Context, act string, id uid.UID, class stri
 		SvNodes: fromAddrs(svNodes), StNodes: fromAddrs(stNodes),
 	})
 	return err
+}
+
+// Deregister removes an object from both databases, returning the last St
+// view and class for the caller's catch-up. Fails with CodeNotQuiescent
+// while any use list is non-empty.
+func (c Client) Deregister(ctx context.Context, act string, id uid.UID) ([]transport.Addr, string, error) {
+	resp, err := rpc.Invoke[DeregisterReq, DeregisterResp](ctx, c.RPC, c.DB, ServiceName, MethodDeregister, DeregisterReq{Action: act, UID: id.String()})
+	if err != nil {
+		return nil, "", err
+	}
+	return toAddrs(resp.Nodes), resp.Class, nil
 }
 
 // GetServer fetches Sv_A (and use lists when wantUse); forUpdate takes a

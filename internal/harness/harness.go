@@ -15,6 +15,7 @@ import (
 	"repro/internal/group"
 	"repro/internal/metrics"
 	"repro/internal/object"
+	"repro/internal/placement"
 	"repro/internal/replica"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -52,10 +53,18 @@ func CounterClass() *object.Class {
 
 // Options sizes a World.
 type Options struct {
-	// Servers, Stores, Clients are node counts (sv1.., st1.., c1..).
+	// Servers, Stores, Clients are node counts (sv1.., st1.., c1..). With
+	// Shards > 1 Servers and Stores are PER-SHARD counts; clients are
+	// shared across shards.
 	Servers int
 	Stores  int
 	Clients int
+	// Shards partitions the deployment into that many independent
+	// server/store groups, each with its own group view database
+	// (db1..dbS), plus a placement service node mapping objects to groups.
+	// 0 or 1 keeps the classic single-group topology (node "db", no
+	// placement service) byte-for-byte.
+	Shards int
 	// Objects is how many counter objects to create (all with full Sv/St).
 	Objects int
 	// Net configures the in-memory network (latency, jitter, seed).
@@ -77,9 +86,20 @@ type Options struct {
 	Disk storage.DiskOptions
 }
 
+// Group is one shard's server/store group and its group view database.
+type Group struct {
+	ID  int // 1-based shard ID
+	DB  *core.DB
+	Svs []transport.Addr
+	Sts []transport.Addr
+}
+
 // World is an assembled deployment.
 type World struct {
 	Cluster *sim.Cluster
+	// DB is the first (or only) group's database; Svs/Sts concatenate all
+	// groups' nodes, so single-group code and whole-deployment sweeps keep
+	// working unchanged on sharded worlds.
 	DB      *core.DB
 	Objects []uid.UID
 	Svs     []transport.Addr
@@ -87,6 +107,12 @@ type World struct {
 	Clients []transport.Addr
 	Mgrs    map[transport.Addr]*action.Manager
 	Metrics *metrics.Registry
+	// Groups lists every shard's group; len 1 when unsharded.
+	Groups []Group
+	// Place is the placement service (nil when unsharded).
+	Place *placement.Service
+	// PlaceAddr is the placement service's node address.
+	PlaceAddr transport.Addr
 }
 
 // New builds a world: one db node, the requested servers/stores/clients,
@@ -121,18 +147,42 @@ func New(opts Options) (*World, error) {
 			return storage.DiskFactory(filepath.Join(dataDir, string(name)), disk)
 		})
 	}
-	w.DB = core.NewDB(w.Cluster.Add("db"))
-	for i := 0; i < opts.Servers; i++ {
+	shards := opts.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards == 1 {
+		w.Groups = []Group{{ID: 1, DB: core.NewDB(w.Cluster.Add("db"))}}
+	} else {
+		for s := 1; s <= shards; s++ {
+			w.Groups = append(w.Groups, Group{ID: s, DB: core.NewDB(w.Cluster.Add(transport.Addr("db" + strconv.Itoa(s))))})
+		}
+	}
+	w.DB = w.Groups[0].DB
+	for i := 0; i < shards*opts.Servers; i++ {
 		name := transport.Addr("sv" + strconv.Itoa(i+1))
 		n := w.Cluster.Add(name)
 		m := object.NewManager(n, reg)
 		m.EnableGroupInvocation(group.NewHost(n.Server(), n.Client()))
 		w.Svs = append(w.Svs, name)
+		g := &w.Groups[i/opts.Servers]
+		g.Svs = append(g.Svs, name)
 	}
-	for i := 0; i < opts.Stores; i++ {
+	for i := 0; i < shards*opts.Stores; i++ {
 		name := transport.Addr("st" + strconv.Itoa(i+1))
 		w.Cluster.Add(name)
 		w.Sts = append(w.Sts, name)
+		g := &w.Groups[i/opts.Stores]
+		g.Sts = append(g.Sts, name)
+	}
+	if shards > 1 {
+		pn := w.Cluster.Add("placement")
+		infos := make([]placement.ShardInfo, len(w.Groups))
+		for i, g := range w.Groups {
+			infos[i] = placement.ShardInfo{ID: g.ID, DB: g.DB.Addr(), Svs: g.Svs, Sts: g.Sts}
+		}
+		w.Place = placement.NewService(pn, infos)
+		w.PlaceAddr = pn.Name()
 	}
 	for i := 0; i < opts.Clients; i++ {
 		name := transport.Addr("c" + strconv.Itoa(i+1))
@@ -157,16 +207,92 @@ func New(opts Options) (*World, error) {
 	w.Cluster.SetOutcomeResolver(func(n *sim.Node) store.OutcomeLog {
 		return w.OutcomeLogFor(n)
 	})
-	creator := core.Client{RPC: w.Cluster.Node(w.Clients[0]).Client(), DB: "db"}
+	rpcc := w.Cluster.Node(w.Clients[0]).Client()
 	gen := uid.NewGenerator("obj", 1)
 	for i := 0; i < opts.Objects; i++ {
 		id := gen.New()
-		if err := core.CreateObject(context.Background(), creator, w.Mgrs[w.Clients[0]], id, "counter", []byte("0"), w.Svs, w.Sts); err != nil {
+		g := w.GroupOf(id)
+		creator := core.Client{RPC: rpcc, DB: g.DB.Addr()}
+		if err := core.CreateObject(context.Background(), creator, w.Mgrs[w.Clients[0]], id, "counter", []byte("0"), g.Svs, g.Sts); err != nil {
 			return nil, fmt.Errorf("harness: create object %d: %w", i, err)
 		}
 		w.Objects = append(w.Objects, id)
 	}
 	return w, nil
+}
+
+// Sharded reports whether the world has more than one group.
+func (w *World) Sharded() bool { return w.Place != nil }
+
+// GroupOf returns the group an object currently lives in, per the
+// placement service (the only group, when unsharded).
+func (w *World) GroupOf(id uid.UID) *Group {
+	if w.Place == nil {
+		return &w.Groups[0]
+	}
+	shard, _ := w.Place.Lookup(id)
+	return &w.Groups[shard-1]
+}
+
+// GroupFor returns the group a node belongs to (its database, server or
+// store set), or the first group for nodes outside any (clients, the
+// placement node).
+func (w *World) GroupFor(node transport.Addr) *Group {
+	for i := range w.Groups {
+		g := &w.Groups[i]
+		if g.DB.Addr() == node {
+			return g
+		}
+		for _, sv := range g.Svs {
+			if sv == node {
+				return g
+			}
+		}
+		for _, st := range g.Sts {
+			if st == node {
+				return g
+			}
+		}
+	}
+	return &w.Groups[0]
+}
+
+// Rebalance moves an object to the target shard (1-based), using the
+// first client node as the migration coordinator.
+func (w *World) Rebalance(ctx context.Context, id uid.UID, target int) error {
+	if w.Place == nil {
+		return fmt.Errorf("harness: Rebalance requires a sharded world")
+	}
+	client := w.Clients[0]
+	pc := placement.NewClient(w.Cluster.Node(client).Client(), w.PlaceAddr)
+	return placement.Move(ctx, pc, w.Mgrs[client], w.Cluster.Node(client).Client(), id, target)
+}
+
+// ShardBinder builds a shard-aware binder for the named client. Requires
+// a sharded world.
+func (w *World) ShardBinder(client transport.Addr, scheme core.Scheme, policy replica.Policy, degree int) *placement.Binder {
+	if w.Place == nil {
+		panic("harness: ShardBinder requires a sharded world")
+	}
+	rpcc := w.Cluster.Node(client).Client()
+	return &placement.Binder{
+		Place:      placement.NewClient(rpcc, w.PlaceAddr),
+		Actions:    w.Mgrs[client],
+		ClientNode: client,
+		RPC:        rpcc,
+		Scheme:     scheme,
+		Policy:     policy,
+		Degree:     degree,
+	}
+}
+
+// AnyBinder returns the natural binder for the world: shard-aware when
+// sharded, the classic single-group binder otherwise.
+func (w *World) AnyBinder(client transport.Addr, scheme core.Scheme, policy replica.Policy, degree int) core.ActionBinder {
+	if w.Sharded() {
+		return w.ShardBinder(client, scheme, policy, degree)
+	}
+	return w.Binder(client, scheme, policy, degree)
 }
 
 // OutcomeLogFor returns the recovery-time outcome log a node (or a
@@ -229,8 +355,8 @@ type ActionResult struct {
 // RunCounterAction executes one client action against object idx: bind,
 // add delta, commit. Errors abort the action and are reported in the
 // result rather than returned — workload drivers count them.
-func (w *World) RunCounterAction(ctx context.Context, b *core.Binder, idx int, delta int) ActionResult {
-	act := b.Actions.BeginTop()
+func (w *World) RunCounterAction(ctx context.Context, b core.ActionBinder, idx int, delta int) ActionResult {
+	act := b.BeginTop()
 	res := ActionResult{Tx: act.ID()}
 	bd, err := b.Bind(ctx, act, w.Objects[idx])
 	if err != nil {
@@ -266,8 +392,8 @@ func (w *World) RunCounterAction(ctx context.Context, b *core.Binder, idx int, d
 // to the second. Both bindings are participants of one top-level action,
 // so the transfer is failure-atomic across the two objects — the
 // conservation workload of the chaos harness.
-func (w *World) RunTransferAction(ctx context.Context, b *core.Binder, from, to int, amount int) ActionResult {
-	act := b.Actions.BeginTop()
+func (w *World) RunTransferAction(ctx context.Context, b core.ActionBinder, from, to int, amount int) ActionResult {
+	act := b.BeginTop()
 	res := ActionResult{Tx: act.ID()}
 	abort := func(err error) ActionResult {
 		_ = act.Abort(ctx)
@@ -301,8 +427,8 @@ func (w *World) RunTransferAction(ctx context.Context, b *core.Binder, from, to 
 }
 
 // RunReadAction executes one read-only action (get) against object idx.
-func (w *World) RunReadAction(ctx context.Context, b *core.Binder, idx int) ActionResult {
-	act := b.Actions.BeginTop()
+func (w *World) RunReadAction(ctx context.Context, b core.ActionBinder, idx int) ActionResult {
+	act := b.BeginTop()
 	bd, err := b.Bind(ctx, act, w.Objects[idx])
 	if err != nil {
 		_ = act.Abort(ctx)
@@ -331,9 +457,10 @@ func (w *World) StoreSeqs(idx int) map[transport.Addr]uint64 {
 	return out
 }
 
-// CurrentStView reads St for object idx outside any client action.
+// CurrentStView reads St for object idx outside any client action,
+// against the object's own group database.
 func (w *World) CurrentStView(ctx context.Context, idx int) ([]transport.Addr, error) {
-	cli := core.Client{RPC: w.Cluster.Node("c1").Client(), DB: "db"}
+	cli := core.Client{RPC: w.Cluster.Node("c1").Client(), DB: w.GroupOf(w.Objects[idx]).DB.Addr()}
 	act := w.Mgrs["c1"].BeginTop()
 	st, _, err := cli.GetView(ctx, act.ID(), w.Objects[idx])
 	_ = cli.EndAction(ctx, act.ID(), true)
@@ -341,9 +468,10 @@ func (w *World) CurrentStView(ctx context.Context, idx int) ([]transport.Addr, e
 	return st, err
 }
 
-// CurrentSvView reads Sv for object idx outside any client action.
+// CurrentSvView reads Sv for object idx outside any client action,
+// against the object's own group database.
 func (w *World) CurrentSvView(ctx context.Context, idx int) ([]transport.Addr, error) {
-	cli := core.Client{RPC: w.Cluster.Node("c1").Client(), DB: "db"}
+	cli := core.Client{RPC: w.Cluster.Node("c1").Client(), DB: w.GroupOf(w.Objects[idx]).DB.Addr()}
 	act := w.Mgrs["c1"].BeginTop()
 	sv, _, err := cli.GetServer(ctx, act.ID(), w.Objects[idx], false, false)
 	_ = cli.EndAction(ctx, act.ID(), true)

@@ -31,72 +31,163 @@ func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
-// Histogram accumulates float64 samples and reports summary statistics.
-// It stores raw samples; experiments here record at most a few hundred
-// thousand points, so the simplicity is worth the memory.
+// Histogram bucket geometry: values are placed in geometrically growing
+// buckets, histBucketsPerOctave per power of two, covering 2^histOctaveMin
+// up to 2^histOctaveMax (values outside clamp to the edge buckets; values
+// ≤ 0 land in a dedicated zero bucket). With 16 sub-buckets per octave the
+// representative (geometric bucket midpoint) is within ±2.2% of any sample
+// in the bucket — HDR-style accuracy at fixed memory.
+const (
+	histBucketsPerOctave = 16
+	histOctaveMin        = -20 // 2^-20 ≈ 1e-6: sub-microsecond when recording ms
+	histOctaveMax        = 44  // 2^44 ≈ 1.8e13: ~500 years when recording ms
+	histBuckets          = (histOctaveMax - histOctaveMin) * histBucketsPerOctave
+)
+
+// Histogram is a log-bucketed latency/value histogram: fixed memory
+// (~8 KiB), lock-free recording, and percentile queries with bounded
+// relative error (±2.2%). Unlike the Latency aggregate it answers
+// Percentile, so tail latencies (p99/p999) are first-class; unlike a
+// raw-sample store it never grows, so thousands of closed-loop load
+// generator clients can each own one and Merge them at the end of a run.
+// The zero value is ready to use and safe for concurrent use.
 type Histogram struct {
-	mu      sync.Mutex
-	samples []float64
-	sorted  bool
+	total  atomic.Int64
+	zero   atomic.Int64  // samples ≤ 0
+	sum    atomic.Uint64 // float64 bits
+	max    atomic.Uint64 // float64 bits (exact, not bucketed)
+	counts [histBuckets]atomic.Int64
 }
 
-// Observe records one sample.
-func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.samples = append(h.samples, v)
-	h.sorted = false
+// bucketOf maps a positive sample to its bucket index.
+func bucketOf(v float64) int {
+	i := int(math.Floor(math.Log2(v)*histBucketsPerOctave)) - histOctaveMin*histBucketsPerOctave
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
 }
 
-// ObserveDuration records a duration in milliseconds.
-func (h *Histogram) ObserveDuration(d time.Duration) {
-	h.Observe(float64(d) / float64(time.Millisecond))
+// Record adds one sample.
+func (h *Histogram) Record(v float64) {
+	h.total.Add(1)
+	for {
+		cur := h.sum.Load()
+		if h.sum.CompareAndSwap(cur, math.Float64bits(math.Float64frombits(cur)+v)) {
+			break
+		}
+	}
+	if v <= 0 || math.IsNaN(v) {
+		h.zero.Add(1)
+		return
+	}
+	for {
+		cur := h.max.Load()
+		if v <= math.Float64frombits(cur) || h.max.CompareAndSwap(cur, math.Float64bits(v)) {
+			break
+		}
+	}
+	h.counts[bucketOf(v)].Add(1)
+}
+
+// RecordDuration records a duration in milliseconds — the unit every
+// latency histogram in this module uses.
+func (h *Histogram) RecordDuration(d time.Duration) {
+	h.Record(float64(d) / float64(time.Millisecond))
 }
 
 // Count returns the number of recorded samples.
-func (h *Histogram) Count() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.samples)
-}
+func (h *Histogram) Count() int64 { return h.total.Load() }
 
 // Mean returns the arithmetic mean, or 0 if empty.
 func (h *Histogram) Mean() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	n := h.total.Load()
+	if n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range h.samples {
-		sum += v
-	}
-	return sum / float64(len(h.samples))
+	return math.Float64frombits(h.sum.Load()) / float64(n)
 }
 
-// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank, or 0 if empty.
-func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+// Percentile returns the value at or below which q (0 ≤ q ≤ 1) of the
+// samples fall, or 0 if empty. The answer is a bucket representative —
+// within ±2.2% of the true order statistic — except at the top, where the
+// exact maximum caps it.
+func (h *Histogram) Percentile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Float64s(h.samples)
-		h.sorted = true
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
 	}
-	idx := int(math.Ceil(q*float64(len(h.samples)))) - 1
-	if idx < 0 {
-		idx = 0
+	mx := math.Float64frombits(h.max.Load())
+	if rank >= total {
+		return mx
 	}
-	if idx >= len(h.samples) {
-		idx = len(h.samples) - 1
+	cum := h.zero.Load()
+	if rank <= cum {
+		return 0
 	}
-	return h.samples[idx]
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if rank <= cum {
+			if v := bucketValueAt(i); v < mx {
+				return v
+			}
+			return mx
+		}
+	}
+	return mx
 }
 
-// Max returns the maximum sample, or 0 if empty.
-func (h *Histogram) Max() float64 { return h.Quantile(1) }
+// bucketValueAt is bucket i's representative: the geometric midpoint of
+// its bounds, with the octave offset folded into the exponent. Index i
+// spans [2^((i+off)/16), 2^((i+off+1)/16)) where off = histOctaveMin*16.
+func bucketValueAt(i int) float64 {
+	return math.Exp2((float64(i+histOctaveMin*histBucketsPerOctave) + 0.5) / histBucketsPerOctave)
+}
+
+// Quantile is an alias for Percentile, mirroring the old raw-sample API.
+func (h *Histogram) Quantile(q float64) float64 { return h.Percentile(q) }
+
+// Max returns the exact maximum positive sample, or 0 if empty.
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.max.Load()) }
+
+// Merge folds other's samples into h. Merging is additive bucket-wise, so
+// per-client histograms combine into a run-wide one without precision
+// loss. Merge reads other without synchronisation barriers beyond the
+// individual atomics — merge quiescent histograms (e.g. after workers
+// have stopped) for exact totals.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	h.total.Add(other.total.Load())
+	h.zero.Add(other.zero.Load())
+	ov := math.Float64frombits(other.sum.Load())
+	for {
+		cur := h.sum.Load()
+		if h.sum.CompareAndSwap(cur, math.Float64bits(math.Float64frombits(cur)+ov)) {
+			break
+		}
+	}
+	om := math.Float64frombits(other.max.Load())
+	for {
+		cur := h.max.Load()
+		if om <= math.Float64frombits(cur) || h.max.CompareAndSwap(cur, math.Float64bits(om)) {
+			break
+		}
+	}
+	for i := 0; i < histBuckets; i++ {
+		if n := other.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+}
 
 // Latency is a fixed-memory latency aggregate: count, sum and max in
 // atomics. Unlike Histogram it stores no samples, so it can sit on a hot
@@ -172,6 +263,15 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return v.(*Histogram)
 }
 
+// LookupHistogram returns the named histogram without creating it.
+func (r *Registry) LookupHistogram(name string) (*Histogram, bool) {
+	v, ok := r.histograms.Load(name)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Histogram), true
+}
+
 // Latency returns (creating on first use) the named latency aggregate.
 func (r *Registry) Latency(name string) *Latency {
 	if v, ok := r.latencies.Load(name); ok {
@@ -240,8 +340,8 @@ func (r *Registry) Snapshot() string {
 	}
 	for _, name := range histNames {
 		h := r.Histogram(name)
-		fmt.Fprintf(&b, "hist    %-40s n=%d mean=%.3f p50=%.3f p99=%.3f max=%.3f\n",
-			name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+		fmt.Fprintf(&b, "hist    %-40s n=%d mean=%.3f p50=%.3f p99=%.3f p999=%.3f max=%.3f\n",
+			name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Quantile(0.999), h.Max())
 	}
 	for _, name := range latNames {
 		l, _ := r.LookupLatency(name)

@@ -1,12 +1,26 @@
 package metrics
 
 import (
+	"math"
+	"math/rand"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
-	"testing/quick"
 	"time"
 )
+
+// histTolerance is the histogram's worst-case relative error: with 16
+// buckets per octave a bucket spans a factor of 2^(1/16) ≈ 1.0443, so the
+// geometric midpoint is within ±2.2% of any sample in the bucket.
+const histTolerance = 0.025
+
+func approxEq(got, want float64) bool {
+	if want == 0 {
+		return got == 0
+	}
+	return math.Abs(got-want) <= histTolerance*math.Abs(want)
+}
 
 func TestCounterConcurrent(t *testing.T) {
 	var c Counter
@@ -29,42 +43,149 @@ func TestCounterConcurrent(t *testing.T) {
 func TestHistogramStats(t *testing.T) {
 	var h Histogram
 	for i := 1; i <= 100; i++ {
-		h.Observe(float64(i))
+		h.Record(float64(i))
 	}
 	if h.Count() != 100 {
 		t.Fatalf("count = %d", h.Count())
 	}
 	if got := h.Mean(); got != 50.5 {
-		t.Fatalf("mean = %v, want 50.5", got)
+		t.Fatalf("mean = %v, want 50.5 (mean is exact, not bucketed)", got)
 	}
-	if got := h.Quantile(0.5); got != 50 {
-		t.Fatalf("p50 = %v, want 50", got)
+	if got := h.Percentile(0.5); !approxEq(got, 50) {
+		t.Fatalf("p50 = %v, want ≈50", got)
+	}
+	if got := h.Percentile(0.99); !approxEq(got, 99) {
+		t.Fatalf("p99 = %v, want ≈99", got)
 	}
 	if got := h.Max(); got != 100 {
-		t.Fatalf("max = %v, want 100", got)
+		t.Fatalf("max = %v, want 100 (max is exact)", got)
+	}
+	if got := h.Percentile(1); got != 100 {
+		t.Fatalf("p100 = %v, want exactly max", got)
 	}
 }
 
 func TestHistogramEmpty(t *testing.T) {
 	var h Histogram
-	if h.Mean() != 0 || h.Quantile(0.9) != 0 || h.Max() != 0 || h.Count() != 0 {
+	if h.Mean() != 0 || h.Percentile(0.9) != 0 || h.Max() != 0 || h.Count() != 0 {
 		t.Fatal("empty histogram should report zeros")
 	}
 }
 
-func TestHistogramObserveDuration(t *testing.T) {
+func TestHistogramRecordDuration(t *testing.T) {
 	var h Histogram
-	h.ObserveDuration(1500 * time.Microsecond)
+	h.RecordDuration(1500 * time.Microsecond)
 	if got := h.Mean(); got != 1.5 {
 		t.Fatalf("duration sample = %v ms, want 1.5", got)
 	}
+	if got := h.Percentile(0.5); !approxEq(got, 1.5) {
+		t.Fatalf("p50 = %v, want ≈1.5", got)
+	}
 }
 
-func TestHistogramQuantileBounds(t *testing.T) {
+func TestHistogramSingleSample(t *testing.T) {
 	var h Histogram
-	h.Observe(7)
-	if h.Quantile(0) != 7 || h.Quantile(1) != 7 {
-		t.Fatal("single-sample quantiles should be the sample")
+	h.Record(7)
+	if got := h.Percentile(0); !approxEq(got, 7) {
+		t.Fatalf("p0 = %v, want ≈7", got)
+	}
+	if got := h.Percentile(1); got != 7 {
+		t.Fatalf("p100 = %v, want exactly 7", got)
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(-3)
+	h.Record(10)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	// Two of three samples are ≤0, so the median is the zero bucket.
+	if got := h.Percentile(0.5); got != 0 {
+		t.Fatalf("p50 = %v, want 0", got)
+	}
+	if got := h.Percentile(1); got != 10 {
+		t.Fatalf("p100 = %v, want 10", got)
+	}
+}
+
+func TestHistogramRelativeErrorBound(t *testing.T) {
+	// Percentiles of a log-uniform sample set must track the true order
+	// statistics within the advertised relative error.
+	rng := rand.New(rand.NewSource(42))
+	var h Histogram
+	vals := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.Float64()*14 - 7) // ~1e-3 .. ~1e3
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 0.999} {
+		idx := int(math.Ceil(q*float64(len(vals)))) - 1
+		want := vals[idx]
+		got := h.Percentile(q)
+		if math.Abs(got-want)/want > histTolerance {
+			t.Fatalf("p%v = %v, true order statistic %v (rel err %.4f > %.4f)",
+				q*100, got, want, math.Abs(got-want)/want, histTolerance)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b, all Histogram
+	for i := 1; i <= 500; i++ {
+		a.Record(float64(i))
+		all.Record(float64(i))
+	}
+	for i := 501; i <= 1000; i++ {
+		b.Record(float64(i))
+		all.Record(float64(i))
+	}
+	var merged Histogram
+	merged.Merge(&a)
+	merged.Merge(&b)
+	merged.Merge(nil) // no-op
+	if merged.Count() != all.Count() {
+		t.Fatalf("merged count = %d, want %d", merged.Count(), all.Count())
+	}
+	if merged.Mean() != all.Mean() {
+		t.Fatalf("merged mean = %v, want %v", merged.Mean(), all.Mean())
+	}
+	if merged.Max() != all.Max() {
+		t.Fatalf("merged max = %v, want %v", merged.Max(), all.Max())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		if merged.Percentile(q) != all.Percentile(q) {
+			t.Fatalf("merged p%v = %v, direct p%v = %v — bucket-wise merge must be lossless",
+				q*100, merged.Percentile(q), q*100, all.Percentile(q))
+		}
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(rng.Float64() * 100)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	m := h.Mean()
+	if m < 40 || m > 60 {
+		t.Fatalf("mean of uniform(0,100) samples = %v, want ≈50", m)
 	}
 }
 
@@ -79,12 +200,18 @@ func TestRegistryIdentity(t *testing.T) {
 	if r.Counter("a") == r.Counter("b") {
 		t.Fatal("different names should return different counters")
 	}
+	if _, ok := r.LookupHistogram("absent"); ok {
+		t.Fatal("LookupHistogram must not create")
+	}
+	if got, ok := r.LookupHistogram("h"); !ok || got != r.Histogram("h") {
+		t.Fatal("LookupHistogram should find the registered histogram")
+	}
 }
 
 func TestRegistrySnapshot(t *testing.T) {
 	var r Registry
 	r.Counter("aborts").Add(3)
-	r.Histogram("bind_ms").Observe(2.0)
+	r.Histogram("bind_ms").Record(2.0)
 	snap := r.Snapshot()
 	if !strings.Contains(snap, "aborts") || !strings.Contains(snap, "bind_ms") {
 		t.Fatalf("snapshot missing entries:\n%s", snap)
@@ -92,34 +219,7 @@ func TestRegistrySnapshot(t *testing.T) {
 	if !strings.Contains(snap, "3") {
 		t.Fatalf("snapshot missing counter value:\n%s", snap)
 	}
-}
-
-func TestHistogramMeanBetweenMinMaxProperty(t *testing.T) {
-	f := func(vals []float64) bool {
-		var h Histogram
-		lo, hi := 0.0, 0.0
-		n := 0
-		for _, v := range vals {
-			// Skip NaN/Inf which have no meaningful ordering.
-			if v != v || v > 1e300 || v < -1e300 {
-				continue
-			}
-			if n == 0 || v < lo {
-				lo = v
-			}
-			if n == 0 || v > hi {
-				hi = v
-			}
-			h.Observe(v)
-			n++
-		}
-		if n == 0 {
-			return true
-		}
-		m := h.Mean()
-		return m >= lo-1e-9*(1+hi-lo) && m <= hi+1e-9*(1+hi-lo)
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
+	if !strings.Contains(snap, "p999") {
+		t.Fatalf("snapshot missing p999 column:\n%s", snap)
 	}
 }

@@ -1,0 +1,391 @@
+// Package placement partitions the object namespace across shards — each
+// shard an independent server/store group with its own group view
+// database — and maps every object UID to exactly one shard.
+//
+// The paper's naming and binding service (§3–§4) is a single persistent
+// object; its concluding remarks (§5) observe that the available-server
+// half can instead live in a traditional non-atomic name server because
+// the atomic Object State database alone guarantees consistent binding.
+// The placement service generalises that observation one level up: the
+// *object → group* mapping is itself naming data that needs no atomic-
+// action discipline. Placement resolution is non-atomic and cached;
+// correctness does not depend on it, because a client that resolves a
+// stale mapping simply fails to find the object at the old group's
+// database (CodeUnknownObject) and re-resolves. What makes the stale
+// path terminate is the per-object epoch: every explicit reassignment
+// bumps it, so a client can distinguish "mapping changed — re-bind" from
+// "mapping unchanged — the object really is gone".
+//
+// The default mapping is consistent hashing over a ring of virtual
+// nodes, so shard membership changes move only ~1/n of the namespace; a
+// directory of explicit overrides (populated by rebalancing) takes
+// precedence per object.
+package placement
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// ShardInfo describes one shard: its group view database node and the
+// server/store nodes of its group.
+type ShardInfo struct {
+	ID  int // 1-based
+	DB  transport.Addr
+	Svs []transport.Addr
+	Sts []transport.Addr
+}
+
+// Ring is a consistent-hash ring over shard IDs with virtual nodes.
+// Immutable after construction; safe for concurrent use.
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultVirtualNodes is the per-shard virtual-node count: enough that
+// the expected load imbalance between shards stays within a few percent.
+const DefaultVirtualNodes = 64
+
+// NewRing builds a ring over the given shard IDs. vnodes ≤ 0 selects
+// DefaultVirtualNodes.
+func NewRing(shards []int, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(shards)*vnodes)}
+	for _, s := range shards {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("shard-%d#%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Lookup maps a key to its shard: the first ring point at or after the
+// key's hash, wrapping around.
+func (r *Ring) Lookup(key string) int {
+	if len(r.points) == 0 {
+		return 0
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	// FNV alone clusters on near-identical inputs (the vnode labels differ
+	// in one or two bytes); a splitmix64 finalizer spreads the points so
+	// ring arcs — and therefore shard load — stay balanced.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// ServiceName is the RPC service name of the placement service.
+const ServiceName = "placement"
+
+// Placement RPC methods.
+const (
+	MethodLookup = "Lookup"
+	MethodAssign = "Assign"
+	MethodTable  = "Table"
+)
+
+// Service is the placement authority, hosted on one node. Like the §5
+// name server it is non-atomic: lookups and assignments are immediate,
+// mutex-protected map operations with no locks or actions.
+type Service struct {
+	mu        sync.Mutex
+	ring      *Ring
+	shards    map[int]ShardInfo
+	overrides map[uid.UID]int
+	epochs    map[uid.UID]uint64
+}
+
+// NewService installs a placement service for the given shards on node.
+func NewService(node *sim.Node, shards []ShardInfo) *Service {
+	ids := make([]int, len(shards))
+	byID := make(map[int]ShardInfo, len(shards))
+	for i, s := range shards {
+		ids[i] = s.ID
+		byID[s.ID] = s
+	}
+	s := &Service{
+		ring:      NewRing(ids, 0),
+		shards:    byID,
+		overrides: make(map[uid.UID]int),
+		epochs:    make(map[uid.UID]uint64),
+	}
+	srv := node.Server()
+	srv.Handle(ServiceName, MethodLookup, rpc.Method(func(ctx context.Context, from transport.Addr, req LookupReq) (LookupResp, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return LookupResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		shard, epoch := s.Lookup(id)
+		return LookupResp{Shard: shard, Epoch: epoch}, nil
+	}))
+	srv.Handle(ServiceName, MethodAssign, rpc.Method(func(ctx context.Context, from transport.Addr, req AssignReq) (AssignResp, error) {
+		id, err := uid.Parse(req.UID)
+		if err != nil {
+			return AssignResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+		}
+		epoch, err := s.Assign(id, req.Shard)
+		if err != nil {
+			return AssignResp{}, err
+		}
+		return AssignResp{Epoch: epoch}, nil
+	}))
+	srv.Handle(ServiceName, MethodTable, rpc.Method(func(ctx context.Context, from transport.Addr, req TableReq) (TableResp, error) {
+		return TableResp{Shards: shardRecs(s.Shards())}, nil
+	}))
+	return s
+}
+
+// Lookup resolves an object's shard and epoch: the directory override if
+// one exists, otherwise the ring. Epoch 0 means never reassigned.
+func (s *Service) Lookup(id uid.UID) (int, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if shard, ok := s.overrides[id]; ok {
+		return shard, s.epochs[id]
+	}
+	return s.ring.Lookup(id.String()), s.epochs[id]
+}
+
+// Assign records an explicit object → shard override and bumps the
+// object's epoch, invalidating every cached resolution.
+func (s *Service) Assign(id uid.UID, shard int) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.shards[shard]; !ok {
+		return 0, rpc.Errorf(rpc.CodeInternal, "placement: unknown shard %d", shard)
+	}
+	s.overrides[id] = shard
+	s.epochs[id]++
+	return s.epochs[id], nil
+}
+
+// Shards returns the shard descriptions, ordered by ID.
+func (s *Service) Shards() []ShardInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ShardInfo, 0, len(s.shards))
+	for _, info := range s.shards {
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Overrides returns a copy of the explicit directory entries.
+func (s *Service) Overrides() map[uid.UID]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[uid.UID]int, len(s.overrides))
+	for id, shard := range s.overrides {
+		out[id] = shard
+	}
+	return out
+}
+
+// --- wire records ---
+
+// LookupReq resolves one object's shard.
+type LookupReq struct{ UID string }
+
+// LookupResp carries the shard ID and the object's placement epoch.
+type LookupResp struct {
+	Shard int
+	Epoch uint64
+}
+
+// AssignReq records an explicit object → shard override.
+type AssignReq struct {
+	UID   string
+	Shard int
+}
+
+// AssignResp carries the object's new placement epoch.
+type AssignResp struct{ Epoch uint64 }
+
+// TableReq fetches the shard table.
+type TableReq struct{}
+
+// TableResp carries the shard table.
+type TableResp struct{ Shards []ShardRec }
+
+// ShardRec is the wire form of ShardInfo.
+type ShardRec struct {
+	ID  int
+	DB  string
+	Svs []string
+	Sts []string
+}
+
+func shardRecs(in []ShardInfo) []ShardRec {
+	out := make([]ShardRec, len(in))
+	for i, s := range in {
+		out[i] = ShardRec{ID: s.ID, DB: string(s.DB), Svs: fromAddrs(s.Svs), Sts: fromAddrs(s.Sts)}
+	}
+	return out
+}
+
+func toAddrs(in []string) []transport.Addr {
+	out := make([]transport.Addr, len(in))
+	for i, s := range in {
+		out[i] = transport.Addr(s)
+	}
+	return out
+}
+
+func fromAddrs(in []transport.Addr) []string {
+	out := make([]string, len(in))
+	for i, a := range in {
+		out[i] = string(a)
+	}
+	return out
+}
+
+// Client resolves placements against a remote Service, caching both the
+// shard table (immutable for a deployment's lifetime) and per-object
+// resolutions. Cached resolutions can go stale after a rebalance; the
+// shard-aware binder detects that through CodeUnknownObject at the old
+// shard and calls Refresh, using the epoch to decide whether a re-bind
+// is worthwhile. Safe for concurrent use.
+type Client struct {
+	RPC  rpc.Client
+	Node transport.Addr
+
+	mu    sync.Mutex
+	table map[int]ShardInfo
+	cache map[uid.UID]cachedPlacement
+}
+
+type cachedPlacement struct {
+	shard int
+	epoch uint64
+}
+
+// NewClient returns a placement client talking to the service at node.
+func NewClient(rpcc rpc.Client, node transport.Addr) *Client {
+	return &Client{RPC: rpcc, Node: node}
+}
+
+// Table returns the shard table, fetching it once.
+func (c *Client) Table(ctx context.Context) ([]ShardInfo, error) {
+	c.mu.Lock()
+	cached := c.table
+	c.mu.Unlock()
+	if cached == nil {
+		resp, err := rpc.Invoke[TableReq, TableResp](ctx, c.RPC, c.Node, ServiceName, MethodTable, TableReq{})
+		if err != nil {
+			return nil, err
+		}
+		cached = make(map[int]ShardInfo, len(resp.Shards))
+		for _, r := range resp.Shards {
+			cached[r.ID] = ShardInfo{ID: r.ID, DB: transport.Addr(r.DB), Svs: toAddrs(r.Svs), Sts: toAddrs(r.Sts)}
+		}
+		c.mu.Lock()
+		if c.table == nil {
+			c.table = cached
+		} else {
+			cached = c.table
+		}
+		c.mu.Unlock()
+	}
+	out := make([]ShardInfo, 0, len(cached))
+	for _, s := range cached {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Shard returns one shard's description by ID.
+func (c *Client) Shard(ctx context.Context, id int) (ShardInfo, error) {
+	if _, err := c.Table(ctx); err != nil {
+		return ShardInfo{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	info, ok := c.table[id]
+	if !ok {
+		return ShardInfo{}, fmt.Errorf("placement: unknown shard %d", id)
+	}
+	return info, nil
+}
+
+// Resolve returns the object's shard and placement epoch, from cache when
+// possible.
+func (c *Client) Resolve(ctx context.Context, id uid.UID) (ShardInfo, uint64, error) {
+	c.mu.Lock()
+	p, ok := c.cache[id]
+	c.mu.Unlock()
+	if ok {
+		info, err := c.Shard(ctx, p.shard)
+		return info, p.epoch, err
+	}
+	return c.Refresh(ctx, id)
+}
+
+// Refresh resolves the object's shard at the service, bypassing and then
+// replacing the cached entry.
+func (c *Client) Refresh(ctx context.Context, id uid.UID) (ShardInfo, uint64, error) {
+	resp, err := rpc.Invoke[LookupReq, LookupResp](ctx, c.RPC, c.Node, ServiceName, MethodLookup, LookupReq{UID: id.String()})
+	if err != nil {
+		return ShardInfo{}, 0, err
+	}
+	c.mu.Lock()
+	if c.cache == nil {
+		c.cache = make(map[uid.UID]cachedPlacement)
+	}
+	c.cache[id] = cachedPlacement{shard: resp.Shard, epoch: resp.Epoch}
+	c.mu.Unlock()
+	info, err := c.Shard(ctx, resp.Shard)
+	return info, resp.Epoch, err
+}
+
+// Assign records an explicit override at the service and updates the
+// local cache.
+func (c *Client) Assign(ctx context.Context, id uid.UID, shard int) (uint64, error) {
+	resp, err := rpc.Invoke[AssignReq, AssignResp](ctx, c.RPC, c.Node, ServiceName, MethodAssign, AssignReq{UID: id.String(), Shard: shard})
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	if c.cache == nil {
+		c.cache = make(map[uid.UID]cachedPlacement)
+	}
+	c.cache[id] = cachedPlacement{shard: shard, epoch: resp.Epoch}
+	c.mu.Unlock()
+	return resp.Epoch, nil
+}

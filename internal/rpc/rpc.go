@@ -236,6 +236,7 @@ type svcMetrics struct {
 	calls         *metrics.Counter
 	transportErrs *metrics.Counter
 	latency       *metrics.Latency
+	hist          *metrics.Histogram
 }
 
 func (c Client) serviceMetrics(service string) *svcMetrics {
@@ -246,6 +247,7 @@ func (c Client) serviceMetrics(service string) *svcMetrics {
 		calls:         c.Metrics.Counter("rpc." + service + ".calls"),
 		transportErrs: c.Metrics.Counter("rpc." + service + ".transport-errors"),
 		latency:       c.Metrics.Latency("rpc." + service),
+		hist:          c.Metrics.Histogram("rpc." + service),
 	}
 	return c.Metrics.MemoStore(service, sm).(*svcMetrics)
 }
@@ -269,8 +271,10 @@ func (c Client) Call(ctx context.Context, to transport.Addr, service, method str
 	})
 	if c.Metrics != nil {
 		sm := c.serviceMetrics(service)
+		elapsed := time.Since(start)
 		sm.calls.Inc()
-		sm.latency.Observe(time.Since(start))
+		sm.latency.Observe(elapsed)
+		sm.hist.RecordDuration(elapsed)
 		if err != nil {
 			sm.transportErrs.Inc()
 		}

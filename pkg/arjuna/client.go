@@ -23,9 +23,11 @@ const (
 // System.Client; a Client is safe for sequential use (one Atomic at a
 // time — run concurrent workloads from separate Clients).
 type Client struct {
-	sys    *System
-	name   transport.Addr
-	binder *core.Binder
+	sys  *System
+	name transport.Addr
+	// binder is the classic single-group binder, or the placement-aware
+	// one when the deployment is sharded.
+	binder core.ActionBinder
 	cfg    clientConfig
 }
 
@@ -171,7 +173,7 @@ func (c *Client) Atomic(ctx context.Context, fn func(tx *Txn) error) (*CommitRep
 
 // runOnce executes one begin → fn → commit/abort cycle.
 func (c *Client) runOnce(ctx context.Context, fn func(tx *Txn) error) (*CommitReport, error) {
-	act := c.binder.Actions.BeginTop()
+	act := c.binder.BeginTop()
 	tx := &Txn{c: c, act: act, objects: make(map[uid.UID]*Object)}
 	// Abort on every path that does not reach commit — including a panic
 	// inside fn — so no action is left running.

@@ -56,6 +56,37 @@
 // system or per client via options; Crash/Recover drive the §4.1.2/§4.2
 // failure and recovery protocols for whole nodes.
 //
+// # Sharding
+//
+// WithShards(n) splits the deployment into n independent groups, each
+// with its own group view database and its own server and store nodes,
+// under a placement service that maps every object UID to a shard:
+//
+//	sys, err := arjuna.Open(
+//		arjuna.WithShards(3),
+//		arjuna.WithServers(2), // per shard
+//		arjuna.WithStores(2),  // per shard
+//	)
+//
+// Placement is consistent hashing over the shard set plus a directory of
+// explicit overrides — the paper's §5 observation (naming data needs no
+// atomic discipline because binding failures are detected and retried)
+// applied one level up, to the object→group map itself. Clients resolve
+// and cache placements transparently inside Atomic: an action touching
+// objects of one shard runs exactly as in an unsharded deployment,
+// keeping the one-phase and all-read-only fast paths, while an action
+// spanning shards enlists participants from several groups under one
+// coordinator and commits through the same voting two-phase protocol.
+//
+// System.Rebalance(ctx, id, shard) migrates an object between shards
+// using the §4.2 catch-up machinery (deregister once quiescent, install
+// the latest committed state at the target group, re-register, flip the
+// placement override). Each override bumps the object's placement epoch;
+// a client that cached the stale shard discovers the move on its next
+// bind (unknown-object from the old group), re-resolves, and retries
+// against the new shard — it can never commit against the old one,
+// because the old group no longer registers the object.
+//
 // # Stable storage
 //
 // By default every node's "stable" store is in memory: it survives the

@@ -48,6 +48,9 @@ var (
 	ErrUnknownMethod = errors.New("arjuna: unknown method")
 	// ErrUnknownNode reports a node name the deployment does not contain.
 	ErrUnknownNode = errors.New("arjuna: unknown node")
+	// ErrNotSharded reports a sharding-only operation (e.g. Rebalance) on
+	// a deployment opened without WithShards.
+	ErrNotSharded = errors.New("arjuna: deployment is not sharded")
 )
 
 // taggedError glues a sentinel onto an underlying cause so that both

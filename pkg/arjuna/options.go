@@ -52,6 +52,7 @@ type config struct {
 	stores  int
 	clients int
 	objects int
+	shards  int
 
 	net     transport.MemOptions
 	network transport.Network
@@ -91,9 +92,21 @@ func WithStores(n int) Option { return func(c *config) { c.stores = n } }
 func WithClients(n int) Option { return func(c *config) { c.clients = n } }
 
 // WithObjects sets how many pre-created counter objects the deployment
-// starts with (each replicated across all servers and stores). Further
-// objects of any registered class are created with System.CreateObject.
+// starts with (each replicated across all servers and stores of its
+// shard). Further objects of any registered class are created with
+// System.CreateObject.
 func WithObjects(n int) Option { return func(c *config) { c.objects = n } }
+
+// WithShards splits the deployment into n independent groups, each with
+// its own group view database (db1..dbN) and its own WithServers servers
+// and WithStores stores — the per-node counts become per-shard counts. A
+// placement service maps each object to a shard by consistent hashing,
+// with an explicit-override directory on top, and every Client binds
+// through it transparently: actions touching one shard keep the
+// one-phase and read-only fast paths, actions spanning shards enlist
+// participants from several groups under one coordinator. n <= 1 keeps
+// the classic single-group deployment (one "db" node) unchanged.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 
 // WithScheme sets the deployment's default database access scheme;
 // individual clients may override it with ClientScheme.

@@ -27,8 +27,9 @@ type System struct {
 	// viewMgr mints the short-lived top-level actions behind the view
 	// and recovery helpers, separate from any client's actions.
 	viewMgr *action.Manager
-	janitor *core.Janitor
-	gen     *uid.Generator
+	// janitors sweep use-lists: one per group view database.
+	janitors []*core.Janitor
+	gen      *uid.Generator
 
 	mu      sync.Mutex
 	created []uid.UID
@@ -56,6 +57,7 @@ func Open(opts ...Option) (*System, error) {
 		Stores:   cfg.stores,
 		Clients:  cfg.clients,
 		Objects:  cfg.objects,
+		Shards:   cfg.shards,
 		Net:      cfg.net,
 		Network:  cfg.network,
 		Registry: reg,
@@ -65,12 +67,16 @@ func Open(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("arjuna: open: %w", err)
 	}
+	janitors := make([]*core.Janitor, len(w.Groups))
+	for i := range w.Groups {
+		janitors[i] = core.NewJanitor(w.Groups[i].DB)
+	}
 	return &System{
-		cfg:     cfg,
-		w:       w,
-		viewMgr: action.NewManager("arjuna-sys", nil),
-		janitor: core.NewJanitor(w.DB),
-		gen:     uid.NewGenerator("app", 1),
+		cfg:      cfg,
+		w:        w,
+		viewMgr:  action.NewManager("arjuna-sys", nil),
+		janitors: janitors,
+		gen:      uid.NewGenerator("app", 1),
 	}, nil
 }
 
@@ -128,8 +134,16 @@ func (s *System) Client(name string, opts ...ClientOption) (*Client, error) {
 			cc.degree = 0 // all servers in the view
 		}
 	}
-	binder := s.w.Binder(addr, cc.scheme, cc.policy, cc.degree)
-	binder.ReadOnly = cc.readOnly
+	var binder core.ActionBinder
+	if s.w.Sharded() {
+		sb := s.w.ShardBinder(addr, cc.scheme, cc.policy, cc.degree)
+		sb.ReadOnly = cc.readOnly
+		binder = sb
+	} else {
+		b := s.w.Binder(addr, cc.scheme, cc.policy, cc.degree)
+		b.ReadOnly = cc.readOnly
+		binder = b
+	}
 	return &Client{sys: s, name: addr, binder: binder, cfg: cc}, nil
 }
 
@@ -159,14 +173,70 @@ func (s *System) ClientNodes() []transport.Addr {
 // its Sv/St views. The new UID is returned.
 func (s *System) CreateObject(ctx context.Context, class string, initState []byte) (uid.UID, error) {
 	id := s.gen.New()
-	creator := s.dbClient()
-	if err := core.CreateObject(ctx, creator, s.w.Mgrs[s.w.Clients[0]], id, class, initState, s.w.Svs, s.w.Sts); err != nil {
+	// Placement decides the shard from the UID; the object is created in
+	// that shard's group (the only group, when unsharded).
+	g := s.w.GroupOf(id)
+	creator := core.Client{RPC: s.w.Cluster.Node(s.w.Clients[0]).Client(), DB: g.DB.Addr()}
+	if err := core.CreateObject(ctx, creator, s.w.Mgrs[s.w.Clients[0]], id, class, initState, g.Svs, g.Sts); err != nil {
 		return uid.Nil, MapError(err)
 	}
 	s.mu.Lock()
 	s.created = append(s.created, id)
 	s.mu.Unlock()
 	return id, nil
+}
+
+// ShardInfo describes one shard of a sharded deployment: its group view
+// database node and the server and store nodes of its group.
+type ShardInfo struct {
+	// ID is the 1-based shard number.
+	ID int
+	// DB is the shard's group view database node.
+	DB transport.Addr
+	// Servers and Stores are the shard's object-server and object-store
+	// node sets.
+	Servers []transport.Addr
+	Stores  []transport.Addr
+}
+
+// ShardCount returns the number of shards (1 when unsharded).
+func (s *System) ShardCount() int { return len(s.w.Groups) }
+
+// Shards returns the placement table: every shard with its database,
+// server and store nodes. Unsharded deployments report one shard.
+func (s *System) Shards() []ShardInfo {
+	out := make([]ShardInfo, len(s.w.Groups))
+	for i := range s.w.Groups {
+		g := &s.w.Groups[i]
+		out[i] = ShardInfo{
+			ID:      g.ID,
+			DB:      g.DB.Addr(),
+			Servers: append([]transport.Addr(nil), g.Svs...),
+			Stores:  append([]transport.Addr(nil), g.Sts...),
+		}
+	}
+	return out
+}
+
+// ShardOf returns the shard an object currently lives on, per the
+// placement service: the consistent-hash shard unless a rebalance has
+// recorded an explicit override. Always 1 when unsharded.
+func (s *System) ShardOf(id uid.UID) int {
+	return s.w.GroupOf(id).ID
+}
+
+// Rebalance migrates an object to the target shard (1-based): the
+// object is deregistered from its current group once quiescent, its
+// latest committed state installed at the target group's stores through
+// the §4.2 catch-up machinery, registered in the target group's
+// database, and the placement override updated with a bumped epoch so
+// clients holding the stale mapping re-bind instead of committing
+// against the old shard. Requires WithShards.
+func (s *System) Rebalance(ctx context.Context, id uid.UID, target int) error {
+	if !s.w.Sharded() {
+		return fmt.Errorf("arjuna: rebalance: %w", ErrNotSharded)
+	}
+	return MapError(s.w.Rebalance(ctx, id, target))
 }
 
 // Crash fail-silences a node: its volatile state is lost and it leaves
@@ -192,12 +262,15 @@ func (s *System) Recover(ctx context.Context, node string) error {
 		return fmt.Errorf("arjuna: recover %q: %w", node, ErrUnknownNode)
 	}
 	n.Recover(nil)
-	ids := s.w.DB.Objects()
+	// Recovery talks to the node's own group: its database registers the
+	// objects whose views the node must rejoin.
+	g := s.w.GroupFor(addr)
+	ids := g.DB.Objects()
 	switch {
 	case slices.Contains(s.w.Sts, addr):
-		return MapError(core.RecoverStoreNode(ctx, n, s.w.DB.Addr(), ids))
+		return MapError(core.RecoverStoreNode(ctx, n, g.DB.Addr(), ids))
 	case slices.Contains(s.w.Svs, addr):
-		return MapError(core.RecoverServerNode(ctx, n, s.w.DB.Addr(), ids))
+		return MapError(core.RecoverServerNode(ctx, n, g.DB.Addr(), ids))
 	}
 	return nil
 }
@@ -215,7 +288,7 @@ func (s *System) StoreView(ctx context.Context, id uid.UID) ([]transport.Addr, e
 }
 
 func (s *System) view(ctx context.Context, id uid.UID, wantSt bool) ([]transport.Addr, error) {
-	cli := s.dbClient()
+	cli := core.Client{RPC: s.w.Cluster.Node(s.w.Clients[0]).Client(), DB: s.w.GroupOf(id).DB.Addr()}
 	act := s.viewMgr.BeginTop()
 	var view []transport.Addr
 	var err error
@@ -295,9 +368,14 @@ func (s *System) Status() []NodeStatus {
 }
 
 func (s *System) kindOf(addr transport.Addr) string {
+	for i := range s.w.Groups {
+		if addr == s.w.Groups[i].DB.Addr() {
+			return "db"
+		}
+	}
 	switch {
-	case addr == s.w.DB.Addr():
-		return "db"
+	case s.w.Sharded() && addr == s.w.PlaceAddr:
+		return "placement"
 	case slices.Contains(s.w.Svs, addr):
 		return "server"
 	case slices.Contains(s.w.Sts, addr):
@@ -312,11 +390,23 @@ func (s *System) kindOf(addr transport.Addr) string {
 // SweepReport is the result of one use-list janitor pass (§4.1.3).
 type SweepReport = core.SweepReport
 
-// Sweep runs the use-list janitor once: it probes client nodes recorded
-// in use lists, and for crashed ones aborts their database actions and
-// clears their counters.
+// Sweep runs the use-list janitor once over every group view database:
+// it probes client nodes recorded in use lists, and for crashed ones
+// aborts their database actions and clears their counters. Sharded
+// deployments merge the per-group reports.
 func (s *System) Sweep(ctx context.Context) SweepReport {
-	return s.janitor.Sweep(ctx)
+	var merged SweepReport
+	dead := map[transport.Addr]bool{}
+	for _, j := range s.janitors {
+		rep := j.Sweep(ctx)
+		for _, c := range rep.DeadClients {
+			dead[c] = true
+		}
+		merged.AbortedActions += rep.AbortedActions
+		merged.ClearedCounters += rep.ClearedCounters
+	}
+	merged.DeadClients = sortedAddrs(dead)
+	return merged
 }
 
 // Faults returns the in-memory network's programmable fault plan, or nil
@@ -337,6 +427,11 @@ type ServiceStats struct {
 	// MeanLatency and MaxLatency aggregate the per-call round-trip time.
 	MeanLatency time.Duration
 	MaxLatency  time.Duration
+	// P50/P99/P999 are round-trip latency percentiles from the service's
+	// log-bucketed histogram (±~2% relative error; max is exact).
+	P50  time.Duration
+	P99  time.Duration
+	P999 time.Duration
 }
 
 // Stats returns per-service RPC call counts and latencies accumulated by
@@ -367,6 +462,12 @@ func (s *System) Stats() []ServiceStats {
 			s.MeanLatency = lat.Mean()
 			s.MaxLatency = lat.Max()
 		}
+		if h, ok := reg.LookupHistogram("rpc." + service); ok {
+			ms := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+			s.P50 = ms(h.Percentile(0.50))
+			s.P99 = ms(h.Percentile(0.99))
+			s.P999 = ms(h.Percentile(0.999))
+		}
 		out = append(out, s)
 	}
 	return out
@@ -379,17 +480,16 @@ func (s *System) StatsSnapshot() string {
 	return s.w.Metrics.Snapshot()
 }
 
-// dbClient returns a group-view-database client originating from the
-// first client node.
-func (s *System) dbClient() core.Client {
-	return core.Client{RPC: s.w.Cluster.Node(s.w.Clients[0]).Client(), DB: s.w.DB.Addr()}
-}
-
 // String implements fmt.Stringer.
 func (s *System) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "arjuna.System(db + %d servers + %d stores + %d clients, scheme=%v, policy=%v",
-		len(s.w.Svs), len(s.w.Sts), len(s.w.Clients), s.cfg.scheme, s.cfg.policy)
+	if s.w.Sharded() {
+		fmt.Fprintf(&b, "arjuna.System(%d shards × (db + %d servers + %d stores) + %d clients, scheme=%v, policy=%v",
+			len(s.w.Groups), s.cfg.servers, s.cfg.stores, len(s.w.Clients), s.cfg.scheme, s.cfg.policy)
+	} else {
+		fmt.Fprintf(&b, "arjuna.System(db + %d servers + %d stores + %d clients, scheme=%v, policy=%v",
+			len(s.w.Svs), len(s.w.Sts), len(s.w.Clients), s.cfg.scheme, s.cfg.policy)
+	}
 	if _, ok := s.w.Cluster.Net().(*transport.TCP); ok {
 		b.WriteString(", transport=tcp")
 	}
