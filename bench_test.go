@@ -22,6 +22,7 @@ import (
 	"repro/internal/lockmgr"
 	"repro/internal/replica"
 	"repro/internal/storage"
+	"repro/pkg/arjuna"
 )
 
 // BenchmarkE1Divergence — Figure 1: reply loss to a replica group, naive
@@ -454,6 +455,80 @@ func BenchmarkLockContention(b *testing.B) {
 			}
 		})
 	})
+}
+
+// BenchmarkHotKeyContention measures commutative-op batching on a single
+// hot counter: every worker hammers the same object with solo adds. The
+// apply-batched variant goes through Client.Apply, so ops queued behind
+// the write-lock holder fold into its commit round (flat combining); the
+// invoke-unbatched variant is the same add through a plain Atomic+Invoke,
+// where every op queues for the lock and pays its own 2PC — the hot-key
+// tail this PR's tentpole eliminates. batched-frac reports the fraction
+// of operations that rode another action's commit.
+func BenchmarkHotKeyContention(b *testing.B) {
+	const workers = 16
+	for _, tc := range []struct {
+		name string
+		solo bool
+	}{
+		{"apply-batched", true},
+		{"invoke-unbatched", false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			sys, err := arjuna.Open(
+				arjuna.WithServers(1), arjuna.WithStores(1), arjuna.WithClients(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sys.Close()
+			obj := sys.Objects()[0]
+			clients := make([]*arjuna.Client, workers)
+			for k := range clients {
+				cl, err := sys.Client(fmt.Sprintf("c%d", k+1), arjuna.ClientRetry(100, time.Millisecond))
+				if err != nil {
+					b.Fatal(err)
+				}
+				clients[k] = cl
+			}
+			ctx := context.Background()
+			var next, batched, failed atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for k := 0; k < workers; k++ {
+				wg.Add(1)
+				go func(cl *arjuna.Client) {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if tc.solo {
+							_, rep, err := cl.Apply(ctx, obj, "add", []byte("1"))
+							if err != nil {
+								failed.Add(1)
+								return
+							}
+							if rep.Batched {
+								batched.Add(1)
+							}
+							continue
+						}
+						if _, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+							_, err := tx.Object(obj).Invoke(ctx, "add", []byte("1"))
+							return err
+						}); err != nil {
+							failed.Add(1)
+							return
+						}
+					}
+				}(clients[k])
+			}
+			wg.Wait()
+			b.StopTimer()
+			if failed.Load() > 0 {
+				b.Fatalf("%d workers failed", failed.Load())
+			}
+			b.ReportMetric(float64(batched.Load())/float64(b.N), "batched-frac")
+		})
+	}
 }
 
 // BenchmarkBindOnly measures the naming-and-binding round per scheme with

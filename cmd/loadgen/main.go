@@ -16,7 +16,17 @@
 //
 //	loadgen [-shards N] [-servers N] [-stores N] [-concurrency N]
 //	        [-objects N] [-read-frac F] [-cross-frac F] [-zipf-s S]
+//	        [-hot-frac F] [-queue-depth N] [-queue-wait D]
 //	        [-warmup D] [-duration D] [-seed N] [-out FILE]
+//
+// -hot-frac forces that fraction of operations onto the single hottest
+// key on top of the Zipf draw, making the hot-key tail scenario
+// (BENCH_hotkey.json) reproducible at will. Writes go through
+// Client.Apply, so commutative adds against a contended key may be
+// folded into the lock holder's commit (flat combining); each class's
+// JSON slice reports how many operations were batched, how many retries
+// the overload backpressure forced, and the server-side queue-wait
+// distribution.
 //
 // The deployment is in-memory and in-process: the numbers measure the
 // protocol stack (binding, locking, replication, 2PC, placement), not a
@@ -59,9 +69,12 @@ var classNames = [numClasses]string{"read", "write", "cross"}
 // classStats accumulates one worker's view of one operation class;
 // workers are merged at the end (Histogram.Merge is lossless).
 type classStats struct {
-	hist   *metrics.Histogram
-	ops    int64
-	aborts int64
+	hist      *metrics.Histogram
+	queueWait *metrics.Histogram
+	ops       int64
+	aborts    int64
+	batched   int64
+	overloads int64
 }
 
 // Report is the JSON document loadgen emits.
@@ -72,6 +85,7 @@ type Report struct {
 	Throughput  float64             `json:"throughput_ops_per_sec"`
 	Aborts      int64               `json:"aborts"`
 	AbortRate   float64             `json:"abort_rate"`
+	BatchedOps  int64               `json:"batched_ops"`
 	Overall     LatencyDoc          `json:"overall"`
 	Classes     map[string]ClassDoc `json:"classes"`
 	PerShardOps map[string]int64    `json:"per_shard_ops"`
@@ -87,6 +101,12 @@ type ConfigDoc struct {
 	ReadFrac    float64 `json:"read_frac"`
 	CrossFrac   float64 `json:"cross_frac"`
 	ZipfS       float64 `json:"zipf_s"`
+	HotFrac     float64 `json:"hot_frac"`
+	QueueDepth  int     `json:"queue_depth"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	Retries     int     `json:"retries"`
+	FastBind    bool    `json:"fast_bind"`
+	Admission   int     `json:"admission"`
 	WarmupSec   float64 `json:"warmup_seconds"`
 	Seed        int64   `json:"seed"`
 }
@@ -100,11 +120,18 @@ type LatencyDoc struct {
 	Max  float64 `json:"max_ms"`
 }
 
-// ClassDoc is one operation class's slice of the report.
+// ClassDoc is one operation class's slice of the report. Batched counts
+// operations whose write was folded into another action's commit round;
+// Overloads counts attempts refused with backpressure (each forced a
+// jittered-backoff retry); QueueWait summarises the server-side lock and
+// combiner-queue wait the class observed.
 type ClassDoc struct {
-	Ops     int64      `json:"ops"`
-	Aborts  int64      `json:"aborts"`
-	Latency LatencyDoc `json:"latency"`
+	Ops       int64      `json:"ops"`
+	Aborts    int64      `json:"aborts"`
+	Batched   int64      `json:"batched_ops"`
+	Overloads int64      `json:"overload_retries"`
+	Latency   LatencyDoc `json:"latency"`
+	QueueWait LatencyDoc `json:"queue_wait"`
 }
 
 func latencyDoc(h *metrics.Histogram) LatencyDoc {
@@ -130,6 +157,12 @@ func run() error {
 	readFrac := flag.Float64("read-frac", 0.50, "fraction of operations that are read-only")
 	crossFrac := flag.Float64("cross-frac", 0.10, "fraction of operations that are cross-shard transfers")
 	zipfS := flag.Float64("zipf-s", 1.1, "Zipf skew exponent (>1; higher = hotter hot keys)")
+	hotFrac := flag.Float64("hot-frac", 0, "fraction of operations forced onto the single hottest key (0 = pure Zipf)")
+	queueDepth := flag.Int("queue-depth", 0, "per-object lock wait-queue cap (0 = unbounded, no backpressure)")
+	queueWait := flag.Duration("queue-wait", 0, "lock wait deadline before overload refusal (0 = unbounded)")
+	retries := flag.Int("retries", 3, "attempts per operation before a transient refusal becomes an abort")
+	fastBind := flag.Bool("fast-bind", true, "bind with commutative use-list locking (shared Sv read + Adjust-mode increments)")
+	admission := flag.Int("admission", 0, "system-wide cap on in-flight actions (0 = no admission gate)")
 	warmup := flag.Duration("warmup", 2*time.Second, "warmup period before measurement")
 	duration := flag.Duration("duration", 10*time.Second, "measured window")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
@@ -140,13 +173,20 @@ func run() error {
 	if *readFrac+*crossFrac > 1 {
 		return fmt.Errorf("read-frac + cross-frac = %.2f > 1", *readFrac+*crossFrac)
 	}
-	sys, err := arjuna.Open(
+	opts := []arjuna.Option{
 		arjuna.WithShards(*shards),
 		arjuna.WithServers(*servers),
 		arjuna.WithStores(*stores),
 		arjuna.WithClients(*clientNodes),
 		arjuna.WithObjects(*objects),
-	)
+	}
+	if *queueDepth > 0 || *queueWait > 0 {
+		opts = append(opts, arjuna.WithLockQueue(*queueDepth, *queueWait))
+	}
+	if *admission > 0 {
+		opts = append(opts, arjuna.WithAdmission(*admission))
+	}
+	sys, err := arjuna.Open(opts...)
 	if err != nil {
 		return err
 	}
@@ -163,8 +203,8 @@ func run() error {
 		byShard[shardOf[i]] = append(byShard[shardOf[i]], i)
 	}
 	fmt.Printf("loadgen: %v\n", sys)
-	fmt.Printf("loadgen: %d workers, %d objects over %d shards, mix read=%.2f write=%.2f cross=%.2f, zipf s=%.2f\n",
-		*concurrency, len(objs), sys.ShardCount(), *readFrac, 1-*readFrac-*crossFrac, *crossFrac, *zipfS)
+	fmt.Printf("loadgen: %d workers, %d objects over %d shards, mix read=%.2f write=%.2f cross=%.2f, zipf s=%.2f, hot-frac=%.2f\n",
+		*concurrency, len(objs), sys.ShardCount(), *readFrac, 1-*readFrac-*crossFrac, *crossFrac, *zipfS, *hotFrac)
 
 	measureStart := time.Now().Add(*warmup)
 	measureEnd := measureStart.Add(*duration)
@@ -177,11 +217,16 @@ func run() error {
 	var wg sync.WaitGroup
 	for wi := 0; wi < *concurrency; wi++ {
 		node := fmt.Sprintf("c%d", 1+wi%*clientNodes)
-		rw, err := sys.Client(node)
+		rwOpts := []arjuna.ClientOption{arjuna.ClientRetry(*retries, 2*time.Millisecond)}
+		retry := rwOpts[0]
+		if *fastBind {
+			rwOpts = append(rwOpts, arjuna.ClientFastBind())
+		}
+		rw, err := sys.Client(node, rwOpts...)
 		if err != nil {
 			return err
 		}
-		ro, err := sys.Client(node, arjuna.ClientReadOnly())
+		ro, err := sys.Client(node, arjuna.ClientReadOnly(), retry)
 		if err != nil {
 			return err
 		}
@@ -191,6 +236,7 @@ func run() error {
 			res := &results[wi]
 			for c := range res.classes {
 				res.classes[c].hist = new(metrics.Histogram)
+				res.classes[c].queueWait = new(metrics.Histogram)
 			}
 			rng := rand.New(rand.NewSource(*seed + int64(wi)))
 			zipf := rand.NewZipf(rng, *zipfS, 1, uint64(len(objs)-1))
@@ -202,6 +248,12 @@ func run() error {
 					return
 				}
 				key := int(zipf.Uint64())
+				// The Zipf draw already favours key 0; -hot-frac pins the
+				// hot key harder than any realistic s would, reproducing
+				// the pathological single-object tail on demand.
+				if *hotFrac > 0 && rng.Float64() < *hotFrac {
+					key = 0
+				}
 				class := opWrite
 				switch roll := rng.Float64(); {
 				case roll < *readFrac:
@@ -230,17 +282,18 @@ func run() error {
 				opCtx, cancel := context.WithTimeout(ctx, *opTimeout)
 				start := time.Now()
 				var opErr error
+				var rep *arjuna.CommitReport
 				switch class {
 				case opRead:
-					_, opErr = ro.Atomic(opCtx, func(tx *arjuna.Txn) error {
+					rep, opErr = ro.Atomic(opCtx, func(tx *arjuna.Txn) error {
 						_, err := tx.Object(objs[key]).Read(opCtx, "get", nil)
 						return err
 					})
 				case opWrite:
-					_, opErr = rw.Atomic(opCtx, func(tx *arjuna.Txn) error {
-						_, err := tx.Object(objs[key]).Invoke(opCtx, "add", []byte("1"))
-						return err
-					})
+					// Apply declares the add as the action's whole write
+					// set, so the server may fold it into the current lock
+					// holder's commit instead of queueing.
+					_, rep, opErr = rw.Apply(opCtx, objs[key], "add", []byte("1"))
 				case opCross:
 					// Bind in index order so two transfers over the same
 					// pair cannot deadlock AB-BA.
@@ -248,7 +301,7 @@ func run() error {
 					if first > second {
 						first, second = second, first
 					}
-					_, opErr = rw.Atomic(opCtx, func(tx *arjuna.Txn) error {
+					rep, opErr = rw.Atomic(opCtx, func(tx *arjuna.Txn) error {
 						if _, err := tx.Object(objs[first]).Invoke(opCtx, "add", []byte("-1")); err != nil {
 							return err
 						}
@@ -268,6 +321,13 @@ func run() error {
 					cs.aborts++
 				}
 				cs.hist.RecordDuration(elapsed)
+				if rep != nil {
+					if rep.Batched {
+						cs.batched++
+					}
+					cs.overloads += int64(rep.Overloads)
+					cs.queueWait.RecordDuration(rep.QueueWait)
+				}
 				perShardOps[shardOf[key]].Add(1)
 				if class == opCross {
 					perShardOps[shardOf[peer]].Add(1)
@@ -282,6 +342,7 @@ func run() error {
 	var merged [numClasses]classStats
 	for c := range merged {
 		merged[c].hist = new(metrics.Histogram)
+		merged[c].queueWait = new(metrics.Histogram)
 	}
 	for i := range results {
 		for c := range results[i].classes {
@@ -291,20 +352,27 @@ func run() error {
 			}
 			merged[c].ops += cs.ops
 			merged[c].aborts += cs.aborts
+			merged[c].batched += cs.batched
+			merged[c].overloads += cs.overloads
 			merged[c].hist.Merge(cs.hist)
+			merged[c].queueWait.Merge(cs.queueWait)
 			overall.Merge(cs.hist)
 		}
 	}
 
-	var totalOps, totalAborts int64
+	var totalOps, totalAborts, totalBatched int64
 	classes := map[string]ClassDoc{}
 	for c := range merged {
 		totalOps += merged[c].ops
 		totalAborts += merged[c].aborts
+		totalBatched += merged[c].batched
 		classes[classNames[c]] = ClassDoc{
-			Ops:     merged[c].ops,
-			Aborts:  merged[c].aborts,
-			Latency: latencyDoc(merged[c].hist),
+			Ops:       merged[c].ops,
+			Aborts:    merged[c].aborts,
+			Batched:   merged[c].batched,
+			Overloads: merged[c].overloads,
+			Latency:   latencyDoc(merged[c].hist),
+			QueueWait: latencyDoc(merged[c].queueWait),
 		}
 	}
 	perShard := map[string]int64{}
@@ -316,6 +384,9 @@ func run() error {
 			Shards: *shards, Servers: *servers, Stores: *stores,
 			Concurrency: *concurrency, Objects: *objects,
 			ReadFrac: *readFrac, CrossFrac: *crossFrac, ZipfS: *zipfS,
+			HotFrac: *hotFrac, QueueDepth: *queueDepth,
+			QueueWaitMS: float64(queueWait.Milliseconds()), Retries: *retries,
+			FastBind: *fastBind, Admission: *admission,
 			WarmupSec: warmup.Seconds(), Seed: *seed,
 		},
 		MeasuredSec: duration.Seconds(),
@@ -323,6 +394,7 @@ func run() error {
 		Throughput:  float64(totalOps) / duration.Seconds(),
 		Aborts:      totalAborts,
 		AbortRate:   safeDiv(totalAborts, totalOps),
+		BatchedOps:  totalBatched,
 		Overall:     latencyDoc(overall),
 		Classes:     classes,
 		PerShardOps: perShard,
@@ -335,8 +407,8 @@ func run() error {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("loadgen: %d ops in %s (%.0f ops/s), abort rate %.4f\n",
-		totalOps, duration, rep.Throughput, rep.AbortRate)
+	fmt.Printf("loadgen: %d ops in %s (%.0f ops/s), abort rate %.4f, batched %d\n",
+		totalOps, duration, rep.Throughput, rep.AbortRate, totalBatched)
 	fmt.Printf("loadgen: latency ms p50=%.3f p99=%.3f p999=%.3f max=%.3f → %s\n",
 		rep.Overall.P50, rep.Overall.P99, rep.Overall.P999, rep.Overall.Max, *out)
 	return nil

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/action"
 	"repro/internal/replica"
@@ -90,6 +91,16 @@ type Binder struct {
 	// time Exclude promotes the St read lock to a full write lock instead
 	// of the read-compatible exclude-write lock.
 	UseWriteLockForExclude bool
+	// FastBind applies the type-specific-locking idea of §4.2.1 to the
+	// enhanced schemes' bind action: Sv and the use lists are read under a
+	// shared Read lock and the use-count Increment takes the commutative
+	// Adjust lock, so binds to a hot object proceed in parallel instead of
+	// convoying behind one another's exclusive GetServer-to-EndAction
+	// window. The exclusive write-locked pass of Figure 7 is still used
+	// whenever activation finds broken servers to Remove (and by Insert/
+	// Remove themselves), so Sv repair and the §4.1.2 quiescence check keep
+	// their exact semantics. Ignored by the standard scheme.
+	FastBind bool
 	// NameServer, when set, enables the §5 extension: Sv is read from (and
 	// repaired in) a traditional non-atomic name server, while the atomic
 	// Object State database alone guarantees consistent binding. The
@@ -277,6 +288,15 @@ func (b *Binder) bindStandard(ctx context.Context, act *action.Action, id uid.UI
 // is lost once anyone catches up from the recovered node. (The chaos
 // harness finds this within a few dozen seeds.)
 func (b *Binder) bindEnhanced(ctx context.Context, act *action.Action, id uid.UID) (*Binding, error) {
+	return b.bindEnhancedMode(ctx, act, id, b.FastBind)
+}
+
+// bindEnhancedMode runs the Figure 7/8 bind. With fast set, GetServer
+// takes the shared Read lock and the use-count Increment the commutative
+// Adjust lock (see FastBind); when activation then finds broken servers —
+// whose Remove needs the exclusive pass — the fast bind action aborts and
+// the bind reruns with fast off.
+func (b *Binder) bindEnhancedMode(ctx context.Context, act *action.Action, id uid.UID, fast bool) (*Binding, error) {
 	bindAct := b.Actions.BeginTop()
 	owner := bindAct.ID()
 	top := act.Top().ID()
@@ -287,7 +307,7 @@ func (b *Binder) bindEnhanced(ctx context.Context, act *action.Action, id uid.UI
 	}
 
 	wantUse := !b.ReadOnly
-	forUpdate := !b.ReadOnly
+	forUpdate := !b.ReadOnly && !fast
 	sv, use, err := b.DB.GetServer(ctx, owner, id, wantUse, forUpdate)
 	if err != nil {
 		abortBind()
@@ -307,6 +327,13 @@ func (b *Binder) bindEnhanced(ctx context.Context, act *action.Action, id uid.UI
 	}
 
 	if !b.ReadOnly {
+		if fast && len(bd.handle.Broken()) > 0 {
+			// Removing the dead servers needs the exclusive write-locked
+			// pass; rerun the whole bind with it (rare — a bound server
+			// just failed).
+			abortBind()
+			return b.bindEnhancedMode(ctx, act, id, false)
+		}
 		// Remove failed servers from Sv so later clients do not pay the
 		// discovery cost (§4.1.3(i)); we already hold the write lock.
 		for _, dead := range bd.handle.Broken() {
@@ -466,6 +493,23 @@ func (bd *Binding) Servers() []transport.Addr { return bd.handle.Bound() }
 func (bd *Binding) Invoke(ctx context.Context, method string, args []byte) ([]byte, error) {
 	return bd.handle.Invoke(ctx, bd.act, method, args)
 }
+
+// InvokeSolo calls a method declared to be the action's entire write set
+// at this object. A commutative method may be folded into another
+// action's commit (flat combining); the second return reports that — the
+// binding then votes read-only at its own commit, which has nothing left
+// to send.
+func (bd *Binding) InvokeSolo(ctx context.Context, method string, args []byte) ([]byte, bool, error) {
+	return bd.handle.InvokeSolo(ctx, bd.act, method, args)
+}
+
+// BatchSize returns the number of operations folded into the commit round
+// that carried this binding's write (0 when unobserved).
+func (bd *Binding) BatchSize() int { return bd.handle.BatchSize() }
+
+// QueueWait returns the longest server-side lock or combiner wait
+// observed across this binding's invocations.
+func (bd *Binding) QueueWait() time.Duration { return bd.handle.QueueWait() }
 
 // --- action.Participant ---
 

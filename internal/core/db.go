@@ -103,6 +103,14 @@ func (e *stateEntry) clone() *stateEntry {
 type snapshotSet struct {
 	servers map[uid.UID]*serverEntry // nil value = entry did not exist
 	states  map[uid.UID]*stateEntry
+	// useDeltas records the net use-count adjustments the action made
+	// under Adjust locks: object → host → client → delta. Adjust holders
+	// run concurrently, so abort cannot restore a pre-image (it would
+	// clobber sibling adjustments); it applies the inverse deltas instead,
+	// which is exact because counter addition commutes. An action never
+	// mixes the two undo schemes on one object: adjustUse snapshots when
+	// the action holds the entry's write lock and logs deltas otherwise.
+	useDeltas map[uid.UID]map[transport.Addr]map[transport.Addr]int
 }
 
 // DB is the group view database: the naming and binding service state on
@@ -314,12 +322,30 @@ func (db *DB) pendingSetLocked(act string) *snapshotSet {
 	ss, ok := db.pending[act]
 	if !ok {
 		ss = &snapshotSet{
-			servers: make(map[uid.UID]*serverEntry),
-			states:  make(map[uid.UID]*stateEntry),
+			servers:   make(map[uid.UID]*serverEntry),
+			states:    make(map[uid.UID]*stateEntry),
+			useDeltas: make(map[uid.UID]map[transport.Addr]map[transport.Addr]int),
 		}
 		db.pending[act] = ss
 	}
 	return ss
+}
+
+// noteUseDeltaLocked logs one use-count adjustment made under an Adjust
+// lock, for inverse-apply on abort.
+func (db *DB) noteUseDeltaLocked(act string, id uid.UID, host, client transport.Addr, delta int) {
+	ss := db.pendingSetLocked(act)
+	hosts := ss.useDeltas[id]
+	if hosts == nil {
+		hosts = make(map[transport.Addr]map[transport.Addr]int)
+		ss.useDeltas[id] = hosts
+	}
+	m := hosts[host]
+	if m == nil {
+		m = make(map[transport.Addr]int)
+		hosts[host] = m
+	}
+	m[client] += delta
 }
 
 // EndAction finishes an action at the database: commit persists its entry
@@ -344,6 +370,32 @@ func (db *DB) EndAction(act string, commit bool) {
 					delete(db.states, id)
 				} else {
 					db.states[id] = snap
+				}
+			}
+			// Adjust-mode use-count changes are undone by inverse deltas —
+			// the Adjust lock is still held here, so no Write holder can
+			// have restructured the entry underneath. An id with a
+			// pre-image snapshot was mutated under the write lock and is
+			// already fully restored above.
+			for id, hosts := range ss.useDeltas {
+				if _, snapped := ss.servers[id]; snapped {
+					continue
+				}
+				e, ok := db.servers[id]
+				if !ok {
+					continue
+				}
+				for host, clients := range hosts {
+					m := e.Use[host]
+					if m == nil {
+						continue
+					}
+					for c, delta := range clients {
+						m[c] -= delta
+						if m[c] <= 0 {
+							delete(m, c)
+						}
+					}
 				}
 			}
 		}

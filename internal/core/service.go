@@ -209,7 +209,7 @@ func (db *DB) Remove(ctx context.Context, act string, from transport.Addr, id ui
 }
 
 // Increment bumps clientNode's counter in the use list of each host
-// (§4.1.3); requires the write lock.
+// (§4.1.3).
 func (db *DB) Increment(ctx context.Context, act string, from transport.Addr, id uid.UID, clientNode transport.Addr, hosts []transport.Addr) error {
 	return db.adjustUse(ctx, act, from, id, clientNode, hosts, +1)
 }
@@ -219,9 +219,21 @@ func (db *DB) Decrement(ctx context.Context, act string, from transport.Addr, id
 	return db.adjustUse(ctx, act, from, id, clientNode, hosts, -1)
 }
 
+// adjustUse applies a use-count delta. Increments and decrements commute,
+// so an action that does not already hold the entry's write lock takes the
+// Adjust lock — compatible with readers and with other adjusters, conflicting
+// only with the structural Write operations (Insert/Remove, and the
+// write-locked bind of Figure 7) — and its mutation is undone on abort by
+// the inverse delta. An action that does hold the write lock (the Figure 7
+// bind reads Sv, removes failed servers and increments in one action) keeps
+// the exclusive pre-image snapshot discipline.
 func (db *DB) adjustUse(ctx context.Context, act string, from transport.Addr, id uid.UID, clientNode transport.Addr, hosts []transport.Addr, delta int) error {
-	if err := db.locks.Acquire(ctx, lockmgr.Owner(act), svKey(id), lockmgr.Write); err != nil {
-		return rpc.Errorf(CodeLockRefused, "%v", err)
+	owner := lockmgr.Owner(act)
+	exclusive := db.locks.Holds(owner, svKey(id), lockmgr.Write)
+	if !exclusive {
+		if err := db.locks.Acquire(ctx, owner, svKey(id), lockmgr.Adjust); err != nil {
+			return rpc.Errorf(CodeLockRefused, "%v", err)
+		}
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -230,16 +242,28 @@ func (db *DB) adjustUse(ctx context.Context, act string, from transport.Addr, id
 	if !ok {
 		return rpc.Errorf(CodeUnknownObject, "no Sv entry for %v", id)
 	}
-	db.snapServerLocked(act, id)
+	if exclusive {
+		db.snapServerLocked(act, id)
+	}
 	for _, host := range hosts {
 		m := e.Use[host]
 		if m == nil {
 			m = make(map[transport.Addr]int)
 			e.Use[host] = m
 		}
-		m[clientNode] += delta
-		if m[clientNode] <= 0 {
+		old := m[clientNode]
+		nv := old + delta
+		if nv <= 0 {
 			delete(m, clientNode)
+			nv = 0 // counts clamp at zero
+		} else {
+			m[clientNode] = nv
+		}
+		if !exclusive {
+			// Log the effective delta — at the zero clamp a decrement
+			// applies less than asked, and the inverse must match what
+			// actually happened to the counter.
+			db.noteUseDeltaLocked(act, id, host, clientNode, nv-old)
 		}
 	}
 	return nil

@@ -13,6 +13,7 @@ import (
 	"repro/internal/action"
 	"repro/internal/core"
 	"repro/internal/group"
+	"repro/internal/lockmgr"
 	"repro/internal/metrics"
 	"repro/internal/object"
 	"repro/internal/placement"
@@ -48,6 +49,9 @@ func CounterClass() *object.Class {
 			},
 		},
 		ReadOnly: map[string]bool{"get": true},
+		// Additions commute: the server may fold queued solo adds into one
+		// execution and one commit (flat combining).
+		Commutative: map[string]bool{"add": true},
 	}
 }
 
@@ -84,6 +88,9 @@ type Options struct {
 	// Disk tunes the disk engine (sync discipline, compaction
 	// threshold); only meaningful with DataDir set.
 	Disk storage.DiskOptions
+	// LockLimits bounds every object server's per-object lock wait queues
+	// (depth cap and wait deadline); the zero value leaves them unbounded.
+	LockLimits lockmgr.Limits
 }
 
 // Group is one shard's server/store group and its group view database.
@@ -163,6 +170,7 @@ func New(opts Options) (*World, error) {
 		name := transport.Addr("sv" + strconv.Itoa(i+1))
 		n := w.Cluster.Add(name)
 		m := object.NewManager(n, reg)
+		m.SetLockLimits(opts.LockLimits)
 		m.EnableGroupInvocation(group.NewHost(n.Server(), n.Client()))
 		w.Svs = append(w.Svs, name)
 		g := &w.Groups[i/opts.Servers]
@@ -260,12 +268,19 @@ func (w *World) GroupFor(node transport.Addr) *Group {
 // Rebalance moves an object to the target shard (1-based), using the
 // first client node as the migration coordinator.
 func (w *World) Rebalance(ctx context.Context, id uid.UID, target int) error {
+	return w.RebalanceBatch(ctx, []uid.UID{id}, target)
+}
+
+// RebalanceBatch moves a batch of objects to the target shard under one
+// migration action and one placement epoch bump per object (a single
+// AssignBatch round), using the first client node as the coordinator.
+func (w *World) RebalanceBatch(ctx context.Context, ids []uid.UID, target int) error {
 	if w.Place == nil {
 		return fmt.Errorf("harness: Rebalance requires a sharded world")
 	}
 	client := w.Clients[0]
 	pc := placement.NewClient(w.Cluster.Node(client).Client(), w.PlaceAddr)
-	return placement.Move(ctx, pc, w.Mgrs[client], w.Cluster.Node(client).Client(), id, target)
+	return placement.Move(ctx, pc, w.Mgrs[client], w.Cluster.Node(client).Client(), ids, target)
 }
 
 // ShardBinder builds a shard-aware binder for the named client. Requires

@@ -4,8 +4,15 @@
 // Three lock modes are provided:
 //
 //   - Read: shared; used by GetServer/GetView (§4.1).
-//   - Write: exclusive; used by Insert/Remove/Include and the use-list
-//     operations Increment/Decrement (§4.1.2–4.1.3).
+//   - Write: exclusive; used by Insert/Remove/Include and, in the
+//     write-locked bind scheme, the use-list operations Increment/
+//     Decrement (§4.1.2–4.1.3).
+//   - Adjust: the commutative-update lock for use-list counters.
+//     Increment and Decrement commute with each other, so Adjust is
+//     compatible with Read and with other Adjust holders but conflicts
+//     with Write — concurrent binds adjust the counters in parallel while
+//     a recovering server's Insert (which needs the exact quiescent
+//     truth) still excludes every adjuster.
 //   - ExcludeWrite: the paper's type-specific lock (§4.2.1) — compatible
 //     with Read locks but not with Write or other ExcludeWrite holders, so
 //     a committing server can Exclude failed store nodes while concurrent
@@ -15,6 +22,14 @@
 // be granted if every conflicting holder is an ancestor of the requester;
 // when a nested action commits, its locks are inherited by its parent and
 // released only when the top-level action completes.
+//
+// Waiting is fair and optionally bounded: blocked acquirers join a
+// per-key FIFO queue and are granted strictly in arrival order (no
+// barging — a newly arriving compatible request queues behind earlier
+// waiters rather than overtaking them). A Manager built with Limits
+// refuses waiters beyond the queue-depth cap and expires waiters past the
+// wait deadline with ErrOverloaded, converting server-side convoys into a
+// typed signal the caller can back off on.
 package lockmgr
 
 import (
@@ -24,6 +39,7 @@ import (
 	"hash/maphash"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Mode is a lock mode. The zero value is invalid (Uber style: enums start
@@ -33,6 +49,7 @@ type Mode int
 // Lock modes, weakest to strongest for promotion ordering.
 const (
 	Read Mode = iota + 1
+	Adjust
 	ExcludeWrite
 	Write
 )
@@ -42,6 +59,8 @@ func (m Mode) String() string {
 	switch m {
 	case Read:
 		return "read"
+	case Adjust:
+		return "adjust"
 	case ExcludeWrite:
 		return "exclude-write"
 	case Write:
@@ -56,6 +75,8 @@ func (m Mode) String() string {
 func Compatible(a, b Mode) bool {
 	switch {
 	case a == Read && b == Read:
+		return true
+	case a == Adjust && (b == Adjust || b == Read), b == Adjust && a == Read:
 		return true
 	case a == Read && b == ExcludeWrite, a == ExcludeWrite && b == Read:
 		return true
@@ -85,8 +106,43 @@ func (f AncestryFunc) IsAncestorOf(a, d Owner) bool { return f(a, d) }
 var NoNesting Ancestry = AncestryFunc(func(Owner, Owner) bool { return false })
 
 // ErrRefused reports that a non-blocking acquire or promote found a
-// conflicting holder.
+// conflicting holder (or, under fair queueing, an earlier conflicting
+// waiter it must not overtake).
 var ErrRefused = errors.New("lockmgr: lock refused")
+
+// ErrOverloaded reports that a blocking acquire was refused by admission
+// control: the key's wait queue was at its depth cap, or the waiter's
+// queueing time exceeded the wait deadline. The lock was NOT granted; the
+// caller should shed load (abort and retry with backoff) rather than
+// queue deeper.
+var ErrOverloaded = errors.New("lockmgr: overloaded")
+
+// Limits bounds a Manager's per-key wait queues. The zero value means
+// unbounded waiting (the classic discipline).
+type Limits struct {
+	// MaxQueue caps how many acquirers may wait on one key at once;
+	// further blocking acquires fail fast with ErrOverloaded. 0 = no cap.
+	MaxQueue int
+	// MaxWait caps how long one acquirer may sit in a wait queue; a
+	// waiter that exceeds it is removed and fails with ErrOverloaded.
+	// 0 = wait forever (until ctx is done).
+	MaxWait time.Duration
+}
+
+// Observer receives queue observability events. Implementations must be
+// safe for concurrent use; hooks run on lock-acquisition paths and must
+// be cheap.
+type Observer interface {
+	// LockQueued fires when an acquirer starts waiting; depth is the
+	// queue depth including it.
+	LockQueued(depth int)
+	// LockGranted fires when a queued acquirer is granted, with its
+	// queueing time.
+	LockGranted(wait time.Duration)
+	// LockOverloaded fires when an acquirer is refused by the queue cap
+	// or expired by the wait deadline.
+	LockOverloaded()
+}
 
 // holder records one owner's grip on an entry: per-mode re-entrancy counts.
 type holder struct {
@@ -99,6 +155,8 @@ func (h *holder) strongest() Mode {
 		return Write
 	case h.counts[ExcludeWrite] > 0:
 		return ExcludeWrite
+	case h.counts[Adjust] > 0:
+		return Adjust
 	case h.counts[Read] > 0:
 		return Read
 	default:
@@ -107,14 +165,27 @@ func (h *holder) strongest() Mode {
 }
 
 func (h *holder) empty() bool {
-	return h.counts[Read] == 0 && h.counts[Write] == 0 && h.counts[ExcludeWrite] == 0
+	return h.counts[Read] == 0 && h.counts[Adjust] == 0 &&
+		h.counts[Write] == 0 && h.counts[ExcludeWrite] == 0
+}
+
+// waiter is one parked blocking acquire. ready is closed (with granted
+// set, under the stripe lock) when the grant happens, so a receive on
+// ready observes a fully granted lock.
+type waiter struct {
+	owner   Owner
+	mode    Mode
+	ready   chan struct{}
+	granted bool
 }
 
 type entry struct {
 	holders map[Owner]*holder
-	// wait is closed and replaced whenever a lock is released, waking
-	// blocked acquirers to retry.
-	wait chan struct{}
+	// waiters is the FIFO wait queue: grants happen strictly in arrival
+	// order, each performed synchronously under the stripe lock by
+	// whichever release made it possible — there is no wake-then-race
+	// window for a newcomer to barge through.
+	waiters []*waiter
 }
 
 // stripeCount and ownerShardCount size the two hash-sharded tables. Both
@@ -151,17 +222,26 @@ type ownerShard struct {
 // action has ended and can no longer issue acquires.
 type Manager struct {
 	ancestry Ancestry
+	limits   Limits
+	obs      Observer
 	seed     maphash.Seed
 	stripes  [stripeCount]stripe
 	owners   [ownerShardCount]ownerShard
 }
 
 // New returns a Manager using the given ancestry; nil means NoNesting.
+// Waiting is unbounded; use NewLimited for admission control.
 func New(ancestry Ancestry) *Manager {
+	return NewLimited(ancestry, Limits{})
+}
+
+// NewLimited returns a Manager whose per-key wait queues are bounded by
+// limits.
+func NewLimited(ancestry Ancestry, limits Limits) *Manager {
 	if ancestry == nil {
 		ancestry = NoNesting
 	}
-	m := &Manager{ancestry: ancestry, seed: maphash.MakeSeed()}
+	m := &Manager{ancestry: ancestry, limits: limits, seed: maphash.MakeSeed()}
 	for i := range m.stripes {
 		m.stripes[i].entries = make(map[string]*entry)
 	}
@@ -170,6 +250,13 @@ func New(ancestry Ancestry) *Manager {
 	}
 	return m
 }
+
+// SetObserver attaches queue observability hooks. Call before the manager
+// sees concurrent traffic.
+func (m *Manager) SetObserver(o Observer) { m.obs = o }
+
+// Limits returns the manager's admission-control bounds.
+func (m *Manager) Limits() Limits { return m.limits }
 
 // stripeOf returns the stripe owning key. Callers lock st.mu.
 func (m *Manager) stripeOf(key string) *stripe {
@@ -220,7 +307,7 @@ func (m *Manager) takeKeys(owner Owner) map[string]struct{} {
 func (st *stripe) entryLocked(key string) *entry {
 	e, ok := st.entries[key]
 	if !ok {
-		e = &entry{holders: make(map[Owner]*holder), wait: make(chan struct{})}
+		e = &entry{holders: make(map[Owner]*holder)}
 		st.entries[key] = e
 	}
 	return e
@@ -248,6 +335,29 @@ func (m *Manager) grantableLocked(e *entry, owner Owner, mode Mode) bool {
 	return true
 }
 
+// mayOvertakeLocked reports whether owner may be granted immediately even
+// though earlier waiters are queued. Fairness says no — except when
+// queueing could deadlock against locks the owner's own action family
+// already holds on this entry: a re-entrant acquire (or blocking
+// promotion) by a current holder, and a nested action whose ancestor
+// holds the entry (Moss's rule — the ancestor cannot release until the
+// descendant finishes), must not park behind strangers waiting for that
+// very holder to let go.
+func (m *Manager) mayOvertakeLocked(e *entry, owner Owner) bool {
+	if len(e.waiters) == 0 {
+		return true
+	}
+	if _, ok := e.holders[owner]; ok {
+		return true
+	}
+	for other := range e.holders {
+		if m.ancestry.IsAncestorOf(other, owner) {
+			return true
+		}
+	}
+	return false
+}
+
 // grantLocked adds one unit of mode for owner on e and indexes the key
 // under the owner; the entry's stripe is held.
 func (m *Manager) grantLocked(e *entry, key string, owner Owner, mode Mode) {
@@ -260,42 +370,169 @@ func (m *Manager) grantLocked(e *entry, key string, owner Owner, mode Mode) {
 	m.indexKey(owner, key)
 }
 
+// grantWaitersLocked hands the entry's lock to queued waiters strictly in
+// FIFO order: the head is granted while grantable (consecutive compatible
+// waiters — e.g. a run of readers — are granted together), and granting
+// stops at the first waiter that still conflicts. Performed under the
+// stripe lock, so no concurrently arriving acquire can barge between a
+// release and the grant it enables.
+func (m *Manager) grantWaitersLocked(e *entry, key string) {
+	for len(e.waiters) > 0 {
+		w := e.waiters[0]
+		if !m.grantableLocked(e, w.owner, w.mode) {
+			break
+		}
+		e.waiters = e.waiters[1:]
+		m.grantLocked(e, key, w.owner, w.mode)
+		w.granted = true
+		close(w.ready)
+	}
+}
+
+// gcLocked garbage-collects an entry with no holders and no waiters.
+func (st *stripe) gcLocked(e *entry, key string) {
+	if len(e.holders) == 0 && len(e.waiters) == 0 {
+		delete(st.entries, key)
+	}
+}
+
 // Acquire blocks until owner holds mode on key or ctx is done. Re-entrant:
 // an owner may acquire the same or a different mode repeatedly; each
 // successful Acquire needs a matching Release (or a ReleaseAll).
+//
+// Waiting is FIFO-fair: if other acquirers are already queued, a new
+// request queues behind them even when it is compatible with the current
+// holders (no barging), unless queueing would deadlock against the
+// owner's own holds (re-entrancy, blocking promotion, Moss ancestry).
+// Under a Manager with Limits, a full queue or an expired wait deadline
+// fails with ErrOverloaded.
 //
 // An owner that already holds a weaker mode and acquires a stronger one is
 // performing a blocking promotion; the non-blocking variant used at commit
 // time is TryPromote.
 func (m *Manager) Acquire(ctx context.Context, owner Owner, key string, mode Mode) error {
 	st := m.stripeOf(key)
-	for {
-		st.mu.Lock()
-		e := st.entryLocked(key)
-		if m.grantableLocked(e, owner, mode) {
-			m.grantLocked(e, key, owner, mode)
-			st.mu.Unlock()
+	st.mu.Lock()
+	e := st.entryLocked(key)
+	if m.grantableLocked(e, owner, mode) && m.mayOvertakeLocked(e, owner) {
+		m.grantLocked(e, key, owner, mode)
+		st.mu.Unlock()
+		return nil
+	}
+	if m.limits.MaxQueue > 0 && len(e.waiters) >= m.limits.MaxQueue {
+		st.gcLocked(e, key)
+		st.mu.Unlock()
+		if m.obs != nil {
+			m.obs.LockOverloaded()
+		}
+		return fmt.Errorf("lockmgr: acquire %s on %q for %s: %d already waiting: %w",
+			mode, key, owner, m.limits.MaxQueue, ErrOverloaded)
+	}
+	w := &waiter{owner: owner, mode: mode, ready: make(chan struct{})}
+	e.waiters = append(e.waiters, w)
+	depth := len(e.waiters)
+	st.mu.Unlock()
+	if m.obs != nil {
+		m.obs.LockQueued(depth)
+	}
+	start := time.Now()
+
+	var deadline <-chan time.Time
+	if m.limits.MaxWait > 0 {
+		t := time.NewTimer(m.limits.MaxWait)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case <-w.ready:
+		if m.obs != nil {
+			m.obs.LockGranted(time.Since(start))
+		}
+		return nil
+	case <-ctx.Done():
+		// Cancellation never keeps a racing grant: abandonWaiter undoes it.
+		m.abandonWaiter(st, key, w, false)
+		return fmt.Errorf("lockmgr: acquire %s on %q for %s: %w", mode, key, owner, ctx.Err())
+	case <-deadline:
+		if !m.abandonWaiter(st, key, w, true) {
+			// Granted in the same instant the deadline fired: keep it.
+			if m.obs != nil {
+				m.obs.LockGranted(time.Since(start))
+			}
 			return nil
 		}
-		wait := e.wait
-		st.mu.Unlock()
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("lockmgr: acquire %s on %q for %s: %w", mode, key, owner, ctx.Err())
-		case <-wait:
+		if m.obs != nil {
+			m.obs.LockOverloaded()
+		}
+		return fmt.Errorf("lockmgr: acquire %s on %q for %s: waited %s: %w",
+			mode, key, owner, m.limits.MaxWait, ErrOverloaded)
+	}
+}
+
+// abandonWaiter removes w from key's queue after a cancellation or
+// deadline. It reports true when the wait is abandoned (the caller must
+// return its error). When the grant already happened: with keepIfGranted
+// the grant stands and false is returned (the caller returns success);
+// otherwise the grant is undone — release one unit — and true is
+// returned.
+func (m *Manager) abandonWaiter(st *stripe, key string, w *waiter, keepIfGranted bool) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
+	if !ok {
+		// Only reachable when a racing ReleaseAll for this owner already
+		// dropped the granted lock and GC'd the entry; nothing is held
+		// either way, so report the wait abandoned.
+		return true
+	}
+	if w.granted {
+		if keepIfGranted {
+			return false
+		}
+		m.releaseOneLocked(st, e, key, w.owner, w.mode)
+		return true
+	}
+	for i, q := range e.waiters {
+		if q == w {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			break
 		}
 	}
+	// Removing a waiter can unblock the ones behind it (a cancelled
+	// writer between readers).
+	m.grantWaitersLocked(e, key)
+	st.gcLocked(e, key)
+	return true
+}
+
+// releaseOneLocked drops one unit of mode held by owner and hands the
+// entry to queued waiters; stripe held.
+func (m *Manager) releaseOneLocked(st *stripe, e *entry, key string, owner Owner, mode Mode) {
+	h, ok := e.holders[owner]
+	if !ok || h.counts[mode] == 0 {
+		return
+	}
+	h.counts[mode]--
+	if h.empty() {
+		delete(e.holders, owner)
+		m.unindexKey(owner, key)
+	}
+	m.grantWaitersLocked(e, key)
+	st.gcLocked(e, key)
 }
 
 // TryAcquire is a non-blocking Acquire: it either grants immediately or
 // returns ErrRefused. The paper's Insert operation uses this shape — it
-// "will only succeed when there are no clients using A" (§4.1.2).
+// "will only succeed when there are no clients using A" (§4.1.2). Like
+// Acquire it refuses to overtake queued waiters, so it cannot starve the
+// FIFO queue.
 func (m *Manager) TryAcquire(owner Owner, key string, mode Mode) error {
 	st := m.stripeOf(key)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	e := st.entryLocked(key)
-	if !m.grantableLocked(e, owner, mode) {
+	if !m.grantableLocked(e, owner, mode) || !m.mayOvertakeLocked(e, owner) {
+		st.gcLocked(e, key)
 		return fmt.Errorf("%s on %q for %s: %w", mode, key, owner, ErrRefused)
 	}
 	m.grantLocked(e, key, owner, mode)
@@ -343,12 +580,7 @@ func (m *Manager) Release(owner Owner, key string, mode Mode) error {
 	if !ok || h.counts[mode] == 0 {
 		return fmt.Errorf("lockmgr: release %s on %q: not held by %s", mode, key, owner)
 	}
-	h.counts[mode]--
-	if h.empty() {
-		delete(e.holders, owner)
-		m.unindexKey(owner, key)
-	}
-	st.wakeLocked(e, key)
+	m.releaseOneLocked(st, e, key, owner, mode)
 	return nil
 }
 
@@ -361,7 +593,8 @@ func (m *Manager) ReleaseAll(owner Owner) {
 		st.mu.Lock()
 		if e := st.entries[key]; e != nil {
 			delete(e.holders, owner)
-			st.wakeLocked(e, key)
+			m.grantWaitersLocked(e, key)
+			st.gcLocked(e, key)
 		}
 		st.mu.Unlock()
 	}
@@ -398,20 +631,24 @@ func (m *Manager) Inherit(child, parent Owner) {
 		// Inheritance can change the effective holder set (e.g. child and
 		// parent both held read; merging may not wake anyone, but entries
 		// with the child as sole blocker now have the parent — ancestry
-		// relations differ), so wake waiters to re-evaluate.
-		st.wakeLocked(e, key)
+		// relations differ), so re-evaluate the wait queue.
+		m.grantWaitersLocked(e, key)
+		st.gcLocked(e, key)
 		st.mu.Unlock()
 	}
 }
 
-// wakeLocked wakes the entry's waiters and garbage-collects it when no
-// holders remain; the stripe is held.
-func (st *stripe) wakeLocked(e *entry, key string) {
-	close(e.wait)
-	e.wait = make(chan struct{})
-	if len(e.holders) == 0 {
-		delete(st.entries, key)
+// QueueDepth reports how many acquirers are waiting on key, for
+// inspection and tests.
+func (m *Manager) QueueDepth(key string) int {
+	st := m.stripeOf(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
+	if !ok {
+		return 0
 	}
+	return len(e.waiters)
 }
 
 // HolderModes reports, for inspection and tests, the strongest mode each

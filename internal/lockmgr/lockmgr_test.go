@@ -33,6 +33,13 @@ func TestCompatibilityMatrix(t *testing.T) {
 		{Write, Write, false},
 		{Write, ExcludeWrite, false},
 		{ExcludeWrite, Write, false},
+		{Adjust, Adjust, true},
+		{Adjust, Read, true},
+		{Read, Adjust, true},
+		{Adjust, Write, false},
+		{Write, Adjust, false},
+		{Adjust, ExcludeWrite, false},
+		{ExcludeWrite, Adjust, false},
 	}
 	for _, c := range cases {
 		if got := Compatible(c.a, c.b); got != c.want {
@@ -476,5 +483,282 @@ func TestStripedInheritAcrossStripes(t *testing.T) {
 		if err := m.TryAcquire("stranger", fmt.Sprintf("k%d", k), Write); err != nil {
 			t.Fatalf("k%d not released after inherit+release-all: %v", k, err)
 		}
+	}
+}
+
+// --- fair bounded queue tests (ISSUE 7) ---
+
+func TestFIFOFairnessNoBarging(t *testing.T) {
+	// Writers queue behind a held write lock; releases must grant them in
+	// strict arrival order, and a late-arriving compatible reader must not
+	// barge past queued writers.
+	m := New(nil)
+	if err := m.Acquire(context.Background(), "holder", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 8
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := Owner(fmt.Sprintf("w%d", i))
+			if err := m.Acquire(context.Background(), o, "k", Write); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			if err := m.Release(o, "k", Write); err != nil {
+				t.Errorf("waiter %d release: %v", i, err)
+			}
+		}(i)
+		// Ensure waiter i is queued before waiter i+1 starts, so arrival
+		// order is deterministic.
+		for {
+			if m.QueueDepth("k") == i+1 {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	// With 8 writers queued, a new reader — compatible with nothing held
+	// once the writer releases, but behind the queue — must refuse to barge.
+	if err := m.TryAcquire("late-reader", "k", Read); !errors.Is(err, ErrRefused) {
+		t.Fatalf("reader barged past queued writers: %v", err)
+	}
+	if err := m.Release("holder", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v, want strict FIFO", order)
+		}
+	}
+}
+
+func TestQueueCapRefusesWithErrOverloaded(t *testing.T) {
+	m := NewLimited(nil, Limits{MaxQueue: 2})
+	if err := m.Acquire(context.Background(), "holder", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			o := Owner(fmt.Sprintf("q%d", i))
+			err := m.Acquire(context.Background(), o, "k", Write)
+			if err == nil {
+				m.ReleaseAll(o)
+			}
+			errs <- err
+		}(i)
+	}
+	for m.QueueDepth("k") != 2 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Third waiter is over the cap: typed refusal, no queueing.
+	if err := m.Acquire(context.Background(), "over", "k", Write); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-cap acquire: %v, want ErrOverloaded", err)
+	}
+	if d := m.QueueDepth("k"); d != 2 {
+		t.Fatalf("queue depth after refusal = %d, want 2", d)
+	}
+	m.ReleaseAll("holder")
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("queued waiter: %v", err)
+		}
+	}
+}
+
+func TestMaxWaitExpiresWithErrOverloaded(t *testing.T) {
+	m := NewLimited(nil, Limits{MaxWait: 20 * time.Millisecond})
+	if err := m.Acquire(context.Background(), "holder", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := m.Acquire(context.Background(), "waiter", "k", Write)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("expired waiter: %v, want ErrOverloaded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("deadline did not bound the wait")
+	}
+	// The expired waiter must be fully gone: queue empty, and a release
+	// must not grant to it.
+	if d := m.QueueDepth("k"); d != 0 {
+		t.Fatalf("queue depth after expiry = %d, want 0", d)
+	}
+	m.ReleaseAll("holder")
+	if err := m.TryAcquire("next", "k", Write); err != nil {
+		t.Fatalf("lock not clean after expiry: %v", err)
+	}
+}
+
+func TestCancelledWaiterUnblocksQueueBehindIt(t *testing.T) {
+	// reader holds; writer W queues; readers R1,R2 queue behind W (no
+	// barging). Cancelling W must let R1,R2 be granted alongside the holder.
+	m := New(nil)
+	if err := m.Acquire(context.Background(), "r0", "k", Read); err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithCancel(context.Background())
+	werr := make(chan error, 1)
+	go func() { werr <- m.Acquire(wctx, "W", "k", Write) }()
+	for m.QueueDepth("k") != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	rerrs := make(chan error, 2)
+	for i := 1; i <= 2; i++ {
+		go func(i int) {
+			rerrs <- m.Acquire(context.Background(), Owner(fmt.Sprintf("r%d", i)), "k", Read)
+		}(i)
+	}
+	for m.QueueDepth("k") != 3 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	wcancel()
+	if err := <-werr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled writer: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-rerrs; err != nil {
+			t.Fatalf("reader behind cancelled writer: %v", err)
+		}
+	}
+	if got := len(m.HolderModes("k")); got != 3 {
+		t.Fatalf("holders = %d, want r0,r1,r2", got)
+	}
+}
+
+func TestReentrantAcquireOvertakesOwnQueue(t *testing.T) {
+	// An owner already holding the entry must not deadlock behind strangers
+	// waiting on it: its re-entrant acquire may overtake the queue.
+	m := New(nil)
+	if err := m.Acquire(context.Background(), "a", "k", Read); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), "w", "k", Write) }()
+	for m.QueueDepth("k") != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	// Re-entrant read by the holder: must succeed immediately, not queue
+	// behind the writer that is waiting for the holder itself.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := m.Acquire(ctx, "a", "k", Read); err != nil {
+		t.Fatalf("re-entrant acquire deadlocked behind own queue: %v", err)
+	}
+	m.ReleaseAll("a")
+	if err := <-done; err != nil {
+		t.Fatalf("writer after release: %v", err)
+	}
+	m.ReleaseAll("w")
+}
+
+func TestMossChildOvertakesQueue(t *testing.T) {
+	// Parent holds write; a stranger queues; the parent's child must still
+	// be granted (Moss's rule) — parking it behind the stranger would
+	// deadlock, since the parent cannot release until the child finishes.
+	m := New(pathAncestry{})
+	if err := m.Acquire(context.Background(), "p", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), "q", "k", Write) }()
+	for m.QueueDepth("k") != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := m.Acquire(ctx, "p/c", "k", Write); err != nil {
+		t.Fatalf("child deadlocked behind stranger: %v", err)
+	}
+	m.ReleaseAll("p/c")
+	m.ReleaseAll("p")
+	if err := <-done; err != nil {
+		t.Fatalf("stranger after release: %v", err)
+	}
+}
+
+// countingObserver records observer callbacks for tests.
+type countingObserver struct {
+	queued, granted, overloaded atomic.Int64
+}
+
+func (c *countingObserver) LockQueued(int)            { c.queued.Add(1) }
+func (c *countingObserver) LockGranted(time.Duration) { c.granted.Add(1) }
+func (c *countingObserver) LockOverloaded()           { c.overloaded.Add(1) }
+
+func TestObserverCounts(t *testing.T) {
+	m := NewLimited(nil, Limits{MaxQueue: 1})
+	obs := &countingObserver{}
+	m.SetObserver(obs)
+	if err := m.Acquire(context.Background(), "holder", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(context.Background(), "w1", "k", Write) }()
+	for m.QueueDepth("k") != 1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := m.Acquire(context.Background(), "w2", "k", Write); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over cap: %v", err)
+	}
+	m.ReleaseAll("holder")
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if obs.queued.Load() != 1 || obs.granted.Load() != 1 || obs.overloaded.Load() != 1 {
+		t.Fatalf("observer queued=%d granted=%d overloaded=%d, want 1/1/1",
+			obs.queued.Load(), obs.granted.Load(), obs.overloaded.Load())
+	}
+}
+
+func TestAdjustSharesWithAdjustersAndReaders(t *testing.T) {
+	m := New(nil)
+	// The fast-bind shape: hold Read, add Adjust on the same key — and let
+	// concurrent binders do the same simultaneously.
+	for _, o := range []Owner{"a", "b", "c"} {
+		if err := m.Acquire(context.Background(), o, "k", Read); err != nil {
+			t.Fatalf("read %s: %v", o, err)
+		}
+		if err := m.Acquire(context.Background(), o, "k", Adjust); err != nil {
+			t.Fatalf("adjust %s: %v", o, err)
+		}
+	}
+	// A structural writer (Insert/Remove) is excluded while any adjuster
+	// holds on.
+	if err := m.TryAcquire("w", "k", Write); !errors.Is(err, ErrRefused) {
+		t.Fatalf("write alongside adjusters: err = %v, want ErrRefused", err)
+	}
+	for _, o := range []Owner{"a", "b", "c"} {
+		m.ReleaseAll(o)
+	}
+	if err := m.TryAcquire("w", "k", Write); err != nil {
+		t.Fatalf("write after adjusters drained: %v", err)
+	}
+}
+
+func TestWriteExcludesAdjustUntilReleased(t *testing.T) {
+	m := New(nil)
+	if err := m.Acquire(context.Background(), "w", "k", Write); err != nil {
+		t.Fatal(err)
+	}
+	granted := make(chan error, 1)
+	go func() { granted <- m.Acquire(context.Background(), "adj", "k", Adjust) }()
+	select {
+	case err := <-granted:
+		t.Fatalf("adjust granted alongside writer: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll("w")
+	if err := <-granted; err != nil {
+		t.Fatalf("adjust after writer released: %v", err)
 	}
 }

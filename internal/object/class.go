@@ -38,6 +38,14 @@ type Class struct {
 	// take read locks and need no commit-time state copy (the read
 	// optimisation of §4.1.2/§4.2.1).
 	ReadOnly map[string]bool
+	// Commutative marks methods whose invocations commute with each other:
+	// applying any set of them in any order yields the same final state
+	// (e.g. a counter's add). The object server may fold queued commutative
+	// invocations behind the same write lock into one execution and one
+	// commit, provided each declares itself its action's entire write set.
+	// Every method marked here must commute with every OTHER marked method
+	// of the class, not just with itself.
+	Commutative map[string]bool
 }
 
 // Method looks up a method by name.
@@ -51,6 +59,9 @@ func (c *Class) Method(name string) (Method, error) {
 
 // IsReadOnly reports whether the named method is marked read-only.
 func (c *Class) IsReadOnly(name string) bool { return c.ReadOnly[name] }
+
+// IsCommutative reports whether the named method is declared commutative.
+func (c *Class) IsCommutative(name string) bool { return c.Commutative[name] }
 
 // Registry maps class names to classes. It is safe for concurrent use.
 type Registry struct {

@@ -40,6 +40,21 @@ func (r ServerRef) Invoke(ctx context.Context, action, method string, args []byt
 	return resp.Result, nil
 }
 
+// InvokeSolo calls a method under the given action, declaring that the
+// invocation is the action's entire write set. That permits the server to
+// fold a commutative method into another action's commit (flat
+// combining); the full response is returned so the caller can see whether
+// the operation was batched.
+func (r ServerRef) InvokeSolo(ctx context.Context, action, method string, args []byte) (InvokeResp, error) {
+	return rpc.Invoke[InvokeReq, InvokeResp](ctx, r.Client, r.Node, ServiceName, MethodInvoke, InvokeReq{
+		UID:    r.UID.String(),
+		Action: action,
+		Method: method,
+		Args:   args,
+		Solo:   true,
+	})
+}
+
 // Prepare runs the server's commit-time state copy to stNodes (phase one).
 func (r ServerRef) Prepare(ctx context.Context, action string, stNodes []transport.Addr) (PrepareResp, error) {
 	return rpc.Invoke[PrepareReq, PrepareResp](ctx, r.Client, r.Node, ServiceName, MethodPrepare, PrepareReq{

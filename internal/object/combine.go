@@ -1,0 +1,139 @@
+package object
+
+import (
+	"sync"
+	"time"
+)
+
+// This file implements commutative-operation batching ("flat combining")
+// at the object server. A solo commutative invocation — one whose action
+// will perform no other work, declared via InvokeReq.Solo on a method the
+// class marks Commutative — that loses the race for the object's write
+// lock does not join the lock queue. It enqueues its operation with the
+// instance's combiner instead. The current write-lock holder drains the
+// combiner when its own commit processing reaches the prepare step: each
+// queued operation is folded into the holder's state write-back and rides
+// the holder's single 2PC round. When that round commits, every folded
+// operation's pending Invoke RPC is answered with its own result and
+// Batched=true; the follower's action then commits locally with nothing
+// left to do. N lock waits + N commits become 1.
+//
+// Atomicity: folded operations are applied AFTER the leader's pre-write
+// snapshot was taken, so the leader's abort path (snapshot restore)
+// undoes the whole batch; the store write-back carries the folded state,
+// so the batch commits exactly when the leader commits. All-or-nothing.
+//
+// Fairness: when the lock frees, the release path kicks the combiner,
+// which promotes the queue head to leader only via TryAcquire — and
+// TryAcquire refuses to overtake the lock manager's own FIFO waiters, so
+// batched traffic cannot starve ordinary actions.
+
+// opOutcome is the resolution of one queued operation.
+type opOutcome struct {
+	result []byte
+	// batchSize is the total number of operations the carrying commit
+	// folded (leader's own included).
+	batchSize int
+	// leader reports that the operation was not folded: the combiner
+	// promoted it to lock holder and its own action must drive the commit.
+	leader bool
+	err    error
+}
+
+// pendingOp is one operation parked in a combiner queue. done is buffered
+// so the resolver never blocks on an abandoned waiter. result is filled
+// at fold time (under the instance mutex) and delivered on commit.
+type pendingOp struct {
+	action string
+	method string
+	args   []byte
+	result []byte
+	done   chan opOutcome
+}
+
+func newPendingOp(action, method string, args []byte) *pendingOp {
+	return &pendingOp{action: action, method: method, args: args, done: make(chan opOutcome, 1)}
+}
+
+// combiner is the per-instance queue of foldable operations.
+//
+// Lock order: in.mu may be held when taking comb.mu (the prepare-time
+// drain); never the reverse. The kick path takes comb.mu alone, and
+// releases it before touching in.mu.
+type combiner struct {
+	mu    sync.Mutex
+	queue []*pendingOp
+}
+
+// depth returns the current queue length.
+func (c *combiner) depth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// push appends op unless the queue is at cap (maxQueue > 0). It reports
+// whether the op was enqueued and the resulting depth.
+func (c *combiner) push(op *pendingOp, maxQueue int) (bool, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if maxQueue > 0 && len(c.queue) >= maxQueue {
+		return false, len(c.queue)
+	}
+	c.queue = append(c.queue, op)
+	return true, len(c.queue)
+}
+
+// remove deletes op from the queue if still present. A false return means
+// a leader already claimed it: its fate will arrive on op.done.
+func (c *combiner) remove(op *pendingOp) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, q := range c.queue {
+		if q == op {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// takeAll claims the whole queue (the prepare-time drain).
+func (c *combiner) takeAll() []*pendingOp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	q := c.queue
+	c.queue = nil
+	return q
+}
+
+// pop claims the queue head.
+func (c *combiner) pop() *pendingOp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.queue) == 0 {
+		return nil
+	}
+	op := c.queue[0]
+	c.queue = c.queue[1:]
+	return op
+}
+
+// waitOutcome blocks until the op resolves, the deadline passes, or stop
+// fires. A zero maxWait waits indefinitely.
+func (op *pendingOp) waitOutcome(maxWait time.Duration, stop <-chan struct{}) (opOutcome, bool, bool) {
+	var deadline <-chan time.Time
+	if maxWait > 0 {
+		t := time.NewTimer(maxWait)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case out := <-op.done:
+		return out, false, false
+	case <-deadline:
+		return opOutcome{}, true, false
+	case <-stop:
+		return opOutcome{}, false, true
+	}
+}

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/conc"
 	"repro/internal/group"
 	"repro/internal/lockmgr"
+	"repro/internal/metrics"
 	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -49,6 +51,10 @@ const (
 	// by every reachable store as stale; the instance has been destroyed
 	// and the calling action must abort (a retry re-activates fresh).
 	CodeStaleServer = "stale-server"
+	// CodeOverloaded reports admission-control refusal: the object's lock
+	// wait queue or combiner queue is at its cap, or an op's queueing time
+	// exceeded the wait deadline. The caller should back off and retry.
+	CodeOverloaded = "overloaded"
 )
 
 // GroupPrefix prefixes the group ID servers join for an object when group
@@ -80,6 +86,13 @@ type instance struct {
 	// users is the set of actions currently bound (invoked at least once
 	// and not yet ended); the object is quiescent when empty.
 	users map[string]bool
+	// batches maps a lock-holding action to the commutative ops folded
+	// into its state write-back at prepare time, awaiting the outcome.
+	batches map[string][]*pendingOp
+
+	// comb queues solo commutative ops that lost the write-lock race;
+	// it has its own mutex (see combine.go for the lock order).
+	comb combiner
 }
 
 // volatileKey is where a node's activated instances live; being volatile,
@@ -99,13 +112,17 @@ type Manager struct {
 	node     *sim.Node
 	registry *Registry
 	ghost    *group.Host // nil unless group invocation is enabled
+	// limits bounds each instance's lock wait queue and combiner queue;
+	// zero means unbounded. Set before any activation.
+	limits lockmgr.Limits
+	stats  *metrics.Registry
 }
 
 // NewManager installs an object-server manager on node, registering its
 // RPC handlers. The registry supplies method code — the paper's assumption
 // that server nodes hold the executable binary for the objects they serve.
 func NewManager(node *sim.Node, registry *Registry) *Manager {
-	m := &Manager{node: node, registry: registry}
+	m := &Manager{node: node, registry: registry, stats: node.Metrics()}
 	srv := node.Server()
 	srv.Handle(ServiceName, MethodActivate, rpc.Method(m.handleActivate))
 	srv.Handle(ServiceName, MethodInvoke, rpc.Method(m.handleInvoke))
@@ -123,6 +140,38 @@ func NewManager(node *sim.Node, registry *Registry) *Manager {
 // that invocations can be delivered in total order across all replica
 // servers — required by active replication (§2.3(2)).
 func (m *Manager) EnableGroupInvocation(host *group.Host) { m.ghost = host }
+
+// SetLockLimits bounds every subsequently activated instance's lock wait
+// queue and combiner queue. Call during deployment setup, before traffic;
+// already-activated instances keep their original limits.
+func (m *Manager) SetLockLimits(l lockmgr.Limits) { m.limits = l }
+
+// newLocks builds an instance's lock manager under the configured limits,
+// with this manager observing queue events.
+func (m *Manager) newLocks() *lockmgr.Manager {
+	lm := lockmgr.NewLimited(lockmgr.NoNesting, m.limits)
+	lm.SetObserver(m)
+	return lm
+}
+
+// Lock-queue observability (lockmgr.Observer). The recorded series appear
+// in System.StatsSnapshot alongside the RPC counters.
+var _ lockmgr.Observer = (*Manager)(nil)
+
+// LockQueued implements lockmgr.Observer.
+func (m *Manager) LockQueued(depth int) {
+	m.stats.Histogram("objsrv.lock.queue_depth").Record(float64(depth))
+}
+
+// LockGranted implements lockmgr.Observer.
+func (m *Manager) LockGranted(wait time.Duration) {
+	m.stats.Histogram("objsrv.lock.wait_ms").RecordDuration(wait)
+}
+
+// LockOverloaded implements lockmgr.Observer.
+func (m *Manager) LockOverloaded() {
+	m.stats.Counter("objsrv.lock.overload").Inc()
+}
 
 // Node returns the manager's node.
 func (m *Manager) Node() *sim.Node { return m.node }
@@ -172,6 +221,13 @@ type InvokeReq struct {
 	Action string
 	Method string
 	Args   []byte
+	// Solo declares that this invocation is the action's ENTIRE write set:
+	// the action touches no other object and performs no further writes.
+	// For a method the class marks Commutative, that permission lets the
+	// server fold the op into a concurrent holder's commit instead of
+	// queueing for the lock. Callers that cannot promise this must leave
+	// it false.
+	Solo bool
 }
 
 // InvokeResp carries the method result. Modified reports whether the
@@ -180,6 +236,16 @@ type InvokeReq struct {
 type InvokeResp struct {
 	Result   []byte
 	Modified bool
+	// Batched reports that the op was folded into another action's commit,
+	// which has ALREADY COMMITTED: the effect is durable and the invoking
+	// action has nothing left to write or prepare.
+	Batched bool
+	// BatchSize is the number of ops the carrying commit folded (set only
+	// when Batched).
+	BatchSize int
+	// WaitNanos is how long the op waited for the lock or in the combiner
+	// queue before resolving, for client-side queue-wait stats.
+	WaitNanos int64
 }
 
 // PrepareReq asks the server to prepare its commit-time state copy to the
@@ -203,6 +269,10 @@ type PrepareResp struct {
 	// FailedNodes could not be reached or refused; the paper requires the
 	// caller to Exclude these from St_A.
 	FailedNodes []string
+	// BatchSize counts the operations this prepare's state copy carries:
+	// 1 for an ordinary action, 1+N when N queued commutative ops were
+	// folded into the write-back.
+	BatchSize int
 }
 
 // EndReq commits or aborts an action at this server.
@@ -257,6 +327,9 @@ type PrepareCommitResp struct {
 	// FailedNodes lists store nodes that refused/missed the write-back and
 	// cohorts whose checkpoint failed, for §4.2 exclusion.
 	FailedNodes []string
+	// BatchSize counts the operations the committed state carried (see
+	// PrepareResp.BatchSize).
+	BatchSize int
 }
 
 // PassivateReq asks the server to destroy a quiescent instance.
@@ -330,7 +403,7 @@ func (m *Manager) handleActivate(ctx context.Context, from transport.Addr, req A
 	in := &instance{
 		class:       class,
 		id:          id,
-		locks:       lockmgr.New(lockmgr.NoNesting),
+		locks:       m.newLocks(),
 		state:       loaded.Data,
 		seq:         loaded.Seq,
 		snaps:       make(map[string][]byte),
@@ -338,6 +411,7 @@ func (m *Manager) handleActivate(ctx context.Context, from transport.Addr, req A
 		prepared:    make(map[string][]transport.Addr),
 		preparedSeq: make(map[string]uint64),
 		users:       make(map[string]bool),
+		batches:     make(map[string][]*pendingOp),
 	}
 	t.mu.Lock()
 	if existing, ok := t.m[id]; ok {
@@ -365,6 +439,10 @@ func (m *Manager) groupApply(in *instance) group.Apply {
 		if err := rpc.Decode(msg.Payload, &req); err != nil {
 			return nil, err
 		}
+		// Batching is a coordinator-path optimisation; under active
+		// replication the drain would run on one replica only and diverge
+		// the copies, so group-delivered invokes never take the solo path.
+		req.Solo = false
 		resp, err := m.invokeOn(ctx, in, req)
 		if err != nil {
 			return nil, err
@@ -390,31 +468,217 @@ func (m *Manager) invokeOn(ctx context.Context, in *instance, req InvokeReq) (In
 	if in.class.IsReadOnly(req.Method) {
 		mode = lockmgr.Read
 	}
+	if req.Solo && mode == lockmgr.Write && in.class.IsCommutative(req.Method) {
+		return m.invokeSolo(ctx, in, req, method)
+	}
 	// Strict two-phase locking: the lock is owned by the client action and
 	// held until that action ends (Commit/Abort RPC).
+	start := time.Now()
 	if err := in.locks.Acquire(ctx, lockmgr.Owner(req.Action), "state", mode); err != nil {
+		if errors.Is(err, lockmgr.ErrOverloaded) {
+			return InvokeResp{}, rpc.Errorf(CodeOverloaded, "lock: %v", err)
+		}
 		return InvokeResp{}, rpc.Errorf(rpc.CodeRefused, "lock: %v", err)
 	}
-
-	in.mu.Lock()
-	defer in.mu.Unlock()
-	in.users[req.Action] = true
-	if mode == lockmgr.Write {
-		if _, ok := in.snaps[req.Action]; !ok {
-			in.snaps[req.Action] = append([]byte(nil), in.state...)
-		}
-	}
-	newState, result, err := method(in.state, req.Args)
+	result, err := in.runMethod(req.Action, method, req.Args, mode == lockmgr.Write)
 	if err != nil {
 		// A failed method leaves the state untouched; the lock stays held
 		// (the action will abort or retry).
 		return InvokeResp{}, rpc.Errorf(rpc.CodeInternal, "method %s: %v", req.Method, err)
 	}
-	if mode == lockmgr.Write {
-		in.state = newState
-		in.dirty[req.Action] = true
+	return InvokeResp{Result: result, Modified: mode == lockmgr.Write, WaitNanos: int64(time.Since(start))}, nil
+}
+
+// runMethod executes method under in.mu with strict-2PL bookkeeping: the
+// caller must hold the appropriate lock for action. A failed method
+// leaves state, snapshot, and dirty flags exactly as they were except for
+// the users entry, which records that the action touched this server.
+func (in *instance) runMethod(action string, method Method, args []byte, write bool) ([]byte, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.users[action] = true
+	if write {
+		if _, ok := in.snaps[action]; !ok {
+			in.snaps[action] = append([]byte(nil), in.state...)
+		}
 	}
-	return InvokeResp{Result: result, Modified: mode == lockmgr.Write}, nil
+	newState, result, err := method(in.state, args)
+	if err != nil {
+		return nil, err
+	}
+	if write {
+		in.state = newState
+		in.dirty[action] = true
+	}
+	return result, nil
+}
+
+// invokeSolo handles a solo commutative write: take the write lock if
+// free (leader — proceeds exactly like an ordinary invoke and will drain
+// the combiner at its prepare), otherwise park the op in the combiner to
+// ride the current holder's commit. See combine.go for the scheme.
+func (m *Manager) invokeSolo(ctx context.Context, in *instance, req InvokeReq, method Method) (InvokeResp, error) {
+	owner := lockmgr.Owner(req.Action)
+	start := time.Now()
+	if err := in.locks.TryAcquire(owner, "state", lockmgr.Write); err == nil {
+		result, merr := in.runMethod(req.Action, method, req.Args, true)
+		if merr != nil {
+			return InvokeResp{}, rpc.Errorf(rpc.CodeInternal, "method %s: %v", req.Method, merr)
+		}
+		return InvokeResp{Result: result, Modified: true, WaitNanos: int64(time.Since(start))}, nil
+	}
+	lim := in.locks.Limits()
+	op := newPendingOp(req.Action, req.Method, req.Args)
+	queued, depth := in.comb.push(op, lim.MaxQueue)
+	if !queued {
+		m.stats.Counter("objsrv.lock.overload").Inc()
+		return InvokeResp{}, rpc.Errorf(CodeOverloaded,
+			"object %s at %s: %d ops already queued", req.UID, m.node.Name(), depth)
+	}
+	m.stats.Histogram("objsrv.lock.queue_depth").Record(float64(depth))
+	// Self-kick: the lock may have been released between the TryAcquire
+	// above and the enqueue; without this the op could sit forever on an
+	// idle lock.
+	m.kickCombiner(in)
+
+	out, timedOut, cancelled := op.waitOutcome(lim.MaxWait, ctx.Done())
+	if timedOut || cancelled {
+		if in.comb.remove(op) {
+			// Still queued: cleanly withdrawn, nothing happened.
+			if timedOut {
+				m.stats.Counter("objsrv.lock.overload").Inc()
+				return InvokeResp{}, rpc.Errorf(CodeOverloaded,
+					"object %s at %s: op waited %s unserved", req.UID, m.node.Name(), lim.MaxWait)
+			}
+			return InvokeResp{}, rpc.Errorf(rpc.CodeRefused, "object %s: op abandoned: %v", req.UID, ctx.Err())
+		}
+		// A leader claimed the op in the same instant: its fate is tied to
+		// that leader's commit now, so wait for the verdict rather than
+		// reporting an outcome that may be wrong.
+		out = <-op.done
+	}
+	wait := int64(time.Since(start))
+	m.stats.Histogram("objsrv.lock.wait_ms").RecordDuration(time.Duration(wait))
+	if out.err != nil {
+		return InvokeResp{}, out.err
+	}
+	if out.leader {
+		// Promoted to lock holder: the op is applied and this action drives
+		// its own commit, draining whatever queued behind it meanwhile.
+		return InvokeResp{Result: out.result, Modified: true, WaitNanos: wait}, nil
+	}
+	m.stats.Counter("objsrv.batch.folded").Inc()
+	return InvokeResp{Result: out.result, Modified: true, Batched: true, BatchSize: out.batchSize, WaitNanos: wait}, nil
+}
+
+// kickCombiner promotes the combiner queue head to write-lock holder when
+// the lock is free. Called after every lock release and after an enqueue
+// (the self-kick). TryAcquire's no-barging keeps promotion fair with the
+// lock manager's own FIFO waiters: if an ordinary action is queued ahead,
+// promotion refuses, that action wins the lock, and its prepare drains
+// the combiner instead.
+func (m *Manager) kickCombiner(in *instance) {
+	for {
+		in.comb.mu.Lock()
+		if len(in.comb.queue) == 0 {
+			in.comb.mu.Unlock()
+			return
+		}
+		head := in.comb.queue[0]
+		if err := in.locks.TryAcquire(lockmgr.Owner(head.action), "state", lockmgr.Write); err != nil {
+			in.comb.mu.Unlock()
+			return
+		}
+		in.comb.queue = in.comb.queue[1:]
+		in.comb.mu.Unlock()
+
+		method, err := in.class.Method(head.method)
+		if err != nil {
+			in.locks.ReleaseAll(lockmgr.Owner(head.action))
+			head.done <- opOutcome{err: rpc.Errorf(rpc.CodeNoSuchMethod, "%v", err)}
+			continue
+		}
+		result, merr := in.runMethod(head.action, method, head.args, true)
+		if merr != nil {
+			// Same contract as a failed ordinary invoke: state untouched,
+			// lock held, the client aborts the action and that abort cleans
+			// up. The abort's release will kick the next head.
+			head.done <- opOutcome{err: rpc.Errorf(rpc.CodeInternal, "method %s: %v", head.method, merr)}
+			return
+		}
+		head.done <- opOutcome{result: result, leader: true}
+		return
+	}
+}
+
+// drainCombinerLocked folds every queued commutative op into the state
+// under the given lock-holding action. Caller holds in.mu; the action
+// holds the write lock and its pre-write snapshot is already recorded, so
+// the action's abort undoes the whole fold. Ops whose method fails are
+// resolved immediately (their individual failure does not poison the
+// batch); the rest park in in.batches awaiting the action's outcome.
+// Returns the total op count the write-back now carries (1 + folded).
+func (m *Manager) drainCombinerLocked(in *instance, action string) int {
+	ops := in.comb.takeAll()
+	for _, op := range ops {
+		method, err := in.class.Method(op.method)
+		if err != nil {
+			op.done <- opOutcome{err: rpc.Errorf(rpc.CodeNoSuchMethod, "%v", err)}
+			continue
+		}
+		newState, result, merr := method(in.state, op.args)
+		if merr != nil {
+			op.done <- opOutcome{err: rpc.Errorf(rpc.CodeInternal, "method %s: %v", op.method, merr)}
+			continue
+		}
+		in.state = newState
+		op.result = result
+		in.batches[action] = append(in.batches[action], op)
+	}
+	return 1 + len(in.batches[action])
+}
+
+// resolveBatch answers every op folded into action's write-back. Commit:
+// each op receives its result and the batch size. Abort: each receives a
+// retryable refusal — its effect was undone with the leader's snapshot
+// restore, and a retry re-runs it fresh.
+func (m *Manager) resolveBatch(in *instance, action string, committed bool) {
+	in.mu.Lock()
+	batch := in.batches[action]
+	delete(in.batches, action)
+	in.mu.Unlock()
+	if len(batch) == 0 {
+		return
+	}
+	if committed {
+		total := 1 + len(batch)
+		m.stats.Counter("objsrv.batch.commits").Inc()
+		m.stats.Histogram("objsrv.batch.size").Record(float64(total))
+		for _, op := range batch {
+			op.done <- opOutcome{result: op.result, batchSize: total}
+		}
+		return
+	}
+	for _, op := range batch {
+		op.done <- opOutcome{err: rpc.Errorf(rpc.CodeRefused,
+			"object %s: carrying action %s aborted; retry", in.id, action)}
+	}
+}
+
+// failPending resolves every queued and folded op with a retryable
+// refusal — the instance is being destroyed (force passivation, stale
+// server) and nobody will ever drain or commit them.
+func (m *Manager) failPending(in *instance, why string) {
+	in.mu.Lock()
+	var folded []*pendingOp
+	for action, batch := range in.batches {
+		folded = append(folded, batch...)
+		delete(in.batches, action)
+	}
+	in.mu.Unlock()
+	for _, op := range append(in.comb.takeAll(), folded...) {
+		op.done <- opOutcome{err: rpc.Errorf(rpc.CodeRefused, "object %s: %s; retry", in.id, why)}
+	}
 }
 
 func (m *Manager) mustLookup(uidStr string) (*instance, error) {
@@ -443,8 +707,13 @@ func (m *Manager) handlePrepare(ctx context.Context, from transport.Addr, req Pr
 		delete(in.users, req.Action)
 		in.mu.Unlock()
 		in.locks.ReleaseAll(lockmgr.Owner(req.Action))
+		m.kickCombiner(in)
 		return PrepareResp{Dirty: false}, nil
 	}
+	// Fold queued commutative ops into this write-back before snapshotting:
+	// they ride this action's single 2PC round (one lock hold, one commit,
+	// N replies).
+	batchSize := m.drainCombinerLocked(in, req.Action)
 	newSeq := in.seq + 1
 	state := append([]byte(nil), in.state...)
 	in.mu.Unlock()
@@ -454,7 +723,7 @@ func (m *Manager) handlePrepare(ctx context.Context, from transport.Addr, req Pr
 	// store round trip instead of one per store. Outcomes are collected in
 	// StNodes order so PreparedNodes/FailedNodes stay deterministic.
 	// Remember which prepared so commit/abort can address exactly those.
-	resp := PrepareResp{Dirty: true, NewSeq: newSeq}
+	resp := PrepareResp{Dirty: true, NewSeq: newSeq, BatchSize: batchSize}
 	var preparedAddrs []transport.Addr
 	staleRefusals, reachable := 0, 0
 	copyErrs := conc.DoErr(len(req.StNodes), func(i int) error {
@@ -529,6 +798,9 @@ func (m *Manager) handleCommit(ctx context.Context, from transport.Addr, req End
 	delete(in.preparedSeq, req.Action)
 	delete(in.users, req.Action)
 	in.mu.Unlock()
+	// The commit decision is already durable upstream (this is phase two),
+	// so folded ops can be answered before the store fan-out completes.
+	m.resolveBatch(in, req.Action, true)
 
 	// Phase-two store commits and coordinator-cohort checkpoints
 	// (§2.3(ii): push the committed state to the cohorts so one of them
@@ -560,6 +832,7 @@ func (m *Manager) handleCommit(ctx context.Context, from transport.Addr, req End
 		}
 	}
 	in.locks.ReleaseAll(lockmgr.Owner(req.Action))
+	m.kickCombiner(in)
 	return resp, nil
 }
 
@@ -589,7 +862,7 @@ func (m *Manager) handleInstall(ctx context.Context, from transport.Addr, req In
 	in := &instance{
 		class:       class,
 		id:          id,
-		locks:       lockmgr.New(lockmgr.NoNesting),
+		locks:       m.newLocks(),
 		state:       append([]byte(nil), req.State...),
 		seq:         req.Seq,
 		snaps:       make(map[string][]byte),
@@ -597,6 +870,7 @@ func (m *Manager) handleInstall(ctx context.Context, from transport.Addr, req In
 		prepared:    make(map[string][]transport.Addr),
 		preparedSeq: make(map[string]uint64),
 		users:       make(map[string]bool),
+		batches:     make(map[string][]*pendingOp),
 	}
 	t := m.table()
 	t.mu.Lock()
@@ -626,6 +900,9 @@ func (m *Manager) handleAbort(ctx context.Context, from transport.Addr, req EndR
 	delete(in.preparedSeq, req.Action)
 	delete(in.users, req.Action)
 	in.mu.Unlock()
+	// The snapshot restore above undid the whole fold; tell the folded ops
+	// to retry.
+	m.resolveBatch(in, req.Action, false)
 
 	var resp EndResp
 	abortErrs := conc.DoErr(len(prepared), func(i int) error {
@@ -638,6 +915,7 @@ func (m *Manager) handleAbort(ctx context.Context, from transport.Addr, req EndR
 		}
 	}
 	in.locks.ReleaseAll(lockmgr.Owner(req.Action))
+	m.kickCombiner(in)
 	return resp, nil
 }
 
@@ -683,8 +961,12 @@ func (m *Manager) prepareCommitSingleStore(ctx context.Context, from transport.A
 		delete(in.users, req.Action)
 		in.mu.Unlock()
 		in.locks.ReleaseAll(lockmgr.Owner(req.Action))
+		m.kickCombiner(in)
 		return PrepareCommitResp{Dirty: false}, nil
 	}
+	// Fold queued commutative ops into the one-phase write-back (see
+	// handlePrepare).
+	batchSize := m.drainCombinerLocked(in, req.Action)
 	newSeq := in.seq + 1
 	state := append([]byte(nil), in.state...)
 	in.mu.Unlock()
@@ -699,7 +981,7 @@ func (m *Manager) prepareCommitSingleStore(ctx context.Context, from transport.A
 				"object %s at %s: activated copy is stale (base seq %d)", req.UID, m.node.Name(), newSeq-1)
 		}
 		return PrepareCommitResp{Dirty: true, FailedNodes: []string{req.StNodes[0]}},
-			rpc.Errorf(CodeUnavailable, "object %s: no St node accepted the new state", req.UID)
+			rpc.Errorf(CodeUnavailable, "object %s: no St node accepted the new state: %v", req.UID, err)
 	}
 
 	in.mu.Lock()
@@ -711,8 +993,10 @@ func (m *Manager) prepareCommitSingleStore(ctx context.Context, from transport.A
 	delete(in.preparedSeq, req.Action)
 	delete(in.users, req.Action)
 	in.mu.Unlock()
+	// The store's one-phase apply succeeded: the batch is durable.
+	m.resolveBatch(in, req.Action, true)
 
-	resp := PrepareCommitResp{Dirty: true, NewSeq: newSeq}
+	resp := PrepareCommitResp{Dirty: true, NewSeq: newSeq, BatchSize: batchSize}
 	// The write locks are still held, so `state` (snapshotted above) IS the
 	// committed state — reuse it for the cohort checkpoints.
 	ckptErrs := conc.DoErr(len(req.CheckpointTo), func(j int) error {
@@ -725,6 +1009,7 @@ func (m *Manager) prepareCommitSingleStore(ctx context.Context, from transport.A
 		}
 	}
 	in.locks.ReleaseAll(lockmgr.Owner(req.Action))
+	m.kickCombiner(in)
 	return resp, nil
 }
 
@@ -743,10 +1028,14 @@ func (m *Manager) handlePassivate(ctx context.Context, from transport.Addr, req 
 	in.mu.Lock()
 	busy := len(in.users) > 0
 	in.mu.Unlock()
+	if in.comb.depth() > 0 {
+		busy = true
+	}
 	if busy && !req.Force {
 		return PassivateResp{}, rpc.Errorf(CodeBusy, "object %s has %s", req.UID, "active users")
 	}
 	delete(t.m, id)
+	m.failPending(in, "server passivated")
 	if m.ghost != nil {
 		m.ghost.Leave(GroupPrefix + id.String())
 	}

@@ -37,12 +37,13 @@ type Binder struct {
 	ClientNode transport.Addr
 	// RPC issues calls from the client node.
 	RPC rpc.Client
-	// Scheme, Policy, Degree, ReadOnly configure each per-shard binder
-	// exactly as their core.Binder counterparts.
+	// Scheme, Policy, Degree, ReadOnly and FastBind configure each
+	// per-shard binder exactly as their core.Binder counterparts.
 	Scheme   core.Scheme
 	Policy   replica.Policy
 	Degree   int
 	ReadOnly bool
+	FastBind bool
 
 	mu  sync.Mutex
 	sub map[int]*core.Binder
@@ -92,6 +93,7 @@ func (b *Binder) shardBinder(info ShardInfo) *core.Binder {
 		Policy:     b.Policy,
 		Degree:     b.Degree,
 		ReadOnly:   b.ReadOnly,
+		FastBind:   b.FastBind,
 	}
 	if b.sub == nil {
 		b.sub = make(map[int]*core.Binder)

@@ -114,9 +114,10 @@ const ServiceName = "placement"
 
 // Placement RPC methods.
 const (
-	MethodLookup = "Lookup"
-	MethodAssign = "Assign"
-	MethodTable  = "Table"
+	MethodLookup      = "Lookup"
+	MethodAssign      = "Assign"
+	MethodAssignBatch = "AssignBatch"
+	MethodTable       = "Table"
 )
 
 // Service is the placement authority, hosted on one node. Like the §5
@@ -164,6 +165,21 @@ func NewService(node *sim.Node, shards []ShardInfo) *Service {
 		}
 		return AssignResp{Epoch: epoch}, nil
 	}))
+	srv.Handle(ServiceName, MethodAssignBatch, rpc.Method(func(ctx context.Context, from transport.Addr, req AssignBatchReq) (AssignBatchResp, error) {
+		ids := make([]uid.UID, len(req.Assignments))
+		for i, a := range req.Assignments {
+			id, err := uid.Parse(a.UID)
+			if err != nil {
+				return AssignBatchResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
+			}
+			ids[i] = id
+		}
+		epochs, err := s.AssignBatch(ids, req.Shard)
+		if err != nil {
+			return AssignBatchResp{}, err
+		}
+		return AssignBatchResp{Epochs: epochs}, nil
+	}))
 	srv.Handle(ServiceName, MethodTable, rpc.Method(func(ctx context.Context, from transport.Addr, req TableReq) (TableResp, error) {
 		return TableResp{Shards: shardRecs(s.Shards())}, nil
 	}))
@@ -192,6 +208,26 @@ func (s *Service) Assign(id uid.UID, shard int) (uint64, error) {
 	s.overrides[id] = shard
 	s.epochs[id]++
 	return s.epochs[id], nil
+}
+
+// AssignBatch records overrides for a whole batch of objects in one
+// critical section — a bulk rebalance flips every mapping atomically with
+// respect to lookups, so a concurrent client sees either the old or the
+// new placement of the batch, never a torn mixture. Each object's epoch
+// is bumped exactly once; the epochs are returned in input order.
+func (s *Service) AssignBatch(ids []uid.UID, shard int) ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.shards[shard]; !ok {
+		return nil, rpc.Errorf(rpc.CodeInternal, "placement: unknown shard %d", shard)
+	}
+	epochs := make([]uint64, len(ids))
+	for i, id := range ids {
+		s.overrides[id] = shard
+		s.epochs[id]++
+		epochs[i] = s.epochs[id]
+	}
+	return epochs, nil
 }
 
 // Shards returns the shard descriptions, ordered by ID.
@@ -236,6 +272,19 @@ type AssignReq struct {
 
 // AssignResp carries the object's new placement epoch.
 type AssignResp struct{ Epoch uint64 }
+
+// AssignRec is one object of a batch assignment.
+type AssignRec struct{ UID string }
+
+// AssignBatchReq records explicit overrides for a batch of objects, all
+// to the same target shard, in one critical section at the service.
+type AssignBatchReq struct {
+	Assignments []AssignRec
+	Shard       int
+}
+
+// AssignBatchResp carries the new placement epochs, in request order.
+type AssignBatchResp struct{ Epochs []uint64 }
 
 // TableReq fetches the shard table.
 type TableReq struct{}
@@ -388,4 +437,28 @@ func (c *Client) Assign(ctx context.Context, id uid.UID, shard int) (uint64, err
 	c.cache[id] = cachedPlacement{shard: shard, epoch: resp.Epoch}
 	c.mu.Unlock()
 	return resp.Epoch, nil
+}
+
+// AssignBatch records overrides for a batch of objects in one RPC and one
+// service-side critical section, updating the local cache.
+func (c *Client) AssignBatch(ctx context.Context, ids []uid.UID, shard int) ([]uint64, error) {
+	recs := make([]AssignRec, len(ids))
+	for i, id := range ids {
+		recs[i] = AssignRec{UID: id.String()}
+	}
+	resp, err := rpc.Invoke[AssignBatchReq, AssignBatchResp](ctx, c.RPC, c.Node, ServiceName, MethodAssignBatch, AssignBatchReq{Assignments: recs, Shard: shard})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.cache == nil {
+		c.cache = make(map[uid.UID]cachedPlacement)
+	}
+	for i, id := range ids {
+		if i < len(resp.Epochs) {
+			c.cache[id] = cachedPlacement{shard: shard, epoch: resp.Epochs[i]}
+		}
+	}
+	c.mu.Unlock()
+	return resp.Epochs, nil
 }

@@ -9,58 +9,67 @@ import (
 	"repro/internal/core"
 	"repro/internal/rpc"
 	"repro/internal/store"
+	"repro/internal/transport"
 	"repro/internal/uid"
 )
 
-// Move reassigns one object to the target shard: the §4.2 catch-up
-// machinery re-purposed for planned migration instead of crash recovery.
-// Under a single top-level action it
+// Move reassigns a batch of objects to the target shard: the §4.2
+// catch-up machinery re-purposed for planned migration instead of crash
+// recovery. Objects already placed at the target are skipped. Under a
+// single top-level action the batch is migrated as one unit:
 //
-//  1. Deregisters the object at the source group's database — write
+//  1. Each object is deregistered at its source group's database — write
 //     locks on both entries plus the use-list quiescence check, so the
 //     move waits out in-flight bindings rather than racing them (a
-//     CodeNotQuiescent / CodeLockRefused refusal is retried with backoff
-//     until ctx expires);
-//  2. fetches the newest committed state among the source St view and
-//     installs it on every target store that is behind — the same
+//     CodeNotQuiescent / CodeLockRefused refusal retries the whole batch
+//     with backoff until ctx expires);
+//  2. each object's newest committed state among its source St view is
+//     installed on every target store that is behind — the same
 //     highest-surviving-version rule as store recovery;
-//  3. Registers the object at the target group's database over the
+//  3. each object is registered at the target group's database over the
 //     target group's nodes;
-//  4. commits the target database first, then records the new placement
-//     (bumping the object's epoch), then commits the source database.
+//  4. the target database commits first, then ONE AssignBatch RPC records
+//     every new placement in a single service-side critical section (one
+//     epoch bump per object, no torn intermediate mapping visible to
+//     lookups), then the source databases commit.
 //
 // The commit order bounds every crash window to a consistent state: a
-// crash before step 4 aborts both databases (locks cleaned by the
-// janitor) and the object stays at the source; a crash between the two
-// database commits leaves the object registered at the target — where
-// placement now points — while the source's stale entry sits behind the
-// move action's write locks until cleanup, so no client can bind it.
-// After the source commit the old entry is gone and a stale client's
-// bind fails over to the new shard via the epoch check.
-func Move(ctx context.Context, place *Client, actions *action.Manager, rpcc rpc.Client, id uid.UID, target int) error {
-	src, _, err := place.Refresh(ctx, id)
-	if err != nil {
-		return err
+// crash before step 4 aborts all databases (locks cleaned by the janitor)
+// and every object stays at its source; a crash between the target commit
+// and the source commits leaves the batch registered at the target —
+// where placement now points — while the sources' stale entries sit
+// behind the move action's write locks until cleanup, so no client can
+// bind them. After the source commits the old entries are gone and a
+// stale client's bind fails over to the new shard via the epoch check.
+func Move(ctx context.Context, place *Client, actions *action.Manager, rpcc rpc.Client, ids []uid.UID, target int) error {
+	// Drop objects already at the target; remember each survivor's source.
+	var pending []uid.UID
+	for _, id := range ids {
+		src, _, err := place.Refresh(ctx, id)
+		if err != nil {
+			return err
+		}
+		if src.ID != target {
+			pending = append(pending, id)
+		}
 	}
-	if src.ID == target {
+	if len(pending) == 0 {
 		return nil
 	}
 	tgt, err := place.Shard(ctx, target)
 	if err != nil {
 		return err
 	}
-	srcDB := core.Client{RPC: rpcc, DB: src.DB}
-	tgtDB := core.Client{RPC: rpcc, DB: tgt.DB}
 
 	backoff := 5 * time.Millisecond
 	for {
-		err := moveOnce(ctx, place, actions, rpcc, id, srcDB, tgtDB, tgt, target)
+		err := moveOnce(ctx, place, actions, rpcc, pending, tgt, target)
 		switch rpc.CodeOf(err) {
 		case core.CodeNotQuiescent, core.CodeLockRefused:
-			// An in-flight binding holds the object; let it finish.
+			// An in-flight binding holds one of the objects; let it finish.
 			select {
 			case <-ctx.Done():
-				return fmt.Errorf("placement: move %v: %w (last: %v)", id, ctx.Err(), err)
+				return fmt.Errorf("placement: move %v: %w (last: %v)", pending, ctx.Err(), err)
 			case <-time.After(backoff):
 			}
 			if backoff < 200*time.Millisecond {
@@ -72,69 +81,96 @@ func Move(ctx context.Context, place *Client, actions *action.Manager, rpcc rpc.
 	}
 }
 
-func moveOnce(ctx context.Context, place *Client, actions *action.Manager, rpcc rpc.Client, id uid.UID, srcDB, tgtDB core.Client, tgt ShardInfo, target int) error {
+func moveOnce(ctx context.Context, place *Client, actions *action.Manager, rpcc rpc.Client, ids []uid.UID, tgt ShardInfo, target int) error {
 	act := actions.BeginTop()
 	owner := act.ID()
+	tgtDB := core.Client{RPC: rpcc, DB: tgt.DB}
+	// Objects of one batch may come from several source shards; each
+	// source database ends its share of the action exactly once.
+	srcDBs := make(map[transport.Addr]core.Client)
 	abort := func() {
-		_ = srcDB.EndAction(context.Background(), owner, false)
+		for _, db := range srcDBs {
+			_ = db.EndAction(context.Background(), owner, false)
+		}
 		_ = tgtDB.EndAction(context.Background(), owner, false)
 		_ = act.Abort(context.Background())
 	}
 
-	view, class, err := srcDB.Deregister(ctx, owner, id)
-	if err != nil {
-		abort()
-		return err
-	}
-
-	// Catch-up: the newest committed state among the (lock-protected)
-	// source view is the object's state; unreachable members are skipped —
-	// the survivors are mutually consistent, so any reachable copy of the
-	// highest sequence is authoritative.
-	var headData []byte
-	var headSeq uint64
-	for _, st := range view {
-		remote := store.RemoteStore{Client: rpcc, Node: st}
-		if v, rerr := remote.Read(ctx, id); rerr == nil && v.Seq >= headSeq {
-			headData, headSeq = v.Data, v.Seq
-		}
-	}
-	if headSeq == 0 {
-		abort()
-		return fmt.Errorf("placement: move %v: no committed state reachable in source view %v", id, view)
-	}
-	for _, st := range tgt.Sts {
-		remote := store.RemoteStore{Client: rpcc, Node: st}
-		if v, rerr := remote.Read(ctx, id); rerr == nil && v.Seq >= headSeq {
-			continue
-		}
-		if perr := remote.Put(ctx, id, headData, headSeq); perr != nil {
+	for _, id := range ids {
+		src, _, err := place.Refresh(ctx, id)
+		if err != nil {
 			abort()
-			return fmt.Errorf("placement: move %v: install state at %s: %w", id, st, perr)
+			return err
+		}
+		srcDB, ok := srcDBs[src.DB]
+		if !ok {
+			srcDB = core.Client{RPC: rpcc, DB: src.DB}
+			srcDBs[src.DB] = srcDB
+		}
+		view, class, err := srcDB.Deregister(ctx, owner, id)
+		if err != nil {
+			abort()
+			return err
+		}
+
+		// Catch-up: the newest committed state among the (lock-protected)
+		// source view is the object's state; unreachable members are
+		// skipped — the survivors are mutually consistent, so any reachable
+		// copy of the highest sequence is authoritative.
+		var headData []byte
+		var headSeq uint64
+		for _, st := range view {
+			remote := store.RemoteStore{Client: rpcc, Node: st}
+			if v, rerr := remote.Read(ctx, id); rerr == nil && v.Seq >= headSeq {
+				headData, headSeq = v.Data, v.Seq
+			}
+		}
+		if headSeq == 0 {
+			abort()
+			return fmt.Errorf("placement: move %v: no committed state reachable in source view %v", id, view)
+		}
+		for _, st := range tgt.Sts {
+			remote := store.RemoteStore{Client: rpcc, Node: st}
+			if v, rerr := remote.Read(ctx, id); rerr == nil && v.Seq >= headSeq {
+				continue
+			}
+			if perr := remote.Put(ctx, id, headData, headSeq); perr != nil {
+				abort()
+				return fmt.Errorf("placement: move %v: install state at %s: %w", id, st, perr)
+			}
+		}
+
+		if err := tgtDB.Register(ctx, owner, id, class, tgt.Svs, tgt.Sts); err != nil {
+			abort()
+			return err
 		}
 	}
 
-	if err := tgtDB.Register(ctx, owner, id, class, tgt.Svs, tgt.Sts); err != nil {
-		abort()
-		return err
-	}
 	if err := tgtDB.EndAction(ctx, owner, true); err != nil {
 		abort()
 		return err
 	}
-	if _, err := place.Assign(ctx, id, target); err != nil {
-		// The target registration is already committed, but placement still
-		// points at the source: abort the source half so its entries are
-		// restored and clients carry on there. The target's orphan entry is
-		// overwritten by a later successful Move.
-		_ = srcDB.EndAction(context.Background(), owner, false)
+	if _, err := place.AssignBatch(ctx, ids, target); err != nil {
+		// The target registrations are already committed, but placement
+		// still points at the sources: abort the source halves so their
+		// entries are restored and clients carry on there. The target's
+		// orphan entries are overwritten by a later successful Move.
+		for _, db := range srcDBs {
+			_ = db.EndAction(context.Background(), owner, false)
+		}
 		_ = act.Abort(context.Background())
 		return err
 	}
-	if err := srcDB.EndAction(ctx, owner, true); err != nil {
-		_ = act.Abort(context.Background())
-		return err
+	var firstErr error
+	for _, db := range srcDBs {
+		if err := db.EndAction(ctx, owner, true); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	_, err = act.Commit(ctx)
+	if firstErr != nil {
+		_ = act.Abort(context.Background())
+		return firstErr
+	}
+	_, err := act.Commit(ctx)
 	return err
 }

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/action"
 	"repro/internal/conc"
@@ -131,9 +132,16 @@ type Handle struct {
 	// it during prepare and are never addressed again.
 	prepared []transport.Addr
 	// released marks the handle done with commit processing before phase
-	// two — a read-only vote or a completed one-phase commit. Commit and
-	// Abort become no-ops then.
+	// two — a read-only vote, a completed one-phase commit, or a solo
+	// invocation folded into another action's commit. Commit and Abort
+	// become no-ops then.
 	released bool
+	// batchSize records how many operations the commit round that carried
+	// this handle's write folded (0 when unknown or unbatched).
+	batchSize int
+	// queueWaitNanos records the longest server-side lock/combiner wait
+	// observed across this handle's invocations.
+	queueWaitNanos int64
 	// noAutoEnlist suppresses self-enlistment in Invoke; set by callers
 	// that compose the handle into a larger participant (the naming and
 	// binding layer wraps it to add Exclude/Remove processing).
@@ -291,6 +299,67 @@ func (h *Handle) Invoke(ctx context.Context, act *action.Action, method string, 
 	}
 }
 
+// InvokeSolo performs one operation under act, declaring it the action's
+// entire write set at this object. For a commutative method contending on
+// the write lock, the server may fold the operation into the current lock
+// holder's commit round (flat combining); the second return reports that:
+// the operation's durability is then tied to the carrying action's
+// already-decided commit, the handle is released, and the caller's own
+// commit processing completes locally with no further RPCs.
+//
+// Active replication never batches (folding at one replica would diverge
+// the others), so the call degrades to a plain Invoke there.
+func (h *Handle) InvokeSolo(ctx context.Context, act *action.Action, method string, args []byte) ([]byte, bool, error) {
+	if h.cfg.Policy == Active {
+		res, err := h.Invoke(ctx, act, method, args)
+		return res, false, err
+	}
+	if !h.enlistOnce(act) {
+		return nil, false, fmt.Errorf("replica %v: enlist in %s: action not running", h.cfg.UID, act.ID())
+	}
+	owner := act.Top().ID()
+	coord, err := h.Coordinator()
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := h.ref(coord).InvokeSolo(ctx, owner, method, args)
+	if err != nil {
+		if isCrashError(err) || object.IsNotActive(err) {
+			h.markBroken(coord)
+			return nil, false, fmt.Errorf("replica %v: coordinator %s failed: %w", h.cfg.UID, coord, ErrNoServers)
+		}
+		return nil, false, err
+	}
+	h.mu.Lock()
+	if resp.WaitNanos > h.queueWaitNanos {
+		h.queueWaitNanos = resp.WaitNanos
+	}
+	if resp.Batched {
+		// The op rode another action's commit, which is already durable;
+		// this handle has nothing left to prepare or commit.
+		h.released = true
+		h.batchSize = resp.BatchSize
+	}
+	h.mu.Unlock()
+	return resp.Result, resp.Batched, nil
+}
+
+// BatchSize returns the number of operations folded into the commit round
+// that carried this handle's write (0 when none was observed).
+func (h *Handle) BatchSize() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.batchSize
+}
+
+// QueueWait returns the longest server-side lock or combiner wait
+// observed across this handle's invocations.
+func (h *Handle) QueueWait() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.queueWaitNanos)
+}
+
 // DisableAutoEnlist stops Invoke from enlisting the handle into the
 // action; the caller then drives Prepare/Commit/Abort itself (directly or
 // via a composing participant).
@@ -413,6 +482,14 @@ func (h *Handle) Name() string {
 // (§4.1.2); when every server reports that, the handle votes read-only —
 // its commit processing is over with zero phase-two round trips.
 func (h *Handle) Prepare(ctx context.Context, tx string) (action.Vote, error) {
+	h.mu.Lock()
+	released := h.released
+	h.mu.Unlock()
+	if released {
+		// A batched solo invocation already committed with its carrying
+		// action; the servers have forgotten this action.
+		return action.VoteReadOnly, nil
+	}
 	targets, err := h.prepareTargets()
 	if err != nil {
 		return 0, err
@@ -446,6 +523,9 @@ func (h *Handle) Prepare(ctx context.Context, tx string) (action.Vote, error) {
 		dirtyCount++
 		h.mu.Lock()
 		h.prepared = append(h.prepared, sv)
+		if results[i].resp.BatchSize > h.batchSize {
+			h.batchSize = results[i].resp.BatchSize
+		}
 		for _, st := range results[i].resp.FailedNodes {
 			h.failedStores[transport.Addr(st)] = true
 		}
@@ -474,6 +554,12 @@ func (h *Handle) Prepare(ctx context.Context, tx string) (action.Vote, error) {
 // stores, and multiple active replicas must all prepare before any may
 // commit — and falls back to ordinary 2PC untouched.
 func (h *Handle) CommitOnePhase(ctx context.Context, tx string) (action.Vote, error) {
+	h.mu.Lock()
+	if h.released {
+		h.mu.Unlock()
+		return action.VoteReadOnly, nil
+	}
+	h.mu.Unlock()
 	targets, err := h.prepareTargets()
 	if err != nil {
 		return 0, err
@@ -520,6 +606,9 @@ func (h *Handle) CommitOnePhase(ctx context.Context, tx string) (action.Vote, er
 	}
 	h.mu.Lock()
 	h.released = true
+	if resp.BatchSize > h.batchSize {
+		h.batchSize = resp.BatchSize
+	}
 	h.mu.Unlock()
 	if !resp.Dirty {
 		return action.VoteReadOnly, nil

@@ -77,6 +77,10 @@ func (n *Node) Client() rpc.Client {
 	return rpc.Client{Net: n.cluster.net, From: n.name, Metrics: n.cluster.metrics}
 }
 
+// Metrics returns the cluster-wide metrics registry, for services on this
+// node that record their own instrumentation.
+func (n *Node) Metrics() *metrics.Registry { return n.cluster.metrics }
+
 // Up reports whether the node is functioning.
 func (n *Node) Up() bool {
 	n.mu.Lock()

@@ -1,0 +1,163 @@
+package arjuna_test
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/pkg/arjuna"
+)
+
+// TestAdmissionGateSerializes: with WithAdmission(1) only one top-level
+// Atomic is in flight at a time — a second caller parks at the gate until
+// the first action's slot frees, then runs and commits normally.
+func TestAdmissionGateSerializes(t *testing.T) {
+	sys, err := arjuna.Open(
+		arjuna.WithServers(1), arjuna.WithStores(1), arjuna.WithClients(2),
+		arjuna.WithAdmission(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	obj := sys.Objects()[0]
+
+	c1, err := sys.Client("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sys.Client("c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	holderIn := make(chan struct{})
+	release := make(chan struct{})
+	holderDone := make(chan error, 1)
+	go func() {
+		_, err := c1.Atomic(context.Background(), func(tx *arjuna.Txn) error {
+			close(holderIn)
+			<-release
+			_, ierr := tx.Object(obj).Invoke(context.Background(), "add", []byte("1"))
+			return ierr
+		})
+		holderDone <- err
+	}()
+	<-holderIn
+
+	// The second Atomic must be parked at the gate: its closure must not
+	// have started while the first action holds the only slot.
+	entered := make(chan struct{})
+	gatedDone := make(chan error, 1)
+	go func() {
+		_, err := c2.Atomic(context.Background(), func(tx *arjuna.Txn) error {
+			close(entered)
+			_, ierr := tx.Object(obj).Invoke(context.Background(), "add", []byte("1"))
+			return ierr
+		})
+		gatedDone <- err
+	}()
+	select {
+	case <-entered:
+		t.Fatal("second Atomic ran while the first held the only admission slot")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-holderDone; err != nil {
+		t.Fatalf("holder commit: %v", err)
+	}
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second Atomic never admitted after the slot freed")
+	}
+	if err := <-gatedDone; err != nil {
+		t.Fatalf("gated commit: %v", err)
+	}
+	if got := counterValue(t, sys, obj); got != strconv.Itoa(2) {
+		t.Fatalf("counter = %q, want 2", got)
+	}
+}
+
+// TestAdmissionGateCancel: a caller whose context expires while parked at
+// the admission gate aborts cleanly — ErrAborted carrying the context's
+// error — without having started any action work.
+func TestAdmissionGateCancel(t *testing.T) {
+	sys, err := arjuna.Open(
+		arjuna.WithServers(1), arjuna.WithStores(1), arjuna.WithClients(2),
+		arjuna.WithAdmission(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	c1, err := sys.Client("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := sys.Client("c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	holderIn := make(chan struct{})
+	release := make(chan struct{})
+	holderDone := make(chan error, 1)
+	go func() {
+		_, err := c1.Atomic(context.Background(), func(tx *arjuna.Txn) error {
+			close(holderIn)
+			<-release
+			return nil
+		})
+		holderDone <- err
+	}()
+	<-holderIn
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	rep, err := c2.Atomic(ctx, func(tx *arjuna.Txn) error {
+		t.Error("closure ran despite the gate being full")
+		return nil
+	})
+	if !errors.Is(err, arjuna.ErrAborted) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("gated cancel error = %v, want ErrAborted wrapping deadline", err)
+	}
+	if rep == nil || rep.Committed {
+		t.Fatalf("report = %+v, want non-nil uncommitted", rep)
+	}
+
+	close(release)
+	if err := <-holderDone; err != nil {
+		t.Fatalf("holder commit: %v", err)
+	}
+}
+
+// TestFastBindClientCommits: the ClientFastBind option threads through
+// System.Client to the binder — actions bind with commutative use-count
+// locking and still commit correct state.
+func TestFastBindClientCommits(t *testing.T) {
+	sys, err := arjuna.Open(arjuna.WithServers(1), arjuna.WithStores(1), arjuna.WithClients(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	obj := sys.Objects()[0]
+
+	cl, err := sys.Client("c1", arjuna.ClientFastBind())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := cl.Atomic(context.Background(), func(tx *arjuna.Txn) error {
+			_, ierr := tx.Object(obj).Invoke(context.Background(), "add", []byte("1"))
+			return ierr
+		}); err != nil {
+			t.Fatalf("atomic %d: %v", i, err)
+		}
+	}
+	if got := counterValue(t, sys, obj); got != strconv.Itoa(3) {
+		t.Fatalf("counter = %q, want 3", got)
+	}
+}

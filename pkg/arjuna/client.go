@@ -3,6 +3,7 @@ package arjuna
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -12,12 +13,34 @@ import (
 	"repro/internal/uid"
 )
 
-// Default Atomic retry bounds for transient lock refusals; override per
-// client with ClientRetry.
+// Default Atomic retry bounds for transient refusals (lock conflicts and
+// overload backpressure); override per client with ClientRetry.
 const (
 	defaultRetries = 3
 	defaultBackoff = 2 * time.Millisecond
+	// maxBackoff caps the exponential growth of the retry delay; beyond
+	// this, longer sleeps only add latency without shedding more load.
+	maxBackoff = 250 * time.Millisecond
 )
+
+// retryDelay returns the sleep before retrying after the n-th failed
+// attempt (1-based): exponential growth from base, capped at maxBackoff,
+// with ±50% jitter so clients refused together do not retry together —
+// the single shared policy for lock refusals and overload backpressure.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 1; i < attempt && d < maxBackoff; i++ {
+		d *= 2
+	}
+	if d > maxBackoff {
+		d = maxBackoff
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
 
 // Client runs atomic actions from one client node. Obtain with
 // System.Client; a Client is safe for sequential use (one Atomic at a
@@ -65,6 +88,21 @@ type CommitReport struct {
 	// All-read-only and one-phase commits skip the write — presumed abort
 	// means no recovery will ever ask about them.
 	OutcomeLogged bool
+	// Batched reports that the action's write was folded into another
+	// action's commit round (flat combining): the server executed it under
+	// the lock holder's 2PC, and this action's own commit processing
+	// finished locally with nothing to send.
+	Batched bool
+	// BatchSize is the number of operations the commit round that carried
+	// this action's write folded — as the carrying leader or as a folded
+	// follower (0 when the write was not part of any batch).
+	BatchSize int
+	// Overloads counts the attempts refused with ErrOverloaded across the
+	// whole Atomic call (the final attempt included, if it failed so).
+	Overloads int
+	// QueueWait is the longest server-side lock or combiner-queue wait
+	// observed by the final attempt's invocations.
+	QueueWait time.Duration
 }
 
 // Txn is one running atomic action. It is handed to the closure passed to
@@ -97,6 +135,9 @@ type Object struct {
 	id      uid.UID
 	bd      *core.Binding
 	bindErr error
+	// batched records that a solo invocation was folded into another
+	// action's commit (surfaced in the CommitReport).
+	batched bool
 }
 
 // ID returns the object's identifier.
@@ -139,36 +180,86 @@ func (o *Object) Read(ctx context.Context, method string, args []byte) ([]byte, 
 	return o.Invoke(ctx, method, args)
 }
 
+// apply is the solo-invoke path behind Client.Apply.
+func (o *Object) apply(ctx context.Context, method string, args []byte) ([]byte, error) {
+	if err := o.bind(ctx); err != nil {
+		return nil, err
+	}
+	out, batched, err := o.bd.InvokeSolo(ctx, method, args)
+	if err != nil {
+		return nil, MapError(err)
+	}
+	o.batched = batched
+	return out, nil
+}
+
 // Atomic runs fn inside one top-level atomic action: begin, let fn bind
 // and invoke objects through the Txn, then commit — or abort, undoing all
 // effects, if fn returns an error or commit cannot prepare. Transient
-// lock refusals (ErrLockRefused, the §4.2.1 conflict) are retried with
-// bounded exponential backoff per the client's ClientRetry setting.
+// refusals — lock conflicts (ErrLockRefused, the §4.2.1 conflict) and
+// overload backpressure (ErrOverloaded, a full or expired lock wait
+// queue) — are retried with capped, jittered exponential backoff per the
+// client's ClientRetry setting.
 //
 // The returned error is nil exactly when the action committed; otherwise
 // it carries ErrAborted plus the classified cause. The CommitReport is
 // non-nil in both cases and describes the final attempt.
 func (c *Client) Atomic(ctx context.Context, fn func(tx *Txn) error) (*CommitReport, error) {
-	backoff := c.cfg.backoff
+	if gate := c.sys.admit; gate != nil {
+		// WithAdmission: hold one in-flight slot for the whole action,
+		// retries included. Parking here is the cheap place to wait —
+		// before any bind, lock or 2PC work has been started.
+		select {
+		case gate <- struct{}{}:
+			defer func() { <-gate }()
+		case <-ctx.Done():
+			return &CommitReport{}, tag(ErrAborted, ctx.Err())
+		}
+	}
 	var rep *CommitReport
 	var err error
+	overloads := 0
 	for attempt := 1; ; attempt++ {
 		rep, err = c.runOnce(ctx, fn)
 		rep.Attempts = attempt
-		if err == nil || attempt >= c.cfg.retries || !errors.Is(err, ErrLockRefused) {
+		if errors.Is(err, ErrOverloaded) {
+			overloads++
+		}
+		rep.Overloads = overloads
+		retryable := errors.Is(err, ErrLockRefused) || errors.Is(err, ErrOverloaded)
+		if err == nil || attempt >= c.cfg.retries || !retryable {
 			return rep, err
 		}
-		if backoff > 0 {
-			t := time.NewTimer(backoff)
+		if d := retryDelay(c.cfg.backoff, attempt); d > 0 {
+			t := time.NewTimer(d)
 			select {
 			case <-ctx.Done():
 				t.Stop()
 				return rep, tag(ErrAborted, ctx.Err())
 			case <-t.C:
 			}
-			backoff *= 2
 		}
 	}
+}
+
+// Apply runs a single-operation atomic action: bind the object, invoke
+// method once — declared as the action's entire write set — and commit.
+// For a method the object's class marks Commutative, the server may fold
+// the operation into the current write-lock holder's commit round instead
+// of queueing for the lock (flat combining); the report's Batched field
+// says whether that happened. Semantically Apply is exactly
+// Atomic(one Invoke); the solo declaration is what makes the fold legal.
+func (c *Client) Apply(ctx context.Context, id uid.UID, method string, args []byte) ([]byte, *CommitReport, error) {
+	var result []byte
+	rep, err := c.Atomic(ctx, func(tx *Txn) error {
+		out, aerr := tx.Object(id).apply(ctx, method, args)
+		result = out
+		return aerr
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return result, rep, nil
 }
 
 // runOnce executes one begin → fn → commit/abort cycle.
@@ -220,6 +311,15 @@ func (t *Txn) report(committed bool) *CommitReport {
 		}
 		for _, st := range o.bd.FailedStores() {
 			excluded[st] = true
+		}
+		if o.batched {
+			rep.Batched = true
+		}
+		if bs := o.bd.BatchSize(); bs > rep.BatchSize {
+			rep.BatchSize = bs
+		}
+		if w := o.bd.QueueWait(); w > rep.QueueWait {
+			rep.QueueWait = w
 		}
 	}
 	rep.BrokenServers = sortedAddrs(broken)

@@ -50,6 +50,49 @@
 // updates) with read-only methods to keep the entire action — binding,
 // invocation and commitment — on shared read locks and single rounds.
 //
+// # Commutative operations and hot-key batching
+//
+// A class may declare methods Commutative: applying any set of them in
+// any order yields the same final state (a counter's "add" is the
+// canonical case). Every method marked commutative must commute with
+// every other marked method of its class, not just with itself.
+// Client.Apply exploits the declaration: it runs a single-operation
+// action whose invocation is declared the action's entire write set, and
+// when the object's write lock is already held, the server folds the
+// operation into the current holder's commit round instead of queueing
+// for the lock (flat combining). N contending writers then cost one lock
+// wait and one two-phase commit instead of N of each — the folded
+// operations are applied after the leader's pre-write snapshot, so the
+// leader's abort undoes the whole batch and atomicity is preserved. The
+// CommitReport's Batched/BatchSize fields report when a write rode
+// another action's commit; semantically the result is identical to an
+// un-batched Atomic, only cheaper.
+//
+// # Overload backpressure
+//
+// WithLockQueue(depth, wait) bounds every object server's per-object
+// lock wait queues: at most depth waiters queue on one lock, none longer
+// than wait. Grants are strictly FIFO (no barging), so the bound also
+// bounds any waiter's delay. Over-limit acquires fail fast with
+// ErrOverloaded; Atomic and Apply treat that — like ErrLockRefused — as
+// retryable, sleeping a capped, jittered exponential backoff between
+// attempts so refused clients spread out instead of re-colliding. The
+// CommitReport's Overloads and QueueWait fields expose the pressure a
+// call experienced. Unbounded queues (the default) never refuse, at the
+// cost of unbounded tail latency on hot objects.
+//
+// Two more valves complete the stack. ClientFastBind applies the paper's
+// §4.2.1 type-specific locking to the bind action itself: the group view
+// is read under a shared lock and the use-count bump takes a commutative
+// Adjust lock that other binders and readers share, so binds to a hot
+// object stop convoying behind one another's exclusive bind window (the
+// exclusive repair pass still runs whenever a bind finds failed servers).
+// WithAdmission(n) is the outermost valve: it caps how many top-level
+// Atomic actions are in flight across the whole deployment, parking
+// surplus callers cheaply at the gate — before any bind, lock or commit
+// work — instead of letting offered concurrency beyond the deployment's
+// efficient operating point thrash the machinery into negative scaling.
+//
 // The three database access schemes of §4 (standard, independent
 // top-level, nested top-level) and the three replication policies of §2.3
 // (single-copy passive, active, coordinator-cohort) are selected per

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lockmgr"
+	"repro/internal/object"
 	"repro/internal/replica"
 	"repro/internal/rpc"
 	"repro/internal/transport"
@@ -31,6 +32,12 @@ var (
 	// ErrLockRefused reports a refused database lock acquire or promotion
 	// (the paper's §4.2.1 conflict); the action aborted and may be retried.
 	ErrLockRefused = errors.New("arjuna: lock refused")
+	// ErrOverloaded reports overload backpressure: an object's bounded
+	// lock wait queue was full, or the wait deadline passed before the
+	// lock was granted. The action aborted; Atomic treats it as retryable
+	// with jittered exponential backoff, shedding load instead of letting
+	// hot-key convoys grow without bound.
+	ErrOverloaded = errors.New("arjuna: overloaded")
 	// ErrUnknownObject reports an operation on a UID the group view
 	// database has no entry for.
 	ErrUnknownObject = errors.New("arjuna: unknown object")
@@ -87,10 +94,14 @@ func MapError(err error) error {
 		return tag(ErrNoServers, err)
 	case errors.Is(err, transport.ErrUnreachable):
 		return tag(ErrUnreachable, err)
+	case errors.Is(err, lockmgr.ErrOverloaded):
+		return tag(ErrOverloaded, err)
 	case errors.Is(err, lockmgr.ErrRefused):
 		return tag(ErrLockRefused, err)
 	}
 	switch rpc.CodeOf(err) {
+	case object.CodeOverloaded:
+		return tag(ErrOverloaded, err)
 	case core.CodeLockRefused, rpc.CodeRefused:
 		return tag(ErrLockRefused, err)
 	case core.CodeUnknownObject, rpc.CodeNotFound:

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/lockmgr"
 	"repro/internal/object"
 	"repro/internal/replica"
 	"repro/internal/storage"
@@ -64,6 +65,9 @@ type config struct {
 	policy Policy
 	degree int // <0 = auto: 1 for single-copy passive, all otherwise
 
+	lockLimits lockmgr.Limits
+	admission  int
+
 	classes []*Class
 }
 
@@ -121,6 +125,30 @@ func WithPolicy(p Policy) Option { return func(c *config) { c.policy = p } }
 // is 1 under single-copy passive replication and all otherwise.
 func WithDegree(d int) Option { return func(c *config) { c.degree = d } }
 
+// WithLockQueue bounds every object server's per-object lock wait queues:
+// at most depth waiters may queue on one lock, and no waiter waits longer
+// than wait before being refused. Either bound at zero leaves that
+// dimension unbounded. Over-limit acquires fail with ErrOverloaded, which
+// Atomic retries with jittered exponential backoff — backpressure that
+// keeps a hot object's queue (and its tail latency) bounded instead of
+// letting every delayed client pile up behind the lock.
+func WithLockQueue(depth int, wait time.Duration) Option {
+	return func(c *config) { c.lockLimits = lockmgr.Limits{MaxQueue: depth, MaxWait: wait} }
+}
+
+// WithAdmission caps how many top-level Atomic actions may be in flight
+// across the whole deployment at once. Beyond the lock-queue bounds —
+// which refuse work already deep inside the system — the admission gate
+// is the outermost backpressure valve: when offered concurrency exceeds
+// the deployment's efficient operating point, surplus callers park
+// cheaply at the gate instead of thrashing the bind, lock and commit
+// machinery, which is what turns extra clients into negative scaling.
+// An admitted action holds its slot through its retries, so its backoff
+// capacity is not resold. 0 (the default) means no gate.
+func WithAdmission(n int) Option {
+	return func(c *config) { c.admission = n }
+}
+
 // WithClass registers an application object class in addition to the
 // built-in "counter" class.
 func WithClass(cl *Class) Option {
@@ -173,6 +201,7 @@ type clientConfig struct {
 	policy   Policy
 	degree   int
 	readOnly bool
+	fastBind bool
 	retries  int
 	backoff  time.Duration
 }
@@ -196,6 +225,15 @@ func ClientDegree(d int) ClientOption { return func(c *clientConfig) { c.degree 
 // any one convenient server and never touches use lists. Only read-only
 // methods should be invoked through such a client.
 func ClientReadOnly() ClientOption { return func(c *clientConfig) { c.readOnly = true } }
+
+// ClientFastBind makes the enhanced schemes' bind action use commutative
+// locking: Sv is read under a shared lock and the use-count Increment
+// takes an Adjust lock that other adjusters and readers share, so binds
+// to a hot object no longer convoy behind one another's exclusive bind
+// window. The exclusive Figure 7 pass still runs whenever a bind finds
+// failed servers to repair, preserving Sv-repair and quiescence
+// semantics. No effect under SchemeStandard or ClientReadOnly.
+func ClientFastBind() ClientOption { return func(c *clientConfig) { c.fastBind = true } }
 
 // ClientRetry bounds Atomic's retry loop for transient lock refusals:
 // at most attempts tries in total, sleeping backoff (doubling each time)

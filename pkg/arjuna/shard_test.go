@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"slices"
+	"strconv"
 	"testing"
 	"time"
 
@@ -314,6 +315,51 @@ func TestRebalanceMovesObjectAndStaleClientRebinds(t *testing.T) {
 	}
 	if got := counterValue(t, sys, obj); got != "12" {
 		t.Fatalf("state = %q, want 12 (both adds applied once)", got)
+	}
+}
+
+func TestRebalanceBatchMovesAllUnderOneEpochBump(t *testing.T) {
+	sys := openT(t, arjuna.WithShards(3), arjuna.WithServers(1), arjuna.WithStores(1), arjuna.WithObjects(6))
+	cl := clientT(t, sys, "c1")
+	ctx := context.Background()
+
+	// Seed distinct values so continuity is checked per object.
+	objs := sys.Objects()
+	for i, obj := range objs {
+		delta := strconv.Itoa(i + 1)
+		if _, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+			_, err := tx.Object(obj).Invoke(ctx, "add", []byte(delta))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Move the whole namespace to shard 2 — including objects already
+	// there, which the batch move must skip, and objects from several
+	// distinct source shards committed under the one migration action.
+	const target = 2
+	if err := sys.RebalanceBatch(ctx, objs, target); err != nil {
+		t.Fatalf("batch rebalance: %v", err)
+	}
+	for i, obj := range objs {
+		if got := sys.ShardOf(obj); got != target {
+			t.Fatalf("object %d on shard %d after batch move, want %d", i, got, target)
+		}
+		if got, want := counterValue(t, sys, obj), strconv.Itoa(i+1); got != want {
+			t.Fatalf("object %d state = %q after batch move, want %q", i, got, want)
+		}
+	}
+
+	// The batch is usable at the target — the stale client re-binds
+	// through the bumped epochs.
+	for _, obj := range objs {
+		if _, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+			_, err := tx.Object(obj).Invoke(ctx, "add", []byte("10"))
+			return err
+		}); err != nil {
+			t.Fatalf("post-move write to %v: %v", obj, err)
+		}
 	}
 }
 

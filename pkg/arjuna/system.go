@@ -30,6 +30,9 @@ type System struct {
 	// janitors sweep use-lists: one per group view database.
 	janitors []*core.Janitor
 	gen      *uid.Generator
+	// admit, when non-nil, is the WithAdmission gate: a slot must be held
+	// for the duration of every top-level Atomic.
+	admit chan struct{}
 
 	mu      sync.Mutex
 	created []uid.UID
@@ -53,16 +56,17 @@ func Open(opts ...Option) (*System, error) {
 		}
 	}
 	w, err := harness.New(harness.Options{
-		Servers:  cfg.servers,
-		Stores:   cfg.stores,
-		Clients:  cfg.clients,
-		Objects:  cfg.objects,
-		Shards:   cfg.shards,
-		Net:      cfg.net,
-		Network:  cfg.network,
-		Registry: reg,
-		DataDir:  cfg.dataDir,
-		Disk:     cfg.disk,
+		Servers:    cfg.servers,
+		Stores:     cfg.stores,
+		Clients:    cfg.clients,
+		Objects:    cfg.objects,
+		Shards:     cfg.shards,
+		Net:        cfg.net,
+		Network:    cfg.network,
+		Registry:   reg,
+		DataDir:    cfg.dataDir,
+		Disk:       cfg.disk,
+		LockLimits: cfg.lockLimits,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("arjuna: open: %w", err)
@@ -71,13 +75,17 @@ func Open(opts ...Option) (*System, error) {
 	for i := range w.Groups {
 		janitors[i] = core.NewJanitor(w.Groups[i].DB)
 	}
-	return &System{
+	s := &System{
 		cfg:      cfg,
 		w:        w,
 		viewMgr:  action.NewManager("arjuna-sys", nil),
 		janitors: janitors,
 		gen:      uid.NewGenerator("app", 1),
-	}, nil
+	}
+	if cfg.admission > 0 {
+		s.admit = make(chan struct{}, cfg.admission)
+	}
+	return s, nil
 }
 
 // Close tears the deployment down: every node's stable storage is shut
@@ -138,10 +146,12 @@ func (s *System) Client(name string, opts ...ClientOption) (*Client, error) {
 	if s.w.Sharded() {
 		sb := s.w.ShardBinder(addr, cc.scheme, cc.policy, cc.degree)
 		sb.ReadOnly = cc.readOnly
+		sb.FastBind = cc.fastBind
 		binder = sb
 	} else {
 		b := s.w.Binder(addr, cc.scheme, cc.policy, cc.degree)
 		b.ReadOnly = cc.readOnly
+		b.FastBind = cc.fastBind
 		binder = b
 	}
 	return &Client{sys: s, name: addr, binder: binder, cfg: cc}, nil
@@ -237,6 +247,19 @@ func (s *System) Rebalance(ctx context.Context, id uid.UID, target int) error {
 		return fmt.Errorf("arjuna: rebalance: %w", ErrNotSharded)
 	}
 	return MapError(s.w.Rebalance(ctx, id, target))
+}
+
+// RebalanceBatch migrates a whole batch of objects to the target shard
+// under one migration action: every object is deregistered, caught up and
+// re-registered as in Rebalance, but the placement overrides flip in a
+// single service-side critical section (one AssignBatch round, one epoch
+// bump per object) — a concurrent client observes the old or the new
+// placement of the batch, never a torn mixture. Requires WithShards.
+func (s *System) RebalanceBatch(ctx context.Context, ids []uid.UID, target int) error {
+	if !s.w.Sharded() {
+		return fmt.Errorf("arjuna: rebalance: %w", ErrNotSharded)
+	}
+	return MapError(s.w.RebalanceBatch(ctx, ids, target))
 }
 
 // Crash fail-silences a node: its volatile state is lost and it leaves
