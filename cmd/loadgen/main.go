@@ -28,6 +28,13 @@
 // the overload backpressure forced, and the server-side queue-wait
 // distribution.
 //
+// -partition-store cuts one store node off from every other node partway
+// through the measured window (-partition-at after measurement starts,
+// healed after -partition-for, or at window end with 0), the degraded-
+// mode scenario: operations on the lost store's shard abort quickly —
+// circuit breakers fast-fail the repeat offenders — while the other
+// shards keep committing. "auto" picks the last shard's first store.
+//
 // The deployment is in-memory and in-process: the numbers measure the
 // protocol stack (binding, locking, replication, 2PC, placement), not a
 // kernel's network path.
@@ -45,7 +52,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"slices"
+
 	"repro/internal/metrics"
+	"repro/internal/transport"
 	"repro/pkg/arjuna"
 )
 
@@ -109,6 +119,12 @@ type ConfigDoc struct {
 	Admission   int     `json:"admission"`
 	WarmupSec   float64 `json:"warmup_seconds"`
 	Seed        int64   `json:"seed"`
+	// PartitionStore names the store node partitioned mid-window ("" =
+	// healthy run); PartitionAtSec/PartitionForSec delimit the outage
+	// inside the measured window.
+	PartitionStore  string  `json:"partition_store,omitempty"`
+	PartitionAtSec  float64 `json:"partition_at_seconds,omitempty"`
+	PartitionForSec float64 `json:"partition_for_seconds,omitempty"`
 }
 
 // LatencyDoc is one histogram's percentile summary, in milliseconds.
@@ -168,6 +184,9 @@ func run() error {
 	seed := flag.Int64("seed", 1, "workload RNG seed")
 	out := flag.String("out", "BENCH_shardscale.json", "output JSON path")
 	opTimeout := flag.Duration("op-timeout", 5*time.Second, "per-operation context timeout")
+	partitionStore := flag.String("partition-store", "", "store node to partition mid-window (\"auto\" = last shard's first store, \"\" = none)")
+	partitionAt := flag.Duration("partition-at", 2*time.Second, "when after measurement start the partition begins")
+	partitionFor := flag.Duration("partition-for", 0, "how long the partition lasts (0 = until window end)")
 	flag.Parse()
 
 	if *readFrac+*crossFrac > 1 {
@@ -209,6 +228,47 @@ func run() error {
 	measureStart := time.Now().Add(*warmup)
 	measureEnd := measureStart.Add(*duration)
 	perShardOps := make([]atomic.Int64, *shards+1)
+
+	// Mid-window partition: cut the chosen store off from every other
+	// node, heal after -partition-for (or at window end). The generator
+	// keeps offering the full mix throughout — the report shows what a
+	// deployment missing one store actually serves.
+	var partitionDone chan struct{}
+	if *partitionStore != "" {
+		sick := transport.Addr(*partitionStore)
+		if *partitionStore == "auto" {
+			sts := sys.Stores()
+			sick = sts[len(sts)-1]
+		}
+		if !slices.Contains(sys.Stores(), sick) {
+			return fmt.Errorf("partition-store %q: no such store (have %v)", sick, sys.Stores())
+		}
+		*partitionStore = string(sick)
+		var others []transport.Addr
+		for _, ns := range sys.Status() {
+			if ns.Name != sick {
+				others = append(others, ns.Name)
+			}
+		}
+		healAt := measureEnd
+		if *partitionFor > 0 {
+			healAt = measureStart.Add(*partitionAt + *partitionFor)
+		}
+		partitionDone = make(chan struct{})
+		go func() {
+			defer close(partitionDone)
+			time.Sleep(time.Until(measureStart.Add(*partitionAt)))
+			fmt.Printf("loadgen: partitioning %s from %d nodes\n", sick, len(others))
+			for _, o := range others {
+				sys.Faults().Partition(sick, o)
+			}
+			time.Sleep(time.Until(healAt))
+			for _, o := range others {
+				sys.Faults().Heal(sick, o)
+			}
+			fmt.Printf("loadgen: healed %s\n", sick)
+		}()
+	}
 
 	type workerOut struct {
 		classes [numClasses]classStats
@@ -336,6 +396,9 @@ func run() error {
 		}(wi, rw, ro)
 	}
 	wg.Wait()
+	if partitionDone != nil {
+		<-partitionDone // heal before Close tears the cluster down
+	}
 
 	// Merge the per-worker histograms and counters.
 	overall := new(metrics.Histogram)
@@ -388,6 +451,7 @@ func run() error {
 			QueueWaitMS: float64(queueWait.Milliseconds()), Retries: *retries,
 			FastBind: *fastBind, Admission: *admission,
 			WarmupSec: warmup.Seconds(), Seed: *seed,
+			PartitionStore: *partitionStore,
 		},
 		MeasuredSec: duration.Seconds(),
 		Ops:         totalOps,
@@ -398,6 +462,10 @@ func run() error {
 		Overall:     latencyDoc(overall),
 		Classes:     classes,
 		PerShardOps: perShard,
+	}
+	if *partitionStore != "" {
+		rep.Config.PartitionAtSec = partitionAt.Seconds()
+		rep.Config.PartitionForSec = partitionFor.Seconds()
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -78,6 +78,16 @@ type Config struct {
 	// BiasInDoubt converts half the schedule into crash-during-commit
 	// injections — the dedicated in-doubt convergence configuration.
 	BiasInDoubt bool
+	// GrayFailures adds gray-failure injections to the schedule: a node
+	// keeps accepting requests and executing them but holds every reply
+	// past the callers' deadlines. The flag gates every extra rng draw,
+	// so classic schedules replay bit-identically with it off.
+	GrayFailures bool
+	// PlacementChaos adds placement-replica crash/recover events to
+	// sharded schedules (ignored with Shards <= 1), plus the
+	// placement-convergence invariant check after quiesce. Gated like
+	// GrayFailures to keep classic seeds stable.
+	PlacementChaos bool
 	// DataDir switches the run onto disk-backed stable storage rooted
 	// here (tests pass t.TempDir() to stay hermetic): crashes drop whole
 	// process images, recovery replays WAL+snapshot, and the schedule
@@ -188,6 +198,10 @@ type runner struct {
 	ops         []opRec
 	partitions  map[[2]transport.Addr]bool
 	everCrashed map[transport.Addr]bool
+	// placementDown tracks crashed placement replicas separately from
+	// everCrashed: they have no St/Sv views to rejoin — recovery is the
+	// replica's own catch-up, run by its OnRecover hook.
+	placementDown map[transport.Addr]bool
 	// armed tracks disk backends carrying a live kill-at-byte injection,
 	// for disarming (or crash-confirming) at quiesce.
 	armed map[transport.Addr]*storage.Disk
@@ -225,8 +239,9 @@ func Run(cfg Config) (*Report, error) {
 			FinalValues: make(map[string]int),
 		},
 		tallies:     make([]objTally, cfg.Objects),
-		partitions:  make(map[[2]transport.Addr]bool),
-		everCrashed: make(map[transport.Addr]bool),
+		partitions:    make(map[[2]transport.Addr]bool),
+		everCrashed:   make(map[transport.Addr]bool),
+		placementDown: make(map[transport.Addr]bool),
 		armed:       make(map[transport.Addr]*storage.Disk),
 		tornRng:     rand.New(rand.NewSource(cfg.Seed ^ 0x70524e5441494c)),
 	}
@@ -415,6 +430,27 @@ func (r *runner) apply(e Event) {
 			r.faults.DropRepliesP(1, 1, rule)
 		}
 		r.faults.OnReply(1, rule, func(transport.Request) { n.Crash() })
+	case KindGrayFail:
+		// Gray failure: the target executes everything it is sent but
+		// holds every reply for Hold — callers' deadlines expire while
+		// the side effects stand. Cleared (with all rules) at quiesce.
+		r.faults.DelayReplies(1, -1, e.Hold, transport.To(e.Target))
+	case KindCrashPlacement:
+		if n := r.w.Cluster.Node(e.Target); n != nil {
+			r.mu.Lock()
+			r.placementDown[e.Target] = true
+			r.mu.Unlock()
+			n.Crash()
+		}
+	case KindRecoverPlacement:
+		if n := r.w.Cluster.Node(e.Target); n != nil && !n.Up() {
+			// Recover runs the replica's OnRecover catch-up hook against
+			// the primary.
+			n.Recover(nil)
+			r.mu.Lock()
+			delete(r.placementDown, e.Target)
+			r.mu.Unlock()
+		}
 	case KindKillAtByte:
 		// Only meaningful on a live disk-backed store: the WAL is armed
 		// to tear once it grows e.Bytes further, and the node dies at the
@@ -554,6 +590,18 @@ func (r *runner) quiesce() {
 			r.w.Cluster.Node(target).Crash()
 		}
 	}
+
+	// Placement replicas rejoin first: the recovery protocols and the
+	// invariant checks below bind through the placement service. The
+	// OnRecover hook pulls the directory from the primary.
+	for _, p := range r.w.PlaceAddrs {
+		if n := r.w.Cluster.Node(p); n != nil && !n.Up() {
+			n.Recover(nil)
+		}
+	}
+	r.mu.Lock()
+	r.placementDown = make(map[transport.Addr]bool)
+	r.mu.Unlock()
 
 	// Restart crashed stores; their pending intentions resolve against
 	// coordinator logs inside Recover.

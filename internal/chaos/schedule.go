@@ -33,6 +33,18 @@ const (
 	// that instant — a process dying halfway through a write. Recovery
 	// must truncate the torn record and lose nothing acknowledged.
 	KindKillAtByte
+	// KindGrayFail (Config.GrayFailures) makes the target sick rather
+	// than dead: it accepts every request and executes it, but holds all
+	// replies for Hold — past the callers' deadlines, so side effects
+	// stand while the caller times out. The fail-silent detectors never
+	// fire; only deadline expiry (and the circuit breakers built on it)
+	// can contain the node.
+	KindGrayFail
+	// KindCrashPlacement / KindRecoverPlacement (Config.PlacementChaos,
+	// sharded runs) kill and restart one placement service replica;
+	// recovery runs the replica's catch-up against the primary.
+	KindCrashPlacement
+	KindRecoverPlacement
 )
 
 // String implements fmt.Stringer.
@@ -62,6 +74,12 @@ func (k EventKind) String() string {
 		return "crash-during-commit"
 	case KindKillAtByte:
 		return "kill-at-byte"
+	case KindGrayFail:
+		return "gray-fail"
+	case KindCrashPlacement:
+		return "crash-placement"
+	case KindRecoverPlacement:
+		return "recover-placement"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -119,6 +137,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s %s (%s)", s, e.Target, side)
 	case KindKillAtByte:
 		return fmt.Sprintf("%s %s (+%d bytes)", s, e.Target, e.Bytes)
+	case KindGrayFail:
+		return fmt.Sprintf("%s %s hold=%s", s, e.Target, e.Hold)
 	default:
 		return fmt.Sprintf("%s %s", s, e.Target)
 	}
@@ -264,6 +284,45 @@ func GenerateSchedule(seed int64, cfg Config) []Event {
 	if !haveInDoubt && len(events) > 0 {
 		last := &events[len(events)-1]
 		*last = Event{After: last.After, Kind: KindCrashDuringCommit, Target: pick(stores), AbortSide: rng.Intn(2) == 0}
+	}
+
+	// Flag-gated extensions. Every extra rng draw sits behind its flag,
+	// AFTER all classic draws, so a pinned seed's classic schedule is
+	// bit-identical with the flags off — the property every existing
+	// "reproduce with -seed=N" recipe rests on.
+	extended := false
+	if cfg.GrayFailures {
+		extended = true
+		// At least one gray failure per schedule, held well past the
+		// action timeout so every involved caller's deadline expires
+		// while the sick node's side effects stand.
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			events = append(events, Event{
+				After:  1 + rng.Intn(max(1, total/2)),
+				Kind:   KindGrayFail,
+				Target: pick(all),
+				Hold:   time.Duration(3+rng.Intn(6)) * cfg.ActionTimeout,
+			})
+		}
+	}
+	if cfg.PlacementChaos && cfg.Shards > 1 {
+		extended = true
+		// Kill one placement replica mid-run and restart it later; binds
+		// must keep working throughout and the replica must converge.
+		replicas := []transport.Addr{"placement", "placement2", "placement3"}
+		victim := replicas[rng.Intn(len(replicas))]
+		at := 1 + rng.Intn(max(1, total/2))
+		events = append(events, Event{After: at, Kind: KindCrashPlacement, Target: victim})
+		events = append(events, Event{
+			After: at + 1 + rng.Intn(max(1, total/4)),
+			Kind:  KindRecoverPlacement, Target: victim,
+		})
+	}
+	if extended {
+		// Appended events carry their own thresholds; restore apply order
+		// (stable, so same-threshold classic events keep their order).
+		sort.SliceStable(events, func(i, j int) bool { return events[i].After < events[j].After })
 	}
 	return events
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/placement"
 	"repro/internal/replica"
+	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/store"
@@ -91,7 +92,21 @@ type Options struct {
 	// LockLimits bounds every object server's per-object lock wait queues
 	// (depth cap and wait deadline); the zero value leaves them unbounded.
 	LockLimits lockmgr.Limits
+	// NoBreakers disables the per-peer circuit breakers that every node
+	// otherwise gets by default.
+	NoBreakers bool
+	// Breakers tunes the circuit breakers (zero fields take the rpc
+	// package defaults). Ignored with NoBreakers.
+	Breakers rpc.BreakerConfig
+	// PlacementReplicas is how many placement service replicas a sharded
+	// world runs (nodes "placement", "placement2", ...). 0 selects the
+	// default of 3; 1 keeps the classic single placement node.
+	PlacementReplicas int
 }
+
+// DefaultPlacementReplicas is the placement replica count a sharded world
+// gets when Options does not choose one.
+const DefaultPlacementReplicas = 3
 
 // Group is one shard's server/store group and its group view database.
 type Group struct {
@@ -116,10 +131,16 @@ type World struct {
 	Metrics *metrics.Registry
 	// Groups lists every shard's group; len 1 when unsharded.
 	Groups []Group
-	// Place is the placement service (nil when unsharded).
+	// Place is the placement service's primary replica (nil when
+	// unsharded).
 	Place *placement.Service
-	// PlaceAddr is the placement service's node address.
+	// PlaceAddr is the primary placement node's address.
 	PlaceAddr transport.Addr
+	// Places lists every placement replica (primary first); len 1 when
+	// the world runs a single placement node.
+	Places []*placement.Service
+	// PlaceAddrs lists every placement node address, primary first.
+	PlaceAddrs []transport.Addr
 }
 
 // New builds a world: one db node, the requested servers/stores/clients,
@@ -148,6 +169,9 @@ func New(opts Options) (*World, error) {
 	// The world shares the cluster's registry, so RPC-layer call counts
 	// and latencies land next to whatever the harness records itself.
 	w.Metrics = w.Cluster.Metrics()
+	if !opts.NoBreakers {
+		w.Cluster.SetBreakers(opts.Breakers)
+	}
 	if opts.DataDir != "" {
 		dataDir, disk := opts.DataDir, opts.Disk
 		w.Cluster.SetStorage(func(name transport.Addr) storage.Factory {
@@ -184,13 +208,26 @@ func New(opts Options) (*World, error) {
 		g.Sts = append(g.Sts, name)
 	}
 	if shards > 1 {
-		pn := w.Cluster.Add("placement")
+		replicas := opts.PlacementReplicas
+		if replicas <= 0 {
+			replicas = DefaultPlacementReplicas
+		}
+		nodes := make([]*sim.Node, replicas)
+		for i := range nodes {
+			name := transport.Addr("placement")
+			if i > 0 {
+				name = transport.Addr("placement" + strconv.Itoa(i+1))
+			}
+			nodes[i] = w.Cluster.Add(name)
+			w.PlaceAddrs = append(w.PlaceAddrs, name)
+		}
 		infos := make([]placement.ShardInfo, len(w.Groups))
 		for i, g := range w.Groups {
 			infos[i] = placement.ShardInfo{ID: g.ID, DB: g.DB.Addr(), Svs: g.Svs, Sts: g.Sts}
 		}
-		w.Place = placement.NewService(pn, infos)
-		w.PlaceAddr = pn.Name()
+		w.Places = placement.NewReplicatedGroup(nodes, infos)
+		w.Place = w.Places[0]
+		w.PlaceAddr = w.PlaceAddrs[0]
 	}
 	for i := 0; i < opts.Clients; i++ {
 		name := transport.Addr("c" + strconv.Itoa(i+1))
@@ -279,7 +316,7 @@ func (w *World) RebalanceBatch(ctx context.Context, ids []uid.UID, target int) e
 		return fmt.Errorf("harness: Rebalance requires a sharded world")
 	}
 	client := w.Clients[0]
-	pc := placement.NewClient(w.Cluster.Node(client).Client(), w.PlaceAddr)
+	pc := placement.NewClient(w.Cluster.Node(client).Client(), w.PlaceAddrs...)
 	return placement.Move(ctx, pc, w.Mgrs[client], w.Cluster.Node(client).Client(), ids, target)
 }
 
@@ -291,7 +328,7 @@ func (w *World) ShardBinder(client transport.Addr, scheme core.Scheme, policy re
 	}
 	rpcc := w.Cluster.Node(client).Client()
 	return &placement.Binder{
-		Place:      placement.NewClient(rpcc, w.PlaceAddr),
+		Place:      placement.NewClient(rpcc, w.PlaceAddrs...),
 		Actions:    w.Mgrs[client],
 		ClientNode: client,
 		RPC:        rpcc,

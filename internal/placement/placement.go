@@ -24,10 +24,12 @@ package placement
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/rpc"
 	"repro/internal/sim"
@@ -118,12 +120,35 @@ const (
 	MethodAssign      = "Assign"
 	MethodAssignBatch = "AssignBatch"
 	MethodTable       = "Table"
+	MethodSync        = "Sync"  // primary → replica override push
+	MethodState       = "State" // full directory dump for catch-up
 )
 
-// Service is the placement authority, hosted on one node. Like the §5
-// name server it is non-atomic: lookups and assignments are immediate,
-// mutex-protected map operations with no locks or actions.
+// CodeNotPrimary is returned by a replica asked to perform a write: only
+// the primary assigns overrides and bumps epochs.
+const CodeNotPrimary = "not-primary"
+
+// Service is the placement authority. Like the §5 name server it is
+// non-atomic: lookups and assignments are immediate, mutex-protected map
+// operations with no locks or actions.
+//
+// A Service may be one replica of a replicated group (NewReplicatedGroup).
+// Replication is primary-based and epoch-fenced: all writes go through a
+// static primary (the group's first node), which applies them locally and
+// pushes the new override records — each carrying its per-object epoch —
+// to the peers best-effort. A peer applies a pushed record only if its
+// epoch exceeds the peer's local epoch for that object, so reordered or
+// replayed pushes can never regress the directory. A replica that missed
+// pushes (crash, partition) converges through CatchUp, which pulls the
+// primary's full directory under the same fence. Stale reads are safe by
+// the package's own design: a lagging replica at worst hands out an old
+// mapping, which the binder detects via CodeUnknownObject and re-resolves.
 type Service struct {
+	self    transport.Addr
+	primary transport.Addr
+	peers   []transport.Addr
+	cli     rpc.Client
+
 	mu        sync.Mutex
 	ring      *Ring
 	shards    map[int]ShardInfo
@@ -131,8 +156,46 @@ type Service struct {
 	epochs    map[uid.UID]uint64
 }
 
-// NewService installs a placement service for the given shards on node.
+// NewService installs a single-replica placement service for the given
+// shards on node (the node is its own primary).
 func NewService(node *sim.Node, shards []ShardInfo) *Service {
+	return newReplica(node, node.Name(), nil, shards)
+}
+
+// NewReplicatedGroup installs one placement replica per node, all serving
+// the same shard table, with nodes[0] as the static primary. The returned
+// services are in node order (primary first). Every replica registers a
+// recovery hook that pulls the primary's directory on restart.
+func NewReplicatedGroup(nodes []*sim.Node, shards []ShardInfo) []*Service {
+	if len(nodes) == 0 {
+		panic("placement: replicated group needs at least one node")
+	}
+	primary := nodes[0].Name()
+	out := make([]*Service, len(nodes))
+	for i, node := range nodes {
+		peers := make([]transport.Addr, 0, len(nodes)-1)
+		for _, other := range nodes {
+			if other.Name() != node.Name() {
+				peers = append(peers, other.Name())
+			}
+		}
+		s := newReplica(node, primary, peers, shards)
+		if node.Name() != primary {
+			node.OnRecover(func(*sim.Node) {
+				// Catch up on pushes missed while down. Best-effort: if the
+				// primary is unreachable the replica still serves its (safe,
+				// possibly stale) directory and converges on the next sync.
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				_ = s.CatchUp(ctx)
+			})
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func newReplica(node *sim.Node, primary transport.Addr, peers []transport.Addr, shards []ShardInfo) *Service {
 	ids := make([]int, len(shards))
 	byID := make(map[int]ShardInfo, len(shards))
 	for i, s := range shards {
@@ -140,6 +203,10 @@ func NewService(node *sim.Node, shards []ShardInfo) *Service {
 		byID[s.ID] = s
 	}
 	s := &Service{
+		self:      node.Name(),
+		primary:   primary,
+		peers:     peers,
+		cli:       node.Client(),
 		ring:      NewRing(ids, 0),
 		shards:    byID,
 		overrides: make(map[uid.UID]int),
@@ -155,6 +222,9 @@ func NewService(node *sim.Node, shards []ShardInfo) *Service {
 		return LookupResp{Shard: shard, Epoch: epoch}, nil
 	}))
 	srv.Handle(ServiceName, MethodAssign, rpc.Method(func(ctx context.Context, from transport.Addr, req AssignReq) (AssignResp, error) {
+		if !s.IsPrimary() {
+			return AssignResp{}, rpc.Errorf(CodeNotPrimary, "placement writes go through %s", s.primary)
+		}
 		id, err := uid.Parse(req.UID)
 		if err != nil {
 			return AssignResp{}, rpc.Errorf(rpc.CodeInternal, "bad uid: %v", err)
@@ -163,9 +233,13 @@ func NewService(node *sim.Node, shards []ShardInfo) *Service {
 		if err != nil {
 			return AssignResp{}, err
 		}
+		s.syncPeers(ctx, []SyncRec{{UID: req.UID, Shard: req.Shard, Epoch: epoch}})
 		return AssignResp{Epoch: epoch}, nil
 	}))
 	srv.Handle(ServiceName, MethodAssignBatch, rpc.Method(func(ctx context.Context, from transport.Addr, req AssignBatchReq) (AssignBatchResp, error) {
+		if !s.IsPrimary() {
+			return AssignBatchResp{}, rpc.Errorf(CodeNotPrimary, "placement writes go through %s", s.primary)
+		}
 		ids := make([]uid.UID, len(req.Assignments))
 		for i, a := range req.Assignments {
 			id, err := uid.Parse(a.UID)
@@ -178,12 +252,92 @@ func NewService(node *sim.Node, shards []ShardInfo) *Service {
 		if err != nil {
 			return AssignBatchResp{}, err
 		}
+		recs := make([]SyncRec, len(ids))
+		for i, id := range ids {
+			recs[i] = SyncRec{UID: id.String(), Shard: req.Shard, Epoch: epochs[i]}
+		}
+		s.syncPeers(ctx, recs)
 		return AssignBatchResp{Epochs: epochs}, nil
 	}))
 	srv.Handle(ServiceName, MethodTable, rpc.Method(func(ctx context.Context, from transport.Addr, req TableReq) (TableResp, error) {
 		return TableResp{Shards: shardRecs(s.Shards())}, nil
 	}))
+	srv.Handle(ServiceName, MethodSync, rpc.Method(func(ctx context.Context, from transport.Addr, req SyncReq) (SyncResp, error) {
+		s.applySync(req.Records)
+		return SyncResp{}, nil
+	}))
+	srv.Handle(ServiceName, MethodState, rpc.Method(func(ctx context.Context, from transport.Addr, req StateReq) (StateResp, error) {
+		return StateResp{Records: s.stateRecords()}, nil
+	}))
 	return s
+}
+
+// IsPrimary reports whether this replica is the group's write primary.
+func (s *Service) IsPrimary() bool { return s.self == s.primary }
+
+// Primary returns the group's write primary address.
+func (s *Service) Primary() transport.Addr { return s.primary }
+
+// syncPeers pushes freshly written override records to every peer
+// replica, best-effort and synchronously: a down or partitioned peer is
+// simply skipped (it converges through CatchUp). Called on the primary
+// inside the write RPC so that when the write returns, every reachable
+// replica already serves the new mapping.
+func (s *Service) syncPeers(ctx context.Context, recs []SyncRec) {
+	if len(s.peers) == 0 || len(recs) == 0 {
+		return
+	}
+	payload, err := rpc.Encode(&SyncReq{Records: recs})
+	if err != nil {
+		return
+	}
+	for _, peer := range s.peers {
+		_, _ = s.cli.Call(ctx, peer, ServiceName, MethodSync, payload)
+	}
+}
+
+// applySync folds pushed override records into the local directory under
+// the epoch fence: a record lands only if it is newer than what the
+// replica already has, so replays and reorderings cannot regress it.
+func (s *Service) applySync(recs []SyncRec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range recs {
+		id, err := uid.Parse(rec.UID)
+		if err != nil {
+			continue
+		}
+		if rec.Epoch > s.epochs[id] {
+			s.overrides[id] = rec.Shard
+			s.epochs[id] = rec.Epoch
+		}
+	}
+}
+
+// stateRecords dumps the full override directory for catch-up.
+func (s *Service) stateRecords() []SyncRec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SyncRec, 0, len(s.overrides))
+	for id, shard := range s.overrides {
+		out = append(out, SyncRec{UID: id.String(), Shard: shard, Epoch: s.epochs[id]})
+	}
+	return out
+}
+
+// CatchUp pulls the primary's full directory and folds it in under the
+// epoch fence — the anti-entropy path for a replica that missed pushes.
+// No-op on the primary itself.
+func (s *Service) CatchUp(ctx context.Context) error {
+	if s.IsPrimary() {
+		return nil
+	}
+	resp, err := rpc.Invoke[StateReq, StateResp](ctx, s.cli, s.primary, ServiceName, MethodState, StateReq{})
+	if err != nil {
+		return err
+	}
+	s.applySync(resp.Records)
+	return nil
 }
 
 // Lookup resolves an object's shard and epoch: the directory override if
@@ -286,6 +440,26 @@ type AssignBatchReq struct {
 // AssignBatchResp carries the new placement epochs, in request order.
 type AssignBatchResp struct{ Epochs []uint64 }
 
+// SyncRec is one replicated override record: the object, its assigned
+// shard, and the epoch fencing the record.
+type SyncRec struct {
+	UID   string
+	Shard int
+	Epoch uint64
+}
+
+// SyncReq pushes override records from the primary to a replica.
+type SyncReq struct{ Records []SyncRec }
+
+// SyncResp acknowledges a sync push.
+type SyncResp struct{}
+
+// StateReq asks a replica (normally the primary) for its full directory.
+type StateReq struct{}
+
+// StateResp carries the full override directory.
+type StateResp struct{ Records []SyncRec }
+
 // TableReq fetches the shard table.
 type TableReq struct{}
 
@@ -330,13 +504,23 @@ func fromAddrs(in []transport.Addr) []string {
 // shard-aware binder detects that through CodeUnknownObject at the old
 // shard and calls Refresh, using the epoch to decide whether a re-bind
 // is worthwhile. Safe for concurrent use.
+//
+// When the service is replicated the client knows every replica. Reads
+// try a preferred replica first and fail over to the others on any
+// transport-class failure — including the instant ErrPeerUnavailable
+// fast-fail from an open circuit breaker — so a dead replica costs at
+// most one timeout (often nothing) rather than an outage. Writes always
+// go to the primary (the first address); a lagging replica's stale read
+// fails safely through the binder's Refresh/re-bind path.
 type Client struct {
-	RPC  rpc.Client
-	Node transport.Addr
+	RPC rpc.Client
+	// Nodes are the placement replicas, primary first.
+	Nodes []transport.Addr
 
-	mu    sync.Mutex
-	table map[int]ShardInfo
-	cache map[uid.UID]cachedPlacement
+	mu        sync.Mutex
+	preferred int // index into Nodes reads try first
+	table     map[int]ShardInfo
+	cache     map[uid.UID]cachedPlacement
 }
 
 type cachedPlacement struct {
@@ -344,18 +528,79 @@ type cachedPlacement struct {
 	epoch uint64
 }
 
-// NewClient returns a placement client talking to the service at node.
-func NewClient(rpcc rpc.Client, node transport.Addr) *Client {
-	return &Client{RPC: rpcc, Node: node}
+// NewClient returns a placement client talking to the service replicas at
+// nodes (the first is the write primary).
+func NewClient(rpcc rpc.Client, nodes ...transport.Addr) *Client {
+	if len(nodes) == 0 {
+		panic("placement: client needs at least one service node")
+	}
+	return &Client{RPC: rpcc, Nodes: nodes}
 }
 
-// Table returns the shard table, fetching it once.
+// primary returns the write primary's address.
+func (c *Client) primary() transport.Addr { return c.Nodes[0] }
+
+// read performs a replica-failover call: the preferred replica first,
+// then the rest in order. An application-level error ends the loop — the
+// replica answered, so trying another would only mask it — while a
+// transport-class failure moves on and, on success, re-points the
+// preference at the replica that worked. primaryFirst pins the first
+// attempt to the primary for reads that want the freshest directory.
+func (c *Client) read(ctx context.Context, method string, payload []byte, primaryFirst bool) ([]byte, error) {
+	c.mu.Lock()
+	start := c.preferred
+	c.mu.Unlock()
+	if primaryFirst {
+		start = 0
+	}
+	var lastErr error
+	for i := 0; i < len(c.Nodes); i++ {
+		idx := (start + i) % len(c.Nodes)
+		body, err := c.RPC.Call(ctx, c.Nodes[idx], ServiceName, method, payload)
+		if err == nil {
+			c.mu.Lock()
+			c.preferred = idx
+			c.mu.Unlock()
+			return body, nil
+		}
+		var ae *rpc.AppError
+		if errors.As(err, &ae) {
+			return nil, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// readTyped is read with gob encode/decode around it.
+func readTyped[Req, Resp any](ctx context.Context, c *Client, method string, req Req, primaryFirst bool) (Resp, error) {
+	var zero Resp
+	payload, err := rpc.Encode(&req)
+	if err != nil {
+		return zero, err
+	}
+	body, err := c.read(ctx, method, payload, primaryFirst)
+	if err != nil {
+		return zero, err
+	}
+	var resp Resp
+	if err := rpc.Decode(body, &resp); err != nil {
+		return zero, err
+	}
+	return resp, nil
+}
+
+// Table returns the shard table, fetching it once (from any replica —
+// the table is immutable for a deployment's lifetime).
 func (c *Client) Table(ctx context.Context) ([]ShardInfo, error) {
 	c.mu.Lock()
 	cached := c.table
 	c.mu.Unlock()
 	if cached == nil {
-		resp, err := rpc.Invoke[TableReq, TableResp](ctx, c.RPC, c.Node, ServiceName, MethodTable, TableReq{})
+		resp, err := readTyped[TableReq, TableResp](ctx, c, MethodTable, TableReq{}, false)
 		if err != nil {
 			return nil, err
 		}
@@ -407,9 +652,13 @@ func (c *Client) Resolve(ctx context.Context, id uid.UID) (ShardInfo, uint64, er
 }
 
 // Refresh resolves the object's shard at the service, bypassing and then
-// replacing the cached entry.
+// replacing the cached entry. It asks the primary first — a refresh runs
+// because a cached mapping went stale, so it wants the authoritative
+// directory — but fails over to the replicas when the primary is down
+// (their fenced copy is at worst the same staleness the binder already
+// tolerates).
 func (c *Client) Refresh(ctx context.Context, id uid.UID) (ShardInfo, uint64, error) {
-	resp, err := rpc.Invoke[LookupReq, LookupResp](ctx, c.RPC, c.Node, ServiceName, MethodLookup, LookupReq{UID: id.String()})
+	resp, err := readTyped[LookupReq, LookupResp](ctx, c, MethodLookup, LookupReq{UID: id.String()}, true)
 	if err != nil {
 		return ShardInfo{}, 0, err
 	}
@@ -426,7 +675,7 @@ func (c *Client) Refresh(ctx context.Context, id uid.UID) (ShardInfo, uint64, er
 // Assign records an explicit override at the service and updates the
 // local cache.
 func (c *Client) Assign(ctx context.Context, id uid.UID, shard int) (uint64, error) {
-	resp, err := rpc.Invoke[AssignReq, AssignResp](ctx, c.RPC, c.Node, ServiceName, MethodAssign, AssignReq{UID: id.String(), Shard: shard})
+	resp, err := rpc.Invoke[AssignReq, AssignResp](ctx, c.RPC, c.primary(), ServiceName, MethodAssign, AssignReq{UID: id.String(), Shard: shard})
 	if err != nil {
 		return 0, err
 	}
@@ -446,7 +695,7 @@ func (c *Client) AssignBatch(ctx context.Context, ids []uid.UID, shard int) ([]u
 	for i, id := range ids {
 		recs[i] = AssignRec{UID: id.String()}
 	}
-	resp, err := rpc.Invoke[AssignBatchReq, AssignBatchResp](ctx, c.RPC, c.Node, ServiceName, MethodAssignBatch, AssignBatchReq{Assignments: recs, Shard: shard})
+	resp, err := rpc.Invoke[AssignBatchReq, AssignBatchResp](ctx, c.RPC, c.primary(), ServiceName, MethodAssignBatch, AssignBatchReq{Assignments: recs, Shard: shard})
 	if err != nil {
 		return nil, err
 	}

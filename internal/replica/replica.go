@@ -181,6 +181,7 @@ func (h *Handle) Activate(ctx context.Context) error {
 		want = len(h.cfg.Servers)
 	}
 	got := 0
+	var lastErr error
 	for _, sv := range h.cfg.Servers {
 		if got >= want {
 			break
@@ -193,6 +194,7 @@ func (h *Handle) Activate(ctx context.Context) error {
 		}
 		if _, err := h.ref(sv).Activate(ctx, h.cfg.Class, h.cfg.StNodes); err != nil {
 			h.markBroken(sv)
+			lastErr = err
 			continue
 		}
 		h.mu.Lock()
@@ -201,6 +203,12 @@ func (h *Handle) Activate(ctx context.Context) error {
 		got++
 	}
 	if got == 0 {
+		// Keep the last per-server cause on the chain: callers distinguish
+		// "every server breaker-open" (fast-fail, retry later) from other
+		// total-failure modes.
+		if lastErr != nil {
+			return fmt.Errorf("replica %v: activation failed at all of %v: %w: %w", h.cfg.UID, h.cfg.Servers, ErrNoServers, lastErr)
+		}
 		return fmt.Errorf("replica %v: activation failed at all of %v: %w", h.cfg.UID, h.cfg.Servers, ErrNoServers)
 	}
 	return nil

@@ -227,6 +227,10 @@ type Client struct {
 	// Metrics, when non-nil, receives per-service call counts and
 	// latencies for every call issued through this client.
 	Metrics *metrics.Registry
+	// Breakers, when non-nil, is the origin node's per-peer circuit
+	// breaker set: calls to a peer whose breaker is open fast-fail with
+	// ErrPeerUnavailable without touching the network.
+	Breakers *Breakers
 }
 
 // svcMetrics bundles one service's metric handles, memoized on the
@@ -258,6 +262,22 @@ func (c Client) serviceMetrics(service string) *svcMetrics {
 // invokes Call per destination. Transport failures are returned as the
 // transport's errors; application failures as *AppError.
 func (c Client) Call(ctx context.Context, to transport.Addr, service, method string, payload []byte) ([]byte, error) {
+	var probe bool
+	if c.Breakers != nil {
+		var proceed bool
+		proceed, probe = c.Breakers.Acquire(to)
+		if !proceed {
+			// Fast-fail before metrics: the call never happened, so it
+			// must not count toward the service's call/latency figures.
+			if n := notesFrom(ctx); n != nil {
+				n.add(to)
+			}
+			if c.Metrics != nil {
+				c.Metrics.Counter("breaker.fastfail").Inc()
+			}
+			return nil, &peerDownError{peer: to}
+		}
+	}
 	var start time.Time
 	if c.Metrics != nil {
 		start = time.Now()
@@ -277,6 +297,13 @@ func (c Client) Call(ctx context.Context, to transport.Addr, service, method str
 		sm.hist.RecordDuration(elapsed)
 		if err != nil {
 			sm.transportErrs.Inc()
+		}
+	}
+	if c.Breakers != nil {
+		// err here is the transport-level outcome: any reply at all —
+		// even one carrying an application error frame — records success.
+		if tripped := c.Breakers.Record(to, probe, err); tripped && c.Metrics != nil {
+			c.Metrics.Counter("breaker.trips").Inc()
 		}
 	}
 	if err != nil {

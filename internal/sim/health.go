@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Detector is a heartbeat-based failure detector: from one origin node it
+// pings every other cluster node on a fixed interval and marks a peer
+// suspected after Suspicion consecutive failures. When a suspected peer
+// answers again, the detector clears the suspicion AND resets every
+// node's circuit breaker toward it — the closed-loop path from "the node
+// is back" to "stop fast-failing calls to it" that does not depend on a
+// fault-plan heal event (which real deployments do not get).
+//
+// Heartbeats ride the origin node's own client WITHOUT its breakers:
+// the detector must keep probing exactly the peers everyone else has
+// given up on, so its pings bypass the breaker fast-fail.
+type Detector struct {
+	cluster  *Cluster
+	origin   *Node
+	interval time.Duration
+	timeout  time.Duration
+
+	// Suspicion is how many consecutive heartbeat failures mark a peer
+	// suspected (default 3). Set before Start.
+	Suspicion int
+
+	mu        sync.Mutex
+	misses    map[transport.Addr]int
+	suspected map[transport.Addr]bool
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewDetector returns a stopped detector probing from origin every
+// interval. Each probe's timeout is the interval (a heartbeat slower
+// than the next heartbeat is a miss).
+func NewDetector(cluster *Cluster, origin *Node, interval time.Duration) *Detector {
+	return &Detector{
+		cluster:   cluster,
+		origin:    origin,
+		interval:  interval,
+		timeout:   interval,
+		Suspicion: 3,
+		misses:    make(map[transport.Addr]int),
+		suspected: make(map[transport.Addr]bool),
+	}
+}
+
+// Start launches the heartbeat loop. Starting a started detector is a
+// no-op.
+func (d *Detector) Start() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.stop != nil {
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go d.run(d.stop, d.done)
+}
+
+// Stop halts the heartbeat loop and waits for it to exit. Stopping a
+// stopped detector is a no-op.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	stop, done := d.stop, d.done
+	d.stop, d.done = nil, nil
+	d.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Suspected returns the currently suspected peers, sorted.
+func (d *Detector) Suspected() []transport.Addr {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]transport.Addr, 0, len(d.suspected))
+	for p, s := range d.suspected {
+		if s {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (d *Detector) run(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(d.interval)
+	defer ticker.Stop()
+	// Probe without breakers: a suspected peer must keep being probed.
+	cli := d.origin.Client()
+	cli.Breakers = nil
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		for _, n := range d.cluster.Nodes() {
+			if n.name == d.origin.name {
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), d.timeout)
+			err := Ping(ctx, cli, n.name)
+			cancel()
+			d.observe(n.name, err == nil)
+		}
+	}
+}
+
+// observe folds one heartbeat outcome into the suspicion state.
+func (d *Detector) observe(peer transport.Addr, ok bool) {
+	d.mu.Lock()
+	if !ok {
+		d.misses[peer]++
+		if d.misses[peer] >= d.Suspicion {
+			d.suspected[peer] = true
+		}
+		d.mu.Unlock()
+		return
+	}
+	wasSuspected := d.suspected[peer]
+	d.misses[peer] = 0
+	d.suspected[peer] = false
+	d.mu.Unlock()
+	if wasSuspected {
+		// Recovery after suspicion: the peer answered a real request, so
+		// every breaker toward it can close now rather than probe later.
+		d.cluster.ResetBreakersFor(peer)
+	}
+}

@@ -27,16 +27,41 @@ import (
 	"repro/internal/transport"
 )
 
-// PingService/PingMethod name the liveness probe every node answers.
+// PingService/PingMethod name the liveness probe every node answers;
+// MethodHealth is the richer health report on the same service.
 const (
-	PingService = "node"
-	PingMethod  = "Ping"
+	PingService  = "node"
+	PingMethod   = "Ping"
+	MethodHealth = "Health"
 )
 
 // Ping probes a node's liveness from the given client.
 func Ping(ctx context.Context, cli rpc.Client, node transport.Addr) error {
 	_, err := rpc.Invoke[struct{}, string](ctx, cli, node, PingService, PingMethod, struct{}{})
 	return err
+}
+
+// BreakerRec is one peer's breaker state inside a HealthResp.
+type BreakerRec struct {
+	Peer     transport.Addr
+	State    string
+	Failures int
+	Window   int
+}
+
+// HealthResp is a node's health report: incarnation, stable-store queue
+// depth (pending prepared transactions), and the node's view of its
+// peers' circuit breakers.
+type HealthResp struct {
+	Node         transport.Addr
+	Epoch        uint32
+	StorePending int
+	Breakers     []BreakerRec
+}
+
+// Health fetches node's health report from the given client.
+func Health(ctx context.Context, cli rpc.Client, node transport.Addr) (HealthResp, error) {
+	return rpc.Invoke[struct{}, HealthResp](ctx, cli, node, PingService, MethodHealth, struct{}{})
 }
 
 // Node is one simulated workstation.
@@ -53,6 +78,13 @@ type Node struct {
 	// Crash drops every byte of the store's in-process state, Recover
 	// reloads it from the backend.
 	persistent bool
+
+	// breakers is the node's per-peer circuit breaker set (nil when the
+	// cluster runs without breakers). Breakers are volatile caller-side
+	// state about OTHER nodes, so they deliberately survive this node's
+	// own Crash/Recover untouched — except that Recover resets every
+	// node's breaker toward the recovering node (it is provably back).
+	breakers *rpc.Breakers
 
 	mu        sync.Mutex
 	up        bool
@@ -74,8 +106,12 @@ func (n *Node) Server() *rpc.Server { return n.srv }
 // Client returns an RPC client originating from this node. Calls issued
 // through it are recorded in the cluster's metrics registry.
 func (n *Node) Client() rpc.Client {
-	return rpc.Client{Net: n.cluster.net, From: n.name, Metrics: n.cluster.metrics}
+	return rpc.Client{Net: n.cluster.net, From: n.name, Metrics: n.cluster.metrics, Breakers: n.breakers}
 }
+
+// Breakers returns the node's circuit breaker set, or nil when the
+// cluster runs without breakers.
+func (n *Node) Breakers() *rpc.Breakers { return n.breakers }
 
 // Metrics returns the cluster-wide metrics registry, for services on this
 // node that record their own instrumentation.
@@ -195,6 +231,9 @@ func (n *Node) Recover(log store.OutcomeLog) {
 	// state whose fate it has not yet settled.
 	n.stable.Recover(log)
 	n.cluster.net.Register(n.name, n.srv.Handler())
+	// The node is provably back: closing everyone's breaker toward it
+	// saves the cooldown+probe round the detector would otherwise need.
+	n.cluster.ResetBreakersFor(n.name)
 	for _, f := range hooks {
 		f(n)
 	}
@@ -207,10 +246,11 @@ type Cluster struct {
 	net     transport.Network
 	metrics *metrics.Registry
 
-	mu       sync.Mutex
-	nodes    map[transport.Addr]*Node
-	resolver func(*Node) store.OutcomeLog
-	storage  StorageProvider
+	mu         sync.Mutex
+	nodes      map[transport.Addr]*Node
+	resolver   func(*Node) store.OutcomeLog
+	storage    StorageProvider
+	breakerCfg *rpc.BreakerConfig
 }
 
 // StorageProvider supplies the stable-storage backend factory for a node
@@ -275,6 +315,46 @@ func (c *Cluster) SetStorage(p StorageProvider) {
 	c.storage = p
 }
 
+// SetBreakers turns on per-peer circuit breakers for every node added
+// after the call (zero config fields take their defaults). Like
+// SetStorage it must run before nodes are added. On the in-memory
+// network it also hooks the fault plan's heal events so breakers toward
+// a healed peer close immediately instead of waiting out a cooldown.
+func (c *Cluster) SetBreakers(cfg rpc.BreakerConfig) {
+	c.mu.Lock()
+	c.breakerCfg = &cfg
+	c.mu.Unlock()
+	if f := c.Faults(); f != nil {
+		f.SetHealHook(func(a, b transport.Addr) {
+			if a == "" && b == "" {
+				c.ResetAllBreakers()
+				return
+			}
+			c.ResetBreakersFor(a)
+			c.ResetBreakersFor(b)
+		})
+	}
+}
+
+// ResetBreakersFor closes every node's breaker toward peer — called when
+// peer is known to be reachable again (recovery, partition heal).
+func (c *Cluster) ResetBreakersFor(peer transport.Addr) {
+	for _, n := range c.Nodes() {
+		if n.breakers != nil {
+			n.breakers.Reset(peer)
+		}
+	}
+}
+
+// ResetAllBreakers closes every breaker on every node.
+func (c *Cluster) ResetAllBreakers() {
+	for _, n := range c.Nodes() {
+		if n.breakers != nil {
+			n.breakers.ResetAll()
+		}
+	}
+}
+
 // Faults returns the network's fault plan, or nil when the underlying
 // network is not the in-memory simulator (faults cannot be injected into
 // a real transport).
@@ -316,6 +396,9 @@ func (c *Cluster) Add(name transport.Addr) *Node {
 		epoch:      1,
 		volatile:   make(map[string]any),
 	}
+	if c.breakerCfg != nil {
+		n.breakers = rpc.NewBreakers(*c.breakerCfg)
+	}
 	// Every node exports its stable object store over RPC — the Object
 	// Storage service of §2.2.
 	store.RegisterService(n.srv, n.stable)
@@ -332,6 +415,19 @@ func (c *Cluster) Add(name transport.Addr) *Node {
 	// check if its clients are functioning", §4.1.3).
 	n.srv.Handle(PingService, PingMethod, rpc.Method(func(context.Context, transport.Addr, struct{}) (string, error) {
 		return "pong", nil
+	}))
+	// The health report behind the heartbeat detector and System.Health:
+	// what the probe answers, plus what this node sees of its peers.
+	n.srv.Handle(PingService, MethodHealth, rpc.Method(func(context.Context, transport.Addr, struct{}) (HealthResp, error) {
+		resp := HealthResp{Node: n.name, Epoch: n.Epoch(), StorePending: len(n.stable.PendingTxs())}
+		if n.breakers != nil {
+			for _, st := range n.breakers.Snapshot() {
+				resp.Breakers = append(resp.Breakers, BreakerRec{
+					Peer: st.Peer, State: st.State.String(), Failures: st.Failures, Window: st.Window,
+				})
+			}
+		}
+		return resp, nil
 	}))
 	c.nodes[name] = n
 	c.net.Register(name, n.srv.Handler())

@@ -22,10 +22,24 @@ import (
 // plus gob type-dictionary transfer every time. Faults and partitions are
 // not supported on TCP (use Mem for fault experiments).
 type TCP struct {
+	// CallTimeout bounds every call's socket I/O when the caller's context
+	// carries no (or a later) deadline: the connection deadline is the
+	// earlier of ctx's deadline and now+CallTimeout. Without it a peer
+	// that accepts the connection and then hangs mid-reply would pin the
+	// calling goroutine — and its pooled connection — forever. Zero
+	// selects DefaultCallTimeout; set it before issuing calls.
+	CallTimeout time.Duration
+
 	mu        sync.RWMutex
 	listeners map[Addr]*tcpEndpoint
 	closed    bool
 }
+
+// DefaultCallTimeout is the per-call socket deadline applied when neither
+// TCP.CallTimeout nor the context bounds the call. Generous on purpose:
+// it exists to turn "hangs forever" into "fails eventually", not to race
+// legitimate slow operations (long lock waits ride TCP calls too).
+const DefaultCallTimeout = 30 * time.Second
 
 var _ Network = (*TCP)(nil)
 
@@ -262,13 +276,21 @@ func (t *TCP) Call(ctx context.Context, req Request) ([]byte, error) {
 		Method:  req.Method,
 		Payload: req.Payload,
 	}
+	callTimeout := t.CallTimeout
+	if callTimeout <= 0 {
+		callTimeout = DefaultCallTimeout
+	}
 	for attempt := 0; ; attempt++ {
 		c, pooled, err := ep.getConn(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("%s -> %s: %w", req.From, req.To, ErrUnreachable)
 		}
-		deadline := time.Time{}
-		if dl, ok := ctx.Deadline(); ok {
+		// Per-call deadline: the earlier of the context's deadline and the
+		// network's call timeout. A context WITHOUT a deadline previously
+		// meant an unbounded read — a peer hanging mid-reply held both the
+		// caller and the pooled connection until process death.
+		deadline := time.Now().Add(callTimeout)
+		if dl, ok := ctx.Deadline(); ok && dl.Before(deadline) {
 			deadline = dl
 		}
 		if err := c.conn.SetDeadline(deadline); err != nil {

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTCPSlowPeerCallTimeout covers the slow-peer hole: a peer that
+// accepts the connection and then hangs mid-reply must fail the call at
+// the per-call deadline instead of pinning the caller (and its pooled
+// connection) forever.
+func TestTCPSlowPeerCallTimeout(t *testing.T) {
+	n := NewTCP()
+	n.CallTimeout = 100 * time.Millisecond
+	defer n.Close()
+	var hang atomic.Bool
+	release := make(chan struct{})
+	n.Register("b", func(ctx context.Context, req Request) ([]byte, error) {
+		if hang.Load() {
+			<-release
+		}
+		return append([]byte("echo:"), req.Payload...), nil
+	})
+	defer close(release)
+
+	hang.Store(true)
+	start := time.Now()
+	_, err := n.Call(context.Background(), Request{From: "a", To: "b", Payload: []byte("x")})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call to hanging peer succeeded")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("call took %v; the deadline did not bound it", elapsed)
+	}
+
+	// Pool hygiene: the wedged connection must NOT have been returned to
+	// the pool, or the next call would inherit a dead gob stream.
+	n.mu.RLock()
+	ep := n.listeners["b"]
+	n.mu.RUnlock()
+	ep.poolMu.Lock()
+	idle := len(ep.idle)
+	ep.poolMu.Unlock()
+	if idle != 0 {
+		t.Fatalf("wedged connection returned to pool (idle=%d)", idle)
+	}
+
+	// The endpoint is healthy again: a fresh call must work first try.
+	hang.Store(false)
+	resp, err := n.Call(context.Background(), Request{From: "a", To: "b", Payload: []byte("y")})
+	if err != nil {
+		t.Fatalf("call after recovery: %v", err)
+	}
+	if string(resp) != "echo:y" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+// TestTCPContextDeadlineWins verifies an earlier context deadline
+// overrides the per-call timeout.
+func TestTCPContextDeadlineWins(t *testing.T) {
+	n := NewTCP()
+	n.CallTimeout = 10 * time.Second
+	defer n.Close()
+	release := make(chan struct{})
+	n.Register("b", func(ctx context.Context, req Request) ([]byte, error) {
+		<-release
+		return nil, nil
+	})
+	defer close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := n.Call(ctx, Request{From: "a", To: "b"})
+	if err == nil {
+		t.Fatal("call succeeded past its context deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("call took %v; the context deadline did not bound it", elapsed)
+	}
+}

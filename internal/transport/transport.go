@@ -93,11 +93,17 @@ type Faults struct {
 	dropRequests []*faultEntry
 	dropReplies  []*faultEntry
 	delays       []*faultEntry
+	replyDelays  []*faultEntry
 	duplicates   []*faultEntry
 	reorders     []*faultEntry
 	reqHooks     []*faultEntry
 	replyHooks   []*faultEntry
 	partitions   map[[2]Addr]bool
+	// healHook, when set, observes Heal(a, b) calls and Clear (as two empty
+	// addresses). The simulation layer uses it to reset circuit breakers
+	// when the fault plan heals, so a breaker opened by an injected fault
+	// does not outlive the fault itself.
+	healHook func(a, b Addr)
 }
 
 type faultEntry struct {
@@ -167,6 +173,17 @@ func (f *Faults) DelayRequests(p float64, count int, max time.Duration, rule Fau
 	f.addEntry(&f.delays, &faultEntry{rule: rule, remaining: count, p: p, delay: max})
 }
 
+// DelayReplies installs a rule that holds the reply of matching requests
+// back for exactly hold, with probability p per match, AFTER the handler
+// has executed. count < 0 means unlimited. Unlike DelayRequests the hold
+// is deterministic, not drawn from [0, hold): the rule models a gray
+// failure — a node that accepts connections and executes operations but
+// is too sick to answer in time — where the defining property is that the
+// caller's deadline expires while the operation's side effects stand.
+func (f *Faults) DelayReplies(p float64, count int, hold time.Duration, rule FaultRule) {
+	f.addEntry(&f.replyDelays, &faultEntry{rule: rule, remaining: count, p: p, delay: hold})
+}
+
 // DuplicateRequests installs a rule that delivers matching requests twice
 // — the handler executes a second time after the first delivery, modelling
 // a duplicated network message — with probability p per match. The caller
@@ -218,15 +235,28 @@ func (f *Faults) Partition(a, b Addr) {
 // Heal removes a partition between a and b.
 func (f *Faults) Heal(a, b Addr) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	delete(f.partitions, pairKey(a, b))
+	hook := f.healHook
+	f.mu.Unlock()
+	if hook != nil {
+		hook(a, b)
+	}
 }
 
-// Clear removes all rules, hooks and partitions. Requests parked by a
-// reorder rule are released.
-func (f *Faults) Clear() {
+// SetHealHook installs fn, invoked (outside the plan's lock) after every
+// Heal(a, b) with that pair and after Clear with two empty addresses. A
+// nil fn removes the hook.
+func (f *Faults) SetHealHook(fn func(a, b Addr)) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.healHook = fn
+}
+
+// Clear removes all rules, hooks and partitions (the heal hook stays —
+// it belongs to the cluster wiring, not to any one fault plan). Requests
+// parked by a reorder rule are released.
+func (f *Faults) Clear() {
+	f.mu.Lock()
 	for _, e := range f.reorders {
 		if e.parked != nil {
 			close(e.parked)
@@ -236,11 +266,17 @@ func (f *Faults) Clear() {
 	f.dropRequests = nil
 	f.dropReplies = nil
 	f.delays = nil
+	f.replyDelays = nil
 	f.duplicates = nil
 	f.reorders = nil
 	f.reqHooks = nil
 	f.replyHooks = nil
 	f.partitions = make(map[[2]Addr]bool)
+	hook := f.healHook
+	f.mu.Unlock()
+	if hook != nil {
+		hook("", "")
+	}
 }
 
 func pairKey(a, b Addr) [2]Addr {
@@ -312,6 +348,28 @@ func (f *Faults) requestDelay(req Request) time.Duration {
 		if e.delay > 0 {
 			d += time.Duration(f.rng.Int63n(int64(e.delay)))
 		}
+	}
+	return d
+}
+
+// replyDelay returns the extra hold the matching reply-delay rules add to
+// req's reply leg. The holds are deterministic (see DelayReplies); only
+// the p < 1 coin flips draw from the seeded source.
+func (f *Faults) replyDelay(req Request) time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var d time.Duration
+	for _, e := range f.replyDelays {
+		if e.remaining == 0 || !e.rule(req) {
+			continue
+		}
+		if e.p < 1 && (e.p <= 0 || f.rng.Float64() >= e.p) {
+			continue
+		}
+		if e.remaining > 0 {
+			e.remaining--
+		}
+		d += e.delay
 	}
 	return d
 }
@@ -525,7 +583,10 @@ func (m *Mem) Call(ctx context.Context, req Request) ([]byte, error) {
 		// (the only sanctioned targets) make the second delivery a no-op.
 		_, _ = h(ctx, req)
 	}
-	if derr := sleepCtx(ctx, m.delay()); derr != nil {
+	// The reply-leg sleep includes any gray-failure hold: the handler HAS
+	// executed by now, so a caller whose deadline dies in this sleep is in
+	// exactly the Figure-1 ambiguity — effects durable, outcome unobserved.
+	if derr := sleepCtx(ctx, m.delay()+m.faults.replyDelay(req)); derr != nil {
 		return nil, derr
 	}
 	m.faults.runReplyHooks(req)

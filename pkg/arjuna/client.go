@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/action"
 	"repro/internal/core"
+	"repro/internal/rpc"
 	"repro/internal/transport"
 	"repro/internal/uid"
 )
@@ -103,6 +104,10 @@ type CommitReport struct {
 	// QueueWait is the longest server-side lock or combiner-queue wait
 	// observed by the final attempt's invocations.
 	QueueWait time.Duration
+	// BreakerSkipped lists peers the final attempt never called because
+	// their circuit breakers were open — the action ran in degraded mode,
+	// routing around nodes already known sick.
+	BreakerSkipped []transport.Addr
 }
 
 // Txn is one running atomic action. It is handed to the closure passed to
@@ -111,6 +116,17 @@ type Txn struct {
 	c       *Client
 	act     *action.Action
 	objects map[uid.UID]*Object
+	// notes records the peers this action's calls skipped via breaker
+	// fast-fail; surfaced as CommitReport.BreakerSkipped. The note
+	// context is attached per call site (bind/invoke/commit) rather than
+	// by wrapping runOnce's context, because the closure invokes objects
+	// under the CALLER's context, not a derived one.
+	notes *rpc.BreakerNotes
+}
+
+// noted attaches the transaction's breaker-note recorder to ctx.
+func (t *Txn) noted(ctx context.Context) context.Context {
+	return rpc.ContextWithNotes(ctx, t.notes)
 }
 
 // ID returns the underlying action's hierarchical identifier.
@@ -150,7 +166,7 @@ func (o *Object) bind(ctx context.Context) error {
 	if o.bd != nil {
 		return nil
 	}
-	bd, err := o.t.c.binder.Bind(ctx, o.t.act, o.id)
+	bd, err := o.t.c.binder.Bind(o.t.noted(ctx), o.t.act, o.id)
 	if err != nil {
 		o.bindErr = MapError(err)
 		return o.bindErr
@@ -166,7 +182,7 @@ func (o *Object) Invoke(ctx context.Context, method string, args []byte) ([]byte
 	if err := o.bind(ctx); err != nil {
 		return nil, err
 	}
-	out, err := o.bd.Invoke(ctx, method, args)
+	out, err := o.bd.Invoke(o.t.noted(ctx), method, args)
 	if err != nil {
 		return nil, MapError(err)
 	}
@@ -185,7 +201,7 @@ func (o *Object) apply(ctx context.Context, method string, args []byte) ([]byte,
 	if err := o.bind(ctx); err != nil {
 		return nil, err
 	}
-	out, batched, err := o.bd.InvokeSolo(ctx, method, args)
+	out, batched, err := o.bd.InvokeSolo(o.t.noted(ctx), method, args)
 	if err != nil {
 		return nil, MapError(err)
 	}
@@ -226,11 +242,21 @@ func (c *Client) Atomic(ctx context.Context, fn func(tx *Txn) error) (*CommitRep
 			overloads++
 		}
 		rep.Overloads = overloads
-		retryable := errors.Is(err, ErrLockRefused) || errors.Is(err, ErrOverloaded)
+		// A breaker fast-fail is retryable too — the sick peer may have
+		// been excluded from the view by the failed attempt's recovery
+		// path, or its probe may readmit it — but in its own backoff
+		// class: conflicts clear in milliseconds, sick nodes in cooldowns,
+		// so the breaker class backs off from a 4× higher base.
+		breakerFail := errors.Is(err, ErrPeerUnavailable)
+		retryable := errors.Is(err, ErrLockRefused) || errors.Is(err, ErrOverloaded) || breakerFail
 		if err == nil || attempt >= c.cfg.retries || !retryable {
 			return rep, err
 		}
-		if d := retryDelay(c.cfg.backoff, attempt); d > 0 {
+		base := c.cfg.backoff
+		if breakerFail {
+			base *= 4
+		}
+		if d := retryDelay(base, attempt); d > 0 {
 			t := time.NewTimer(d)
 			select {
 			case <-ctx.Done():
@@ -265,7 +291,7 @@ func (c *Client) Apply(ctx context.Context, id uid.UID, method string, args []by
 // runOnce executes one begin → fn → commit/abort cycle.
 func (c *Client) runOnce(ctx context.Context, fn func(tx *Txn) error) (*CommitReport, error) {
 	act := c.binder.BeginTop()
-	tx := &Txn{c: c, act: act, objects: make(map[uid.UID]*Object)}
+	tx := &Txn{c: c, act: act, objects: make(map[uid.UID]*Object), notes: &rpc.BreakerNotes{}}
 	// Abort on every path that does not reach commit — including a panic
 	// inside fn — so no action is left running.
 	committed := false
@@ -282,7 +308,7 @@ func (c *Client) runOnce(ctx context.Context, fn func(tx *Txn) error) (*CommitRe
 		_ = act.Abort(context.WithoutCancel(ctx))
 		return tx.report(false), tag(ErrAborted, MapError(err))
 	}
-	acrep, err := act.Commit(ctx)
+	acrep, err := act.Commit(tx.noted(ctx))
 	if err != nil {
 		// A failed prepare has already rolled the participants back.
 		return tx.report(false), tag(ErrAborted, MapError(err))
@@ -324,6 +350,7 @@ func (t *Txn) report(committed bool) *CommitReport {
 	}
 	rep.BrokenServers = sortedAddrs(broken)
 	rep.ExcludedStores = sortedAddrs(excluded)
+	rep.BreakerSkipped = t.notes.Skipped()
 	return rep
 }
 

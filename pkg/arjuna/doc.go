@@ -130,6 +130,46 @@
 // against the new shard — it can never commit against the old one,
 // because the old group no longer registers the object.
 //
+// # Failure resilience
+//
+// Every node carries a per-peer circuit breaker in its RPC client
+// (enabled by default; WithoutBreakers disables, WithBreakerConfig
+// tunes). A breaker trips after Threshold transport-level failures in a
+// sliding Window of calls to one peer; while open, further calls to
+// that peer fail locally and immediately with ErrPeerUnavailable
+// instead of burning another transport timeout — so a sick node costs
+// the deployment one timeout per caller, not one per call. A fast-fail
+// still satisfies errors.Is(err, ErrUnreachable), so the §4.1.2/§4.2
+// exclusion-and-repair machinery fires on it exactly as on a real
+// transport failure; Atomic treats it as retryable with a longer
+// backoff class than lock conflicts (the peer needs recovery, not a
+// few milliseconds of spacing), and the CommitReport's BreakerSkipped
+// field names the peers an attempt skipped, marking the action as
+// having run in degraded mode. After a Cooldown the breaker goes
+// half-open and admits exactly one probe; a successful probe — or the
+// peer's Recover, or a healed partition — closes it.
+//
+// Health is observable and actively monitored. Every node serves a
+// health RPC (incarnation epoch, stable-store backlog, its own breaker
+// states) surfaced through System.Health and System.BreakerStats;
+// WithHealthDetector(interval) runs a background heartbeat loop that
+// pings every node, reports persistent missers via System.Suspected,
+// and — when a suspected peer answers again — resets the whole
+// deployment's breakers toward it so recovery is noticed at heartbeat
+// granularity rather than per-caller probe cadence.
+//
+// In sharded deployments the placement service itself is replicated
+// (WithPlacementReplicas, default 3): writes go through the primary
+// replica and are pushed synchronously to the others with per-object
+// epoch fencing, so a replayed or reordered update can never regress
+// the directory; clients read from any replica and fail over — fast,
+// when a breaker is already open — so any single replica death leaves
+// bind and re-bind live. A replica that missed updates while crashed
+// pulls the full directory from the primary on recovery. Stale reads
+// are safe end to end: a client acting on an outdated mapping gets
+// unknown-object from the wrong group, re-resolves and retries, exactly
+// as with a stale cached placement.
+//
 // # Stable storage
 //
 // By default every node's "stable" store is in memory: it survives the

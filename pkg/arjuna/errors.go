@@ -50,6 +50,15 @@ var (
 	// ErrUnreachable reports a node that could not be contacted at the
 	// transport level (crashed, unregistered, or partitioned).
 	ErrUnreachable = errors.New("arjuna: node unreachable")
+	// ErrPeerUnavailable reports a call refused locally because the peer's
+	// circuit breaker is open: recent calls to it failed, so the client
+	// skipped the network round instead of burning another timeout. It is
+	// a sub-case of ErrUnreachable (errors.Is matches both) with its own
+	// identity so callers — and Atomic's retry policy — can tell "known
+	// sick, degraded mode" from a fresh transport failure. The peer is
+	// re-probed after a cooldown; recovery and partition heal close the
+	// breaker immediately.
+	ErrPeerUnavailable = errors.New("arjuna: peer unavailable (circuit breaker open)")
 	// ErrUnknownMethod reports an invocation of a method the object's
 	// class does not define.
 	ErrUnknownMethod = errors.New("arjuna: unknown method")
@@ -89,10 +98,19 @@ func MapError(err error) error {
 	if err == nil {
 		return nil
 	}
+	// A breaker fast-fail can sit below any of the aggregate categories
+	// (e.g. ErrNoServers when every server's breaker is open), so the
+	// sub-case sentinel is attached first, whatever else classifies.
+	if errors.Is(err, rpc.ErrPeerUnavailable) {
+		err = tag(ErrPeerUnavailable, err)
+	}
 	switch {
 	case errors.Is(err, replica.ErrNoServers):
 		return tag(ErrNoServers, err)
 	case errors.Is(err, transport.ErrUnreachable):
+		// Breaker fast-fails land here too (a peerDownError unwraps to
+		// transport.ErrUnreachable, so the exclusion paths below the
+		// facade fire on them unchanged).
 		return tag(ErrUnreachable, err)
 	case errors.Is(err, lockmgr.ErrOverloaded):
 		return tag(ErrOverloaded, err)

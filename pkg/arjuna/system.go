@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/object"
+	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/uid"
 )
@@ -33,6 +34,8 @@ type System struct {
 	// admit, when non-nil, is the WithAdmission gate: a slot must be held
 	// for the duration of every top-level Atomic.
 	admit chan struct{}
+	// detector, when non-nil, is the WithHealthDetector heartbeat loop.
+	detector *sim.Detector
 
 	mu      sync.Mutex
 	created []uid.UID
@@ -67,6 +70,10 @@ func Open(opts ...Option) (*System, error) {
 		DataDir:    cfg.dataDir,
 		Disk:       cfg.disk,
 		LockLimits: cfg.lockLimits,
+
+		NoBreakers:        cfg.noBreakers,
+		Breakers:          cfg.breakers,
+		PlacementReplicas: cfg.placementReplicas,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("arjuna: open: %w", err)
@@ -85,6 +92,10 @@ func Open(opts ...Option) (*System, error) {
 	if cfg.admission > 0 {
 		s.admit = make(chan struct{}, cfg.admission)
 	}
+	if cfg.healthInterval > 0 && len(w.Clients) > 0 {
+		s.detector = sim.NewDetector(w.Cluster, w.Cluster.Node(w.Clients[0]), cfg.healthInterval)
+		s.detector.Start()
+	}
 	return s, nil
 }
 
@@ -100,6 +111,9 @@ func (s *System) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.detector != nil {
+		s.detector.Stop()
+	}
 	var err error
 	for _, n := range s.w.Cluster.Nodes() {
 		if serr := n.Store().Shutdown(); err == nil {
@@ -397,7 +411,7 @@ func (s *System) kindOf(addr transport.Addr) string {
 		}
 	}
 	switch {
-	case s.w.Sharded() && addr == s.w.PlaceAddr:
+	case s.w.Sharded() && slices.Contains(s.w.PlaceAddrs, addr):
 		return "placement"
 	case slices.Contains(s.w.Svs, addr):
 		return "server"
@@ -408,6 +422,90 @@ func (s *System) kindOf(addr transport.Addr) string {
 	default:
 		return "node"
 	}
+}
+
+// BreakerStat describes one per-peer circuit breaker on one node.
+type BreakerStat struct {
+	// Node is the breaker's owner; Peer is the node it guards calls to.
+	Node, Peer transport.Addr
+	// State is "closed", "open" or "half-open".
+	State string
+	// Failures counts failed calls in the breaker's sliding Window.
+	Failures, Window int
+}
+
+// BreakerStats reports every non-pristine circuit breaker in the
+// deployment (one entry per node/peer pair that has recorded at least
+// one outcome), sorted by node then peer. Empty when breakers are
+// disabled (WithoutBreakers).
+func (s *System) BreakerStats() []BreakerStat {
+	var out []BreakerStat
+	for _, n := range s.w.Cluster.Nodes() {
+		bk := n.Breakers()
+		if bk == nil {
+			continue
+		}
+		for _, st := range bk.Snapshot() {
+			out = append(out, BreakerStat{
+				Node:     n.Name(),
+				Peer:     st.Peer,
+				State:    st.State.String(),
+				Failures: st.Failures,
+				Window:   st.Window,
+			})
+		}
+	}
+	return out
+}
+
+// NodeHealth is one node's answer to the health RPC: its incarnation
+// epoch, stable-store transaction backlog and breaker states as the node
+// itself sees them. Up=false entries carry only the name.
+type NodeHealth struct {
+	Node         transport.Addr
+	Up           bool
+	Epoch        uint32
+	StorePending int
+	Breakers     []BreakerStat
+}
+
+// Health polls every node's health endpoint from the first client node
+// and reports the answers, sorted by node name. Nodes that are down (or
+// unreachable within ctx) are reported with Up=false.
+func (s *System) Health(ctx context.Context) []NodeHealth {
+	cli := s.w.Cluster.Node(s.w.Clients[0]).Client()
+	// Health checks must reach suspected peers too: bypass breakers.
+	cli.Breakers = nil
+	var out []NodeHealth
+	for _, n := range s.w.Cluster.Nodes() {
+		h := NodeHealth{Node: n.Name()}
+		if resp, err := sim.Health(ctx, cli, n.Name()); err == nil {
+			h.Up = true
+			h.Epoch = resp.Epoch
+			h.StorePending = resp.StorePending
+			for _, b := range resp.Breakers {
+				h.Breakers = append(h.Breakers, BreakerStat{
+					Node:     n.Name(),
+					Peer:     b.Peer,
+					State:    b.State,
+					Failures: b.Failures,
+					Window:   b.Window,
+				})
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// Suspected returns the peers the WithHealthDetector loop currently
+// suspects (consecutive heartbeat misses past its threshold), sorted.
+// Nil when no detector is configured.
+func (s *System) Suspected() []transport.Addr {
+	if s.detector == nil {
+		return nil
+	}
+	return s.detector.Suspected()
 }
 
 // SweepReport is the result of one use-list janitor pass (§4.1.3).
