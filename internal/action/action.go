@@ -74,6 +74,15 @@ var (
 	// durable: the action aborts, because without the record no recovery
 	// could ever learn the commit.
 	ErrOutcomeLog = errors.New("action: outcome log write failed")
+	// ErrOutcomeUnknown marks a commit failure whose outcome the
+	// coordinator could not determine: a one-phase attempt ended
+	// ambiguously (the reply was lost after the request may have been
+	// delivered) and the two-phase fallback could not reach the
+	// participant to resolve the doubt — the combined round may have
+	// committed at the participant's store with no way to report it.
+	// Callers must treat such an action as in doubt, never as a definite
+	// abort; the next activation of the object observes the true state.
+	ErrOutcomeUnknown = errors.New("action: outcome unknown")
 )
 
 // Vote is a participant's phase-one answer (§4.1.2's read optimisation
@@ -717,7 +726,7 @@ func (a *Action) commitOnePhase(ctx context.Context, p Participant, op OnePhaser
 		// Roll the participant back (idempotent if it already did).
 		_ = p.Abort(ctx, a.id)
 		a.finish(StatusAborted, resolveHooks)
-		return nil, fmt.Errorf("%s: %s: %v: %w", a.id, p.Name(), err, ErrPrepareFailed)
+		return nil, fmt.Errorf("%s: %s: %w: %w", a.id, p.Name(), err, ErrPrepareFailed)
 	}
 	report := &CommitReport{OnePhase: true}
 	if vote == VoteReadOnly {
@@ -775,7 +784,10 @@ func (a *Action) prepareAll(ctx context.Context, participants []Participant) (vo
 		return votes, false, nil
 	}
 	rolledBack = a.rollbackAll(ctx, participants, a.id)
-	return nil, rolledBack, fmt.Errorf("%s: %s: %v: %w", a.id, participants[firstIdx].Name(), firstErr, ErrPrepareFailed)
+	// Wrap with %w so sentinel causes survive — a participant reporting
+	// ErrOutcomeUnknown must stay visible through this chain or the
+	// caller would misread an in-doubt commit as a definite abort.
+	return nil, rolledBack, fmt.Errorf("%s: %s: %w: %w", a.id, participants[firstIdx].Name(), firstErr, ErrPrepareFailed)
 }
 
 // Abort ends the action, undoing its effects. Active children are aborted

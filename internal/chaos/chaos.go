@@ -3,6 +3,7 @@ package chaos
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -11,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/action"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/object"
@@ -88,6 +90,13 @@ type Config struct {
 	// placement-convergence invariant check after quiesce. Gated like
 	// GrayFailures to keep classic seeds stable.
 	PlacementChaos bool
+	// Transport selects the message carrier: "" or "mem" runs over the
+	// in-memory simulator (jittered per Seed), "mux" over the real-socket
+	// multiplexed TCP transport wrapped in transport.Faulty so the same
+	// seeded nemesis schedules fire. Jitter is ignored on mux — the real
+	// sockets bring their own scheduling nondeterminism — so only the
+	// fault coin flips, not message timings, replay identically.
+	Transport string
 	// DataDir switches the run onto disk-backed stable storage rooted
 	// here (tests pass t.TempDir() to stay hermetic): crashes drop whole
 	// process images, recovery replays WAL+snapshot, and the schedule
@@ -178,6 +187,10 @@ type opRec struct {
 	onePhase bool
 	prepared []transport.Addr
 	excluded int
+	// errMsg captures a non-committed op's error — the breadcrumb that
+	// distinguishes "aborted on bind" from "aborted after its invoke
+	// already observed a value" when hunting a phantom update.
+	errMsg string
 }
 
 type objTally struct {
@@ -215,7 +228,7 @@ type runner struct {
 // reported in Report.Violations.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	w, err := harness.New(harness.Options{
+	opts := harness.Options{
 		Servers: cfg.Servers,
 		Stores:  cfg.Stores,
 		Clients: cfg.Clients,
@@ -224,9 +237,22 @@ func Run(cfg Config) (*Report, error) {
 		Net:     transport.MemOptions{Jitter: cfg.Jitter, Seed: cfg.Seed},
 		DataDir: cfg.DataDir,
 		Disk:    cfg.Disk,
-	})
+	}
+	var muxNet *transport.TCPMux
+	switch cfg.Transport {
+	case "", "mem":
+	case "mux":
+		muxNet = transport.NewTCPMux()
+		opts.Network = transport.NewFaulty(muxNet, transport.NewFaultsSeeded(cfg.Seed))
+	default:
+		return nil, fmt.Errorf("chaos: unknown transport %q", cfg.Transport)
+	}
+	w, err := harness.New(opts)
 	if err != nil {
 		return nil, err
+	}
+	if muxNet != nil {
+		defer muxNet.Close()
 	}
 	faults := w.Cluster.Faults()
 	faults.Reseed(cfg.Seed)
@@ -238,12 +264,12 @@ func Run(cfg Config) (*Report, error) {
 			Seed:        cfg.Seed,
 			FinalValues: make(map[string]int),
 		},
-		tallies:     make([]objTally, cfg.Objects),
+		tallies:       make([]objTally, cfg.Objects),
 		partitions:    make(map[[2]transport.Addr]bool),
 		everCrashed:   make(map[transport.Addr]bool),
 		placementDown: make(map[transport.Addr]bool),
-		armed:       make(map[transport.Addr]*storage.Disk),
-		tornRng:     rand.New(rand.NewSource(cfg.Seed ^ 0x70524e5441494c)),
+		armed:         make(map[transport.Addr]*storage.Disk),
+		tornRng:       rand.New(rand.NewSource(cfg.Seed ^ 0x70524e5441494c)),
 	}
 
 	events := GenerateSchedule(cfg.Seed, cfg)
@@ -318,14 +344,17 @@ func (r *runner) recordTally(class outcomeClass, deltas map[int]int) {
 }
 
 // classify maps a harness ActionResult to an outcome class: commits and
-// runner-resolved aborts are certain; only a Commit that itself failed
-// while the caller's context was dead is uncertain — the one-phase fast
-// path may have committed at the store with no way to report it.
+// runner-resolved aborts are certain; a Commit that itself failed is
+// uncertain when the caller's context was dead OR the coordinator
+// affirmatively reported the outcome unknown (an ambiguous one-phase
+// round whose two-phase fallback could not resolve the doubt) — either
+// way the one-phase fast path may have committed at the store with no
+// way to report it.
 func classify(ctx context.Context, res harness.ActionResult) outcomeClass {
 	switch {
 	case res.Committed:
 		return opCommitted
-	case res.CommitFailed && ctx.Err() != nil:
+	case res.CommitFailed && (ctx.Err() != nil || errors.Is(res.Err, action.ErrOutcomeUnknown)):
 		return opUncertain
 	default:
 		return opAborted
@@ -339,9 +368,14 @@ func (r *runner) counterOp(b core.ActionBinder, client transport.Addr, rng *rand
 	res := r.w.RunCounterAction(ctx, b, obj, 1)
 	class := classify(ctx, res)
 	val, _ := strconv.Atoi(string(res.Result))
+	var errMsg string
+	if res.Err != nil {
+		errMsg = res.Err.Error()
+	}
 	r.mu.Lock()
 	r.ops = append(r.ops, opRec{tx: res.Tx, client: client, class: class, obj: obj, val: val,
-		onePhase: res.OnePhase, prepared: res.PreparedStores, excluded: res.ExcludedStores})
+		onePhase: res.OnePhase, prepared: res.PreparedStores, excluded: res.ExcludedStores,
+		errMsg: errMsg})
 	r.mu.Unlock()
 	r.recordTally(class, map[int]int{obj: 1})
 }

@@ -28,12 +28,24 @@ var seedFlag = flag.Int64("seed", 0, "run only this chaos seed (0 = the pinned s
 // test pins DataDir itself).
 var backendFlag = flag.String("backend", "", `stable-storage backend for all runs ("disk" or "" = per-test default)`)
 
+// transportFlag forces every chaos run onto a message carrier:
+//
+//	go test ./internal/chaos -run TestChaos -transport=mux
+//
+// "mux" runs the schedules over the real-socket multiplexed TCP
+// transport (wrapped in transport.Faulty so the nemesis still fires);
+// the default keeps the in-memory simulator.
+var transportFlag = flag.String("transport", "", `message carrier for all runs ("mux", "mem" or "" = in-memory)`)
+
 // runSeed executes one schedule and fails the test with a full replay
 // recipe if any invariant broke.
 func runSeed(t *testing.T, cfg Config) *Report {
 	t.Helper()
 	if *backendFlag == "disk" && cfg.DataDir == "" {
 		cfg.DataDir = t.TempDir()
+	}
+	if *transportFlag != "" && cfg.Transport == "" {
+		cfg.Transport = *transportFlag
 	}
 	rep, err := Run(cfg)
 	if err != nil {

@@ -91,6 +91,7 @@ func (r *runner) checkInvariants() []string {
 				// final one means a committed suffix was lost), plus each
 				// store's final state so the diverged chain is visible.
 				r.note("obj%d committed chain: %s", i, r.chainFor(i))
+				r.note("obj%d non-committed ops: %s", i, r.lostFor(i))
 				r.note("obj%d final St view %v; per-store states: %s", i, view, r.storeStates(id))
 			}
 		}
@@ -230,6 +231,31 @@ func (r *runner) chainFor(obj int) string {
 			shape = " one-phase"
 		}
 		parts[i] = fmt.Sprintf("%d=%s%s prepared=%v excluded=%d", op.val, op.tx, shape, op.prepared, op.excluded)
+	}
+	return strings.Join(parts, "\n    ")
+}
+
+// lostFor renders the NON-committed ops of one counter object with the
+// value each observed (0 = the invoke never returned) and the error it
+// ended on — the trace that identifies an aborted action whose increment
+// nonetheless leaked into the committed history.
+func (r *runner) lostFor(obj int) string {
+	r.mu.Lock()
+	ops := append([]opRec(nil), r.ops...)
+	r.mu.Unlock()
+	var parts []string
+	for _, op := range ops {
+		if op.class == opCommitted || op.obj != obj {
+			continue
+		}
+		class := "aborted"
+		if op.class == opUncertain {
+			class = "uncertain"
+		}
+		parts = append(parts, fmt.Sprintf("%s %s saw=%d err=%q", op.tx, class, op.val, op.errMsg))
+	}
+	if len(parts) == 0 {
+		return "(none)"
 	}
 	return strings.Join(parts, "\n    ")
 }

@@ -1,0 +1,313 @@
+package core
+
+import "repro/internal/rpc"
+
+// Binary codecs (rpc.Wire) for the group-view database's hot wire records:
+// every bind, use-list adjustment, view read and action end rides these,
+// so they must not pay gob reflection. Tags live in the 0x01–0x1f block of
+// the registry in internal/rpc/doc.go. All codecs are at version 1.
+const (
+	wireTagAck byte = 0x01 + iota
+	wireTagGetServerReq
+	wireTagGetServerResp
+	wireTagHostReq
+	wireTagIncludeResp
+	wireTagUseReq
+	wireTagGetViewReq
+	wireTagGetViewResp
+	wireTagExcludeReq
+	wireTagEndActionReq
+	wireTagRegisterReq
+	wireTagDeregisterReq
+	wireTagDeregisterResp
+)
+
+// Ack
+
+// WireTag implements rpc.Wire.
+func (*Ack) WireTag() (byte, byte) { return wireTagAck, 1 }
+
+// AppendWire implements rpc.Wire.
+func (*Ack) AppendWire(dst []byte) []byte { return dst }
+
+// ParseWire implements rpc.Wire.
+func (*Ack) ParseWire(byte, *rpc.WireReader) error { return nil }
+
+// GetServerReq
+
+// WireTag implements rpc.Wire.
+func (*GetServerReq) WireTag() (byte, byte) { return wireTagGetServerReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *GetServerReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.Action)
+	dst = rpc.AppendString(dst, q.UID)
+	dst = rpc.AppendBool(dst, q.WantUse)
+	return rpc.AppendBool(dst, q.ForUpdate)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *GetServerReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.Action = r.String()
+	q.UID = r.String()
+	q.WantUse = r.Bool()
+	q.ForUpdate = r.Bool()
+	return nil
+}
+
+// GetServerResp
+
+// WireTag implements rpc.Wire.
+func (*GetServerResp) WireTag() (byte, byte) { return wireTagGetServerResp, 1 }
+
+// AppendWire implements rpc.Wire.
+func (p *GetServerResp) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendStrings(dst, p.Nodes)
+	dst = rpc.AppendUvarint(dst, uint64(len(p.Use)))
+	for host, byClient := range p.Use {
+		dst = rpc.AppendString(dst, host)
+		dst = rpc.AppendUvarint(dst, uint64(len(byClient)))
+		for client, n := range byClient {
+			dst = rpc.AppendString(dst, client)
+			dst = rpc.AppendVarint(dst, int64(n))
+		}
+	}
+	return dst
+}
+
+// ParseWire implements rpc.Wire.
+func (p *GetServerResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Nodes = r.Strings()
+	nHosts := r.Uvarint()
+	if r.Err() != nil || nHosts == 0 {
+		return r.Err()
+	}
+	if nHosts > uint64(r.Remaining()) {
+		return rpc.ErrWire
+	}
+	p.Use = make(map[string]map[string]int, nHosts)
+	for i := uint64(0); i < nHosts; i++ {
+		host := r.String()
+		nClients := r.Uvarint()
+		if r.Err() != nil {
+			return nil
+		}
+		if nClients > uint64(r.Remaining()) {
+			return rpc.ErrWire
+		}
+		byClient := make(map[string]int, nClients)
+		for j := uint64(0); j < nClients; j++ {
+			byClient[r.String()] = int(r.Varint())
+		}
+		p.Use[host] = byClient
+	}
+	return nil
+}
+
+// HostReq
+
+// WireTag implements rpc.Wire.
+func (*HostReq) WireTag() (byte, byte) { return wireTagHostReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *HostReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.Action)
+	dst = rpc.AppendString(dst, q.UID)
+	dst = rpc.AppendString(dst, q.Host)
+	return rpc.AppendBool(dst, q.TryOnly)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *HostReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.Action = r.String()
+	q.UID = r.String()
+	q.Host = r.String()
+	q.TryOnly = r.Bool()
+	return nil
+}
+
+// IncludeResp
+
+// WireTag implements rpc.Wire.
+func (*IncludeResp) WireTag() (byte, byte) { return wireTagIncludeResp, 1 }
+
+// AppendWire implements rpc.Wire.
+func (p *IncludeResp) AppendWire(dst []byte) []byte { return rpc.AppendStrings(dst, p.Nodes) }
+
+// ParseWire implements rpc.Wire.
+func (p *IncludeResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Nodes = r.Strings()
+	return nil
+}
+
+// UseReq
+
+// WireTag implements rpc.Wire.
+func (*UseReq) WireTag() (byte, byte) { return wireTagUseReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *UseReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.Action)
+	dst = rpc.AppendString(dst, q.UID)
+	dst = rpc.AppendString(dst, q.ClientNode)
+	return rpc.AppendStrings(dst, q.Hosts)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *UseReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.Action = r.String()
+	q.UID = r.String()
+	q.ClientNode = r.String()
+	q.Hosts = r.Strings()
+	return nil
+}
+
+// GetViewReq
+
+// WireTag implements rpc.Wire.
+func (*GetViewReq) WireTag() (byte, byte) { return wireTagGetViewReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *GetViewReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.Action)
+	return rpc.AppendString(dst, q.UID)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *GetViewReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.Action = r.String()
+	q.UID = r.String()
+	return nil
+}
+
+// GetViewResp
+
+// WireTag implements rpc.Wire.
+func (*GetViewResp) WireTag() (byte, byte) { return wireTagGetViewResp, 1 }
+
+// AppendWire implements rpc.Wire.
+func (p *GetViewResp) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendStrings(dst, p.Nodes)
+	return rpc.AppendString(dst, p.Class)
+}
+
+// ParseWire implements rpc.Wire.
+func (p *GetViewResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Nodes = r.Strings()
+	p.Class = r.String()
+	return nil
+}
+
+// ExcludeReq
+
+// WireTag implements rpc.Wire.
+func (*ExcludeReq) WireTag() (byte, byte) { return wireTagExcludeReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *ExcludeReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.Action)
+	dst = rpc.AppendUvarint(dst, uint64(len(q.Pairs)))
+	for _, p := range q.Pairs {
+		dst = rpc.AppendString(dst, p.UID)
+		dst = rpc.AppendStrings(dst, p.Hosts)
+	}
+	return rpc.AppendBool(dst, q.UseWriteLock)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *ExcludeReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.Action = r.String()
+	n := r.Uvarint()
+	if r.Err() != nil {
+		return nil
+	}
+	if n > uint64(r.Remaining()) {
+		return rpc.ErrWire
+	}
+	if n > 0 {
+		q.Pairs = make([]ExcludePairRec, 0, n)
+		for i := uint64(0); i < n; i++ {
+			q.Pairs = append(q.Pairs, ExcludePairRec{UID: r.String(), Hosts: r.Strings()})
+		}
+	}
+	q.UseWriteLock = r.Bool()
+	return nil
+}
+
+// EndActionReq
+
+// WireTag implements rpc.Wire.
+func (*EndActionReq) WireTag() (byte, byte) { return wireTagEndActionReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *EndActionReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.Action)
+	return rpc.AppendBool(dst, q.Commit)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *EndActionReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.Action = r.String()
+	q.Commit = r.Bool()
+	return nil
+}
+
+// RegisterReq
+
+// WireTag implements rpc.Wire.
+func (*RegisterReq) WireTag() (byte, byte) { return wireTagRegisterReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *RegisterReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.Action)
+	dst = rpc.AppendString(dst, q.UID)
+	dst = rpc.AppendString(dst, q.Class)
+	dst = rpc.AppendStrings(dst, q.SvNodes)
+	return rpc.AppendStrings(dst, q.StNodes)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *RegisterReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.Action = r.String()
+	q.UID = r.String()
+	q.Class = r.String()
+	q.SvNodes = r.Strings()
+	q.StNodes = r.Strings()
+	return nil
+}
+
+// DeregisterReq
+
+// WireTag implements rpc.Wire.
+func (*DeregisterReq) WireTag() (byte, byte) { return wireTagDeregisterReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *DeregisterReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.Action)
+	return rpc.AppendString(dst, q.UID)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *DeregisterReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.Action = r.String()
+	q.UID = r.String()
+	return nil
+}
+
+// DeregisterResp
+
+// WireTag implements rpc.Wire.
+func (*DeregisterResp) WireTag() (byte, byte) { return wireTagDeregisterResp, 1 }
+
+// AppendWire implements rpc.Wire.
+func (p *DeregisterResp) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendStrings(dst, p.Nodes)
+	return rpc.AppendString(dst, p.Class)
+}
+
+// ParseWire implements rpc.Wire.
+func (p *DeregisterResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Nodes = r.Strings()
+	p.Class = r.String()
+	return nil
+}

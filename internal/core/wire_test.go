@@ -1,0 +1,70 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// TestWireRoundTrip round-trips every binary codec in this package through
+// rpc.Encode/Decode with representative populated values.
+func TestWireRoundTrip(t *testing.T) {
+	cases := []struct{ in, out any }{
+		{&Ack{}, &Ack{}},
+		{&GetServerReq{Action: "a1", UID: "obj", WantUse: true, ForUpdate: true}, &GetServerReq{}},
+		{&GetServerResp{
+			Nodes: []string{"n1", "n2"},
+			Use:   map[string]map[string]int{"n1": {"c1": 2, "c2": -1}, "n2": {}},
+		}, &GetServerResp{}},
+		{&HostReq{Action: "a1", UID: "obj", Host: "n3", TryOnly: true}, &HostReq{}},
+		{&IncludeResp{Nodes: []string{"n1"}}, &IncludeResp{}},
+		{&UseReq{Action: "a1", UID: "obj", ClientNode: "c1", Hosts: []string{"n1", "n2"}}, &UseReq{}},
+		{&GetViewReq{Action: "a1", UID: "obj"}, &GetViewReq{}},
+		{&GetViewResp{Nodes: []string{"n1"}, Class: "Counter"}, &GetViewResp{}},
+		{&ExcludeReq{
+			Action:       "a1",
+			Pairs:        []ExcludePairRec{{UID: "o1", Hosts: []string{"n1"}}, {UID: "o2"}},
+			UseWriteLock: true,
+		}, &ExcludeReq{}},
+		{&EndActionReq{Action: "a1", Commit: true}, &EndActionReq{}},
+		{&RegisterReq{Action: "a1", UID: "obj", Class: "Counter", SvNodes: []string{"n1"}, StNodes: []string{"s1", "s2"}}, &RegisterReq{}},
+		{&DeregisterReq{Action: "a1", UID: "obj"}, &DeregisterReq{}},
+		{&DeregisterResp{Nodes: []string{"n1"}, Class: "Counter"}, &DeregisterResp{}},
+	}
+	for _, c := range cases {
+		data, err := rpc.Encode(c.in)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", c.in, err)
+		}
+		if data[0] != rpc.WireMagic {
+			t.Fatalf("%T: not binary-coded (first byte %#x)", c.in, data[0])
+		}
+		if err := rpc.Decode(data, c.out); err != nil {
+			t.Fatalf("%T: decode: %v", c.in, err)
+		}
+		if !reflect.DeepEqual(c.in, c.out) {
+			t.Errorf("%T mismatch:\n in: %+v\nout: %+v", c.in, c.in, c.out)
+		}
+	}
+}
+
+// TestWireTagsUnique catches accidental tag reuse inside this package's block.
+func TestWireTagsUnique(t *testing.T) {
+	types := []rpc.Wire{
+		&Ack{}, &GetServerReq{}, &GetServerResp{}, &HostReq{}, &IncludeResp{},
+		&UseReq{}, &GetViewReq{}, &GetViewResp{}, &ExcludeReq{}, &EndActionReq{},
+		&RegisterReq{}, &DeregisterReq{}, &DeregisterResp{},
+	}
+	seen := map[byte]string{}
+	for _, w := range types {
+		tag, ver := w.WireTag()
+		if ver == 0 {
+			t.Errorf("%T: version 0 is reserved", w)
+		}
+		if prev, dup := seen[tag]; dup {
+			t.Errorf("tag %#x reused by %T and %s", tag, w, prev)
+		}
+		seen[tag] = reflect.TypeOf(w).String()
+	}
+}

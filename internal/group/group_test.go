@@ -41,8 +41,13 @@ type fixture struct {
 
 func newFixture(t *testing.T, names ...transport.Addr) *fixture {
 	t.Helper()
+	return newFixtureOn(t, sim.NewCluster(transport.MemOptions{}), names...)
+}
+
+func newFixtureOn(t *testing.T, cluster *sim.Cluster, names ...transport.Addr) *fixture {
+	t.Helper()
 	f := &fixture{
-		cluster: sim.NewCluster(transport.MemOptions{}),
+		cluster: cluster,
 		members: make(map[transport.Addr]*member),
 		hosts:   make(map[transport.Addr]*Host),
 		grp:     Group{ID: "G", Members: names},

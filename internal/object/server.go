@@ -55,6 +55,13 @@ const (
 	// wait queue or combiner queue is at its cap, or an op's queueing time
 	// exceeded the wait deadline. The caller should back off and retry.
 	CodeOverloaded = "overloaded"
+	// CodeCommitUncertain reports that a one-phase commit attempt ended
+	// ambiguously: the server's CommitOnePhase call to the St node failed
+	// with an error that does not rule out the store having durably applied
+	// the write (context cancellation, deadline, or a lost reply). The
+	// caller must NOT treat this as a definite refusal — the outcome is
+	// unknown and has to be resolved (or reported as unknown) upstream.
+	CodeCommitUncertain = "commit-uncertain"
 )
 
 // GroupPrefix prefixes the group ID servers join for an object when group
@@ -893,6 +900,7 @@ func (m *Manager) handleAbort(ctx context.Context, from transport.Addr, req EndR
 	prepared := in.prepared[req.Action]
 	if snap, ok := in.snaps[req.Action]; ok {
 		in.state = snap
+	} else {
 	}
 	delete(in.snaps, req.Action)
 	delete(in.dirty, req.Action)
@@ -979,6 +987,16 @@ func (m *Manager) prepareCommitSingleStore(ctx context.Context, from transport.A
 			_, _ = m.handlePassivate(ctx, from, PassivateReq{UID: req.UID, Force: true})
 			return PrepareCommitResp{Dirty: true}, rpc.Errorf(CodeStaleServer,
 				"object %s at %s: activated copy is stale (base seq %d)", req.UID, m.node.Name(), newSeq-1)
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+			errors.Is(err, transport.ErrReplyLost) {
+			// The request may have reached the store and committed before
+			// the failure was observed (e.g. the server is being torn down
+			// and its base context was canceled mid-call). A definite
+			// refusal here would let the coordinator record an abort over
+			// a durably committed write, so report ambiguity instead.
+			return PrepareCommitResp{Dirty: true, FailedNodes: []string{req.StNodes[0]}},
+				rpc.Errorf(CodeCommitUncertain, "object %s: one-phase commit outcome unknown: %v", req.UID, err)
 		}
 		return PrepareCommitResp{Dirty: true, FailedNodes: []string{req.StNodes[0]}},
 			rpc.Errorf(CodeUnavailable, "object %s: no St node accepted the new state: %v", req.UID, err)

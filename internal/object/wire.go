@@ -1,0 +1,281 @@
+package object
+
+import "repro/internal/rpc"
+
+// Binary codecs (rpc.Wire) for the object-server wire records — the
+// invoke request/reply and the 2PC prepare/commit/abort messages are the
+// hottest payloads in the system. Tags live in the 0x20–0x3f block of the
+// registry in internal/rpc/doc.go. All codecs are at version 1.
+const (
+	wireTagActivateReq byte = 0x20 + iota
+	wireTagActivateResp
+	wireTagInvokeReq
+	wireTagInvokeResp
+	wireTagPrepareReq
+	wireTagPrepareResp
+	wireTagEndReq
+	wireTagEndResp
+	wireTagInstallReq
+	wireTagInstallResp
+	wireTagPrepareCommitReq
+	wireTagPrepareCommitResp
+)
+
+// ActivateReq
+
+// WireTag implements rpc.Wire.
+func (*ActivateReq) WireTag() (byte, byte) { return wireTagActivateReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *ActivateReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.UID)
+	dst = rpc.AppendString(dst, q.Class)
+	return rpc.AppendStrings(dst, q.StNodes)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *ActivateReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.UID = r.String()
+	q.Class = r.String()
+	q.StNodes = r.Strings()
+	return nil
+}
+
+// ActivateResp
+
+// WireTag implements rpc.Wire.
+func (*ActivateResp) WireTag() (byte, byte) { return wireTagActivateResp, 1 }
+
+// AppendWire implements rpc.Wire.
+func (p *ActivateResp) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendUvarint(dst, p.Seq)
+	dst = rpc.AppendBool(dst, p.Fresh)
+	return rpc.AppendString(dst, p.LoadedFrom)
+}
+
+// ParseWire implements rpc.Wire.
+func (p *ActivateResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Seq = r.Uvarint()
+	p.Fresh = r.Bool()
+	p.LoadedFrom = r.String()
+	return nil
+}
+
+// InvokeReq
+
+// WireTag implements rpc.Wire.
+func (*InvokeReq) WireTag() (byte, byte) { return wireTagInvokeReq, 1 }
+
+// WireSizeHint implements rpc.WireSizer.
+func (q *InvokeReq) WireSizeHint() int {
+	return len(q.UID) + len(q.Action) + len(q.Method) + len(q.Args) + 24
+}
+
+// AppendWire implements rpc.Wire.
+func (q *InvokeReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.UID)
+	dst = rpc.AppendString(dst, q.Action)
+	dst = rpc.AppendString(dst, q.Method)
+	dst = rpc.AppendBytes(dst, q.Args)
+	return rpc.AppendBool(dst, q.Solo)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *InvokeReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.UID = r.String()
+	q.Action = r.String()
+	q.Method = r.String()
+	q.Args = r.Bytes()
+	q.Solo = r.Bool()
+	return nil
+}
+
+// InvokeResp
+
+// WireTag implements rpc.Wire.
+func (*InvokeResp) WireTag() (byte, byte) { return wireTagInvokeResp, 1 }
+
+// WireSizeHint implements rpc.WireSizer.
+func (p *InvokeResp) WireSizeHint() int { return len(p.Result) + 32 }
+
+// AppendWire implements rpc.Wire.
+func (p *InvokeResp) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendBytes(dst, p.Result)
+	dst = rpc.AppendBool(dst, p.Modified)
+	dst = rpc.AppendBool(dst, p.Batched)
+	dst = rpc.AppendUvarint(dst, uint64(p.BatchSize))
+	return rpc.AppendVarint(dst, p.WaitNanos)
+}
+
+// ParseWire implements rpc.Wire.
+func (p *InvokeResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Result = r.Bytes()
+	p.Modified = r.Bool()
+	p.Batched = r.Bool()
+	p.BatchSize = int(r.Uvarint())
+	p.WaitNanos = r.Varint()
+	return nil
+}
+
+// PrepareReq
+
+// WireTag implements rpc.Wire.
+func (*PrepareReq) WireTag() (byte, byte) { return wireTagPrepareReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *PrepareReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.UID)
+	dst = rpc.AppendString(dst, q.Action)
+	return rpc.AppendStrings(dst, q.StNodes)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *PrepareReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.UID = r.String()
+	q.Action = r.String()
+	q.StNodes = r.Strings()
+	return nil
+}
+
+// PrepareResp
+
+// WireTag implements rpc.Wire.
+func (*PrepareResp) WireTag() (byte, byte) { return wireTagPrepareResp, 1 }
+
+// AppendWire implements rpc.Wire.
+func (p *PrepareResp) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendBool(dst, p.Dirty)
+	dst = rpc.AppendUvarint(dst, p.NewSeq)
+	dst = rpc.AppendStrings(dst, p.PreparedNodes)
+	dst = rpc.AppendStrings(dst, p.FailedNodes)
+	return rpc.AppendUvarint(dst, uint64(p.BatchSize))
+}
+
+// ParseWire implements rpc.Wire.
+func (p *PrepareResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Dirty = r.Bool()
+	p.NewSeq = r.Uvarint()
+	p.PreparedNodes = r.Strings()
+	p.FailedNodes = r.Strings()
+	p.BatchSize = int(r.Uvarint())
+	return nil
+}
+
+// EndReq
+
+// WireTag implements rpc.Wire.
+func (*EndReq) WireTag() (byte, byte) { return wireTagEndReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *EndReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.UID)
+	dst = rpc.AppendString(dst, q.Action)
+	return rpc.AppendStrings(dst, q.CheckpointTo)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *EndReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.UID = r.String()
+	q.Action = r.String()
+	q.CheckpointTo = r.Strings()
+	return nil
+}
+
+// EndResp
+
+// WireTag implements rpc.Wire.
+func (*EndResp) WireTag() (byte, byte) { return wireTagEndResp, 1 }
+
+// AppendWire implements rpc.Wire.
+func (p *EndResp) AppendWire(dst []byte) []byte { return rpc.AppendStrings(dst, p.FailedNodes) }
+
+// ParseWire implements rpc.Wire.
+func (p *EndResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.FailedNodes = r.Strings()
+	return nil
+}
+
+// InstallReq
+
+// WireTag implements rpc.Wire.
+func (*InstallReq) WireTag() (byte, byte) { return wireTagInstallReq, 1 }
+
+// WireSizeHint implements rpc.WireSizer.
+func (q *InstallReq) WireSizeHint() int {
+	return len(q.UID) + len(q.Class) + len(q.State) + 24
+}
+
+// AppendWire implements rpc.Wire.
+func (q *InstallReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.UID)
+	dst = rpc.AppendString(dst, q.Class)
+	dst = rpc.AppendBytes(dst, q.State)
+	return rpc.AppendUvarint(dst, q.Seq)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *InstallReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.UID = r.String()
+	q.Class = r.String()
+	q.State = r.Bytes()
+	q.Seq = r.Uvarint()
+	return nil
+}
+
+// InstallResp
+
+// WireTag implements rpc.Wire.
+func (*InstallResp) WireTag() (byte, byte) { return wireTagInstallResp, 1 }
+
+// AppendWire implements rpc.Wire.
+func (p *InstallResp) AppendWire(dst []byte) []byte { return rpc.AppendBool(dst, p.Installed) }
+
+// ParseWire implements rpc.Wire.
+func (p *InstallResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Installed = r.Bool()
+	return nil
+}
+
+// PrepareCommitReq
+
+// WireTag implements rpc.Wire.
+func (*PrepareCommitReq) WireTag() (byte, byte) { return wireTagPrepareCommitReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *PrepareCommitReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.UID)
+	dst = rpc.AppendString(dst, q.Action)
+	dst = rpc.AppendStrings(dst, q.StNodes)
+	return rpc.AppendStrings(dst, q.CheckpointTo)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *PrepareCommitReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.UID = r.String()
+	q.Action = r.String()
+	q.StNodes = r.Strings()
+	q.CheckpointTo = r.Strings()
+	return nil
+}
+
+// PrepareCommitResp
+
+// WireTag implements rpc.Wire.
+func (*PrepareCommitResp) WireTag() (byte, byte) { return wireTagPrepareCommitResp, 1 }
+
+// AppendWire implements rpc.Wire.
+func (p *PrepareCommitResp) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendBool(dst, p.Dirty)
+	dst = rpc.AppendUvarint(dst, p.NewSeq)
+	dst = rpc.AppendStrings(dst, p.FailedNodes)
+	return rpc.AppendUvarint(dst, uint64(p.BatchSize))
+}
+
+// ParseWire implements rpc.Wire.
+func (p *PrepareCommitResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Dirty = r.Bool()
+	p.NewSeq = r.Uvarint()
+	p.FailedNodes = r.Strings()
+	p.BatchSize = int(r.Uvarint())
+	return nil
+}

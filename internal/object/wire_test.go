@@ -1,0 +1,62 @@
+package object
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// TestWireRoundTrip round-trips every binary codec in this package through
+// rpc.Encode/Decode with representative populated values.
+func TestWireRoundTrip(t *testing.T) {
+	cases := []struct{ in, out any }{
+		{&ActivateReq{UID: "obj", Class: "Counter", StNodes: []string{"s1", "s2"}}, &ActivateReq{}},
+		{&ActivateResp{Seq: 42, Fresh: true, LoadedFrom: "s1"}, &ActivateResp{}},
+		{&InvokeReq{UID: "obj", Action: "a1", Method: "incr", Args: []byte{1, 2, 3}, Solo: true}, &InvokeReq{}},
+		{&InvokeResp{Result: []byte("ok"), Modified: true, Batched: true, BatchSize: 5, WaitNanos: -250}, &InvokeResp{}},
+		{&PrepareReq{UID: "obj", Action: "a1", StNodes: []string{"s1"}}, &PrepareReq{}},
+		{&PrepareResp{Dirty: true, NewSeq: 7, PreparedNodes: []string{"s1"}, FailedNodes: []string{"s2"}, BatchSize: 3}, &PrepareResp{}},
+		{&EndReq{UID: "obj", Action: "a1", CheckpointTo: []string{"s1"}}, &EndReq{}},
+		{&EndResp{FailedNodes: []string{"s2"}}, &EndResp{}},
+		{&InstallReq{UID: "obj", Class: "Counter", State: []byte{9, 9}, Seq: 3}, &InstallReq{}},
+		{&InstallResp{Installed: true}, &InstallResp{}},
+		{&PrepareCommitReq{UID: "obj", Action: "a1", StNodes: []string{"s1"}, CheckpointTo: []string{"s2"}}, &PrepareCommitReq{}},
+		{&PrepareCommitResp{Dirty: true, NewSeq: 8, FailedNodes: []string{"s1"}, BatchSize: 2}, &PrepareCommitResp{}},
+	}
+	for _, c := range cases {
+		data, err := rpc.Encode(c.in)
+		if err != nil {
+			t.Fatalf("%T: encode: %v", c.in, err)
+		}
+		if data[0] != rpc.WireMagic {
+			t.Fatalf("%T: not binary-coded (first byte %#x)", c.in, data[0])
+		}
+		if err := rpc.Decode(data, c.out); err != nil {
+			t.Fatalf("%T: decode: %v", c.in, err)
+		}
+		if !reflect.DeepEqual(c.in, c.out) {
+			t.Errorf("%T mismatch:\n in: %+v\nout: %+v", c.in, c.in, c.out)
+		}
+	}
+}
+
+// TestWireTagsUnique catches accidental tag reuse inside this package's block.
+func TestWireTagsUnique(t *testing.T) {
+	types := []rpc.Wire{
+		&ActivateReq{}, &ActivateResp{}, &InvokeReq{}, &InvokeResp{},
+		&PrepareReq{}, &PrepareResp{}, &EndReq{}, &EndResp{},
+		&InstallReq{}, &InstallResp{}, &PrepareCommitReq{}, &PrepareCommitResp{},
+	}
+	seen := map[byte]string{}
+	for _, w := range types {
+		tag, ver := w.WireTag()
+		if ver == 0 {
+			t.Errorf("%T: version 0 is reserved", w)
+		}
+		if prev, dup := seen[tag]; dup {
+			t.Errorf("tag %#x reused by %T and %s", tag, w, prev)
+		}
+		seen[tag] = reflect.TypeOf(w).String()
+	}
+}

@@ -136,6 +136,15 @@ type Handle struct {
 	// invocation folded into another action's commit. Commit and Abort
 	// become no-ops then.
 	released bool
+	// onePhaseDoubt records that a one-phase commit attempt ended
+	// ambiguously (reply lost after the request may have been delivered):
+	// the combined round may have committed at the coordinator. The
+	// two-phase fallback resolves the doubt only when the coordinator
+	// answers the re-prepare; if it cannot be reached, Prepare reports
+	// action.ErrOutcomeUnknown instead of a definite-looking failure — a
+	// crashed coordinator's surviving handler goroutine may have completed
+	// the store commit after the client gave the server up for dead.
+	onePhaseDoubt bool
 	// batchSize records how many operations the commit round that carried
 	// this handle's write folded (0 when unknown or unbatched).
 	batchSize int
@@ -543,15 +552,57 @@ func (h *Handle) Prepare(ctx context.Context, tx string) (action.Vote, error) {
 		h.mu.Unlock()
 	}
 	if okCount == 0 {
+		h.mu.Lock()
+		doubt := h.onePhaseDoubt
+		h.mu.Unlock()
+		if doubt {
+			// An ambiguous one-phase attempt preceded this fallback and no
+			// server answered the re-prepare: the combined round may have
+			// committed at the store before the coordinator died. Reporting
+			// a plain failure here would let the caller claim a definite
+			// abort over a committed write (a phantom update — a mux-
+			// transport chaos seed found exactly this); surface the doubt.
+			return 0, fmt.Errorf("replica %v: one-phase doubt unresolved, prepare failed everywhere: %v: %w: %w",
+				h.cfg.UID, firstErr, ErrNoServers, action.ErrOutcomeUnknown)
+		}
 		return 0, fmt.Errorf("replica %v: prepare failed everywhere: %v: %w", h.cfg.UID, firstErr, ErrNoServers)
 	}
 	if dirtyCount == 0 {
+		h.mu.Lock()
+		doubt := h.onePhaseDoubt
+		h.mu.Unlock()
+		if doubt && !h.onePhaseCommitVisible(ctx, tx) {
+			// Every server answered "clean", but under one-phase doubt that
+			// answer is trustworthy only from a server that actually
+			// released this action after committing it — a server that
+			// crashed and recovered in between reports clean about actions
+			// it never saw. The store's committed TxID is the ground truth;
+			// when it does not affirm this tx, the outcome stays unknown
+			// (claiming commit here could report an update that never
+			// happened).
+			return 0, fmt.Errorf("replica %v: one-phase doubt unresolved, servers report clean: %w",
+				h.cfg.UID, action.ErrOutcomeUnknown)
+		}
 		h.mu.Lock()
 		h.released = true
 		h.mu.Unlock()
 		return action.VoteReadOnly, nil
 	}
 	return action.VoteCommit, nil
+}
+
+// onePhaseCommitVisible reports whether the single St node's committed
+// version carries tx — the affirmative evidence that an ambiguous
+// one-phase round did commit. A read failure, a different TxID (which may
+// merely mean a later action already committed on top), or a multi-store
+// view (the one-phase shape no longer holds) all answer false: the caller
+// then reports the outcome unknown rather than guessing.
+func (h *Handle) onePhaseCommitVisible(ctx context.Context, tx string) bool {
+	if len(h.cfg.StNodes) != 1 {
+		return false
+	}
+	v, err := store.RemoteStore{Client: h.cfg.Client, Node: h.cfg.StNodes[0]}.Read(ctx, h.cfg.UID)
+	return err == nil && v.TxID == tx
 }
 
 // CommitOnePhase implements action.OnePhaser: when commit processing
@@ -587,20 +638,25 @@ func (h *Handle) CommitOnePhase(ctx context.Context, tx string) (action.Vote, er
 	resp, err := h.ref(coord).PrepareCommit(ctx, tx, h.cfg.StNodes, checkpointTo)
 	if err != nil {
 		if errors.Is(err, transport.ErrReplyLost) ||
-			errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) ||
+			rpc.CodeOf(err) == object.CodeCommitUncertain {
 			// Ambiguous: the combined round may have committed at the server
-			// with only the reply lost. Reporting an abort here would lie.
+			// with only the reply lost — or the server itself reported that
+			// its store write ended in doubt (CodeCommitUncertain).
+			// Reporting an abort here would lie.
 			// Declare the one-phase attempt ineligible so the coordinator
 			// falls back to ordinary 2PC, which resolves the doubt: a
 			// re-prepare finds either the still-pending action (normal
 			// commit proceeds) or an already-released one (the server
 			// reports it clean — a read-only vote — and the committed state
-			// stands). When the ambiguity came from the caller's own dead
-			// context the fallback fails too and an abort is reported while
-			// the single store may hold the committed write — the inherent
-			// residue of one-phase commit without an in-doubt state; it
-			// cannot cause cross-store inconsistency (|St| = 1 here), and
-			// the next activation observes the true state.
+			// stands). If the fallback cannot reach the server either, the
+			// doubt is unresolvable and Prepare reports
+			// action.ErrOutcomeUnknown (see onePhaseDoubt) — it cannot
+			// cause cross-store inconsistency (|St| = 1 here), and the
+			// next activation observes the true state.
+			h.mu.Lock()
+			h.onePhaseDoubt = true
+			h.mu.Unlock()
 			return 0, fmt.Errorf("replica %v: one-phase outcome unknown (%v): %w",
 				h.cfg.UID, err, action.ErrOnePhaseIneligible)
 		}

@@ -476,3 +476,68 @@ func TestMutualConsistencyOfStoresAfterMixedFailures(t *testing.T) {
 		t.Fatalf("surviving stores disagree on seq: %v", seqs)
 	}
 }
+
+func TestOnePhaseReplyLostResolvedByReprepare(t *testing.T) {
+	// Figure-1 ambiguity, resolved: the combined prepare+commit round
+	// executes at the server (the store durably commits) but the reply is
+	// lost. The coordinator must not report an abort — the 2PC fallback
+	// re-prepares, the server answers clean (it released the action when
+	// the one-phase round committed), and the store's committed TxID
+	// affirms the outcome, so the commit stands.
+	w := newWorld(t, 1, 1)
+	ctx := context.Background()
+	w.cluster.Faults().DropReplies(1,
+		transport.ToMethod("sv1", object.ServiceName, object.MethodPrepareCommit))
+	h := w.handle(t, SingleCopyPassive)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	if _, err := h.Invoke(ctx, a, "add", []byte("7")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Commit(ctx); err != nil {
+		t.Fatalf("commit should resolve the lost reply affirmatively, got %v", err)
+	}
+	val, seq := w.storeValue(t, "st1")
+	if val != "7" || seq != 2 {
+		t.Fatalf("st1 = %q seq=%d, want 7 seq=2", val, seq)
+	}
+}
+
+func TestOnePhaseReplyLostThenCrashReportsOutcomeUnknown(t *testing.T) {
+	// Figure-1 ambiguity, unresolvable: the one-phase round commits at the
+	// store, the reply is lost, and the server crashes before the fallback
+	// can re-prepare. No definite answer exists anywhere the coordinator
+	// can reach, so the commit must fail with ErrOutcomeUnknown — a plain
+	// "aborted" here would deny a durably committed write (the phantom
+	// update a mux-transport chaos seed caught).
+	w := newWorld(t, 1, 1)
+	ctx := context.Background()
+	rule := transport.ToMethod("sv1", object.ServiceName, object.MethodPrepareCommit)
+	w.cluster.Faults().OnReply(1, rule, func(transport.Request) {
+		w.cluster.Node("sv1").Crash()
+	})
+	w.cluster.Faults().DropReplies(1, rule)
+	h := w.handle(t, SingleCopyPassive)
+	if err := h.Activate(ctx); err != nil {
+		t.Fatal(err)
+	}
+	a := w.mgr.BeginTop()
+	if _, err := h.Invoke(ctx, a, "add", []byte("7")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := a.Commit(ctx)
+	if err == nil {
+		t.Fatal("commit reported success with the only witness crashed")
+	}
+	if !errors.Is(err, action.ErrOutcomeUnknown) {
+		t.Fatalf("err = %v, want ErrOutcomeUnknown", err)
+	}
+	// The write really is durable at the store — the exact state a
+	// definite abort report would contradict.
+	val, seq := w.storeValue(t, "st1")
+	if val != "7" || seq != 2 {
+		t.Fatalf("st1 = %q seq=%d, want committed 7 seq=2", val, seq)
+	}
+}

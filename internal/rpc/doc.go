@@ -1,0 +1,67 @@
+// Package rpc layers typed request/response calls and service dispatch on
+// top of the transport package.
+//
+// The paper assumes an "RPC service: provide an object invocation facility
+// through an RPC mechanism" (§2.2). This package is that service.
+// Application-level errors travel inside a response frame so that they
+// survive any transport (the in-memory network passes Go errors natively,
+// TCP cannot), while transport-level failures (ErrUnreachable,
+// ErrReplyLost, …) surface as the transport's sentinel errors — the
+// distinction the paper's binding and commit protocols depend on.
+//
+// # Payload encoding
+//
+// Encode and Decode speak two codecs:
+//
+//   - Binary (binary.go): payload types implementing Wire carry a
+//     hand-rolled codec. The payload is [WireMagic, tag, version] followed
+//     by the body — uvarint-length-prefixed strings and byte fields, plain
+//     uvarints for counts and sequence numbers, zigzag varints for signed
+//     values, the same record idiom as internal/storage's WAL codec. This
+//     is the hot path: one allocation to encode, a handful to decode,
+//     against the ~50+ gob spends recompiling its type engines per call.
+//   - Gob: any other type falls back to encoding/gob transparently. A gob
+//     stream's first byte is a uvarint length (<= 0x7f) or a negated byte
+//     count (>= 0xf8), so WireMagic (0xB5, inside the impossible gap) makes
+//     the two codecs self-describing with no negotiation. Gob payloads are
+//     encoded via pooled scratch buffers; the returned slice is always
+//     copied out of the pool (see TestEncodePooledScratchAliasing).
+//
+// Version rules: every codec currently encodes version 1; Decode rejects
+// version 0 and versions above the type's current one, and ParseWire
+// receives the decoded version so a future codec revision can branch on
+// it. Decoding is strict — tag mismatches, truncated fields and trailing
+// bytes are all errors, never half-filled structs. Decoded messages never
+// alias transport-owned buffers (WireReader.Bytes and String copy out).
+//
+// The tag registry, in package blocks so additions never collide:
+//
+//	0x01–0x1f  internal/core    (group-view database records)
+//	0x20–0x3f  internal/object  (invoke + 2PC prepare/commit/abort)
+//	0x40–0x4f  internal/store   (object store reads, writes, 2PC legs)
+//	0x50–0x5f  internal/group   (multicast sequence/deliver frames)
+//
+// # Response framing
+//
+// The response framing is a hand-rolled length-prefixed record rather
+// than a gob-encoded envelope: a success frame is one tag byte followed
+// by the handler's already-encoded body (wrapped without re-encoding,
+// unwrapped zero-copy on the client), an error frame is the tag plus
+// length-prefixed code and message strings.
+//
+// # Transports
+//
+// Three carriers implement transport.Network beneath this package. Mem
+// delivers in-process with injectable faults. TCP pools one gob-framed
+// connection per in-flight call. TCPMux multiplexes every call between a
+// node pair onto one connection: request IDs pair pipelined requests with
+// their replies, a per-connection reader demultiplexes, and the
+// connection-state rules differ from the pooled transport in exactly one
+// way — an abandoned call (context cancelled, deadline expired) poisons a
+// pooled gob stream but NOT a mux stream, because mux framing is
+// per-frame rather than per-call. A torn or undecodable frame poisons
+// both. Mux request frames also carry the caller's remaining deadline, so
+// the server bounds each handler's context itself — the caller-side
+// unwind that in-process transports get for free. See
+// internal/transport/mux.go.
+package rpc

@@ -1,21 +1,3 @@
-// Package rpc layers typed request/response calls and service dispatch on
-// top of the transport package.
-//
-// The paper assumes an "RPC service: provide an object invocation facility
-// through an RPC mechanism" (§2.2). This package is that service. Arguments
-// and results are gob-encoded; application-level errors travel inside a
-// response frame so that they survive any transport (the in-memory
-// network passes Go errors natively, TCP cannot), while transport-level
-// failures (ErrUnreachable, ErrReplyLost, …) surface as the transport's
-// sentinel errors — the distinction the paper's binding and commit
-// protocols depend on.
-//
-// The response framing is a hand-rolled length-prefixed record rather than
-// a gob-encoded envelope: a success frame is one tag byte followed by the
-// handler's already-encoded body (wrapped without re-encoding, unwrapped
-// zero-copy on the client), an error frame is the tag plus length-prefixed
-// code and message strings. Encode/Decode run over pooled buffers so the
-// per-call hot path does not grow fresh scratch space every time.
 package rpc
 
 import (
@@ -192,9 +174,21 @@ var (
 	readerPool = sync.Pool{New: func() any { return new(bytes.Reader) }}
 )
 
-// Encode gob-encodes v into a fresh byte slice, using a pooled scratch
-// buffer so repeated encodes do not re-grow buffer space.
+// Encode renders v into a fresh byte slice. Types implementing Wire take
+// the hand-rolled binary codec (one allocation, no reflection); all other
+// types fall back to gob through a pooled scratch buffer.
+//
+// Ownership: the returned slice is always freshly allocated and owned by
+// the caller. The gob path encodes into a pooled buffer and COPIES out
+// before returning the buffer to the pool — returning buf.Bytes() directly
+// would hand the caller a slice the next pooled encode overwrites, silently
+// corrupting any payload still in flight (fan-outs keep encoded payloads
+// alive across many concurrent calls). TestEncodePooledScratchAliasing
+// stress-tests this contract under -race.
 func Encode(v any) ([]byte, error) {
+	if w, ok := v.(Wire); ok {
+		return encodeWire(w), nil
+	}
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := gob.NewEncoder(buf).Encode(v); err != nil {
@@ -207,8 +201,19 @@ func Encode(v any) ([]byte, error) {
 	return out, nil
 }
 
-// Decode gob-decodes data into v (a pointer).
+// Decode fills v (a pointer) from data. A payload starting with WireMagic
+// must decode into a Wire type with the matching tag; anything else is
+// gob-decoded. Decoded values never alias data (the binary codec copies
+// byte fields out; gob allocates its own), so transports may recycle
+// their read buffers as soon as Decode returns.
 func Decode(data []byte, v any) error {
+	if len(data) > 0 && data[0] == WireMagic {
+		w, ok := v.(Wire)
+		if !ok {
+			return fmt.Errorf("%w: binary frame for non-binary type %T", ErrWire, v)
+		}
+		return decodeWire(data, w)
+	}
 	r := readerPool.Get().(*bytes.Reader)
 	r.Reset(data)
 	err := gob.NewDecoder(r).Decode(v)

@@ -356,11 +356,12 @@ func (c *Cluster) ResetAllBreakers() {
 }
 
 // Faults returns the network's fault plan, or nil when the underlying
-// network is not the in-memory simulator (faults cannot be injected into
-// a real transport).
+// network exposes none. Mem carries a plan natively; any other transport
+// (the mux TCP transport in particular) gains one by wrapping it in
+// transport.NewFaulty.
 func (c *Cluster) Faults() *transport.Faults {
-	if m, ok := c.net.(*transport.Mem); ok {
-		return m.Faults()
+	if f, ok := c.net.(interface{ Faults() *transport.Faults }); ok {
+		return f.Faults()
 	}
 	return nil
 }

@@ -1,0 +1,178 @@
+package store
+
+import "repro/internal/rpc"
+
+// Binary codecs (rpc.Wire) for the object-store wire records: the 2PC
+// prepare/commit/abort legs every dirty commit fans out, plus the read
+// path activation rides. Tags live in the 0x40–0x4f block of the registry
+// in internal/rpc/doc.go. All codecs are at version 1.
+const (
+	wireTagAck byte = 0x40 + iota
+	wireTagReadReq
+	wireTagReadResp
+	wireTagPutReq
+	wireTagSeqOfReq
+	wireTagSeqOfResp
+	wireTagPrepareReq
+	wireTagTxReq
+)
+
+// Ack
+
+// WireTag implements rpc.Wire.
+func (*Ack) WireTag() (byte, byte) { return wireTagAck, 1 }
+
+// AppendWire implements rpc.Wire.
+func (*Ack) AppendWire(dst []byte) []byte { return dst }
+
+// ParseWire implements rpc.Wire.
+func (*Ack) ParseWire(byte, *rpc.WireReader) error { return nil }
+
+// ReadReq
+
+// WireTag implements rpc.Wire.
+func (*ReadReq) WireTag() (byte, byte) { return wireTagReadReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *ReadReq) AppendWire(dst []byte) []byte { return rpc.AppendString(dst, q.UID) }
+
+// ParseWire implements rpc.Wire.
+func (q *ReadReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.UID = r.String()
+	return nil
+}
+
+// ReadResp
+
+// WireTag implements rpc.Wire.
+func (*ReadResp) WireTag() (byte, byte) { return wireTagReadResp, 1 }
+
+// WireSizeHint implements rpc.WireSizer.
+func (p *ReadResp) WireSizeHint() int { return len(p.Data) + len(p.TxID) + 24 }
+
+// AppendWire implements rpc.Wire.
+func (p *ReadResp) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendBytes(dst, p.Data)
+	dst = rpc.AppendUvarint(dst, p.Seq)
+	return rpc.AppendString(dst, p.TxID)
+}
+
+// ParseWire implements rpc.Wire.
+func (p *ReadResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Data = r.Bytes()
+	p.Seq = r.Uvarint()
+	p.TxID = r.String()
+	return nil
+}
+
+// PutReq
+
+// WireTag implements rpc.Wire.
+func (*PutReq) WireTag() (byte, byte) { return wireTagPutReq, 1 }
+
+// WireSizeHint implements rpc.WireSizer.
+func (q *PutReq) WireSizeHint() int { return len(q.UID) + len(q.Data) + 24 }
+
+// AppendWire implements rpc.Wire.
+func (q *PutReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.UID)
+	dst = rpc.AppendBytes(dst, q.Data)
+	return rpc.AppendUvarint(dst, q.Seq)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *PutReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.UID = r.String()
+	q.Data = r.Bytes()
+	q.Seq = r.Uvarint()
+	return nil
+}
+
+// SeqOfReq
+
+// WireTag implements rpc.Wire.
+func (*SeqOfReq) WireTag() (byte, byte) { return wireTagSeqOfReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *SeqOfReq) AppendWire(dst []byte) []byte { return rpc.AppendString(dst, q.UID) }
+
+// ParseWire implements rpc.Wire.
+func (q *SeqOfReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.UID = r.String()
+	return nil
+}
+
+// SeqOfResp
+
+// WireTag implements rpc.Wire.
+func (*SeqOfResp) WireTag() (byte, byte) { return wireTagSeqOfResp, 1 }
+
+// AppendWire implements rpc.Wire.
+func (p *SeqOfResp) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendUvarint(dst, p.Seq)
+	return rpc.AppendBool(dst, p.OK)
+}
+
+// ParseWire implements rpc.Wire.
+func (p *SeqOfResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Seq = r.Uvarint()
+	p.OK = r.Bool()
+	return nil
+}
+
+// PrepareReq
+
+// WireTag implements rpc.Wire.
+func (*PrepareReq) WireTag() (byte, byte) { return wireTagPrepareReq, 1 }
+
+// WireSizeHint implements rpc.WireSizer.
+func (q *PrepareReq) WireSizeHint() int {
+	n := len(q.Tx) + 16
+	for _, w := range q.Writes {
+		n += len(w.UID) + len(w.Data) + 24
+	}
+	return n
+}
+
+// AppendWire implements rpc.Wire.
+func (q *PrepareReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.Tx)
+	dst = rpc.AppendUvarint(dst, uint64(len(q.Writes)))
+	for _, w := range q.Writes {
+		dst = rpc.AppendString(dst, w.UID)
+		dst = rpc.AppendBytes(dst, w.Data)
+		dst = rpc.AppendUvarint(dst, w.Seq)
+	}
+	return dst
+}
+
+// ParseWire implements rpc.Wire.
+func (q *PrepareReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.Tx = r.String()
+	n := r.Uvarint()
+	if r.Err() != nil || n == 0 {
+		return r.Err()
+	}
+	if n > uint64(r.Remaining()) {
+		return rpc.ErrWire
+	}
+	q.Writes = make([]WriteRec, 0, n)
+	for i := uint64(0); i < n; i++ {
+		q.Writes = append(q.Writes, WriteRec{UID: r.String(), Data: r.Bytes(), Seq: r.Uvarint()})
+	}
+	return nil
+}
+
+// TxReq
+
+// WireTag implements rpc.Wire.
+func (*TxReq) WireTag() (byte, byte) { return wireTagTxReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *TxReq) AppendWire(dst []byte) []byte { return rpc.AppendString(dst, q.Tx) }
+
+// ParseWire implements rpc.Wire.
+func (q *TxReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.Tx = r.String()
+	return nil
+}

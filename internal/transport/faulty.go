@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+)
+
+// Faulty wraps any inner Network with a programmable Faults plan, applying
+// the same fault pipeline Mem applies natively: partitions and request
+// drops before delivery, observer hooks, reorder holds, injected delays,
+// duplicate deliveries, and reply drops after the handler has executed.
+// It exists so the chaos harness can run its seeded nemesis schedules over
+// the real-socket transports (the mux transport in particular) instead of
+// only over Mem.
+type Faulty struct {
+	inner  Network
+	faults *Faults
+}
+
+var _ Network = (*Faulty)(nil)
+
+// NewFaulty wraps inner with plan (a fresh empty plan when nil).
+func NewFaulty(inner Network, plan *Faults) *Faulty {
+	if plan == nil {
+		plan = NewFaults()
+	}
+	return &Faulty{inner: inner, faults: plan}
+}
+
+// Faults returns the wrapper's fault plan.
+func (f *Faulty) Faults() *Faults { return f.faults }
+
+// Inner returns the wrapped network (for transport-specific teardown).
+func (f *Faulty) Inner() Network { return f.inner }
+
+// Register implements Network.
+func (f *Faulty) Register(addr Addr, h Handler) { f.inner.Register(addr, h) }
+
+// Unregister implements Network.
+func (f *Faulty) Unregister(addr Addr) { f.inner.Unregister(addr) }
+
+// Call implements Network: the fault pipeline runs around the inner
+// network's delivery, in the same order as Mem.Call so a seeded schedule
+// draws its coin flips identically on either carrier.
+func (f *Faulty) Call(ctx context.Context, req Request) ([]byte, error) {
+	if f.faults.partitioned(req.From, req.To) {
+		return nil, fmt.Errorf("%s -> %s: %w", req.From, req.To, ErrUnreachable)
+	}
+	if f.faults.shouldDropRequest(req) {
+		return nil, fmt.Errorf("%s -> %s %s.%s: %w", req.From, req.To, req.Service, req.Method, ErrRequestLost)
+	}
+	f.faults.runRequestHooks(req)
+	if err := f.faults.holdForReorder(ctx, req); err != nil {
+		return nil, err
+	}
+	if err := sleepCtx(ctx, f.faults.requestDelay(req)); err != nil {
+		return nil, err
+	}
+	resp, err := f.inner.Call(ctx, req)
+	if f.faults.shouldDuplicate(req) {
+		// A duplicated network message: deliver the request a second time;
+		// the caller sees the first delivery's reply (see Mem.Call).
+		_, _ = f.inner.Call(ctx, req)
+	}
+	if derr := sleepCtx(ctx, f.faults.replyDelay(req)); derr != nil {
+		return nil, derr
+	}
+	f.faults.runReplyHooks(req)
+	if f.faults.shouldDropReply(req) {
+		return nil, fmt.Errorf("%s -> %s %s.%s: %w", req.From, req.To, req.Service, req.Method, ErrReplyLost)
+	}
+	return resp, err
+}

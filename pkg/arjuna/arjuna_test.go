@@ -359,33 +359,44 @@ func TestMultiObjectAtomicity(t *testing.T) {
 }
 
 func TestOpenOverTCP(t *testing.T) {
-	sys := openT(t, arjuna.WithTCP())
-	cl := clientT(t, sys, "c1")
-	obj := sys.Objects()[0]
-	ctx := context.Background()
+	variants := []struct {
+		name string
+		opt  arjuna.Option
+	}{
+		{"pooled", arjuna.WithTCP()},
+		{"mux", arjuna.WithTCPMux()},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			sys := openT(t, v.opt)
+			cl := clientT(t, sys, "c1")
+			obj := sys.Objects()[0]
+			ctx := context.Background()
 
-	rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
-		_, err := tx.Object(obj).Invoke(ctx, "add", []byte("13"))
-		return err
-	})
-	if err != nil || !rep.Committed {
-		t.Fatalf("Atomic over TCP: %v (%+v)", err, rep)
-	}
-	if got := counterValue(t, sys, obj); got != "13" {
-		t.Fatalf("committed state over TCP = %q, want 13", got)
-	}
+			rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+				_, err := tx.Object(obj).Invoke(ctx, "add", []byte("13"))
+				return err
+			})
+			if err != nil || !rep.Committed {
+				t.Fatalf("Atomic over TCP: %v (%+v)", err, rep)
+			}
+			if got := counterValue(t, sys, obj); got != "13" {
+				t.Fatalf("committed state over TCP = %q, want 13", got)
+			}
 
-	// The typed error taxonomy survives the real wire: app error codes
-	// travel in the rpc envelope, not as in-memory Go values.
-	_, err = cl.Atomic(ctx, func(tx *arjuna.Txn) error {
-		_, err := tx.Object(obj).Invoke(ctx, "frobnicate", nil)
-		return err
-	})
-	if !errors.Is(err, arjuna.ErrUnknownMethod) {
-		t.Fatalf("err over TCP = %v, want ErrUnknownMethod", err)
-	}
-	if err := sys.Close(); err != nil {
-		t.Fatalf("Close: %v", err)
+			// The typed error taxonomy survives the real wire: app error codes
+			// travel in the rpc envelope, not as in-memory Go values.
+			_, err = cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+				_, err := tx.Object(obj).Invoke(ctx, "frobnicate", nil)
+				return err
+			})
+			if !errors.Is(err, arjuna.ErrUnknownMethod) {
+				t.Fatalf("err over TCP = %v, want ErrUnknownMethod", err)
+			}
+			if err := sys.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		})
 	}
 }
 

@@ -240,6 +240,14 @@ func WithTCP() Option {
 	return func(c *config) { c.network = transport.NewTCP() }
 }
 
+// WithTCPMux runs the deployment over real loopback sockets with one
+// multiplexed connection per node pair: concurrent calls are pipelined on
+// the shared connection and demultiplexed by request ID, instead of each
+// call taking a pooled connection of its own.
+func WithTCPMux() Option {
+	return func(c *config) { c.network = transport.NewTCPMux() }
+}
+
 // clientConfig describes one Client's binding behaviour.
 type clientConfig struct {
 	scheme   Scheme

@@ -120,7 +120,11 @@ func (s *System) Close() error {
 			err = serr
 		}
 	}
-	switch c := s.w.Cluster.Net().(type) {
+	net := s.w.Cluster.Net()
+	if f, ok := net.(*transport.Faulty); ok {
+		net = f.Inner() // the wrapper owns no sockets; the inner transport does
+	}
+	switch c := net.(type) {
 	case interface{ Close() error }:
 		if cerr := c.Close(); err == nil {
 			err = cerr
@@ -611,8 +615,15 @@ func (s *System) String() string {
 		fmt.Fprintf(&b, "arjuna.System(db + %d servers + %d stores + %d clients, scheme=%v, policy=%v",
 			len(s.w.Svs), len(s.w.Sts), len(s.w.Clients), s.cfg.scheme, s.cfg.policy)
 	}
-	if _, ok := s.w.Cluster.Net().(*transport.TCP); ok {
+	net := s.w.Cluster.Net()
+	if f, ok := net.(*transport.Faulty); ok {
+		net = f.Inner()
+	}
+	switch net.(type) {
+	case *transport.TCP:
 		b.WriteString(", transport=tcp")
+	case *transport.TCPMux:
+		b.WriteString(", transport=mux")
 	}
 	b.WriteString(")")
 	return b.String()
