@@ -22,6 +22,7 @@ import (
 	"repro/internal/lockmgr"
 	"repro/internal/replica"
 	"repro/internal/storage"
+	"repro/internal/transport"
 	"repro/pkg/arjuna"
 )
 
@@ -561,4 +562,118 @@ func BenchmarkBindOnly(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchTotalRPCs sums every service's call counter across the deployment
+// — the "did this path touch the network at all" probe.
+func benchTotalRPCs(sys *arjuna.System) int64 {
+	var n int64
+	for _, s := range sys.Stats() {
+		n += s.Calls
+	}
+	return n
+}
+
+// BenchmarkLeasedRead — the read-lease headline number. The in-memory
+// network is given a 50µs per-message-leg latency so the comparison is
+// honest: a server read pays real round trips, a lease hit pays none.
+//
+//   - hit: leases on, cache warm — every read is served from the
+//     client's L1 snapshot. Asserts the timed loop issued ZERO RPCs
+//     anywhere in the deployment and ran ≥100× faster than the
+//     leaseless round trip under the same network.
+//   - expired-miss: leases on, but a TTL so short every read finds its
+//     cached lease dead — the degraded path: a full server read plus
+//     grant probe and harvest on every operation.
+//   - leaseless: the same deployment without WithReadLeases.
+func BenchmarkLeasedRead(b *testing.B) {
+	const legLatency = 50 * time.Microsecond
+	open := func(b *testing.B, extra ...arjuna.Option) (*arjuna.System, *arjuna.Client) {
+		opts := []arjuna.Option{
+			arjuna.WithServers(1), arjuna.WithStores(1), arjuna.WithClients(1),
+			arjuna.WithMemNetwork(transport.MemOptions{BaseLatency: legLatency}),
+		}
+		sys, err := arjuna.Open(append(opts, extra...)...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { sys.Close() })
+		cl, err := sys.Client("c1", arjuna.ClientReadOnly())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sys, cl
+	}
+	ctx := context.Background()
+	read := func(b *testing.B, sys *arjuna.System, cl *arjuna.Client) *arjuna.CommitReport {
+		obj := sys.Objects()[0]
+		rep, err := cl.Atomic(ctx, func(tx *arjuna.Txn) error {
+			_, rerr := tx.Object(obj).Read(ctx, "get", nil)
+			return rerr
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+
+	// Sample the leaseless per-read cost once, up front, so the hit
+	// sub-benchmark can assert its ≥100× criterion against a number
+	// measured under the exact same network.
+	sysBase, clBase := open(b)
+	read(b, sysBase, clBase) // one unmeasured read warms code paths
+	const sample = 64
+	t0 := time.Now()
+	for i := 0; i < sample; i++ {
+		read(b, sysBase, clBase)
+	}
+	baseline := time.Since(t0) / sample
+
+	b.Run("hit", func(b *testing.B) {
+		sys, cl := open(b, arjuna.WithReadLeases(time.Hour))
+		read(b, sys, cl) // miss: goes to the server, harvests the grant
+		if rep := read(b, sys, cl); rep.LeaseReads != 1 {
+			b.Fatalf("warm read not lease-served (LeaseReads=%d)", rep.LeaseReads)
+		}
+		before := benchTotalRPCs(sys)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rep := read(b, sys, cl); rep.LeaseReads != 1 {
+				b.Fatalf("read %d fell off the lease path (LeaseReads=%d)", i, rep.LeaseReads)
+			}
+		}
+		b.StopTimer()
+		if rpcs := benchTotalRPCs(sys) - before; rpcs != 0 {
+			b.Fatalf("lease-hit loop issued %d RPCs over %d reads, want 0", rpcs, b.N)
+		}
+		perOp := b.Elapsed() / time.Duration(b.N)
+		b.ReportMetric(float64(baseline)/float64(perOp), "speedup")
+		// A single iteration is all scheduling noise; the ratio gate needs
+		// a few reads to mean anything (CI pins this at -benchtime 100x).
+		if b.N >= 10 && perOp*100 > baseline {
+			b.Fatalf("lease hit = %v/op, round trip = %v/op: speedup %.1f× is under the 100× bar",
+				perOp, baseline, float64(baseline)/float64(perOp))
+		}
+	})
+	b.Run("expired-miss", func(b *testing.B) {
+		sys, cl := open(b, arjuna.WithReadLeases(time.Nanosecond))
+		read(b, sys, cl)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if rep := read(b, sys, cl); rep.LeaseReads != 0 {
+				b.Fatalf("read %d was lease-served despite a dead TTL", i)
+			}
+		}
+	})
+	b.Run("leaseless", func(b *testing.B) {
+		sys, cl := open(b)
+		read(b, sys, cl)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			read(b, sys, cl)
+		}
+	})
 }

@@ -71,10 +71,14 @@ const (
 	opRead = iota
 	opWrite
 	opCross
+	// opLeasedRead is not drawn by the mix: a read that the client served
+	// entirely from its lease cache is reclassified here at record time,
+	// so the JSON separates memory-speed reads from server round trips.
+	opLeasedRead
 	numClasses
 )
 
-var classNames = [numClasses]string{"read", "write", "cross"}
+var classNames = [numClasses]string{"read", "write", "cross", "leased-read"}
 
 // classStats accumulates one worker's view of one operation class;
 // workers are merged at the end (Histogram.Merge is lossless).
@@ -99,6 +103,27 @@ type Report struct {
 	Overall     LatencyDoc          `json:"overall"`
 	Classes     map[string]ClassDoc `json:"classes"`
 	PerShardOps map[string]int64    `json:"per_shard_ops"`
+	// Leases carries the deployment's read-lease counters and per-tier
+	// hit rates; present only when the run was started with -leases.
+	Leases *LeaseDoc `json:"leases,omitempty"`
+}
+
+// LeaseDoc is the read-lease slice of the report: the tiered cache's
+// per-tier hit rates plus the grant/invalidation/waitout counters that
+// say how the leases were kept safe.
+type LeaseDoc struct {
+	TTLMS         float64 `json:"ttl_ms"`
+	L1Hits        int64   `json:"l1_hits"`
+	L1Misses      int64   `json:"l1_misses"`
+	L1HitRate     float64 `json:"l1_hit_rate"`
+	L2Hits        int64   `json:"l2_hits"`
+	L2Misses      int64   `json:"l2_misses"`
+	L2HitRate     float64 `json:"l2_hit_rate"`
+	Grants        int64   `json:"grants"`
+	GrantsRefused int64   `json:"grants_refused"`
+	Invalidations int64   `json:"invalidations"`
+	Invalidated   int64   `json:"invalidated"`
+	Waitouts      int64   `json:"waitouts"`
 }
 
 // ConfigDoc echoes the run parameters into the report.
@@ -119,6 +144,8 @@ type ConfigDoc struct {
 	Admission   int     `json:"admission"`
 	WarmupSec   float64 `json:"warmup_seconds"`
 	Seed        int64   `json:"seed"`
+	// LeaseTTLMS is the cached read-lease TTL (0 = leases disabled).
+	LeaseTTLMS float64 `json:"lease_ttl_ms,omitempty"`
 	// PartitionStore names the store node partitioned mid-window ("" =
 	// healthy run); PartitionAtSec/PartitionForSec delimit the outage
 	// inside the measured window.
@@ -179,6 +206,7 @@ func run() error {
 	retries := flag.Int("retries", 3, "attempts per operation before a transient refusal becomes an abort")
 	fastBind := flag.Bool("fast-bind", true, "bind with commutative use-list locking (shared Sv read + Adjust-mode increments)")
 	admission := flag.Int("admission", 0, "system-wide cap on in-flight actions (0 = no admission gate)")
+	leaseTTL := flag.Duration("leases", 0, "cached read-lease TTL (0 = leases disabled); lease-served reads are reported as their own latency class")
 	warmup := flag.Duration("warmup", 2*time.Second, "warmup period before measurement")
 	duration := flag.Duration("duration", 10*time.Second, "measured window")
 	seed := flag.Int64("seed", 1, "workload RNG seed")
@@ -204,6 +232,9 @@ func run() error {
 	}
 	if *admission > 0 {
 		opts = append(opts, arjuna.WithAdmission(*admission))
+	}
+	if *leaseTTL > 0 {
+		opts = append(opts, arjuna.WithReadLeases(*leaseTTL))
 	}
 	sys, err := arjuna.Open(opts...)
 	if err != nil {
@@ -375,6 +406,11 @@ func run() error {
 				if start.Before(measureStart) {
 					continue // warmup: drive load, record nothing
 				}
+				// A read the lease cache fully absorbed never touched the
+				// network; report it as its own latency class.
+				if class == opRead && rep != nil && rep.LeaseReads > 0 {
+					class = opLeasedRead
+				}
 				cs := &res.classes[class]
 				cs.ops++
 				if opErr != nil {
@@ -467,6 +503,24 @@ func run() error {
 		rep.Config.PartitionAtSec = partitionAt.Seconds()
 		rep.Config.PartitionForSec = partitionFor.Seconds()
 	}
+	if *leaseTTL > 0 {
+		ls := sys.LeaseStats()
+		rep.Config.LeaseTTLMS = float64(leaseTTL.Nanoseconds()) / 1e6
+		rep.Leases = &LeaseDoc{
+			TTLMS:         rep.Config.LeaseTTLMS,
+			L1Hits:        ls.L1Hits,
+			L1Misses:      ls.L1Misses,
+			L1HitRate:     safeDiv(ls.L1Hits, ls.L1Hits+ls.L1Misses),
+			L2Hits:        ls.L2Hits,
+			L2Misses:      ls.L2Misses,
+			L2HitRate:     safeDiv(ls.L2Hits, ls.L2Hits+ls.L2Misses),
+			Grants:        ls.Grants,
+			GrantsRefused: ls.GrantsRefused,
+			Invalidations: ls.Invalidations,
+			Invalidated:   ls.Invalidated,
+			Waitouts:      ls.Waitouts,
+		}
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -479,6 +533,12 @@ func run() error {
 		totalOps, duration, rep.Throughput, rep.AbortRate, totalBatched)
 	fmt.Printf("loadgen: latency ms p50=%.3f p99=%.3f p999=%.3f max=%.3f → %s\n",
 		rep.Overall.P50, rep.Overall.P99, rep.Overall.P999, rep.Overall.Max, *out)
+	if rep.Leases != nil {
+		lr := classes[classNames[opLeasedRead]]
+		fmt.Printf("loadgen: leases ttl=%s L1 hit rate %.3f, L2 hit rate %.3f, %d lease-served reads p50=%.3fms (server reads p50=%.3fms), waitouts=%d\n",
+			*leaseTTL, rep.Leases.L1HitRate, rep.Leases.L2HitRate,
+			lr.Ops, lr.Latency.P50, classes[classNames[opRead]].Latency.P50, rep.Leases.Waitouts)
+	}
 	return nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/action"
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/lease"
 	"repro/internal/object"
 	"repro/internal/replica"
 	"repro/internal/storage"
@@ -37,6 +38,14 @@ const (
 	// exactly conserved — transfers are failure-atomic across their two
 	// participants, so no failure pattern may create or destroy money.
 	WorkloadBank
+	// WorkloadLeasedCounter: counter increments mixed with leased reads
+	// served from each client's tiered lease cache. Adds invariant I7: no
+	// lease-served read may observe a value older than the newest
+	// committed value acknowledged to any client before the read began —
+	// the commit fence must kill (or wait out) every stale lease before
+	// the commit is acknowledged, even when the nemesis crashes the
+	// granting server mid-invalidation.
+	WorkloadLeasedCounter
 )
 
 // String implements fmt.Stringer.
@@ -46,6 +55,8 @@ func (w Workload) String() string {
 		return "counter"
 	case WorkloadBank:
 		return "bank"
+	case WorkloadLeasedCounter:
+		return "leased-counter"
 	default:
 		return fmt.Sprintf("workload(%d)", int(w))
 	}
@@ -75,6 +86,13 @@ type Config struct {
 	// ActionTimeout bounds one client action (faults may stall locks and
 	// binds; the timeout turns a stall into an abort).
 	ActionTimeout time.Duration
+	// LeaseTTL is the read-lease duration for WorkloadLeasedCounter
+	// (default 80ms there; ignored by other workloads). Long enough that
+	// a lease outlives the slow read path that harvested it (an enhanced
+	// bind runs ~25ms of database actions), yet short enough relative to
+	// ActionTimeout that the 2×TTL first-commit grace and fence waitouts
+	// cannot turn every version advance into a timeout.
+	LeaseTTL time.Duration
 	// Jitter randomizes per-message latency to vary interleavings.
 	Jitter time.Duration
 	// BiasInDoubt converts half the schedule into crash-during-commit
@@ -134,6 +152,9 @@ func (c Config) withDefaults() Config {
 	if c.ActionTimeout <= 0 {
 		c.ActionTimeout = 300 * time.Millisecond
 	}
+	if c.Workload == WorkloadLeasedCounter && c.LeaseTTL <= 0 {
+		c.LeaseTTL = 80 * time.Millisecond
+	}
 	if c.Jitter <= 0 {
 		c.Jitter = 200 * time.Microsecond
 	}
@@ -156,6 +177,9 @@ type Report struct {
 	// InDoubtResolved counts prepared-but-undecided intentions that
 	// recovery resolved against coordinator outcome logs.
 	InDoubtResolved int
+	// LeasedReads counts committed read actions WorkloadLeasedCounter
+	// served straight from a lease cache (zero RPCs).
+	LeasedReads int
 	// Repairs lists quiesce-time interventions (restarting wedged server
 	// instances whose phase-two traffic was lost).
 	Repairs []string
@@ -191,6 +215,20 @@ type opRec struct {
 	// distinguishes "aborted on bind" from "aborted after its invoke
 	// already observed a value" when hunting a phantom update.
 	errMsg string
+	// read marks a read-only op (leased-counter workload), excluded from
+	// the committed-increment chain breadcrumbs.
+	read bool
+}
+
+// leaseReadRec traces one committed read of the leased-counter workload
+// for I7: floor is the newest committed counter value some client had
+// already seen acknowledged when the read BEGAN, saw the value the read
+// returned, leased whether it was served from a lease cache.
+type leaseReadRec struct {
+	obj    int
+	floor  int
+	saw    int
+	leased bool
 }
 
 type objTally struct {
@@ -209,6 +247,8 @@ type runner struct {
 	report      *Report
 	tallies     []objTally
 	ops         []opRec
+	ackedMax    []int // per object: newest acknowledged committed value (I7 floor)
+	leaseReads  []leaseReadRec
 	partitions  map[[2]transport.Addr]bool
 	everCrashed map[transport.Addr]bool
 	// placementDown tracks crashed placement replicas separately from
@@ -229,14 +269,15 @@ type runner struct {
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	opts := harness.Options{
-		Servers: cfg.Servers,
-		Stores:  cfg.Stores,
-		Clients: cfg.Clients,
-		Objects: cfg.Objects,
-		Shards:  cfg.Shards,
-		Net:     transport.MemOptions{Jitter: cfg.Jitter, Seed: cfg.Seed},
-		DataDir: cfg.DataDir,
-		Disk:    cfg.Disk,
+		Servers:  cfg.Servers,
+		Stores:   cfg.Stores,
+		Clients:  cfg.Clients,
+		Objects:  cfg.Objects,
+		Shards:   cfg.Shards,
+		Net:      transport.MemOptions{Jitter: cfg.Jitter, Seed: cfg.Seed},
+		DataDir:  cfg.DataDir,
+		Disk:     cfg.Disk,
+		LeaseTTL: cfg.LeaseTTL,
 	}
 	var muxNet *transport.TCPMux
 	switch cfg.Transport {
@@ -265,6 +306,7 @@ func Run(cfg Config) (*Report, error) {
 			FinalValues: make(map[string]int),
 		},
 		tallies:       make([]objTally, cfg.Objects),
+		ackedMax:      make([]int, cfg.Objects),
 		partitions:    make(map[[2]transport.Addr]bool),
 		everCrashed:   make(map[transport.Addr]bool),
 		placementDown: make(map[transport.Addr]bool),
@@ -303,6 +345,10 @@ func Run(cfg Config) (*Report, error) {
 func (r *runner) worker(idx int) {
 	client := r.w.Clients[idx]
 	b := r.w.AnyBinder(client, r.cfg.Scheme, r.cfg.Policy, 0)
+	var lc *lease.Local
+	if r.cfg.Workload == WorkloadLeasedCounter {
+		lc = r.w.LeaseLocal(client, 0)
+	}
 	// Per-client source: decorrelated from the schedule rng but still a
 	// pure function of the seed.
 	rng := rand.New(rand.NewSource(r.cfg.Seed ^ int64(idx+1)*0x5851F42D4C957F2D))
@@ -310,6 +356,8 @@ func (r *runner) worker(idx int) {
 		switch r.cfg.Workload {
 		case WorkloadBank:
 			r.bankOp(b, client, rng)
+		case WorkloadLeasedCounter:
+			r.leasedOp(b, lc, client, rng)
 		default:
 			r.counterOp(b, client, rng)
 		}
@@ -376,6 +424,64 @@ func (r *runner) counterOp(b core.ActionBinder, client transport.Addr, rng *rand
 	r.ops = append(r.ops, opRec{tx: res.Tx, client: client, class: class, obj: obj, val: val,
 		onePhase: res.OnePhase, prepared: res.PreparedStores, excluded: res.ExcludedStores,
 		errMsg: errMsg})
+	r.mu.Unlock()
+	r.recordTally(class, map[int]int{obj: 1})
+}
+
+// leasedOp runs one leased-counter action: ~60% leased reads, the rest
+// plain increments. Reads snapshot the I7 floor — the newest committed
+// value already acknowledged on this object — BEFORE starting, so the
+// floor is a sound lower bound on what the read "could have observed";
+// increments raise the floor only after their commit is acknowledged.
+func (r *runner) leasedOp(b core.ActionBinder, lc *lease.Local, client transport.Addr, rng *rand.Rand) {
+	obj := rng.Intn(r.cfg.Objects)
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.ActionTimeout)
+	defer cancel()
+
+	if rng.Intn(5) < 3 {
+		// Reads come in pairs — the locality a lease cache exists for: the
+		// first read harvests a grant on a miss, the second typically hits
+		// it. Both are I7-checked against their own floor snapshot.
+		for k := 0; k < 2; k++ {
+			r.mu.Lock()
+			floor := r.ackedMax[obj]
+			r.mu.Unlock()
+			res := r.w.RunLeasedReadAction(ctx, b, lc, obj)
+			class := classify(ctx, res)
+			var errMsg string
+			if res.Err != nil {
+				errMsg = res.Err.Error()
+			}
+			val, _ := strconv.Atoi(string(res.Result))
+			r.mu.Lock()
+			r.ops = append(r.ops, opRec{tx: res.Tx, client: client, class: class, obj: obj, val: val,
+				errMsg: errMsg, read: true})
+			if class == opCommitted {
+				r.leaseReads = append(r.leaseReads, leaseReadRec{obj: obj, floor: floor, saw: val, leased: res.Leased})
+				if res.Leased {
+					r.report.LeasedReads++
+				}
+			}
+			r.mu.Unlock()
+			r.recordTally(class, nil)
+		}
+		return
+	}
+
+	res := r.w.RunCounterAction(ctx, b, obj, 1)
+	class := classify(ctx, res)
+	val, _ := strconv.Atoi(string(res.Result))
+	var errMsg string
+	if res.Err != nil {
+		errMsg = res.Err.Error()
+	}
+	r.mu.Lock()
+	r.ops = append(r.ops, opRec{tx: res.Tx, client: client, class: class, obj: obj, val: val,
+		onePhase: res.OnePhase, prepared: res.PreparedStores, excluded: res.ExcludedStores,
+		errMsg: errMsg})
+	if class == opCommitted && val > r.ackedMax[obj] {
+		r.ackedMax[obj] = val
+	}
 	r.mu.Unlock()
 	r.recordTally(class, map[int]int{obj: 1})
 }

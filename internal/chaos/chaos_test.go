@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/harness"
+	"repro/internal/object"
 	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -179,6 +181,126 @@ func TestChaosShardedBank(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			runSeed(t, Config{Seed: seed, Workload: WorkloadBank, Scheme: core.SchemeStandard, Shards: 3})
 		})
+	}
+}
+
+// TestChaosLeasedCounter: randomized schedules against a read-heavy
+// leased counter — lease-served reads race increments, crashes,
+// partitions and restarts, and I7 (lease-read freshness) must hold on
+// every one: a read served from a lease cache may never observe a value
+// older than the newest committed value some client had already seen
+// acknowledged when the read began.
+func TestChaosLeasedCounter(t *testing.T) {
+	leased := 0
+	for _, seed := range seeds(701, 5) {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep := runSeed(t, Config{Seed: seed, Workload: WorkloadLeasedCounter})
+			leased += rep.LeasedReads
+		})
+	}
+	// Per-seed counts vary with the schedule, but a pinned set that never
+	// serves a single read from cache is exercising nothing.
+	if *seedFlag == 0 && leased == 0 {
+		t.Error("no lease-served read across the pinned seed set")
+	}
+}
+
+// TestLeaseFenceServerCrashMidInvalidation pins the phase-two half of I7
+// deterministically: the lease-granting primary crashes at the instant
+// phase two reaches it, so its commit-time fence never runs and no
+// server is left that even knows the holder exists. The commit is still
+// durable — the client repairs the stores directly — but its
+// acknowledgement must first wait out the lease clock, so that by the
+// time any client sees the commit as definite, every lease the dead
+// primary could have granted has expired. The holder's next read must
+// therefore observe the committed value through the surviving server,
+// never its cached pre-commit snapshot.
+func TestLeaseFenceServerCrashMidInvalidation(t *testing.T) {
+	const ttl = 100 * time.Millisecond
+	// Three stores make one-phase commit ineligible, forcing the true
+	// 2PC shape whose phase-two failure is the hazard under test.
+	w, err := harness.New(harness.Options{Servers: 2, Stores: 3, Clients: 2, LeaseTTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	lc2 := w.LeaseLocal("c2", 0)
+	b2 := w.Binder("c2", core.SchemeStandard, replica.SingleCopyPassive, 1)
+
+	// Objects are pre-seeded at seq 1, so the first read harvests a
+	// grant without any commit (and without the first-commit grace).
+	if res := w.RunLeasedReadAction(ctx, b2, lc2, 0); !res.Committed || res.Leased {
+		t.Fatalf("harvest read: committed=%v leased=%v err=%v", res.Committed, res.Leased, res.Err)
+	}
+	if res := w.RunLeasedReadAction(ctx, b2, lc2, 0); !res.Leased || string(res.Result) != "0" {
+		t.Fatalf("leased read = %q (leased=%v), want cached 0", res.Result, res.Leased)
+	}
+
+	// Crash the primary the moment the phase-two Commit reaches it.
+	sv1 := w.Cluster.Node("sv1")
+	w.Cluster.Faults().OnRequest(1,
+		transport.ToMethod("sv1", object.ServiceName, object.MethodCommit),
+		func(transport.Request) { sv1.Crash() })
+	b1 := w.Binder("c1", core.SchemeStandard, replica.SingleCopyPassive, 1)
+	res := w.RunCounterAction(ctx, b1, 0, 1)
+	if !res.Committed {
+		t.Fatalf("increment did not commit despite store repair: %v", res.Err)
+	}
+
+	// The ack above was delayed past every grant the primary could have
+	// issued, so the holder's lease is expired NOW — the read takes the
+	// server path (sv2, activated from the repaired stores) and sees 1.
+	got := w.RunLeasedReadAction(ctx, b2, lc2, 0)
+	if !got.Committed {
+		t.Fatalf("post-crash read failed: %v", got.Err)
+	}
+	if got.Leased || string(got.Result) != "1" {
+		t.Fatalf("read after unfenced commit = %q (leased=%v), want 1 via the server — stale lease outlived the commit ack",
+			got.Result, got.Leased)
+	}
+}
+
+// TestLeaseFencePartitionedHolderWaitout pins the other degraded fence
+// shape: the holder is partitioned from the server, so the commit's
+// invalidation multicast cannot be delivered and the server must wait
+// the lease out before completing commit processing. The writer's ack is
+// delayed past the lease's expiry, and the healed holder's next read
+// observes the committed value.
+func TestLeaseFencePartitionedHolderWaitout(t *testing.T) {
+	const ttl = 100 * time.Millisecond
+	w, err := harness.New(harness.Options{Servers: 1, Stores: 1, Clients: 2, LeaseTTL: ttl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	lc2 := w.LeaseLocal("c2", 0)
+	b2 := w.Binder("c2", core.SchemeStandard, replica.SingleCopyPassive, 0)
+	if res := w.RunLeasedReadAction(ctx, b2, lc2, 0); !res.Committed || res.Leased {
+		t.Fatalf("harvest read: committed=%v leased=%v err=%v", res.Committed, res.Leased, res.Err)
+	}
+	if res := w.RunLeasedReadAction(ctx, b2, lc2, 0); !res.Leased {
+		t.Fatal("second read not lease-served")
+	}
+
+	waitsBefore := w.Metrics.Counter("lease.waitouts").Value()
+	w.Cluster.Faults().Partition("sv1", "c2")
+	b1 := w.Binder("c1", core.SchemeStandard, replica.SingleCopyPassive, 0)
+	res := w.RunCounterAction(ctx, b1, 0, 1)
+	if !res.Committed {
+		t.Fatalf("increment did not commit: %v", res.Err)
+	}
+	if w.Metrics.Counter("lease.waitouts").Value() == waitsBefore {
+		t.Fatal("commit with an unreachable holder recorded no lease waitout")
+	}
+
+	w.Cluster.Faults().Heal("sv1", "c2")
+	got := w.RunLeasedReadAction(ctx, b2, lc2, 0)
+	if !got.Committed {
+		t.Fatalf("post-heal read failed: %v", got.Err)
+	}
+	if got.Leased || string(got.Result) != "1" {
+		t.Fatalf("read after waited-out commit = %q (leased=%v), want 1 via the server",
+			got.Result, got.Leased)
 	}
 }
 

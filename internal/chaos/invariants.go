@@ -76,7 +76,7 @@ func (r *runner) checkInvariants() []string {
 		r.report.FinalValues["obj"+strconv.Itoa(i)] = val
 		total += val
 
-		if r.cfg.Workload == WorkloadCounter {
+		if r.cfg.Workload == WorkloadCounter || r.cfg.Workload == WorkloadLeasedCounter {
 			// No lost committed update, no phantom: the settled value
 			// covers every delta a client saw commit, and exceeds that
 			// only by deltas whose outcome no client could observe.
@@ -151,6 +151,23 @@ func (r *runner) checkInvariants() []string {
 		}
 	}
 
+	// I7: lease-read freshness — no lease-served read may observe a value
+	// older than the newest committed value some client had already seen
+	// acknowledged when the read began. The floor is conservative (it
+	// misses commits acknowledged concurrently with the read), so any
+	// breach is a stale lease that outlived its object's commit fence.
+	if r.cfg.Workload == WorkloadLeasedCounter {
+		r.mu.Lock()
+		reads := append([]leaseReadRec(nil), r.leaseReads...)
+		r.mu.Unlock()
+		for _, rec := range reads {
+			if rec.leased && rec.saw < rec.floor {
+				bad("obj%d: lease-served read observed %d after %d was acknowledged committed — stale lease outlived the commit fence",
+					rec.obj, rec.saw, rec.floor)
+			}
+		}
+	}
+
 	// I6: placement replica convergence — after quiesce every placement
 	// replica's directory (override records with their epochs) must equal
 	// the primary's; a diverged replica would route future binds of a
@@ -219,7 +236,7 @@ func (r *runner) chainFor(obj int) string {
 	r.mu.Unlock()
 	var chain []opRec
 	for _, op := range ops {
-		if op.class == opCommitted && op.obj == obj {
+		if op.class == opCommitted && op.obj == obj && !op.read {
 			chain = append(chain, op)
 		}
 	}
@@ -245,7 +262,7 @@ func (r *runner) lostFor(obj int) string {
 	r.mu.Unlock()
 	var parts []string
 	for _, op := range ops {
-		if op.class == opCommitted || op.obj != obj {
+		if op.class == opCommitted || op.obj != obj || op.read {
 			continue
 		}
 		class := "aborted"

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/action"
+	"repro/internal/object"
 	"repro/internal/replica"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -107,6 +108,17 @@ type Binder struct {
 	// Scheme field is ignored for the Sv side; St handling follows the
 	// standard scheme.
 	NameServer *NSClient
+	// LeaseHolder, when non-empty, asks bound objects' view-primary
+	// servers for read leases on read-path invocations (see
+	// internal/lease); the value is this client's node address, where
+	// invalidation multicasts are delivered. Grants are surfaced via
+	// Binding.LeaseGrant for the caller's cache.
+	LeaseHolder transport.Addr
+	// LeaseTTL is the deployment's read-lease duration (zero when leases
+	// are disabled), set on every binder — lease holder or not — so that
+	// commit processing can wait out the lease clock when a granting
+	// primary fails during phase two (see replica.Config.LeaseTTL).
+	LeaseTTL time.Duration
 }
 
 // Binding is one client action's binding to one replicated object. It is
@@ -445,13 +457,15 @@ func (b *Binder) finishBind(ctx context.Context, act *action.Action, id uid.UID,
 
 func (b *Binder) activate(ctx context.Context, act *action.Action, id uid.UID, class string, candidates, st []transport.Addr) (*Binding, error) {
 	handle, err := replica.New(replica.Config{
-		UID:     id,
-		Class:   class,
-		Policy:  b.Policy,
-		Servers: candidates,
-		Degree:  b.Degree,
-		StNodes: st,
-		Client:  b.DB.RPC,
+		UID:         id,
+		Class:       class,
+		Policy:      b.Policy,
+		Servers:     candidates,
+		Degree:      b.Degree,
+		StNodes:     st,
+		Client:      b.DB.RPC,
+		LeaseHolder: b.LeaseHolder,
+		LeaseTTL:    b.LeaseTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -485,6 +499,10 @@ func (bd *Binding) enlist() {
 
 // UID returns the bound object's identifier.
 func (bd *Binding) UID() uid.UID { return bd.id }
+
+// LeaseGrant returns the most recent read lease granted across this
+// binding's invocations, if any (see Binder.LeaseHolder).
+func (bd *Binding) LeaseGrant() (object.LeaseGrant, bool) { return bd.handle.LeaseGrant() }
 
 // Servers returns the live server bindings.
 func (bd *Binding) Servers() []transport.Addr { return bd.handle.Bound() }

@@ -9,10 +9,12 @@ import (
 	"fmt"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	"repro/internal/action"
 	"repro/internal/core"
 	"repro/internal/group"
+	"repro/internal/lease"
 	"repro/internal/lockmgr"
 	"repro/internal/metrics"
 	"repro/internal/object"
@@ -102,6 +104,12 @@ type Options struct {
 	// world runs (nodes "placement", "placement2", ...). 0 selects the
 	// default of 3; 1 keeps the classic single placement node.
 	PlacementReplicas int
+	// LeaseTTL, when positive, enables cached read leases: every object
+	// server grants leased read snapshots with this TTL, and every client
+	// node gets a shared lease cache (World.LeaseCaches) that receives
+	// invalidation multicasts. Binders built by the world then request
+	// leases on read-path invocations.
+	LeaseTTL time.Duration
 }
 
 // DefaultPlacementReplicas is the placement replica count a sharded world
@@ -129,6 +137,15 @@ type World struct {
 	Clients []transport.Addr
 	Mgrs    map[transport.Addr]*action.Manager
 	Metrics *metrics.Registry
+	// Registry is the class registry every server (and the lease-read
+	// fast path) resolves classes against.
+	Registry *object.Registry
+	// LeaseCaches holds each client node's shared L2 lease cache; empty
+	// unless Options.LeaseTTL was set.
+	LeaseCaches map[transport.Addr]*lease.Cache
+	// leaseTTL echoes Options.LeaseTTL so binders can carry it into
+	// commit processing (the phase-two lease-clock waitout).
+	leaseTTL time.Duration
 	// Groups lists every shard's group; len 1 when unsharded.
 	Groups []Group
 	// Place is the placement service's primary replica (nil when
@@ -163,8 +180,11 @@ func New(opts Options) (*World, error) {
 		net = transport.NewMem(opts.Net, nil)
 	}
 	w := &World{
-		Cluster: sim.NewClusterOn(net),
-		Mgrs:    make(map[transport.Addr]*action.Manager),
+		Cluster:     sim.NewClusterOn(net),
+		Mgrs:        make(map[transport.Addr]*action.Manager),
+		Registry:    reg,
+		LeaseCaches: make(map[transport.Addr]*lease.Cache),
+		leaseTTL:    opts.LeaseTTL,
 	}
 	// The world shares the cluster's registry, so RPC-layer call counts
 	// and latencies land next to whatever the harness records itself.
@@ -196,6 +216,9 @@ func New(opts Options) (*World, error) {
 		m := object.NewManager(n, reg)
 		m.SetLockLimits(opts.LockLimits)
 		m.EnableGroupInvocation(group.NewHost(n.Server(), n.Client()))
+		if opts.LeaseTTL > 0 {
+			m.EnableLeases(opts.LeaseTTL)
+		}
 		w.Svs = append(w.Svs, name)
 		g := &w.Groups[i/opts.Servers]
 		g.Svs = append(g.Svs, name)
@@ -244,6 +267,11 @@ func New(opts Options) (*World, error) {
 		// action still inside commit processing answers "unavailable",
 		// which is why the manager, not the raw log, serves lookups).
 		action.RegisterLogService(n.Server(), w.Mgrs[name])
+		if opts.LeaseTTL > 0 {
+			// The client node's group host receives the invalidation
+			// multicasts committing servers send to lease holders.
+			w.LeaseCaches[name] = lease.NewCache(group.NewHost(n.Server(), n.Client()), w.Metrics)
+		}
 		w.Clients = append(w.Clients, name)
 	}
 	// Recovering nodes resolve in-doubt intentions by asking the
@@ -328,14 +356,35 @@ func (w *World) ShardBinder(client transport.Addr, scheme core.Scheme, policy re
 	}
 	rpcc := w.Cluster.Node(client).Client()
 	return &placement.Binder{
-		Place:      placement.NewClient(rpcc, w.PlaceAddrs...),
-		Actions:    w.Mgrs[client],
-		ClientNode: client,
-		RPC:        rpcc,
-		Scheme:     scheme,
-		Policy:     policy,
-		Degree:     degree,
+		Place:       placement.NewClient(rpcc, w.PlaceAddrs...),
+		Actions:     w.Mgrs[client],
+		ClientNode:  client,
+		RPC:         rpcc,
+		Scheme:      scheme,
+		Policy:      policy,
+		Degree:      degree,
+		LeaseHolder: w.leaseHolderFor(client),
+		LeaseTTL:    w.leaseTTL,
 	}
+}
+
+// leaseHolderFor names the client as a lease holder when the world runs
+// with leases enabled (the client node then has a cache to hold them).
+func (w *World) leaseHolderFor(client transport.Addr) transport.Addr {
+	if _, ok := w.LeaseCaches[client]; ok {
+		return client
+	}
+	return ""
+}
+
+// LeaseLocal builds a per-client L1 lease cache over the client node's
+// shared L2. Requires Options.LeaseTTL to have been set.
+func (w *World) LeaseLocal(client transport.Addr, capacity int) *lease.Local {
+	c, ok := w.LeaseCaches[client]
+	if !ok {
+		panic("harness: LeaseLocal requires Options.LeaseTTL")
+	}
+	return lease.NewLocal(c, capacity)
 }
 
 // AnyBinder returns the natural binder for the world: shard-aware when
@@ -366,12 +415,14 @@ func (w *World) OutcomeLogFor(n *sim.Node) store.OutcomeLog {
 // Binder builds a binder for the named client.
 func (w *World) Binder(client transport.Addr, scheme core.Scheme, policy replica.Policy, degree int) *core.Binder {
 	return &core.Binder{
-		DB:         core.Client{RPC: w.Cluster.Node(client).Client(), DB: "db"},
-		Actions:    w.Mgrs[client],
-		ClientNode: client,
-		Scheme:     scheme,
-		Policy:     policy,
-		Degree:     degree,
+		DB:          core.Client{RPC: w.Cluster.Node(client).Client(), DB: "db"},
+		Actions:     w.Mgrs[client],
+		ClientNode:  client,
+		Scheme:      scheme,
+		Policy:      policy,
+		Degree:      degree,
+		LeaseHolder: w.leaseHolderFor(client),
+		LeaseTTL:    w.leaseTTL,
 	}
 }
 
@@ -402,6 +453,9 @@ type ActionResult struct {
 	// (or one-phase committed) writes — the chaos harness's chain-fork
 	// breadcrumb.
 	PreparedStores []transport.Addr
+	// Leased reports that a read was served entirely from the local
+	// lease cache — zero RPCs, zero lock-manager traffic.
+	Leased bool
 }
 
 // RunCounterAction executes one client action against object idx: bind,
@@ -494,6 +548,53 @@ func (w *World) RunReadAction(ctx context.Context, b core.ActionBinder, idx int)
 		return ActionResult{Err: err, Probes: len(bd.BrokenServers())}
 	}
 	return ActionResult{Committed: true, Probes: len(bd.BrokenServers())}
+}
+
+// RunLeasedReadAction executes one read of object idx that may be served
+// from the client's lease cache: while a valid lease is held the read
+// runs the class's read-only "get" locally on the cached snapshot, with
+// zero RPCs. On a miss it falls back to a regular read-only action whose
+// invocation requests a fresh lease, and caches any grant.
+func (w *World) RunLeasedReadAction(ctx context.Context, b core.ActionBinder, lc *lease.Local, idx int) ActionResult {
+	id := w.Objects[idx]
+	if e, ok := lc.Get(id, time.Now()); ok {
+		if cls, err := w.Registry.Lookup(e.Snap.Class); err == nil && cls.IsReadOnly("get") {
+			if fn, err := cls.Method("get"); err == nil {
+				if _, out, err := fn(e.Snap.State, nil); err == nil {
+					return ActionResult{Committed: true, Leased: true, Result: out}
+				}
+			}
+		}
+	}
+	// Miss (or an unexpected class/method problem): take the slow path.
+	// The grant's client-side expiry is measured from BEFORE the invoke
+	// is sent, so it is conservative under any clock relation.
+	t0 := time.Now()
+	act := b.BeginTop()
+	res := ActionResult{Tx: act.ID()}
+	bd, err := b.Bind(ctx, act, id)
+	if err != nil {
+		_ = act.Abort(ctx)
+		res.Err = err
+		return res
+	}
+	out, err := bd.Invoke(ctx, "get", nil)
+	if err != nil {
+		_ = act.Abort(ctx)
+		res.Err = err
+		return res
+	}
+	res.Result = out
+	if g, ok := bd.LeaseGrant(); ok {
+		lc.Put(lease.Snapshot{UID: id, Class: g.Class, State: g.State, Seq: g.Seq, Expiry: t0.Add(g.TTL)})
+	}
+	if _, err := act.Commit(ctx); err != nil {
+		res.Err = err
+		res.CommitFailed = true
+		return res
+	}
+	res.Committed = true
+	return res
 }
 
 // StoreSeqs returns each live store node's committed (value, seq) for

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/replica"
+)
+
+// TestLeasedReadBasics exercises the whole lease loop on a tiny world:
+// a read grants a lease, the next read is served from cache with zero
+// RPCs, and a committed write invalidates the cached snapshot before
+// the writer observes its commit.
+func TestLeasedReadBasics(t *testing.T) {
+	// Modest TTL: the first version-advancing commit waits out a 2×TTL
+	// grace for leases a prior server incarnation might have granted.
+	w, err := New(Options{Servers: 2, Stores: 3, Clients: 1, Objects: 1, LeaseTTL: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	b := w.Binder("c1", core.SchemeStandard, replica.SingleCopyPassive, 0)
+	lc := w.LeaseLocal("c1", 0)
+
+	if res := w.RunCounterAction(ctx, b, 0, 5); res.Err != nil {
+		t.Fatalf("add: %v", res.Err)
+	}
+
+	// First read misses, runs a real action, and harvests a grant.
+	res := w.RunLeasedReadAction(ctx, b, lc, 0)
+	if res.Err != nil || res.Leased {
+		t.Fatalf("first read: err=%v leased=%v", res.Err, res.Leased)
+	}
+	if string(res.Result) != "5" {
+		t.Fatalf("first read = %q, want 5", res.Result)
+	}
+
+	// Second read is a pure cache hit.
+	res = w.RunLeasedReadAction(ctx, b, lc, 0)
+	if res.Err != nil || !res.Leased {
+		t.Fatalf("second read: err=%v leased=%v (want cache hit)", res.Err, res.Leased)
+	}
+	if string(res.Result) != "5" {
+		t.Fatalf("second read = %q, want 5", res.Result)
+	}
+	if hits := w.Metrics.Counter("lease.l1.hits").Value(); hits == 0 {
+		t.Fatal("no L1 hits recorded")
+	}
+
+	// A committed write must invalidate the holder before the commit is
+	// acknowledged: the very next leased read may not serve the stale 5.
+	if res := w.RunCounterAction(ctx, b, 0, 3); res.Err != nil {
+		t.Fatalf("second add: %v", res.Err)
+	}
+	res = w.RunLeasedReadAction(ctx, b, lc, 0)
+	if res.Err != nil {
+		t.Fatalf("read after write: %v", res.Err)
+	}
+	if string(res.Result) != "8" {
+		t.Fatalf("read after write = %q (leased=%v), want 8", res.Result, res.Leased)
+	}
+	if inv := w.Metrics.Counter("lease.invalidated").Value(); inv == 0 {
+		t.Fatal("no invalidations recorded — commit did not reach the holder")
+	}
+}

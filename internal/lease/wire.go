@@ -1,0 +1,40 @@
+package lease
+
+import "repro/internal/rpc"
+
+// KindInval is the multicast message kind carrying a lease
+// invalidation record.
+const KindInval = "lease-inval"
+
+// wireTagInval lives in the 0x60–0x6f lease block of the tag registry
+// in internal/rpc/doc.go.
+const wireTagInval byte = 0x60
+
+// Inval is the invalidation record a committing server multicasts to
+// GroupID(UID, Seq): every lease at version Seq (or older) of the
+// object is dead.
+type Inval struct {
+	UID string
+	Seq uint64
+}
+
+// WireTag implements rpc.Wire.
+func (*Inval) WireTag() (byte, byte) { return wireTagInval, 1 }
+
+// AppendWire implements rpc.Wire.
+func (v *Inval) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, v.UID)
+	return rpc.AppendUvarint(dst, v.Seq)
+}
+
+// ParseWire implements rpc.Wire.
+func (v *Inval) ParseWire(_ byte, r *rpc.WireReader) error {
+	v.UID = r.String()
+	v.Seq = r.Uvarint()
+	return nil
+}
+
+// EncodeInval renders the record for a multicast payload.
+func EncodeInval(v *Inval) ([]byte, error) { return rpc.Encode(v) }
+
+func decodeInval(payload []byte, v *Inval) error { return rpc.Decode(payload, v) }

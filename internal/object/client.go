@@ -40,6 +40,20 @@ func (r ServerRef) Invoke(ctx context.Context, action, method string, args []byt
 	return resp.Result, nil
 }
 
+// InvokeFull calls a method under the given action and returns the full
+// response. leaseHolder, when non-empty, names the client node
+// requesting a read lease on the object; a granted lease arrives in
+// InvokeResp.Lease.
+func (r ServerRef) InvokeFull(ctx context.Context, action, method string, args []byte, leaseHolder string) (InvokeResp, error) {
+	return rpc.Invoke[InvokeReq, InvokeResp](ctx, r.Client, r.Node, ServiceName, MethodInvoke, InvokeReq{
+		UID:         r.UID.String(),
+		Action:      action,
+		Method:      method,
+		Args:        args,
+		LeaseHolder: leaseHolder,
+	})
+}
+
 // InvokeSolo calls a method under the given action, declaring that the
 // invocation is the action's entire write set. That permits the server to
 // fold a commutative method into another action's commit (flat

@@ -1,0 +1,296 @@
+package object
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/group"
+	"repro/internal/lease"
+	"repro/internal/rpc"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// LeaseGrant is a leased read snapshot piggybacked on an InvokeResp:
+// the holder may serve read-only methods from State locally until the
+// lease expires (TTL after the request was sent) or an invalidation
+// record arrives on the ordered multicast. See internal/lease for the
+// holder side and the safety argument.
+type LeaseGrant struct {
+	// Class names the object's type, so the holder can run its
+	// read-only methods without a bind.
+	Class string
+	// State is the committed object state at version Seq.
+	State []byte
+	Seq   uint64
+	// TTL is the lease duration, anchored at the holder's send instant.
+	TTL time.Duration
+}
+
+// EnableLeases makes this node's object servers grant read leases with
+// the given TTL and enforce the matching commit-time fence: a commit
+// that advances an object's version is not acknowledged until every
+// lease at the old version is provably dead — eagerly invalidated over
+// the multicast, or waited out. Call during deployment setup, before
+// traffic. A zero TTL leaves leasing disabled.
+func (m *Manager) EnableLeases(ttl time.Duration) { m.leaseTTL = ttl }
+
+// maybeGrant issues a read lease to holder for in's current state, or
+// returns nil when the copy cannot be vouched for. Called with the
+// invoking action holding the object's read lock, which excludes any
+// concurrent version advance.
+//
+// Fence: this server may only vouch that its copy is the latest
+// committed version if it has confirmed that against the stores within
+// the last TTL — via a majority-acknowledged write-back of its own, or
+// via the probe below. The window arithmetic is what makes a foreign
+// committer's wait sound: every grant's expiry is bounded by
+// confirmedAt + 2*TTL, and any commit elsewhere refutes this server's
+// next confirmation, so confirmedAt < commit time and a committer that
+// waits 2*TTL after its store write outlives every lease this server
+// could have granted.
+func (m *Manager) maybeGrant(ctx context.Context, in *instance, holder transport.Addr) *LeaseGrant {
+	now := time.Now()
+	in.mu.Lock()
+	if len(in.dirty) > 0 {
+		// Uncommitted writes in memory (necessarily the invoking
+		// action's own: any other writer's lock would have excluded
+		// this read) — the state is not a committed snapshot.
+		in.mu.Unlock()
+		return nil
+	}
+	seq := in.seq
+	confirmed := in.confirmedAt
+	stNodes := in.stNodes
+	in.mu.Unlock()
+
+	if now.After(confirmed.Add(m.leaseTTL)) {
+		t0 := time.Now()
+		if !m.probeLatest(ctx, in.id, seq, stNodes) {
+			m.stats.Counter("lease.fence").Inc()
+			return nil
+		}
+		in.mu.Lock()
+		if t0.After(in.confirmedAt) {
+			in.confirmedAt = t0
+		}
+		in.mu.Unlock()
+	}
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.seq != seq || len(in.dirty) > 0 {
+		return nil
+	}
+	in.leaseSeq = seq
+	in.leaseHolders[holder] = time.Now().Add(m.leaseTTL)
+	m.stats.Counter("lease.grants").Inc()
+	return &LeaseGrant{
+		Class: in.class.Name,
+		State: append([]byte(nil), in.state...),
+		Seq:   seq,
+		TTL:   m.leaseTTL,
+	}
+}
+
+// markConfirmed records that at t0 this server's copy at seq was
+// acknowledged latest by a majority of its activation-time St view.
+// Called after a successful majority store prepare of the server's own
+// write-back (the write-back's acceptance proves the base version was
+// current at every accepting store).
+func (in *instance) markConfirmed(t0 time.Time, acked, total int) {
+	if total == 0 || acked < total/2+1 {
+		return
+	}
+	in.mu.Lock()
+	if t0.After(in.confirmedAt) {
+		in.confirmedAt = t0
+	}
+	in.mu.Unlock()
+}
+
+// probeLatest confirms, against the activation-time St view, that seq
+// is still the object's latest committed version: a majority must
+// respond and every response must carry exactly seq. Sound whenever
+// the stores carrying the latest version are reachable — any
+// acknowledged newer commit prepared at at least one St member, and a
+// response with a newer seq (or a majority that cannot be assembled)
+// refuses the grant. If every store carrying a newer version is
+// unreachable while a stale majority responds, the probe can pass
+// spuriously; that needs store faults overlapping a view exclusion,
+// outside the fault model leases are specified for (see the package
+// doc in pkg/arjuna).
+func (m *Manager) probeLatest(ctx context.Context, id uid.UID, seq uint64, stNodes []string) bool {
+	if len(stNodes) == 0 {
+		return false
+	}
+	seqs := make([]uint64, len(stNodes))
+	oks := make([]bool, len(stNodes))
+	conc.Do(len(stNodes), func(i int) {
+		remote := store.RemoteStore{Client: m.node.Client(), Node: transport.Addr(stNodes[i])}
+		v, err := remote.Read(ctx, id)
+		if err != nil {
+			return
+		}
+		seqs[i], oks[i] = v.Seq, true
+	})
+	responded := 0
+	for i := range stNodes {
+		if !oks[i] {
+			continue
+		}
+		if seqs[i] != seq {
+			return false
+		}
+		responded++
+	}
+	return responded >= len(stNodes)/2+1
+}
+
+// leaseCommitFence runs the lease side of a version advance that
+// became durable at the stores at tc: no acknowledgement may leave
+// this server until every read lease at the old version is provably
+// dead. Known holders get an eager invalidation record on the ordered
+// multicast; if any holder cannot confirm, the commit waits out the
+// lease clock instead (tc + 2*TTL bounds every grant's expiry — see
+// maybeGrant). withGrace additionally enforces the first-commit grace:
+// until this instance has advanced the version once, leases granted by
+// a prior incarnation of the object's server may still be live, so the
+// first advance always waits out the clock. Returns an error only when
+// ctx dies mid-fence — the commit itself already stands, so the caller
+// must report ambiguity, not refusal.
+func (m *Manager) leaseCommitFence(ctx context.Context, in *instance, tc time.Time, withGrace bool) error {
+	if m.leaseTTL == 0 {
+		return nil
+	}
+	window := 2 * m.leaseTTL
+	in.mu.Lock()
+	holders := in.leaseHolders
+	seq := in.leaseSeq
+	in.leaseHolders = make(map[transport.Addr]time.Time)
+	var deadline time.Time
+	if withGrace {
+		if in.graceUntil.IsZero() {
+			in.graceUntil = tc.Add(window)
+		}
+		deadline = in.graceUntil
+	}
+	in.mu.Unlock()
+
+	now := time.Now()
+	var members []transport.Addr
+	for addr, exp := range holders {
+		if exp.After(now) {
+			members = append(members, addr)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	if len(members) > 0 && !m.invalidateHolders(ctx, in.id, seq, members) {
+		m.stats.Counter("lease.waitouts").Inc()
+		if d := tc.Add(window); d.After(deadline) {
+			deadline = d
+		}
+	}
+	return m.leaseWait(ctx, in, deadline)
+}
+
+// leasePassivateFence invalidates every outstanding lease before the
+// instance is destroyed — without this, a moved or passivated object's
+// holders would keep serving until expiry with no committer left to
+// fence them (the placement.Move stale-lease hazard). Unconfirmed
+// holders are waited out only to their recorded expiries: this
+// instance was the sole granter of the leases it knows about, and
+// foreign ones are the next activation's first-commit grace to cover.
+func (m *Manager) leasePassivateFence(ctx context.Context, in *instance) error {
+	if m.leaseTTL == 0 {
+		return nil
+	}
+	in.mu.Lock()
+	holders := in.leaseHolders
+	seq := in.leaseSeq
+	in.leaseHolders = make(map[transport.Addr]time.Time)
+	in.mu.Unlock()
+
+	now := time.Now()
+	var members []transport.Addr
+	var deadline time.Time
+	for addr, exp := range holders {
+		if !exp.After(now) {
+			continue
+		}
+		members = append(members, addr)
+		if exp.After(deadline) {
+			deadline = exp
+		}
+	}
+	if len(members) == 0 {
+		return nil
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	if m.invalidateHolders(ctx, in.id, seq, members) {
+		return nil
+	}
+	m.stats.Counter("lease.waitouts").Inc()
+	return m.leaseWait(ctx, in, deadline)
+}
+
+// leaseWait sleeps until deadline, surfacing an ambiguity error if ctx
+// dies first (the fence was not completed, so the caller must not
+// acknowledge success).
+func (m *Manager) leaseWait(ctx context.Context, in *instance, deadline time.Time) error {
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		return nil
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return rpc.Errorf(CodeCommitUncertain,
+			"object %s: outcome durable but lease fence interrupted: %v", in.id, ctx.Err())
+	}
+}
+
+// invalidateHolders multicasts one Inval record to the lease group for
+// (id, seq) and reports whether EVERY member provably discarded its
+// lease. A member that already dropped the lease answers not-found
+// (it left the group) — that is a confirmation, including when the
+// member was acting as sequencer, in which case the multicast is
+// retried through the remaining holders.
+func (m *Manager) invalidateHolders(ctx context.Context, id uid.UID, seq uint64, members []transport.Addr) bool {
+	payload, err := lease.EncodeInval(&lease.Inval{UID: id.String(), Seq: seq})
+	if err != nil {
+		return false
+	}
+	gid := lease.GroupID(id, seq)
+	for len(members) > 0 {
+		res, merr := group.Multicast(ctx, m.node.Client(), group.Group{ID: gid, Members: members},
+			lease.KindInval, payload)
+		if merr != nil {
+			if rpc.CodeOf(merr) == rpc.CodeNotFound {
+				// The sequencer (first member) no longer holds the
+				// lease: confirmed dead, retry with the rest.
+				members = members[1:]
+				continue
+			}
+			return false
+		}
+		if len(res.Failed) > 0 {
+			return false
+		}
+		for _, rep := range res.Replies {
+			if rep.Err != "" && !strings.HasPrefix(rep.Err, rpc.CodeNotFound+":") {
+				return false
+			}
+		}
+		m.stats.Counter("lease.invalidations").Inc()
+		return true
+	}
+	return true
+}

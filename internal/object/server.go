@@ -97,6 +97,22 @@ type instance struct {
 	// into its state write-back at prepare time, awaiting the outcome.
 	batches map[string][]*pendingOp
 
+	// Read-lease state (see lease.go; all guarded by mu). stNodes is
+	// the St view captured at activation, for grant-time probes.
+	// confirmedAt is the last instant this copy was confirmed latest
+	// against a store majority (zero until first confirmed — a freshly
+	// activated copy loaded from ONE store may be stale, so the first
+	// grant always probes). leaseHolders maps each holder's client node
+	// to its grant expiry by this server's clock; leaseSeq is the
+	// version those holders were granted at. graceUntil is the instant
+	// before which no version-advancing commit may be acknowledged
+	// (zero until the instance's first advance sets it).
+	stNodes      []string
+	confirmedAt  time.Time
+	leaseSeq     uint64
+	leaseHolders map[transport.Addr]time.Time
+	graceUntil   time.Time
+
 	// comb queues solo commutative ops that lost the write-lock race;
 	// it has its own mutex (see combine.go for the lock order).
 	comb combiner
@@ -123,6 +139,9 @@ type Manager struct {
 	// zero means unbounded. Set before any activation.
 	limits lockmgr.Limits
 	stats  *metrics.Registry
+	// leaseTTL enables read leases when non-zero (see lease.go). Set
+	// before any traffic.
+	leaseTTL time.Duration
 }
 
 // NewManager installs an object-server manager on node, registering its
@@ -235,6 +254,11 @@ type InvokeReq struct {
 	// queueing for the lock. Callers that cannot promise this must leave
 	// it false.
 	Solo bool
+	// LeaseHolder, when non-empty, names the client node that would
+	// like a read lease on the object: if the invocation takes the read
+	// path and the server can vouch its copy is the latest committed
+	// version, the reply carries a LeaseGrant (see lease.go).
+	LeaseHolder string
 }
 
 // InvokeResp carries the method result. Modified reports whether the
@@ -253,6 +277,9 @@ type InvokeResp struct {
 	// WaitNanos is how long the op waited for the lock or in the combiner
 	// queue before resolving, for client-side queue-wait stats.
 	WaitNanos int64
+	// Lease, when non-nil, is the read lease granted for this
+	// invocation (requested via InvokeReq.LeaseHolder).
+	Lease *LeaseGrant
 }
 
 // PrepareReq asks the server to prepare its commit-time state copy to the
@@ -408,17 +435,19 @@ func (m *Manager) handleActivate(ctx context.Context, from transport.Addr, req A
 		return ActivateResp{}, rpc.Errorf(CodeUnavailable, "object %s: no reachable store in %v has its state", req.UID, req.StNodes)
 	}
 	in := &instance{
-		class:       class,
-		id:          id,
-		locks:       m.newLocks(),
-		state:       loaded.Data,
-		seq:         loaded.Seq,
-		snaps:       make(map[string][]byte),
-		dirty:       make(map[string]bool),
-		prepared:    make(map[string][]transport.Addr),
-		preparedSeq: make(map[string]uint64),
-		users:       make(map[string]bool),
-		batches:     make(map[string][]*pendingOp),
+		class:        class,
+		id:           id,
+		locks:        m.newLocks(),
+		state:        loaded.Data,
+		seq:          loaded.Seq,
+		snaps:        make(map[string][]byte),
+		dirty:        make(map[string]bool),
+		prepared:     make(map[string][]transport.Addr),
+		preparedSeq:  make(map[string]uint64),
+		users:        make(map[string]bool),
+		batches:      make(map[string][]*pendingOp),
+		stNodes:      append([]string(nil), req.StNodes...),
+		leaseHolders: make(map[transport.Addr]time.Time),
 	}
 	t.mu.Lock()
 	if existing, ok := t.m[id]; ok {
@@ -449,7 +478,11 @@ func (m *Manager) groupApply(in *instance) group.Apply {
 		// Batching is a coordinator-path optimisation; under active
 		// replication the drain would run on one replica only and diverge
 		// the copies, so group-delivered invokes never take the solo path.
+		// Leases are likewise a single-copy-passive feature: a grant from
+		// one replica of an actively replicated object would bypass the
+		// total order, so group-delivered invokes never grant.
 		req.Solo = false
+		req.LeaseHolder = ""
 		resp, err := m.invokeOn(ctx, in, req)
 		if err != nil {
 			return nil, err
@@ -493,7 +526,11 @@ func (m *Manager) invokeOn(ctx context.Context, in *instance, req InvokeReq) (In
 		// (the action will abort or retry).
 		return InvokeResp{}, rpc.Errorf(rpc.CodeInternal, "method %s: %v", req.Method, err)
 	}
-	return InvokeResp{Result: result, Modified: mode == lockmgr.Write, WaitNanos: int64(time.Since(start))}, nil
+	resp := InvokeResp{Result: result, Modified: mode == lockmgr.Write, WaitNanos: int64(time.Since(start))}
+	if mode == lockmgr.Read && m.leaseTTL > 0 && req.LeaseHolder != "" {
+		resp.Lease = m.maybeGrant(ctx, in, transport.Addr(req.LeaseHolder))
+	}
+	return resp, nil
 }
 
 // runMethod executes method under in.mu with strict-2PL bookkeeping: the
@@ -733,6 +770,7 @@ func (m *Manager) handlePrepare(ctx context.Context, from transport.Addr, req Pr
 	resp := PrepareResp{Dirty: true, NewSeq: newSeq, BatchSize: batchSize}
 	var preparedAddrs []transport.Addr
 	staleRefusals, reachable := 0, 0
+	prepareStart := time.Now()
 	copyErrs := conc.DoErr(len(req.StNodes), func(i int) error {
 		remote := store.RemoteStore{Client: m.node.Client(), Node: transport.Addr(req.StNodes[i])}
 		writes := []store.Write{{UID: in.id, Data: state, Seq: newSeq}}
@@ -769,6 +807,12 @@ func (m *Manager) handlePrepare(ctx context.Context, from transport.Addr, req Pr
 	in.prepared[req.Action] = preparedAddrs
 	in.preparedSeq[req.Action] = newSeq
 	in.mu.Unlock()
+	if m.leaseTTL > 0 {
+		// A store accepting the prepare validated its base version, so a
+		// majority acceptance confirms this copy was latest at
+		// prepareStart — refreshing the no-probe grant window.
+		in.markConfirmed(prepareStart, len(resp.PreparedNodes), len(req.StNodes))
+	}
 	if reachable > 0 && staleRefusals == reachable {
 		// Every reachable store refused the write as stale: this activated
 		// copy has been left behind (commits went through other servers
@@ -793,7 +837,8 @@ func (m *Manager) handleCommit(ctx context.Context, from transport.Addr, req End
 	in.mu.Lock()
 	prepared := in.prepared[req.Action]
 	newSeq, hasPrepared := in.preparedSeq[req.Action]
-	if in.dirty[req.Action] && hasPrepared {
+	advanced := in.dirty[req.Action] && hasPrepared
+	if advanced {
 		in.seq = newSeq
 	}
 	ckptState := append([]byte(nil), in.state...)
@@ -816,6 +861,7 @@ func (m *Manager) handleCommit(ctx context.Context, from transport.Addr, req End
 	// order. Checkpoint failures break the cohort binding, which the
 	// caller observes via FailedNodes.
 	var resp EndResp
+	commitStart := time.Now()
 	storeErrs := make([]error, len(prepared))
 	ckptErrs := make([]error, len(req.CheckpointTo))
 	conc.Do(len(prepared)+len(req.CheckpointTo), func(i int) {
@@ -838,8 +884,25 @@ func (m *Manager) handleCommit(ctx context.Context, from transport.Addr, req End
 			resp.FailedNodes = append(resp.FailedNodes, cohort)
 		}
 	}
+	if m.leaseTTL > 0 && advanced {
+		committed := 0
+		for i := range prepared {
+			if storeErrs[i] == nil {
+				committed++
+			}
+		}
+		in.markConfirmed(commitStart, committed, len(prepared))
+	}
 	in.locks.ReleaseAll(lockmgr.Owner(req.Action))
 	m.kickCombiner(in)
+	if advanced {
+		// The new version is durable: fence every read lease at the old
+		// one before acknowledging phase two (locks are already
+		// released — new grants attach to the new version's group).
+		if err := m.leaseCommitFence(ctx, in, time.Now(), true); err != nil {
+			return resp, err
+		}
+	}
 	return resp, nil
 }
 
@@ -850,16 +913,24 @@ func (m *Manager) handleInstall(ctx context.Context, from transport.Addr, req In
 	}
 	if in, ok := m.lookup(id); ok {
 		in.mu.Lock()
-		defer in.mu.Unlock()
 		if len(in.users) > 0 {
+			in.mu.Unlock()
 			return InstallResp{}, rpc.Errorf(CodeBusy, "object %s has active users", req.UID)
 		}
 		if req.Seq <= in.seq {
 			// Stale checkpoint: keep the newer state.
+			in.mu.Unlock()
 			return InstallResp{Installed: false}, nil
 		}
 		in.state = append([]byte(nil), req.State...)
 		in.seq = req.Seq
+		in.mu.Unlock()
+		// The version advanced past any leases this server granted:
+		// fence them before acknowledging (the committer pushing this
+		// checkpoint acks its client only after this reply).
+		if err := m.leaseCommitFence(ctx, in, time.Now(), false); err != nil {
+			return InstallResp{}, err
+		}
 		return InstallResp{Installed: true}, nil
 	}
 	class, err := m.registry.Lookup(req.Class)
@@ -867,17 +938,18 @@ func (m *Manager) handleInstall(ctx context.Context, from transport.Addr, req In
 		return InstallResp{}, rpc.Errorf(rpc.CodeNotFound, "%v", err)
 	}
 	in := &instance{
-		class:       class,
-		id:          id,
-		locks:       m.newLocks(),
-		state:       append([]byte(nil), req.State...),
-		seq:         req.Seq,
-		snaps:       make(map[string][]byte),
-		dirty:       make(map[string]bool),
-		prepared:    make(map[string][]transport.Addr),
-		preparedSeq: make(map[string]uint64),
-		users:       make(map[string]bool),
-		batches:     make(map[string][]*pendingOp),
+		class:        class,
+		id:           id,
+		locks:        m.newLocks(),
+		state:        append([]byte(nil), req.State...),
+		seq:          req.Seq,
+		snaps:        make(map[string][]byte),
+		dirty:        make(map[string]bool),
+		prepared:     make(map[string][]transport.Addr),
+		preparedSeq:  make(map[string]uint64),
+		users:        make(map[string]bool),
+		batches:      make(map[string][]*pendingOp),
+		leaseHolders: make(map[transport.Addr]time.Time),
 	}
 	t := m.table()
 	t.mu.Lock()
@@ -980,6 +1052,7 @@ func (m *Manager) prepareCommitSingleStore(ctx context.Context, from transport.A
 	in.mu.Unlock()
 
 	remote := store.RemoteStore{Client: m.node.Client(), Node: transport.Addr(req.StNodes[0])}
+	onePhaseStart := time.Now()
 	if err := remote.CommitOnePhase(ctx, req.Action, []store.Write{{UID: in.id, Data: state, Seq: newSeq}}); err != nil {
 		if errors.Is(err, store.ErrStaleVersion) {
 			// This activated copy has been left behind; destroy it so the
@@ -1011,6 +1084,10 @@ func (m *Manager) prepareCommitSingleStore(ctx context.Context, from transport.A
 	delete(in.preparedSeq, req.Action)
 	delete(in.users, req.Action)
 	in.mu.Unlock()
+	if m.leaseTTL > 0 {
+		// A single-store view: the one accepting store IS the majority.
+		in.markConfirmed(onePhaseStart, 1, 1)
+	}
 	// The store's one-phase apply succeeded: the batch is durable.
 	m.resolveBatch(in, req.Action, true)
 
@@ -1028,6 +1105,10 @@ func (m *Manager) prepareCommitSingleStore(ctx context.Context, from transport.A
 	}
 	in.locks.ReleaseAll(lockmgr.Owner(req.Action))
 	m.kickCombiner(in)
+	// Commit is durable: fence old-version leases before acknowledging.
+	if err := m.leaseCommitFence(ctx, in, time.Now(), true); err != nil {
+		return resp, err
+	}
 	return resp, nil
 }
 
@@ -1038,9 +1119,9 @@ func (m *Manager) handlePassivate(ctx context.Context, from transport.Addr, req 
 	}
 	t := m.table()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	in, ok := t.m[id]
 	if !ok {
+		t.mu.Unlock()
 		return PassivateResp{Passivated: false}, nil
 	}
 	in.mu.Lock()
@@ -1050,12 +1131,20 @@ func (m *Manager) handlePassivate(ctx context.Context, from transport.Addr, req 
 		busy = true
 	}
 	if busy && !req.Force {
+		t.mu.Unlock()
 		return PassivateResp{}, rpc.Errorf(CodeBusy, "object %s has %s", req.UID, "active users")
 	}
 	delete(t.m, id)
+	t.mu.Unlock()
 	m.failPending(in, "server passivated")
 	if m.ghost != nil {
 		m.ghost.Leave(GroupPrefix + id.String())
+	}
+	// Fence outstanding read leases before confirming: once the
+	// instance is gone no commit through this server will ever
+	// invalidate them (the placement.Move stale-lease hazard).
+	if err := m.leasePassivateFence(ctx, in); err != nil {
+		return PassivateResp{}, err
 	}
 	return PassivateResp{Passivated: true}, nil
 }

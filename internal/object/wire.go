@@ -1,11 +1,16 @@
 package object
 
-import "repro/internal/rpc"
+import (
+	"time"
+
+	"repro/internal/rpc"
+)
 
 // Binary codecs (rpc.Wire) for the object-server wire records — the
 // invoke request/reply and the 2PC prepare/commit/abort messages are the
 // hottest payloads in the system. Tags live in the 0x20–0x3f block of the
-// registry in internal/rpc/doc.go. All codecs are at version 1.
+// registry in internal/rpc/doc.go. The invoke records are at version 2
+// (read-lease fields); everything else is at version 1.
 const (
 	wireTagActivateReq byte = 0x20 + iota
 	wireTagActivateResp
@@ -61,14 +66,14 @@ func (p *ActivateResp) ParseWire(_ byte, r *rpc.WireReader) error {
 	return nil
 }
 
-// InvokeReq
+// InvokeReq (version 2 appends the read-lease request field)
 
 // WireTag implements rpc.Wire.
-func (*InvokeReq) WireTag() (byte, byte) { return wireTagInvokeReq, 1 }
+func (*InvokeReq) WireTag() (byte, byte) { return wireTagInvokeReq, 2 }
 
 // WireSizeHint implements rpc.WireSizer.
 func (q *InvokeReq) WireSizeHint() int {
-	return len(q.UID) + len(q.Action) + len(q.Method) + len(q.Args) + 24
+	return len(q.UID) + len(q.Action) + len(q.Method) + len(q.Args) + len(q.LeaseHolder) + 24
 }
 
 // AppendWire implements rpc.Wire.
@@ -77,26 +82,36 @@ func (q *InvokeReq) AppendWire(dst []byte) []byte {
 	dst = rpc.AppendString(dst, q.Action)
 	dst = rpc.AppendString(dst, q.Method)
 	dst = rpc.AppendBytes(dst, q.Args)
-	return rpc.AppendBool(dst, q.Solo)
+	dst = rpc.AppendBool(dst, q.Solo)
+	return rpc.AppendString(dst, q.LeaseHolder)
 }
 
 // ParseWire implements rpc.Wire.
-func (q *InvokeReq) ParseWire(_ byte, r *rpc.WireReader) error {
+func (q *InvokeReq) ParseWire(ver byte, r *rpc.WireReader) error {
 	q.UID = r.String()
 	q.Action = r.String()
 	q.Method = r.String()
 	q.Args = r.Bytes()
 	q.Solo = r.Bool()
+	if ver >= 2 {
+		q.LeaseHolder = r.String()
+	}
 	return nil
 }
 
-// InvokeResp
+// InvokeResp (version 2 appends the optional lease grant)
 
 // WireTag implements rpc.Wire.
-func (*InvokeResp) WireTag() (byte, byte) { return wireTagInvokeResp, 1 }
+func (*InvokeResp) WireTag() (byte, byte) { return wireTagInvokeResp, 2 }
 
 // WireSizeHint implements rpc.WireSizer.
-func (p *InvokeResp) WireSizeHint() int { return len(p.Result) + 32 }
+func (p *InvokeResp) WireSizeHint() int {
+	n := len(p.Result) + 32
+	if p.Lease != nil {
+		n += len(p.Lease.Class) + len(p.Lease.State) + 24
+	}
+	return n
+}
 
 // AppendWire implements rpc.Wire.
 func (p *InvokeResp) AppendWire(dst []byte) []byte {
@@ -104,16 +119,32 @@ func (p *InvokeResp) AppendWire(dst []byte) []byte {
 	dst = rpc.AppendBool(dst, p.Modified)
 	dst = rpc.AppendBool(dst, p.Batched)
 	dst = rpc.AppendUvarint(dst, uint64(p.BatchSize))
-	return rpc.AppendVarint(dst, p.WaitNanos)
+	dst = rpc.AppendVarint(dst, p.WaitNanos)
+	dst = rpc.AppendBool(dst, p.Lease != nil)
+	if p.Lease != nil {
+		dst = rpc.AppendString(dst, p.Lease.Class)
+		dst = rpc.AppendBytes(dst, p.Lease.State)
+		dst = rpc.AppendUvarint(dst, p.Lease.Seq)
+		dst = rpc.AppendVarint(dst, int64(p.Lease.TTL))
+	}
+	return dst
 }
 
 // ParseWire implements rpc.Wire.
-func (p *InvokeResp) ParseWire(_ byte, r *rpc.WireReader) error {
+func (p *InvokeResp) ParseWire(ver byte, r *rpc.WireReader) error {
 	p.Result = r.Bytes()
 	p.Modified = r.Bool()
 	p.Batched = r.Bool()
 	p.BatchSize = int(r.Uvarint())
 	p.WaitNanos = r.Varint()
+	if ver >= 2 && r.Bool() {
+		p.Lease = &LeaseGrant{
+			Class: r.String(),
+			State: r.Bytes(),
+			Seq:   r.Uvarint(),
+			TTL:   time.Duration(r.Varint()),
+		}
+	}
 	return nil
 }
 

@@ -3,6 +3,7 @@ package placement
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/internal/action"
 	"repro/internal/core"
@@ -44,6 +45,13 @@ type Binder struct {
 	Degree   int
 	ReadOnly bool
 	FastBind bool
+	// LeaseHolder mirrors core.Binder.LeaseHolder into every per-shard
+	// binder: when non-empty, read-path invocations request read leases
+	// delivered to this client node.
+	LeaseHolder transport.Addr
+	// LeaseTTL mirrors core.Binder.LeaseTTL (the deployment's read-lease
+	// duration; zero disables the phase-two lease-clock waitout).
+	LeaseTTL time.Duration
 
 	mu  sync.Mutex
 	sub map[int]*core.Binder
@@ -86,14 +94,16 @@ func (b *Binder) shardBinder(info ShardInfo) *core.Binder {
 		return sb
 	}
 	sb := &core.Binder{
-		DB:         core.Client{RPC: b.RPC, DB: info.DB},
-		Actions:    b.Actions,
-		ClientNode: b.ClientNode,
-		Scheme:     b.Scheme,
-		Policy:     b.Policy,
-		Degree:     b.Degree,
-		ReadOnly:   b.ReadOnly,
-		FastBind:   b.FastBind,
+		DB:          core.Client{RPC: b.RPC, DB: info.DB},
+		Actions:     b.Actions,
+		ClientNode:  b.ClientNode,
+		Scheme:      b.Scheme,
+		Policy:      b.Policy,
+		Degree:      b.Degree,
+		ReadOnly:    b.ReadOnly,
+		FastBind:    b.FastBind,
+		LeaseHolder: b.LeaseHolder,
+		LeaseTTL:    b.LeaseTTL,
 	}
 	if b.sub == nil {
 		b.sub = make(map[int]*core.Binder)

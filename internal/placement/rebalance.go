@@ -2,11 +2,13 @@ package placement
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/action"
 	"repro/internal/core"
+	"repro/internal/object"
 	"repro/internal/rpc"
 	"repro/internal/store"
 	"repro/internal/transport"
@@ -143,6 +145,26 @@ func moveOnce(ctx context.Context, place *Client, actions *action.Manager, rpcc 
 		if err := tgtDB.Register(ctx, owner, id, class, tgt.Svs, tgt.Sts); err != nil {
 			abort()
 			return err
+		}
+
+		// Fence stale read leases BEFORE placement flips: a lease granted
+		// by a source server enrols only holders that server knows, so a
+		// commit on the target shard could never invalidate it — it would
+		// keep serving the pre-move state for its full TTL after writes
+		// land on the new shard. Force-passivating the source instances
+		// runs the server-side passivation fence (every holder is
+		// invalidated over the multicast, or waited out) while the
+		// write-locked database entries still block new binds and hence
+		// new grants. Unreachable servers are skipped: a crashed server
+		// lost its volatile instance with its process; a partitioned one
+		// is the lease fault model's documented residual.
+		for _, sv := range src.Svs {
+			ref := object.ServerRef{Client: rpcc, Node: sv, UID: id}
+			if _, perr := ref.Passivate(ctx, true); perr != nil &&
+				!errors.Is(perr, transport.ErrUnreachable) && !errors.Is(perr, transport.ErrRequestLost) {
+				abort()
+				return fmt.Errorf("placement: move %v: lease fence at %s: %w", id, sv, perr)
+			}
 		}
 	}
 

@@ -105,6 +105,19 @@ type Config struct {
 	StNodes []transport.Addr
 	// Client is the invoking node's RPC client.
 	Client rpc.Client
+	// LeaseHolder, when non-empty, names the client node to request read
+	// leases for. Leases are only requested from the view-primary
+	// coordinator (Servers[0]) under single-copy passive replication: a
+	// fallback coordinator is already a degraded path, and keeping the
+	// primary the sole granter is what lets its commits invalidate every
+	// known lease without a granter handshake.
+	LeaseHolder transport.Addr
+	// LeaseTTL is the deployment's read-lease duration; zero when leases
+	// are disabled. It is set whether or not THIS client holds leases:
+	// phase two needs it to wait out the lease clock before acknowledging
+	// a commit whose fence at the granting primary could not be confirmed
+	// (see Commit).
+	LeaseTTL time.Duration
 }
 
 // Handle is the client-side representation of a bound, activated,
@@ -155,6 +168,9 @@ type Handle struct {
 	// that compose the handle into a larger participant (the naming and
 	// binding layer wraps it to add Exclude/Remove processing).
 	noAutoEnlist bool
+	// lastGrant holds the most recent read lease granted across this
+	// handle's invocations (nil when none).
+	lastGrant *object.LeaseGrant
 }
 
 // New creates a handle. Call Activate before Invoke.
@@ -377,6 +393,28 @@ func (h *Handle) QueueWait() time.Duration {
 	return time.Duration(h.queueWaitNanos)
 }
 
+func (h *Handle) noteQueueWait(nanos int64) {
+	h.mu.Lock()
+	if nanos > h.queueWaitNanos {
+		h.queueWaitNanos = nanos
+	}
+	h.mu.Unlock()
+}
+
+// LeaseGrant returns the most recent read lease granted across this
+// handle's invocations, if any, and clears it — each grant is harvested
+// into the caller's cache exactly once.
+func (h *Handle) LeaseGrant() (object.LeaseGrant, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.lastGrant == nil {
+		return object.LeaseGrant{}, false
+	}
+	g := *h.lastGrant
+	h.lastGrant = nil
+	return g, true
+}
+
 // DisableAutoEnlist stops Invoke from enlisting the handle into the
 // action; the caller then drives Prepare/Commit/Abort itself (directly or
 // via a composing participant).
@@ -407,9 +445,24 @@ func (h *Handle) invokeCoordinator(ctx context.Context, owner, method string, ar
 	if err != nil {
 		return nil, err
 	}
-	res, err := h.ref(coord).Invoke(ctx, owner, method, args)
+	// Request a read lease only from the view-primary coordinator under
+	// single-copy passive replication (see Config.LeaseHolder).
+	leaseHolder := ""
+	if h.cfg.LeaseHolder != "" && h.cfg.Policy == SingleCopyPassive &&
+		len(h.cfg.Servers) > 0 && coord == h.cfg.Servers[0] {
+		leaseHolder = string(h.cfg.LeaseHolder)
+	}
+	resp, err := h.ref(coord).InvokeFull(ctx, owner, method, args, leaseHolder)
 	if err == nil {
-		return res, nil
+		if resp.Lease != nil {
+			h.mu.Lock()
+			h.lastGrant = resp.Lease
+			h.mu.Unlock()
+		}
+		if resp.WaitNanos > 0 {
+			h.noteQueueWait(resp.WaitNanos)
+		}
+		return resp.Result, nil
 	}
 	if isCrashError(err) || object.IsNotActive(err) {
 		// The binding broke (§3.1) — it stays broken for this action.
@@ -746,8 +799,16 @@ func (h *Handle) Commit(ctx context.Context, tx string) error {
 		results[i].resp, results[i].err = h.ref(prepared[i]).Commit(ctx, tx, checkpointTo...)
 	})
 	var firstErr error
+	fenceDoubt := false
 	for i := range prepared {
 		if err := results[i].err; err != nil {
+			// A successful server Commit implies its lease fence ran
+			// before the reply; a failed one at the view primary — the
+			// sole lease granter — leaves the fence unconfirmed.
+			if h.cfg.LeaseTTL > 0 && h.cfg.Policy == SingleCopyPassive &&
+				len(h.cfg.Servers) > 0 && prepared[i] == h.cfg.Servers[0] {
+				fenceDoubt = true
+			}
 			if isCrashError(err) || object.IsNotActive(err) {
 				h.markBroken(prepared[i])
 				if h.commitStoresDirect(ctx, tx) {
@@ -780,6 +841,18 @@ func (h *Handle) Commit(ctx context.Context, tx string) error {
 			}
 			h.recordFailure(addr)
 		}
+	}
+	if fenceDoubt {
+		// The commit is durable, but the primary never confirmed its lease
+		// fence — it may have crashed with granted read leases outstanding,
+		// and nobody is left to invalidate them. Wait the lease clock out
+		// before acknowledging: every grant the primary could have issued
+		// expires by confirmedAt + 2·TTL, and confirmedAt predates this
+		// commit's store durability, so sleeping 2·TTL from here outlives
+		// them all. Deliberately not ctx-interruptible — cutting the wait
+		// short would let a caller observe a definite commit while a stale
+		// lease still serves the old state.
+		time.Sleep(2 * h.cfg.LeaseTTL)
 	}
 	return firstErr
 }

@@ -27,10 +27,10 @@
 //     encoded via pooled scratch buffers; the returned slice is always
 //     copied out of the pool (see TestEncodePooledScratchAliasing).
 //
-// Version rules: every codec currently encodes version 1; Decode rejects
-// version 0 and versions above the type's current one, and ParseWire
-// receives the decoded version so a future codec revision can branch on
-// it. Decoding is strict — tag mismatches, truncated fields and trailing
+// Version rules: Decode rejects version 0 and versions above the
+// type's current one, and ParseWire receives the decoded version so a
+// codec revision can branch on it (the invoke records are at version 2
+// since read leases were added; everything else is at version 1). Decoding is strict — tag mismatches, truncated fields and trailing
 // bytes are all errors, never half-filled structs. Decoded messages never
 // alias transport-owned buffers (WireReader.Bytes and String copy out).
 //
@@ -40,6 +40,7 @@
 //	0x20–0x3f  internal/object  (invoke + 2PC prepare/commit/abort)
 //	0x40–0x4f  internal/store   (object store reads, writes, 2PC legs)
 //	0x50–0x5f  internal/group   (multicast sequence/deliver frames)
+//	0x60–0x6f  internal/lease   (read-lease invalidation records)
 //
 // # Response framing
 //

@@ -39,6 +39,11 @@ type TCPMux struct {
 	// CallTimeout bounds each call when the caller's context carries no (or
 	// a later) deadline. Zero selects DefaultCallTimeout.
 	CallTimeout time.Duration
+	// MaxPending caps the in-flight calls per connection: a call that
+	// would exceed it fast-fails with ErrOverloaded instead of growing the
+	// pending-reply map without bound. Zero selects DefaultMaxPending; the
+	// field must be set before the first call.
+	MaxPending int
 
 	mu        sync.RWMutex
 	listeners map[Addr]*muxEndpoint
@@ -67,6 +72,12 @@ const maxMuxFrame = 1 << 26
 // side, guaranteeing the caller always times out strictly before the
 // handler's context expires. See the frame-format comment above.
 const muxHandlerGrace = 500 * time.Millisecond
+
+// DefaultMaxPending is the per-connection in-flight call cap when
+// TCPMux.MaxPending is zero. Far above any healthy working set — the cap
+// is a backstop against unbounded pending-map growth when a server stops
+// draining, not a tuning knob.
+const DefaultMaxPending = 1024
 
 // NewTCPMux returns an empty multiplexed TCP network.
 func NewTCPMux() *TCPMux {
@@ -254,8 +265,9 @@ type muxResult struct {
 // guarded by mu. Every pending channel has capacity 1 and is touched
 // exactly once under mu — delivered to or closed (poison), never both.
 type muxConn struct {
-	conn    net.Conn
-	writeMu sync.Mutex
+	conn       net.Conn
+	maxPending int
+	writeMu    sync.Mutex
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -263,8 +275,11 @@ type muxConn struct {
 	err     error // non-nil once poisoned
 }
 
-func newMuxConn(conn net.Conn) *muxConn {
-	mc := &muxConn{conn: conn, pending: make(map[uint64]chan muxResult)}
+func newMuxConn(conn net.Conn, maxPending int) *muxConn {
+	if maxPending <= 0 {
+		maxPending = DefaultMaxPending
+	}
+	mc := &muxConn{conn: conn, maxPending: maxPending, pending: make(map[uint64]chan muxResult)}
 	go mc.readLoop()
 	return mc
 }
@@ -276,12 +291,16 @@ func (mc *muxConn) broken() bool {
 }
 
 // register allocates a request ID and its reply channel. It fails if the
-// connection is already poisoned.
+// connection is already poisoned, or with ErrOverloaded when the
+// connection already carries maxPending in-flight calls.
 func (mc *muxConn) register() (uint64, chan muxResult, error) {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
 	if mc.err != nil {
 		return 0, nil, mc.err
+	}
+	if len(mc.pending) >= mc.maxPending {
+		return 0, nil, ErrOverloaded
 	}
 	mc.nextID++
 	id := mc.nextID
@@ -356,7 +375,7 @@ func (t *TCPMux) getMuxConn(ctx context.Context, from, to Addr, ep *muxEndpoint)
 		return nil, false, err
 	}
 	t.dials.Add(1)
-	mc = newMuxConn(conn)
+	mc = newMuxConn(conn, t.MaxPending)
 	t.conns[key] = mc
 	return mc, false, nil
 }
@@ -418,6 +437,13 @@ func (t *TCPMux) Call(ctx context.Context, req Request) ([]byte, error) {
 		}
 		id, ch, err := mc.register()
 		if err != nil {
+			if errors.Is(err, ErrOverloaded) {
+				// Backpressure, not sickness: the connection is healthy but
+				// saturated. Fast-fail WITHOUT discarding it — poisoning
+				// would fail the very calls creating the load, and a redial
+				// would resell the capacity the cap just refused.
+				return nil, fmt.Errorf("%s -> %s: %w", req.From, req.To, ErrOverloaded)
+			}
 			// Poisoned between lookup and register; a fresh dial will work.
 			t.discardConn(req.From, req.To, mc, err)
 			if attempt == 0 {

@@ -69,6 +69,12 @@ var (
 	// ErrReplyLost reports that the remote operation executed but its reply
 	// was dropped — the caller cannot observe the outcome.
 	ErrReplyLost = errors.New("transport: reply lost")
+	// ErrOverloaded reports client-side backpressure: the connection to
+	// the destination already carries its maximum number of in-flight
+	// calls. The request was never sent — the operation certainly did not
+	// happen — and the caller should back off and retry rather than pile
+	// more load onto the saturated link.
+	ErrOverloaded = errors.New("transport: connection overloaded")
 )
 
 // FaultRule inspects a request and decides whether a fault fires for it.

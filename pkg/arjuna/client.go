@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/action"
 	"repro/internal/core"
+	"repro/internal/lease"
 	"repro/internal/rpc"
 	"repro/internal/transport"
 	"repro/internal/uid"
@@ -53,6 +54,10 @@ type Client struct {
 	// one when the deployment is sharded.
 	binder core.ActionBinder
 	cfg    clientConfig
+	// leases is the client's L1 view over its node's shared lease cache;
+	// nil unless the deployment was opened WithReadLeases (and the
+	// client replicates single-copy passive).
+	leases *lease.Local
 }
 
 // Name returns the client's node address.
@@ -108,6 +113,10 @@ type CommitReport struct {
 	// their circuit breakers were open — the action ran in degraded mode,
 	// routing around nodes already known sick.
 	BreakerSkipped []transport.Addr
+	// LeaseReads counts the final attempt's invocations served entirely
+	// from the client's lease cache — zero RPCs and zero lock-manager
+	// traffic each (WithReadLeases).
+	LeaseReads int
 }
 
 // Txn is one running atomic action. It is handed to the closure passed to
@@ -122,6 +131,9 @@ type Txn struct {
 	// by wrapping runOnce's context, because the closure invokes objects
 	// under the CALLER's context, not a derived one.
 	notes *rpc.BreakerNotes
+	// leased records the lease entries whose snapshots served this
+	// action's cache-hit reads, for commit-time revalidation.
+	leased []*lease.Entry
 }
 
 // noted attaches the transaction's breaker-note recorder to ctx.
@@ -178,15 +190,70 @@ func (o *Object) bind(ctx context.Context) error {
 // Invoke calls a method on the object under the transaction's action,
 // binding first if necessary. Errors are classified against the package's
 // sentinels; returning one from the Atomic closure aborts the action.
+//
+// With WithReadLeases, a read-only method on an object the client holds
+// a valid lease for — and has not yet bound in this action — runs
+// locally on the leased snapshot instead: zero RPCs, zero lock-manager
+// traffic.
 func (o *Object) Invoke(ctx context.Context, method string, args []byte) ([]byte, error) {
+	if out, ok := o.leasedRead(method, args); ok {
+		return out, nil
+	}
 	if err := o.bind(ctx); err != nil {
 		return nil, err
 	}
+	t0 := time.Now()
 	out, err := o.bd.Invoke(o.t.noted(ctx), method, args)
 	if err != nil {
 		return nil, MapError(err)
 	}
+	o.harvestLease(t0)
 	return out, nil
+}
+
+// leasedRead serves a read-only method from the client's lease cache
+// when the object is still unbound and a valid lease is held. Once the
+// object is bound, the action may already have written it, so reads
+// must go to the server, whose locks give read-your-writes. Any
+// anomaly (unknown class, non-read-only method, method error) falls
+// back to the server path so semantics match the leaseless client.
+func (o *Object) leasedRead(method string, args []byte) ([]byte, bool) {
+	lc := o.t.c.leases
+	if lc == nil || o.bd != nil || o.bindErr != nil {
+		return nil, false
+	}
+	e, ok := lc.Get(o.id, time.Now())
+	if !ok {
+		return nil, false
+	}
+	cls, err := o.t.c.sys.w.Registry.Lookup(e.Snap.Class)
+	if err != nil || !cls.IsReadOnly(method) {
+		return nil, false
+	}
+	fn, err := cls.Method(method)
+	if err != nil {
+		return nil, false
+	}
+	_, out, err := fn(e.Snap.State, args)
+	if err != nil {
+		return nil, false
+	}
+	o.t.leased = append(o.t.leased, e)
+	return out, true
+}
+
+// harvestLease caches a lease the server attached to an invocation.
+// The snapshot's expiry is computed from t0 — an instant BEFORE the
+// request was sent — so whatever the clocks did, the cached lease dies
+// no later than the granting server believes it does.
+func (o *Object) harvestLease(t0 time.Time) {
+	lc := o.t.c.leases
+	if lc == nil {
+		return
+	}
+	if g, ok := o.bd.LeaseGrant(); ok {
+		lc.Put(lease.Snapshot{UID: o.id, Class: g.Class, State: g.State, Seq: g.Seq, Expiry: t0.Add(g.TTL)})
+	}
 }
 
 // Read invokes a read-only method. It is Invoke under a name that states
@@ -248,7 +315,8 @@ func (c *Client) Atomic(ctx context.Context, fn func(tx *Txn) error) (*CommitRep
 		// class: conflicts clear in milliseconds, sick nodes in cooldowns,
 		// so the breaker class backs off from a 4× higher base.
 		breakerFail := errors.Is(err, ErrPeerUnavailable)
-		retryable := errors.Is(err, ErrLockRefused) || errors.Is(err, ErrOverloaded) || breakerFail
+		retryable := errors.Is(err, ErrLockRefused) || errors.Is(err, ErrOverloaded) ||
+			errors.Is(err, ErrLeaseStale) || breakerFail
 		if err == nil || attempt >= c.cfg.retries || !retryable {
 			return rep, err
 		}
@@ -308,6 +376,10 @@ func (c *Client) runOnce(ctx context.Context, fn func(tx *Txn) error) (*CommitRe
 		_ = act.Abort(context.WithoutCancel(ctx))
 		return tx.report(false), tag(ErrAborted, MapError(err))
 	}
+	if err := tx.revalidateLeases(); err != nil {
+		_ = act.Abort(context.WithoutCancel(ctx))
+		return tx.report(false), tag(ErrAborted, err)
+	}
 	acrep, err := act.Commit(tx.noted(ctx))
 	if err != nil {
 		// A failed prepare has already rolled the participants back.
@@ -323,9 +395,41 @@ func (c *Client) runOnce(ctx context.Context, fn func(tx *Txn) error) (*CommitRe
 	return rep, nil
 }
 
+// revalidateLeases rechecks, just before commit, every lease this
+// transaction read from. A transaction that mixed lease-served reads
+// with server-side work commits only if each leased snapshot is STILL
+// valid — an invalidation or expiry since the read means a concurrent
+// commit may have ordered itself between the cached read and this
+// commit, so the action retries (the retry misses the dead entry and
+// re-reads through the servers). A pure lease-read transaction skips
+// the check: each read was individually valid when served, which is
+// exactly the lease guarantee.
+func (t *Txn) revalidateLeases() error {
+	if len(t.leased) == 0 {
+		return nil
+	}
+	bound := false
+	for _, o := range t.objects {
+		if o.bd != nil {
+			bound = true
+			break
+		}
+	}
+	if !bound {
+		return nil
+	}
+	now := time.Now()
+	for _, e := range t.leased {
+		if !e.Valid(now) {
+			return ErrLeaseStale
+		}
+	}
+	return nil
+}
+
 // report collects the failure anatomy from every bound object.
 func (t *Txn) report(committed bool) *CommitReport {
-	rep := &CommitReport{Committed: committed}
+	rep := &CommitReport{Committed: committed, LeaseReads: len(t.leased)}
 	broken := map[transport.Addr]bool{}
 	excluded := map[transport.Addr]bool{}
 	for _, o := range t.objects {

@@ -50,6 +50,66 @@
 // updates) with read-only methods to keep the entire action — binding,
 // invocation and commitment — on shared read locks and single rounds.
 //
+// # Cached read leases
+//
+// WithReadLeases(ttl) takes the read-only fast path one step further:
+// it removes the round trips entirely. Object servers attach a leased
+// snapshot of the object — state, version, TTL — to read-path
+// invocations; every client node keeps the snapshots in a shared lease
+// cache (with a small per-client L1 on top); and an Atomic whose body
+// performs only read-only methods on lease-valid objects completes with
+// ZERO RPCs and zero lock-manager traffic. The guarantee is the usual
+// lease one: a snapshot is served only while its lease is valid, and no
+// commit that supersedes a leased version is acknowledged to its writer
+// until every lease on the old version is invalidated — delivered over
+// the same ordered multicast that carries group state — or has provably
+// expired. A read served from the cache is therefore never staler than
+// the last acknowledged commit; what is given up is only the exclusion
+// a server-side read lock would add, which a read-only action does not
+// need. CommitReport.LeaseReads counts the invocations an action served
+// from cache, and System.LeaseStats exposes the deployment-wide per-tier
+// hit rates and grant/invalidation/waitout counters.
+//
+// Expiry and invalidation are the two ways a cached lease dies, and
+// they are deliberately asymmetric. Invalidation is the fast, common
+// path: a commit that advances a leased object's version multicasts an
+// invalidation to the holders it knows and proceeds as soon as delivery
+// is confirmed. Expiry is the backstop: when a holder cannot be reached
+// (crashed, partitioned), the committing server waits out the lease
+// clock — bounded by the grants it actually issued, at worst 2×TTL —
+// before the commit is acknowledged, so an unreachable holder delays
+// that one writer but never breaks the guarantee. Client clocks are
+// never trusted: a client computes its cached expiry from an instant
+// taken BEFORE its request was sent, so the cache's view of a lease is
+// always at least as conservative as the granting server's.
+//
+// The costs, so they are not discovered in production: (1) the first
+// version-advancing commit after an object-server instance activates
+// pays a one-time 2×TTL wait — a freshly activated server cannot yet
+// know which leases a predecessor granted, so it assumes the worst;
+// later commits invalidate eagerly and pay nothing unless a holder is
+// unreachable. (2) A grant against a long-idle instance triggers a
+// store probe (a majority of stores must confirm the server still holds
+// the latest committed version) before the server will vouch for its
+// snapshot; the probe costs one store round trip on that read and
+// refuses the grant — falling back to plain server reads — if the
+// stores have moved on. (3) When a granting view-primary fails during
+// phase two of a commit, the committing CLIENT waits out 2×TTL before
+// Atomic returns: the commit is durable, but nobody is left to confirm
+// the fence, so the acknowledgement is delayed until every lease the
+// primary could have granted has expired. (4) Rebalance fences the
+// source shard's leases before the move commits; the one residual race
+// is a source server that is partitioned away at move time — its
+// grants cannot be fenced or waited out by the target, so a holder may
+// serve the pre-move state for up to its remaining TTL. Choose the TTL
+// accordingly: long enough to amortise a read-heavy working set,
+// short enough that a 2×TTL waitout is an acceptable worst-case commit
+// delay.
+//
+// Leases apply under single-copy passive replication (the policy where
+// a single view-primary serves reads and can therefore vouch for, and
+// later invalidate, every grant); other policies ignore the option.
+//
 // # Commutative operations and hot-key batching
 //
 // A class may declare methods Commutative: applying any set of them in

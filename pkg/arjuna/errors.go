@@ -67,6 +67,12 @@ var (
 	// ErrNotSharded reports a sharding-only operation (e.g. Rebalance) on
 	// a deployment opened without WithShards.
 	ErrNotSharded = errors.New("arjuna: deployment is not sharded")
+	// ErrLeaseStale reports that a transaction mixing lease-served reads
+	// with server-side work found, at commit time, that a leased snapshot
+	// it read had been invalidated or had expired. The action aborted;
+	// Atomic retries it, and the retry re-reads through the servers (the
+	// stale cache entry is gone by construction).
+	ErrLeaseStale = errors.New("arjuna: leased read went stale before commit")
 )
 
 // taggedError glues a sentinel onto an underlying cause so that both
@@ -107,6 +113,10 @@ func MapError(err error) error {
 	switch {
 	case errors.Is(err, replica.ErrNoServers):
 		return tag(ErrNoServers, err)
+	case errors.Is(err, transport.ErrOverloaded):
+		// Mux per-connection backpressure joins the lock-queue overloads
+		// in the retry-with-backoff class.
+		return tag(ErrOverloaded, err)
 	case errors.Is(err, transport.ErrUnreachable):
 		// Breaker fast-fails land here too (a peerDownError unwraps to
 		// transport.ErrUnreachable, so the exclusion paths below the

@@ -74,6 +74,8 @@ type config struct {
 	healthInterval    time.Duration
 	placementReplicas int
 
+	leaseTTL time.Duration
+
 	classes []*Class
 }
 
@@ -192,6 +194,34 @@ func WithHealthDetector(interval time.Duration) Option {
 // re-bind live. Ignored without WithShards.
 func WithPlacementReplicas(n int) Option {
 	return func(c *config) { c.placementReplicas = n }
+}
+
+// DefaultLeaseTTL is the read-lease lifetime WithReadLeases selects when
+// given a non-positive TTL.
+const DefaultLeaseTTL = 250 * time.Millisecond
+
+// WithReadLeases enables cached read leases with the given TTL
+// (DefaultLeaseTTL when ttl <= 0). Object servers then attach a leased
+// snapshot — state, version, ttl — to read-path invocations, every
+// client node runs a shared lease cache (with a small per-client L1 on
+// top), and a Client whose Atomic body only performs read-only methods
+// on lease-valid objects completes with zero RPCs and zero lock-manager
+// traffic. Commits stay safe: a commit that advances a leased object's
+// version invalidates the holders over the ordered multicast — or, when
+// a holder cannot be reached, waits out the lease clock — before it is
+// acknowledged. See the package documentation for the exact guarantee
+// and the costs (a 2×TTL grace on the first commit after an instance
+// activates, and a store probe on grants to long-idle objects).
+//
+// Leases apply to single-copy passive replication; other policies
+// ignore them.
+func WithReadLeases(ttl time.Duration) Option {
+	return func(c *config) {
+		if ttl <= 0 {
+			ttl = DefaultLeaseTTL
+		}
+		c.leaseTTL = ttl
+	}
 }
 
 // WithClass registers an application object class in addition to the

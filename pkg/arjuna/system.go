@@ -74,6 +74,7 @@ func Open(opts ...Option) (*System, error) {
 		NoBreakers:        cfg.noBreakers,
 		Breakers:          cfg.breakers,
 		PlacementReplicas: cfg.placementReplicas,
+		LeaseTTL:          cfg.leaseTTL,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("arjuna: open: %w", err)
@@ -172,7 +173,54 @@ func (s *System) Client(name string, opts ...ClientOption) (*Client, error) {
 		b.FastBind = cc.fastBind
 		binder = b
 	}
-	return &Client{sys: s, name: addr, binder: binder, cfg: cc}, nil
+	cl := &Client{sys: s, name: addr, binder: binder, cfg: cc}
+	if _, ok := s.w.LeaseCaches[addr]; ok && cc.policy == SingleCopyPassive {
+		// The client's L1 over its node's shared L2 lease cache. Leases
+		// are granted by the view-primary under single-copy passive
+		// replication only; other policies read through the replicas.
+		cl.leases = s.w.LeaseLocal(addr, 0)
+	}
+	return cl, nil
+}
+
+// LeaseStats aggregates the read-lease machinery's counters since Open.
+// All fields are zero unless the deployment was opened WithReadLeases.
+type LeaseStats struct {
+	// L1Hits/L1Misses and L2Hits/L2Misses are the tiered lease cache's
+	// per-tier lookup outcomes, summed across all client nodes.
+	L1Hits, L1Misses int64
+	L2Hits, L2Misses int64
+	// Grants counts leases granted by object servers; GrantsRefused
+	// counts grant attempts refused because the server could not confirm
+	// it holds the object's latest committed version.
+	Grants, GrantsRefused int64
+	// Invalidations counts invalidation multicasts delivered to holders
+	// by committing servers; Invalidated counts cache entries they
+	// killed. Waitouts counts commits that could not confirm delivery
+	// and waited out the lease clock instead.
+	Invalidations, Invalidated, Waitouts int64
+}
+
+// LeaseStats reports the read-lease counters (cache hit rates, grants,
+// invalidations, waitouts) accumulated by the whole deployment.
+func (s *System) LeaseStats() LeaseStats {
+	get := func(name string) int64 {
+		if c, ok := s.w.Metrics.LookupCounter(name); ok {
+			return c.Value()
+		}
+		return 0
+	}
+	return LeaseStats{
+		L1Hits:        get("lease.l1.hits"),
+		L1Misses:      get("lease.l1.misses"),
+		L2Hits:        get("lease.l2.hits"),
+		L2Misses:      get("lease.l2.misses"),
+		Grants:        get("lease.grants"),
+		GrantsRefused: get("lease.fence"),
+		Invalidations: get("lease.invalidations"),
+		Invalidated:   get("lease.invalidated"),
+		Waitouts:      get("lease.waitouts"),
+	}
 }
 
 // Objects returns the UIDs of the counter objects created at Open time.
