@@ -521,6 +521,13 @@ func (bd *Binding) InvokeSolo(ctx context.Context, method string, args []byte) (
 	return bd.handle.InvokeSolo(ctx, bd.act, method, args)
 }
 
+// LeaseCheck acquires the object's read lock under the binding's action
+// and returns the committed version the coordinator server holds — the
+// commit-time revalidation of a leased read in a mixed transaction.
+func (bd *Binding) LeaseCheck(ctx context.Context) (uint64, error) {
+	return bd.handle.CheckSeq(ctx, bd.act)
+}
+
 // BatchSize returns the number of operations folded into the commit round
 // that carried this binding's write (0 when unobserved).
 func (bd *Binding) BatchSize() int { return bd.handle.BatchSize() }

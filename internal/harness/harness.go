@@ -345,7 +345,7 @@ func (w *World) RebalanceBatch(ctx context.Context, ids []uid.UID, target int) e
 	}
 	client := w.Clients[0]
 	pc := placement.NewClient(w.Cluster.Node(client).Client(), w.PlaceAddrs...)
-	return placement.Move(ctx, pc, w.Mgrs[client], w.Cluster.Node(client).Client(), ids, target)
+	return placement.Move(ctx, pc, w.Mgrs[client], w.Cluster.Node(client).Client(), ids, target, w.leaseTTL > 0)
 }
 
 // ShardBinder builds a shard-aware binder for the named client. Requires

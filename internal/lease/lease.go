@@ -105,11 +105,54 @@ func (c *Cache) Put(snap Snapshot) *Entry {
 	e := &Entry{Snap: snap}
 	c.mu.Lock()
 	old := c.entries[snap.UID]
+	delete(c.entries, snap.UID)
+	c.mu.Unlock()
+	// Retire the superseded lease before joining: a re-grant at the SAME
+	// version reuses the same group ID, and Leave-after-Join would strand
+	// the new entry with no invalidation channel.
+	c.retire(old)
+	// Join BEFORE the entry becomes servable. Committing servers treat a
+	// not-found reply to the invalidation multicast as proof the holder
+	// discarded its lease (see invalidateHolders in internal/object);
+	// joining first means a holder absent from the group can never be
+	// about to serve from the entry being granted.
+	c.host.Join(GroupID(snap.UID, snap.Seq), c.invalApply(e))
+	c.mu.Lock()
 	c.entries[snap.UID] = e
 	c.mu.Unlock()
-	c.retire(old)
-	c.host.Join(GroupID(snap.UID, snap.Seq), c.invalApply(e))
+	c.pruneSome(time.Now())
 	return e
+}
+
+// pruneSample bounds how many entries one Put inspects for expiry — a
+// constant amortized sweep instead of a background goroutine.
+const pruneSample = 8
+
+// pruneSome retires up to pruneSample dead or expired entries. Without
+// it, an entry whose object is never read again would be retained
+// forever — snapshot bytes plus the invalidation-group membership from
+// host.Join — so a long-lived node with object churn would grow without
+// bound; Get only prunes the entry it was asked for. Map iteration
+// starts at a different point each time, so repeated Puts eventually
+// visit everything.
+func (c *Cache) pruneSome(now time.Time) {
+	c.mu.Lock()
+	var victims []*Entry
+	seen := 0
+	for id, e := range c.entries {
+		if seen >= pruneSample {
+			break
+		}
+		seen++
+		if !e.Valid(now) {
+			delete(c.entries, id)
+			victims = append(victims, e)
+		}
+	}
+	c.mu.Unlock()
+	for _, e := range victims {
+		c.retire(e)
+	}
 }
 
 // invalApply is the group delivery callback for one entry: an Inval

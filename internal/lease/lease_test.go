@@ -1,0 +1,86 @@
+package lease
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/group"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/uid"
+)
+
+// TestPutPrunesExpiredEntries pins the amortized sweep: an expired lease
+// for an object that is never read again must still be evicted by a Put
+// for a DIFFERENT object — Get only prunes the entry it was asked for,
+// so without the sweep the shared L2 would retain such entries (state
+// bytes plus group membership) for the node's lifetime.
+func TestPutPrunesExpiredEntries(t *testing.T) {
+	cluster := sim.NewCluster(transport.MemOptions{})
+	n := cluster.Add("n1")
+	c := NewCache(group.NewHost(n.Server(), n.Client()), &metrics.Registry{})
+
+	gen := uid.NewGenerator("t", 1)
+	doomed := gen.New()
+	c.Put(Snapshot{UID: doomed, Seq: 1, Expiry: time.Now().Add(30 * time.Millisecond)})
+	time.Sleep(60 * time.Millisecond)
+
+	// The map is far below pruneSample entries, so this single Put's
+	// sweep inspects everything, expired entry included.
+	live := gen.New()
+	c.Put(Snapshot{UID: live, Seq: 1, Expiry: time.Now().Add(time.Minute)})
+
+	c.mu.Lock()
+	_, retained := c.entries[doomed]
+	total := len(c.entries)
+	c.mu.Unlock()
+	if retained {
+		t.Fatal("expired entry survived an unrelated Put; the L2 would grow without bound")
+	}
+	if total != 1 {
+		t.Fatalf("cache holds %d entries, want 1 (the live one)", total)
+	}
+}
+
+// TestPutJoinsInvalidationGroup pins the grant-side ordering invariant
+// the commit fence leans on (see invalidateHolders in internal/object):
+// by the time a Put-installed entry is servable, the node is a member of
+// the entry's invalidation group — so a committing server's multicast
+// reaches it, and a not-found reply really does mean "lease discarded".
+func TestPutJoinsInvalidationGroup(t *testing.T) {
+	cluster := sim.NewCluster(transport.MemOptions{})
+	holder := cluster.Add("n1")
+	committer := cluster.Add("n2")
+	c := NewCache(group.NewHost(holder.Server(), holder.Client()), &metrics.Registry{})
+
+	id := uid.NewGenerator("t2", 1).New()
+	c.Put(Snapshot{UID: id, Seq: 7, Expiry: time.Now().Add(time.Minute)})
+	if _, ok := c.Get(id, time.Now()); !ok {
+		t.Fatal("entry not servable after Put")
+	}
+
+	// A committing server's eager invalidation: delivery succeeding at
+	// all proves the Put enrolled the holder.
+	payload, err := EncodeInval(&Inval{UID: id.String(), Seq: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := group.Multicast(context.Background(), committer.Client(),
+		group.Group{ID: GroupID(id, 7), Members: []transport.Addr{"n1"}}, KindInval, payload)
+	if err != nil {
+		t.Fatalf("invalidation multicast: %v", err)
+	}
+	if len(res.Failed) > 0 {
+		t.Fatalf("multicast failed members: %v", res.Failed)
+	}
+	for _, rep := range res.Replies {
+		if rep.Err != "" {
+			t.Fatalf("member %s: %s", rep.Member, rep.Err)
+		}
+	}
+	if _, ok := c.Get(id, time.Now()); ok {
+		t.Fatal("entry still servable after its invalidation was delivered")
+	}
+}

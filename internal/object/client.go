@@ -101,6 +101,20 @@ func (r ServerRef) PrepareCommit(ctx context.Context, action string, stNodes, ch
 	})
 }
 
+// LeaseCheck acquires the object's read lock under the action and returns
+// the committed version the server holds — commit-time revalidation for a
+// transaction that mixed leased reads with writes.
+func (r ServerRef) LeaseCheck(ctx context.Context, action string) (uint64, error) {
+	resp, err := rpc.Invoke[LeaseCheckReq, LeaseCheckResp](ctx, r.Client, r.Node, ServiceName, MethodLeaseCheck, LeaseCheckReq{
+		UID:    r.UID.String(),
+		Action: action,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Seq, nil
+}
+
 // Install pushes a committed state snapshot into the server, creating the
 // instance if necessary.
 func (r ServerRef) Install(ctx context.Context, class string, state []byte, seq uint64) error {

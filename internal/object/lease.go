@@ -263,6 +263,20 @@ func (m *Manager) leaseWait(ctx context.Context, in *instance, deadline time.Tim
 // (it left the group) — that is a confirmation, including when the
 // member was acting as sequencer, in which case the multicast is
 // retried through the remaining holders.
+//
+// Treating not-found as "discarded" leans on a grant-side ordering
+// invariant: a holder joins the invalidation group BEFORE its lease
+// entry becomes servable (lease.Cache.Put joins first, then installs),
+// so a holder that answers not-found either never completed the grant —
+// its entry can never serve — or already retired it. The remaining
+// window is the grant response still in flight toward a holder that has
+// not run Put at all; that holder is unreachable by ANY group name, and
+// safety there rests on lock order: this fence runs while the committing
+// action still holds the object's write lock, strict 2PL keeps that lock
+// out of a reader's hands until the reader's action ended (its harvest,
+// and hence its Join, has run), and the force-passivate/crash paths are
+// covered by the first-commit grace window instead. A change to
+// lock-break or abort semantics must revisit this branch.
 func (m *Manager) invalidateHolders(ctx context.Context, id uid.UID, seq uint64, members []transport.Addr) bool {
 	payload, err := lease.EncodeInval(&lease.Inval{UID: id.String(), Seq: seq})
 	if err != nil {

@@ -35,6 +35,10 @@ const (
 	// MethodPrepareCommit runs prepare and commit as one combined round —
 	// the single-participant 2PC fast path.
 	MethodPrepareCommit = "PrepareCommit"
+	// MethodLeaseCheck acquires the object's read lock under an action and
+	// returns the committed version — the commit-time revalidation a
+	// transaction that mixed leased reads with writes performs.
+	MethodLeaseCheck = "LeaseCheck"
 )
 
 // Application error codes specific to object servers.
@@ -159,6 +163,7 @@ func NewManager(node *sim.Node, registry *Registry) *Manager {
 	srv.Handle(ServiceName, MethodStatus, rpc.Method(m.handleStatus))
 	srv.Handle(ServiceName, MethodInstall, rpc.Method(m.handleInstall))
 	srv.Handle(ServiceName, MethodPrepareCommit, rpc.Method(m.handlePrepareCommit))
+	srv.Handle(ServiceName, MethodLeaseCheck, rpc.Method(m.handleLeaseCheck))
 	return m
 }
 
@@ -364,6 +369,24 @@ type PrepareCommitResp struct {
 	// BatchSize counts the operations the committed state carried (see
 	// PrepareResp.BatchSize).
 	BatchSize int
+}
+
+// LeaseCheckReq asks the server for the object's committed version under
+// the action's READ LOCK — the commit-time revalidation of a leased read
+// in a transaction that also wrote. Acquiring the lock (strict 2PL: held
+// until the action ends) is the point: a writer that superseded the
+// leased version cannot release its write lock before its lease fence
+// completes, so a granted read lock plus a matching version proves the
+// leased snapshot is still the latest committed state — and keeps it so
+// through the checking action's own commit.
+type LeaseCheckReq struct {
+	UID    string
+	Action string
+}
+
+// LeaseCheckResp carries the committed version observed under the lock.
+type LeaseCheckResp struct {
+	Seq uint64
 }
 
 // PassivateReq asks the server to destroy a quiescent instance.
@@ -893,17 +916,21 @@ func (m *Manager) handleCommit(ctx context.Context, from transport.Addr, req End
 		}
 		in.markConfirmed(commitStart, committed, len(prepared))
 	}
+	// The new version is durable: fence every read lease at the old one
+	// BEFORE releasing the action's locks. The order matters — a lock
+	// released first could admit a conflicting action that commits
+	// against this object while the invalidation multicast is still in
+	// flight, so delivery-confirmed invalidation (or the waitout) must
+	// precede any conflicting lock grant here. Even a fence interrupted
+	// by ctx still releases: the commit stands, and holding the locks
+	// past this handler would wedge the object forever.
+	var fenceErr error
+	if advanced {
+		fenceErr = m.leaseCommitFence(ctx, in, time.Now(), true)
+	}
 	in.locks.ReleaseAll(lockmgr.Owner(req.Action))
 	m.kickCombiner(in)
-	if advanced {
-		// The new version is durable: fence every read lease at the old
-		// one before acknowledging phase two (locks are already
-		// released — new grants attach to the new version's group).
-		if err := m.leaseCommitFence(ctx, in, time.Now(), true); err != nil {
-			return resp, err
-		}
-	}
-	return resp, nil
+	return resp, fenceErr
 }
 
 func (m *Manager) handleInstall(ctx context.Context, from transport.Addr, req InstallReq) (InstallResp, error) {
@@ -1103,13 +1130,37 @@ func (m *Manager) prepareCommitSingleStore(ctx context.Context, from transport.A
 			resp.FailedNodes = append(resp.FailedNodes, cohort)
 		}
 	}
+	// Commit is durable: fence old-version leases before the lock release
+	// (same ordering argument as handleCommit — no conflicting lock grant
+	// until every stale lease is provably dead) and before acknowledging.
+	fenceErr := m.leaseCommitFence(ctx, in, time.Now(), true)
 	in.locks.ReleaseAll(lockmgr.Owner(req.Action))
 	m.kickCombiner(in)
-	// Commit is durable: fence old-version leases before acknowledging.
-	if err := m.leaseCommitFence(ctx, in, time.Now(), true); err != nil {
-		return resp, err
+	return resp, fenceErr
+}
+
+// handleLeaseCheck serves the mixed-transaction revalidation read: take
+// the object's read lock under the action (queueing behind any committing
+// writer, whose lease fence precedes its lock release) and report the
+// committed version. The action is registered as a user so prepare sees
+// and releases it exactly like a plain read — a read-only vote with no
+// phase-two round trip.
+func (m *Manager) handleLeaseCheck(ctx context.Context, from transport.Addr, req LeaseCheckReq) (LeaseCheckResp, error) {
+	in, err := m.mustLookup(req.UID)
+	if err != nil {
+		return LeaseCheckResp{}, err
 	}
-	return resp, nil
+	if err := in.locks.Acquire(ctx, lockmgr.Owner(req.Action), "state", lockmgr.Read); err != nil {
+		if errors.Is(err, lockmgr.ErrOverloaded) {
+			return LeaseCheckResp{}, rpc.Errorf(CodeOverloaded, "lock: %v", err)
+		}
+		return LeaseCheckResp{}, rpc.Errorf(rpc.CodeRefused, "lock: %v", err)
+	}
+	in.mu.Lock()
+	in.users[req.Action] = true
+	seq := in.seq
+	in.mu.Unlock()
+	return LeaseCheckResp{Seq: seq}, nil
 }
 
 func (m *Manager) handlePassivate(ctx context.Context, from transport.Addr, req PassivateReq) (PassivateResp, error) {

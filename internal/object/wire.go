@@ -24,6 +24,8 @@ const (
 	wireTagInstallResp
 	wireTagPrepareCommitReq
 	wireTagPrepareCommitResp
+	wireTagLeaseCheckReq
+	wireTagLeaseCheckResp
 )
 
 // ActivateReq
@@ -308,5 +310,37 @@ func (p *PrepareCommitResp) ParseWire(_ byte, r *rpc.WireReader) error {
 	p.NewSeq = r.Uvarint()
 	p.FailedNodes = r.Strings()
 	p.BatchSize = int(r.Uvarint())
+	return nil
+}
+
+// LeaseCheckReq
+
+// WireTag implements rpc.Wire.
+func (*LeaseCheckReq) WireTag() (byte, byte) { return wireTagLeaseCheckReq, 1 }
+
+// AppendWire implements rpc.Wire.
+func (q *LeaseCheckReq) AppendWire(dst []byte) []byte {
+	dst = rpc.AppendString(dst, q.UID)
+	return rpc.AppendString(dst, q.Action)
+}
+
+// ParseWire implements rpc.Wire.
+func (q *LeaseCheckReq) ParseWire(_ byte, r *rpc.WireReader) error {
+	q.UID = r.String()
+	q.Action = r.String()
+	return nil
+}
+
+// LeaseCheckResp
+
+// WireTag implements rpc.Wire.
+func (*LeaseCheckResp) WireTag() (byte, byte) { return wireTagLeaseCheckResp, 1 }
+
+// AppendWire implements rpc.Wire.
+func (p *LeaseCheckResp) AppendWire(dst []byte) []byte { return rpc.AppendUvarint(dst, p.Seq) }
+
+// ParseWire implements rpc.Wire.
+func (p *LeaseCheckResp) ParseWire(_ byte, r *rpc.WireReader) error {
+	p.Seq = r.Uvarint()
 	return nil
 }

@@ -23,6 +23,8 @@ func TestWireRoundTrip(t *testing.T) {
 		{&InstallResp{Installed: true}, &InstallResp{}},
 		{&PrepareCommitReq{UID: "obj", Action: "a1", StNodes: []string{"s1"}, CheckpointTo: []string{"s2"}}, &PrepareCommitReq{}},
 		{&PrepareCommitResp{Dirty: true, NewSeq: 8, FailedNodes: []string{"s1"}, BatchSize: 2}, &PrepareCommitResp{}},
+		{&LeaseCheckReq{UID: "obj", Action: "a1"}, &LeaseCheckReq{}},
+		{&LeaseCheckResp{Seq: 11}, &LeaseCheckResp{}},
 	}
 	for _, c := range cases {
 		data, err := rpc.Encode(c.in)
@@ -47,6 +49,7 @@ func TestWireTagsUnique(t *testing.T) {
 		&ActivateReq{}, &ActivateResp{}, &InvokeReq{}, &InvokeResp{},
 		&PrepareReq{}, &PrepareResp{}, &EndReq{}, &EndResp{},
 		&InstallReq{}, &InstallResp{}, &PrepareCommitReq{}, &PrepareCommitResp{},
+		&LeaseCheckReq{}, &LeaseCheckResp{},
 	}
 	seen := map[byte]string{}
 	for _, w := range types {

@@ -43,7 +43,14 @@ import (
 // behind the move action's write locks until cleanup, so no client can
 // bind them. After the source commits the old entries are gone and a
 // stale client's bind fails over to the new shard via the epoch check.
-func Move(ctx context.Context, place *Client, actions *action.Manager, rpcc rpc.Client, ids []uid.UID, target int) error {
+//
+// leaseFence, set when the deployment runs read leases, force-passivates
+// each object's source instances before placement flips, fencing any
+// leases they granted (a commit on the target shard could never reach
+// those holders). Leaseless deployments pass false and keep the gentler
+// behaviour: source instances are left to drain and the write-locked
+// database entries alone keep new binds out.
+func Move(ctx context.Context, place *Client, actions *action.Manager, rpcc rpc.Client, ids []uid.UID, target int, leaseFence bool) error {
 	// Drop objects already at the target; remember each survivor's source.
 	var pending []uid.UID
 	for _, id := range ids {
@@ -65,7 +72,7 @@ func Move(ctx context.Context, place *Client, actions *action.Manager, rpcc rpc.
 
 	backoff := 5 * time.Millisecond
 	for {
-		err := moveOnce(ctx, place, actions, rpcc, pending, tgt, target)
+		err := moveOnce(ctx, place, actions, rpcc, pending, tgt, target, leaseFence)
 		switch rpc.CodeOf(err) {
 		case core.CodeNotQuiescent, core.CodeLockRefused:
 			// An in-flight binding holds one of the objects; let it finish.
@@ -83,7 +90,7 @@ func Move(ctx context.Context, place *Client, actions *action.Manager, rpcc rpc.
 	}
 }
 
-func moveOnce(ctx context.Context, place *Client, actions *action.Manager, rpcc rpc.Client, ids []uid.UID, tgt ShardInfo, target int) error {
+func moveOnce(ctx context.Context, place *Client, actions *action.Manager, rpcc rpc.Client, ids []uid.UID, tgt ShardInfo, target int, leaseFence bool) error {
 	act := actions.BeginTop()
 	owner := act.ID()
 	tgtDB := core.Client{RPC: rpcc, DB: tgt.DB}
@@ -157,7 +164,12 @@ func moveOnce(ctx context.Context, place *Client, actions *action.Manager, rpcc 
 		// write-locked database entries still block new binds and hence
 		// new grants. Unreachable servers are skipped: a crashed server
 		// lost its volatile instance with its process; a partitioned one
-		// is the lease fault model's documented residual.
+		// is the lease fault model's documented residual. Leaseless
+		// deployments skip the whole fence — force-passivation would only
+		// fail the instances' pending ops for nothing.
+		if !leaseFence {
+			continue
+		}
 		for _, sv := range src.Svs {
 			ref := object.ServerRef{Client: rpcc, Node: sv, UID: id}
 			if _, perr := ref.Passivate(ctx, true); perr != nil &&

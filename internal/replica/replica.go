@@ -401,6 +401,32 @@ func (h *Handle) noteQueueWait(nanos int64) {
 	h.mu.Unlock()
 }
 
+// CheckSeq acquires the object's read lock under act at the coordinator
+// and returns the committed version it holds — the server-backed
+// revalidation of a leased read. The lock, held until the action ends,
+// is what makes the answer durable for the caller's commit: leases are a
+// single-copy-passive feature, so the coordinator is the one server
+// whose version can advance.
+func (h *Handle) CheckSeq(ctx context.Context, act *action.Action) (uint64, error) {
+	if !h.enlistOnce(act) {
+		return 0, fmt.Errorf("replica %v: enlist in %s: action not running", h.cfg.UID, act.ID())
+	}
+	owner := act.Top().ID()
+	coord, err := h.Coordinator()
+	if err != nil {
+		return 0, err
+	}
+	seq, err := h.ref(coord).LeaseCheck(ctx, owner)
+	if err != nil {
+		if isCrashError(err) || object.IsNotActive(err) {
+			h.markBroken(coord)
+			return 0, fmt.Errorf("replica %v: coordinator %s failed: %w", h.cfg.UID, coord, ErrNoServers)
+		}
+		return 0, err
+	}
+	return seq, nil
+}
+
 // LeaseGrant returns the most recent read lease granted across this
 // handle's invocations, if any, and clears it — each grant is harvested
 // into the caller's cache exactly once.

@@ -376,7 +376,7 @@ func (c *Client) runOnce(ctx context.Context, fn func(tx *Txn) error) (*CommitRe
 		_ = act.Abort(context.WithoutCancel(ctx))
 		return tx.report(false), tag(ErrAborted, MapError(err))
 	}
-	if err := tx.revalidateLeases(); err != nil {
+	if err := tx.revalidateLeases(ctx); err != nil {
 		_ = act.Abort(context.WithoutCancel(ctx))
 		return tx.report(false), tag(ErrAborted, err)
 	}
@@ -395,16 +395,23 @@ func (c *Client) runOnce(ctx context.Context, fn func(tx *Txn) error) (*CommitRe
 	return rep, nil
 }
 
-// revalidateLeases rechecks, just before commit, every lease this
-// transaction read from. A transaction that mixed lease-served reads
-// with server-side work commits only if each leased snapshot is STILL
-// valid — an invalidation or expiry since the read means a concurrent
-// commit may have ordered itself between the cached read and this
-// commit, so the action retries (the retry misses the dead entry and
-// re-reads through the servers). A pure lease-read transaction skips
-// the check: each read was individually valid when served, which is
-// exactly the lease guarantee.
-func (t *Txn) revalidateLeases() error {
+// revalidateLeases upgrades, just before commit, every leased read of a
+// transaction that also did server-side work into a LOCKED server read:
+// the object is bound and its coordinator asked — under the action's
+// read lock — for its committed version. A matching version proves the
+// leased snapshot is still the latest committed state, and the read lock
+// (strict 2PL, held through this action's commit) keeps it so, making
+// the transaction equivalent to one that read through the servers. A
+// local validity check would NOT suffice: a concurrent commit's lease
+// invalidation is confirmed before that writer's locks release, but the
+// multicast can still be in flight when THIS transaction — unblocked by
+// a different participant's earlier release — reaches its commit, so
+// only the server's lock queue gives a race-free answer. On mismatch the
+// cached entry is killed so the retry re-reads through the servers.
+// A pure lease-read transaction (nothing bound) skips the check: each
+// read was individually valid when served, which is exactly the lease
+// guarantee.
+func (t *Txn) revalidateLeases(ctx context.Context) error {
 	if len(t.leased) == 0 {
 		return nil
 	}
@@ -418,9 +425,32 @@ func (t *Txn) revalidateLeases() error {
 	if !bound {
 		return nil
 	}
-	now := time.Now()
+	checked := make(map[uid.UID]bool, len(t.leased))
 	for _, e := range t.leased {
-		if !e.Valid(now) {
+		id := e.Snap.UID
+		if checked[id] {
+			continue
+		}
+		checked[id] = true
+		o := t.objects[id]
+		if o == nil {
+			return ErrLeaseStale
+		}
+		if err := o.bind(ctx); err != nil {
+			t.c.leases.Invalidate(id)
+			return err
+		}
+		seq, err := o.bd.LeaseCheck(t.noted(ctx))
+		if err != nil {
+			// Unreachable coordinator, refused lock, dead context — the
+			// snapshot cannot be vouched for. Kill it so the retry takes
+			// the plain server path, and classify the cause for the
+			// retry loop.
+			t.c.leases.Invalidate(id)
+			return MapError(err)
+		}
+		if seq != e.Snap.Seq {
+			t.c.leases.Invalidate(id)
 			return ErrLeaseStale
 		}
 	}

@@ -66,7 +66,14 @@
 // expired. A read served from the cache is therefore never staler than
 // the last acknowledged commit; what is given up is only the exclusion
 // a server-side read lock would add, which a read-only action does not
-// need. CommitReport.LeaseReads counts the invocations an action served
+// need. An Atomic that MIXES leased reads with server-side work gets
+// that exclusion back at commit time: each leased read is revalidated
+// through its server under the action's read lock (one extra RPC per
+// leased object), and a version mismatch aborts with ErrLeaseStale and
+// retries through the servers — so mixed transactions serialize exactly
+// as if every read had gone to the servers, and the zero-RPC fast path
+// is reserved for the all-read case that needs no locks at all.
+// CommitReport.LeaseReads counts the invocations an action served
 // from cache, and System.LeaseStats exposes the deployment-wide per-tier
 // hit rates and grant/invalidation/waitout counters.
 //
